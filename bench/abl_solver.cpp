@@ -1,0 +1,45 @@
+// Solver-quality ablation for Algorithm 1: the paper plugs in the Bansal
+// et al. orienteering approximation as a black box (DESIGN.md substitution
+// #1); this bench quantifies how much tour quality the substitution knob
+// actually moves by comparing the greedy, GRASP, and ILS backends on
+// identical instances and candidate sets.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "uavdc/core/registry.hpp"
+
+int main(int argc, char** argv) {
+    using namespace uavdc;
+    const auto settings = bench::BenchSettings::parse(argc, argv);
+    const bench::AlgoParams params = bench::default_algo_params(settings);
+
+    workload::GeneratorConfig gen = bench::base_generator(settings);
+    gen.uav.energy_j = bench::default_energy(settings);
+    const auto instances = bench::make_instances(gen, settings);
+
+    std::cout << "\n=== Algorithm 1 orienteering-backend ablation ===\n";
+    util::Table table({"solver", "collected [GB]", "time [ms]"});
+    std::vector<std::pair<std::string, bench::RunOutcome>> csv_rows;
+    for (auto kind : {orienteering::SolverKind::kGreedy,
+                      orienteering::SolverKind::kGrasp,
+                      orienteering::SolverKind::kIls}) {
+        const auto factory = [&params, kind] {
+            core::PlannerOptions opts;
+            opts.delta_m = params.delta_m;
+            opts.max_candidates = params.max_candidates;
+            opts.grasp_iterations = params.grasp_iterations;
+            opts.solver = kind;
+            return core::make_planner("alg1", opts);
+        };
+        const auto outcome = bench::evaluate_planner(factory, instances);
+        table.add_row({orienteering::to_string(kind),
+                       util::Table::fmt(outcome.mean_gb, 2) + " ±" +
+                           util::Table::fmt(outcome.ci95_gb, 2),
+                       util::Table::fmt(outcome.mean_runtime_s * 1e3, 1)});
+        csv_rows.emplace_back(orienteering::to_string(kind), outcome);
+    }
+    table.print(std::cout, 2);
+    bench::write_csv(settings.out_dir, "abl_solver", csv_rows);
+    return 0;
+}

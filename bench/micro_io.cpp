@@ -1,0 +1,66 @@
+// Google-benchmark microbenchmarks for the io layer: JSON parse/serialize,
+// instance serialization, and SVG rendering.
+
+#include <benchmark/benchmark.h>
+
+#include "uavdc/core/algorithm2.hpp"
+#include "uavdc/io/json.hpp"
+#include "uavdc/io/serialize.hpp"
+#include "uavdc/io/svg.hpp"
+#include "uavdc/workload/presets.hpp"
+
+namespace {
+
+using namespace uavdc;
+
+model::Instance bench_instance(int devices) {
+    auto gen = workload::paper_scaled(0.5);
+    gen.num_devices = devices;
+    return workload::generate(gen, 31);
+}
+
+void BM_JsonSerializeInstance(benchmark::State& state) {
+    const auto inst = bench_instance(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        const auto doc = io::to_json(inst);
+        benchmark::DoNotOptimize(doc.dump().size());
+    }
+}
+BENCHMARK(BM_JsonSerializeInstance)->Arg(100)->Arg(500);
+
+void BM_JsonParseInstance(benchmark::State& state) {
+    const auto inst = bench_instance(static_cast<int>(state.range(0)));
+    const std::string text = io::to_json(inst).dump();
+    for (auto _ : state) {
+        const auto doc = io::Json::parse(text);
+        benchmark::DoNotOptimize(doc.is_object());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParseInstance)->Arg(100)->Arg(500);
+
+void BM_InstanceRoundTrip(benchmark::State& state) {
+    const auto inst = bench_instance(200);
+    for (auto _ : state) {
+        const auto back = io::instance_from_json(io::to_json(inst));
+        benchmark::DoNotOptimize(back.devices.size());
+    }
+}
+BENCHMARK(BM_InstanceRoundTrip);
+
+void BM_SvgRender(benchmark::State& state) {
+    const auto inst = bench_instance(static_cast<int>(state.range(0)));
+    core::Algorithm2Config cfg;
+    cfg.candidates.delta_m = 20.0;
+    const auto res = core::GreedyCoveragePlanner(cfg).plan(inst);
+    for (auto _ : state) {
+        const auto svg = io::render_svg(inst, &res.plan);
+        benchmark::DoNotOptimize(svg.size());
+    }
+}
+BENCHMARK(BM_SvgRender)->Arg(100)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Precision-agriculture scenario: a jittered lattice of soil/crop sensors
+// with near-identical data volumes. With homogeneous volumes the dwell per
+// hovering location is nearly constant, so the planning problem is almost
+// pure geometry — a good setting to examine the delta (grid resolution)
+// trade-off from Fig. 4 and the radio-model ablation on a single instance.
+//
+//   ./farm_monitoring [--devices=100] [--energy=2e4] [--seed=5]
+
+#include <iostream>
+
+#include "uavdc/core/algorithm2.hpp"
+#include "uavdc/core/evaluate.hpp"
+#include "uavdc/sim/simulator.hpp"
+#include "uavdc/util/flags.hpp"
+#include "uavdc/util/table.hpp"
+#include "uavdc/workload/presets.hpp"
+
+int main(int argc, char** argv) {
+    using namespace uavdc;
+    const util::Flags flags(argc, argv);
+
+    workload::GeneratorConfig gen = workload::farm_monitoring();
+    gen.num_devices = flags.get_int("devices", 100);
+    gen.region_w = gen.region_h = flags.get_double("side", 450.0);
+    gen.uav.energy_j = flags.get_double("energy", 2.0e4);
+    const auto inst = workload::generate(
+        gen, static_cast<std::uint64_t>(flags.get_int64("seed", 5)));
+
+    std::cout << "Farm lattice: " << inst.num_devices() << " sensors, "
+              << util::Table::fmt(inst.total_data_mb() / 1000.0, 2)
+              << " GB, battery " << util::Table::fmt(inst.uav.energy_j, 0)
+              << " J\n\n";
+
+    // Grid-resolution trade-off: finer grids find better hover points but
+    // cost more planning time.
+    std::cout << "Grid resolution sweep (Algorithm 2):\n";
+    util::Table table({"delta [m]", "candidates", "collected [GB]",
+                       "stops", "time [ms]"});
+    model::FlightPlan finest_plan;
+    for (double delta : {40.0, 20.0, 10.0, 5.0}) {
+        core::Algorithm2Config cfg;
+        cfg.candidates.delta_m = delta;
+        core::GreedyCoveragePlanner planner(cfg);
+        const auto res = planner.plan(inst);
+        const auto ev = core::evaluate_plan(inst, res.plan);
+        table.add_row({util::Table::fmt(delta, 0),
+                       std::to_string(res.stats.candidates),
+                       util::Table::fmt(ev.collected_mb / 1000.0, 2),
+                       std::to_string(res.plan.num_stops()),
+                       util::Table::fmt(res.stats.runtime_s * 1e3, 1)});
+        if (delta == 5.0) finest_plan = res.plan;
+    }
+    table.print(std::cout, 2);
+
+    // Radio-model ablation: how sensitive is the outcome to the paper's
+    // equal-rate (OFDMA) assumption?
+    std::cout << "\nRadio-model ablation on the delta=5 plan:\n";
+    util::Table radio({"radio model", "simulated [GB]", "completed"});
+    {
+        sim::SimConfig scfg;
+        scfg.record_trace = false;
+        const auto rep = sim::Simulator(scfg).run(inst, finest_plan);
+        radio.add_row({"constant (paper)",
+                       util::Table::fmt(rep.collected_mb / 1000.0, 2),
+                       rep.completed ? "yes" : "no"});
+    }
+    for (double taper : {0.25, 0.5, 0.75}) {
+        const sim::DistanceTaperRadio model(taper);
+        sim::SimConfig scfg;
+        scfg.record_trace = false;
+        scfg.radio = &model;
+        const auto rep = sim::Simulator(scfg).run(inst, finest_plan);
+        radio.add_row({"taper " + util::Table::fmt(taper, 2),
+                       util::Table::fmt(rep.collected_mb / 1000.0, 2),
+                       rep.completed ? "yes" : "no"});
+    }
+    radio.print(std::cout, 2);
+    std::cout << "\nA plan built under the constant-rate assumption loses "
+                 "volume when edge-of-cell\nrates taper — quantifying the "
+                 "cost of the paper's simplification.\n";
+    return 0;
+}

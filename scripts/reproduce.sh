@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Full reproduction pipeline for the uavdc repository:
+#   1. configure + build (Release)
+#   2. run the complete test suite
+#   3. run every figure/ablation bench (add --full for paper scale)
+#   4. leave CSVs in bench_results[_full]/ and logs at the repo root
+set -eu
+cd "$(dirname "$0")/.."
+
+FULL=0
+for arg in "$@"; do
+  [ "$arg" = "--full" ] && FULL=1
+done
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+OUT=bench_results
+if [ "$FULL" = "1" ]; then
+  OUT=bench_results_full
+  export UAVDC_FULL=1
+fi
+
+: > bench_output.txt
+for b in build/bench/fig* build/bench/abl_*; do
+  [ -x "$b" ] || continue
+  echo "=== $b ===" | tee -a bench_output.txt
+  "$b" --out="$OUT" 2>&1 | tee -a bench_output.txt
+done
+for b in build/bench/micro_*; do
+  [ -x "$b" ] || continue
+  echo "=== $b ===" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "done: tests in test_output.txt, benches in bench_output.txt, CSVs in $OUT/"

@@ -1,0 +1,189 @@
+#include "uavdc/core/algorithm2.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "uavdc/core/tour_builder.hpp"
+#include "uavdc/graph/christofides.hpp"
+#include "uavdc/util/parallel_for.hpp"
+#include "uavdc/util/timer.hpp"
+
+namespace uavdc::core {
+
+std::string to_string(RatioRule rule) {
+    switch (rule) {
+        case RatioRule::kPaper:
+            return "eq13";
+        case RatioRule::kVolumeOnly:
+            return "volume";
+        case RatioRule::kPerHover:
+            return "per-hover";
+    }
+    return "unknown";
+}
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Per-candidate score computed each iteration.
+struct Score {
+    double new_mb{0.0};       ///< P'(s): data from not-yet-covered devices
+    double dwell_s{0.0};      ///< t'(s): max residual upload time
+    double travel_delta_m{0.0};
+    TourBuilder::Insertion ins{};
+    bool feasible{false};
+    double ratio{-1.0};
+};
+
+}  // namespace
+
+PlanResult GreedyCoveragePlanner::plan(const model::Instance& inst) {
+    util::Timer timer;
+    PlanResult out;
+
+    const HoverCandidateSet cset =
+        build_hover_candidates(inst, cfg_.candidates);
+    const auto& cands = cset.candidates;
+    out.stats.candidates = static_cast<int>(cands.size());
+    if (cands.empty()) {
+        out.stats.runtime_s = timer.seconds();
+        return out;
+    }
+
+    const double bw = inst.uav.bandwidth_mbps;
+    const double eta_h = inst.uav.hover_power_w;
+    const double energy_cap = inst.uav.energy_j;
+
+    std::vector<bool> covered(inst.devices.size(), false);
+    std::vector<bool> used(cands.size(), false);
+    std::vector<double> dwell_of(cands.size(), 0.0);  // dwell when inserted
+    TourBuilder tour(inst.depot);
+    double hover_energy = 0.0;
+    double hover_seconds = 0.0;
+    double collected_mb = 0.0;
+    const double deadline = cfg_.max_tour_time_s;
+
+    std::vector<Score> scores(cands.size());
+    const bool parallel =
+        cfg_.parallel_threshold > 0 &&
+        cands.size() >= static_cast<std::size_t>(cfg_.parallel_threshold);
+
+    int iterations = 0;
+    int since_retour = 0;
+    for (;;) {
+        ++iterations;
+        auto score_one = [&](std::size_t i) {
+            Score s{};
+            if (!used[i]) {
+                const auto& c = cands[i];
+                for (int v : c.covered) {
+                    if (covered[static_cast<std::size_t>(v)]) continue;
+                    const auto& d =
+                        inst.devices[static_cast<std::size_t>(v)];
+                    if (d.data_mb <= 0.0) continue;
+                    s.new_mb += d.data_mb;
+                    s.dwell_s = std::max(s.dwell_s, d.upload_time(bw));
+                }
+                if (s.new_mb > 0.0) {
+                    if (cfg_.exact_ratio_tsp) {
+                        // Literal Eq. 13: TSP(S_j) via Christofides over the
+                        // current stops plus this candidate.
+                        std::vector<geom::Vec2> pts;
+                        pts.reserve(tour.size() + 2);
+                        pts.push_back(inst.depot);
+                        for (const auto& q : tour.stops()) pts.push_back(q);
+                        pts.push_back(c.pos);
+                        const auto g = graph::DenseGraph::euclidean(pts);
+                        const auto order = graph::christofides_tour(g, 0);
+                        const double new_len = g.tour_length(order);
+                        s.travel_delta_m =
+                            std::max(0.0, new_len - tour.length());
+                        s.ins = tour.cheapest_insertion(c.pos);
+                    } else {
+                        s.ins = tour.cheapest_insertion(c.pos);
+                        s.travel_delta_m = s.ins.delta_m;
+                    }
+                    const double extra_hover = s.dwell_s * eta_h;
+                    const double extra_travel =
+                        inst.uav.travel_energy(s.travel_delta_m);
+                    const double total =
+                        hover_energy + extra_hover +
+                        inst.uav.travel_energy(tour.length() +
+                                               s.travel_delta_m);
+                    s.feasible = total <= energy_cap + kEps;
+                    if (s.feasible && deadline > 0.0) {
+                        const double tour_time =
+                            hover_seconds + s.dwell_s +
+                            inst.uav.travel_time(tour.length() +
+                                                 s.travel_delta_m);
+                        s.feasible = tour_time <= deadline + kEps;
+                    }
+                    if (s.feasible) {
+                        switch (cfg_.ratio_rule) {
+                            case RatioRule::kPaper:
+                                s.ratio =
+                                    s.new_mb /
+                                    std::max(extra_hover + extra_travel,
+                                             kEps);
+                                break;
+                            case RatioRule::kVolumeOnly:
+                                s.ratio = s.new_mb;
+                                break;
+                            case RatioRule::kPerHover:
+                                s.ratio =
+                                    s.new_mb / std::max(extra_hover, kEps);
+                                break;
+                        }
+                    }
+                }
+            }
+            scores[i] = s;
+        };
+        if (parallel) {
+            util::parallel_for(0, cands.size(), score_one, 64);
+        } else {
+            for (std::size_t i = 0; i < cands.size(); ++i) score_one(i);
+        }
+
+        std::size_t best = cands.size();
+        double best_ratio = 0.0;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (scores[i].feasible && scores[i].ratio > best_ratio + kEps) {
+                best_ratio = scores[i].ratio;
+                best = i;
+            }
+        }
+        if (best == cands.size()) break;
+
+        const auto& c = cands[best];
+        const Score& s = scores[best];
+        tour.insert(c.pos, static_cast<int>(best), s.ins);
+        used[best] = true;
+        dwell_of[best] = s.dwell_s;
+        hover_energy += s.dwell_s * eta_h;
+        hover_seconds += s.dwell_s;
+        collected_mb += s.new_mb;
+        for (int v : c.covered) covered[static_cast<std::size_t>(v)] = true;
+
+        if (cfg_.retour_every > 0 && ++since_retour >= cfg_.retour_every) {
+            tour.reoptimize();
+            since_retour = 0;
+        }
+    }
+    tour.reoptimize();
+
+    for (std::size_t i = 0; i < tour.size(); ++i) {
+        const auto ci = static_cast<std::size_t>(tour.keys()[i]);
+        out.plan.stops.push_back(
+            {tour.stops()[i], dwell_of[ci], cands[ci].cell_id});
+    }
+    out.stats.planned_mb = collected_mb;
+    out.stats.planned_energy_j =
+        hover_energy + inst.uav.travel_energy(tour.length());
+    out.stats.iterations = iterations;
+    out.stats.runtime_s = timer.seconds();
+    return out;
+}
+
+}  // namespace uavdc::core

@@ -1,0 +1,179 @@
+#include "uavdc/core/algorithm3.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "uavdc/core/tour_builder.hpp"
+#include "uavdc/util/parallel_for.hpp"
+#include "uavdc/util/timer.hpp"
+
+namespace uavdc::core {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kMinGainMb = 1e-6;
+
+/// Best virtual-location choice for one real candidate this iteration.
+struct Score {
+    double new_mb{0.0};    ///< P'(s_{j,k}) under current residuals
+    double extra_dwell_s{0.0};  ///< k * t'(s_j) / K
+    TourBuilder::Insertion ins{};
+    bool in_tour{false};
+    bool feasible{false};
+    double ratio{-1.0};
+};
+
+}  // namespace
+
+PlanResult PartialCollectionPlanner::plan(const model::Instance& inst) {
+    if (cfg_.k < 1) {
+        throw std::invalid_argument("PartialCollectionPlanner: k must be >=1");
+    }
+    util::Timer timer;
+    PlanResult out;
+
+    const HoverCandidateSet cset =
+        build_hover_candidates(inst, cfg_.candidates);
+    const auto& cands = cset.candidates;
+    out.stats.candidates = static_cast<int>(cands.size());
+    if (cands.empty()) {
+        out.stats.runtime_s = timer.seconds();
+        return out;
+    }
+
+    const double bw = inst.uav.bandwidth_mbps;
+    const double eta_h = inst.uav.hover_power_w;
+    const double energy_cap = inst.uav.energy_j;
+    const int K = cfg_.k;
+
+    std::vector<double> residual(inst.devices.size());
+    for (std::size_t v = 0; v < inst.devices.size(); ++v) {
+        residual[v] = inst.devices[v].data_mb;
+    }
+    std::vector<double> dwell_of(cands.size(), 0.0);
+    std::vector<bool> in_tour(cands.size(), false);
+    TourBuilder tour(inst.depot);
+    double hover_energy = 0.0;
+    double hover_seconds = 0.0;
+    double collected_mb = 0.0;
+    const double deadline = cfg_.max_tour_time_s;
+
+    std::vector<Score> scores(cands.size());
+    const bool parallel =
+        cfg_.parallel_threshold > 0 &&
+        cands.size() >= static_cast<std::size_t>(cfg_.parallel_threshold);
+
+    int iterations = 0;
+    int since_retour = 0;
+    for (;;) {
+        ++iterations;
+        auto score_one = [&](std::size_t j) {
+            Score best{};
+            const auto& c = cands[j];
+            // t'(s_j): max residual upload time over C(s_j) (Eq. 12 with
+            // residual volumes, per Alg. 3 lines 11-12).
+            double t_full = 0.0;
+            for (int v : c.covered) {
+                t_full = std::max(
+                    t_full, residual[static_cast<std::size_t>(v)] / bw);
+            }
+            if (t_full > kEps) {
+                const TourBuilder::Insertion ins =
+                    in_tour[j] ? TourBuilder::Insertion{0, 0.0}
+                               : tour.cheapest_insertion(c.pos);
+                const double travel_j_extra =
+                    inst.uav.travel_energy(ins.delta_m);
+                // Evaluate each virtual location s_{j,k}; keep the best
+                // feasible ratio (the argmax in Alg. 3 line 6 ranges over
+                // all virtual locations).
+                for (int k = 1; k <= K; ++k) {
+                    const double dt = static_cast<double>(k) * t_full /
+                                      static_cast<double>(K);
+                    double gain = 0.0;  // Eq. 4 under residual volumes
+                    for (int v : c.covered) {
+                        gain += std::min(
+                            residual[static_cast<std::size_t>(v)], bw * dt);
+                    }
+                    if (gain <= kMinGainMb) continue;
+                    const double extra_hover = dt * eta_h;
+                    const double total =
+                        hover_energy + extra_hover +
+                        inst.uav.travel_energy(tour.length() + ins.delta_m);
+                    if (total > energy_cap + kEps) continue;
+                    if (deadline > 0.0) {
+                        const double tour_time =
+                            hover_seconds + dt +
+                            inst.uav.travel_time(tour.length() +
+                                                 ins.delta_m);
+                        if (tour_time > deadline + kEps) continue;
+                    }
+                    const double ratio =
+                        gain /
+                        std::max(extra_hover + travel_j_extra, kEps);
+                    if (ratio > best.ratio) {
+                        best.new_mb = gain;
+                        best.extra_dwell_s = dt;
+                        best.ins = ins;
+                        best.in_tour = in_tour[j];
+                        best.feasible = true;
+                        best.ratio = ratio;
+                    }
+                }
+            }
+            scores[j] = best;
+        };
+        if (parallel) {
+            util::parallel_for(0, cands.size(), score_one, 32);
+        } else {
+            for (std::size_t j = 0; j < cands.size(); ++j) score_one(j);
+        }
+
+        std::size_t best = cands.size();
+        double best_ratio = 0.0;
+        for (std::size_t j = 0; j < cands.size(); ++j) {
+            if (scores[j].feasible && scores[j].ratio > best_ratio + kEps) {
+                best_ratio = scores[j].ratio;
+                best = j;
+            }
+        }
+        if (best == cands.size()) break;
+
+        const auto& c = cands[best];
+        const Score& s = scores[best];
+        if (!s.in_tour) {
+            tour.insert(c.pos, static_cast<int>(best), s.ins);
+            in_tour[best] = true;
+            if (cfg_.retour_every > 0 &&
+                ++since_retour >= cfg_.retour_every) {
+                tour.reoptimize();
+                since_retour = 0;
+            }
+        }
+        dwell_of[best] += s.extra_dwell_s;
+        hover_energy += s.extra_dwell_s * eta_h;
+        hover_seconds += s.extra_dwell_s;
+        collected_mb += s.new_mb;
+        const double budget_mb = bw * s.extra_dwell_s;
+        for (int v : c.covered) {
+            auto& r = residual[static_cast<std::size_t>(v)];
+            r -= std::min(r, budget_mb);
+        }
+    }
+    tour.reoptimize();
+
+    for (std::size_t i = 0; i < tour.size(); ++i) {
+        const auto ci = static_cast<std::size_t>(tour.keys()[i]);
+        out.plan.stops.push_back(
+            {tour.stops()[i], dwell_of[ci], cands[ci].cell_id});
+    }
+    out.stats.planned_mb = collected_mb;
+    out.stats.planned_energy_j =
+        hover_energy + inst.uav.travel_energy(tour.length());
+    out.stats.iterations = iterations;
+    out.stats.runtime_s = timer.seconds();
+    return out;
+}
+
+}  // namespace uavdc::core

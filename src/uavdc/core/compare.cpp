@@ -1,0 +1,33 @@
+#include "uavdc/core/compare.hpp"
+
+#include <algorithm>
+
+namespace uavdc::core {
+
+std::vector<PlannerComparison> compare_planners(
+    const model::Instance& inst, const PlannerOptions& opts,
+    std::vector<std::string> names) {
+    if (names.empty()) names = planner_names();
+    std::vector<PlannerComparison> out;
+    out.reserve(names.size());
+    for (const auto& name : names) {
+        auto planner = make_planner(name, opts);
+        auto res = planner->plan(inst);
+        PlannerComparison cmp;
+        cmp.name = planner->name();
+        cmp.runtime_s = res.stats.runtime_s;
+        cmp.evaluation = evaluate_plan(inst, res.plan);
+        cmp.metrics = compute_metrics(inst, res.plan);
+        cmp.plan = std::move(res.plan);
+        out.push_back(std::move(cmp));
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const PlannerComparison& a,
+                        const PlannerComparison& b) {
+                         return a.evaluation.collected_mb >
+                                b.evaluation.collected_mb;
+                     });
+    return out;
+}
+
+}  // namespace uavdc::core

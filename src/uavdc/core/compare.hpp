@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uavdc/core/evaluate.hpp"
+#include "uavdc/core/metrics.hpp"
+#include "uavdc/core/registry.hpp"
+
+namespace uavdc::core {
+
+/// One planner's outcome on a shared instance.
+struct PlannerComparison {
+    std::string name;
+    model::FlightPlan plan;
+    Evaluation evaluation;
+    PlanMetrics metrics;
+    double runtime_s{0.0};
+};
+
+/// Run every registered planner (or the given subset) on `inst` with the
+/// same options and evaluate each plan. Results are ordered by collected
+/// volume, best first. The one-call backend for `uavdc compare` and for
+/// quick side-by-side studies in user code.
+[[nodiscard]] std::vector<PlannerComparison> compare_planners(
+    const model::Instance& inst, const PlannerOptions& opts = {},
+    std::vector<std::string> names = {});
+
+}  // namespace uavdc::core

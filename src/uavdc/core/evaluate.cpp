@@ -1,0 +1,51 @@
+#include "uavdc/core/evaluate.hpp"
+
+#include <algorithm>
+
+#include "uavdc/geom/spatial_hash.hpp"
+
+namespace uavdc::core {
+
+Evaluation evaluate_plan(const model::Instance& inst,
+                         const model::FlightPlan& plan, double eps) {
+    Evaluation ev;
+    ev.per_device_mb.assign(inst.devices.size(), 0.0);
+
+    const auto breakdown = plan.energy(inst.depot, inst.uav);
+    ev.energy_j = breakdown.total_j();
+    ev.tour_time_s = breakdown.total_s();
+    ev.energy_feasible = ev.energy_j <= inst.uav.energy_j + eps;
+
+    if (!inst.devices.empty() && !plan.stops.empty()) {
+        const auto positions = inst.device_positions();
+        const geom::SpatialHash hash(positions, inst.uav.coverage_radius_m);
+        std::vector<double> residual(inst.devices.size());
+        for (std::size_t i = 0; i < inst.devices.size(); ++i) {
+            residual[i] = inst.devices[i].data_mb;
+        }
+        const double bw = inst.uav.bandwidth_mbps;
+        for (const auto& stop : plan.stops) {
+            const double budget_mb = bw * stop.dwell_s;
+            hash.for_each_in_disk(
+                stop.pos, inst.uav.coverage_radius_m, [&](int dev) {
+                    const auto d = static_cast<std::size_t>(dev);
+                    const double got = std::min(residual[d], budget_mb);
+                    if (got > 0.0) {
+                        residual[d] -= got;
+                        ev.per_device_mb[d] += got;
+                    }
+                });
+        }
+    }
+
+    for (std::size_t i = 0; i < ev.per_device_mb.size(); ++i) {
+        ev.collected_mb += ev.per_device_mb[i];
+        if (ev.per_device_mb[i] > 0.0) ++ev.devices_touched;
+        if (ev.per_device_mb[i] >= inst.devices[i].data_mb - 1e-9) {
+            if (inst.devices[i].data_mb > 0.0) ++ev.devices_drained;
+        }
+    }
+    return ev;
+}
+
+}  // namespace uavdc::core

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "uavdc/model/instance.hpp"
+#include "uavdc/model/plan.hpp"
+
+namespace uavdc::core {
+
+/// Ground-truth outcome of executing a plan, computed in closed form.
+/// Each stop uploads concurrently (OFDMA) from every device within R0 at
+/// bandwidth B for the stop's dwell; a device's data is collected at most
+/// once in total (residual carried across stops, Sec. VI semantics).
+struct Evaluation {
+    double collected_mb{0.0};           ///< total data actually collected
+    double energy_j{0.0};               ///< total energy spent
+    double tour_time_s{0.0};            ///< T = T_h + T_t
+    bool energy_feasible{false};        ///< energy_j <= E (+eps)
+    std::vector<double> per_device_mb;  ///< collected per device
+    int devices_touched{0};             ///< devices with any data collected
+    int devices_drained{0};             ///< devices fully collected
+};
+
+/// Evaluate `plan` against `inst`. Stops are processed in tour order;
+/// devices upload min(residual, B * dwell) at each covering stop.
+[[nodiscard]] Evaluation evaluate_plan(const model::Instance& inst,
+                                       const model::FlightPlan& plan,
+                                       double eps = 1e-6);
+
+}  // namespace uavdc::core

@@ -1,0 +1,75 @@
+#include "uavdc/core/exact_dcm.hpp"
+
+#include <stdexcept>
+
+#include "uavdc/graph/held_karp.hpp"
+
+namespace uavdc::core {
+
+ExactDcmResult solve_exact_dcm(const model::Instance& inst,
+                               const ExactDcmConfig& cfg) {
+    ExactDcmResult out;
+    const HoverCandidateSet cset =
+        build_hover_candidates(inst, cfg.candidates);
+    const auto& cands = cset.candidates;
+    const std::size_t m = cands.size();
+    if (m > static_cast<std::size_t>(cfg.max_candidates_for_exact)) {
+        throw std::invalid_argument(
+            "solve_exact_dcm: candidate set too large (" +
+            std::to_string(m) + " > " +
+            std::to_string(cfg.max_candidates_for_exact) + ")");
+    }
+    if (m == 0) return out;
+
+    // Precompute the full distance matrix over depot (0) + candidates.
+    std::vector<geom::Vec2> pts{inst.depot};
+    for (const auto& c : cands) pts.push_back(c.pos);
+    const graph::DenseGraph dist = graph::DenseGraph::euclidean(pts);
+
+    const std::size_t nmask = std::size_t{1} << m;
+    for (std::size_t mask = 1; mask < nmask; ++mask) {
+        ++out.subsets_checked;
+        // Union coverage volume and hover energy of the subset.
+        std::vector<bool> covered(inst.devices.size(), false);
+        double volume = 0.0;
+        double hover_s = 0.0;
+        std::vector<std::size_t> nodes{0};  // depot
+        for (std::size_t c = 0; c < m; ++c) {
+            if (!(mask & (std::size_t{1} << c))) continue;
+            nodes.push_back(c + 1);
+            hover_s += cands[c].dwell_s;
+            for (int v : cands[c].covered) {
+                const auto d = static_cast<std::size_t>(v);
+                if (!covered[d]) {
+                    covered[d] = true;
+                    volume += inst.devices[d].data_mb;
+                }
+            }
+        }
+        if (volume <= out.collected_mb) continue;  // cannot improve
+        // Optimal tour over depot + chosen candidates.
+        graph::DenseGraph sub(nodes.size());
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+                sub.set_weight(i, j, dist.weight(nodes[i], nodes[j]));
+            }
+        }
+        const auto order = graph::held_karp_tour(sub, 0);
+        const double tour_m = sub.tour_length(order);
+        const double energy =
+            inst.uav.travel_energy(tour_m) + inst.uav.hover_energy(hover_s);
+        if (energy > inst.uav.energy_j + 1e-9) continue;
+        // New best: materialise the plan in tour order.
+        out.collected_mb = volume;
+        out.energy_j = energy;
+        out.plan.stops.clear();
+        for (std::size_t i = 1; i < order.size(); ++i) {
+            const auto c = nodes[order[i]] - 1;
+            out.plan.stops.push_back(
+                {cands[c].pos, cands[c].dwell_s, cands[c].cell_id});
+        }
+    }
+    return out;
+}
+
+}  // namespace uavdc::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "uavdc/core/hover_candidates.hpp"
+#include "uavdc/core/planner.hpp"
+
+namespace uavdc::core {
+
+/// Exact solver for the data collection maximization problem WITH hovering
+/// coverage overlapping, on tiny candidate sets: enumerate every subset of
+/// candidate hovering locations, collect the union of their coverage
+/// (full-collection dwell = each candidate's t(s_j)), route the subset with
+/// Held-Karp, and keep the best energy-feasible subset.
+///
+/// Exponential — intended as the ground-truth oracle for optimality-gap
+/// tests of Algorithms 1/2/3 (the problems are NP-hard, Theorem 1, so no
+/// polynomial exact solver exists). Throws std::invalid_argument when the
+/// candidate set exceeds `max_candidates_for_exact`.
+struct ExactDcmConfig {
+    HoverCandidateConfig candidates;
+    /// Enumeration guard: 2^n subsets, Held-Karp per subset.
+    int max_candidates_for_exact = 12;
+};
+
+struct ExactDcmResult {
+    model::FlightPlan plan;
+    double collected_mb{0.0};  ///< union volume of the chosen subset
+    double energy_j{0.0};
+    int subsets_checked{0};
+};
+
+/// Solve exactly. The candidate set is built with cfg.candidates; pass a
+/// coarse delta / small instance so the set stays within the guard.
+[[nodiscard]] ExactDcmResult solve_exact_dcm(const model::Instance& inst,
+                                             const ExactDcmConfig& cfg);
+
+}  // namespace uavdc::core

@@ -1,0 +1,148 @@
+#include "uavdc/core/fleet.hpp"
+
+#include <algorithm>
+
+#include "uavdc/core/evaluate.hpp"
+#include "uavdc/geom/kmeans.hpp"
+#include "uavdc/util/timer.hpp"
+
+namespace uavdc::core {
+
+namespace {
+
+/// Sub-instance containing only the devices in `keep` (ids re-densified);
+/// `origin[i]` maps the sub-instance device i back to the parent id.
+model::Instance sub_instance(const model::Instance& inst,
+                             const std::vector<int>& keep,
+                             std::vector<int>& origin) {
+    model::Instance sub;
+    sub.name = inst.name + "-zone";
+    sub.region = inst.region;
+    sub.depot = inst.depot;
+    sub.uav = inst.uav;
+    origin.clear();
+    int id = 0;
+    for (int v : keep) {
+        const auto& d = inst.devices[static_cast<std::size_t>(v)];
+        sub.devices.push_back({id++, d.pos, d.data_mb});
+        origin.push_back(v);
+    }
+    return sub;
+}
+
+}  // namespace
+
+FleetResult plan_fleet(const model::Instance& inst, const FleetConfig& cfg) {
+    util::Timer timer;
+    FleetResult out;
+    if (cfg.uavs < 1 || inst.devices.empty()) {
+        out.runtime_s = timer.seconds();
+        return out;
+    }
+
+    // Partition devices into m zones (data-weighted k-means).
+    const auto pts = inst.device_positions();
+    std::vector<double> weights;
+    weights.reserve(inst.devices.size());
+    for (const auto& d : inst.devices) weights.push_back(d.data_mb);
+    geom::KMeansConfig kc;
+    kc.seed = cfg.seed;
+    const auto clusters = geom::kmeans(pts, cfg.uavs, weights, kc);
+    const std::size_t zones = clusters.centroids.size();
+
+    std::vector<std::vector<int>> members(zones);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        members[static_cast<std::size_t>(clusters.assignment[i])].push_back(
+            static_cast<int>(i));
+    }
+
+    // Plan each zone independently; collect leftovers for the rebalance
+    // pass.
+    std::vector<bool> collected(inst.devices.size(), false);
+    out.tours.resize(zones);
+    for (std::size_t z = 0; z < zones; ++z) {
+        if (members[z].empty()) continue;
+        std::vector<int> origin;
+        const auto sub = sub_instance(inst, members[z], origin);
+        PartialCollectionPlanner planner(cfg.inner);
+        auto res = planner.plan(sub);
+        const auto ev = evaluate_plan(sub, res.plan);
+        for (std::size_t d = 0; d < origin.size(); ++d) {
+            if (ev.per_device_mb[d] >= sub.devices[d].data_mb - 1e-9 &&
+                sub.devices[d].data_mb > 0.0) {
+                collected[static_cast<std::size_t>(origin[d])] = true;
+            }
+        }
+        out.tours[z] = std::move(res.plan);
+    }
+
+    if (cfg.rebalance) {
+        // One pass: offer every fully-missed device to the zone whose
+        // centroid is nearest after its own, then replan zones that gained.
+        std::vector<std::vector<int>> extra(zones);
+        bool any = false;
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            if (collected[i] || inst.devices[i].data_mb <= 0.0) continue;
+            const auto own =
+                static_cast<std::size_t>(clusters.assignment[i]);
+            double best = std::numeric_limits<double>::infinity();
+            std::size_t target = own;
+            for (std::size_t z = 0; z < zones; ++z) {
+                if (z == own) continue;
+                const double d =
+                    geom::distance(pts[i], clusters.centroids[z]);
+                if (d < best) {
+                    best = d;
+                    target = z;
+                }
+            }
+            if (target != own) {
+                extra[target].push_back(static_cast<int>(i));
+                any = true;
+            }
+        }
+        if (any) {
+            for (std::size_t z = 0; z < zones; ++z) {
+                if (extra[z].empty()) continue;
+                std::vector<int> keep = members[z];
+                keep.insert(keep.end(), extra[z].begin(), extra[z].end());
+                std::sort(keep.begin(), keep.end());
+                std::vector<int> origin;
+                const auto sub = sub_instance(inst, keep, origin);
+                PartialCollectionPlanner planner(cfg.inner);
+                auto res = planner.plan(sub);
+                // Keep whichever plan collects more for this zone.
+                const double before =
+                    evaluate_plan(inst, out.tours[z]).collected_mb;
+                const double after =
+                    evaluate_plan(sub, res.plan).collected_mb;
+                if (after > before) out.tours[z] = std::move(res.plan);
+            }
+        }
+    }
+
+    out.planned_mb = evaluate_fleet(inst, out.tours);
+    for (const auto& tour : out.tours) {
+        out.makespan_s = std::max(
+            out.makespan_s, tour.energy(inst.depot, inst.uav).total_s());
+    }
+    out.runtime_s = timer.seconds();
+    return out;
+}
+
+double evaluate_fleet(const model::Instance& inst,
+                      const std::vector<model::FlightPlan>& tours) {
+    model::Instance residual = inst;
+    double total = 0.0;
+    for (const auto& tour : tours) {
+        const auto ev = evaluate_plan(residual, tour);
+        total += ev.collected_mb;
+        for (std::size_t d = 0; d < residual.devices.size(); ++d) {
+            residual.devices[d].data_mb = std::max(
+                0.0, residual.devices[d].data_mb - ev.per_device_mb[d]);
+        }
+    }
+    return total;
+}
+
+}  // namespace uavdc::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "uavdc/core/algorithm3.hpp"
+#include "uavdc/core/planner.hpp"
+
+namespace uavdc::core {
+
+/// Coordinated fleet planning (extension): m UAVs fly *simultaneously*
+/// from the shared depot, so unlike multi-tour (sequential sorties with
+/// residual hand-off) the fleet must split the field up front. Devices are
+/// partitioned by data-weighted k-means into m zones, each UAV plans its
+/// zone independently with Algorithm 3, and the mission makespan is the
+/// slowest tour (not the sum).
+struct FleetConfig {
+    int uavs = 2;                ///< m: fleet size
+    Algorithm3Config inner;      ///< per-UAV planner configuration
+    std::uint64_t seed = 29;     ///< partitioning seed
+    /// Rebalance pass: move boundary devices to the neighbouring zone when
+    /// their own zone's planner left them uncollected (one pass).
+    bool rebalance = true;
+};
+
+struct FleetResult {
+    std::vector<model::FlightPlan> tours;  ///< one per UAV (may be empty)
+    double planned_mb{0.0};                ///< de-duplicated fleet total
+    double makespan_s{0.0};                ///< slowest tour's T
+    double runtime_s{0.0};
+};
+
+/// Plan a simultaneous m-UAV mission on `inst`. Every tour independently
+/// satisfies the per-UAV energy budget E; the fleet total never counts a
+/// device twice (zones partition the devices, and the evaluation is
+/// residual-aware anyway).
+[[nodiscard]] FleetResult plan_fleet(const model::Instance& inst,
+                                     const FleetConfig& cfg);
+
+/// Fleet-level evaluation: total volume collected when all tours execute
+/// (shared residuals, so overlapping pickups are not double counted).
+[[nodiscard]] double evaluate_fleet(const model::Instance& inst,
+                                    const std::vector<model::FlightPlan>& tours);
+
+}  // namespace uavdc::core

@@ -1,0 +1,175 @@
+#include "uavdc/core/hover_candidates.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "uavdc/geom/coverage.hpp"
+
+namespace uavdc::core {
+
+namespace {
+
+/// FNV-1a over the covered-device list, for coverage-set dedup buckets.
+std::uint64_t hash_coverage(const std::vector<int>& covered) {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (int v : covered) {
+        h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/// Mean squared distance from `pos` to its covered devices — dedup keeps
+/// the candidate centred best over its coverage set.
+double coverage_spread(const geom::Vec2& pos, const std::vector<int>& covered,
+                       const std::vector<geom::Vec2>& dev_pos) {
+    double s = 0.0;
+    for (int v : covered) {
+        s += geom::distance2(pos, dev_pos[static_cast<std::size_t>(v)]);
+    }
+    return covered.empty() ? 0.0 : s / static_cast<double>(covered.size());
+}
+
+}  // namespace
+
+HoverCandidateSet build_hover_candidates(const model::Instance& inst,
+                                         const HoverCandidateConfig& cfg) {
+    HoverCandidateSet out;
+    out.delta_m = cfg.delta_m;
+
+    geom::Aabb hover_region = inst.region;
+    if (cfg.inflate_by_coverage) {
+        hover_region = hover_region.inflated(inst.uav.coverage_radius_m);
+    }
+    const geom::Grid grid(hover_region, cfg.delta_m);
+    out.grid_cells = grid.num_cells();
+
+    const auto dev_pos = inst.device_positions();
+    const auto centers = grid.all_centers();
+    const geom::CoverageIndex cov(centers, dev_pos,
+                                  inst.uav.coverage_radius_m);
+
+    const double bw = inst.uav.bandwidth_mbps;
+    const double eta_h = inst.uav.hover_power_w;
+
+    std::vector<HoverCandidate> cands;
+    for (int id = 0; id < grid.num_cells(); ++id) {
+        const auto& covered = cov.covered(id);
+        if (covered.empty()) continue;
+        if (cfg.position_ok &&
+            !cfg.position_ok(centers[static_cast<std::size_t>(id)])) {
+            continue;
+        }
+        HoverCandidate c;
+        c.pos = centers[static_cast<std::size_t>(id)];
+        c.cell_id = id;
+        c.covered = covered;
+        double max_upload = 0.0;
+        for (int v : covered) {
+            const auto& d = inst.devices[static_cast<std::size_t>(v)];
+            c.award_mb += d.data_mb;
+            max_upload = std::max(max_upload, d.upload_time(bw));
+        }
+        c.dwell_s = max_upload;
+        c.hover_energy_j = c.dwell_s * eta_h;
+        cands.push_back(std::move(c));
+    }
+    out.nonzero_cells = static_cast<int>(cands.size());
+
+    if (cfg.dedupe_identical_coverage && !cands.empty()) {
+        std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            buckets[hash_coverage(cands[i].covered)].push_back(i);
+        }
+        std::vector<bool> keep(cands.size(), true);
+        for (auto& [h, idxs] : buckets) {
+            if (idxs.size() < 2) continue;
+            // Within a hash bucket, group truly-equal coverage sets and keep
+            // the best-centred representative of each group.
+            for (std::size_t a = 0; a < idxs.size(); ++a) {
+                if (!keep[idxs[a]]) continue;
+                std::size_t best = idxs[a];
+                double best_spread =
+                    coverage_spread(cands[best].pos, cands[best].covered,
+                                    dev_pos);
+                for (std::size_t b = a + 1; b < idxs.size(); ++b) {
+                    if (!keep[idxs[b]]) continue;
+                    if (cands[idxs[a]].covered != cands[idxs[b]].covered) {
+                        continue;
+                    }
+                    const double sp = coverage_spread(
+                        cands[idxs[b]].pos, cands[idxs[b]].covered, dev_pos);
+                    if (sp < best_spread) {
+                        keep[best] = false;
+                        best = idxs[b];
+                        best_spread = sp;
+                    } else {
+                        keep[idxs[b]] = false;
+                    }
+                }
+            }
+        }
+        std::vector<HoverCandidate> deduped;
+        deduped.reserve(cands.size());
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (keep[i]) deduped.push_back(std::move(cands[i]));
+        }
+        cands = std::move(deduped);
+    }
+    out.after_dedupe = static_cast<int>(cands.size());
+
+    if (cfg.max_candidates > 0 &&
+        cands.size() > static_cast<std::size_t>(cfg.max_candidates)) {
+        // Pass 1: greedy set cover so every coverable device keeps at least
+        // one candidate (prefer higher award per pick).
+        std::vector<std::size_t> order(cands.size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return cands[a].award_mb > cands[b].award_mb;
+                  });
+        std::vector<bool> device_hit(inst.devices.size(), false);
+        std::vector<bool> selected(cands.size(), false);
+        std::size_t n_selected = 0;
+        for (std::size_t i : order) {
+            bool adds = false;
+            for (int v : cands[i].covered) {
+                if (!device_hit[static_cast<std::size_t>(v)]) {
+                    adds = true;
+                    break;
+                }
+            }
+            if (!adds) continue;
+            selected[i] = true;
+            ++n_selected;
+            for (int v : cands[i].covered) {
+                device_hit[static_cast<std::size_t>(v)] = true;
+            }
+            if (n_selected >= static_cast<std::size_t>(cfg.max_candidates)) {
+                break;
+            }
+        }
+        // Pass 2: fill remaining slots by award.
+        for (std::size_t i : order) {
+            if (n_selected >= static_cast<std::size_t>(cfg.max_candidates)) {
+                break;
+            }
+            if (!selected[i]) {
+                selected[i] = true;
+                ++n_selected;
+            }
+        }
+        std::vector<HoverCandidate> capped;
+        capped.reserve(n_selected);
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (selected[i]) capped.push_back(std::move(cands[i]));
+        }
+        cands = std::move(capped);
+    }
+
+    out.candidates = std::move(cands);
+    return out;
+}
+
+}  // namespace uavdc::core

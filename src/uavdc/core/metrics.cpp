@@ -1,0 +1,99 @@
+#include "uavdc/core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uavdc/geom/spatial_hash.hpp"
+
+namespace uavdc::core {
+
+PlanMetrics compute_metrics(const model::Instance& inst,
+                            const model::FlightPlan& plan) {
+    PlanMetrics m;
+    const auto breakdown = plan.energy(inst.depot, inst.uav);
+    m.hover_energy_j = breakdown.hover_j;
+    m.travel_energy_j = breakdown.travel_j;
+    const double total_j = breakdown.total_j();
+    m.hover_fraction = total_j > 0.0 ? breakdown.hover_j / total_j : 0.0;
+    m.tour_length_m = breakdown.travel_m;
+    m.tour_time_s = breakdown.total_s();
+    if (!plan.stops.empty()) {
+        // Legs: depot -> s0, s_i -> s_{i+1}, s_last -> depot.
+        m.mean_leg_m = breakdown.travel_m /
+                       static_cast<double>(plan.stops.size() + 1);
+    }
+
+    std::vector<double> residual(inst.devices.size());
+    std::vector<double> collected(inst.devices.size(), 0.0);
+    std::vector<double> drain_time(inst.devices.size(), -1.0);
+    for (std::size_t i = 0; i < inst.devices.size(); ++i) {
+        residual[i] = inst.devices[i].data_mb;
+    }
+
+    if (!inst.devices.empty() && !plan.stops.empty()) {
+        const auto positions = inst.device_positions();
+        const geom::SpatialHash hash(positions, inst.uav.coverage_radius_m);
+        double clock = 0.0;
+        geom::Vec2 here = inst.depot;
+        const double bw = inst.uav.bandwidth_mbps;
+        for (const auto& stop : plan.stops) {
+            clock += inst.uav.travel_time(geom::distance(here, stop.pos));
+            here = stop.pos;
+            hash.for_each_in_disk(
+                stop.pos, inst.uav.coverage_radius_m, [&](int dev) {
+                    const auto d = static_cast<std::size_t>(dev);
+                    if (residual[d] <= 0.0) return;
+                    const double got =
+                        std::min(residual[d], bw * stop.dwell_s);
+                    residual[d] -= got;
+                    collected[d] += got;
+                    if (residual[d] <= 1e-9 && drain_time[d] < 0.0) {
+                        // Drained partway through this hover.
+                        drain_time[d] = clock + got / bw;
+                    }
+                });
+            clock += stop.dwell_s;
+        }
+    }
+
+    double fairness_num = 0.0;
+    double fairness_den = 0.0;
+    int holders = 0;
+    double latency_sum = 0.0;
+    int drained = 0;
+    for (std::size_t d = 0; d < inst.devices.size(); ++d) {
+        const double total = inst.devices[d].data_mb;
+        m.collected_mb += collected[d];
+        if (total <= 0.0) continue;
+        ++holders;
+        const double frac = collected[d] / total;
+        fairness_num += frac;
+        fairness_den += frac * frac;
+        if (collected[d] > 0.0) {
+            ++m.devices_touched;
+        } else {
+            ++m.devices_missed;
+        }
+        if (drain_time[d] >= 0.0) {
+            ++drained;
+            latency_sum += drain_time[d];
+            m.max_drain_latency_s =
+                std::max(m.max_drain_latency_s, drain_time[d]);
+        }
+    }
+    m.devices_drained = drained;
+    const double total_mb = inst.total_data_mb();
+    m.collected_fraction = total_mb > 0.0 ? m.collected_mb / total_mb : 0.0;
+    m.energy_per_gb_j =
+        m.collected_mb > 0.0 ? total_j / (m.collected_mb / 1000.0) : 0.0;
+    if (holders > 0 && fairness_den > 0.0) {
+        m.jain_fairness = fairness_num * fairness_num /
+                          (static_cast<double>(holders) * fairness_den);
+    }
+    if (drained > 0) {
+        m.mean_drain_latency_s = latency_sum / static_cast<double>(drained);
+    }
+    return m;
+}
+
+}  // namespace uavdc::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "uavdc/model/instance.hpp"
+#include "uavdc/model/plan.hpp"
+
+namespace uavdc::core {
+
+/// Per-plan analytics beyond raw collected volume — the quantities an
+/// operator would track sortie over sortie.
+struct PlanMetrics {
+    // Energy split (the hover/travel trade-off the paper optimises).
+    double hover_energy_j{0.0};
+    double travel_energy_j{0.0};
+    double hover_fraction{0.0};   ///< hover_j / (hover_j + travel_j)
+    double energy_per_gb_j{0.0};  ///< total energy / collected GB (0 if none)
+
+    // Collection outcome.
+    double collected_mb{0.0};
+    double collected_fraction{0.0};  ///< of the instance total
+    int devices_touched{0};
+    int devices_drained{0};
+    int devices_missed{0};           ///< data > 0, nothing collected
+
+    /// Jain's fairness index over per-device collected fractions of
+    /// devices holding data: 1.0 = perfectly even service, 1/n = one
+    /// device served. 0 when nothing was collected.
+    double jain_fairness{0.0};
+
+    // Latency: when each device's data became fully available at the UAV.
+    // Measured in tour time from departure; only devices fully drained
+    // count. 0 when none.
+    double mean_drain_latency_s{0.0};
+    double max_drain_latency_s{0.0};
+
+    // Tour geometry.
+    double tour_length_m{0.0};
+    double tour_time_s{0.0};
+    double mean_leg_m{0.0};          ///< mean inter-stop flight leg
+};
+
+/// Compute metrics by walking the plan stop by stop (same upload semantics
+/// as core::evaluate_plan / the simulator).
+[[nodiscard]] PlanMetrics compute_metrics(const model::Instance& inst,
+                                          const model::FlightPlan& plan);
+
+}  // namespace uavdc::core

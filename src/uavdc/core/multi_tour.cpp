@@ -1,0 +1,51 @@
+#include "uavdc/core/multi_tour.hpp"
+
+#include <algorithm>
+
+#include "uavdc/core/evaluate.hpp"
+#include "uavdc/util/timer.hpp"
+
+namespace uavdc::core {
+
+MultiTourResult plan_multi_tour(const model::Instance& inst,
+                                const MultiTourConfig& cfg) {
+    util::Timer timer;
+    MultiTourResult out;
+    model::Instance residual = inst;
+    for (int r = 0; r < cfg.tours; ++r) {
+        PartialCollectionPlanner planner(cfg.inner);
+        auto res = planner.plan(residual);
+        const auto ev = evaluate_plan(residual, res.plan);
+        if (ev.collected_mb < cfg.min_sortie_gain_mb) break;
+        out.planned_mb += ev.collected_mb;
+        if (out.sorties_used > 0) out.makespan_s += cfg.recharge_s;
+        out.makespan_s +=
+            res.plan.energy(inst.depot, inst.uav).total_s();
+        ++out.sorties_used;
+        // Subtract this sortie's pickups from the residual instance.
+        for (std::size_t d = 0; d < residual.devices.size(); ++d) {
+            residual.devices[d].data_mb = std::max(
+                0.0, residual.devices[d].data_mb - ev.per_device_mb[d]);
+        }
+        out.tours.push_back(std::move(res.plan));
+    }
+    out.runtime_s = timer.seconds();
+    return out;
+}
+
+double evaluate_multi_tour(const model::Instance& inst,
+                           const std::vector<model::FlightPlan>& tours) {
+    model::Instance residual = inst;
+    double total = 0.0;
+    for (const auto& tour : tours) {
+        const auto ev = evaluate_plan(residual, tour);
+        total += ev.collected_mb;
+        for (std::size_t d = 0; d < residual.devices.size(); ++d) {
+            residual.devices[d].data_mb = std::max(
+                0.0, residual.devices[d].data_mb - ev.per_device_mb[d]);
+        }
+    }
+    return total;
+}
+
+}  // namespace uavdc::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "uavdc/core/algorithm3.hpp"
+#include "uavdc/core/planner.hpp"
+
+namespace uavdc::core {
+
+/// Extension beyond the paper's single-tour setting: plan R consecutive
+/// tours. The two operational readings share the same planning problem:
+///  * multi-trip — one UAV that returns to the depot, swaps battery, and
+///    flies again (each tour gets the full energy budget E);
+///  * fleet — R UAVs flying disjoint sorties from the same depot.
+/// Planning is sequential with residual data: tour r is planned by the
+/// inner Algorithm-3 planner against the data left behind by tours
+/// 1..r-1, which is exactly the greedy set-function heuristic the paper's
+/// Algorithm 2/3 use within a single tour, lifted one level up.
+struct MultiTourConfig {
+    int tours = 2;                 ///< R: number of sorties
+    Algorithm3Config inner;        ///< per-sortie planner configuration
+    /// Stop early if a sortie adds less than this volume (MB).
+    double min_sortie_gain_mb = 1.0;
+    /// Turnaround between sorties (battery swap / recharge, seconds);
+    /// enters the makespan, not the energy budget.
+    double recharge_s = 0.0;
+};
+
+/// Result: one FlightPlan per sortie, in flight order.
+struct MultiTourResult {
+    std::vector<model::FlightPlan> tours;
+    double planned_mb{0.0};
+    double runtime_s{0.0};
+    int sorties_used{0};
+    /// Mission makespan: sum of tour times plus (sorties-1) turnarounds.
+    double makespan_s{0.0};
+};
+
+/// Plan up to cfg.tours sorties on `inst`.
+[[nodiscard]] MultiTourResult plan_multi_tour(const model::Instance& inst,
+                                              const MultiTourConfig& cfg);
+
+/// Evaluate a sequence of sorties with shared residual data; returns the
+/// total volume collected across all tours (each tour must individually be
+/// energy-feasible — check via FlightPlan::feasible).
+[[nodiscard]] double evaluate_multi_tour(
+    const model::Instance& inst, const std::vector<model::FlightPlan>& tours);
+
+}  // namespace uavdc::core

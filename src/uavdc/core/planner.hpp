@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "uavdc/model/instance.hpp"
+#include "uavdc/model/plan.hpp"
+
+namespace uavdc::core {
+
+/// Planner-side bookkeeping reported alongside the plan.
+struct PlanStats {
+    double runtime_s{0.0};     ///< wall-clock planning time
+    int iterations{0};         ///< algorithm-specific iteration count
+    int candidates{0};         ///< candidate hovering locations considered
+    double planned_mb{0.0};    ///< volume the planner believes it collects
+    double planned_energy_j{0.0};  ///< energy the planner budgets
+};
+
+/// Result of planning: the tour plus stats.
+struct PlanResult {
+    model::FlightPlan plan;
+    PlanStats stats;
+};
+
+/// Abstract tour planner. Implementations: GridOrienteeringPlanner (Alg. 1),
+/// GreedyCoveragePlanner (Alg. 2), PartialCollectionPlanner (Alg. 3),
+/// PruneTspPlanner (the paper's benchmark heuristic).
+class Planner {
+  public:
+    virtual ~Planner() = default;
+
+    /// Produce an energy-feasible closed tour for `inst`.
+    [[nodiscard]] virtual PlanResult plan(const model::Instance& inst) = 0;
+
+    /// Short identifier for tables/CSV (e.g. "alg1-grasp").
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace uavdc::core

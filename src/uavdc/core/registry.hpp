@@ -1,0 +1,32 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uavdc/core/planner.hpp"
+#include "uavdc/orienteering/solver.hpp"
+
+namespace uavdc::core {
+
+/// Options shared by all planners constructible by name (the CLI and bench
+/// harnesses use this to avoid hand-rolled switch statements).
+struct PlannerOptions {
+    double delta_m = 10.0;       ///< grid resolution (alg1/2/3)
+    int max_candidates = 2000;   ///< candidate cap (alg1/2/3)
+    int k = 2;                   ///< Algorithm 3 sojourn partitions
+    int grasp_iterations = 8;    ///< Algorithm 1 GRASP restarts
+    orienteering::SolverKind solver =
+        orienteering::SolverKind::kGrasp;  ///< Algorithm 1 backend
+};
+
+/// Names accepted by make_planner: "alg1", "alg2", "alg3",
+/// "benchmark", "kmeans", "sweep".
+[[nodiscard]] std::vector<std::string> planner_names();
+
+/// Construct a planner by name; throws std::invalid_argument for unknown
+/// names.
+[[nodiscard]] std::unique_ptr<Planner> make_planner(
+    const std::string& name, const PlannerOptions& opts = {});
+
+}  // namespace uavdc::core

@@ -1,0 +1,77 @@
+#include "uavdc/core/repair_plan.hpp"
+
+#include <algorithm>
+
+#include "uavdc/core/tour_builder.hpp"
+#include "uavdc/geom/spatial_hash.hpp"
+
+namespace uavdc::core {
+
+RepairResult repair_plan(const model::Instance& inst,
+                         const model::FlightPlan& previous) {
+    RepairResult out;
+    const double before_j = previous.total_energy(inst.depot, inst.uav);
+
+    const geom::SpatialHash* hash = nullptr;
+    geom::SpatialHash storage({}, 1.0);
+    if (!inst.devices.empty()) {
+        const auto positions = inst.device_positions();
+        storage = geom::SpatialHash(positions, inst.uav.coverage_radius_m);
+        hash = &storage;
+    }
+
+    // Walk stops in tour order with residual bookkeeping: each stop keeps
+    // only the dwell the current volumes still justify.
+    std::vector<double> residual(inst.devices.size());
+    for (std::size_t i = 0; i < inst.devices.size(); ++i) {
+        residual[i] = inst.devices[i].data_mb;
+    }
+    const double bw = inst.uav.bandwidth_mbps;
+    std::vector<model::HoverStop> kept;
+    for (const auto& stop : previous.stops) {
+        double need_s = 0.0;
+        if (hash != nullptr) {
+            hash->for_each_in_disk(
+                stop.pos, inst.uav.coverage_radius_m, [&](int dev) {
+                    const auto d = static_cast<std::size_t>(dev);
+                    need_s = std::max(need_s, residual[d] / bw);
+                });
+        }
+        const double dwell = std::min(stop.dwell_s, need_s);
+        if (dwell <= 1e-9) {
+            ++out.stops_dropped;
+            out.dwell_trimmed_s += stop.dwell_s;
+            continue;
+        }
+        out.dwell_trimmed_s += stop.dwell_s - dwell;
+        // Drain what this dwell collects before considering later stops.
+        if (hash != nullptr) {
+            const double budget = bw * dwell;
+            hash->for_each_in_disk(
+                stop.pos, inst.uav.coverage_radius_m, [&](int dev) {
+                    const auto d = static_cast<std::size_t>(dev);
+                    residual[d] -= std::min(residual[d], budget);
+                });
+        }
+        kept.push_back({stop.pos, dwell, stop.cell_id});
+    }
+
+    // Re-optimise the visiting order of the surviving stops.
+    TourBuilder tour(inst.depot);
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+        tour.insert(kept[i].pos, static_cast<int>(i),
+                    tour.cheapest_insertion(kept[i].pos));
+    }
+    tour.reoptimize();
+    for (std::size_t i = 0; i < tour.size(); ++i) {
+        out.plan.stops.push_back(
+            kept[static_cast<std::size_t>(tour.keys()[i])]);
+        out.plan.stops.back().pos = tour.stops()[i];
+    }
+
+    const double after_j = out.plan.total_energy(inst.depot, inst.uav);
+    out.energy_freed_j = std::max(0.0, before_j - after_j);
+    return out;
+}
+
+}  // namespace uavdc::core

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "uavdc/model/instance.hpp"
+#include "uavdc/model/plan.hpp"
+
+namespace uavdc::core {
+
+/// Warm-start plan repair for periodic collection (the paper's data is
+/// gathered "periodically"; between rounds, device backlogs change but the
+/// field geometry doesn't). Instead of replanning from scratch, repair the
+/// previous round's tour against the new volumes:
+///   1. drop stops that no longer cover any data,
+///   2. trim each remaining stop's dwell to the current residual need
+///      (never lengthen — repair only removes energy),
+///   3. re-optimise the visiting order.
+/// The result is always energy-feasible if the input was, and repairing is
+/// orders of magnitude cheaper than planning.
+struct RepairResult {
+    model::FlightPlan plan;
+    int stops_dropped{0};
+    double dwell_trimmed_s{0.0};   ///< total dwell removed
+    double energy_freed_j{0.0};    ///< energy the repair returned unused
+};
+
+[[nodiscard]] RepairResult repair_plan(const model::Instance& inst,
+                                       const model::FlightPlan& previous);
+
+}  // namespace uavdc::core

@@ -1,0 +1,37 @@
+#include "uavdc/core/route_around.hpp"
+
+namespace uavdc::core {
+
+RoutedPlan route_around(const model::Instance& inst,
+                        const model::FlightPlan& plan,
+                        const geom::ObstacleField& field) {
+    RoutedPlan out;
+    out.plan = plan;
+
+    std::vector<geom::Vec2> points{inst.depot};
+    for (const auto& s : plan.stops) points.push_back(s.pos);
+    points.push_back(inst.depot);
+
+    for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+        const auto res = field.shortest_path(points[i], points[i + 1]);
+        const double direct = geom::distance(points[i], points[i + 1]);
+        out.direct_m += direct;
+        if (!res.reachable) {
+            out.reachable = false;
+            // Account the straight-line length so totals stay meaningful.
+            out.travel_m += direct;
+            out.legs.push_back({points[i], points[i + 1]});
+            continue;
+        }
+        out.travel_m += res.length_m;
+        out.legs.push_back(res.waypoints);
+    }
+    out.extra_m = std::max(0.0, out.travel_m - out.direct_m);
+    out.energy_j = inst.uav.travel_energy(out.travel_m) +
+                   inst.uav.hover_energy(plan.hover_time());
+    out.energy_feasible =
+        out.reachable && out.energy_j <= inst.uav.energy_j + 1e-6;
+    return out;
+}
+
+}  // namespace uavdc::core

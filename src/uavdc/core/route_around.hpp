@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "uavdc/geom/obstacle_field.hpp"
+#include "uavdc/model/instance.hpp"
+#include "uavdc/model/plan.hpp"
+
+namespace uavdc::core {
+
+/// A flight plan whose legs have been routed around no-fly zones:
+/// leg i connects the previous stop (or the depot) to stop i via
+/// `legs[i]`; the final entry is the return leg to the depot.
+struct RoutedPlan {
+    model::FlightPlan plan;  ///< the original stops and dwells
+    std::vector<std::vector<geom::Vec2>> legs;  ///< waypoints per leg
+    double travel_m{0.0};        ///< total routed distance
+    double direct_m{0.0};        ///< Euclidean (unrouted) distance
+    double extra_m{0.0};         ///< detour = travel_m - direct_m
+    double energy_j{0.0};        ///< hover + routed-travel energy
+    bool reachable{true};        ///< every leg found a path
+    bool energy_feasible{true};  ///< energy_j <= E
+
+    /// Detour ratio (1.0 = no zones in the way).
+    [[nodiscard]] double detour_factor() const {
+        return direct_m > 0.0 ? travel_m / direct_m : 1.0;
+    }
+};
+
+/// Route every leg of `plan` around `field` and re-account energy.
+/// Stops inside a no-fly zone make the result unreachable.
+[[nodiscard]] RoutedPlan route_around(const model::Instance& inst,
+                                      const model::FlightPlan& plan,
+                                      const geom::ObstacleField& field);
+
+/// Margin-aware planning helper: plan with a reduced energy budget, route
+/// the result, and iterate until the routed plan fits the true budget (or
+/// `max_rounds` passes). `plan_fn` maps an energy budget to a plan.
+template <typename PlanFn>
+[[nodiscard]] RoutedPlan plan_with_zones(const model::Instance& inst,
+                                         const geom::ObstacleField& field,
+                                         PlanFn&& plan_fn,
+                                         int max_rounds = 4) {
+    double budget = inst.uav.energy_j;
+    RoutedPlan best;
+    for (int round = 0; round < max_rounds; ++round) {
+        const model::FlightPlan plan = plan_fn(budget);
+        RoutedPlan routed = route_around(inst, plan, field);
+        if (routed.reachable && routed.energy_feasible) return routed;
+        if (!routed.reachable) return routed;
+        // Shrink the planning budget by the observed detour energy.
+        const double overshoot = routed.energy_j - inst.uav.energy_j;
+        budget -= std::max(overshoot, 0.05 * inst.uav.energy_j);
+        best = std::move(routed);
+        if (budget <= 0.0) break;
+    }
+    return best;
+}
+
+}  // namespace uavdc::core

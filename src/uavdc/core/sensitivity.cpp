@@ -1,0 +1,73 @@
+#include "uavdc/core/sensitivity.hpp"
+
+#include <stdexcept>
+
+#include "uavdc/core/evaluate.hpp"
+
+namespace uavdc::core {
+
+namespace {
+
+double plan_volume_gb(const model::Instance& inst, const std::string& name,
+                      const PlannerOptions& opts) {
+    auto planner = make_planner(name, opts);
+    const auto res = planner->plan(inst);
+    return evaluate_plan(inst, res.plan).collected_mb / 1000.0;
+}
+
+}  // namespace
+
+std::vector<SensitivityEntry> analyze_sensitivity(
+    const model::Instance& inst, const std::string& planner_name,
+    const PlannerOptions& opts, double perturbation) {
+    if (!(perturbation > 0.0) || perturbation >= 1.0) {
+        throw std::invalid_argument(
+            "analyze_sensitivity: perturbation must be in (0, 1)");
+    }
+    struct Knob {
+        const char* name;
+        std::function<double&(model::UavConfig&)> ref;
+    };
+    const std::vector<Knob> knobs{
+        {"energy_j",
+         [](model::UavConfig& u) -> double& { return u.energy_j; }},
+        {"coverage_radius_m",
+         [](model::UavConfig& u) -> double& { return u.coverage_radius_m; }},
+        {"bandwidth_mbps",
+         [](model::UavConfig& u) -> double& { return u.bandwidth_mbps; }},
+        {"hover_power_w",
+         [](model::UavConfig& u) -> double& { return u.hover_power_w; }},
+        {"travel_rate",
+         [](model::UavConfig& u) -> double& { return u.travel_rate; }},
+    };
+
+    const double baseline = plan_volume_gb(inst, planner_name, opts);
+    std::vector<SensitivityEntry> out;
+    out.reserve(knobs.size());
+    for (const auto& knob : knobs) {
+        SensitivityEntry e;
+        e.parameter = knob.name;
+        {
+            model::UavConfig probe = inst.uav;
+            e.baseline_value = knob.ref(probe);
+        }
+        e.baseline_gb = baseline;
+
+        auto run_at = [&](double factor) {
+            model::Instance varied = inst;
+            knob.ref(varied.uav) *= factor;
+            return plan_volume_gb(varied, planner_name, opts);
+        };
+        e.up_gb = run_at(1.0 + perturbation);
+        e.down_gb = run_at(1.0 - perturbation);
+        if (baseline > 1e-12) {
+            // Central difference: (V+ - V-) / (2 p V).
+            e.elasticity =
+                (e.up_gb - e.down_gb) / (2.0 * perturbation * baseline);
+        }
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+}  // namespace uavdc::core

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "uavdc/core/registry.hpp"
+#include "uavdc/model/instance.hpp"
+
+namespace uavdc::core {
+
+/// One parameter's effect on collected volume: replan after nudging the
+/// parameter by ±perturbation and report the elasticity
+///   (dV / V) / (dp / p)
+/// estimated by central differences. Elasticity ~1 means volume moves
+/// one-for-one with the parameter; ~0 means the parameter is slack.
+struct SensitivityEntry {
+    std::string parameter;
+    double baseline_value{0.0};
+    double baseline_gb{0.0};
+    double up_gb{0.0};     ///< volume at (1 + perturbation) * value
+    double down_gb{0.0};   ///< volume at (1 - perturbation) * value
+    double elasticity{0.0};
+};
+
+/// Sweep the instance-level knobs that an operator actually controls:
+/// battery capacity E, coverage radius R0, bandwidth B, hover power
+/// eta_h, and travel rate eta_t. Plans with the given planner name and
+/// options at every point. `perturbation` is the relative nudge (0.2 =
+/// ±20%).
+[[nodiscard]] std::vector<SensitivityEntry> analyze_sensitivity(
+    const model::Instance& inst, const std::string& planner_name,
+    const PlannerOptions& opts = {}, double perturbation = 0.2);
+
+}  // namespace uavdc::core

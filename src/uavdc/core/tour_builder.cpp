@@ -1,0 +1,108 @@
+#include "uavdc/core/tour_builder.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "uavdc/graph/christofides.hpp"
+
+namespace uavdc::core {
+
+TourBuilder::Insertion TourBuilder::cheapest_insertion(
+    const geom::Vec2& p) const {
+    const std::size_t n = stops_.size();
+    if (n == 0) {
+        return {0, 2.0 * geom::distance(depot_, p)};
+    }
+    Insertion best{0, std::numeric_limits<double>::infinity()};
+    // Edge depot -> stops[0].
+    {
+        const double d = geom::distance(depot_, p) +
+                         geom::distance(p, stops_[0]) -
+                         geom::distance(depot_, stops_[0]);
+        if (d < best.delta_m) best = {0, d};
+    }
+    // Edges stops[i] -> stops[i+1].
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        const double d = geom::distance(stops_[i], p) +
+                         geom::distance(p, stops_[i + 1]) -
+                         geom::distance(stops_[i], stops_[i + 1]);
+        if (d < best.delta_m) best = {i + 1, d};
+    }
+    // Edge stops[n-1] -> depot.
+    {
+        const double d = geom::distance(stops_[n - 1], p) +
+                         geom::distance(p, depot_) -
+                         geom::distance(stops_[n - 1], depot_);
+        if (d < best.delta_m) best = {n, d};
+    }
+    return best;
+}
+
+void TourBuilder::insert(const geom::Vec2& p, int key, const Insertion& ins) {
+    assert(ins.position <= stops_.size());
+    stops_.insert(stops_.begin() + static_cast<std::ptrdiff_t>(ins.position),
+                  p);
+    keys_.insert(keys_.begin() + static_cast<std::ptrdiff_t>(ins.position),
+                 key);
+    length_ += ins.delta_m;
+}
+
+double TourBuilder::removal_delta(std::size_t pos) const {
+    assert(pos < stops_.size());
+    const std::size_t n = stops_.size();
+    const geom::Vec2& prev = pos == 0 ? depot_ : stops_[pos - 1];
+    const geom::Vec2& next = pos + 1 == n ? depot_ : stops_[pos + 1];
+    return geom::distance(prev, next) - geom::distance(prev, stops_[pos]) -
+           geom::distance(stops_[pos], next);
+}
+
+void TourBuilder::remove(std::size_t pos) {
+    length_ += removal_delta(pos);
+    stops_.erase(stops_.begin() + static_cast<std::ptrdiff_t>(pos));
+    keys_.erase(keys_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+double TourBuilder::reoptimize() {
+    if (stops_.size() < 3) {
+        length_ = recompute_length();
+        return length_;
+    }
+    std::vector<geom::Vec2> pts;
+    pts.reserve(stops_.size() + 1);
+    pts.push_back(depot_);
+    pts.insert(pts.end(), stops_.begin(), stops_.end());
+    const graph::DenseGraph g = graph::DenseGraph::euclidean(pts);
+    const std::vector<std::size_t> order = graph::christofides_tour(g, 0);
+    // order[0] == 0 (depot); rebuild stops/keys in the new order.
+    assert(!order.empty() && order[0] == 0);
+    std::vector<geom::Vec2> new_stops;
+    std::vector<int> new_keys;
+    new_stops.reserve(stops_.size());
+    new_keys.reserve(keys_.size());
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        new_stops.push_back(stops_[order[i] - 1]);
+        new_keys.push_back(keys_[order[i] - 1]);
+    }
+    const double new_len = g.tour_length(order);
+    // Keep the better of the old and re-optimised orders.
+    if (new_len <= length_) {
+        stops_ = std::move(new_stops);
+        keys_ = std::move(new_keys);
+        length_ = new_len;
+    } else {
+        length_ = recompute_length();
+    }
+    return length_;
+}
+
+double TourBuilder::recompute_length() const {
+    if (stops_.empty()) return 0.0;
+    double len = geom::distance(depot_, stops_.front());
+    for (std::size_t i = 0; i + 1 < stops_.size(); ++i) {
+        len += geom::distance(stops_[i], stops_[i + 1]);
+    }
+    len += geom::distance(stops_.back(), depot_);
+    return len;
+}
+
+}  // namespace uavdc::core

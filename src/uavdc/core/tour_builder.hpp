@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "uavdc/geom/vec2.hpp"
+
+namespace uavdc::core {
+
+/// Incrementally maintained closed tour over the depot plus a growing set
+/// of hovering locations, shared by Algorithms 2/3 and the benchmark
+/// planner. Supports cheapest-insertion deltas (the TSP(S_j) - TSP(S_{j-1})
+/// surrogate of Eq. 13), actual insertion/removal, and a Christofides +
+/// 2-opt re-optimisation pass.
+class TourBuilder {
+  public:
+    explicit TourBuilder(geom::Vec2 depot) : depot_(depot) {}
+
+    [[nodiscard]] const geom::Vec2& depot() const { return depot_; }
+    /// Number of non-depot stops.
+    [[nodiscard]] std::size_t size() const { return stops_.size(); }
+    [[nodiscard]] bool empty() const { return stops_.empty(); }
+    /// Stop positions in tour order (depot excluded).
+    [[nodiscard]] const std::vector<geom::Vec2>& stops() const {
+        return stops_;
+    }
+    /// Caller keys in tour order (parallel to stops()).
+    [[nodiscard]] const std::vector<int>& keys() const { return keys_; }
+    /// Current closed-tour length (metres), maintained incrementally.
+    [[nodiscard]] double length() const { return length_; }
+
+    /// Cheapest-insertion result: inserting at `position` (index into
+    /// stops(), 0..size()) lengthens the tour by `delta_m` metres.
+    struct Insertion {
+        std::size_t position{0};
+        double delta_m{0.0};
+    };
+    [[nodiscard]] Insertion cheapest_insertion(const geom::Vec2& p) const;
+
+    /// Insert stop `p` (with caller key `key`) at `ins.position`.
+    void insert(const geom::Vec2& p, int key, const Insertion& ins);
+
+    /// Length change (metres, <= 0 for metric inputs) from removing the
+    /// stop at `pos`.
+    [[nodiscard]] double removal_delta(std::size_t pos) const;
+
+    /// Remove the stop at index `pos`.
+    void remove(std::size_t pos);
+
+    /// Re-optimise the visiting order (Christofides over depot + stops,
+    /// then 2-opt/Or-opt). Returns the new length. No-op below 3 stops.
+    double reoptimize();
+
+    /// Exact recomputation of the closed-tour length (O(n)); used to guard
+    /// against incremental drift.
+    [[nodiscard]] double recompute_length() const;
+
+  private:
+    geom::Vec2 depot_;
+    std::vector<geom::Vec2> stops_;
+    std::vector<int> keys_;
+    double length_{0.0};
+};
+
+}  // namespace uavdc::core

@@ -1,0 +1,91 @@
+#include "uavdc/core/validate_plan.hpp"
+
+#include <cmath>
+
+#include "uavdc/geom/spatial_hash.hpp"
+
+namespace uavdc::core {
+
+std::string to_string(PlanViolation::Kind kind) {
+    switch (kind) {
+        case PlanViolation::Kind::kNegativeDwell:
+            return "negative-dwell";
+        case PlanViolation::Kind::kNonFiniteValue:
+            return "non-finite-value";
+        case PlanViolation::Kind::kEnergyExceeded:
+            return "energy-exceeded";
+        case PlanViolation::Kind::kStopFarFromField:
+            return "stop-far-from-field";
+        case PlanViolation::Kind::kUselessStop:
+            return "useless-stop";
+        case PlanViolation::Kind::kEmptyPlanWithData:
+            return "empty-plan-with-data";
+    }
+    return "unknown";
+}
+
+PlanValidation validate_plan(const model::Instance& inst,
+                             const model::FlightPlan& plan) {
+    PlanValidation out;
+    auto error = [&](PlanViolation::Kind k, int stop, std::string detail) {
+        out.errors.push_back({k, stop, std::move(detail)});
+    };
+    auto warn = [&](PlanViolation::Kind k, int stop, std::string detail) {
+        out.warnings.push_back({k, stop, std::move(detail)});
+    };
+
+    const double r0 = inst.uav.coverage_radius_m;
+    const geom::SpatialHash* hash = nullptr;
+    geom::SpatialHash storage({}, 1.0);
+    if (!inst.devices.empty()) {
+        const auto positions = inst.device_positions();
+        storage = geom::SpatialHash(positions, r0);
+        hash = &storage;
+    }
+
+    bool numerics_ok = true;
+    for (std::size_t i = 0; i < plan.stops.size(); ++i) {
+        const auto& s = plan.stops[i];
+        const int idx = static_cast<int>(i);
+        if (!std::isfinite(s.pos.x) || !std::isfinite(s.pos.y) ||
+            !std::isfinite(s.dwell_s)) {
+            error(PlanViolation::Kind::kNonFiniteValue, idx,
+                  "stop has NaN/inf coordinates or dwell");
+            numerics_ok = false;
+            continue;
+        }
+        if (s.dwell_s < 0.0) {
+            error(PlanViolation::Kind::kNegativeDwell, idx,
+                  "dwell is " + std::to_string(s.dwell_s) + " s");
+        }
+        if (inst.region.distance_to(s.pos) > r0) {
+            error(PlanViolation::Kind::kStopFarFromField, idx,
+                  "stop is " +
+                      std::to_string(inst.region.distance_to(s.pos)) +
+                      " m outside the region (> R0)");
+        } else if (s.dwell_s > 0.0 && hash != nullptr) {
+            bool any = false;
+            hash->for_each_in_disk(s.pos, r0, [&](int) { any = true; });
+            if (!any) {
+                warn(PlanViolation::Kind::kUselessStop, idx,
+                     "positive dwell but no device within R0");
+            }
+        }
+    }
+
+    if (numerics_ok) {
+        const double energy = plan.total_energy(inst.depot, inst.uav);
+        if (energy > inst.uav.energy_j + 1e-6) {
+            error(PlanViolation::Kind::kEnergyExceeded, -1,
+                  "plan needs " + std::to_string(energy) + " J of " +
+                      std::to_string(inst.uav.energy_j));
+        }
+    }
+    if (plan.stops.empty() && inst.total_data_mb() > 0.0) {
+        warn(PlanViolation::Kind::kEmptyPlanWithData, -1,
+             "instance holds data but the plan has no stops");
+    }
+    return out;
+}
+
+}  // namespace uavdc::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uavdc/model/instance.hpp"
+#include "uavdc/model/plan.hpp"
+
+namespace uavdc::core {
+
+/// One violation found while checking a plan against an instance.
+struct PlanViolation {
+    enum class Kind {
+        kNegativeDwell,      ///< stop.dwell_s < 0
+        kNonFiniteValue,     ///< NaN/inf position or dwell
+        kEnergyExceeded,     ///< total energy > E
+        kStopFarFromField,   ///< stop > R0 outside the region (covers
+                             ///< nothing, wastes travel)
+        kUselessStop,        ///< positive dwell but no device in range
+        kEmptyPlanWithData,  ///< nothing planned although data exists
+    };
+    Kind kind;
+    int stop{-1};        ///< offending stop index (-1 = whole plan)
+    std::string detail;  ///< human-readable explanation
+};
+
+[[nodiscard]] std::string to_string(PlanViolation::Kind kind);
+
+/// Result of validation; `ok()` means no hard violations (useless stops
+/// and the empty-plan notice are warnings, not errors).
+struct PlanValidation {
+    std::vector<PlanViolation> errors;
+    std::vector<PlanViolation> warnings;
+    [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Check a (possibly externally loaded) plan against an instance: numeric
+/// sanity, energy feasibility, and coverage usefulness. Never throws —
+/// intended as the gate before handing a JSON plan to a real autopilot.
+[[nodiscard]] PlanValidation validate_plan(const model::Instance& inst,
+                                           const model::FlightPlan& plan);
+
+}  // namespace uavdc::core

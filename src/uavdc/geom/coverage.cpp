@@ -1,0 +1,41 @@
+#include "uavdc/geom/coverage.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uavdc::geom {
+
+CoverageIndex::CoverageIndex(std::span<const Vec2> centers,
+                             std::span<const Vec2> devices, double radius)
+    : radius_(radius),
+      covered_(centers.size()),
+      covering_(devices.size()) {
+    if (radius < 0.0) {
+        throw std::invalid_argument("CoverageIndex: radius must be >= 0");
+    }
+    if (devices.empty() || centers.empty()) return;
+
+    const double cell = std::max(radius, 1e-9);
+    const SpatialHash hash(devices, cell);
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+        auto& lst = covered_[c];
+        hash.for_each_in_disk(centers[c], radius,
+                              [&](int dev) { lst.push_back(dev); });
+        std::sort(lst.begin(), lst.end());
+        for (int dev : lst) {
+            covering_[static_cast<std::size_t>(dev)].push_back(
+                static_cast<int>(c));
+        }
+    }
+    // covering_ lists are already sorted: centres are visited in order.
+}
+
+int CoverageIndex::num_uncovered_devices() const {
+    int n = 0;
+    for (const auto& lst : covering_) {
+        if (lst.empty()) ++n;
+    }
+    return n;
+}
+
+}  // namespace uavdc::geom

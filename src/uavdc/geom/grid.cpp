@@ -1,0 +1,88 @@
+#include "uavdc/geom/grid.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace uavdc::geom {
+
+namespace {
+
+int cells_along(double extent, double delta) {
+    // At least one cell; round up so the grid covers the whole region.
+    const double n = std::ceil(extent / delta);
+    return std::max(1, static_cast<int>(n));
+}
+
+}  // namespace
+
+Grid::Grid(Aabb region, double delta)
+    : region_(region),
+      delta_(delta),
+      nx_(0),
+      ny_(0) {
+    if (!(delta > 0.0)) {
+        throw std::invalid_argument("Grid: delta must be positive");
+    }
+    nx_ = cells_along(region_.width(), delta_);
+    ny_ = cells_along(region_.height(), delta_);
+}
+
+Vec2 Grid::center(int id) const {
+    assert(id >= 0 && id < num_cells());
+    const int ix = ix_of(id);
+    const int iy = iy_of(id);
+    return {region_.lo.x + (ix + 0.5) * delta_,
+            region_.lo.y + (iy + 0.5) * delta_};
+}
+
+Aabb Grid::cell_box(int id) const {
+    assert(id >= 0 && id < num_cells());
+    const int ix = ix_of(id);
+    const int iy = iy_of(id);
+    const Vec2 lo{region_.lo.x + ix * delta_, region_.lo.y + iy * delta_};
+    return Aabb{lo, lo + Vec2{delta_, delta_}};
+}
+
+int Grid::cell_of(const Vec2& p) const {
+    auto clamp_idx = [](double v, int n) {
+        const int i = static_cast<int>(std::floor(v));
+        return std::clamp(i, 0, n - 1);
+    };
+    const int ix = clamp_idx((p.x - region_.lo.x) / delta_, nx_);
+    const int iy = clamp_idx((p.y - region_.lo.y) / delta_, ny_);
+    return id_of(ix, iy);
+}
+
+std::vector<int> Grid::cells_with_center_in_disk(const Vec2& p,
+                                                 double r) const {
+    std::vector<int> out;
+    if (r < 0.0) return out;
+    // Candidate index window around p.
+    const int ix_lo = static_cast<int>(
+        std::floor((p.x - r - region_.lo.x) / delta_ - 0.5));
+    const int ix_hi = static_cast<int>(
+        std::ceil((p.x + r - region_.lo.x) / delta_ - 0.5));
+    const int iy_lo = static_cast<int>(
+        std::floor((p.y - r - region_.lo.y) / delta_ - 0.5));
+    const int iy_hi = static_cast<int>(
+        std::ceil((p.y + r - region_.lo.y) / delta_ - 0.5));
+    const double r2 = r * r;
+    for (int iy = std::max(0, iy_lo); iy <= std::min(ny_ - 1, iy_hi); ++iy) {
+        for (int ix = std::max(0, ix_lo); ix <= std::min(nx_ - 1, ix_hi);
+             ++ix) {
+            const int id = id_of(ix, iy);
+            if (distance2(center(id), p) <= r2) out.push_back(id);
+        }
+    }
+    return out;
+}
+
+std::vector<Vec2> Grid::all_centers() const {
+    std::vector<Vec2> out;
+    out.reserve(static_cast<std::size_t>(num_cells()));
+    for (int id = 0; id < num_cells(); ++id) out.push_back(center(id));
+    return out;
+}
+
+}  // namespace uavdc::geom

@@ -1,0 +1,68 @@
+#include "uavdc/geom/hull.hpp"
+
+#include <algorithm>
+
+namespace uavdc::geom {
+
+std::vector<Vec2> convex_hull(std::span<const Vec2> pts) {
+    std::vector<Vec2> p(pts.begin(), pts.end());
+    std::sort(p.begin(), p.end(), [](const Vec2& a, const Vec2& b) {
+        return a.x < b.x || (a.x == b.x && a.y < b.y);
+    });
+    p.erase(std::unique(p.begin(), p.end()), p.end());
+    const std::size_t n = p.size();
+    if (n <= 2) return p;
+
+    auto cross3 = [](const Vec2& o, const Vec2& a, const Vec2& b) {
+        return (a - o).cross(b - o);
+    };
+    std::vector<Vec2> hull(2 * n);
+    std::size_t k = 0;
+    // Lower hull.
+    for (std::size_t i = 0; i < n; ++i) {
+        while (k >= 2 && cross3(hull[k - 2], hull[k - 1], p[i]) <= 0.0) --k;
+        hull[k++] = p[i];
+    }
+    // Upper hull.
+    const std::size_t lower = k + 1;
+    for (std::size_t i = n - 1; i-- > 0;) {
+        while (k >= lower && cross3(hull[k - 2], hull[k - 1], p[i]) <= 0.0) {
+            --k;
+        }
+        hull[k++] = p[i];
+    }
+    hull.resize(k - 1);  // last point repeats the first
+    return hull;
+}
+
+double polygon_perimeter(std::span<const Vec2> pts) {
+    if (pts.size() < 2) return 0.0;
+    double len = 0.0;
+    for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+        len += distance(pts[i], pts[i + 1]);
+    }
+    len += distance(pts.back(), pts.front());
+    return len;
+}
+
+bool point_in_convex_hull(std::span<const Vec2> hull, const Vec2& q,
+                          double eps) {
+    if (hull.empty()) return false;
+    if (hull.size() == 1) return distance(hull[0], q) <= eps;
+    if (hull.size() == 2) {
+        // On the segment?
+        const Vec2 d = hull[1] - hull[0];
+        const double t =
+            d.norm2() > 0.0 ? (q - hull[0]).dot(d) / d.norm2() : 0.0;
+        const Vec2 proj = hull[0] + d * std::clamp(t, 0.0, 1.0);
+        return distance(proj, q) <= eps;
+    }
+    for (std::size_t i = 0; i < hull.size(); ++i) {
+        const Vec2& a = hull[i];
+        const Vec2& b = hull[(i + 1) % hull.size()];
+        if ((b - a).cross(q - a) < -eps) return false;
+    }
+    return true;
+}
+
+}  // namespace uavdc::geom

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "uavdc/geom/vec2.hpp"
+
+namespace uavdc::geom {
+
+/// Convex hull (Andrew's monotone chain), counter-clockwise, without the
+/// duplicated closing point. Collinear boundary points are dropped.
+/// Degenerate inputs: < 3 distinct points return the distinct points.
+[[nodiscard]] std::vector<Vec2> convex_hull(std::span<const Vec2> pts);
+
+/// Perimeter of the polygon through `pts` (closing edge included).
+[[nodiscard]] double polygon_perimeter(std::span<const Vec2> pts);
+
+/// True if point q lies inside or on the convex polygon `hull`
+/// (counter-clockwise order, as returned by convex_hull).
+[[nodiscard]] bool point_in_convex_hull(std::span<const Vec2> hull,
+                                        const Vec2& q, double eps = 1e-9);
+
+}  // namespace uavdc::geom

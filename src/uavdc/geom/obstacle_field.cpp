@@ -1,0 +1,135 @@
+#include "uavdc/geom/obstacle_field.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace uavdc::geom {
+
+namespace {
+
+constexpr double kBoundaryEps = 1e-9;
+constexpr double kCornerPush = 1e-6;
+
+/// Does the open segment (a, b) pass through the open interior of `box`?
+/// Implemented with the slab method on the segment parameter t in [0, 1];
+/// grazing the boundary is not an intersection.
+bool segment_hits_box(const Vec2& a, const Vec2& b, const Aabb& box) {
+    const Aabb open = box.inflated(-kBoundaryEps);
+    if (open.lo.x >= open.hi.x || open.lo.y >= open.hi.y) return false;
+    const Vec2 d = b - a;
+    double t0 = 0.0;
+    double t1 = 1.0;
+    for (int axis = 0; axis < 2; ++axis) {
+        const double da = axis == 0 ? d.x : d.y;
+        const double pa = axis == 0 ? a.x : a.y;
+        const double lo = axis == 0 ? open.lo.x : open.lo.y;
+        const double hi = axis == 0 ? open.hi.x : open.hi.y;
+        if (da == 0.0) {
+            if (pa <= lo || pa >= hi) return false;
+        } else {
+            double ta = (lo - pa) / da;
+            double tb = (hi - pa) / da;
+            if (ta > tb) std::swap(ta, tb);
+            t0 = std::max(t0, ta);
+            t1 = std::min(t1, tb);
+            if (t0 >= t1) return false;
+        }
+    }
+    return t1 > t0;
+}
+
+}  // namespace
+
+ObstacleField::ObstacleField(std::vector<Aabb> zones, double clearance)
+    : clearance_(clearance) {
+    zones_.reserve(zones.size());
+    for (const auto& z : zones) {
+        zones_.push_back(z.inflated(clearance));
+    }
+    // Routing corners sit just outside each inflated zone so edges may hug
+    // the boundary.
+    for (const auto& z : zones_) {
+        const Aabb out = z.inflated(kCornerPush);
+        corners_.push_back({out.lo.x, out.lo.y});
+        corners_.push_back({out.hi.x, out.lo.y});
+        corners_.push_back({out.hi.x, out.hi.y});
+        corners_.push_back({out.lo.x, out.hi.y});
+    }
+}
+
+bool ObstacleField::blocked(const Vec2& p) const {
+    for (const auto& z : zones_) {
+        if (p.x > z.lo.x + kBoundaryEps && p.x < z.hi.x - kBoundaryEps &&
+            p.y > z.lo.y + kBoundaryEps && p.y < z.hi.y - kBoundaryEps) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool ObstacleField::segment_clear(const Vec2& a, const Vec2& b) const {
+    for (const auto& z : zones_) {
+        if (segment_hits_box(a, b, z)) return false;
+    }
+    return true;
+}
+
+PathResult ObstacleField::shortest_path(const Vec2& a, const Vec2& b) const {
+    PathResult out;
+    if (blocked(a) || blocked(b)) return out;
+    if (segment_clear(a, b)) {
+        out.reachable = true;
+        out.length_m = distance(a, b);
+        out.waypoints = {a, b};
+        return out;
+    }
+
+    // Visibility graph over {a, b} + zone corners (blocked corners, e.g.
+    // inside an overlapping neighbour zone, are unusable).
+    std::vector<Vec2> nodes{a, b};
+    for (const auto& c : corners_) {
+        if (!blocked(c)) nodes.push_back(c);
+    }
+    const std::size_t n = nodes.size();
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(n, kInf);
+    std::vector<std::size_t> prev(n, n);
+    using Item = std::pair<double, std::size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    dist[0] = 0.0;
+    heap.push({0.0, 0});
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d > dist[u] + 1e-12) continue;
+        if (u == 1) break;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (v == u) continue;
+            const double w = distance(nodes[u], nodes[v]);
+            if (dist[u] + w >= dist[v]) continue;  // cheap reject first
+            if (!segment_clear(nodes[u], nodes[v])) continue;
+            dist[v] = dist[u] + w;
+            prev[v] = u;
+            heap.push({dist[v], v});
+        }
+    }
+    if (dist[1] == kInf) return out;
+    out.reachable = true;
+    out.length_m = dist[1];
+    std::vector<Vec2> rev;
+    for (std::size_t v = 1; v != n; v = prev[v]) {
+        rev.push_back(nodes[v]);
+        if (v == 0) break;
+    }
+    out.waypoints.assign(rev.rbegin(), rev.rend());
+    return out;
+}
+
+double ObstacleField::distance_around(const Vec2& a, const Vec2& b) const {
+    const auto res = shortest_path(a, b);
+    return res.reachable ? res.length_m
+                         : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace uavdc::geom

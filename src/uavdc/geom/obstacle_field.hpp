@@ -1,0 +1,58 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "uavdc/geom/aabb.hpp"
+#include "uavdc/geom/vec2.hpp"
+
+namespace uavdc::geom {
+
+/// Result of a shortest-path query around no-fly zones.
+struct PathResult {
+    bool reachable{false};
+    double length_m{0.0};
+    std::vector<Vec2> waypoints;  ///< includes both endpoints
+};
+
+/// Axis-aligned no-fly zones with visibility-graph shortest paths.
+///
+/// The paper motivates UAVs by their ability to fly over ground obstacles,
+/// but real deployments also carry horizontal no-fly zones
+/// (airports, crowds, restricted facilities). This substrate routes flight
+/// legs around rectangular zones: a visibility graph over the (slightly
+/// inflated) zone corners plus the query endpoints, searched with Dijkstra.
+/// Intended zone counts are small (tens); queries are O((4z+2)^2 * z).
+class ObstacleField {
+  public:
+    /// `zones` are forbidden rectangles; `clearance` grows each zone on
+    /// every side before routing (UAV safety margin).
+    explicit ObstacleField(std::vector<Aabb> zones, double clearance = 0.0);
+
+    [[nodiscard]] const std::vector<Aabb>& zones() const { return zones_; }
+    [[nodiscard]] double clearance() const { return clearance_; }
+    [[nodiscard]] bool empty() const { return zones_.empty(); }
+
+    /// True if p lies strictly inside any inflated zone.
+    [[nodiscard]] bool blocked(const Vec2& p) const;
+
+    /// True if the open segment (a, b) avoids every inflated zone interior
+    /// (touching a boundary does not block).
+    [[nodiscard]] bool segment_clear(const Vec2& a, const Vec2& b) const;
+
+    /// Shortest obstacle-avoiding path from a to b. Unreachable when either
+    /// endpoint is inside a zone (overlapping zones can also wall off
+    /// regions).
+    [[nodiscard]] PathResult shortest_path(const Vec2& a,
+                                           const Vec2& b) const;
+
+    /// Shortest-path length, or +inf when unreachable.
+    [[nodiscard]] double distance_around(const Vec2& a, const Vec2& b) const;
+
+  private:
+    std::vector<Aabb> zones_;      ///< inflated by clearance
+    std::vector<Vec2> corners_;    ///< routing waypoint candidates
+    double clearance_;
+};
+
+}  // namespace uavdc::geom

@@ -1,0 +1,11 @@
+#include "uavdc/geom/vec2.hpp"
+
+#include <ostream>
+
+namespace uavdc::geom {
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+    return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace uavdc::geom

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace uavdc::geom {
+
+/// A 2-D point/vector in metres. Hovering locations are projected to the
+/// ground plane (the paper's altitude H only enters via the derived coverage
+/// radius R0 = sqrt(R^2 - H^2)), so all planning geometry is planar.
+struct Vec2 {
+    double x{0.0};
+    double y{0.0};
+
+    constexpr Vec2() = default;
+    constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    constexpr Vec2& operator+=(const Vec2& o) {
+        x += o.x;
+        y += o.y;
+        return *this;
+    }
+    constexpr Vec2& operator-=(const Vec2& o) {
+        x -= o.x;
+        y -= o.y;
+        return *this;
+    }
+    constexpr Vec2& operator*=(double s) {
+        x *= s;
+        y *= s;
+        return *this;
+    }
+    constexpr Vec2& operator/=(double s) {
+        x /= s;
+        y /= s;
+        return *this;
+    }
+
+    friend constexpr Vec2 operator+(Vec2 a, const Vec2& b) { return a += b; }
+    friend constexpr Vec2 operator-(Vec2 a, const Vec2& b) { return a -= b; }
+    friend constexpr Vec2 operator*(Vec2 a, double s) { return a *= s; }
+    friend constexpr Vec2 operator*(double s, Vec2 a) { return a *= s; }
+    friend constexpr Vec2 operator/(Vec2 a, double s) { return a /= s; }
+    friend constexpr Vec2 operator-(const Vec2& a) { return {-a.x, -a.y}; }
+
+    friend constexpr bool operator==(const Vec2& a, const Vec2& b) {
+        return a.x == b.x && a.y == b.y;
+    }
+    friend constexpr bool operator!=(const Vec2& a, const Vec2& b) {
+        return !(a == b);
+    }
+
+    /// Squared Euclidean norm.
+    [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+    /// Euclidean norm.
+    [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+    /// Dot product.
+    [[nodiscard]] constexpr double dot(const Vec2& o) const {
+        return x * o.x + y * o.y;
+    }
+    /// 2-D cross product (z component).
+    [[nodiscard]] constexpr double cross(const Vec2& o) const {
+        return x * o.y - y * o.x;
+    }
+    /// Unit vector in the same direction; the zero vector maps to itself.
+    [[nodiscard]] Vec2 normalized() const {
+        const double n = norm();
+        return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+    }
+};
+
+/// Euclidean distance between two points.
+[[nodiscard]] inline double distance(const Vec2& a, const Vec2& b) {
+    return (a - b).norm();
+}
+
+/// Squared Euclidean distance (cheaper; use for radius comparisons).
+[[nodiscard]] constexpr double distance2(const Vec2& a, const Vec2& b) {
+    return (a - b).norm2();
+}
+
+/// Linear interpolation: t=0 gives a, t=1 gives b.
+[[nodiscard]] constexpr Vec2 lerp(const Vec2& a, const Vec2& b, double t) {
+    return a + (b - a) * t;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v);
+
+}  // namespace uavdc::geom

@@ -1,0 +1,81 @@
+#include "uavdc/graph/christofides.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "uavdc/graph/euler.hpp"
+#include "uavdc/graph/local_search.hpp"
+#include "uavdc/graph/matching.hpp"
+#include "uavdc/graph/mst.hpp"
+
+namespace uavdc::graph {
+
+std::vector<std::size_t> christofides_tour(const DenseGraph& g,
+                                           std::size_t start,
+                                           const ChristofidesConfig& cfg) {
+    const std::size_t n = g.size();
+    if (start >= n && n > 0) {
+        throw std::invalid_argument("christofides_tour: bad start node");
+    }
+    if (n == 0) return {};
+    if (n == 1) return {0};
+    if (n == 2) return {start, 1 - start};
+
+    // 1. MST.
+    std::vector<Edge> tree = mst_prim(g);
+
+    // 2. Min-weight perfect matching on odd-degree nodes.
+    const std::vector<int> deg = degrees(n, tree);
+    std::vector<std::size_t> odd;
+    for (std::size_t v = 0; v < n; ++v) {
+        if (deg[v] % 2 != 0) odd.push_back(v);
+    }
+    const Matching match =
+        min_weight_matching(g, odd, cfg.exact_matching_limit);
+
+    // 3. Union multigraph: MST edges + matching edges.
+    std::vector<Edge> multi = tree;
+    multi.reserve(tree.size() + match.size());
+    for (const auto& [u, v] : match) {
+        multi.push_back({u, v, g.weight(u, v)});
+    }
+
+    // 4. Eulerian circuit, 5. shortcut.
+    const std::vector<std::size_t> walk = eulerian_circuit(n, multi, start);
+    std::vector<std::size_t> tour = shortcut_walk(walk);
+
+    // 6. Optional local-search polish.
+    if (cfg.improve_two_opt) two_opt(g, tour);
+    if (cfg.improve_or_opt) or_opt(g, tour);
+    return tour;
+}
+
+std::vector<std::size_t> christofides_subtour(
+    const DenseGraph& g, const std::vector<std::size_t>& nodes,
+    const ChristofidesConfig& cfg) {
+    if (nodes.empty()) return {};
+    DenseGraph sub(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+            sub.set_weight(i, j, g.weight(nodes[i], nodes[j]));
+        }
+    }
+    const std::vector<std::size_t> order = christofides_tour(sub, 0, cfg);
+    std::vector<std::size_t> out;
+    out.reserve(order.size());
+    for (std::size_t i : order) out.push_back(nodes[i]);
+    return out;
+}
+
+double euclidean_tour_length(std::span<const geom::Vec2> pts,
+                             std::span<const std::size_t> order) {
+    if (order.size() < 2) return 0.0;
+    double len = 0.0;
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        len += geom::distance(pts[order[i]], pts[order[i + 1]]);
+    }
+    len += geom::distance(pts[order.back()], pts[order.front()]);
+    return len;
+}
+
+}  // namespace uavdc::graph

@@ -1,0 +1,61 @@
+#include "uavdc/graph/dense_graph.hpp"
+
+#include <algorithm>
+
+namespace uavdc::graph {
+
+DenseGraph DenseGraph::euclidean(std::span<const geom::Vec2> pts) {
+    DenseGraph g(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        for (std::size_t j = i + 1; j < pts.size(); ++j) {
+            g.set_weight(i, j, geom::distance(pts[i], pts[j]));
+        }
+    }
+    return g;
+}
+
+DenseGraph DenseGraph::from_weights(
+    std::size_t n, const std::function<double(std::size_t, std::size_t)>& w) {
+    DenseGraph g(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            g.set_weight(i, j, w(i, j));
+        }
+    }
+    return g;
+}
+
+double DenseGraph::max_triangle_violation() const {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t j = 0; j < n_; ++j) {
+            if (j == i) continue;
+            for (std::size_t k = 0; k < n_; ++k) {
+                if (k == i || k == j) continue;
+                worst = std::max(worst,
+                                 weight(i, k) - weight(i, j) - weight(j, k));
+            }
+        }
+    }
+    return worst;
+}
+
+double DenseGraph::tour_length(std::span<const std::size_t> order) const {
+    if (order.size() < 2) return 0.0;
+    double len = 0.0;
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        len += weight(order[i], order[i + 1]);
+    }
+    len += weight(order.back(), order.front());
+    return len;
+}
+
+double DenseGraph::path_length(std::span<const std::size_t> order) const {
+    double len = 0.0;
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        len += weight(order[i], order[i + 1]);
+    }
+    return len;
+}
+
+}  // namespace uavdc::graph

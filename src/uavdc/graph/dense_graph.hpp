@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "uavdc/geom/vec2.hpp"
+
+namespace uavdc::graph {
+
+/// Symmetric dense edge-weight matrix over n nodes. This is the
+/// representation for both the TSP subproblems (Christofides in Alg. 2/3 and
+/// the benchmark planner) and the auxiliary orienteering graph G_s of Alg. 1
+/// (Sec. IV, Eq. 9).
+class DenseGraph {
+  public:
+    DenseGraph() = default;
+
+    /// n-node graph with all weights zero.
+    explicit DenseGraph(std::size_t n) : n_(n), w_(n * n, 0.0) {}
+
+    /// Complete Euclidean graph over the given points.
+    [[nodiscard]] static DenseGraph euclidean(std::span<const geom::Vec2> pts);
+
+    /// Complete graph with weights from an arbitrary symmetric functor
+    /// w(i, j); the diagonal is forced to zero.
+    [[nodiscard]] static DenseGraph from_weights(
+        std::size_t n, const std::function<double(std::size_t, std::size_t)>& w);
+
+    [[nodiscard]] std::size_t size() const { return n_; }
+
+    [[nodiscard]] double weight(std::size_t i, std::size_t j) const {
+        assert(i < n_ && j < n_);
+        return w_[i * n_ + j];
+    }
+
+    /// Set w(i,j) = w(j,i) = v.
+    void set_weight(std::size_t i, std::size_t j, double v) {
+        assert(i < n_ && j < n_);
+        w_[i * n_ + j] = v;
+        w_[j * n_ + i] = v;
+    }
+
+    /// Row view (read-only) for cache-friendly scans.
+    [[nodiscard]] std::span<const double> row(std::size_t i) const {
+        assert(i < n_);
+        return {w_.data() + i * n_, n_};
+    }
+
+    /// Max over all triples of w(i,k) - w(i,j) - w(j,k); <= eps means the
+    /// graph is metric (triangle inequality). O(n^3) — tests only.
+    [[nodiscard]] double max_triangle_violation() const;
+
+    /// Total weight of a closed tour visiting `order` (wraps around).
+    [[nodiscard]] double tour_length(std::span<const std::size_t> order) const;
+
+    /// Total weight of an open path visiting `order`.
+    [[nodiscard]] double path_length(std::span<const std::size_t> order) const;
+
+  private:
+    std::size_t n_{0};
+    std::vector<double> w_;
+};
+
+}  // namespace uavdc::graph

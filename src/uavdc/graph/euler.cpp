@@ -1,0 +1,75 @@
+#include "uavdc/graph/euler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uavdc::graph {
+
+std::vector<std::size_t> eulerian_circuit(std::size_t n,
+                                          const std::vector<Edge>& edges,
+                                          std::size_t start) {
+    if (start >= n) {
+        throw std::invalid_argument("eulerian_circuit: bad start node");
+    }
+    if (edges.empty()) return {start};
+
+    // Adjacency as (neighbour, edge id) with per-edge used flags.
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj(n);
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+        adj[edges[e].u].emplace_back(edges[e].v, e);
+        adj[edges[e].v].emplace_back(edges[e].u, e);
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+        if (adj[v].size() % 2 != 0) {
+            throw std::invalid_argument(
+                "eulerian_circuit: node with odd degree");
+        }
+    }
+    if (adj[start].empty()) {
+        throw std::invalid_argument(
+            "eulerian_circuit: start node has no incident edge");
+    }
+
+    std::vector<bool> used(edges.size(), false);
+    std::vector<std::size_t> cursor(n, 0);
+    std::vector<std::size_t> stack{start};
+    std::vector<std::size_t> circuit;
+    circuit.reserve(edges.size() + 1);
+    while (!stack.empty()) {
+        const std::size_t v = stack.back();
+        auto& cur = cursor[v];
+        while (cur < adj[v].size() && used[adj[v][cur].second]) ++cur;
+        if (cur == adj[v].size()) {
+            circuit.push_back(v);
+            stack.pop_back();
+        } else {
+            const auto [to, eid] = adj[v][cur];
+            used[eid] = true;
+            stack.push_back(to);
+        }
+    }
+    if (circuit.size() != edges.size() + 1) {
+        throw std::invalid_argument("eulerian_circuit: graph not connected");
+    }
+    std::reverse(circuit.begin(), circuit.end());
+    // Drop the final repeat of `start` — the closing edge is implicit.
+    circuit.pop_back();
+    return circuit;
+}
+
+std::vector<std::size_t> shortcut_walk(const std::vector<std::size_t>& walk) {
+    std::vector<std::size_t> tour;
+    if (walk.empty()) return tour;
+    const std::size_t max_node = *std::max_element(walk.begin(), walk.end());
+    std::vector<bool> seen(max_node + 1, false);
+    tour.reserve(walk.size());
+    for (std::size_t v : walk) {
+        if (!seen[v]) {
+            seen[v] = true;
+            tour.push_back(v);
+        }
+    }
+    return tour;
+}
+
+}  // namespace uavdc::graph

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "uavdc/graph/mst.hpp"
+
+namespace uavdc::graph {
+
+/// Hierholzer's algorithm: Eulerian circuit of a connected multigraph in
+/// which every node has even degree (the MST + matching multigraph of
+/// Christofides). Returns the node sequence of the circuit starting and
+/// ending at `start`; the first node is `start`, the closing edge back to it
+/// is implicit. Throws std::invalid_argument if a node has odd degree or the
+/// edges incident to `start` do not reach every edge (disconnected).
+[[nodiscard]] std::vector<std::size_t> eulerian_circuit(
+    std::size_t n, const std::vector<Edge>& edges, std::size_t start);
+
+/// Shortcut a closed walk to a simple closed tour (Christofides step 5):
+/// keep the first occurrence of every node, preserving order.
+[[nodiscard]] std::vector<std::size_t> shortcut_walk(
+    const std::vector<std::size_t>& walk);
+
+}  // namespace uavdc::graph

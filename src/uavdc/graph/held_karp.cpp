@@ -1,0 +1,88 @@
+#include "uavdc/graph/held_karp.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace uavdc::graph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<std::size_t> held_karp_tour(const DenseGraph& g,
+                                        std::size_t start) {
+    const std::size_t n = g.size();
+    if (n == 0) return {};
+    if (start >= n) {
+        throw std::invalid_argument("held_karp_tour: bad start node");
+    }
+    if (n > 22) {
+        throw std::invalid_argument("held_karp_tour: instance too large");
+    }
+    if (n == 1) return {start};
+
+    // Relabel so the start node is index 0; DP over the remaining n-1.
+    std::vector<std::size_t> label;
+    label.reserve(n);
+    label.push_back(start);
+    for (std::size_t v = 0; v < n; ++v) {
+        if (v != start) label.push_back(v);
+    }
+    const std::size_t m = n - 1;
+    const std::size_t nmask = std::size_t{1} << m;
+
+    // dp[mask][j] = min cost path start -> ... -> label[j+1] visiting
+    // exactly the non-start nodes in mask (bit j <=> label[j+1]).
+    std::vector<std::vector<double>> dp(nmask, std::vector<double>(m, kInf));
+    std::vector<std::vector<int>> parent(nmask, std::vector<int>(m, -1));
+    for (std::size_t j = 0; j < m; ++j) {
+        dp[std::size_t{1} << j][j] = g.weight(label[0], label[j + 1]);
+    }
+    for (std::size_t mask = 1; mask < nmask; ++mask) {
+        for (std::size_t j = 0; j < m; ++j) {
+            if (!(mask & (std::size_t{1} << j))) continue;
+            const double base = dp[mask][j];
+            if (base == kInf) continue;
+            for (std::size_t k = 0; k < m; ++k) {
+                if (mask & (std::size_t{1} << k)) continue;
+                const std::size_t nm = mask | (std::size_t{1} << k);
+                const double cand =
+                    base + g.weight(label[j + 1], label[k + 1]);
+                if (cand < dp[nm][k]) {
+                    dp[nm][k] = cand;
+                    parent[nm][k] = static_cast<int>(j);
+                }
+            }
+        }
+    }
+    const std::size_t full = nmask - 1;
+    double best = kInf;
+    std::size_t best_end = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+        const double cand = dp[full][j] + g.weight(label[j + 1], label[0]);
+        if (cand < best) {
+            best = cand;
+            best_end = j;
+        }
+    }
+    // Reconstruct.
+    std::vector<std::size_t> rev;
+    std::size_t mask = full;
+    std::size_t j = best_end;
+    while (true) {
+        rev.push_back(label[j + 1]);
+        const int p = parent[mask][j];
+        mask ^= std::size_t{1} << j;
+        if (p < 0) break;
+        j = static_cast<std::size_t>(p);
+    }
+    std::vector<std::size_t> tour{start};
+    tour.insert(tour.end(), rev.rbegin(), rev.rend());
+    return tour;
+}
+
+double held_karp_length(const DenseGraph& g, std::size_t start) {
+    return g.tour_length(held_karp_tour(g, start));
+}
+
+}  // namespace uavdc::graph

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "uavdc/graph/dense_graph.hpp"
+
+namespace uavdc::graph {
+
+/// Exact TSP by Held-Karp bitmask dynamic programming:
+/// O(2^n * n^2) time, O(2^n * n) memory — intended for n <= ~20.
+/// Returns the optimal closed tour starting at `start`; throws
+/// std::invalid_argument for n > 22.
+///
+/// Used as the ground-truth oracle for the Christofides tests and for
+/// optimality-gap reporting on tiny instances.
+[[nodiscard]] std::vector<std::size_t> held_karp_tour(const DenseGraph& g,
+                                                      std::size_t start = 0);
+
+/// Optimal tour length only (same DP).
+[[nodiscard]] double held_karp_length(const DenseGraph& g,
+                                      std::size_t start = 0);
+
+}  // namespace uavdc::graph

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "uavdc/graph/dense_graph.hpp"
+
+namespace uavdc::graph {
+
+/// 2-opt improvement of a closed tour (in place): repeatedly reverse the
+/// segment between two edges when it shortens the tour, until a local
+/// optimum or `max_rounds` full sweeps. Returns total improvement (>= 0).
+double two_opt(const DenseGraph& g, std::vector<std::size_t>& tour,
+               int max_rounds = 40);
+
+/// Or-opt improvement of a closed tour (in place): relocate segments of
+/// length 1..3 to better positions. Returns total improvement (>= 0).
+double or_opt(const DenseGraph& g, std::vector<std::size_t>& tour,
+              int max_rounds = 20);
+
+/// Cheapest-insertion position for `node` into closed tour `tour`:
+/// returns {position, delta} where inserting before tour[position]
+/// (cyclically) increases the tour length by delta. For an empty tour the
+/// delta is 0; for a single-node tour it is 2 * w(tour[0], node).
+struct Insertion {
+    std::size_t position;
+    double delta;
+};
+[[nodiscard]] Insertion cheapest_insertion(const DenseGraph& g,
+                                           const std::vector<std::size_t>& tour,
+                                           std::size_t node);
+
+/// Length change from deleting tour[pos] from a closed tour (<= 0 in metric
+/// graphs). For tours of size <= 1 the result is 0.
+[[nodiscard]] double removal_delta(const DenseGraph& g,
+                                   const std::vector<std::size_t>& tour,
+                                   std::size_t pos);
+
+}  // namespace uavdc::graph

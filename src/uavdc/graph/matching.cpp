@@ -1,0 +1,165 @@
+#include "uavdc/graph/matching.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace uavdc::graph {
+
+namespace {
+
+void require_even(const std::vector<std::size_t>& nodes) {
+    if (nodes.size() % 2 != 0) {
+        throw std::invalid_argument(
+            "matching: node set must have even cardinality");
+    }
+}
+
+}  // namespace
+
+Matching exact_min_matching(const DenseGraph& g,
+                            std::vector<std::size_t> nodes) {
+    require_even(nodes);
+    const std::size_t k = nodes.size();
+    Matching result;
+    if (k == 0) return result;
+    if (k > 22) {
+        throw std::invalid_argument(
+            "exact_min_matching: too many nodes for bitmask DP");
+    }
+    const std::size_t full = (std::size_t{1} << k) - 1;
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    // dp[mask] = min cost to perfectly match exactly the nodes in `mask`.
+    // The lowest set bit of `mask` is always matched in the transition, so
+    // each even-popcount mask has a unique decomposition to reconstruct.
+    std::vector<double> dp(full + 1, kInf);
+    std::vector<int> choice(full + 1, -1);  // partner of mask's lowest bit
+    dp[0] = 0.0;
+    for (std::size_t mask = 1; mask <= full; ++mask) {
+        const unsigned bits =
+            static_cast<unsigned>(__builtin_popcountll(mask));
+        if (bits % 2 != 0) continue;
+        std::size_t i = 0;
+        while (!(mask & (std::size_t{1} << i))) ++i;
+        for (std::size_t j = i + 1; j < k; ++j) {
+            if (!(mask & (std::size_t{1} << j))) continue;
+            const std::size_t pm =
+                mask ^ (std::size_t{1} << i) ^ (std::size_t{1} << j);
+            if (dp[pm] == kInf) continue;
+            const double cand = dp[pm] + g.weight(nodes[i], nodes[j]);
+            if (cand < dp[mask]) {
+                dp[mask] = cand;
+                choice[mask] = static_cast<int>(j);
+            }
+        }
+    }
+    // Reconstruct.
+    std::size_t mask = full;
+    while (mask) {
+        std::size_t i = 0;
+        while (!(mask & (std::size_t{1} << i))) ++i;
+        const auto j = static_cast<std::size_t>(choice[mask]);
+        result.emplace_back(nodes[i], nodes[j]);
+        mask ^= (std::size_t{1} << i) | (std::size_t{1} << j);
+    }
+    return result;
+}
+
+Matching greedy_min_matching(const DenseGraph& g,
+                             std::vector<std::size_t> nodes) {
+    require_even(nodes);
+    const std::size_t k = nodes.size();
+    Matching result;
+    if (k == 0) return result;
+
+    // Sort all pairs by weight and greedily take compatible ones.
+    struct Pair {
+        std::size_t a;
+        std::size_t b;
+        double w;
+    };
+    std::vector<Pair> pairs;
+    pairs.reserve(k * (k - 1) / 2);
+    for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = a + 1; b < k; ++b) {
+            pairs.push_back({a, b, g.weight(nodes[a], nodes[b])});
+        }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& x, const Pair& y) { return x.w < y.w; });
+    std::vector<bool> used(k, false);
+    std::vector<std::size_t> partner(k, k);
+    for (const auto& p : pairs) {
+        if (used[p.a] || used[p.b]) continue;
+        used[p.a] = used[p.b] = true;
+        partner[p.a] = p.b;
+        partner[p.b] = p.a;
+    }
+
+    // 2-swap improvement: for matched pairs (a,b), (c,d) try (a,c)+(b,d) and
+    // (a,d)+(b,c). Repeat until no improving swap exists.
+    std::vector<std::size_t> reps;  // one representative per pair (a < partner)
+    for (std::size_t a = 0; a < k; ++a) {
+        if (a < partner[a]) reps.push_back(a);
+    }
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (std::size_t x = 0; x < reps.size(); ++x) {
+            for (std::size_t y = x + 1; y < reps.size(); ++y) {
+                const std::size_t a = reps[x], b = partner[a];
+                const std::size_t c = reps[y], d = partner[c];
+                const double cur =
+                    g.weight(nodes[a], nodes[b]) + g.weight(nodes[c], nodes[d]);
+                const double alt1 =
+                    g.weight(nodes[a], nodes[c]) + g.weight(nodes[b], nodes[d]);
+                const double alt2 =
+                    g.weight(nodes[a], nodes[d]) + g.weight(nodes[b], nodes[c]);
+                if (alt1 < cur - 1e-12 && alt1 <= alt2) {
+                    partner[a] = c;
+                    partner[c] = a;
+                    partner[b] = d;
+                    partner[d] = b;
+                    improved = true;
+                } else if (alt2 < cur - 1e-12) {
+                    partner[a] = d;
+                    partner[d] = a;
+                    partner[b] = c;
+                    partner[c] = b;
+                    improved = true;
+                }
+                if (improved) break;
+            }
+            if (improved) break;
+        }
+        if (improved) {
+            reps.clear();
+            for (std::size_t a = 0; a < k; ++a) {
+                if (a < partner[a]) reps.push_back(a);
+            }
+        }
+    }
+
+    for (std::size_t a = 0; a < k; ++a) {
+        if (a < partner[a]) result.emplace_back(nodes[a], nodes[partner[a]]);
+    }
+    return result;
+}
+
+Matching min_weight_matching(const DenseGraph& g,
+                             std::vector<std::size_t> nodes,
+                             std::size_t exact_limit) {
+    require_even(nodes);
+    if (nodes.size() <= std::min<std::size_t>(exact_limit, 22)) {
+        return exact_min_matching(g, std::move(nodes));
+    }
+    return greedy_min_matching(g, std::move(nodes));
+}
+
+double matching_weight(const DenseGraph& g, const Matching& m) {
+    double s = 0.0;
+    for (const auto& [u, v] : m) s += g.weight(u, v);
+    return s;
+}
+
+}  // namespace uavdc::graph

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "uavdc/graph/dense_graph.hpp"
+
+namespace uavdc::graph {
+
+/// A perfect matching over an even-sized node subset: list of (u, v) pairs.
+using Matching = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// Exact minimum-weight perfect matching by bitmask DP over `nodes`
+/// (indices into g). O(2^k * k^2) — use only for |nodes| <= ~20.
+/// `nodes.size()` must be even. Throws std::invalid_argument otherwise.
+[[nodiscard]] Matching exact_min_matching(const DenseGraph& g,
+                                          std::vector<std::size_t> nodes);
+
+/// Greedy minimum matching (repeatedly pair the globally closest unmatched
+/// nodes) followed by pairwise 2-swap improvement until a local optimum.
+/// O(k^2 log k + k^3) worst case, fine for thousands of nodes.
+/// `nodes.size()` must be even.
+[[nodiscard]] Matching greedy_min_matching(const DenseGraph& g,
+                                           std::vector<std::size_t> nodes);
+
+/// Dispatch: exact DP when |nodes| <= exact_limit, greedy+swap otherwise.
+[[nodiscard]] Matching min_weight_matching(const DenseGraph& g,
+                                           std::vector<std::size_t> nodes,
+                                           std::size_t exact_limit = 18);
+
+/// Sum of matched-pair weights.
+[[nodiscard]] double matching_weight(const DenseGraph& g, const Matching& m);
+
+}  // namespace uavdc::graph

@@ -1,0 +1,60 @@
+#include "uavdc/graph/mst.hpp"
+
+#include <limits>
+
+namespace uavdc::graph {
+
+std::vector<Edge> mst_prim(const DenseGraph& g) {
+    const std::size_t n = g.size();
+    std::vector<Edge> tree;
+    if (n <= 1) return tree;
+    tree.reserve(n - 1);
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> best(n, kInf);
+    std::vector<std::size_t> parent(n, 0);
+    std::vector<bool> in_tree(n, false);
+    best[0] = 0.0;
+
+    for (std::size_t iter = 0; iter < n; ++iter) {
+        std::size_t u = n;
+        double bu = kInf;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (!in_tree[v] && best[v] < bu) {
+                bu = best[v];
+                u = v;
+            }
+        }
+        if (u == n) break;  // disconnected (cannot happen on finite weights)
+        in_tree[u] = true;
+        if (u != 0) {
+            const std::size_t p = parent[u];
+            tree.push_back({std::min(u, p), std::max(u, p), g.weight(u, p)});
+        }
+        const auto row = g.row(u);
+        for (std::size_t v = 0; v < n; ++v) {
+            if (!in_tree[v] && row[v] < best[v]) {
+                best[v] = row[v];
+                parent[v] = u;
+            }
+        }
+    }
+    return tree;
+}
+
+double total_weight(const std::vector<Edge>& edges) {
+    double s = 0.0;
+    for (const auto& e : edges) s += e.w;
+    return s;
+}
+
+std::vector<int> degrees(std::size_t n, const std::vector<Edge>& edges) {
+    std::vector<int> deg(n, 0);
+    for (const auto& e : edges) {
+        ++deg[e.u];
+        ++deg[e.v];
+    }
+    return deg;
+}
+
+}  // namespace uavdc::graph

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace uavdc::io {
+
+/// Minimal JSON document model + RFC 8259 parser/serializer. Self-contained
+/// (no third-party dependency) and sufficient for the library's instance /
+/// plan / result files. Numbers are doubles; object member order is not
+/// preserved (std::map), which also makes serialization deterministic.
+class Json {
+  public:
+    using Array = std::vector<Json>;
+    using Object = std::map<std::string, Json>;
+
+    Json() : value_(nullptr) {}
+    Json(std::nullptr_t) : value_(nullptr) {}
+    Json(bool b) : value_(b) {}
+    Json(double d) : value_(d) {}
+    Json(int i) : value_(static_cast<double>(i)) {}
+    Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+    Json(std::size_t i) : value_(static_cast<double>(i)) {}
+    Json(const char* s) : value_(std::string(s)) {}
+    Json(std::string s) : value_(std::move(s)) {}
+    Json(Array a) : value_(std::move(a)) {}
+    Json(Object o) : value_(std::move(o)) {}
+
+    [[nodiscard]] bool is_null() const {
+        return std::holds_alternative<std::nullptr_t>(value_);
+    }
+    [[nodiscard]] bool is_bool() const {
+        return std::holds_alternative<bool>(value_);
+    }
+    [[nodiscard]] bool is_number() const {
+        return std::holds_alternative<double>(value_);
+    }
+    [[nodiscard]] bool is_string() const {
+        return std::holds_alternative<std::string>(value_);
+    }
+    [[nodiscard]] bool is_array() const {
+        return std::holds_alternative<Array>(value_);
+    }
+    [[nodiscard]] bool is_object() const {
+        return std::holds_alternative<Object>(value_);
+    }
+
+    /// Typed accessors; throw std::runtime_error on type mismatch.
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] double as_number() const;
+    [[nodiscard]] const std::string& as_string() const;
+    [[nodiscard]] const Array& as_array() const;
+    [[nodiscard]] const Object& as_object() const;
+    [[nodiscard]] Array& as_array();
+    [[nodiscard]] Object& as_object();
+
+    /// Object member access; throws if not an object or key missing.
+    [[nodiscard]] const Json& at(const std::string& key) const;
+    /// True if an object containing `key`.
+    [[nodiscard]] bool contains(const std::string& key) const;
+    /// Member with fallback for missing keys.
+    [[nodiscard]] double number_or(const std::string& key,
+                                   double fallback) const;
+    [[nodiscard]] std::string string_or(const std::string& key,
+                                        std::string fallback) const;
+    [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+
+    /// Mutable object member (creates an object value if null).
+    Json& operator[](const std::string& key);
+
+    /// Serialize. `indent` > 0 pretty-prints with that many spaces.
+    [[nodiscard]] std::string dump(int indent = 0) const;
+
+    /// Parse a complete JSON document; throws std::runtime_error with a
+    /// byte offset on malformed input (trailing garbage included).
+    [[nodiscard]] static Json parse(const std::string& text);
+
+    friend bool operator==(const Json& a, const Json& b) {
+        return a.value_ == b.value_;
+    }
+
+  private:
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+        value_;
+};
+
+/// Read a whole file into a Json document; throws on I/O or parse errors.
+[[nodiscard]] Json load_json_file(const std::string& path);
+
+/// Write a Json document to a file (pretty-printed); throws on I/O errors.
+void save_json_file(const std::string& path, const Json& doc);
+
+}  // namespace uavdc::io

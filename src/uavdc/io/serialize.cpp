@@ -1,0 +1,128 @@
+#include "uavdc/io/serialize.hpp"
+
+namespace uavdc::io {
+
+Json to_json(const model::Instance& inst) {
+    Json doc;
+    doc["name"] = inst.name;
+    Json region;
+    region["w"] = inst.region.width();
+    region["h"] = inst.region.height();
+    doc["region"] = std::move(region);
+    Json depot;
+    depot["x"] = inst.depot.x;
+    depot["y"] = inst.depot.y;
+    doc["depot"] = std::move(depot);
+    Json uav;
+    uav["energy_j"] = inst.uav.energy_j;
+    uav["speed_mps"] = inst.uav.speed_mps;
+    uav["hover_power_w"] = inst.uav.hover_power_w;
+    uav["travel_rate"] = inst.uav.travel_rate;
+    uav["travel_energy_model"] =
+        inst.uav.travel_energy_model == model::TravelEnergyModel::kPerMeter
+            ? "per-meter"
+            : "per-second";
+    uav["coverage_radius_m"] = inst.uav.coverage_radius_m;
+    uav["bandwidth_mbps"] = inst.uav.bandwidth_mbps;
+    doc["uav"] = std::move(uav);
+    Json::Array devices;
+    devices.reserve(inst.devices.size());
+    for (const auto& d : inst.devices) {
+        Json dev;
+        dev["x"] = d.pos.x;
+        dev["y"] = d.pos.y;
+        dev["data_mb"] = d.data_mb;
+        devices.push_back(std::move(dev));
+    }
+    doc["devices"] = Json(std::move(devices));
+    return doc;
+}
+
+Json to_json(const model::FlightPlan& plan) {
+    Json doc;
+    Json::Array stops;
+    stops.reserve(plan.stops.size());
+    for (const auto& s : plan.stops) {
+        Json stop;
+        stop["x"] = s.pos.x;
+        stop["y"] = s.pos.y;
+        stop["dwell_s"] = s.dwell_s;
+        stop["cell_id"] = s.cell_id;
+        stops.push_back(std::move(stop));
+    }
+    doc["stops"] = Json(std::move(stops));
+    return doc;
+}
+
+Json to_json(const core::Evaluation& ev) {
+    Json doc;
+    doc["collected_mb"] = ev.collected_mb;
+    doc["energy_j"] = ev.energy_j;
+    doc["tour_time_s"] = ev.tour_time_s;
+    doc["energy_feasible"] = ev.energy_feasible;
+    doc["devices_touched"] = ev.devices_touched;
+    doc["devices_drained"] = ev.devices_drained;
+    return doc;
+}
+
+model::Instance instance_from_json(const Json& doc) {
+    model::Instance inst;
+    inst.name = doc.string_or("name", "unnamed");
+    const auto& region = doc.at("region");
+    inst.region = geom::Aabb::of_size(region.at("w").as_number(),
+                                      region.at("h").as_number());
+    const auto& depot = doc.at("depot");
+    inst.depot = {depot.at("x").as_number(), depot.at("y").as_number()};
+    const auto& uav = doc.at("uav");
+    inst.uav.energy_j = uav.at("energy_j").as_number();
+    inst.uav.speed_mps = uav.number_or("speed_mps", 10.0);
+    inst.uav.hover_power_w = uav.number_or("hover_power_w", 150.0);
+    inst.uav.travel_rate =
+        uav.number_or("travel_rate", uav.number_or("travel_power_w", 100.0));
+    inst.uav.travel_energy_model =
+        uav.string_or("travel_energy_model", "per-meter") == "per-second"
+            ? model::TravelEnergyModel::kPerSecond
+            : model::TravelEnergyModel::kPerMeter;
+    inst.uav.coverage_radius_m = uav.number_or("coverage_radius_m", 50.0);
+    inst.uav.bandwidth_mbps = uav.number_or("bandwidth_mbps", 150.0);
+    int id = 0;
+    for (const auto& dev : doc.at("devices").as_array()) {
+        model::Device d;
+        d.id = id++;
+        d.pos = {dev.at("x").as_number(), dev.at("y").as_number()};
+        d.data_mb = dev.at("data_mb").as_number();
+        inst.devices.push_back(d);
+    }
+    inst.validate();
+    return inst;
+}
+
+model::FlightPlan plan_from_json(const Json& doc) {
+    model::FlightPlan plan;
+    for (const auto& stop : doc.at("stops").as_array()) {
+        model::HoverStop s;
+        s.pos = {stop.at("x").as_number(), stop.at("y").as_number()};
+        s.dwell_s = stop.at("dwell_s").as_number();
+        s.cell_id = static_cast<int>(stop.number_or("cell_id", -1.0));
+        plan.stops.push_back(s);
+    }
+    return plan;
+}
+
+void save_instance(const std::string& path, const model::Instance& inst) {
+    save_json_file(path, to_json(inst));
+}
+
+model::Instance load_instance(const std::string& path) {
+    return instance_from_json(load_json_file(path));
+}
+
+void save_plan(const std::string& path, const model::FlightPlan& plan) {
+    save_json_file(path, to_json(plan));
+}
+
+model::FlightPlan load_plan(const std::string& path) {
+    return plan_from_json(load_json_file(path));
+}
+
+}  // namespace uavdc::io

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+#include "uavdc/core/evaluate.hpp"
+#include "uavdc/io/json.hpp"
+#include "uavdc/model/instance.hpp"
+#include "uavdc/model/plan.hpp"
+
+namespace uavdc::io {
+
+/// JSON encodings for the library's value types, so workloads and planned
+/// tours can be persisted, diffed, and replayed (e.g. plan offline, upload
+/// to a ground-control station).
+///
+/// Instance schema:
+///   { "name": str, "region": {"w": m, "h": m},
+///     "depot": {"x": m, "y": m},
+///     "uav": { "energy_j", "speed_mps", "hover_power_w",
+///              "travel_rate", "travel_energy_model", "coverage_radius_m",
+///              "bandwidth_mbps" },
+///     "devices": [ {"x": m, "y": m, "data_mb": v}, ... ] }
+///
+/// Plan schema:
+///   { "stops": [ {"x": m, "y": m, "dwell_s": t, "cell_id": i}, ... ] }
+
+[[nodiscard]] Json to_json(const model::Instance& inst);
+[[nodiscard]] Json to_json(const model::FlightPlan& plan);
+[[nodiscard]] Json to_json(const core::Evaluation& ev);
+
+[[nodiscard]] model::Instance instance_from_json(const Json& doc);
+[[nodiscard]] model::FlightPlan plan_from_json(const Json& doc);
+
+/// File convenience wrappers (pretty-printed JSON).
+void save_instance(const std::string& path, const model::Instance& inst);
+[[nodiscard]] model::Instance load_instance(const std::string& path);
+void save_plan(const std::string& path, const model::FlightPlan& plan);
+[[nodiscard]] model::FlightPlan load_plan(const std::string& path);
+
+}  // namespace uavdc::io

@@ -1,0 +1,119 @@
+#include "uavdc/io/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace uavdc::io {
+
+namespace {
+
+std::string num(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return buf;
+}
+
+}  // namespace
+
+std::string render_svg(const model::Instance& inst,
+                       const model::FlightPlan* plan,
+                       const SvgOptions& opts) {
+    const double w = inst.region.width();
+    const double h = inst.region.height();
+    const double margin = 0.05 * std::max(w, h);
+    const double scale = opts.canvas_px / (w + 2.0 * margin);
+    const double canvas_h = (h + 2.0 * margin) * scale;
+
+    // Map field coordinates to canvas (y flipped: SVG y grows downward).
+    auto X = [&](double x) { return (x - inst.region.lo.x + margin) * scale; };
+    auto Y = [&](double y) {
+        return canvas_h - (y - inst.region.lo.y + margin) * scale;
+    };
+
+    std::ostringstream svg;
+    svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+        << num(opts.canvas_px) << "\" height=\"" << num(canvas_h)
+        << "\" viewBox=\"0 0 " << num(opts.canvas_px) << ' ' << num(canvas_h)
+        << "\">\n";
+    svg << "  <rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>\n";
+    // Region outline.
+    svg << "  <rect x=\"" << num(X(inst.region.lo.x)) << "\" y=\""
+        << num(Y(inst.region.hi.y)) << "\" width=\"" << num(w * scale)
+        << "\" height=\"" << num(h * scale)
+        << "\" fill=\"#ffffff\" stroke=\"#888\" stroke-width=\"1\"/>\n";
+
+    // Coverage disks + tour polyline.
+    if (plan != nullptr && !plan->stops.empty()) {
+        if (opts.draw_coverage) {
+            for (const auto& s : plan->stops) {
+                svg << "  <circle cx=\"" << num(X(s.pos.x)) << "\" cy=\""
+                    << num(Y(s.pos.y)) << "\" r=\""
+                    << num(inst.uav.coverage_radius_m * scale)
+                    << "\" fill=\"#4a90d9\" fill-opacity=\"0.10\" "
+                       "stroke=\"#4a90d9\" stroke-opacity=\"0.35\"/>\n";
+            }
+        }
+        svg << "  <polyline fill=\"none\" stroke=\"#d94a4a\" "
+               "stroke-width=\"1.5\" points=\"";
+        svg << num(X(inst.depot.x)) << ',' << num(Y(inst.depot.y));
+        for (const auto& s : plan->stops) {
+            svg << ' ' << num(X(s.pos.x)) << ',' << num(Y(s.pos.y));
+        }
+        svg << ' ' << num(X(inst.depot.x)) << ',' << num(Y(inst.depot.y));
+        svg << "\"/>\n";
+        // Stop markers with visit order.
+        int idx = 0;
+        for (const auto& s : plan->stops) {
+            svg << "  <circle cx=\"" << num(X(s.pos.x)) << "\" cy=\""
+                << num(Y(s.pos.y))
+                << "\" r=\"3.5\" fill=\"#d94a4a\"/>\n";
+            svg << "  <text x=\"" << num(X(s.pos.x) + 5.0) << "\" y=\""
+                << num(Y(s.pos.y) - 5.0)
+                << "\" font-size=\"9\" fill=\"#a33\">" << idx++
+                << "</text>\n";
+        }
+    }
+
+    // Devices.
+    double max_mb = 1.0;
+    for (const auto& d : inst.devices) max_mb = std::max(max_mb, d.data_mb);
+    for (const auto& d : inst.devices) {
+        const double r =
+            opts.scale_devices_by_data
+                ? 2.0 + 4.0 * std::sqrt(d.data_mb / max_mb)
+                : 3.0;
+        svg << "  <circle cx=\"" << num(X(d.pos.x)) << "\" cy=\""
+            << num(Y(d.pos.y)) << "\" r=\"" << num(r)
+            << "\" fill=\"#3c763d\" fill-opacity=\"0.8\"/>\n";
+        if (opts.draw_device_labels) {
+            svg << "  <text x=\"" << num(X(d.pos.x) + 4.0) << "\" y=\""
+                << num(Y(d.pos.y) + 3.0)
+                << "\" font-size=\"8\" fill=\"#3c763d\">" << d.id
+                << "</text>\n";
+        }
+    }
+
+    // Depot.
+    svg << "  <rect x=\"" << num(X(inst.depot.x) - 5.0) << "\" y=\""
+        << num(Y(inst.depot.y) - 5.0)
+        << "\" width=\"10\" height=\"10\" fill=\"#333\"/>\n";
+    svg << "  <text x=\"" << num(X(inst.depot.x) + 7.0) << "\" y=\""
+        << num(Y(inst.depot.y) + 4.0)
+        << "\" font-size=\"11\" fill=\"#333\">depot</text>\n";
+    svg << "</svg>\n";
+    return svg.str();
+}
+
+void save_svg(const std::string& path, const model::Instance& inst,
+              const model::FlightPlan* plan, const SvgOptions& opts) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    out << render_svg(inst, plan, opts);
+    if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace uavdc::io

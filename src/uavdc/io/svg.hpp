@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "uavdc/model/instance.hpp"
+#include "uavdc/model/plan.hpp"
+
+namespace uavdc::io {
+
+/// SVG rendering options for field/tour snapshots.
+struct SvgOptions {
+    double canvas_px = 800.0;     ///< width of the drawing (height scales)
+    bool draw_coverage = true;    ///< R0 disk around each hovering stop
+    bool draw_device_labels = false;  ///< device ids next to markers
+    bool scale_devices_by_data = true;  ///< marker radius ~ sqrt(D_v)
+};
+
+/// Render an instance (and optionally a planned tour over it) as a
+/// standalone SVG document: the region, devices (size ~ stored data),
+/// depot, tour polyline in visiting order, and hovering coverage disks.
+/// Useful for eyeballing planner behaviour and for docs/papers.
+[[nodiscard]] std::string render_svg(const model::Instance& inst,
+                                     const model::FlightPlan* plan = nullptr,
+                                     const SvgOptions& opts = {});
+
+/// Render straight to a file; throws on I/O failure.
+void save_svg(const std::string& path, const model::Instance& inst,
+              const model::FlightPlan* plan = nullptr,
+              const SvgOptions& opts = {});
+
+}  // namespace uavdc::io

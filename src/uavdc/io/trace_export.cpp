@@ -1,0 +1,52 @@
+#include "uavdc/io/trace_export.hpp"
+
+#include "uavdc/util/csv.hpp"
+
+namespace uavdc::io {
+
+void save_trace_csv(const std::string& path,
+                    const std::vector<sim::Event>& trace) {
+    util::CsvWriter csv(path);
+    csv.row({"time_s", "kind", "stop", "device", "value"});
+    for (const auto& e : trace) {
+        csv.row_of(e.time_s, sim::to_string(e.kind), e.stop, e.device,
+                   e.value);
+    }
+    csv.flush();
+}
+
+Json to_json(const sim::SimReport& report, bool include_trace) {
+    Json doc;
+    doc["collected_mb"] = report.collected_mb;
+    doc["energy_used_j"] = report.energy_used_j;
+    doc["energy_saved_j"] = report.energy_saved_j;
+    doc["duration_s"] = report.duration_s;
+    doc["hover_s"] = report.hover_s;
+    doc["travel_s"] = report.travel_s;
+    doc["completed"] = report.completed;
+    doc["battery_depleted"] = report.battery_depleted;
+    doc["stops_visited"] = report.stops_visited;
+    doc["devices_drained"] = report.devices_drained;
+    if (include_trace) {
+        Json::Array events;
+        events.reserve(report.trace.size());
+        for (const auto& e : report.trace) {
+            Json ev;
+            ev["t"] = e.time_s;
+            ev["kind"] = sim::to_string(e.kind);
+            ev["stop"] = e.stop;
+            ev["device"] = e.device;
+            ev["value"] = e.value;
+            events.push_back(std::move(ev));
+        }
+        doc["trace"] = Json(std::move(events));
+    }
+    return doc;
+}
+
+void save_report(const std::string& path, const sim::SimReport& report,
+                 bool include_trace) {
+    save_json_file(path, to_json(report, include_trace));
+}
+
+}  // namespace uavdc::io

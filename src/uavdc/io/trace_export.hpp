@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "uavdc/io/json.hpp"
+#include "uavdc/sim/simulator.hpp"
+
+namespace uavdc::io {
+
+/// Write a simulator event trace as CSV (`time_s,kind,stop,device,value`).
+/// Ground-control tooling and notebooks ingest this directly.
+void save_trace_csv(const std::string& path,
+                    const std::vector<sim::Event>& trace);
+
+/// Full simulation report (summary + trace) as a JSON document.
+[[nodiscard]] Json to_json(const sim::SimReport& report,
+                           bool include_trace = true);
+
+/// Convenience: report straight to a JSON file.
+void save_report(const std::string& path, const sim::SimReport& report,
+                 bool include_trace = true);
+
+}  // namespace uavdc::io

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "uavdc/geom/vec2.hpp"
+
+namespace uavdc::model {
+
+/// An aggregate sensor node (Sec. III-A): stores its own and its
+/// non-aggregate neighbours' sensory data, waiting for UAV pickup.
+struct Device {
+    int id{0};             ///< dense index into Instance::devices
+    geom::Vec2 pos;        ///< ground coordinates (metres)
+    double data_mb{0.0};   ///< stored data volume D_v (megabytes)
+
+    /// Time to upload all stored data at bandwidth `bandwidth_mbps` (s).
+    [[nodiscard]] double upload_time(double bandwidth_mbps) const {
+        return bandwidth_mbps > 0.0 ? data_mb / bandwidth_mbps : 0.0;
+    }
+};
+
+}  // namespace uavdc::model

@@ -1,0 +1,39 @@
+#include "uavdc/model/instance.hpp"
+
+#include <stdexcept>
+
+namespace uavdc::model {
+
+double Instance::total_data_mb() const {
+    double s = 0.0;
+    for (const auto& d : devices) s += d.data_mb;
+    return s;
+}
+
+std::vector<geom::Vec2> Instance::device_positions() const {
+    std::vector<geom::Vec2> out;
+    out.reserve(devices.size());
+    for (const auto& d : devices) out.push_back(d.pos);
+    return out;
+}
+
+void Instance::validate() const {
+    if (!uav.valid()) {
+        throw std::invalid_argument("Instance: invalid UAV config");
+    }
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        const auto& d = devices[i];
+        if (d.id != static_cast<int>(i)) {
+            throw std::invalid_argument("Instance: device ids must be dense");
+        }
+        if (d.data_mb < 0.0) {
+            throw std::invalid_argument(
+                "Instance: negative device data volume");
+        }
+        if (!region.contains(d.pos)) {
+            throw std::invalid_argument("Instance: device outside region");
+        }
+    }
+}
+
+}  // namespace uavdc::model

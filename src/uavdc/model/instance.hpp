@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uavdc/geom/aabb.hpp"
+#include "uavdc/model/device.hpp"
+#include "uavdc/model/uav.hpp"
+
+namespace uavdc::model {
+
+/// A complete problem instance: monitoring region, depot, devices, and UAV
+/// platform parameters. Planners consume an Instance and produce a
+/// FlightPlan.
+struct Instance {
+    std::string name;           ///< label for logs/CSV
+    geom::Aabb region;          ///< monitoring region (devices live here)
+    geom::Vec2 depot;           ///< UAV depot d (tour start/end)
+    std::vector<Device> devices;
+    UavConfig uav;
+
+    [[nodiscard]] std::size_t num_devices() const { return devices.size(); }
+
+    /// Sum of all stored data (MB) — upper bound on any plan's collection.
+    [[nodiscard]] double total_data_mb() const;
+
+    /// Device positions as a contiguous vector (for spatial indexing).
+    [[nodiscard]] std::vector<geom::Vec2> device_positions() const;
+
+    /// Validate invariants (devices in region, positive volumes, valid UAV,
+    /// dense ids). Throws std::invalid_argument on violation.
+    void validate() const;
+};
+
+}  // namespace uavdc::model

@@ -1,0 +1,32 @@
+#include "uavdc/model/plan.hpp"
+
+namespace uavdc::model {
+
+double FlightPlan::travel_length(const geom::Vec2& depot) const {
+    if (stops.empty()) return 0.0;
+    double len = geom::distance(depot, stops.front().pos);
+    for (std::size_t i = 0; i + 1 < stops.size(); ++i) {
+        len += geom::distance(stops[i].pos, stops[i + 1].pos);
+    }
+    len += geom::distance(stops.back().pos, depot);
+    return len;
+}
+
+double FlightPlan::hover_time() const {
+    double t = 0.0;
+    for (const auto& s : stops) t += s.dwell_s;
+    return t;
+}
+
+EnergyBreakdown FlightPlan::energy(const geom::Vec2& depot,
+                                   const UavConfig& uav) const {
+    EnergyBreakdown e;
+    e.travel_m = travel_length(depot);
+    e.travel_s = uav.travel_time(e.travel_m);
+    e.hover_s = hover_time();
+    e.travel_j = uav.travel_energy(e.travel_m);
+    e.hover_j = e.hover_s * uav.hover_power_w;
+    return e;
+}
+
+}  // namespace uavdc::model

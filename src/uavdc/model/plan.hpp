@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "uavdc/geom/vec2.hpp"
+#include "uavdc/model/uav.hpp"
+
+namespace uavdc::model {
+
+/// One hovering stop: where the UAV hovers and for how long.
+struct HoverStop {
+    geom::Vec2 pos;       ///< projected hovering location (ground coords)
+    double dwell_s{0.0};  ///< sojourn duration t(s_j) (seconds)
+    int cell_id{-1};      ///< originating grid cell (-1 if not grid-derived)
+};
+
+/// Aggregate energy/time breakdown of a plan.
+struct EnergyBreakdown {
+    double travel_m{0.0};    ///< total flown distance (metres)
+    double travel_s{0.0};    ///< flying time
+    double hover_s{0.0};     ///< hovering time
+    double travel_j{0.0};    ///< flying energy
+    double hover_j{0.0};     ///< hovering energy
+    [[nodiscard]] double total_j() const { return travel_j + hover_j; }
+    [[nodiscard]] double total_s() const { return travel_s + hover_s; }
+};
+
+/// A closed data-collection tour: depot -> stops[0] -> ... -> stops[k-1]
+/// -> depot, hovering `dwell_s` at each stop. The depot itself is not a
+/// stop (the UAV collects nothing there).
+struct FlightPlan {
+    std::vector<HoverStop> stops;
+
+    [[nodiscard]] bool empty() const { return stops.empty(); }
+    [[nodiscard]] std::size_t num_stops() const { return stops.size(); }
+
+    /// Length of the closed tour depot -> stops ... -> depot (metres).
+    [[nodiscard]] double travel_length(const geom::Vec2& depot) const;
+
+    /// Total hovering time (seconds).
+    [[nodiscard]] double hover_time() const;
+
+    /// Full energy/time accounting under `uav`.
+    [[nodiscard]] EnergyBreakdown energy(const geom::Vec2& depot,
+                                         const UavConfig& uav) const;
+
+    /// Total energy (J): hover + travel.
+    [[nodiscard]] double total_energy(const geom::Vec2& depot,
+                                      const UavConfig& uav) const {
+        return energy(depot, uav).total_j();
+    }
+
+    /// True if total energy fits within the UAV battery (with tolerance).
+    [[nodiscard]] bool feasible(const geom::Vec2& depot, const UavConfig& uav,
+                                double eps = 1e-6) const {
+        return total_energy(depot, uav) <= uav.energy_j + eps;
+    }
+};
+
+}  // namespace uavdc::model

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cmath>
+
+namespace uavdc::model {
+
+/// How flying energy is charged.
+///
+/// The paper's formulas (Eq. 9, Eq. 13) charge travel as l(s_i, s_j) * eta_t
+/// with l in metres — i.e. eta_t acts as joules **per metre** — and the
+/// reported volumes (benchmark ~74 GB of a ~275 GB field at E = 3e5 J) are
+/// only reachable under that reading; charging eta_t per *second* at
+/// 10 m/s makes travel 10x cheaper and saturates every sweep. kPerMeter is
+/// therefore the default; kPerSecond is kept for sensitivity studies.
+enum class TravelEnergyModel {
+    kPerMeter,   ///< energy = metres * eta_t (paper-literal Eq. 9/13)
+    kPerSecond,  ///< energy = seconds * eta_t (power reading of "J/s")
+};
+
+/// UAV platform parameters. Defaults are the paper's experimental settings
+/// (Sec. VII-A, sourced from the DJI Phantom 4 Pro spec [11]):
+/// speed 10 m/s, eta_t = 100, eta_h = 150 J/s, E = 3e5 J, R0 = 50 m,
+/// B = 150 MB/s.
+struct UavConfig {
+    double energy_j = 3.0e5;        ///< battery capacity E (joules)
+    double speed_mps = 10.0;        ///< constant flying speed (m/s)
+    double hover_power_w = 150.0;   ///< eta_h, hovering energy rate (J/s)
+    double travel_rate = 100.0;     ///< eta_t (J/m or J/s, see model)
+    TravelEnergyModel travel_energy_model = TravelEnergyModel::kPerMeter;
+    double coverage_radius_m = 50.0;  ///< R0, projected coverage radius (m)
+    double bandwidth_mbps = 150.0;  ///< B, per-device upload bandwidth (MB/s)
+
+    /// Energy to fly a distance of `meters` at constant speed (J).
+    [[nodiscard]] double travel_energy(double meters) const {
+        return travel_energy_model == TravelEnergyModel::kPerMeter
+                   ? meters * travel_rate
+                   : travel_time(meters) * travel_rate;
+    }
+    /// Time to fly `meters` (s).
+    [[nodiscard]] double travel_time(double meters) const {
+        return speed_mps > 0.0 ? meters / speed_mps : 0.0;
+    }
+    /// Energy to hover for `seconds` (J).
+    [[nodiscard]] double hover_energy(double seconds) const {
+        return seconds * hover_power_w;
+    }
+    /// Travel energy per metre (J/m) under the active model.
+    [[nodiscard]] double travel_energy_per_meter() const {
+        if (travel_energy_model == TravelEnergyModel::kPerMeter) {
+            return travel_rate;
+        }
+        return speed_mps > 0.0 ? travel_rate / speed_mps : 0.0;
+    }
+    /// Instantaneous power draw while flying (J/s) — what the battery sees
+    /// in the simulator.
+    [[nodiscard]] double travel_power_w() const {
+        return travel_energy_model == TravelEnergyModel::kPerMeter
+                   ? travel_rate * speed_mps
+                   : travel_rate;
+    }
+
+    /// Derive R0 from a transmission range R and flying altitude H
+    /// (R0 = sqrt(R^2 - H^2), Sec. III-B); returns 0 if H > R.
+    [[nodiscard]] static double coverage_from_altitude(double range_m,
+                                                       double altitude_m) {
+        const double d2 = range_m * range_m - altitude_m * altitude_m;
+        return d2 > 0.0 ? std::sqrt(d2) : 0.0;
+    }
+
+    /// Basic sanity: all rates/capacities positive.
+    [[nodiscard]] bool valid() const {
+        return energy_j > 0.0 && speed_mps > 0.0 && hover_power_w > 0.0 &&
+               travel_rate > 0.0 && coverage_radius_m > 0.0 &&
+               bandwidth_mbps > 0.0;
+    }
+};
+
+}  // namespace uavdc::model

@@ -1,0 +1,105 @@
+#include "uavdc/orienteering/grasp.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "uavdc/graph/local_search.hpp"
+#include "uavdc/orienteering/greedy.hpp"
+#include "uavdc/util/rng.hpp"
+
+namespace uavdc::orienteering {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct Candidate {
+    std::size_t node;
+    graph::Insertion ins;
+    double score;
+};
+
+/// Randomized greedy construction with a restricted candidate list: at each
+/// step gather feasible insertions, keep those with score within
+/// [max - alpha * (max - min), max], and pick one uniformly at random.
+Solution construct(const Problem& p, double alpha, util::Rng& rng) {
+    Solution s;
+    s.tour = {p.depot};
+    s.cost = 0.0;
+    s.prize = p.prizes[p.depot];
+    std::vector<bool> in(p.size(), false);
+    in[p.depot] = true;
+
+    std::vector<Candidate> cands;
+    for (;;) {
+        cands.clear();
+        double best = 0.0;
+        double worst = std::numeric_limits<double>::infinity();
+        for (std::size_t v = 0; v < p.size(); ++v) {
+            if (in[v] || p.prizes[v] <= 0.0) continue;
+            const auto ins = graph::cheapest_insertion(p.graph, s.tour, v);
+            if (s.cost + ins.delta > p.budget + kEps) continue;
+            const double score = p.prizes[v] / std::max(ins.delta, kEps);
+            cands.push_back({v, ins, score});
+            best = std::max(best, score);
+            worst = std::min(worst, score);
+        }
+        if (cands.empty()) break;
+        const double cutoff = best - alpha * (best - worst);
+        // Partition candidates into the RCL.
+        std::vector<std::size_t> rcl;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (cands[i].score >= cutoff - kEps) rcl.push_back(i);
+        }
+        const auto pick =
+            rcl[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(rcl.size()) - 1))];
+        const auto& c = cands[pick];
+        s.tour.insert(
+            s.tour.begin() + static_cast<std::ptrdiff_t>(c.ins.position),
+            c.node);
+        s.cost += c.ins.delta;
+        s.prize += p.prizes[c.node];
+        in[c.node] = true;
+    }
+    return s;
+}
+
+/// Remove a random fraction of non-depot nodes from the tour (shake).
+void shake(const Problem& p, Solution& s, double fraction, util::Rng& rng) {
+    if (s.tour.size() <= 2) return;
+    std::vector<std::size_t> keep{p.depot};
+    for (std::size_t i = 0; i < s.tour.size(); ++i) {
+        const std::size_t v = s.tour[i];
+        if (v == p.depot) continue;
+        if (!rng.bernoulli(fraction)) keep.push_back(v);
+    }
+    s = make_solution(p, std::move(keep));
+}
+
+}  // namespace
+
+Solution solve_grasp(const Problem& p, const GraspConfig& cfg) {
+    p.validate();
+    Solution best = solve_greedy(p);
+    util::Rng root(cfg.seed);
+    for (int it = 0; it < cfg.iterations; ++it) {
+        util::Rng rng = root.split(static_cast<std::uint64_t>(it) + 1);
+        Solution s = construct(p, cfg.rcl_alpha, rng);
+        polish(p, s);
+        if (s.feasible(p) &&
+            (s.prize > best.prize + kEps ||
+             (s.prize > best.prize - kEps && s.cost < best.cost - kEps))) {
+            best = s;
+        }
+        Solution inc = best;
+        for (int round = 0; round < cfg.shakes_per_restart; ++round) {
+            shake(p, inc, cfg.shake_fraction, rng);
+            polish(p, inc);
+            if (inc.feasible(p) && inc.prize > best.prize + kEps) best = inc;
+        }
+    }
+    return best;
+}
+
+}  // namespace uavdc::orienteering

@@ -1,0 +1,124 @@
+#include "uavdc/orienteering/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "uavdc/graph/local_search.hpp"
+
+namespace uavdc::orienteering {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+std::vector<bool> visited_mask(const Problem& p, const Solution& s) {
+    std::vector<bool> in(p.size(), false);
+    for (std::size_t v : s.tour) in[v] = true;
+    return in;
+}
+
+/// Apply one best "insert an unvisited node" move; returns true if applied.
+bool try_insert(const Problem& p, Solution& s, std::vector<bool>& in) {
+    double best_score = 0.0;
+    std::size_t best_node = p.size();
+    graph::Insertion best_ins{0, 0.0};
+    for (std::size_t v = 0; v < p.size(); ++v) {
+        if (in[v] || p.prizes[v] <= 0.0) continue;
+        const auto ins = graph::cheapest_insertion(p.graph, s.tour, v);
+        if (s.cost + ins.delta > p.budget + kEps) continue;
+        const double score = p.prizes[v] / std::max(ins.delta, kEps);
+        if (score > best_score) {
+            best_score = score;
+            best_node = v;
+            best_ins = ins;
+        }
+    }
+    if (best_node == p.size()) return false;
+    s.tour.insert(s.tour.begin() +
+                      static_cast<std::ptrdiff_t>(best_ins.position),
+                  best_node);
+    s.cost += best_ins.delta;
+    s.prize += p.prizes[best_node];
+    in[best_node] = true;
+    return true;
+}
+
+/// Apply one best "replace a visited node with a higher-prize unvisited
+/// node" move (replacement must stay feasible); returns true if applied.
+bool try_replace(const Problem& p, Solution& s, std::vector<bool>& in) {
+    const std::size_t n = s.tour.size();
+    if (n < 2) return false;
+    double best_gain = kEps;
+    double best_cost_delta = 0.0;
+    std::size_t best_pos = 0;
+    std::size_t best_node = p.size();
+    for (std::size_t pos = 0; pos < n; ++pos) {
+        if (s.tour[pos] == p.depot) continue;
+        const std::size_t prev = s.tour[(pos + n - 1) % n];
+        const std::size_t cur = s.tour[pos];
+        const std::size_t next = s.tour[(pos + 1) % n];
+        const double base =
+            p.graph.weight(prev, cur) + p.graph.weight(cur, next);
+        for (std::size_t u = 0; u < p.size(); ++u) {
+            if (in[u]) continue;
+            const double gain = p.prizes[u] - p.prizes[cur];
+            if (gain <= best_gain) continue;
+            const double cost_delta =
+                p.graph.weight(prev, u) + p.graph.weight(u, next) - base;
+            if (s.cost + cost_delta > p.budget + kEps) continue;
+            best_gain = gain;
+            best_cost_delta = cost_delta;
+            best_pos = pos;
+            best_node = u;
+        }
+    }
+    if (best_node == p.size()) return false;
+    in[s.tour[best_pos]] = false;
+    s.prize += best_gain;
+    s.cost += best_cost_delta;
+    in[best_node] = true;
+    s.tour[best_pos] = best_node;
+    return true;
+}
+
+}  // namespace
+
+int polish(const Problem& p, Solution& s) {
+    auto in = visited_mask(p, s);
+    int moves = 0;
+    for (;;) {
+        // Shorten the tour first — frees budget for insertions.
+        const double gain = graph::two_opt(p.graph, s.tour);
+        if (gain > 0.0) s.cost -= gain;
+        bool any = false;
+        while (try_insert(p, s, in)) {
+            ++moves;
+            any = true;
+        }
+        if (try_replace(p, s, in)) {
+            ++moves;
+            any = true;
+        }
+        if (!any) break;
+    }
+    // Normalise: depot first.
+    const auto it = std::find(s.tour.begin(), s.tour.end(), p.depot);
+    if (it != s.tour.end()) std::rotate(s.tour.begin(), it, s.tour.end());
+    return moves;
+}
+
+Solution solve_greedy(const Problem& p) {
+    p.validate();
+    Solution s;
+    s.tour = {p.depot};
+    s.cost = 0.0;
+    s.prize = p.prizes[p.depot];
+    auto in = visited_mask(p, s);
+    while (try_insert(p, s, in)) {
+    }
+    polish(p, s);
+    return s;
+}
+
+}  // namespace uavdc::orienteering

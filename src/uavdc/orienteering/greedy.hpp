@@ -1,0 +1,20 @@
+#pragma once
+
+#include "uavdc/orienteering/problem.hpp"
+
+namespace uavdc::orienteering {
+
+/// Greedy cheapest-insertion construction: starting from the depot-only
+/// tour, repeatedly insert the unvisited node maximising
+/// prize / insertion-cost among budget-feasible insertions, at its cheapest
+/// position; stop when nothing fits. O(n^2) per insertion, O(n^3) total.
+[[nodiscard]] Solution solve_greedy(const Problem& p);
+
+/// Local-search polish shared by the greedy and GRASP solvers (in place):
+/// 2-opt on the current tour, then alternate "insert best-fitting node" and
+/// "replace a visited node with a better unvisited one" moves until no move
+/// improves the prize (ties broken toward lower cost). Budget-feasibility is
+/// preserved. Returns the number of improving moves applied.
+int polish(const Problem& p, Solution& s);
+
+}  // namespace uavdc::orienteering

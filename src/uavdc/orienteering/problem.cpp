@@ -1,0 +1,37 @@
+#include "uavdc/orienteering/problem.hpp"
+
+#include <stdexcept>
+
+namespace uavdc::orienteering {
+
+void Problem::validate() const {
+    if (graph.size() != prizes.size()) {
+        throw std::invalid_argument(
+            "orienteering::Problem: graph/prize size mismatch");
+    }
+    if (prizes.empty()) {
+        throw std::invalid_argument("orienteering::Problem: empty instance");
+    }
+    if (depot >= prizes.size()) {
+        throw std::invalid_argument("orienteering::Problem: bad depot");
+    }
+    if (budget < 0.0) {
+        throw std::invalid_argument("orienteering::Problem: negative budget");
+    }
+    for (double p : prizes) {
+        if (p < 0.0) {
+            throw std::invalid_argument(
+                "orienteering::Problem: negative prize");
+        }
+    }
+}
+
+Solution make_solution(const Problem& p, std::vector<std::size_t> tour) {
+    Solution s;
+    s.tour = std::move(tour);
+    s.cost = p.graph.tour_length(s.tour);
+    for (std::size_t v : s.tour) s.prize += p.prizes[v];
+    return s;
+}
+
+}  // namespace uavdc::orienteering

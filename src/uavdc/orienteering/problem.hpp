@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "uavdc/graph/dense_graph.hpp"
+
+namespace uavdc::orienteering {
+
+/// Rooted orienteering instance on a (metric) dense graph:
+/// find a closed tour through `depot` whose edge-weight sum is at most
+/// `budget`, maximising the total prize of visited nodes.
+///
+/// This is exactly the problem Algorithm 1 reduces DCM-without-overlap to
+/// (Sec. IV): node prizes are the per-cell awards p(s_j) of Eq. (6) and edge
+/// weights are the hover+travel energies w2 of Eq. (9), with budget = E.
+struct Problem {
+    graph::DenseGraph graph;     ///< symmetric edge weights ("energy")
+    std::vector<double> prizes;  ///< node awards, prizes[i] >= 0
+    std::size_t depot{0};        ///< tour must start and end here
+    double budget{0.0};          ///< max tour weight (energy capacity E)
+
+    [[nodiscard]] std::size_t size() const { return prizes.size(); }
+
+    /// Throws std::invalid_argument if sizes mismatch, depot is out of
+    /// range, or the budget / a prize is negative.
+    void validate() const;
+};
+
+/// A solution: ordered closed tour (starting at depot; closing edge
+/// implicit) plus its cached cost and prize.
+struct Solution {
+    std::vector<std::size_t> tour;  ///< tour[0] == depot when non-empty
+    double cost{0.0};               ///< total edge weight of the closed tour
+    double prize{0.0};              ///< sum of prizes over tour nodes
+
+    [[nodiscard]] bool feasible(const Problem& p, double eps = 1e-9) const {
+        return cost <= p.budget + eps;
+    }
+};
+
+/// Recompute cost and prize of `tour` for problem `p`.
+[[nodiscard]] Solution make_solution(const Problem& p,
+                                     std::vector<std::size_t> tour);
+
+}  // namespace uavdc::orienteering

@@ -1,0 +1,22 @@
+#include "uavdc/sim/battery.hpp"
+
+#include <algorithm>
+
+namespace uavdc::sim {
+
+double Battery::drain(double power_w, double seconds) {
+    if (seconds <= 0.0) return 0.0;
+    if (power_w <= 0.0) return seconds;
+    const double sustainable = time_until_empty(power_w);
+    const double t = std::min(seconds, sustainable);
+    remaining_ = std::max(0.0, remaining_ - power_w * t);
+    return t;
+}
+
+double Battery::consume(double joules) {
+    const double j = std::clamp(joules, 0.0, remaining_);
+    remaining_ -= j;
+    return j;
+}
+
+}  // namespace uavdc::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+namespace uavdc::sim {
+
+/// UAV battery state: tracks remaining joules during simulation.
+class Battery {
+  public:
+    explicit Battery(double capacity_j) : capacity_(capacity_j),
+                                          remaining_(capacity_j) {}
+
+    [[nodiscard]] double capacity_j() const { return capacity_; }
+    [[nodiscard]] double remaining_j() const { return remaining_; }
+    [[nodiscard]] double consumed_j() const { return capacity_ - remaining_; }
+    [[nodiscard]] bool depleted() const { return remaining_ <= 0.0; }
+
+    /// Longest duration (s) sustainable at `power_w` before depletion.
+    [[nodiscard]] double time_until_empty(double power_w) const {
+        if (power_w <= 0.0) return 1e18;
+        return remaining_ > 0.0 ? remaining_ / power_w : 0.0;
+    }
+
+    /// Drain `power_w * seconds` joules; clamps at zero and returns the
+    /// duration actually sustained (== seconds unless the battery died).
+    double drain(double power_w, double seconds);
+
+    /// Directly consume `joules`; clamps at zero. Returns joules consumed.
+    double consume(double joules);
+
+  private:
+    double capacity_;
+    double remaining_;
+};
+
+}  // namespace uavdc::sim

@@ -1,0 +1,34 @@
+#include "uavdc/sim/event.hpp"
+
+#include <cstdio>
+
+namespace uavdc::sim {
+
+std::string to_string(EventKind k) {
+    switch (k) {
+        case EventKind::kDepart:
+            return "depart";
+        case EventKind::kArrive:
+            return "arrive";
+        case EventKind::kHoverStart:
+            return "hover-start";
+        case EventKind::kDeviceDone:
+            return "device-done";
+        case EventKind::kHoverEnd:
+            return "hover-end";
+        case EventKind::kBatteryDepleted:
+            return "battery-depleted";
+        case EventKind::kTourComplete:
+            return "tour-complete";
+    }
+    return "unknown";
+}
+
+std::string Event::to_string() const {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "[t=%9.2fs] %-16s stop=%-4d dev=%-4d %.3f",
+                  time_s, sim::to_string(kind).c_str(), stop, device, value);
+    return buf;
+}
+
+}  // namespace uavdc::sim

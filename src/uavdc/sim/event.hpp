@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace uavdc::sim {
+
+/// Kinds of events recorded by the discrete-event simulator.
+enum class EventKind {
+    kDepart,          ///< UAV leaves the depot
+    kArrive,          ///< UAV reaches a hovering location
+    kHoverStart,      ///< data collection begins at a stop
+    kDeviceDone,      ///< one device finished uploading its residual data
+    kHoverEnd,        ///< dwell elapsed, UAV leaves the stop
+    kBatteryDepleted, ///< battery hit zero mid-action
+    kTourComplete,    ///< UAV returned to the depot
+};
+
+[[nodiscard]] std::string to_string(EventKind k);
+
+/// A timestamped simulation event. `stop` is the index of the hovering stop
+/// involved (-1 if none), `device` the device id involved (-1 if none).
+struct Event {
+    double time_s{0.0};
+    EventKind kind{EventKind::kDepart};
+    int stop{-1};
+    int device{-1};
+    double value{0.0};  ///< kind-specific payload (MB uploaded, J left, ...)
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace uavdc::sim

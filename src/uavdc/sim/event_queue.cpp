@@ -1,0 +1,18 @@
+#include "uavdc/sim/event_queue.hpp"
+
+namespace uavdc::sim {
+
+void EventQueue::push(Event e) { heap_.push({e, next_seq_++}); }
+
+Event EventQueue::pop() {
+    Event e = heap_.top().event;
+    heap_.pop();
+    return e;
+}
+
+void EventQueue::clear() {
+    heap_ = {};
+    next_seq_ = 0;
+}
+
+}  // namespace uavdc::sim

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "uavdc/sim/event.hpp"
+
+namespace uavdc::sim {
+
+/// Min-time priority queue of events with FIFO tie-breaking (events at the
+/// same timestamp pop in insertion order, keeping traces deterministic).
+class EventQueue {
+  public:
+    void push(Event e);
+    [[nodiscard]] bool empty() const { return heap_.empty(); }
+    [[nodiscard]] std::size_t size() const { return heap_.size(); }
+    /// Earliest event without removing it. Precondition: !empty().
+    [[nodiscard]] const Event& peek() const { return heap_.top().event; }
+    /// Remove and return the earliest event. Precondition: !empty().
+    Event pop();
+    void clear();
+
+  private:
+    struct Entry {
+        Event event;
+        std::uint64_t seq;
+        bool operator>(const Entry& o) const {
+            if (event.time_s != o.event.time_s) {
+                return event.time_s > o.event.time_s;
+            }
+            return seq > o.seq;
+        }
+    };
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::uint64_t next_seq_{0};
+};
+
+}  // namespace uavdc::sim

@@ -1,0 +1,66 @@
+#include "uavdc/sim/monte_carlo.hpp"
+
+#include <cmath>
+
+#include "uavdc/util/parallel_for.hpp"
+#include "uavdc/util/rng.hpp"
+#include "uavdc/util/stats.hpp"
+
+namespace uavdc::sim {
+
+RobustnessReport evaluate_robustness(const model::Instance& inst,
+                                     const model::FlightPlan& plan,
+                                     const DisturbanceModel& model,
+                                     int trials, std::uint64_t seed) {
+    RobustnessReport out;
+    if (trials <= 0) return out;
+    out.trials = trials;
+
+    struct Trial {
+        double gb;
+        double energy_j;
+        bool completed;
+    };
+    std::vector<Trial> results(static_cast<std::size_t>(trials));
+    const util::Rng root(seed);
+    util::parallel_for(0, results.size(), [&](std::size_t t) {
+        util::Rng rng = root.split(t + 1);
+        const double speed = rng.uniform(0.0, model.wind_max_mps);
+        const double angle = rng.uniform(0.0, 6.283185307179586);
+        const double taper = rng.uniform(0.0, model.taper_max);
+
+        const DistanceTaperRadio radio(std::max(taper, 1e-12));
+        SimConfig cfg;
+        cfg.record_trace = false;
+        cfg.early_departure = model.early_departure;
+        cfg.wind =
+            Wind{{speed * std::cos(angle), speed * std::sin(angle)}};
+        if (taper > 0.0) cfg.radio = &radio;
+        const auto rep = Simulator(cfg).run(inst, plan);
+        results[t] = {rep.collected_mb / 1000.0, rep.energy_used_j,
+                      rep.completed};
+    });
+
+    util::Accumulator gb, energy;
+    std::vector<double> volumes;
+    volumes.reserve(results.size());
+    int completed = 0;
+    double worst = std::numeric_limits<double>::infinity();
+    for (const auto& r : results) {
+        gb.add(r.gb);
+        energy.add(r.energy_j);
+        volumes.push_back(r.gb);
+        if (r.completed) ++completed;
+        worst = std::min(worst, r.gb);
+    }
+    out.completion_rate =
+        static_cast<double>(completed) / static_cast<double>(trials);
+    out.mean_gb = gb.mean();
+    out.mean_energy_j = energy.mean();
+    out.p10_gb = util::quantile(volumes, 0.10);
+    out.p90_gb = util::quantile(volumes, 0.90);
+    out.worst_gb = worst;
+    return out;
+}
+
+}  // namespace uavdc::sim

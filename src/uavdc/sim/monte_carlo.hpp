@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "uavdc/model/instance.hpp"
+#include "uavdc/model/plan.hpp"
+#include "uavdc/sim/simulator.hpp"
+
+namespace uavdc::sim {
+
+/// Disturbance distribution for Monte-Carlo plan evaluation. Each trial
+/// samples a wind vector (uniform direction, speed ~ U[0, wind_max_mps])
+/// and a radio taper (~ U[0, taper_max]), then executes the plan in the
+/// simulator under those conditions.
+struct DisturbanceModel {
+    double wind_max_mps = 4.0;
+    double taper_max = 0.5;
+    bool early_departure = false;  ///< execute with the adaptive knob on
+};
+
+/// Aggregate over trials.
+struct RobustnessReport {
+    int trials{0};
+    double completion_rate{0.0};   ///< fraction of sorties returning home
+    double mean_gb{0.0};           ///< mean collected volume
+    double p10_gb{0.0};            ///< 10th percentile (pessimistic)
+    double p90_gb{0.0};            ///< 90th percentile (optimistic)
+    double mean_energy_j{0.0};
+    double worst_gb{0.0};
+};
+
+/// Execute `plan` under `trials` sampled disturbances (deterministic for a
+/// fixed seed; trials run in parallel on the global pool). The question
+/// this answers: "how does this tour hold up when the world is not the
+/// planner's model?" — completion probability first, volume second.
+[[nodiscard]] RobustnessReport evaluate_robustness(
+    const model::Instance& inst, const model::FlightPlan& plan,
+    const DisturbanceModel& model = {}, int trials = 64,
+    std::uint64_t seed = 12345);
+
+}  // namespace uavdc::sim

@@ -1,0 +1,32 @@
+#include "uavdc/sim/radio.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uavdc::sim {
+
+double ConstantRadio::rate_mbps(double dist_m, double radius_m,
+                                double bandwidth_mbps) const {
+    return dist_m <= radius_m ? bandwidth_mbps : 0.0;
+}
+
+DistanceTaperRadio::DistanceTaperRadio(double taper) : taper_(taper) {
+    if (taper < 0.0 || taper >= 1.0) {
+        throw std::invalid_argument(
+            "DistanceTaperRadio: taper must be in [0, 1)");
+    }
+}
+
+double DistanceTaperRadio::rate_mbps(double dist_m, double radius_m,
+                                     double bandwidth_mbps) const {
+    if (dist_m > radius_m || radius_m <= 0.0) return 0.0;
+    const double x = dist_m / radius_m;
+    return bandwidth_mbps * (1.0 - taper_ * x * x);
+}
+
+const RadioModel& constant_radio() {
+    static const ConstantRadio model;
+    return model;
+}
+
+}  // namespace uavdc::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace uavdc::sim {
+
+/// Uplink rate model for a device at horizontal distance `dist_m` from the
+/// hovering location, with nominal coverage radius R0 and nominal bandwidth
+/// B (MB/s). The paper assumes a constant rate B for every covered device
+/// (OFDMA, all devices upload simultaneously on separate channels;
+/// Sec. III-B explicitly neglects distance effects at low altitude).
+class RadioModel {
+  public:
+    virtual ~RadioModel() = default;
+    /// Effective upload rate (MB/s); 0 outside coverage.
+    [[nodiscard]] virtual double rate_mbps(double dist_m, double radius_m,
+                                           double bandwidth_mbps) const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Paper model: rate = B inside R0, 0 outside.
+class ConstantRadio final : public RadioModel {
+  public:
+    [[nodiscard]] double rate_mbps(double dist_m, double radius_m,
+                                   double bandwidth_mbps) const override;
+    [[nodiscard]] std::string name() const override { return "constant"; }
+};
+
+/// Extension: smooth distance taper, rate = B * (1 - taper * (d/R0)^2)
+/// inside R0 and 0 outside. With taper = 0 this equals ConstantRadio; the
+/// ablation bench uses it to check how sensitive the planners' relative
+/// ordering is to the paper's equal-rate assumption.
+class DistanceTaperRadio final : public RadioModel {
+  public:
+    explicit DistanceTaperRadio(double taper = 0.5);
+    [[nodiscard]] double rate_mbps(double dist_m, double radius_m,
+                                   double bandwidth_mbps) const override;
+    [[nodiscard]] std::string name() const override {
+        return "distance-taper";
+    }
+    [[nodiscard]] double taper() const { return taper_; }
+
+  private:
+    double taper_;
+};
+
+/// Shared default instance of the paper's constant-rate model.
+[[nodiscard]] const RadioModel& constant_radio();
+
+}  // namespace uavdc::sim

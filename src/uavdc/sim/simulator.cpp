@@ -1,0 +1,179 @@
+#include "uavdc/sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "uavdc/geom/spatial_hash.hpp"
+#include "uavdc/sim/battery.hpp"
+#include "uavdc/sim/event_queue.hpp"
+
+namespace uavdc::sim {
+
+namespace {
+
+/// An active upload during one hover.
+struct Upload {
+    int device;
+    double rate_mbps;
+    double done_at_s;  ///< absolute time the residual would finish
+};
+
+}  // namespace
+
+SimReport Simulator::run(const model::Instance& inst,
+                         const model::FlightPlan& plan) const {
+    const RadioModel& radio = cfg_.radio ? *cfg_.radio : constant_radio();
+    SimReport rep;
+    rep.per_device_mb.assign(inst.devices.size(), 0.0);
+
+    std::vector<double> residual(inst.devices.size());
+    for (std::size_t i = 0; i < inst.devices.size(); ++i) {
+        residual[i] = inst.devices[i].data_mb;
+    }
+
+    Battery battery(inst.uav.energy_j);
+    double now = 0.0;
+    geom::Vec2 here = inst.depot;
+    auto record = [&](EventKind kind, int stop, int device, double value) {
+        if (cfg_.record_trace) rep.trace.push_back({now, kind, stop, device,
+                                                    value});
+    };
+
+    const geom::SpatialHash* hash = nullptr;
+    geom::SpatialHash hash_storage({}, 1.0);
+    if (!inst.devices.empty()) {
+        const auto positions = inst.device_positions();
+        hash_storage =
+            geom::SpatialHash(positions, inst.uav.coverage_radius_m);
+        hash = &hash_storage;
+    }
+
+    record(EventKind::kDepart, -1, -1, battery.remaining_j());
+
+    bool aborted = false;
+    for (std::size_t si = 0; si < plan.stops.size() && !aborted; ++si) {
+        const auto& stop = plan.stops[si];
+        // --- travel leg ---
+        const double dist = geom::distance(here, stop.pos);
+        const double fly_t =
+            cfg_.wind.calm()
+                ? inst.uav.travel_time(dist)
+                : cfg_.wind.travel_time(here, stop.pos, inst.uav.speed_mps);
+        const double flown =
+            battery.drain(inst.uav.travel_power_w(), fly_t);
+        now += flown;
+        rep.travel_s += flown;
+        if (flown + 1e-12 < fly_t) {
+            here = geom::lerp(here, stop.pos,
+                              fly_t > 0.0 ? flown / fly_t : 1.0);
+            record(EventKind::kBatteryDepleted, static_cast<int>(si), -1,
+                   0.0);
+            rep.battery_depleted = true;
+            aborted = true;
+            break;
+        }
+        here = stop.pos;
+        record(EventKind::kArrive, static_cast<int>(si), -1, dist);
+
+        // --- hover + concurrent uploads ---
+        const double hover_budget =
+            battery.time_until_empty(inst.uav.hover_power_w);
+        double desired_t = stop.dwell_s;
+
+        std::vector<Upload> uploads;
+        if (hash != nullptr) {
+            hash->for_each_in_disk(
+                stop.pos, inst.uav.coverage_radius_m, [&](int dev) {
+                    const auto d = static_cast<std::size_t>(dev);
+                    if (residual[d] <= 0.0) return;
+                    const double rate = radio.rate_mbps(
+                        geom::distance(stop.pos, inst.devices[d].pos),
+                        inst.uav.coverage_radius_m, inst.uav.bandwidth_mbps);
+                    if (rate <= 0.0) return;
+                    uploads.push_back({dev, rate, now + residual[d] / rate});
+                });
+        }
+        if (cfg_.early_departure) {
+            // Leave once every active upload would be done (never later
+            // than the planned dwell; the battery cap still applies).
+            double need = 0.0;
+            for (const auto& u : uploads) {
+                need = std::max(need, u.done_at_s - now);
+            }
+            const double adaptive = std::min(stop.dwell_s, need);
+            if (adaptive < desired_t) {
+                rep.energy_saved_j +=
+                    (desired_t - adaptive) * inst.uav.hover_power_w;
+                desired_t = adaptive;
+            }
+        }
+        const double hover_t = std::min(desired_t, hover_budget);
+        record(EventKind::kHoverStart, static_cast<int>(si), -1, hover_t);
+        // Device-done events inside the hover window, in time order.
+        EventQueue q;
+        for (const auto& u : uploads) {
+            if (u.done_at_s <= now + hover_t + 1e-12) {
+                q.push({u.done_at_s, EventKind::kDeviceDone, -1, u.device,
+                        0.0});
+            }
+        }
+        const double hover_end = now + hover_t;
+        for (const auto& u : uploads) {
+            const auto d = static_cast<std::size_t>(u.device);
+            const double got =
+                std::min(residual[d], u.rate_mbps * hover_t);
+            residual[d] -= got;
+            rep.per_device_mb[d] += got;
+            rep.collected_mb += got;
+        }
+        while (!q.empty()) {
+            Event e = q.pop();
+            if (cfg_.record_trace) {
+                e.stop = static_cast<int>(si);
+                rep.trace.push_back(e);
+            }
+        }
+        battery.drain(inst.uav.hover_power_w, hover_t);
+        now = hover_end;
+        rep.hover_s += hover_t;
+        ++rep.stops_visited;
+        record(EventKind::kHoverEnd, static_cast<int>(si), -1, hover_t);
+        if (hover_t + 1e-12 < desired_t) {
+            record(EventKind::kBatteryDepleted, static_cast<int>(si), -1,
+                   0.0);
+            rep.battery_depleted = true;
+            aborted = true;
+        }
+    }
+
+    if (!aborted) {
+        // --- return leg ---
+        const double dist = geom::distance(here, inst.depot);
+        const double fly_t =
+            cfg_.wind.calm()
+                ? inst.uav.travel_time(dist)
+                : cfg_.wind.travel_time(here, inst.depot,
+                                        inst.uav.speed_mps);
+        const double flown = battery.drain(inst.uav.travel_power_w(), fly_t);
+        now += flown;
+        rep.travel_s += flown;
+        if (flown + 1e-12 < fly_t) {
+            record(EventKind::kBatteryDepleted, -1, -1, 0.0);
+            rep.battery_depleted = true;
+        } else {
+            rep.completed = true;
+            record(EventKind::kTourComplete, -1, -1,
+                   battery.remaining_j());
+        }
+    }
+
+    for (std::size_t d = 0; d < residual.size(); ++d) {
+        if (inst.devices[d].data_mb > 0.0 && residual[d] <= 1e-9) {
+            ++rep.devices_drained;
+        }
+    }
+    rep.duration_s = now;
+    rep.energy_used_j = battery.consumed_j();
+    return rep;
+}
+
+}  // namespace uavdc::sim

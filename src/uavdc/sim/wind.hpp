@@ -1,0 +1,48 @@
+#pragma once
+
+#include "uavdc/geom/vec2.hpp"
+
+namespace uavdc::sim {
+
+/// Constant wind field (execution-time disturbance; planners are
+/// wind-oblivious just as they are rate-oblivious).
+///
+/// The UAV holds a constant *airspeed* Va and crabs so its ground track
+/// follows the planned leg. With wind w decomposed along the track
+/// (w_par) and across it (w_perp), the achievable ground speed is
+///   Vg = sqrt(Va^2 - w_perp^2) + w_par
+/// (the aircraft must cancel the cross component first). Vg <= 0 means the
+/// leg cannot be flown.
+struct Wind {
+    geom::Vec2 vel_mps{0.0, 0.0};
+
+    [[nodiscard]] bool calm() const {
+        return vel_mps.x == 0.0 && vel_mps.y == 0.0;
+    }
+
+    /// Ground speed along direction `track` (need not be normalised) at
+    /// airspeed `airspeed_mps`; <= 0 when the leg is unflyable.
+    [[nodiscard]] double ground_speed(const geom::Vec2& track,
+                                      double airspeed_mps) const {
+        const geom::Vec2 u = track.normalized();
+        if (u == geom::Vec2{}) return airspeed_mps;
+        const double w_par = vel_mps.dot(u);
+        const double w_perp = vel_mps.cross(u);
+        const double rad = airspeed_mps * airspeed_mps - w_perp * w_perp;
+        if (rad <= 0.0) return 0.0;
+        return std::sqrt(rad) + w_par;
+    }
+
+    /// Time to fly from a to b (s); +inf when unflyable.
+    [[nodiscard]] double travel_time(const geom::Vec2& a,
+                                     const geom::Vec2& b,
+                                     double airspeed_mps) const {
+        const double dist = geom::distance(a, b);
+        if (dist == 0.0) return 0.0;
+        const double vg = ground_speed(b - a, airspeed_mps);
+        if (vg <= 1e-9) return 1e18;
+        return dist / vg;
+    }
+};
+
+}  // namespace uavdc::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace uavdc::util {
+
+/// Minimal CSV writer for benchmark output series. Values containing commas,
+/// quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+  public:
+    /// Open `path` for writing (truncates). Throws on failure.
+    explicit CsvWriter(const std::string& path);
+
+    /// Write a header or data row.
+    void row(const std::vector<std::string>& cells);
+
+    /// Convenience: stringify a mixed row.
+    template <typename... Ts>
+    void row_of(const Ts&... vals) {
+        std::vector<std::string> cells;
+        cells.reserve(sizeof...(vals));
+        (cells.push_back(stringify(vals)), ...);
+        row(cells);
+    }
+
+    /// Flush underlying stream.
+    void flush();
+
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+    /// Escape a single cell per RFC 4180.
+    [[nodiscard]] static std::string escape(const std::string& cell);
+
+  private:
+    template <typename T>
+    static std::string stringify(const T& v) {
+        if constexpr (std::is_convertible_v<T, std::string>) {
+            return std::string(v);
+        } else {
+            std::ostringstream os;
+            os << v;
+            return os.str();
+        }
+    }
+
+    std::string path_;
+    std::ofstream out_;
+};
+
+}  // namespace uavdc::util

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace uavdc::util {
+
+/// Deterministic, seedable PRNG (xoshiro256**). Every stochastic component
+/// in the library (workload generation, GRASP restarts) takes an explicit
+/// Rng or seed so experiments are exactly reproducible across runs and
+/// thread counts.
+class Rng {
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+    /// Re-initialise the state from a 64-bit seed via SplitMix64.
+    void reseed(std::uint64_t seed);
+
+    /// Raw 64-bit output.
+    std::uint64_t next_u64();
+
+    // UniformRandomBitGenerator interface (usable with <random> if desired).
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() {
+        return std::numeric_limits<std::uint64_t>::max();
+    }
+    result_type operator()() { return next_u64(); }
+
+    /// Uniform double in [0, 1).
+    double uniform();
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+    /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+    /// Standard normal via Box-Muller.
+    double normal();
+    /// Normal with given mean and stddev.
+    double normal(double mean, double stddev);
+    /// Exponential with given mean (> 0).
+    double exponential(double mean);
+    /// Bernoulli trial with probability p.
+    bool bernoulli(double p);
+
+    /// Derive an independent child generator (for per-thread / per-instance
+    /// streams): deterministic function of current state and `stream`.
+    [[nodiscard]] Rng split(std::uint64_t stream) const;
+
+  private:
+    std::uint64_t s_[4]{};
+    bool have_spare_normal_{false};
+    double spare_normal_{0.0};
+};
+
+}  // namespace uavdc::util

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace uavdc::util {
+
+/// Streaming accumulator (Welford) for mean / variance / extrema.
+/// Used by the benchmark harness to aggregate the paper's 15-instance means.
+class Accumulator {
+  public:
+    void add(double x);
+
+    [[nodiscard]] std::size_t count() const { return n_; }
+    [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+    /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+    /// Standard error of the mean.
+    [[nodiscard]] double stderr_mean() const;
+    /// Half-width of the ~95% normal confidence interval (1.96 * SE).
+    [[nodiscard]] double ci95_halfwidth() const;
+    [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+    [[nodiscard]] double sum() const { return sum_; }
+
+    /// Merge another accumulator (parallel reduction).
+    void merge(const Accumulator& o);
+
+  private:
+    std::size_t n_{0};
+    double mean_{0.0};
+    double m2_{0.0};
+    double min_{0.0};
+    double max_{0.0};
+    double sum_{0.0};
+};
+
+/// Arithmetic mean of a sample; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+/// Sample standard deviation (n-1); 0 for fewer than 2 samples.
+[[nodiscard]] double stddev(std::span<const double> xs);
+/// Median (averages middle pair for even sizes); 0 for an empty span.
+[[nodiscard]] double median(std::vector<double> xs);
+/// q-th quantile via linear interpolation, q in [0,1].
+[[nodiscard]] double quantile(std::vector<double> xs, double q);
+
+}  // namespace uavdc::util

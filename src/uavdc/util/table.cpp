@@ -1,0 +1,74 @@
+#include "uavdc/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace uavdc::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    if (headers_.empty()) {
+        throw std::invalid_argument("Table: need at least one column");
+    }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("Table: row width mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    std::string s(buf);
+    if (s.find('.') != std::string::npos) {
+        // Trim trailing zeros but keep at least one decimal digit.
+        std::size_t last = s.find_last_not_of('0');
+        if (s[last] == '.') ++last;
+        s.erase(last + 1);
+    }
+    return s;
+}
+
+std::string Table::to_string(int indent) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    const std::string pad(static_cast<std::size_t>(std::max(0, indent)), ' ');
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        os << pad;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) os << "  ";
+            os << row[c];
+            for (std::size_t k = row[c].size(); k < widths[c]; ++k) os << ' ';
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    os << pad;
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c ? 2 : 0);
+    }
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return os.str();
+}
+
+void Table::print(std::ostream& os, int indent) const {
+    os << to_string(indent);
+}
+
+}  // namespace uavdc::util

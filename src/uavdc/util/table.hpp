@@ -1,0 +1,55 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace uavdc::util {
+
+/// Aligned console table used by the figure harnesses to print paper-style
+/// result rows (e.g. "E[J]  Alg1[GB]  Benchmark[GB]").
+class Table {
+  public:
+    /// Column headers fix the column count; rows must match it.
+    explicit Table(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: stringify a mixed row with fixed float precision.
+    template <typename... Ts>
+    void add_row_of(const Ts&... vals) {
+        std::vector<std::string> cells;
+        cells.reserve(sizeof...(vals));
+        (cells.push_back(format_cell(vals)), ...);
+        add_row(std::move(cells));
+    }
+
+    [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+    [[nodiscard]] std::size_t num_cols() const { return headers_.size(); }
+
+    /// Render with padded columns, a header rule, and `indent` leading spaces.
+    [[nodiscard]] std::string to_string(int indent = 0) const;
+
+    /// Print to a stream.
+    void print(std::ostream& os, int indent = 0) const;
+
+    /// Format a double with `digits` significant decimals, trimming noise.
+    [[nodiscard]] static std::string fmt(double v, int digits = 3);
+
+  private:
+    template <typename T>
+    static std::string format_cell(const T& v) {
+        if constexpr (std::is_convertible_v<T, std::string>) {
+            return std::string(v);
+        } else if constexpr (std::is_floating_point_v<T>) {
+            return fmt(static_cast<double>(v));
+        } else {
+            return std::to_string(v);
+        }
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uavdc::util

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <chrono>
+
+namespace uavdc::util {
+
+/// Wall-clock stopwatch used for the paper's running-time figures
+/// (Fig. 3b / 4b / 5b).
+class Timer {
+  public:
+    Timer() : start_(clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() { start_ = clock::now(); }
+
+    /// Seconds elapsed since construction / last reset.
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Milliseconds elapsed.
+    [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace uavdc::util

@@ -1,0 +1,98 @@
+#include "uavdc/workload/csv_import.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "uavdc/util/csv.hpp"
+
+namespace uavdc::workload {
+
+namespace {
+
+bool parse_row(const std::string& line, double out[3]) {
+    std::stringstream ss(line);
+    std::string cell;
+    for (int i = 0; i < 3; ++i) {
+        if (!std::getline(ss, cell, ',')) return false;
+        try {
+            std::size_t used = 0;
+            out[i] = std::stod(cell, &used);
+            // Allow trailing whitespace only.
+            for (std::size_t k = used; k < cell.size(); ++k) {
+                if (!std::isspace(static_cast<unsigned char>(cell[k]))) {
+                    return false;
+                }
+            }
+        } catch (const std::exception&) {
+            return false;
+        }
+    }
+    std::string extra;
+    if (std::getline(ss, extra, ',') && !extra.empty()) return false;
+    return true;
+}
+
+}  // namespace
+
+model::Instance load_devices_csv(const std::string& path,
+                                 const model::UavConfig& uav,
+                                 double region_margin_m) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("load_devices_csv: cannot open " +
+                                      path);
+    model::Instance inst;
+    inst.name = "csv:" + path;
+    inst.uav = uav;
+
+    std::string line;
+    int line_no = 0;
+    int id = 0;
+    bool first_content = true;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Trim CR and whitespace-only lines; skip comments.
+        while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+            line.pop_back();
+        }
+        if (line.empty() || line[0] == '#') continue;
+        double row[3];
+        if (!parse_row(line, row)) {
+            if (first_content) {
+                first_content = false;  // header line
+                continue;
+            }
+            throw std::runtime_error("load_devices_csv: bad row at line " +
+                                     std::to_string(line_no) + ": " + line);
+        }
+        first_content = false;
+        if (row[2] < 0.0) {
+            throw std::runtime_error(
+                "load_devices_csv: negative volume at line " +
+                std::to_string(line_no));
+        }
+        inst.devices.push_back({id++, {row[0], row[1]}, row[2]});
+    }
+    if (inst.devices.empty()) {
+        throw std::runtime_error("load_devices_csv: no devices in " + path);
+    }
+    geom::Aabb box{inst.devices[0].pos, inst.devices[0].pos};
+    for (const auto& d : inst.devices) box = box.expanded(d.pos);
+    inst.region = box.inflated(region_margin_m);
+    inst.depot = inst.region.lo;
+    inst.validate();
+    return inst;
+}
+
+void save_devices_csv(const std::string& path,
+                      const model::Instance& inst) {
+    util::CsvWriter csv(path);
+    csv.row({"x", "y", "data_mb"});
+    for (const auto& d : inst.devices) {
+        csv.row_of(d.pos.x, d.pos.y, d.data_mb);
+    }
+    csv.flush();
+}
+
+}  // namespace uavdc::workload

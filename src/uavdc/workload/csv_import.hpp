@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "uavdc/model/instance.hpp"
+
+namespace uavdc::workload {
+
+/// Load devices from a CSV file with rows `x,y,data_mb` (a header line is
+/// auto-detected and skipped; blank lines and `#` comments ignored).
+/// The monitoring region is the devices' bounding box expanded by
+/// `region_margin_m`; the depot defaults to the region's lower-left
+/// corner unless provided. This is the real-data ingestion path — survey
+/// teams typically deliver exactly this shape of file.
+///
+/// Throws std::runtime_error on I/O or format errors (with line numbers).
+[[nodiscard]] model::Instance load_devices_csv(
+    const std::string& path, const model::UavConfig& uav,
+    double region_margin_m = 10.0);
+
+/// Write an instance's devices back out as `x,y,data_mb` CSV.
+void save_devices_csv(const std::string& path, const model::Instance& inst);
+
+}  // namespace uavdc::workload

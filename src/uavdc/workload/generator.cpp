@@ -1,0 +1,212 @@
+#include "uavdc/workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace uavdc::workload {
+
+namespace {
+
+/// Van der Corput radical inverse in the given base.
+double radical_inverse(int index, int base) {
+    double result = 0.0;
+    double f = 1.0 / base;
+    int i = index;
+    while (i > 0) {
+        result += f * (i % base);
+        i /= base;
+        f /= base;
+    }
+    return result;
+}
+
+geom::Vec2 sample_position(const GeneratorConfig& cfg, util::Rng& rng,
+                           const std::vector<geom::Vec2>& centers, int index) {
+    const geom::Aabb region = geom::Aabb::of_size(cfg.region_w, cfg.region_h);
+    switch (cfg.deployment) {
+        case Deployment::kUniform:
+            return {rng.uniform(region.lo.x, region.hi.x),
+                    rng.uniform(region.lo.y, region.hi.y)};
+        case Deployment::kClustered: {
+            const auto& c = centers[static_cast<std::size_t>(
+                rng.uniform_int(0,
+                                static_cast<std::int64_t>(centers.size()) -
+                                    1))];
+            return region.clamp({rng.normal(c.x, cfg.cluster_stddev),
+                                 rng.normal(c.y, cfg.cluster_stddev)});
+        }
+        case Deployment::kGridJitter: {
+            const int n = cfg.num_devices;
+            const int cols = std::max(
+                1, static_cast<int>(std::ceil(std::sqrt(
+                       static_cast<double>(n) * cfg.region_w /
+                       std::max(cfg.region_h, 1e-9)))));
+            const int rows =
+                std::max(1, (n + cols - 1) / cols);
+            const double dx = cfg.region_w / cols;
+            const double dy = cfg.region_h / rows;
+            const int ix = index % cols;
+            const int iy = index / cols;
+            return region.clamp(
+                {(ix + 0.5) * dx + rng.uniform(-0.4, 0.4) * dx,
+                 (iy + 0.5) * dy + rng.uniform(-0.4, 0.4) * dy});
+        }
+        case Deployment::kHalton:
+            // Bases 2 and 3; index shifted so the first point is not the
+            // origin corner.
+            return {radical_inverse(index + 1, 2) * cfg.region_w,
+                    radical_inverse(index + 1, 3) * cfg.region_h};
+        case Deployment::kPoissonDisk:
+            // Handled as a whole layout in generate(); per-index sampling
+            // falls back to uniform (unreachable in practice).
+            return {rng.uniform(region.lo.x, region.hi.x),
+                    rng.uniform(region.lo.y, region.hi.y)};
+        case Deployment::kRing: {
+            const geom::Vec2 c = region.center();
+            const double r_out =
+                0.45 * std::min(cfg.region_w, cfg.region_h);
+            const double r_in = 0.6 * r_out;
+            const double r = std::sqrt(rng.uniform(r_in * r_in,
+                                                   r_out * r_out));
+            const double a = rng.uniform(0.0, 6.283185307179586);
+            return region.clamp(
+                {c.x + r * std::cos(a), c.y + r * std::sin(a)});
+        }
+    }
+    return region.center();
+}
+
+double sample_volume(const GeneratorConfig& cfg, util::Rng& rng) {
+    switch (cfg.volumes) {
+        case VolumeModel::kUniform:
+            return rng.uniform(cfg.min_mb, cfg.max_mb);
+        case VolumeModel::kExponential: {
+            const double mean = (cfg.min_mb + cfg.max_mb) / 2.0;
+            return std::clamp(rng.exponential(mean), cfg.min_mb, cfg.max_mb);
+        }
+        case VolumeModel::kFixed:
+            return (cfg.min_mb + cfg.max_mb) / 2.0;
+        case VolumeModel::kBimodal: {
+            if (rng.bernoulli(cfg.bimodal_heavy_prob)) {
+                return rng.uniform(0.8 * cfg.max_mb, cfg.max_mb);
+            }
+            return rng.uniform(cfg.min_mb, cfg.min_mb + 0.2 * (cfg.max_mb -
+                                                               cfg.min_mb));
+        }
+    }
+    return cfg.min_mb;
+}
+
+}  // namespace
+
+std::string to_string(Deployment d) {
+    switch (d) {
+        case Deployment::kUniform:
+            return "uniform";
+        case Deployment::kClustered:
+            return "clustered";
+        case Deployment::kGridJitter:
+            return "grid-jitter";
+        case Deployment::kRing:
+            return "ring";
+        case Deployment::kHalton:
+            return "halton";
+        case Deployment::kPoissonDisk:
+            return "poisson-disk";
+    }
+    return "unknown";
+}
+
+std::string to_string(VolumeModel v) {
+    switch (v) {
+        case VolumeModel::kUniform:
+            return "uniform";
+        case VolumeModel::kExponential:
+            return "exponential";
+        case VolumeModel::kFixed:
+            return "fixed";
+        case VolumeModel::kBimodal:
+            return "bimodal";
+    }
+    return "unknown";
+}
+
+model::Instance generate(const GeneratorConfig& cfg, std::uint64_t seed) {
+    if (cfg.num_devices < 0) {
+        throw std::invalid_argument("generate: negative device count");
+    }
+    if (cfg.min_mb < 0.0 || cfg.max_mb < cfg.min_mb) {
+        throw std::invalid_argument("generate: bad volume range");
+    }
+    if (cfg.region_w <= 0.0 || cfg.region_h <= 0.0) {
+        throw std::invalid_argument("generate: bad region size");
+    }
+    model::Instance inst;
+    inst.name = to_string(cfg.deployment) + "-" +
+                std::to_string(cfg.num_devices) + "-s" + std::to_string(seed);
+    inst.region = geom::Aabb::of_size(cfg.region_w, cfg.region_h);
+    inst.depot = inst.region.clamp(cfg.depot);
+    inst.uav = cfg.uav;
+
+    util::Rng rng(seed ^ 0xC0FFEE123456789AULL);
+    std::vector<geom::Vec2> centers;
+    if (cfg.deployment == Deployment::kClustered) {
+        const int k = std::max(1, cfg.clusters);
+        centers.reserve(static_cast<std::size_t>(k));
+        for (int i = 0; i < k; ++i) {
+            centers.push_back({rng.uniform(0.0, cfg.region_w),
+                               rng.uniform(0.0, cfg.region_h)});
+        }
+    }
+    inst.devices.reserve(static_cast<std::size_t>(cfg.num_devices));
+    if (cfg.deployment == Deployment::kPoissonDisk && cfg.num_devices > 0) {
+        // Dart throwing with shrinking radius: place each point at least
+        // min_dist from all previously accepted ones; halve the radius
+        // whenever too many consecutive rejections pile up so the request
+        // always completes.
+        double min_dist = cfg.poisson_min_dist;
+        if (min_dist <= 0.0) {
+            min_dist = 0.5 * std::sqrt(cfg.region_w * cfg.region_h /
+                                       cfg.num_devices);
+        }
+        std::vector<geom::Vec2> placed;
+        placed.reserve(static_cast<std::size_t>(cfg.num_devices));
+        int rejects = 0;
+        while (static_cast<int>(placed.size()) < cfg.num_devices) {
+            const geom::Vec2 cand{rng.uniform(0.0, cfg.region_w),
+                                  rng.uniform(0.0, cfg.region_h)};
+            bool ok = true;
+            for (const auto& q : placed) {
+                if (geom::distance2(cand, q) < min_dist * min_dist) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                placed.push_back(cand);
+                rejects = 0;
+            } else if (++rejects > 500) {
+                min_dist *= 0.5;
+                rejects = 0;
+            }
+        }
+        for (int i = 0; i < cfg.num_devices; ++i) {
+            inst.devices.push_back(
+                {i, placed[static_cast<std::size_t>(i)],
+                 sample_volume(cfg, rng)});
+        }
+    } else {
+        for (int i = 0; i < cfg.num_devices; ++i) {
+            model::Device d;
+            d.id = i;
+            d.pos = sample_position(cfg, rng, centers, i);
+            d.data_mb = sample_volume(cfg, rng);
+            inst.devices.push_back(d);
+        }
+    }
+    inst.validate();
+    return inst;
+}
+
+}  // namespace uavdc::workload

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "uavdc/model/instance.hpp"
+#include "uavdc/util/rng.hpp"
+
+namespace uavdc::workload {
+
+/// Spatial layout of aggregate sensor nodes.
+enum class Deployment {
+    kUniform,    ///< i.i.d. uniform over the region (paper's setting)
+    kClustered,  ///< Gaussian blobs around uniformly-placed cluster centres
+    kGridJitter, ///< regular lattice with uniform jitter (farm/city blocks)
+    kRing,       ///< devices on an annulus around the region centre
+    kHalton,     ///< low-discrepancy Halton sequence (even, aperiodic)
+    kPoissonDisk,///< blue-noise: minimum pairwise spacing (dart throwing)
+};
+
+/// Distribution of stored data volume D_v.
+enum class VolumeModel {
+    kUniform,     ///< U[min_mb, max_mb] (paper: 100..1000 MB)
+    kExponential, ///< Exp(mean = (min+max)/2), clamped to [min, max]
+    kFixed,       ///< every device holds (min_mb + max_mb) / 2
+    kBimodal,     ///< mostly-light devices with occasional heavy hoarders
+};
+
+[[nodiscard]] std::string to_string(Deployment d);
+[[nodiscard]] std::string to_string(VolumeModel v);
+
+/// Scenario generator configuration. Defaults reproduce Sec. VII-A:
+/// 500 nodes uniform in 1000 x 1000 m, D_v ~ U[100, 1000] MB, depot at the
+/// region corner, paper UAV constants (via UavConfig defaults).
+struct GeneratorConfig {
+    int num_devices = 500;
+    double region_w = 1000.0;
+    double region_h = 1000.0;
+    Deployment deployment = Deployment::kUniform;
+    VolumeModel volumes = VolumeModel::kUniform;
+    double min_mb = 100.0;
+    double max_mb = 1000.0;
+    int clusters = 8;             ///< kClustered: number of blobs
+    double cluster_stddev = 60.0; ///< kClustered: blob spread (m)
+    /// kPoissonDisk: minimum pairwise distance (0 = auto: half the mean
+    /// nearest-neighbour spacing of a uniform layout at this density).
+    double poisson_min_dist = 0.0;
+    double bimodal_heavy_prob = 0.1;  ///< kBimodal: P(heavy device)
+    /// Depot position; if outside the region it is clamped to the boundary.
+    geom::Vec2 depot{0.0, 0.0};
+    model::UavConfig uav{};
+};
+
+/// Generate a reproducible instance: same (config, seed) -> same instance.
+[[nodiscard]] model::Instance generate(const GeneratorConfig& cfg,
+                                       std::uint64_t seed);
+
+}  // namespace uavdc::workload

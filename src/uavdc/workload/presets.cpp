@@ -1,0 +1,71 @@
+#include "uavdc/workload/presets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uavdc::workload {
+
+model::UavConfig paper_uav() {
+    model::UavConfig uav;
+    uav.energy_j = 3.0e5;
+    uav.speed_mps = 10.0;
+    uav.hover_power_w = 150.0;
+    uav.travel_rate = 100.0;
+    uav.travel_energy_model = model::TravelEnergyModel::kPerMeter;
+    uav.coverage_radius_m = 50.0;
+    uav.bandwidth_mbps = 150.0;
+    return uav;
+}
+
+GeneratorConfig paper_default() {
+    GeneratorConfig cfg;
+    cfg.num_devices = 500;
+    cfg.region_w = 1000.0;
+    cfg.region_h = 1000.0;
+    cfg.deployment = Deployment::kUniform;
+    cfg.volumes = VolumeModel::kUniform;
+    cfg.min_mb = 100.0;
+    cfg.max_mb = 1000.0;
+    cfg.depot = {0.0, 0.0};
+    cfg.uav = paper_uav();
+    return cfg;
+}
+
+GeneratorConfig paper_scaled(double scale) {
+    GeneratorConfig cfg = paper_default();
+    const double s = std::clamp(scale, 0.05, 1.0);
+    cfg.region_w *= s;
+    cfg.region_h *= s;
+    cfg.num_devices = std::max(
+        10, static_cast<int>(std::lround(500.0 * s * s)));
+    return cfg;
+}
+
+GeneratorConfig smart_city() {
+    GeneratorConfig cfg = paper_default();
+    cfg.deployment = Deployment::kClustered;
+    cfg.clusters = 10;
+    cfg.cluster_stddev = 55.0;
+    cfg.volumes = VolumeModel::kBimodal;
+    cfg.bimodal_heavy_prob = 0.12;
+    return cfg;
+}
+
+GeneratorConfig disaster_response() {
+    GeneratorConfig cfg = paper_default();
+    cfg.deployment = Deployment::kRing;
+    cfg.volumes = VolumeModel::kExponential;
+    cfg.num_devices = 300;
+    return cfg;
+}
+
+GeneratorConfig farm_monitoring() {
+    GeneratorConfig cfg = paper_default();
+    cfg.deployment = Deployment::kGridJitter;
+    cfg.volumes = VolumeModel::kFixed;
+    cfg.min_mb = 180.0;
+    cfg.max_mb = 220.0;
+    return cfg;
+}
+
+}  // namespace uavdc::workload

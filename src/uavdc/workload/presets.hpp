@@ -1,0 +1,32 @@
+#pragma once
+
+#include "uavdc/workload/generator.hpp"
+
+namespace uavdc::workload {
+
+/// The paper's default experimental setting (Sec. VII-A): 500 aggregate
+/// sensor nodes uniform in 1000 x 1000 m, D_v ~ U[100, 1000] MB, R0 = 50 m,
+/// B = 150 MB/s, E = 3e5 J, speed 10 m/s, eta_t = 100 J/s, eta_h = 150 J/s.
+[[nodiscard]] GeneratorConfig paper_default();
+
+/// Scaled-down variant for fast CI / default bench runs: same densities and
+/// UAV constants, smaller field. `scale` in (0, 1] shrinks the region edge
+/// and the device count by `scale` (area by scale^2, keeping device density).
+[[nodiscard]] GeneratorConfig paper_scaled(double scale);
+
+/// Smart-city scenario: clustered deployment (districts) with bimodal data
+/// volumes (CCTV aggregation points vs. telemetry nodes).
+[[nodiscard]] GeneratorConfig smart_city();
+
+/// Disaster-response scenario: ring deployment around an incident zone the
+/// ground vehicles cannot cross; exponential volumes.
+[[nodiscard]] GeneratorConfig disaster_response();
+
+/// Precision-farm scenario: jittered lattice of soil/crop sensors with
+/// near-identical volumes.
+[[nodiscard]] GeneratorConfig farm_monitoring();
+
+/// Paper-defaults UAV platform (used by all presets).
+[[nodiscard]] model::UavConfig paper_uav();
+
+}  // namespace uavdc::workload

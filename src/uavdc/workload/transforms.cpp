@@ -1,0 +1,107 @@
+#include "uavdc/workload/transforms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace uavdc::workload {
+
+namespace {
+
+void redensify(model::Instance& inst) {
+    for (std::size_t i = 0; i < inst.devices.size(); ++i) {
+        inst.devices[i].id = static_cast<int>(i);
+    }
+}
+
+}  // namespace
+
+model::Instance scaled(const model::Instance& inst, double factor) {
+    if (!(factor > 0.0)) {
+        throw std::invalid_argument("scaled: factor must be positive");
+    }
+    model::Instance out = inst;
+    const geom::Vec2 origin = inst.region.lo;
+    auto map = [&](const geom::Vec2& p) {
+        return origin + (p - origin) * factor;
+    };
+    out.region = geom::Aabb{origin, map(inst.region.hi)};
+    out.depot = map(inst.depot);
+    for (auto& d : out.devices) d.pos = map(d.pos);
+    out.validate();
+    return out;
+}
+
+model::Instance translated(const model::Instance& inst,
+                           const geom::Vec2& offset) {
+    model::Instance out = inst;
+    out.region = geom::Aabb{inst.region.lo + offset, inst.region.hi + offset};
+    out.depot += offset;
+    for (auto& d : out.devices) d.pos += offset;
+    out.validate();
+    return out;
+}
+
+model::Instance rotated(const model::Instance& inst, double radians,
+                        double margin_m) {
+    model::Instance out = inst;
+    const geom::Vec2 c = inst.region.center();
+    const double cs = std::cos(radians);
+    const double sn = std::sin(radians);
+    auto rot = [&](const geom::Vec2& p) {
+        const geom::Vec2 v = p - c;
+        return c + geom::Vec2{v.x * cs - v.y * sn, v.x * sn + v.y * cs};
+    };
+    out.depot = rot(inst.depot);
+    for (auto& d : out.devices) d.pos = rot(d.pos);
+    geom::Aabb box{out.depot, out.depot};
+    for (const auto& d : out.devices) box = box.expanded(d.pos);
+    out.region = box.inflated(margin_m);
+    out.validate();
+    return out;
+}
+
+model::Instance cropped(const model::Instance& inst,
+                        const geom::Aabb& window) {
+    model::Instance out;
+    out.name = inst.name + "-crop";
+    out.region = window;
+    out.depot = window.clamp(inst.depot);
+    out.uav = inst.uav;
+    for (const auto& d : inst.devices) {
+        if (window.contains(d.pos)) out.devices.push_back(d);
+    }
+    redensify(out);
+    out.validate();
+    return out;
+}
+
+model::Instance merged(const model::Instance& a, const model::Instance& b) {
+    model::Instance out;
+    out.name = a.name + "+" + b.name;
+    geom::Aabb box = a.region;
+    box = box.expanded(b.region.lo);
+    box = box.expanded(b.region.hi);
+    out.region = box;
+    out.depot = a.depot;
+    out.uav = a.uav;
+    out.devices = a.devices;
+    out.devices.insert(out.devices.end(), b.devices.begin(),
+                       b.devices.end());
+    redensify(out);
+    out.validate();
+    return out;
+}
+
+model::Instance with_volume_factor(const model::Instance& inst,
+                                   double factor) {
+    if (factor < 0.0) {
+        throw std::invalid_argument(
+            "with_volume_factor: factor must be >= 0");
+    }
+    model::Instance out = inst;
+    for (auto& d : out.devices) d.data_mb *= factor;
+    out.validate();
+    return out;
+}
+
+}  // namespace uavdc::workload

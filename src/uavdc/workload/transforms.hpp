@@ -1,0 +1,46 @@
+#pragma once
+
+#include "uavdc/model/instance.hpp"
+
+namespace uavdc::workload {
+
+/// Instance transformations for experiment design: compose fields from
+/// pieces, crop to areas of interest, and build scaled/rotated variants
+/// without regenerating workloads.
+///
+/// All functions return fresh instances with dense device ids and pass
+/// Instance::validate().
+
+/// Uniformly scale geometry about the region's lower-left corner
+/// (positions, region, depot; device volumes unchanged). factor > 0.
+[[nodiscard]] model::Instance scaled(const model::Instance& inst,
+                                     double factor);
+
+/// Translate everything by `offset` (region, depot, devices).
+[[nodiscard]] model::Instance translated(const model::Instance& inst,
+                                         const geom::Vec2& offset);
+
+/// Rotate device and depot positions by `radians` about the region centre;
+/// the region is replaced by the rotated layout's bounding box (inflated
+/// by `margin_m`) so every device stays inside.
+[[nodiscard]] model::Instance rotated(const model::Instance& inst,
+                                      double radians,
+                                      double margin_m = 1.0);
+
+/// Keep only the devices inside `window` (region becomes the window).
+/// The depot is clamped into the window.
+[[nodiscard]] model::Instance cropped(const model::Instance& inst,
+                                      const geom::Aabb& window);
+
+/// Union of two fields: region = joint bounding box, devices concatenated
+/// (ids re-densified). Depot and UAV are taken from `a`.
+[[nodiscard]] model::Instance merged(const model::Instance& a,
+                                     const model::Instance& b);
+
+/// Multiply every device's stored volume by `factor` (>= 0) — e.g. model
+/// a longer accumulation period T (Sec. III-B ties D_v to the monitoring
+/// duration).
+[[nodiscard]] model::Instance with_volume_factor(const model::Instance& inst,
+                                                 double factor);
+
+}  // namespace uavdc::workload

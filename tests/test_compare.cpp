@@ -1,0 +1,54 @@
+#include "uavdc/core/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace uavdc::core {
+namespace {
+
+TEST(Compare, RunsAllRegisteredPlannersSortedByVolume) {
+    const auto inst = testing::small_instance(25, 280.0, 91);
+    PlannerOptions opts;
+    opts.delta_m = 20.0;
+    opts.grasp_iterations = 3;
+    const auto results = compare_planners(inst, opts);
+    EXPECT_EQ(results.size(), planner_names().size());
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_GE(results[i - 1].evaluation.collected_mb,
+                  results[i].evaluation.collected_mb);
+    }
+    for (const auto& r : results) {
+        EXPECT_FALSE(r.name.empty());
+        EXPECT_TRUE(r.evaluation.energy_feasible) << r.name;
+        EXPECT_NEAR(r.metrics.collected_mb, r.evaluation.collected_mb,
+                    1e-6)
+            << r.name;
+        EXPECT_GE(r.runtime_s, 0.0);
+    }
+}
+
+TEST(Compare, SubsetSelection) {
+    const auto inst = testing::small_instance(15, 200.0, 92);
+    PlannerOptions opts;
+    opts.delta_m = 25.0;
+    const auto results =
+        compare_planners(inst, opts, {"alg2", "benchmark"});
+    ASSERT_EQ(results.size(), 2u);
+    // Both requested planners present (order by volume).
+    const bool has_alg2 = results[0].name == "alg2-greedy" ||
+                          results[1].name == "alg2-greedy";
+    const bool has_bench =
+        results[0].name == "benchmark" || results[1].name == "benchmark";
+    EXPECT_TRUE(has_alg2);
+    EXPECT_TRUE(has_bench);
+}
+
+TEST(Compare, UnknownNameThrows) {
+    const auto inst = testing::small_instance(5, 100.0, 93);
+    EXPECT_THROW((void)compare_planners(inst, {}, {"alg99"}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uavdc::core

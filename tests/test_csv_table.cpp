@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "uavdc/util/csv.hpp"
+#include "uavdc/util/table.hpp"
+
+namespace uavdc::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+  protected:
+    std::string path_ = ::testing::TempDir() + "/uavdc_csv_test.csv";
+    void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesRows) {
+    {
+        CsvWriter w(path_);
+        w.row({"a", "b", "c"});
+        w.row_of(1, 2.5, "x");
+        w.flush();
+    }
+    EXPECT_EQ(read_file(path_), "a,b,c\n1,2.5,x\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+    {
+        CsvWriter w(path_);
+        w.row({"plain", "with,comma", "with\"quote", "multi\nline"});
+        w.flush();
+    }
+    EXPECT_EQ(read_file(path_),
+              "plain,\"with,comma\",\"with\"\"quote\",\"multi\nline\"\n");
+}
+
+TEST(CsvEscape, NoQuoteWhenClean) {
+    EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvWriterErrors, ThrowsOnBadPath) {
+    EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"),
+                 std::runtime_error);
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+    EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAligned) {
+    Table t({"name", "val"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer", "22"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("name    val"), std::string::npos);
+    EXPECT_NE(s.find("longer  22"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, MixedRowFormatting) {
+    Table t({"i", "d", "s"});
+    t.add_row_of(7, 3.14159, "str");
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("7"), std::string::npos);
+    EXPECT_NE(s.find("3.142"), std::string::npos);
+    EXPECT_NE(s.find("str"), std::string::npos);
+    EXPECT_EQ(t.num_rows(), 1u);
+    EXPECT_EQ(t.num_cols(), 3u);
+}
+
+TEST(Table, FmtTrimsTrailingZeros) {
+    EXPECT_EQ(Table::fmt(1.5, 3), "1.5");
+    EXPECT_EQ(Table::fmt(2.0, 3), "2.0");
+    EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(Table::fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Table, IndentApplied) {
+    Table t({"h"});
+    t.add_row({"v"});
+    const std::string s = t.to_string(4);
+    EXPECT_EQ(s.rfind("    h", 0), 0u);
+}
+
+}  // namespace
+}  // namespace uavdc::util

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/core/algorithm2.hpp"
+#include "uavdc/core/algorithm3.hpp"
+#include "uavdc/core/evaluate.hpp"
+
+namespace uavdc::core {
+namespace {
+
+using testing::small_instance;
+
+double tour_time(const model::Instance& inst, const model::FlightPlan& p) {
+    return p.energy(inst.depot, inst.uav).total_s();
+}
+
+TEST(Deadline, Algorithm2RespectsDeadline) {
+    const auto inst = small_instance(30, 300.0, 31, 1.0e5);
+    for (double deadline : {60.0, 120.0, 240.0}) {
+        Algorithm2Config cfg;
+        cfg.candidates.delta_m = 20.0;
+        cfg.max_tour_time_s = deadline;
+        const auto res = GreedyCoveragePlanner(cfg).plan(inst);
+        EXPECT_LE(tour_time(inst, res.plan), deadline + 1e-6)
+            << "deadline " << deadline;
+        EXPECT_TRUE(res.plan.feasible(inst.depot, inst.uav, 1e-6));
+    }
+}
+
+TEST(Deadline, Algorithm3RespectsDeadline) {
+    const auto inst = small_instance(30, 300.0, 32, 1.0e5);
+    for (double deadline : {60.0, 180.0}) {
+        Algorithm3Config cfg;
+        cfg.candidates.delta_m = 20.0;
+        cfg.k = 2;
+        cfg.max_tour_time_s = deadline;
+        const auto res = PartialCollectionPlanner(cfg).plan(inst);
+        EXPECT_LE(tour_time(inst, res.plan), deadline + 1e-6);
+    }
+}
+
+TEST(Deadline, TighterDeadlineCollectsLess) {
+    const auto inst = small_instance(35, 320.0, 33, 2.0e5);
+    auto collect = [&](double deadline) {
+        Algorithm2Config cfg;
+        cfg.candidates.delta_m = 20.0;
+        cfg.max_tour_time_s = deadline;
+        const auto res = GreedyCoveragePlanner(cfg).plan(inst);
+        return evaluate_plan(inst, res.plan).collected_mb;
+    };
+    const double tight = collect(60.0);
+    const double loose = collect(600.0);
+    EXPECT_LE(tight, loose + 1e-6);
+    EXPECT_GT(loose, 0.0);
+}
+
+TEST(Deadline, ZeroMeansUnconstrained) {
+    const auto inst = small_instance(25, 280.0, 34, 8.0e4);
+    Algorithm2Config with, without;
+    with.candidates.delta_m = without.candidates.delta_m = 20.0;
+    with.max_tour_time_s = 1e9;  // effectively no deadline
+    without.max_tour_time_s = 0.0;
+    const auto a = GreedyCoveragePlanner(with).plan(inst);
+    const auto b = GreedyCoveragePlanner(without).plan(inst);
+    EXPECT_NEAR(evaluate_plan(inst, a.plan).collected_mb,
+                evaluate_plan(inst, b.plan).collected_mb, 1e-6);
+}
+
+TEST(Deadline, ImpossibleDeadlineYieldsEmptyPlan) {
+    const auto inst = small_instance(20, 300.0, 35, 1.0e5);
+    Algorithm2Config cfg;
+    cfg.candidates.delta_m = 25.0;
+    cfg.max_tour_time_s = 0.5;  // can't even reach the nearest device
+    const auto res = GreedyCoveragePlanner(cfg).plan(inst);
+    EXPECT_TRUE(res.plan.empty());
+}
+
+}  // namespace
+}  // namespace uavdc::core

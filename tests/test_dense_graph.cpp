@@ -1,0 +1,98 @@
+#include "uavdc/graph/dense_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "uavdc/util/rng.hpp"
+
+namespace uavdc::graph {
+namespace {
+
+TEST(DenseGraph, EmptyAndSingleton) {
+    const DenseGraph g0;
+    EXPECT_EQ(g0.size(), 0u);
+    const DenseGraph g1(1);
+    EXPECT_EQ(g1.size(), 1u);
+    EXPECT_EQ(g1.weight(0, 0), 0.0);
+}
+
+TEST(DenseGraph, SetWeightIsSymmetric) {
+    DenseGraph g(3);
+    g.set_weight(0, 2, 5.5);
+    EXPECT_DOUBLE_EQ(g.weight(0, 2), 5.5);
+    EXPECT_DOUBLE_EQ(g.weight(2, 0), 5.5);
+    EXPECT_DOUBLE_EQ(g.weight(0, 1), 0.0);
+}
+
+TEST(DenseGraph, EuclideanConstruction) {
+    const std::vector<geom::Vec2> pts{{0.0, 0.0}, {3.0, 4.0}, {3.0, 0.0}};
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    EXPECT_DOUBLE_EQ(g.weight(0, 1), 5.0);
+    EXPECT_DOUBLE_EQ(g.weight(0, 2), 3.0);
+    EXPECT_DOUBLE_EQ(g.weight(1, 2), 4.0);
+    EXPECT_DOUBLE_EQ(g.weight(1, 1), 0.0);
+}
+
+TEST(DenseGraph, FromWeightsFunctor) {
+    const DenseGraph g = DenseGraph::from_weights(
+        4, [](std::size_t i, std::size_t j) {
+            return static_cast<double>(i + j);
+        });
+    EXPECT_DOUBLE_EQ(g.weight(1, 3), 4.0);
+    EXPECT_DOUBLE_EQ(g.weight(3, 1), 4.0);
+    EXPECT_DOUBLE_EQ(g.weight(2, 2), 0.0);  // diagonal forced to zero
+}
+
+TEST(DenseGraph, RowView) {
+    DenseGraph g(3);
+    g.set_weight(1, 0, 2.0);
+    g.set_weight(1, 2, 7.0);
+    const auto row = g.row(1);
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_DOUBLE_EQ(row[0], 2.0);
+    EXPECT_DOUBLE_EQ(row[1], 0.0);
+    EXPECT_DOUBLE_EQ(row[2], 7.0);
+}
+
+TEST(DenseGraph, EuclideanIsMetric) {
+    util::Rng rng(17);
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < 25; ++i) {
+        pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    }
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    EXPECT_LE(g.max_triangle_violation(), 1e-9);
+}
+
+TEST(DenseGraph, TriangleViolationDetected) {
+    DenseGraph g(3);
+    g.set_weight(0, 1, 1.0);
+    g.set_weight(1, 2, 1.0);
+    g.set_weight(0, 2, 10.0);  // violates: 10 > 1 + 1
+    EXPECT_NEAR(g.max_triangle_violation(), 8.0, 1e-12);
+}
+
+TEST(DenseGraph, TourLength) {
+    const std::vector<geom::Vec2> pts{
+        {0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    const std::vector<std::size_t> order{0, 1, 2, 3};
+    EXPECT_DOUBLE_EQ(g.tour_length(order), 4.0);
+    const std::vector<std::size_t> pair{0, 2};
+    EXPECT_DOUBLE_EQ(g.tour_length(pair), 2.0 * std::sqrt(2.0));
+    const std::vector<std::size_t> single{0};
+    EXPECT_DOUBLE_EQ(g.tour_length(single), 0.0);
+}
+
+TEST(DenseGraph, PathLength) {
+    const std::vector<geom::Vec2> pts{
+        {0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}};
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    const std::vector<std::size_t> order{0, 1, 2};
+    EXPECT_DOUBLE_EQ(g.path_length(order), 2.0);
+    EXPECT_DOUBLE_EQ(g.path_length(std::vector<std::size_t>{1}), 0.0);
+}
+
+}  // namespace
+}  // namespace uavdc::graph

@@ -1,0 +1,59 @@
+// Every planner in the registry is deterministic: the same instance and
+// configuration must produce bit-identical plans run to run (a requirement
+// for reproducible experiments and for the bench harness's caching-free
+// parallel sweeps).
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/core/registry.hpp"
+
+namespace uavdc::core {
+namespace {
+
+class PlannerDeterminism
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlannerDeterminism, SamePlanTwice) {
+    const auto inst = testing::small_instance(35, 320.0, 55);
+    PlannerOptions opts;
+    opts.delta_m = 20.0;
+    opts.grasp_iterations = 4;
+    const auto a = make_planner(GetParam(), opts)->plan(inst);
+    const auto b = make_planner(GetParam(), opts)->plan(inst);
+    ASSERT_EQ(a.plan.stops.size(), b.plan.stops.size());
+    for (std::size_t i = 0; i < a.plan.stops.size(); ++i) {
+        EXPECT_EQ(a.plan.stops[i].pos, b.plan.stops[i].pos) << i;
+        EXPECT_DOUBLE_EQ(a.plan.stops[i].dwell_s, b.plan.stops[i].dwell_s);
+    }
+    EXPECT_DOUBLE_EQ(a.stats.planned_mb, b.stats.planned_mb);
+}
+
+TEST_P(PlannerDeterminism, IndependentOfOtherRuns) {
+    // Plan on one instance, then another, then the first again: the first
+    // instance's plan must be unchanged (no hidden planner state).
+    const auto inst1 = testing::small_instance(30, 300.0, 56);
+    const auto inst2 = testing::small_instance(20, 200.0, 57);
+    PlannerOptions opts;
+    opts.delta_m = 20.0;
+    opts.grasp_iterations = 4;
+    auto planner = make_planner(GetParam(), opts);
+    const auto first = planner->plan(inst1);
+    (void)planner->plan(inst2);
+    const auto again = planner->plan(inst1);
+    ASSERT_EQ(first.plan.stops.size(), again.plan.stops.size());
+    for (std::size_t i = 0; i < first.plan.stops.size(); ++i) {
+        EXPECT_EQ(first.plan.stops[i].pos, again.plan.stops[i].pos);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegistered, PlannerDeterminism,
+    ::testing::Values("alg1", "alg2", "alg3", "benchmark", "kmeans",
+                      "sweep"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        return info.param;
+    });
+
+}  // namespace
+}  // namespace uavdc::core

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/core/algorithm2.hpp"
+#include "uavdc/sim/simulator.hpp"
+
+namespace uavdc::sim {
+namespace {
+
+using testing::manual_instance;
+using testing::small_instance;
+
+TEST(EarlyDeparture, SavesPaddedDwell) {
+    // Device needs 2 s; planner (deliberately) dwells 10 s. Adaptive
+    // execution leaves after 2 s, saving 8 s * 150 W = 1200 J.
+    const auto inst = manual_instance({{{30.0, 40.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 10.0, -1});
+    SimConfig cfg;
+    cfg.early_departure = true;
+    const auto rep = Simulator(cfg).run(inst, plan);
+    EXPECT_TRUE(rep.completed);
+    EXPECT_DOUBLE_EQ(rep.collected_mb, 300.0);
+    EXPECT_NEAR(rep.hover_s, 2.0, 1e-9);
+    EXPECT_NEAR(rep.energy_saved_j, 8.0 * 150.0, 1e-9);
+}
+
+TEST(EarlyDeparture, NoSavingWhenDwellIsExact) {
+    const auto inst = manual_instance({{{30.0, 40.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 2.0, -1});
+    SimConfig cfg;
+    cfg.early_departure = true;
+    const auto rep = Simulator(cfg).run(inst, plan);
+    EXPECT_NEAR(rep.energy_saved_j, 0.0, 1e-9);
+    EXPECT_DOUBLE_EQ(rep.collected_mb, 300.0);
+}
+
+TEST(EarlyDeparture, SkipsStopsWithNothingLeft) {
+    // Second overlapping stop has nothing to collect: zero hover there.
+    const auto inst = manual_instance({{{50.0, 50.0}, 150.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 1.0, -1});
+    plan.stops.push_back({{55.0, 50.0}, 1.0, -1});
+    SimConfig cfg;
+    cfg.early_departure = true;
+    const auto rep = Simulator(cfg).run(inst, plan);
+    EXPECT_DOUBLE_EQ(rep.collected_mb, 150.0);
+    EXPECT_NEAR(rep.hover_s, 1.0, 1e-9);  // only the first stop hovers
+    EXPECT_NEAR(rep.energy_saved_j, 150.0, 1e-9);
+}
+
+TEST(EarlyDeparture, CollectsSameVolumeAsOpenLoop) {
+    // Adaptive execution never loses data relative to the planned dwell.
+    for (std::uint64_t seed : {81u, 82u, 83u}) {
+        const auto inst = small_instance(30, 300.0, seed);
+        core::Algorithm2Config pcfg;
+        pcfg.candidates.delta_m = 20.0;
+        const auto res = core::GreedyCoveragePlanner(pcfg).plan(inst);
+        SimConfig open, adaptive;
+        open.record_trace = adaptive.record_trace = false;
+        adaptive.early_departure = true;
+        const auto a = Simulator(open).run(inst, res.plan);
+        const auto b = Simulator(adaptive).run(inst, res.plan);
+        EXPECT_NEAR(a.collected_mb, b.collected_mb, 1e-6) << seed;
+        EXPECT_LE(b.energy_used_j, a.energy_used_j + 1e-9) << seed;
+        EXPECT_GE(b.energy_saved_j, -1e-9) << seed;
+        EXPECT_NEAR(a.energy_used_j - b.energy_used_j, b.energy_saved_j,
+                    1e-6)
+            << seed;
+    }
+}
+
+TEST(EarlyDeparture, SavedEnergyGrowsWithOverlap) {
+    // Dense overlapping plans (Alg 2 with fine grid) leave more redundant
+    // dwell on the table than the depot-only trivial plan.
+    const auto inst = small_instance(40, 250.0, 84);
+    core::Algorithm2Config pcfg;
+    pcfg.candidates.delta_m = 10.0;
+    const auto res = core::GreedyCoveragePlanner(pcfg).plan(inst);
+    SimConfig cfg;
+    cfg.record_trace = false;
+    cfg.early_departure = true;
+    const auto rep = Simulator(cfg).run(inst, res.plan);
+    EXPECT_GE(rep.energy_saved_j, 0.0);
+    EXPECT_TRUE(rep.completed);
+}
+
+TEST(EarlyDeparture, OffByDefault) {
+    const auto inst = manual_instance({{{30.0, 40.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 10.0, -1});
+    const auto rep = Simulator().run(inst, plan);
+    EXPECT_NEAR(rep.hover_s, 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(rep.energy_saved_j, 0.0);
+}
+
+}  // namespace
+}  // namespace uavdc::sim

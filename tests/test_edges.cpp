@@ -1,0 +1,140 @@
+// Edge-case coverage across modules: inputs at the boundaries of each
+// API's contract.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+#include "uavdc/core/algorithm2.hpp"
+#include "uavdc/core/evaluate.hpp"
+#include "uavdc/io/json.hpp"
+#include "uavdc/io/svg.hpp"
+#include "uavdc/orienteering/greedy.hpp"
+#include "uavdc/util/table.hpp"
+
+namespace uavdc {
+namespace {
+
+TEST(Edges, TableStreamPrint) {
+    util::Table t({"a"});
+    t.add_row({"x"});
+    std::ostringstream os;
+    t.print(os, 2);
+    EXPECT_EQ(os.str(), t.to_string(2));
+}
+
+TEST(Edges, JsonBadUnicodeEscape) {
+    EXPECT_THROW((void)io::Json::parse(R"("\uZZZZ")"), std::runtime_error);
+    EXPECT_THROW((void)io::Json::parse("\"ctrl\x01char\""),
+                 std::runtime_error);
+    EXPECT_THROW((void)io::Json::parse(R"("\q")"), std::runtime_error);
+}
+
+TEST(Edges, JsonAsciiUnicodeEscape) {
+    EXPECT_EQ(io::Json::parse(R"("A")").as_string(), "A");
+    EXPECT_EQ(io::Json::parse(R"("é")").as_string(), "\xC3\xA9");
+}
+
+TEST(Edges, JsonDeepNesting) {
+    std::string doc;
+    for (int i = 0; i < 60; ++i) doc += "[";
+    doc += "1";
+    for (int i = 0; i < 60; ++i) doc += "]";
+    const auto v = io::Json::parse(doc);
+    const io::Json* cur = &v;
+    for (int i = 0; i < 60; ++i) cur = &cur->as_array()[0];
+    EXPECT_DOUBLE_EQ(cur->as_number(), 1.0);
+}
+
+TEST(Edges, UavZeroSpeedTravelTime) {
+    model::UavConfig uav;
+    uav.speed_mps = 0.0;
+    EXPECT_DOUBLE_EQ(uav.travel_time(100.0), 0.0);
+    EXPECT_FALSE(uav.valid());
+}
+
+TEST(Edges, GreedyOrienteeringAllZeroPrizes) {
+    orienteering::Problem p;
+    std::vector<geom::Vec2> pts{{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}};
+    p.graph = graph::DenseGraph::euclidean(pts);
+    p.prizes = {0.0, 0.0, 0.0};
+    p.depot = 0;
+    p.budget = 100.0;
+    const auto s = orienteering::solve_greedy(p);
+    EXPECT_EQ(s.tour, std::vector<std::size_t>{0});
+    EXPECT_DOUBLE_EQ(s.prize, 0.0);
+}
+
+TEST(Edges, SvgOptionsVariants) {
+    const auto inst = testing::small_instance(8, 150.0, 94);
+    core::Algorithm2Config cfg;
+    cfg.candidates.delta_m = 30.0;
+    const auto res = core::GreedyCoveragePlanner(cfg).plan(inst);
+    io::SvgOptions opts;
+    opts.draw_coverage = false;
+    opts.draw_device_labels = true;
+    opts.scale_devices_by_data = false;
+    const std::string svg = io::render_svg(inst, &res.plan, opts);
+    EXPECT_EQ(svg.find("fill-opacity=\"0.10\""), std::string::npos)
+        << "coverage disks must be off";
+    EXPECT_NE(svg.find(">0</text>"), std::string::npos)
+        << "device id labels must be on";
+}
+
+TEST(Edges, EvaluateZeroDwellStopCollectsNothing) {
+    const auto inst = testing::manual_instance({{{50.0, 50.0}, 100.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 0.0, -1});
+    const auto ev = core::evaluate_plan(inst, plan);
+    EXPECT_DOUBLE_EQ(ev.collected_mb, 0.0);
+    EXPECT_GT(ev.energy_j, 0.0);  // travel still costs
+}
+
+TEST(Edges, RatioRuleNames) {
+    EXPECT_EQ(core::to_string(core::RatioRule::kPaper), "eq13");
+    EXPECT_EQ(core::to_string(core::RatioRule::kVolumeOnly), "volume");
+    EXPECT_EQ(core::to_string(core::RatioRule::kPerHover), "per-hover");
+}
+
+TEST(Edges, RatioRulesAllFeasibleAndComparable) {
+    const auto inst = testing::small_instance(30, 300.0, 95);
+    for (auto rule : {core::RatioRule::kPaper, core::RatioRule::kVolumeOnly,
+                      core::RatioRule::kPerHover}) {
+        core::Algorithm2Config cfg;
+        cfg.candidates.delta_m = 20.0;
+        cfg.ratio_rule = rule;
+        const auto res = core::GreedyCoveragePlanner(cfg).plan(inst);
+        EXPECT_TRUE(res.plan.feasible(inst.depot, inst.uav, 1e-6))
+            << core::to_string(rule);
+        EXPECT_GT(core::evaluate_plan(inst, res.plan).collected_mb, 0.0)
+            << core::to_string(rule);
+    }
+}
+
+TEST(Edges, PaperRuleCompetitiveUnderScarcity) {
+    // Eq. 13's energy-awareness keeps it within a few percent of the best
+    // alternative on any draw (which rule wins a given instance is noise;
+    // the bench sweep shows eq13 ahead at the scarcest points on average).
+    double paper = 0.0;
+    double volume = 0.0;
+    for (std::uint64_t seed : {96u, 97u, 98u, 99u}) {
+        auto inst = testing::small_instance(35, 320.0, seed);
+        inst.uav.energy_j = 2.5e4;
+        core::Algorithm2Config cfg;
+        cfg.candidates.delta_m = 20.0;
+        cfg.ratio_rule = core::RatioRule::kPaper;
+        paper += core::evaluate_plan(
+                     inst, core::GreedyCoveragePlanner(cfg).plan(inst).plan)
+                     .collected_mb;
+        cfg.ratio_rule = core::RatioRule::kVolumeOnly;
+        volume += core::evaluate_plan(
+                      inst,
+                      core::GreedyCoveragePlanner(cfg).plan(inst).plan)
+                      .collected_mb;
+    }
+    EXPECT_GT(paper, 0.9 * volume);
+}
+
+}  // namespace
+}  // namespace uavdc

@@ -1,0 +1,118 @@
+// Energy-model property suite: the per-metre (paper-literal) and
+// per-second readings of eta_t, FlightPlan accounting linearity, and the
+// evaluator/metrics/simulator agreement on randomly *handcrafted* plans
+// (planner outputs are well-formed by construction; these are not).
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/core/evaluate.hpp"
+#include "uavdc/core/metrics.hpp"
+#include "uavdc/sim/simulator.hpp"
+#include "uavdc/util/rng.hpp"
+
+namespace uavdc {
+namespace {
+
+model::FlightPlan random_plan(const model::Instance& inst, int stops,
+                              std::uint64_t seed) {
+    util::Rng rng(seed);
+    model::FlightPlan plan;
+    for (int i = 0; i < stops; ++i) {
+        plan.stops.push_back(
+            {{rng.uniform(inst.region.lo.x, inst.region.hi.x),
+              rng.uniform(inst.region.lo.y, inst.region.hi.y)},
+             rng.uniform(0.0, 8.0),
+             -1});
+    }
+    return plan;
+}
+
+TEST(EnergyModels, PerMeterAndPerSecondRelateBySpeed) {
+    // At speed v, per-metre rate r charges what per-second rate r*v does.
+    model::UavConfig per_meter;
+    per_meter.travel_energy_model = model::TravelEnergyModel::kPerMeter;
+    per_meter.travel_rate = 100.0;
+    model::UavConfig per_second = per_meter;
+    per_second.travel_energy_model = model::TravelEnergyModel::kPerSecond;
+    per_second.travel_rate = 100.0 * per_meter.speed_mps;
+    for (double dist : {0.0, 1.0, 123.4, 9999.0}) {
+        EXPECT_NEAR(per_meter.travel_energy(dist),
+                    per_second.travel_energy(dist), 1e-9);
+    }
+    EXPECT_NEAR(per_meter.travel_power_w(), per_second.travel_power_w(),
+                1e-9);
+}
+
+TEST(EnergyModels, PlanEnergyIsAdditiveInDwell) {
+    const auto inst = testing::small_instance(10, 200.0, 121);
+    auto plan = random_plan(inst, 5, 1);
+    const double base = plan.total_energy(inst.depot, inst.uav);
+    plan.stops[2].dwell_s += 7.0;
+    const double bumped = plan.total_energy(inst.depot, inst.uav);
+    EXPECT_NEAR(bumped - base, 7.0 * inst.uav.hover_power_w, 1e-9);
+}
+
+TEST(EnergyModels, TravelEnergyScalesWithTourLength) {
+    const auto inst = testing::small_instance(10, 200.0, 122);
+    const auto plan = random_plan(inst, 6, 2);
+    const auto e = plan.energy(inst.depot, inst.uav);
+    EXPECT_NEAR(e.travel_j, inst.uav.travel_energy(e.travel_m), 1e-9);
+    EXPECT_NEAR(e.travel_s, inst.uav.travel_time(e.travel_m), 1e-9);
+}
+
+class HandcraftedPlanSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(HandcraftedPlanSweep, EvaluatorMetricsSimulatorAgree) {
+    auto inst = testing::small_instance(30, 300.0, GetParam());
+    inst.uav.energy_j = 1.0e9;  // plans here are arbitrary, keep feasible
+    const auto plan = random_plan(inst, 12, GetParam() * 13 + 1);
+    const auto ev = core::evaluate_plan(inst, plan);
+    const auto met = core::compute_metrics(inst, plan);
+    sim::SimConfig cfg;
+    cfg.record_trace = false;
+    const auto rep = sim::Simulator(cfg).run(inst, plan);
+    EXPECT_TRUE(rep.completed);
+    EXPECT_NEAR(ev.collected_mb, rep.collected_mb, 1e-6);
+    EXPECT_NEAR(ev.collected_mb, met.collected_mb, 1e-6);
+    EXPECT_NEAR(ev.energy_j, rep.energy_used_j, 1e-6);
+    EXPECT_EQ(ev.devices_drained, rep.devices_drained);
+    for (std::size_t d = 0; d < ev.per_device_mb.size(); ++d) {
+        EXPECT_NEAR(ev.per_device_mb[d], rep.per_device_mb[d], 1e-6);
+    }
+}
+
+TEST_P(HandcraftedPlanSweep, CollectionMonotoneInDwell) {
+    auto inst = testing::small_instance(25, 280.0, GetParam() + 50);
+    inst.uav.energy_j = 1.0e9;
+    auto plan = random_plan(inst, 8, GetParam() * 7 + 3);
+    const double before =
+        core::evaluate_plan(inst, plan).collected_mb;
+    for (auto& s : plan.stops) s.dwell_s *= 2.0;
+    const double after = core::evaluate_plan(inst, plan).collected_mb;
+    EXPECT_GE(after, before - 1e-9);
+}
+
+TEST_P(HandcraftedPlanSweep, TruncationMonotoneInBattery) {
+    // More battery never yields less data for the same plan.
+    auto inst = testing::small_instance(25, 280.0, GetParam() + 80);
+    const auto plan = random_plan(inst, 10, GetParam() * 5 + 7);
+    sim::SimConfig cfg;
+    cfg.record_trace = false;
+    double prev = -1.0;
+    for (double e : {5.0e3, 2.0e4, 8.0e4, 1.0e9}) {
+        auto varied = inst;
+        varied.uav.energy_j = e;
+        const auto rep = sim::Simulator(cfg).run(varied, plan);
+        EXPECT_GE(rep.collected_mb, prev - 1e-9) << "E=" << e;
+        EXPECT_LE(rep.energy_used_j, e + 1e-6);
+        prev = rep.collected_mb;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HandcraftedPlanSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace uavdc

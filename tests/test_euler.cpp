@@ -1,0 +1,107 @@
+#include "uavdc/graph/euler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace uavdc::graph {
+namespace {
+
+/// Verify `walk` starting at `start` uses every edge exactly once.
+void check_circuit(const std::vector<std::size_t>& walk,
+                   const std::vector<Edge>& edges, std::size_t start) {
+    ASSERT_FALSE(walk.empty());
+    EXPECT_EQ(walk.front(), start);
+    // Multiset of undirected edges.
+    std::map<std::pair<std::size_t, std::size_t>, int> remaining;
+    for (const auto& e : edges) {
+        ++remaining[{std::min(e.u, e.v), std::max(e.u, e.v)}];
+    }
+    auto use = [&](std::size_t a, std::size_t b) {
+        auto it = remaining.find({std::min(a, b), std::max(a, b)});
+        ASSERT_NE(it, remaining.end()) << "edge not in graph";
+        ASSERT_GT(it->second, 0) << "edge reused";
+        --it->second;
+    };
+    for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+        use(walk[i], walk[i + 1]);
+    }
+    use(walk.back(), walk.front());  // implicit closing edge
+    for (const auto& [e, cnt] : remaining) {
+        EXPECT_EQ(cnt, 0) << "edge unused";
+    }
+}
+
+TEST(Euler, TriangleCircuit) {
+    const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}};
+    const auto walk = eulerian_circuit(3, edges, 0);
+    check_circuit(walk, edges, 0);
+    EXPECT_EQ(walk.size(), 3u);
+}
+
+TEST(Euler, MultiEdgePair) {
+    // Two parallel edges between 0 and 1: circuit 0 -> 1 -> (0).
+    const std::vector<Edge> edges{{0, 1, 1.0}, {0, 1, 2.0}};
+    const auto walk = eulerian_circuit(2, edges, 0);
+    check_circuit(walk, edges, 0);
+}
+
+TEST(Euler, FigureEight) {
+    // Two triangles sharing node 0 — all degrees even.
+    const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0},
+                                  {0, 3, 1.0}, {3, 4, 1.0}, {4, 0, 1.0}};
+    const auto walk = eulerian_circuit(5, edges, 0);
+    check_circuit(walk, edges, 0);
+    EXPECT_EQ(walk.size(), 6u);
+}
+
+TEST(Euler, StartFromDifferentNode) {
+    const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}};
+    const auto walk = eulerian_circuit(3, edges, 2);
+    check_circuit(walk, edges, 2);
+}
+
+TEST(Euler, OddDegreeThrows) {
+    const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 1.0}};
+    EXPECT_THROW(eulerian_circuit(3, edges, 0), std::invalid_argument);
+}
+
+TEST(Euler, DisconnectedThrows) {
+    // Two disjoint 2-cycles; start can't reach the second.
+    const std::vector<Edge> edges{{0, 1, 1.0}, {0, 1, 1.0},
+                                  {2, 3, 1.0}, {2, 3, 1.0}};
+    EXPECT_THROW(eulerian_circuit(4, edges, 0), std::invalid_argument);
+}
+
+TEST(Euler, IsolatedStartThrows) {
+    const std::vector<Edge> edges{{1, 2, 1.0}, {1, 2, 1.0}};
+    EXPECT_THROW(eulerian_circuit(3, edges, 0), std::invalid_argument);
+}
+
+TEST(Euler, BadStartThrows) {
+    EXPECT_THROW(eulerian_circuit(2, {}, 5), std::invalid_argument);
+}
+
+TEST(Euler, NoEdgesSingleNode) {
+    const auto walk = eulerian_circuit(1, {}, 0);
+    EXPECT_EQ(walk, std::vector<std::size_t>{0});
+}
+
+TEST(Shortcut, KeepsFirstOccurrences) {
+    const std::vector<std::size_t> walk{0, 1, 2, 0, 3, 1, 4};
+    EXPECT_EQ(shortcut_walk(walk),
+              (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Shortcut, EmptyWalk) {
+    EXPECT_TRUE(shortcut_walk({}).empty());
+}
+
+TEST(Shortcut, AlreadySimple) {
+    const std::vector<std::size_t> walk{3, 1, 2};
+    EXPECT_EQ(shortcut_walk(walk), walk);
+}
+
+}  // namespace
+}  // namespace uavdc::graph

@@ -1,0 +1,123 @@
+#include "uavdc/core/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace uavdc::core {
+namespace {
+
+using testing::manual_instance;
+
+TEST(Evaluate, EmptyPlanCollectsNothing) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 300.0}});
+    const model::FlightPlan plan;
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_DOUBLE_EQ(ev.collected_mb, 0.0);
+    EXPECT_DOUBLE_EQ(ev.energy_j, 0.0);
+    EXPECT_TRUE(ev.energy_feasible);
+    EXPECT_EQ(ev.devices_touched, 0);
+}
+
+TEST(Evaluate, FullCollectionAtOneStop) {
+    // Device 300 MB at 150 MB/s needs 2 s dwell.
+    const auto inst = manual_instance({{{50.0, 50.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 2.0, -1});
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_DOUBLE_EQ(ev.collected_mb, 300.0);
+    EXPECT_EQ(ev.devices_touched, 1);
+    EXPECT_EQ(ev.devices_drained, 1);
+}
+
+TEST(Evaluate, PartialCollectionShortDwell) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 1.0, -1});  // 150 MB of 300
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_DOUBLE_EQ(ev.collected_mb, 150.0);
+    EXPECT_EQ(ev.devices_touched, 1);
+    EXPECT_EQ(ev.devices_drained, 0);
+}
+
+TEST(Evaluate, DeviceOutsideCoverageIgnored) {
+    const auto inst = manual_instance({{{150.0, 150.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 10.0, -1});  // > 50 m away
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_DOUBLE_EQ(ev.collected_mb, 0.0);
+}
+
+TEST(Evaluate, ConcurrentUploadsAtOneStop) {
+    // Two devices in range; both upload simultaneously (OFDMA).
+    const auto inst = manual_instance(
+        {{{40.0, 50.0}, 150.0}, {{60.0, 50.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 2.0, -1});
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_DOUBLE_EQ(ev.collected_mb, 450.0);
+    EXPECT_EQ(ev.devices_drained, 2);
+}
+
+TEST(Evaluate, ResidualCarriedAcrossStops) {
+    // One device covered by two stops, each dwell covers half the data.
+    const auto inst = manual_instance({{{50.0, 50.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 50.0}, 1.0, -1});
+    plan.stops.push_back({{70.0, 50.0}, 1.0, -1});
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_DOUBLE_EQ(ev.collected_mb, 300.0);
+    EXPECT_EQ(ev.devices_drained, 1);
+    EXPECT_DOUBLE_EQ(ev.per_device_mb[0], 300.0);
+}
+
+TEST(Evaluate, NoDoubleCountingWithOverlap) {
+    // Device fully drained at the first stop contributes nothing at the
+    // second overlapping stop.
+    const auto inst = manual_instance({{{50.0, 50.0}, 150.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 5.0, -1});
+    plan.stops.push_back({{55.0, 50.0}, 5.0, -1});
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_DOUBLE_EQ(ev.collected_mb, 150.0);
+}
+
+TEST(Evaluate, EnergyAccountingMatchesPlan) {
+    const auto inst = manual_instance({{{30.0, 40.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 2.0, -1});
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_DOUBLE_EQ(ev.energy_j, plan.total_energy(inst.depot, inst.uav));
+    EXPECT_DOUBLE_EQ(ev.tour_time_s,
+                     plan.energy(inst.depot, inst.uav).total_s());
+}
+
+TEST(Evaluate, InfeasibleFlagged) {
+    auto inst = manual_instance({{{30.0, 40.0}, 300.0}});
+    inst.uav.energy_j = 100.0;  // plan needs 1300 J
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 2.0, -1});
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_FALSE(ev.energy_feasible);
+}
+
+TEST(Evaluate, BoundaryDeviceCollected) {
+    // Device exactly at R0 = 50 m from the stop is covered (closed disk).
+    const auto inst = manual_instance({{{100.0, 50.0}, 150.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 1.0, -1});
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_DOUBLE_EQ(ev.collected_mb, 150.0);
+}
+
+TEST(Evaluate, ZeroDataDeviceNotTouched) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 0.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 1.0, -1});
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_EQ(ev.devices_touched, 0);
+    EXPECT_DOUBLE_EQ(ev.collected_mb, 0.0);
+}
+
+}  // namespace
+}  // namespace uavdc::core

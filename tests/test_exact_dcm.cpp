@@ -1,0 +1,100 @@
+#include "uavdc/core/exact_dcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/core/algorithm1.hpp"
+#include "uavdc/core/algorithm2.hpp"
+#include "uavdc/core/algorithm3.hpp"
+#include "uavdc/core/evaluate.hpp"
+
+namespace uavdc::core {
+namespace {
+
+/// Tiny instances whose coarse candidate grid stays within the exact
+/// solver's enumeration guard.
+model::Instance tiny_instance(std::uint64_t seed, double energy = 4.0e4) {
+    return testing::small_instance(12, 180.0, seed, energy);
+}
+
+ExactDcmConfig coarse_cfg() {
+    ExactDcmConfig cfg;
+    cfg.candidates.delta_m = 60.0;  // few, coarse candidates
+    cfg.max_candidates_for_exact = 12;
+    return cfg;
+}
+
+TEST(ExactDcm, FeasibleAndConsistentWithEvaluator) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const auto inst = tiny_instance(seed);
+        const auto res = solve_exact_dcm(inst, coarse_cfg());
+        EXPECT_TRUE(res.plan.feasible(inst.depot, inst.uav, 1e-6));
+        EXPECT_LE(res.energy_j, inst.uav.energy_j + 1e-6);
+        // The evaluator must find at least the claimed union volume.
+        const auto ev = evaluate_plan(inst, res.plan);
+        EXPECT_GE(ev.collected_mb, res.collected_mb - 1e-6);
+        EXPECT_GT(res.subsets_checked, 0);
+    }
+}
+
+TEST(ExactDcm, DominatesHeuristicsOnSameCandidates) {
+    // On the *same candidate set*, the exact solver is an upper bound for
+    // Algorithm 2's greedy rule (both do full collection per stop).
+    for (std::uint64_t seed : {4u, 5u, 6u, 7u}) {
+        const auto inst = tiny_instance(seed);
+        const auto cfg = coarse_cfg();
+        const auto exact = solve_exact_dcm(inst, cfg);
+
+        Algorithm2Config a2;
+        a2.candidates = cfg.candidates;
+        const auto greedy = GreedyCoveragePlanner(a2).plan(inst);
+        const double greedy_mb =
+            evaluate_plan(inst, greedy.plan).collected_mb;
+        EXPECT_GE(exact.collected_mb, greedy_mb - 1e-6) << "seed " << seed;
+    }
+}
+
+TEST(ExactDcm, HeuristicsWithinReasonableGap) {
+    // The paper's heuristics should land within 25% of optimal on tiny
+    // instances (aggregate over seeds; individually they can be worse).
+    double exact_sum = 0.0;
+    double greedy_sum = 0.0;
+    for (std::uint64_t seed : {8u, 9u, 10u, 11u, 12u}) {
+        const auto inst = tiny_instance(seed, 3.0e4);
+        const auto cfg = coarse_cfg();
+        exact_sum += solve_exact_dcm(inst, cfg).collected_mb;
+        Algorithm2Config a2;
+        a2.candidates = cfg.candidates;
+        greedy_sum +=
+            evaluate_plan(inst, GreedyCoveragePlanner(a2).plan(inst).plan)
+                .collected_mb;
+    }
+    EXPECT_GE(greedy_sum, 0.75 * exact_sum);
+}
+
+TEST(ExactDcm, GuardsAgainstLargeCandidateSets) {
+    const auto inst = testing::small_instance(60, 400.0, 13);
+    ExactDcmConfig cfg;
+    cfg.candidates.delta_m = 10.0;  // hundreds of candidates
+    EXPECT_THROW((void)solve_exact_dcm(inst, cfg), std::invalid_argument);
+}
+
+TEST(ExactDcm, EmptyInstance) {
+    model::Instance inst;
+    inst.region = geom::Aabb::of_size(100.0, 100.0);
+    inst.depot = {0.0, 0.0};
+    const auto res = solve_exact_dcm(inst, coarse_cfg());
+    EXPECT_TRUE(res.plan.empty());
+    EXPECT_DOUBLE_EQ(res.collected_mb, 0.0);
+}
+
+TEST(ExactDcm, TinyBudgetCollectsNothing) {
+    auto inst = tiny_instance(14);
+    inst.uav.energy_j = 1.0;
+    const auto res = solve_exact_dcm(inst, coarse_cfg());
+    EXPECT_TRUE(res.plan.empty());
+    EXPECT_DOUBLE_EQ(res.collected_mb, 0.0);
+}
+
+}  // namespace
+}  // namespace uavdc::core

@@ -1,0 +1,143 @@
+// Failure-injection suite: deliberately infeasible plans, drained
+// batteries at every phase of the tour, and corrupted inputs. The
+// simulator must degrade gracefully (truncate, never overdraw, account
+// exactly); the loaders must reject rather than mis-load.
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/core/algorithm2.hpp"
+#include "uavdc/core/validate_plan.hpp"
+#include "uavdc/io/serialize.hpp"
+#include "uavdc/sim/simulator.hpp"
+#include "uavdc/util/rng.hpp"
+
+namespace uavdc {
+namespace {
+
+using testing::manual_instance;
+using testing::small_instance;
+
+TEST(FailureInjection, BatteryFractionSweepNeverOverdraws) {
+    // Run the same plan at every battery fraction; energy used must never
+    // exceed the battery and must be monotone in it.
+    const auto inst = small_instance(25, 280.0, 131);
+    core::Algorithm2Config cfg;
+    cfg.candidates.delta_m = 20.0;
+    const auto plan = core::GreedyCoveragePlanner(cfg).plan(inst).plan;
+    const double full =
+        plan.total_energy(inst.depot, inst.uav);
+    sim::SimConfig scfg;
+    scfg.record_trace = false;
+    double prev_used = -1.0;
+    for (double frac : {0.05, 0.2, 0.4, 0.6, 0.8, 0.99}) {
+        auto starved = inst;
+        starved.uav.energy_j = frac * full;
+        const auto rep = sim::Simulator(scfg).run(starved, plan);
+        EXPECT_LE(rep.energy_used_j, starved.uav.energy_j + 1e-6)
+            << "frac " << frac;
+        EXPECT_TRUE(rep.battery_depleted) << "frac " << frac;
+        EXPECT_FALSE(rep.completed) << "frac " << frac;
+        EXPECT_GE(rep.energy_used_j, prev_used - 1e-6);
+        prev_used = rep.energy_used_j;
+    }
+}
+
+TEST(FailureInjection, TruncationAccountingConsistent) {
+    // Wherever the battery dies, time/energy bookkeeping must reconcile:
+    // energy == travel_s * P_t + hover_s * P_h (to fp tolerance).
+    const auto inst = small_instance(20, 250.0, 132);
+    core::Algorithm2Config cfg;
+    cfg.candidates.delta_m = 20.0;
+    const auto plan = core::GreedyCoveragePlanner(cfg).plan(inst).plan;
+    const double full = plan.total_energy(inst.depot, inst.uav);
+    sim::SimConfig scfg;
+    scfg.record_trace = false;
+    for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        auto starved = inst;
+        starved.uav.energy_j = frac * full;
+        const auto rep = sim::Simulator(scfg).run(starved, plan);
+        const double recomputed =
+            rep.travel_s * starved.uav.travel_power_w() +
+            rep.hover_s * starved.uav.hover_power_w;
+        EXPECT_NEAR(rep.energy_used_j, recomputed, 1e-6) << "frac " << frac;
+    }
+}
+
+TEST(FailureInjection, DepletionDuringFinalReturnLeg) {
+    // Enough energy for the outbound leg and hover, not for the return.
+    auto inst = manual_instance({{{100.0, 0.0}, 150.0}}, 300.0);
+    model::FlightPlan plan;
+    plan.stops.push_back({{100.0, 0.0}, 1.0, -1});
+    // Outbound 100 m = 1e4 J, hover 1 s = 150 J, return needs 1e4 more.
+    inst.uav.energy_j = 1.0e4 + 150.0 + 5.0e3;
+    const auto rep = sim::Simulator().run(inst, plan);
+    EXPECT_TRUE(rep.battery_depleted);
+    EXPECT_FALSE(rep.completed);
+    // The data was already collected before the battery died.
+    EXPECT_DOUBLE_EQ(rep.collected_mb, 150.0);
+    EXPECT_EQ(rep.stops_visited, 1);
+}
+
+TEST(FailureInjection, ValidatorCatchesSimulatorTruncationCases) {
+    // Any plan the simulator truncates must fail validation up front.
+    util::Rng rng(133);
+    const auto inst = small_instance(20, 250.0, 134);
+    for (int trial = 0; trial < 10; ++trial) {
+        model::FlightPlan plan;
+        const int stops = static_cast<int>(rng.uniform_int(1, 6));
+        for (int i = 0; i < stops; ++i) {
+            plan.stops.push_back(
+                {{rng.uniform(0.0, 250.0), rng.uniform(0.0, 250.0)},
+                 rng.uniform(0.0, 400.0),
+                 -1});
+        }
+        sim::SimConfig scfg;
+        scfg.record_trace = false;
+        const auto rep = sim::Simulator(scfg).run(inst, plan);
+        const auto val = core::validate_plan(inst, plan);
+        if (!rep.completed) {
+            EXPECT_FALSE(val.ok())
+                << "trial " << trial
+                << ": simulator truncated but validator passed";
+        }
+    }
+}
+
+TEST(FailureInjection, LoaderRejectsTamperedInstances) {
+    const auto inst = small_instance(8, 150.0, 135);
+    // Device pushed outside the region.
+    {
+        io::Json doc = io::to_json(inst);
+        doc["devices"].as_array()[0]["x"] = 1e9;
+        EXPECT_THROW((void)io::instance_from_json(doc),
+                     std::invalid_argument);
+    }
+    // Missing required section.
+    {
+        io::Json doc = io::to_json(inst);
+        doc.as_object().erase("uav");
+        EXPECT_THROW((void)io::instance_from_json(doc),
+                     std::runtime_error);
+    }
+    // Wrong type for devices.
+    {
+        io::Json doc = io::to_json(inst);
+        doc["devices"] = "not-an-array";
+        EXPECT_THROW((void)io::instance_from_json(doc),
+                     std::runtime_error);
+    }
+}
+
+TEST(FailureInjection, ZeroCapacityBatteryDoesNothing) {
+    auto inst = manual_instance({{{50.0, 50.0}, 100.0}});
+    inst.uav.energy_j = 1e-9;
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 1.0, -1});
+    const auto rep = sim::Simulator().run(inst, plan);
+    EXPECT_DOUBLE_EQ(rep.collected_mb, 0.0);
+    EXPECT_LE(rep.energy_used_j, 1e-9 + 1e-12);
+}
+
+}  // namespace
+}  // namespace uavdc

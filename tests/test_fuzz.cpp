@@ -1,0 +1,212 @@
+// Randomized property tests: structures survive round-trips and the
+// routing substrate agrees with brute-force references on random inputs.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <string>
+
+#include "uavdc/geom/obstacle_field.hpp"
+#include "uavdc/io/json.hpp"
+#include "uavdc/io/serialize.hpp"
+#include "uavdc/util/rng.hpp"
+#include "uavdc/workload/generator.hpp"
+
+namespace uavdc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON: random documents round-trip through dump + parse.
+// ---------------------------------------------------------------------------
+
+io::Json random_json(util::Rng& rng, int depth) {
+    const int kind =
+        static_cast<int>(rng.uniform_int(0, depth > 0 ? 5 : 3));
+    switch (kind) {
+        case 0:
+            return io::Json(nullptr);
+        case 1:
+            return io::Json(rng.bernoulli(0.5));
+        case 2:
+            return io::Json(rng.uniform(-1e6, 1e6));
+        case 3: {
+            std::string s;
+            const auto len = rng.uniform_int(0, 12);
+            for (int i = 0; i < len; ++i) {
+                // Mix printable ASCII with characters needing escapes.
+                const char pool[] =
+                    "abcXYZ019 _-\"\\\n\t,{}[]:";
+                s += pool[rng.uniform_int(
+                    0, static_cast<std::int64_t>(sizeof(pool)) - 2)];
+            }
+            return io::Json(std::move(s));
+        }
+        case 4: {
+            io::Json::Array arr;
+            const auto len = rng.uniform_int(0, 5);
+            for (int i = 0; i < len; ++i) {
+                arr.push_back(random_json(rng, depth - 1));
+            }
+            return io::Json(std::move(arr));
+        }
+        default: {
+            io::Json::Object obj;
+            const auto len = rng.uniform_int(0, 5);
+            for (int i = 0; i < len; ++i) {
+                obj["k" + std::to_string(i) +
+                    std::to_string(rng.uniform_int(0, 99))] =
+                    random_json(rng, depth - 1);
+            }
+            return io::Json(std::move(obj));
+        }
+    }
+}
+
+class JsonFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonFuzz, RandomDocumentRoundTrips) {
+    util::Rng rng(GetParam());
+    for (int trial = 0; trial < 40; ++trial) {
+        const io::Json doc = random_json(rng, 4);
+        const io::Json compact = io::Json::parse(doc.dump());
+        EXPECT_EQ(compact, doc) << "compact, trial " << trial;
+        const io::Json pretty = io::Json::parse(doc.dump(2));
+        EXPECT_EQ(pretty, doc) << "pretty, trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// Instance serialization fuzz: every generated workload round-trips.
+// ---------------------------------------------------------------------------
+
+class InstanceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InstanceFuzz, GeneratedInstanceRoundTrips) {
+    util::Rng rng(GetParam());
+    workload::GeneratorConfig cfg;
+    cfg.num_devices = static_cast<int>(rng.uniform_int(0, 60));
+    cfg.region_w = rng.uniform(50.0, 600.0);
+    cfg.region_h = rng.uniform(50.0, 600.0);
+    cfg.deployment = static_cast<workload::Deployment>(
+        rng.uniform_int(0, 3));
+    cfg.volumes = static_cast<workload::VolumeModel>(rng.uniform_int(0, 3));
+    cfg.depot = {rng.uniform(-10.0, 700.0), rng.uniform(-10.0, 700.0)};
+    const auto inst = workload::generate(cfg, GetParam() * 31 + 7);
+    const auto back =
+        io::instance_from_json(io::Json::parse(io::to_json(inst).dump()));
+    ASSERT_EQ(back.devices.size(), inst.devices.size());
+    for (std::size_t i = 0; i < inst.devices.size(); ++i) {
+        EXPECT_DOUBLE_EQ(back.devices[i].pos.x, inst.devices[i].pos.x);
+        EXPECT_DOUBLE_EQ(back.devices[i].pos.y, inst.devices[i].pos.y);
+        EXPECT_DOUBLE_EQ(back.devices[i].data_mb, inst.devices[i].data_mb);
+    }
+    EXPECT_DOUBLE_EQ(back.uav.energy_j, inst.uav.energy_j);
+    EXPECT_EQ(back.uav.travel_energy_model, inst.uav.travel_energy_model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InstanceFuzz,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u, 16u));
+
+// ---------------------------------------------------------------------------
+// Obstacle routing vs. a fine-grid BFS reference.
+// ---------------------------------------------------------------------------
+
+double grid_bfs_path(const geom::ObstacleField& field, const geom::Vec2& a,
+                     const geom::Vec2& b, double world, double step) {
+    // 8-connected grid Dijkstra as an upper-bound reference.
+    const int n = static_cast<int>(world / step) + 1;
+    auto id = [&](int x, int y) { return y * n + x; };
+    auto pos = [&](int x, int y) {
+        return geom::Vec2{x * step, y * step};
+    };
+    const int sx = static_cast<int>(std::lround(a.x / step));
+    const int sy = static_cast<int>(std::lround(a.y / step));
+    const int tx = static_cast<int>(std::lround(b.x / step));
+    const int ty = static_cast<int>(std::lround(b.y / step));
+    std::vector<double> dist(static_cast<std::size_t>(n) * n, 1e18);
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    dist[static_cast<std::size_t>(id(sx, sy))] = 0.0;
+    heap.push({0.0, id(sx, sy)});
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        const int ux = u % n;
+        const int uy = u / n;
+        if (d > dist[static_cast<std::size_t>(u)] + 1e-12) continue;
+        if (ux == tx && uy == ty) return d;
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                if (dx == 0 && dy == 0) continue;
+                const int vx = ux + dx;
+                const int vy = uy + dy;
+                if (vx < 0 || vy < 0 || vx >= n || vy >= n) continue;
+                if (!field.segment_clear(pos(ux, uy), pos(vx, vy))) {
+                    continue;
+                }
+                const double w = geom::distance(pos(ux, uy), pos(vx, vy));
+                const int v = id(vx, vy);
+                if (d + w < dist[static_cast<std::size_t>(v)]) {
+                    dist[static_cast<std::size_t>(v)] = d + w;
+                    heap.push({d + w, v});
+                }
+            }
+        }
+    }
+    return 1e18;
+}
+
+class ObstacleFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ObstacleFuzz, VisibilityPathNoLongerThanGridPath) {
+    util::Rng rng(GetParam());
+    const double world = 100.0;
+    std::vector<geom::Aabb> zones;
+    const auto nz = rng.uniform_int(1, 3);
+    for (int i = 0; i < nz; ++i) {
+        const geom::Vec2 lo{rng.uniform(10.0, 70.0),
+                            rng.uniform(10.0, 70.0)};
+        zones.push_back(geom::Aabb{
+            lo, lo + geom::Vec2{rng.uniform(5.0, 25.0),
+                                rng.uniform(5.0, 25.0)}});
+    }
+    const geom::ObstacleField field(zones);
+    const double step = 5.0;
+    auto snap = [&](const geom::Vec2& p) {
+        return geom::Vec2{std::round(p.x / step) * step,
+                          std::round(p.y / step) * step};
+    };
+    for (int trial = 0; trial < 5; ++trial) {
+        // Snap endpoints to the reference lattice so both methods solve
+        // the same query.
+        const geom::Vec2 a =
+            snap({rng.uniform(0.0, world), rng.uniform(0.0, world)});
+        const geom::Vec2 b =
+            snap({rng.uniform(0.0, world), rng.uniform(0.0, world)});
+        if (field.blocked(a) || field.blocked(b)) continue;
+        const auto res = field.shortest_path(a, b);
+        ASSERT_TRUE(res.reachable);
+        // Lower bound: straight-line distance.
+        EXPECT_GE(res.length_m, geom::distance(a, b) - 1e-9);
+        // Upper bound: any grid path (grid is coarse, so generous slack).
+        const double grid = grid_bfs_path(field, a, b, world, step);
+        if (grid < 1e17) {
+            EXPECT_LE(res.length_m, grid + 1e-6)
+                << "visibility path must not exceed a grid path";
+        }
+        // Every returned leg must be clear.
+        for (std::size_t i = 0; i + 1 < res.waypoints.size(); ++i) {
+            EXPECT_TRUE(field.segment_clear(res.waypoints[i],
+                                            res.waypoints[i + 1]));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObstacleFuzz,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u, 26u));
+
+}  // namespace
+}  // namespace uavdc

@@ -1,0 +1,87 @@
+#include "uavdc/graph/held_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "uavdc/graph/christofides.hpp"
+#include "uavdc/util/rng.hpp"
+
+namespace uavdc::graph {
+namespace {
+
+DenseGraph random_euclidean(int n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < n; ++i) {
+        pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    }
+    return DenseGraph::euclidean(pts);
+}
+
+double brute_force(const DenseGraph& g) {
+    std::vector<std::size_t> perm(g.size());
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    double best = 1e18;
+    do {
+        best = std::min(best, g.tour_length(perm));
+    } while (std::next_permutation(perm.begin() + 1, perm.end()));
+    return best;
+}
+
+TEST(HeldKarp, TrivialSizes) {
+    EXPECT_TRUE(held_karp_tour(DenseGraph(0)).empty());
+    EXPECT_EQ(held_karp_tour(DenseGraph(1)), std::vector<std::size_t>{0});
+    DenseGraph g2(2);
+    g2.set_weight(0, 1, 3.0);
+    EXPECT_DOUBLE_EQ(held_karp_length(g2), 6.0);
+}
+
+TEST(HeldKarp, MatchesBruteForce) {
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        const DenseGraph g = random_euclidean(8, seed);
+        EXPECT_NEAR(held_karp_length(g), brute_force(g), 1e-9)
+            << "seed " << seed;
+    }
+}
+
+TEST(HeldKarp, TourIsValidPermutation) {
+    const DenseGraph g = random_euclidean(12, 5);
+    const auto tour = held_karp_tour(g, 3);
+    ASSERT_EQ(tour.size(), g.size());
+    EXPECT_EQ(tour.front(), 3u);
+    const std::set<std::size_t> s(tour.begin(), tour.end());
+    EXPECT_EQ(s.size(), g.size());
+    EXPECT_NEAR(g.tour_length(tour), held_karp_length(g, 3), 1e-9);
+}
+
+TEST(HeldKarp, StartNodeInvariantLength) {
+    const DenseGraph g = random_euclidean(10, 6);
+    const double base = held_karp_length(g, 0);
+    for (std::size_t start : {1u, 4u, 9u}) {
+        EXPECT_NEAR(held_karp_length(g, start), base, 1e-9);
+    }
+}
+
+TEST(HeldKarp, ChristofidesWithinApproximationFactor) {
+    // Exact matching is used at these sizes, so the 1.5 bound applies.
+    for (std::uint64_t seed : {10u, 11u, 12u, 13u, 14u}) {
+        const DenseGraph g = random_euclidean(13, seed);
+        const double opt = held_karp_length(g);
+        const double approx = g.tour_length(christofides_tour(g, 0));
+        EXPECT_LE(approx, 1.5 * opt + 1e-9) << "seed " << seed;
+        EXPECT_GE(approx, opt - 1e-9) << "seed " << seed;
+    }
+}
+
+TEST(HeldKarp, ErrorsOnBadInput) {
+    const DenseGraph g(5);
+    EXPECT_THROW((void)held_karp_tour(g, 9), std::invalid_argument);
+    EXPECT_THROW((void)held_karp_tour(DenseGraph(23)),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uavdc::graph

@@ -1,0 +1,164 @@
+#include "uavdc/core/hover_candidates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.hpp"
+
+namespace uavdc::core {
+namespace {
+
+using testing::manual_instance;
+using testing::small_instance;
+
+TEST(HoverCandidates, SingleDeviceQuantities) {
+    const auto inst = manual_instance({{{100.0, 100.0}, 300.0}});
+    HoverCandidateConfig cfg;
+    cfg.delta_m = 20.0;
+    cfg.dedupe_identical_coverage = false;
+    cfg.max_candidates = 0;
+    const auto set = build_hover_candidates(inst, cfg);
+    ASSERT_GT(set.size(), 0u);
+    for (const auto& c : set.candidates) {
+        EXPECT_LE(geom::distance(c.pos, {100.0, 100.0}),
+                  inst.uav.coverage_radius_m + 1e-9);
+        EXPECT_DOUBLE_EQ(c.award_mb, 300.0);
+        EXPECT_DOUBLE_EQ(c.dwell_s, 2.0);  // 300 MB / 150 MB/s
+        EXPECT_DOUBLE_EQ(c.hover_energy_j, 300.0);  // 2 s * 150 W
+        EXPECT_EQ(c.covered, std::vector<int>{0});
+    }
+    // Number of candidate cells ~ area of the disk / delta^2.
+    EXPECT_GT(set.size(), 10u);
+    EXPECT_EQ(set.grid_cells, 100);  // (200/20)^2
+}
+
+TEST(HoverCandidates, AwardSumsCoveredDevices) {
+    const auto inst = manual_instance(
+        {{{100.0, 100.0}, 200.0}, {{110.0, 100.0}, 400.0}});
+    HoverCandidateConfig cfg;
+    cfg.delta_m = 10.0;
+    cfg.dedupe_identical_coverage = false;
+    cfg.max_candidates = 0;
+    const auto set = build_hover_candidates(inst, cfg);
+    bool found_both = false;
+    for (const auto& c : set.candidates) {
+        if (c.covered.size() == 2) {
+            found_both = true;
+            EXPECT_DOUBLE_EQ(c.award_mb, 600.0);
+            // Dwell: max upload time = 400/150.
+            EXPECT_NEAR(c.dwell_s, 400.0 / 150.0, 1e-12);
+        }
+    }
+    EXPECT_TRUE(found_both);
+}
+
+TEST(HoverCandidates, EmptyCellsDropped) {
+    const auto inst = manual_instance({{{20.0, 20.0}, 100.0}}, 1000.0);
+    HoverCandidateConfig cfg;
+    cfg.delta_m = 50.0;
+    cfg.max_candidates = 0;
+    const auto set = build_hover_candidates(inst, cfg);
+    EXPECT_EQ(set.grid_cells, 400);
+    EXPECT_LT(set.nonzero_cells, 20);
+    for (const auto& c : set.candidates) {
+        EXPECT_FALSE(c.covered.empty());
+    }
+}
+
+TEST(HoverCandidates, DedupeRemovesIdenticalCoverage) {
+    // One isolated device with a fine grid: many cells share the identical
+    // single-device coverage set; dedup keeps exactly one.
+    const auto inst = manual_instance({{{100.0, 100.0}, 300.0}});
+    HoverCandidateConfig fine;
+    fine.delta_m = 5.0;
+    fine.dedupe_identical_coverage = false;
+    fine.max_candidates = 0;
+    const auto raw = build_hover_candidates(inst, fine);
+    fine.dedupe_identical_coverage = true;
+    const auto dedup = build_hover_candidates(inst, fine);
+    EXPECT_GT(raw.size(), 100u);
+    EXPECT_EQ(dedup.size(), 1u);
+    // The kept representative is the best-centred one.
+    EXPECT_LE(geom::distance(dedup.candidates[0].pos, {100.0, 100.0}),
+              fine.delta_m);
+}
+
+TEST(HoverCandidates, CapRespectedAndDevicesStillCovered) {
+    const auto inst = small_instance(60, 400.0, 11);
+    HoverCandidateConfig cfg;
+    cfg.delta_m = 10.0;
+    cfg.max_candidates = 25;
+    const auto set = build_hover_candidates(inst, cfg);
+    EXPECT_LE(set.size(), 25u);
+    // Every device coverable before the cap stays coverable after it.
+    std::set<int> covered;
+    for (const auto& c : set.candidates) {
+        covered.insert(c.covered.begin(), c.covered.end());
+    }
+    HoverCandidateConfig uncapped = cfg;
+    uncapped.max_candidates = 0;
+    const auto full = build_hover_candidates(inst, uncapped);
+    std::set<int> coverable;
+    for (const auto& c : full.candidates) {
+        coverable.insert(c.covered.begin(), c.covered.end());
+    }
+    EXPECT_EQ(covered, coverable);
+}
+
+TEST(HoverCandidates, InflateCoversEdgeDevices) {
+    // Device in the region corner: without inflation the best cell centre
+    // is inside the region; with inflation centres outside may cover it
+    // better. Both must cover the device.
+    const auto inst = manual_instance({{{1.0, 1.0}, 100.0}});
+    HoverCandidateConfig cfg;
+    cfg.delta_m = 10.0;
+    cfg.max_candidates = 0;
+    cfg.dedupe_identical_coverage = false;
+    const auto inside = build_hover_candidates(inst, cfg);
+    cfg.inflate_by_coverage = true;
+    const auto inflated = build_hover_candidates(inst, cfg);
+    EXPECT_GT(inflated.size(), inside.size());
+}
+
+TEST(HoverCandidates, NoDevicesNoCandidates) {
+    model::Instance inst;
+    inst.region = geom::Aabb::of_size(100.0, 100.0);
+    inst.depot = {0.0, 0.0};
+    const auto set = build_hover_candidates(inst, {});
+    EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(HoverCandidates, DeltaControlsGranularity) {
+    const auto inst = small_instance(30, 300.0, 3);
+    HoverCandidateConfig coarse;
+    coarse.delta_m = 50.0;
+    coarse.max_candidates = 0;
+    coarse.dedupe_identical_coverage = false;
+    HoverCandidateConfig fine = coarse;
+    fine.delta_m = 10.0;
+    const auto c = build_hover_candidates(inst, coarse);
+    const auto f = build_hover_candidates(inst, fine);
+    EXPECT_GT(f.size(), c.size());
+}
+
+
+TEST(HoverCandidates, PositionFilterDropsBlockedCells) {
+    const auto inst = manual_instance({{{100.0, 100.0}, 300.0}});
+    HoverCandidateConfig cfg;
+    cfg.delta_m = 10.0;
+    cfg.dedupe_identical_coverage = false;
+    cfg.max_candidates = 0;
+    const auto all = build_hover_candidates(inst, cfg);
+    // Forbid the right half-plane.
+    cfg.position_ok = [](const geom::Vec2& p) { return p.x < 100.0; };
+    const auto filtered = build_hover_candidates(inst, cfg);
+    EXPECT_LT(filtered.size(), all.size());
+    EXPECT_GT(filtered.size(), 0u);
+    for (const auto& c : filtered.candidates) {
+        EXPECT_LT(c.pos.x, 100.0);
+    }
+}
+
+}  // namespace
+}  // namespace uavdc::core

@@ -1,0 +1,93 @@
+#include "uavdc/orienteering/ils.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "uavdc/orienteering/exact.hpp"
+#include "uavdc/orienteering/greedy.hpp"
+#include "uavdc/orienteering/solver.hpp"
+#include "uavdc/util/rng.hpp"
+
+namespace uavdc::orienteering {
+namespace {
+
+Problem random_problem(int n, double budget, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < n; ++i) {
+        pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    }
+    Problem p;
+    p.graph = graph::DenseGraph::euclidean(pts);
+    p.prizes.resize(static_cast<std::size_t>(n));
+    for (auto& z : p.prizes) z = rng.uniform(1.0, 10.0);
+    p.prizes[0] = 0.0;
+    p.depot = 0;
+    p.budget = budget;
+    return p;
+}
+
+TEST(Ils, FeasibleAndRooted) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const Problem p = random_problem(30, 200.0, seed);
+        const Solution s = solve_ils(p);
+        ASSERT_FALSE(s.tour.empty());
+        EXPECT_EQ(s.tour.front(), p.depot);
+        EXPECT_TRUE(s.feasible(p));
+        const std::set<std::size_t> uniq(s.tour.begin(), s.tour.end());
+        EXPECT_EQ(uniq.size(), s.tour.size());
+        EXPECT_NEAR(s.cost, p.graph.tour_length(s.tour), 1e-9);
+    }
+}
+
+TEST(Ils, AtLeastAsGoodAsGreedy) {
+    for (std::uint64_t seed : {4u, 5u, 6u, 7u}) {
+        const Problem p = random_problem(28, 220.0, seed);
+        EXPECT_GE(solve_ils(p).prize, solve_greedy(p).prize - 1e-9)
+            << "seed " << seed;
+    }
+}
+
+TEST(Ils, NearExactOnSmallInstances) {
+    for (std::uint64_t seed : {8u, 9u}) {
+        const Problem p = random_problem(13, 170.0, seed);
+        const double opt = solve_exact(p).prize;
+        EXPECT_GE(solve_ils(p).prize, 0.9 * opt - 1e-9) << "seed " << seed;
+    }
+}
+
+TEST(Ils, DeterministicForFixedSeed) {
+    const Problem p = random_problem(25, 200.0, 10);
+    IlsConfig cfg;
+    cfg.seed = 5;
+    const Solution a = solve_ils(p, cfg);
+    const Solution b = solve_ils(p, cfg);
+    EXPECT_EQ(a.tour, b.tour);
+}
+
+TEST(Ils, PatienceStopsEarly) {
+    const Problem p = random_problem(20, 180.0, 11);
+    IlsConfig eager;
+    eager.iterations = 1000;
+    eager.patience = 2;
+    // Just has to terminate quickly and stay feasible.
+    const Solution s = solve_ils(p, eager);
+    EXPECT_TRUE(s.feasible(p));
+}
+
+TEST(Ils, DispatchThroughSolverKind) {
+    const Problem p = random_problem(18, 180.0, 12);
+    const Solution s = solve(p, SolverKind::kIls);
+    EXPECT_TRUE(s.feasible(p));
+    EXPECT_EQ(to_string(SolverKind::kIls), "ils");
+}
+
+TEST(Ils, ZeroBudgetStaysHome) {
+    const Problem p = random_problem(10, 0.0, 13);
+    const Solution s = solve_ils(p);
+    EXPECT_EQ(s.tour, std::vector<std::size_t>{0});
+}
+
+}  // namespace
+}  // namespace uavdc::orienteering

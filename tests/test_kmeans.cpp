@@ -1,0 +1,121 @@
+#include "uavdc/geom/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "uavdc/util/rng.hpp"
+
+namespace uavdc::geom {
+namespace {
+
+std::vector<Vec2> blobs(int per_blob, std::uint64_t seed) {
+    util::Rng rng(seed);
+    const Vec2 centers[] = {{0.0, 0.0}, {100.0, 0.0}, {50.0, 100.0}};
+    std::vector<Vec2> pts;
+    for (const auto& c : centers) {
+        for (int i = 0; i < per_blob; ++i) {
+            pts.push_back({rng.normal(c.x, 3.0), rng.normal(c.y, 3.0)});
+        }
+    }
+    return pts;
+}
+
+TEST(KMeans, EmptyInput) {
+    const auto res = kmeans(std::vector<Vec2>{}, 3);
+    EXPECT_TRUE(res.centroids.empty());
+    EXPECT_TRUE(res.assignment.empty());
+}
+
+TEST(KMeans, InvalidArguments) {
+    const std::vector<Vec2> pts{{0.0, 0.0}};
+    EXPECT_THROW((void)kmeans(pts, 0), std::invalid_argument);
+    const std::vector<double> bad_w{1.0, 2.0};
+    EXPECT_THROW((void)kmeans(pts, 1, bad_w), std::invalid_argument);
+}
+
+TEST(KMeans, SingleCluster) {
+    const auto pts = blobs(10, 1);
+    const auto res = kmeans(pts, 1);
+    ASSERT_EQ(res.centroids.size(), 1u);
+    // Centroid of everything = mean.
+    Vec2 mean{};
+    for (const auto& p : pts) mean += p;
+    mean /= static_cast<double>(pts.size());
+    EXPECT_NEAR(res.centroids[0].x, mean.x, 1e-6);
+    EXPECT_NEAR(res.centroids[0].y, mean.y, 1e-6);
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+    const auto pts = blobs(20, 2);
+    const auto res = kmeans(pts, 3);
+    ASSERT_EQ(res.centroids.size(), 3u);
+    // Each true centre has a centroid within ~5 m.
+    for (const Vec2 truth : {Vec2{0.0, 0.0}, Vec2{100.0, 0.0},
+                             Vec2{50.0, 100.0}}) {
+        double best = 1e18;
+        for (const auto& c : res.centroids) {
+            best = std::min(best, distance(c, truth));
+        }
+        EXPECT_LT(best, 5.0);
+    }
+    // All 3 clusters non-empty, sizes sum to n.
+    int total = 0;
+    for (int s : res.cluster_sizes) {
+        EXPECT_GT(s, 0);
+        total += s;
+    }
+    EXPECT_EQ(total, static_cast<int>(pts.size()));
+}
+
+TEST(KMeans, AssignmentIsNearestCentroid) {
+    const auto pts = blobs(15, 3);
+    const auto res = kmeans(pts, 3);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const double assigned = distance(
+            pts[i],
+            res.centroids[static_cast<std::size_t>(res.assignment[i])]);
+        for (const auto& c : res.centroids) {
+            EXPECT_LE(assigned, distance(pts[i], c) + 1e-9);
+        }
+    }
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+    const auto pts = blobs(12, 4);
+    KMeansConfig cfg;
+    cfg.seed = 9;
+    const auto a = kmeans(pts, 3, {}, cfg);
+    const auto b = kmeans(pts, 3, {}, cfg);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, MoreClustersNeverIncreaseInertia) {
+    const auto pts = blobs(15, 5);
+    double prev = 1e18;
+    for (int k : {1, 2, 3, 6}) {
+        const auto res = kmeans(pts, k);
+        EXPECT_LE(res.inertia, prev + 1e-6) << "k=" << k;
+        prev = res.inertia;
+    }
+}
+
+TEST(KMeans, WeightsPullCentroids) {
+    // Two points; put all the weight on one of them.
+    const std::vector<Vec2> pts{{0.0, 0.0}, {10.0, 0.0}};
+    const std::vector<double> w{100.0, 1.0};
+    const auto res = kmeans(pts, 1, w);
+    ASSERT_EQ(res.centroids.size(), 1u);
+    EXPECT_LT(res.centroids[0].x, 1.0);  // near the heavy point
+}
+
+TEST(KMeans, KClampedToDistinctPoints) {
+    const std::vector<Vec2> pts{{1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}};
+    const auto res = kmeans(pts, 5);
+    EXPECT_LE(res.centroids.size(), 3u);
+    EXPECT_EQ(res.assignment.size(), pts.size());
+}
+
+}  // namespace
+}  // namespace uavdc::geom

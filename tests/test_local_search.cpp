@@ -1,0 +1,153 @@
+#include "uavdc/graph/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "uavdc/util/rng.hpp"
+
+namespace uavdc::graph {
+namespace {
+
+std::vector<geom::Vec2> random_points(int n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < n; ++i) {
+        pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    }
+    return pts;
+}
+
+TEST(TwoOpt, FixesObviousCrossing) {
+    // Square visited in crossing order 0-2-1-3.
+    const std::vector<geom::Vec2> pts{
+        {0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    std::vector<std::size_t> tour{0, 2, 1, 3};
+    const double before = g.tour_length(tour);
+    const double gain = two_opt(g, tour);
+    EXPECT_GT(gain, 0.0);
+    EXPECT_NEAR(g.tour_length(tour), before - gain, 1e-12);
+    EXPECT_NEAR(g.tour_length(tour), 4.0, 1e-12);
+}
+
+TEST(TwoOpt, NeverLengthens) {
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        const auto pts = random_points(30, seed);
+        const DenseGraph g = DenseGraph::euclidean(pts);
+        std::vector<std::size_t> tour(pts.size());
+        std::iota(tour.begin(), tour.end(), std::size_t{0});
+        const double before = g.tour_length(tour);
+        const double gain = two_opt(g, tour);
+        EXPECT_GE(gain, 0.0);
+        EXPECT_NEAR(g.tour_length(tour), before - gain, 1e-9);
+    }
+}
+
+TEST(TwoOpt, PreservesNodeSet) {
+    const auto pts = random_points(25, 9);
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    std::vector<std::size_t> tour(pts.size());
+    std::iota(tour.begin(), tour.end(), std::size_t{0});
+    two_opt(g, tour);
+    const std::set<std::size_t> s(tour.begin(), tour.end());
+    EXPECT_EQ(s.size(), pts.size());
+}
+
+TEST(TwoOpt, SmallToursUntouched) {
+    const DenseGraph g(3);
+    std::vector<std::size_t> tour{0, 1, 2};
+    EXPECT_EQ(two_opt(g, tour), 0.0);
+    EXPECT_EQ(tour, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(OrOpt, RelocatesProfitableSegment) {
+    // Points on a line; tour visits 4 out of order: 0 1 2 4 3 5 -> or-opt
+    // should recover the sweep order (or an equally short tour).
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < 6; ++i) pts.push_back({static_cast<double>(i), 0.0});
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    std::vector<std::size_t> tour{0, 1, 2, 4, 3, 5};
+    const double before = g.tour_length(tour);
+    or_opt(g, tour);
+    EXPECT_LE(g.tour_length(tour), before);
+    EXPECT_NEAR(g.tour_length(tour), 10.0, 1e-9);
+}
+
+TEST(OrOpt, NeverLengthensAndKeepsSet) {
+    for (std::uint64_t seed : {5u, 6u, 7u}) {
+        const auto pts = random_points(20, seed);
+        const DenseGraph g = DenseGraph::euclidean(pts);
+        std::vector<std::size_t> tour(pts.size());
+        std::iota(tour.begin(), tour.end(), std::size_t{0});
+        const double before = g.tour_length(tour);
+        const double gain = or_opt(g, tour);
+        EXPECT_GE(gain, 0.0);
+        EXPECT_NEAR(g.tour_length(tour), before - gain, 1e-9);
+        const std::set<std::size_t> s(tour.begin(), tour.end());
+        EXPECT_EQ(s.size(), pts.size());
+        EXPECT_EQ(tour.front(), 0u);  // starting node preserved
+    }
+}
+
+TEST(CheapestInsertion, EmptyAndSingleTour) {
+    DenseGraph g(3);
+    g.set_weight(0, 1, 2.0);
+    g.set_weight(0, 2, 3.0);
+    g.set_weight(1, 2, 4.0);
+    const auto e = cheapest_insertion(g, {}, 1);
+    EXPECT_EQ(e.position, 0u);
+    EXPECT_DOUBLE_EQ(e.delta, 0.0);
+    const auto s = cheapest_insertion(g, {0}, 2);
+    EXPECT_DOUBLE_EQ(s.delta, 6.0);
+}
+
+TEST(CheapestInsertion, PicksBestEdge) {
+    // Line 0---10, insert point at x=5: delta 0 on that edge.
+    const std::vector<geom::Vec2> pts{{0.0, 0.0}, {10.0, 0.0}, {5.0, 0.0},
+                                      {5.0, 10.0}};
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    const std::vector<std::size_t> tour{0, 1};
+    const auto ins = cheapest_insertion(g, tour, 2);
+    EXPECT_NEAR(ins.delta, 0.0, 1e-12);
+    // Point off the line costs the detour.
+    const auto far = cheapest_insertion(g, tour, 3);
+    EXPECT_GT(far.delta, 10.0);
+}
+
+TEST(RemovalDelta, InverseOfInsertion) {
+    const auto pts = random_points(10, 12);
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    std::vector<std::size_t> tour{0, 1, 2, 3, 4, 5};
+    const double len = g.tour_length(tour);
+    for (std::size_t pos = 0; pos < tour.size(); ++pos) {
+        std::vector<std::size_t> without = tour;
+        without.erase(without.begin() + static_cast<std::ptrdiff_t>(pos));
+        EXPECT_NEAR(g.tour_length(without), len + removal_delta(g, tour, pos),
+                    1e-9)
+            << "pos " << pos;
+    }
+}
+
+TEST(RemovalDelta, NonPositiveOnMetricGraphs) {
+    const auto pts = random_points(15, 13);
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    std::vector<std::size_t> tour(10);
+    std::iota(tour.begin(), tour.end(), std::size_t{0});
+    for (std::size_t pos = 0; pos < tour.size(); ++pos) {
+        EXPECT_LE(removal_delta(g, tour, pos), 1e-12);
+    }
+}
+
+TEST(RemovalDelta, PairTour) {
+    DenseGraph g(2);
+    g.set_weight(0, 1, 5.0);
+    const std::vector<std::size_t> tour{0, 1};
+    EXPECT_DOUBLE_EQ(removal_delta(g, tour, 0), -10.0);
+    EXPECT_DOUBLE_EQ(removal_delta(g, tour, 1), -10.0);
+}
+
+}  // namespace
+}  // namespace uavdc::graph

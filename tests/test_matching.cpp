@@ -1,0 +1,131 @@
+#include "uavdc/graph/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "uavdc/util/rng.hpp"
+
+namespace uavdc::graph {
+namespace {
+
+DenseGraph random_euclidean(int n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < n; ++i) {
+        pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    }
+    return DenseGraph::euclidean(pts);
+}
+
+void check_perfect(const Matching& m, const std::vector<std::size_t>& nodes) {
+    std::set<std::size_t> seen;
+    for (const auto& [u, v] : m) {
+        EXPECT_NE(u, v);
+        EXPECT_TRUE(seen.insert(u).second) << "node matched twice: " << u;
+        EXPECT_TRUE(seen.insert(v).second) << "node matched twice: " << v;
+    }
+    EXPECT_EQ(seen.size(), nodes.size());
+    for (std::size_t n : nodes) EXPECT_TRUE(seen.count(n));
+}
+
+TEST(Matching, EmptySet) {
+    const DenseGraph g(4);
+    EXPECT_TRUE(exact_min_matching(g, {}).empty());
+    EXPECT_TRUE(greedy_min_matching(g, {}).empty());
+}
+
+TEST(Matching, OddSetThrows) {
+    const DenseGraph g(5);
+    EXPECT_THROW(exact_min_matching(g, {0, 1, 2}), std::invalid_argument);
+    EXPECT_THROW(greedy_min_matching(g, {0, 1, 2}), std::invalid_argument);
+    EXPECT_THROW(min_weight_matching(g, {0}), std::invalid_argument);
+}
+
+TEST(Matching, PairOfNodes) {
+    DenseGraph g(2);
+    g.set_weight(0, 1, 4.2);
+    const auto m = exact_min_matching(g, {0, 1});
+    ASSERT_EQ(m.size(), 1u);
+    EXPECT_DOUBLE_EQ(matching_weight(g, m), 4.2);
+}
+
+TEST(Matching, ExactFindsOptimalOnKnownInstance) {
+    // 4 points on a line at 0, 1, 10, 11: optimal pairs (0,1) and (10,11)
+    // with weight 2; pairing across the gap costs >= 18.
+    DenseGraph g(4);
+    const double xs[] = {0.0, 1.0, 10.0, 11.0};
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = i + 1; j < 4; ++j) {
+            g.set_weight(i, j, std::abs(xs[i] - xs[j]));
+        }
+    }
+    const auto m = exact_min_matching(g, {0, 1, 2, 3});
+    EXPECT_DOUBLE_EQ(matching_weight(g, m), 2.0);
+    check_perfect(m, {0, 1, 2, 3});
+}
+
+TEST(Matching, ExactBeatsOrEqualsGreedyRandom) {
+    for (std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+        const DenseGraph g = random_euclidean(12, seed);
+        std::vector<std::size_t> nodes(12);
+        std::iota(nodes.begin(), nodes.end(), std::size_t{0});
+        const auto exact = exact_min_matching(g, nodes);
+        const auto greedy = greedy_min_matching(g, nodes);
+        check_perfect(exact, nodes);
+        check_perfect(greedy, nodes);
+        EXPECT_LE(matching_weight(g, exact),
+                  matching_weight(g, greedy) + 1e-9)
+            << "seed " << seed;
+    }
+}
+
+TEST(Matching, GreedyWithinFactorOfExactOnSmallRandom) {
+    // Greedy + 2-swap should stay close to optimal on Euclidean instances.
+    for (std::uint64_t seed : {21u, 22u, 23u}) {
+        const DenseGraph g = random_euclidean(14, seed);
+        std::vector<std::size_t> nodes(14);
+        std::iota(nodes.begin(), nodes.end(), std::size_t{0});
+        const double we = matching_weight(g, exact_min_matching(g, nodes));
+        const double wg = matching_weight(g, greedy_min_matching(g, nodes));
+        EXPECT_LE(wg, 1.5 * we + 1e-9) << "seed " << seed;
+    }
+}
+
+TEST(Matching, GreedyHandlesLargeSets) {
+    const DenseGraph g = random_euclidean(200, 31);
+    std::vector<std::size_t> nodes(200);
+    std::iota(nodes.begin(), nodes.end(), std::size_t{0});
+    const auto m = greedy_min_matching(g, nodes);
+    check_perfect(m, nodes);
+    EXPECT_GT(matching_weight(g, m), 0.0);
+}
+
+TEST(Matching, DispatchUsesExactBelowLimit) {
+    const DenseGraph g = random_euclidean(10, 41);
+    std::vector<std::size_t> nodes(10);
+    std::iota(nodes.begin(), nodes.end(), std::size_t{0});
+    const auto dispatched = min_weight_matching(g, nodes, 18);
+    const auto exact = exact_min_matching(g, nodes);
+    EXPECT_NEAR(matching_weight(g, dispatched), matching_weight(g, exact),
+                1e-12);
+}
+
+TEST(Matching, DispatchHandlesSubsetsOfLargerGraph) {
+    const DenseGraph g = random_euclidean(30, 51);
+    const std::vector<std::size_t> nodes{3, 7, 12, 25};
+    const auto m = min_weight_matching(g, nodes);
+    check_perfect(m, nodes);
+}
+
+TEST(Matching, ExactTooLargeThrows) {
+    const DenseGraph g(30);
+    std::vector<std::size_t> nodes(24);
+    std::iota(nodes.begin(), nodes.end(), std::size_t{0});
+    EXPECT_THROW(exact_min_matching(g, nodes), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uavdc::graph

@@ -1,0 +1,118 @@
+#include "uavdc/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/core/algorithm3.hpp"
+#include "uavdc/core/evaluate.hpp"
+
+namespace uavdc::core {
+namespace {
+
+using testing::manual_instance;
+using testing::small_instance;
+
+TEST(Metrics, EmptyPlan) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 300.0}});
+    const auto m = compute_metrics(inst, {});
+    EXPECT_DOUBLE_EQ(m.collected_mb, 0.0);
+    EXPECT_DOUBLE_EQ(m.hover_energy_j, 0.0);
+    EXPECT_DOUBLE_EQ(m.tour_length_m, 0.0);
+    EXPECT_EQ(m.devices_missed, 1);
+    EXPECT_DOUBLE_EQ(m.jain_fairness, 0.0);
+}
+
+TEST(Metrics, SingleStopValues) {
+    // Depot (0,0), device at (30,40) with 300 MB -> 2 s dwell, 100 m tour.
+    const auto inst = manual_instance({{{30.0, 40.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 2.0, -1});
+    const auto m = compute_metrics(inst, plan);
+    EXPECT_DOUBLE_EQ(m.collected_mb, 300.0);
+    EXPECT_DOUBLE_EQ(m.collected_fraction, 1.0);
+    EXPECT_DOUBLE_EQ(m.hover_energy_j, 300.0);
+    EXPECT_DOUBLE_EQ(m.travel_energy_j, 10000.0);  // 100 m * 100 J/m
+    EXPECT_NEAR(m.hover_fraction, 300.0 / 10300.0, 1e-12);
+    EXPECT_DOUBLE_EQ(m.tour_length_m, 100.0);
+    EXPECT_DOUBLE_EQ(m.tour_time_s, 12.0);
+    EXPECT_EQ(m.devices_drained, 1);
+    EXPECT_EQ(m.devices_missed, 0);
+    EXPECT_DOUBLE_EQ(m.jain_fairness, 1.0);
+    // Drained 5 s out + 2 s upload = 7 s after departure.
+    EXPECT_DOUBLE_EQ(m.mean_drain_latency_s, 7.0);
+    EXPECT_DOUBLE_EQ(m.max_drain_latency_s, 7.0);
+    EXPECT_DOUBLE_EQ(m.energy_per_gb_j, 10300.0 / 0.3);
+}
+
+TEST(Metrics, LatencyOrdersByTourPosition) {
+    // Two devices on opposite sides; the second is drained later.
+    const auto inst = manual_instance(
+        {{{30.0, 40.0}, 150.0}, {{120.0, 160.0}, 150.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 1.0, -1});
+    plan.stops.push_back({{120.0, 160.0}, 1.0, -1});
+    const auto m = compute_metrics(inst, plan);
+    EXPECT_EQ(m.devices_drained, 2);
+    EXPECT_GT(m.max_drain_latency_s, m.mean_drain_latency_s);
+}
+
+TEST(Metrics, FairnessDropsWhenOneDeviceMissed) {
+    const auto inst = manual_instance(
+        {{{30.0, 40.0}, 150.0}, {{180.0, 180.0}, 150.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 1.0, -1});  // only the first device
+    const auto m = compute_metrics(inst, plan);
+    EXPECT_EQ(m.devices_missed, 1);
+    EXPECT_NEAR(m.jain_fairness, 0.5, 1e-12);  // one of two served
+    EXPECT_NEAR(m.collected_fraction, 0.5, 1e-12);
+}
+
+TEST(Metrics, PartialCollectionFairness) {
+    // Both devices half-served: perfectly fair.
+    const auto inst = manual_instance(
+        {{{40.0, 50.0}, 300.0}, {{60.0, 50.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 1.0, -1});  // 150 MB each
+    const auto m = compute_metrics(inst, plan);
+    EXPECT_DOUBLE_EQ(m.jain_fairness, 1.0);
+    EXPECT_EQ(m.devices_drained, 0);
+    EXPECT_EQ(m.devices_touched, 2);
+}
+
+TEST(Metrics, AgreesWithEvaluateOnVolume) {
+    for (std::uint64_t seed : {71u, 72u, 73u}) {
+        const auto inst = small_instance(30, 300.0, seed);
+        Algorithm3Config cfg;
+        cfg.candidates.delta_m = 20.0;
+        cfg.k = 2;
+        const auto res = PartialCollectionPlanner(cfg).plan(inst);
+        const auto ev = evaluate_plan(inst, res.plan);
+        const auto m = compute_metrics(inst, res.plan);
+        EXPECT_NEAR(m.collected_mb, ev.collected_mb, 1e-6);
+        EXPECT_EQ(m.devices_drained, ev.devices_drained);
+        EXPECT_EQ(m.devices_touched, ev.devices_touched);
+    }
+}
+
+TEST(Metrics, MeanLegIncludesDepotLegs) {
+    const auto inst = manual_instance({{{100.0, 0.0}, 150.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{100.0, 0.0}, 1.0, -1});
+    plan.stops.push_back({{100.0, 100.0}, 1.0, -1});
+    const auto m = compute_metrics(inst, plan);
+    // Legs: 100 + 100 + sqrt(2)*100, divided by 3 legs.
+    EXPECT_NEAR(m.mean_leg_m, (200.0 + std::sqrt(2.0) * 100.0) / 3.0, 1e-9);
+}
+
+TEST(Metrics, ZeroDataInstanceSafe) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 0.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 1.0, -1});
+    const auto m = compute_metrics(inst, plan);
+    EXPECT_DOUBLE_EQ(m.collected_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(m.energy_per_gb_j, 0.0);
+    EXPECT_EQ(m.devices_missed, 0);  // nothing to miss
+}
+
+}  // namespace
+}  // namespace uavdc::core

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/model/instance.hpp"
+#include "uavdc/model/plan.hpp"
+#include "uavdc/model/uav.hpp"
+
+namespace uavdc::model {
+namespace {
+
+TEST(UavConfig, PaperDefaults) {
+    const UavConfig uav;
+    EXPECT_DOUBLE_EQ(uav.energy_j, 3.0e5);
+    EXPECT_DOUBLE_EQ(uav.speed_mps, 10.0);
+    EXPECT_DOUBLE_EQ(uav.hover_power_w, 150.0);
+    EXPECT_DOUBLE_EQ(uav.travel_rate, 100.0);
+    EXPECT_EQ(uav.travel_energy_model, TravelEnergyModel::kPerMeter);
+    EXPECT_DOUBLE_EQ(uav.coverage_radius_m, 50.0);
+    EXPECT_DOUBLE_EQ(uav.bandwidth_mbps, 150.0);
+    EXPECT_TRUE(uav.valid());
+}
+
+TEST(UavConfig, EnergyArithmetic) {
+    const UavConfig uav;
+    EXPECT_DOUBLE_EQ(uav.travel_time(100.0), 10.0);
+    // Paper-literal per-metre model: 100 m * 100 J/m.
+    EXPECT_DOUBLE_EQ(uav.travel_energy(100.0), 10000.0);
+    EXPECT_DOUBLE_EQ(uav.hover_energy(10.0), 1500.0);
+    EXPECT_DOUBLE_EQ(uav.travel_energy_per_meter(), 100.0);
+    EXPECT_DOUBLE_EQ(uav.travel_power_w(), 1000.0);
+    UavConfig per_second = uav;
+    per_second.travel_energy_model = TravelEnergyModel::kPerSecond;
+    EXPECT_DOUBLE_EQ(per_second.travel_energy(100.0), 1000.0);
+    EXPECT_DOUBLE_EQ(per_second.travel_energy_per_meter(), 10.0);
+    EXPECT_DOUBLE_EQ(per_second.travel_power_w(), 100.0);
+}
+
+TEST(UavConfig, CoverageFromAltitude) {
+    EXPECT_DOUBLE_EQ(UavConfig::coverage_from_altitude(50.0, 30.0), 40.0);
+    EXPECT_DOUBLE_EQ(UavConfig::coverage_from_altitude(50.0, 0.0), 50.0);
+    EXPECT_DOUBLE_EQ(UavConfig::coverage_from_altitude(30.0, 50.0), 0.0);
+}
+
+TEST(UavConfig, InvalidConfigsDetected) {
+    UavConfig uav;
+    uav.energy_j = 0.0;
+    EXPECT_FALSE(uav.valid());
+    uav = UavConfig{};
+    uav.travel_rate = 0.0;
+    EXPECT_FALSE(uav.valid());
+    uav = UavConfig{};
+    uav.bandwidth_mbps = -1.0;
+    EXPECT_FALSE(uav.valid());
+}
+
+TEST(Device, UploadTime) {
+    const Device d{0, {0.0, 0.0}, 300.0};
+    EXPECT_DOUBLE_EQ(d.upload_time(150.0), 2.0);
+    EXPECT_DOUBLE_EQ(d.upload_time(0.0), 0.0);
+}
+
+TEST(Instance, TotalsAndPositions) {
+    const auto inst = testing::manual_instance(
+        {{{10.0, 10.0}, 100.0}, {{20.0, 20.0}, 250.0}});
+    EXPECT_DOUBLE_EQ(inst.total_data_mb(), 350.0);
+    const auto pos = inst.device_positions();
+    ASSERT_EQ(pos.size(), 2u);
+    EXPECT_EQ(pos[1], geom::Vec2(20.0, 20.0));
+}
+
+TEST(Instance, ValidateRejectsBadData) {
+    auto inst = testing::manual_instance({{{10.0, 10.0}, 100.0}});
+    inst.devices[0].data_mb = -1.0;
+    EXPECT_THROW(inst.validate(), std::invalid_argument);
+
+    inst = testing::manual_instance({{{10.0, 10.0}, 100.0}});
+    inst.devices[0].pos = {1e6, 1e6};
+    EXPECT_THROW(inst.validate(), std::invalid_argument);
+
+    inst = testing::manual_instance({{{10.0, 10.0}, 100.0}});
+    inst.devices[0].id = 5;
+    EXPECT_THROW(inst.validate(), std::invalid_argument);
+
+    inst = testing::manual_instance({{{10.0, 10.0}, 100.0}});
+    inst.uav.speed_mps = 0.0;
+    EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(FlightPlan, EmptyPlan) {
+    const FlightPlan plan;
+    const UavConfig uav;
+    EXPECT_TRUE(plan.empty());
+    EXPECT_DOUBLE_EQ(plan.travel_length({0.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(plan.hover_time(), 0.0);
+    EXPECT_DOUBLE_EQ(plan.total_energy({0.0, 0.0}, uav), 0.0);
+    EXPECT_TRUE(plan.feasible({0.0, 0.0}, uav));
+}
+
+TEST(FlightPlan, SingleStopOutAndBack) {
+    FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 20.0, -1});
+    const UavConfig uav;
+    const geom::Vec2 depot{0.0, 0.0};
+    EXPECT_DOUBLE_EQ(plan.travel_length(depot), 100.0);
+    EXPECT_DOUBLE_EQ(plan.hover_time(), 20.0);
+    const auto e = plan.energy(depot, uav);
+    EXPECT_DOUBLE_EQ(e.travel_m, 100.0);
+    EXPECT_DOUBLE_EQ(e.travel_s, 10.0);
+    EXPECT_DOUBLE_EQ(e.travel_j, 10000.0);  // per-metre: 100 m * 100 J/m
+    EXPECT_DOUBLE_EQ(e.hover_s, 20.0);
+    EXPECT_DOUBLE_EQ(e.hover_j, 3000.0);
+    EXPECT_DOUBLE_EQ(e.total_j(), 13000.0);
+    EXPECT_DOUBLE_EQ(e.total_s(), 30.0);
+}
+
+TEST(FlightPlan, MultiStopLength) {
+    FlightPlan plan;
+    plan.stops.push_back({{10.0, 0.0}, 1.0, -1});
+    plan.stops.push_back({{10.0, 10.0}, 2.0, -1});
+    const geom::Vec2 depot{0.0, 0.0};
+    EXPECT_NEAR(plan.travel_length(depot),
+                10.0 + 10.0 + std::sqrt(200.0), 1e-12);
+    EXPECT_DOUBLE_EQ(plan.hover_time(), 3.0);
+}
+
+TEST(FlightPlan, FeasibilityBoundary) {
+    FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 20.0, -1});
+    UavConfig uav;
+    uav.energy_j = 13000.0;  // exactly the required energy
+    EXPECT_TRUE(plan.feasible({0.0, 0.0}, uav));
+    uav.energy_j = 12999.0;
+    EXPECT_FALSE(plan.feasible({0.0, 0.0}, uav));
+}
+
+}  // namespace
+}  // namespace uavdc::model

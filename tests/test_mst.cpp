@@ -1,0 +1,133 @@
+#include "uavdc/graph/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "uavdc/util/rng.hpp"
+
+namespace uavdc::graph {
+namespace {
+
+/// Union-find for verifying the output forms a spanning tree.
+struct Dsu {
+    std::vector<std::size_t> parent;
+    explicit Dsu(std::size_t n) : parent(n) {
+        std::iota(parent.begin(), parent.end(), std::size_t{0});
+    }
+    std::size_t find(std::size_t x) {
+        while (parent[x] != x) x = parent[x] = parent[parent[x]];
+        return x;
+    }
+    bool unite(std::size_t a, std::size_t b) {
+        a = find(a);
+        b = find(b);
+        if (a == b) return false;
+        parent[a] = b;
+        return true;
+    }
+};
+
+/// Kruskal reference implementation for cross-checking total weight.
+double kruskal_weight(const DenseGraph& g) {
+    struct E {
+        std::size_t u, v;
+        double w;
+    };
+    std::vector<E> edges;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        for (std::size_t j = i + 1; j < g.size(); ++j) {
+            edges.push_back({i, j, g.weight(i, j)});
+        }
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const E& a, const E& b) { return a.w < b.w; });
+    Dsu dsu(g.size());
+    double total = 0.0;
+    for (const auto& e : edges) {
+        if (dsu.unite(e.u, e.v)) total += e.w;
+    }
+    return total;
+}
+
+DenseGraph random_euclidean(int n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < n; ++i) {
+        pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    }
+    return DenseGraph::euclidean(pts);
+}
+
+TEST(Mst, EmptyAndSingleNode) {
+    EXPECT_TRUE(mst_prim(DenseGraph(0)).empty());
+    EXPECT_TRUE(mst_prim(DenseGraph(1)).empty());
+}
+
+TEST(Mst, TwoNodes) {
+    DenseGraph g(2);
+    g.set_weight(0, 1, 3.5);
+    const auto tree = mst_prim(g);
+    ASSERT_EQ(tree.size(), 1u);
+    EXPECT_DOUBLE_EQ(tree[0].w, 3.5);
+}
+
+TEST(Mst, KnownSmallGraph) {
+    // Square with one diagonal shortcut.
+    DenseGraph g(4);
+    g.set_weight(0, 1, 1.0);
+    g.set_weight(1, 2, 2.0);
+    g.set_weight(2, 3, 1.0);
+    g.set_weight(3, 0, 2.0);
+    g.set_weight(0, 2, 1.5);
+    g.set_weight(1, 3, 10.0);
+    const auto tree = mst_prim(g);
+    EXPECT_EQ(tree.size(), 3u);
+    EXPECT_DOUBLE_EQ(total_weight(tree), 1.0 + 1.0 + 1.5);
+}
+
+TEST(Mst, HasNMinus1EdgesAndSpans) {
+    const DenseGraph g = random_euclidean(50, 8);
+    const auto tree = mst_prim(g);
+    ASSERT_EQ(tree.size(), g.size() - 1);
+    Dsu dsu(g.size());
+    for (const auto& e : tree) {
+        EXPECT_TRUE(dsu.unite(e.u, e.v)) << "cycle in MST output";
+    }
+    for (std::size_t v = 1; v < g.size(); ++v) {
+        EXPECT_EQ(dsu.find(v), dsu.find(0)) << "MST not spanning";
+    }
+}
+
+TEST(Mst, MatchesKruskalWeight) {
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+        const DenseGraph g = random_euclidean(40, seed);
+        const auto tree = mst_prim(g);
+        EXPECT_NEAR(total_weight(tree), kruskal_weight(g), 1e-9)
+            << "seed " << seed;
+    }
+}
+
+TEST(Mst, EdgeEndpointsOrdered) {
+    const DenseGraph g = random_euclidean(20, 33);
+    for (const auto& e : mst_prim(g)) {
+        EXPECT_LT(e.u, e.v);
+        EXPECT_DOUBLE_EQ(e.w, g.weight(e.u, e.v));
+    }
+}
+
+TEST(Degrees, CountsIncidences) {
+    const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 1.0}, {1, 3, 1.0}};
+    const auto deg = degrees(4, edges);
+    EXPECT_EQ(deg, (std::vector<int>{1, 3, 1, 1}));
+}
+
+TEST(TotalWeight, SumsEdges) {
+    const std::vector<Edge> edges{{0, 1, 1.5}, {1, 2, 2.5}};
+    EXPECT_DOUBLE_EQ(total_weight(edges), 4.0);
+    EXPECT_DOUBLE_EQ(total_weight({}), 0.0);
+}
+
+}  // namespace
+}  // namespace uavdc::graph

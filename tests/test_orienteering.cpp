@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "uavdc/orienteering/exact.hpp"
+#include "uavdc/orienteering/grasp.hpp"
+#include "uavdc/orienteering/greedy.hpp"
+#include "uavdc/orienteering/solver.hpp"
+#include "uavdc/util/rng.hpp"
+
+namespace uavdc::orienteering {
+namespace {
+
+Problem random_problem(int n, double budget, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < n; ++i) {
+        pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    }
+    Problem p;
+    p.graph = graph::DenseGraph::euclidean(pts);
+    p.prizes.resize(static_cast<std::size_t>(n));
+    for (auto& z : p.prizes) z = rng.uniform(1.0, 10.0);
+    p.prizes[0] = 0.0;
+    p.depot = 0;
+    p.budget = budget;
+    return p;
+}
+
+void check_solution(const Problem& p, const Solution& s) {
+    ASSERT_FALSE(s.tour.empty());
+    EXPECT_EQ(s.tour.front(), p.depot);
+    std::set<std::size_t> seen(s.tour.begin(), s.tour.end());
+    EXPECT_EQ(seen.size(), s.tour.size()) << "tour revisits a node";
+    EXPECT_NEAR(s.cost, p.graph.tour_length(s.tour), 1e-9);
+    double prize = 0.0;
+    for (std::size_t v : s.tour) prize += p.prizes[v];
+    EXPECT_NEAR(s.prize, prize, 1e-9);
+    EXPECT_TRUE(s.feasible(p));
+}
+
+TEST(Problem, ValidationCatchesErrors) {
+    Problem p = random_problem(5, 100.0, 1);
+    p.validate();
+    Problem bad_depot = p;
+    bad_depot.depot = 99;
+    EXPECT_THROW(bad_depot.validate(), std::invalid_argument);
+    Problem bad_budget = p;
+    bad_budget.budget = -1.0;
+    EXPECT_THROW(bad_budget.validate(), std::invalid_argument);
+    Problem bad_prize = p;
+    bad_prize.prizes[2] = -5.0;
+    EXPECT_THROW(bad_prize.validate(), std::invalid_argument);
+    Problem mismatch = p;
+    mismatch.prizes.push_back(1.0);
+    EXPECT_THROW(mismatch.validate(), std::invalid_argument);
+}
+
+TEST(MakeSolution, ComputesCostAndPrize) {
+    const Problem p = random_problem(6, 1000.0, 2);
+    const Solution s = make_solution(p, {0, 2, 4});
+    EXPECT_NEAR(s.cost, p.graph.tour_length(s.tour), 1e-12);
+    EXPECT_NEAR(s.prize, p.prizes[0] + p.prizes[2] + p.prizes[4], 1e-12);
+}
+
+TEST(Exact, ZeroBudgetStaysHome) {
+    const Problem p = random_problem(8, 0.0, 3);
+    const Solution s = solve_exact(p);
+    EXPECT_EQ(s.tour, std::vector<std::size_t>{0});
+    EXPECT_EQ(s.prize, 0.0);
+}
+
+TEST(Exact, HugeBudgetVisitsEverything) {
+    const Problem p = random_problem(10, 1e9, 4);
+    const Solution s = solve_exact(p);
+    EXPECT_EQ(s.tour.size(), p.size());
+    double total = 0.0;
+    for (double z : p.prizes) total += z;
+    EXPECT_NEAR(s.prize, total, 1e-9);
+}
+
+TEST(Exact, KnownTinyInstance) {
+    // Depot at origin; three prize nodes on a line. Budget only allows the
+    // nearer two.
+    Problem p;
+    std::vector<geom::Vec2> pts{
+        {0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}, {100.0, 0.0}};
+    p.graph = graph::DenseGraph::euclidean(pts);
+    p.prizes = {0.0, 5.0, 5.0, 100.0};
+    p.depot = 0;
+    p.budget = 50.0;  // reach x=20 and return (cost 40); x=100 needs 200
+    const Solution s = solve_exact(p);
+    check_solution(p, s);
+    EXPECT_NEAR(s.prize, 10.0, 1e-12);
+}
+
+TEST(Exact, TooLargeThrows) {
+    const Problem p = random_problem(25, 100.0, 5);
+    EXPECT_THROW(solve_exact(p), std::invalid_argument);
+}
+
+TEST(Greedy, AlwaysFeasibleAndRooted) {
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+        const Problem p = random_problem(30, 180.0, seed);
+        const Solution s = solve_greedy(p);
+        check_solution(p, s);
+    }
+}
+
+TEST(Greedy, CollectsSomethingWhenBudgetAllows) {
+    const Problem p = random_problem(20, 300.0, 6);
+    const Solution s = solve_greedy(p);
+    EXPECT_GT(s.prize, 0.0);
+    EXPECT_GT(s.tour.size(), 1u);
+}
+
+TEST(Greedy, WithinHalfOfExactOnSmallInstances) {
+    for (std::uint64_t seed : {7u, 8u, 9u, 10u}) {
+        const Problem p = random_problem(12, 150.0, seed);
+        const Solution exact = solve_exact(p);
+        const Solution greedy = solve_greedy(p);
+        EXPECT_GE(greedy.prize, 0.5 * exact.prize - 1e-9) << "seed " << seed;
+        EXPECT_LE(greedy.prize, exact.prize + 1e-9) << "seed " << seed;
+    }
+}
+
+TEST(Grasp, AlwaysFeasibleAndRooted) {
+    for (std::uint64_t seed : {11u, 12u, 13u}) {
+        const Problem p = random_problem(35, 200.0, seed);
+        GraspConfig cfg;
+        cfg.iterations = 8;
+        const Solution s = solve_grasp(p, cfg);
+        check_solution(p, s);
+    }
+}
+
+TEST(Grasp, AtLeastAsGoodAsGreedy) {
+    for (std::uint64_t seed : {14u, 15u, 16u, 17u}) {
+        const Problem p = random_problem(30, 220.0, seed);
+        const Solution greedy = solve_greedy(p);
+        const Solution grasp = solve_grasp(p);
+        EXPECT_GE(grasp.prize, greedy.prize - 1e-9) << "seed " << seed;
+    }
+}
+
+TEST(Grasp, NearExactOnSmallInstances) {
+    for (std::uint64_t seed : {18u, 19u, 20u}) {
+        const Problem p = random_problem(13, 170.0, seed);
+        const Solution exact = solve_exact(p);
+        const Solution grasp = solve_grasp(p);
+        EXPECT_GE(grasp.prize, 0.9 * exact.prize - 1e-9) << "seed " << seed;
+    }
+}
+
+TEST(Grasp, DeterministicForFixedSeed) {
+    const Problem p = random_problem(25, 200.0, 21);
+    GraspConfig cfg;
+    cfg.seed = 99;
+    cfg.iterations = 6;
+    const Solution a = solve_grasp(p, cfg);
+    const Solution b = solve_grasp(p, cfg);
+    EXPECT_EQ(a.tour, b.tour);
+    EXPECT_DOUBLE_EQ(a.prize, b.prize);
+}
+
+TEST(Polish, NeverBreaksFeasibility) {
+    const Problem p = random_problem(20, 250.0, 22);
+    Solution s = make_solution(p, {0});
+    polish(p, s);
+    check_solution(p, s);
+    EXPECT_GT(s.prize, 0.0);
+}
+
+TEST(SolverDispatch, AllKindsRun) {
+    const Problem p = random_problem(12, 150.0, 23);
+    const Solution e = solve(p, SolverKind::kExact);
+    const Solution g = solve(p, SolverKind::kGreedy);
+    const Solution r = solve(p, SolverKind::kGrasp);
+    check_solution(p, e);
+    check_solution(p, g);
+    check_solution(p, r);
+    EXPECT_GE(e.prize, g.prize - 1e-9);
+    EXPECT_GE(e.prize, r.prize - 1e-9);
+}
+
+TEST(SolverDispatch, Names) {
+    EXPECT_EQ(to_string(SolverKind::kExact), "exact");
+    EXPECT_EQ(to_string(SolverKind::kGreedy), "greedy");
+    EXPECT_EQ(to_string(SolverKind::kGrasp), "grasp");
+}
+
+// Budget sweep property: prize is monotone non-decreasing in budget for the
+// exact solver (more energy can never hurt).
+class ExactBudgetSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactBudgetSweep, PrizeMonotoneInBudget) {
+    Problem p = random_problem(11, 0.0, GetParam());
+    double prev = -1.0;
+    for (double budget : {0.0, 60.0, 120.0, 180.0, 240.0, 1000.0}) {
+        p.budget = budget;
+        const Solution s = solve_exact(p);
+        EXPECT_GE(s.prize, prev - 1e-9) << "budget " << budget;
+        prev = s.prize;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactBudgetSweep,
+                         ::testing::Values(31u, 32u, 33u, 34u, 35u));
+
+}  // namespace
+}  // namespace uavdc::orienteering

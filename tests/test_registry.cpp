@@ -1,0 +1,46 @@
+#include "uavdc/core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/core/evaluate.hpp"
+
+namespace uavdc::core {
+namespace {
+
+TEST(Registry, ListsAllPlanners) {
+    const auto names = planner_names();
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"alg1", "alg2", "alg3",
+                                        "benchmark", "kmeans", "sweep"}));
+}
+
+TEST(Registry, ConstructsEveryListedPlanner) {
+    const auto inst = testing::small_instance(20, 250.0, 13);
+    PlannerOptions opts;
+    opts.delta_m = 25.0;
+    opts.grasp_iterations = 3;
+    for (const auto& name : planner_names()) {
+        auto planner = make_planner(name, opts);
+        ASSERT_NE(planner, nullptr) << name;
+        const auto res = planner->plan(inst);
+        EXPECT_TRUE(res.plan.feasible(inst.depot, inst.uav, 1e-6)) << name;
+    }
+}
+
+TEST(Registry, UnknownNameThrows) {
+    EXPECT_THROW((void)make_planner("alg9"), std::invalid_argument);
+    EXPECT_THROW((void)make_planner(""), std::invalid_argument);
+}
+
+TEST(Registry, OptionsAreApplied) {
+    PlannerOptions opts;
+    opts.k = 7;
+    EXPECT_EQ(make_planner("alg3", opts)->name(), "alg3-k7");
+    opts.solver = orienteering::SolverKind::kGreedy;
+    EXPECT_EQ(make_planner("alg1", opts)->name(), "alg1-greedy");
+    EXPECT_EQ(make_planner("benchmark")->name(), "benchmark");
+}
+
+}  // namespace
+}  // namespace uavdc::core

@@ -1,0 +1,94 @@
+#include "uavdc/core/repair_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/core/algorithm3.hpp"
+#include "uavdc/core/evaluate.hpp"
+#include "uavdc/workload/transforms.hpp"
+
+namespace uavdc::core {
+namespace {
+
+using testing::small_instance;
+
+model::FlightPlan plan_for(const model::Instance& inst) {
+    Algorithm3Config cfg;
+    cfg.candidates.delta_m = 20.0;
+    cfg.k = 2;
+    return PartialCollectionPlanner(cfg).plan(inst).plan;
+}
+
+TEST(RepairPlan, VolumePreservedWhenNothingChanged) {
+    const auto inst = small_instance(25, 280.0, 101);
+    const auto plan = plan_for(inst);
+    const auto rep = repair_plan(inst, plan);
+    EXPECT_EQ(rep.stops_dropped, 0);
+    // Repair may legally trim a little slack (the planner budgets dwell in
+    // insertion order, execution drains in tour order), but never at the
+    // cost of volume.
+    EXPECT_LT(rep.dwell_trimmed_s, 0.1 * plan.hover_time());
+    EXPECT_NEAR(evaluate_plan(inst, rep.plan).collected_mb,
+                evaluate_plan(inst, plan).collected_mb, 1e-6);
+}
+
+TEST(RepairPlan, TrimsDwellWhenVolumesShrink) {
+    const auto inst = small_instance(25, 280.0, 102);
+    const auto plan = plan_for(inst);
+    // Next round: devices hold half the data.
+    const auto lighter = workload::with_volume_factor(inst, 0.5);
+    const auto rep = repair_plan(lighter, plan);
+    EXPECT_GT(rep.dwell_trimmed_s, 0.0);
+    EXPECT_GT(rep.energy_freed_j, 0.0);
+    // Still collects everything the stops cover.
+    EXPECT_NEAR(evaluate_plan(lighter, rep.plan).collected_mb,
+                evaluate_plan(lighter, plan).collected_mb, 1e-6);
+    EXPECT_TRUE(rep.plan.feasible(lighter.depot, lighter.uav, 1e-6));
+}
+
+TEST(RepairPlan, DropsStopsWhenDataVanishes) {
+    const auto inst = small_instance(25, 280.0, 103);
+    const auto plan = plan_for(inst);
+    const auto empty = workload::with_volume_factor(inst, 0.0);
+    const auto rep = repair_plan(empty, plan);
+    EXPECT_EQ(rep.plan.num_stops(), 0u);
+    EXPECT_EQ(rep.stops_dropped, static_cast<int>(plan.num_stops()));
+}
+
+TEST(RepairPlan, NeverLengthensDwellWhenVolumesGrow) {
+    // Repair only removes energy; growth needs a fresh plan.
+    const auto inst = small_instance(20, 250.0, 104);
+    const auto plan = plan_for(inst);
+    const auto heavier = workload::with_volume_factor(inst, 3.0);
+    const auto rep = repair_plan(heavier, plan);
+    ASSERT_EQ(rep.plan.num_stops(), plan.num_stops());
+    double old_dwell = 0.0;
+    double new_dwell = 0.0;
+    for (const auto& s : plan.stops) old_dwell += s.dwell_s;
+    for (const auto& s : rep.plan.stops) new_dwell += s.dwell_s;
+    EXPECT_LE(new_dwell, old_dwell + 1e-9);
+    EXPECT_TRUE(rep.plan.feasible(heavier.depot, heavier.uav, 1e-6));
+}
+
+TEST(RepairPlan, FeasibilityPreserved) {
+    for (std::uint64_t seed : {105u, 106u}) {
+        const auto inst = small_instance(30, 300.0, seed);
+        const auto plan = plan_for(inst);
+        for (double f : {0.1, 0.5, 0.9}) {
+            const auto varied = workload::with_volume_factor(inst, f);
+            const auto rep = repair_plan(varied, plan);
+            EXPECT_TRUE(rep.plan.feasible(varied.depot, varied.uav, 1e-6))
+                << "seed " << seed << " f " << f;
+        }
+    }
+}
+
+TEST(RepairPlan, EmptyPreviousPlan) {
+    const auto inst = small_instance(10, 200.0, 107);
+    const auto rep = repair_plan(inst, {});
+    EXPECT_TRUE(rep.plan.empty());
+    EXPECT_EQ(rep.stops_dropped, 0);
+}
+
+}  // namespace
+}  // namespace uavdc::core

@@ -1,0 +1,152 @@
+#include "uavdc/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace uavdc::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedResets) {
+    Rng a(7);
+    const auto x = a.next_u64();
+    a.next_u64();
+    a.reseed(7);
+    EXPECT_EQ(a.next_u64(), x);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected) {
+    Rng r(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-5.0, 5.0);
+        EXPECT_GE(u, -5.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanRoughlyCentered) {
+    Rng r(5);
+    double s = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) s += r.uniform();
+    EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+    Rng r(6);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.uniform_int(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // all 4 values hit in 1000 draws
+}
+
+TEST(Rng, UniformIntSingleValue) {
+    Rng r(7);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+    Rng r(8);
+    for (int i = 0; i < 200; ++i) {
+        const auto v = r.uniform_int(-10, -5);
+        EXPECT_GE(v, -10);
+        EXPECT_LE(v, -5);
+    }
+}
+
+TEST(Rng, NormalMoments) {
+    Rng r(9);
+    const int n = 200000;
+    double s = 0.0, s2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal();
+        s += x;
+        s2 += x * x;
+    }
+    EXPECT_NEAR(s / n, 0.0, 0.02);
+    EXPECT_NEAR(s2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+    Rng r(10);
+    double s = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) s += r.normal(10.0, 2.0);
+    EXPECT_NEAR(s / n, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng r(11);
+    double s = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.exponential(3.0);
+        EXPECT_GE(x, 0.0);
+        s += x;
+    }
+    EXPECT_NEAR(s / n, 3.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng r(12);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (r.bernoulli(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsIndependentAndDeterministic) {
+    const Rng parent(77);
+    Rng c1 = parent.split(1);
+    Rng c1_again = parent.split(1);
+    Rng c2 = parent.split(2);
+    EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+    // Different streams should diverge immediately (overwhelmingly likely).
+    Rng d1 = parent.split(1);
+    EXPECT_NE(d1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, WorksWithUniformRandomBitGeneratorConcept) {
+    EXPECT_EQ(Rng::min(), 0u);
+    EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+    Rng r(13);
+    const auto v = r();
+    (void)v;
+}
+
+}  // namespace
+}  // namespace uavdc::util

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/core/algorithm2.hpp"
+#include "uavdc/core/sensitivity.hpp"
+#include "uavdc/sim/monte_carlo.hpp"
+
+namespace uavdc {
+namespace {
+
+using testing::small_instance;
+
+model::FlightPlan plan_for(const model::Instance& inst) {
+    core::Algorithm2Config cfg;
+    cfg.candidates.delta_m = 20.0;
+    return core::GreedyCoveragePlanner(cfg).plan(inst).plan;
+}
+
+TEST(MonteCarlo, NoDisturbanceIsDeterministicBaseline) {
+    const auto inst = small_instance(25, 280.0, 111);
+    const auto plan = plan_for(inst);
+    sim::DisturbanceModel calm;
+    calm.wind_max_mps = 0.0;
+    calm.taper_max = 0.0;
+    const auto rep = sim::evaluate_robustness(inst, plan, calm, 16);
+    EXPECT_EQ(rep.trials, 16);
+    EXPECT_DOUBLE_EQ(rep.completion_rate, 1.0);
+    EXPECT_NEAR(rep.p10_gb, rep.p90_gb, 1e-9);  // zero variance
+    EXPECT_NEAR(rep.mean_gb, rep.worst_gb, 1e-9);
+}
+
+TEST(MonteCarlo, DisturbanceDegradesOutcomes) {
+    auto inst = small_instance(25, 280.0, 112);
+    // Leave a little margin so light wind doesn't kill every sortie.
+    const auto plan = plan_for(inst);
+    sim::DisturbanceModel rough;
+    rough.wind_max_mps = 4.0;
+    rough.taper_max = 0.5;
+    const auto calm_rep =
+        sim::evaluate_robustness(inst, plan, {0.0, 0.0, false}, 16);
+    const auto rough_rep =
+        sim::evaluate_robustness(inst, plan, rough, 48);
+    EXPECT_LT(rough_rep.mean_gb, calm_rep.mean_gb + 1e-9);
+    EXPECT_LE(rough_rep.completion_rate, calm_rep.completion_rate + 1e-9);
+    EXPECT_LE(rough_rep.p10_gb, rough_rep.p90_gb);
+    EXPECT_LE(rough_rep.worst_gb, rough_rep.p10_gb + 1e-9);
+}
+
+TEST(MonteCarlo, DeterministicForFixedSeed) {
+    const auto inst = small_instance(20, 250.0, 113);
+    const auto plan = plan_for(inst);
+    const auto a = sim::evaluate_robustness(inst, plan, {}, 24, 9);
+    const auto b = sim::evaluate_robustness(inst, plan, {}, 24, 9);
+    EXPECT_DOUBLE_EQ(a.mean_gb, b.mean_gb);
+    EXPECT_DOUBLE_EQ(a.completion_rate, b.completion_rate);
+}
+
+TEST(MonteCarlo, ZeroTrials) {
+    const auto inst = small_instance(5, 100.0, 114);
+    const auto rep = sim::evaluate_robustness(inst, {}, {}, 0);
+    EXPECT_EQ(rep.trials, 0);
+}
+
+TEST(Sensitivity, CoversTheOperatorKnobs) {
+    const auto inst = small_instance(25, 280.0, 115);
+    core::PlannerOptions opts;
+    opts.delta_m = 20.0;
+    const auto entries = core::analyze_sensitivity(inst, "alg2", opts);
+    ASSERT_EQ(entries.size(), 5u);
+    EXPECT_EQ(entries[0].parameter, "energy_j");
+    for (const auto& e : entries) {
+        EXPECT_GT(e.baseline_value, 0.0) << e.parameter;
+        EXPECT_GE(e.up_gb, 0.0) << e.parameter;
+        EXPECT_GE(e.down_gb, 0.0) << e.parameter;
+    }
+}
+
+TEST(Sensitivity, MoreEnergyNeverHurts) {
+    const auto inst = small_instance(30, 300.0, 116);
+    core::PlannerOptions opts;
+    opts.delta_m = 20.0;
+    const auto entries = core::analyze_sensitivity(inst, "alg2", opts, 0.3);
+    const auto& energy = entries[0];
+    EXPECT_GE(energy.up_gb, energy.down_gb - 1e-6);
+    EXPECT_GE(energy.elasticity, -1e-6);
+}
+
+TEST(Sensitivity, TravelCostHasNonPositiveElasticity) {
+    const auto inst = small_instance(30, 300.0, 117);
+    core::PlannerOptions opts;
+    opts.delta_m = 20.0;
+    const auto entries = core::analyze_sensitivity(inst, "alg2", opts, 0.3);
+    for (const auto& e : entries) {
+        if (e.parameter == "travel_rate" ||
+            e.parameter == "hover_power_w") {
+            EXPECT_LE(e.elasticity, 1e-6) << e.parameter;
+        }
+    }
+}
+
+TEST(Sensitivity, RejectsBadPerturbation) {
+    const auto inst = small_instance(5, 100.0, 118);
+    EXPECT_THROW(
+        (void)core::analyze_sensitivity(inst, "alg2", {}, 0.0),
+        std::invalid_argument);
+    EXPECT_THROW(
+        (void)core::analyze_sensitivity(inst, "alg2", {}, 1.0),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uavdc

@@ -1,0 +1,119 @@
+#include "uavdc/io/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "test_util.hpp"
+#include "uavdc/core/algorithm2.hpp"
+#include "uavdc/io/svg.hpp"
+#include "uavdc/workload/presets.hpp"
+
+namespace uavdc::io {
+namespace {
+
+TEST(Serialize, InstanceRoundTrip) {
+    const auto inst = testing::small_instance(25, 300.0, 9);
+    const auto doc = to_json(inst);
+    const auto back = instance_from_json(doc);
+    EXPECT_EQ(back.name, inst.name);
+    EXPECT_DOUBLE_EQ(back.region.width(), inst.region.width());
+    EXPECT_EQ(back.depot, inst.depot);
+    EXPECT_DOUBLE_EQ(back.uav.energy_j, inst.uav.energy_j);
+    EXPECT_DOUBLE_EQ(back.uav.bandwidth_mbps, inst.uav.bandwidth_mbps);
+    ASSERT_EQ(back.devices.size(), inst.devices.size());
+    for (std::size_t i = 0; i < inst.devices.size(); ++i) {
+        EXPECT_EQ(back.devices[i].pos, inst.devices[i].pos);
+        EXPECT_DOUBLE_EQ(back.devices[i].data_mb, inst.devices[i].data_mb);
+        EXPECT_EQ(back.devices[i].id, static_cast<int>(i));
+    }
+}
+
+TEST(Serialize, PlanRoundTrip) {
+    model::FlightPlan plan;
+    plan.stops.push_back({{10.5, 20.25}, 3.5, 7});
+    plan.stops.push_back({{-1.0, 0.0}, 0.0, -1});
+    const auto back = plan_from_json(to_json(plan));
+    ASSERT_EQ(back.stops.size(), 2u);
+    EXPECT_EQ(back.stops[0].pos, geom::Vec2(10.5, 20.25));
+    EXPECT_DOUBLE_EQ(back.stops[0].dwell_s, 3.5);
+    EXPECT_EQ(back.stops[0].cell_id, 7);
+    EXPECT_EQ(back.stops[1].cell_id, -1);
+}
+
+TEST(Serialize, EvaluationToJson) {
+    const auto inst = testing::small_instance(10, 200.0, 3);
+    core::Algorithm2Config cfg;
+    cfg.candidates.delta_m = 25.0;
+    const auto res = core::GreedyCoveragePlanner(cfg).plan(inst);
+    const auto ev = core::evaluate_plan(inst, res.plan);
+    const auto doc = to_json(ev);
+    EXPECT_DOUBLE_EQ(doc.at("collected_mb").as_number(), ev.collected_mb);
+    EXPECT_EQ(doc.at("energy_feasible").as_bool(), ev.energy_feasible);
+}
+
+TEST(Serialize, FileRoundTrip) {
+    const std::string ipath = ::testing::TempDir() + "/uavdc_inst.json";
+    const std::string ppath = ::testing::TempDir() + "/uavdc_plan.json";
+    const auto inst = testing::small_instance(15, 250.0, 4);
+    save_instance(ipath, inst);
+    const auto loaded = load_instance(ipath);
+    EXPECT_EQ(loaded.devices.size(), inst.devices.size());
+
+    core::Algorithm2Config cfg;
+    cfg.candidates.delta_m = 25.0;
+    const auto res = core::GreedyCoveragePlanner(cfg).plan(inst);
+    save_plan(ppath, res.plan);
+    const auto plan = load_plan(ppath);
+    EXPECT_EQ(plan.stops.size(), res.plan.stops.size());
+    // The reloaded plan evaluates identically.
+    EXPECT_DOUBLE_EQ(core::evaluate_plan(loaded, plan).collected_mb,
+                     core::evaluate_plan(inst, res.plan).collected_mb);
+    std::remove(ipath.c_str());
+    std::remove(ppath.c_str());
+}
+
+TEST(Serialize, LoadedInstanceIsValidated) {
+    Json doc = to_json(testing::small_instance(5, 100.0, 1));
+    doc["devices"].as_array()[0]["data_mb"] = -5.0;
+    EXPECT_THROW(instance_from_json(doc), std::invalid_argument);
+}
+
+TEST(Svg, RendersInstanceAndPlan) {
+    const auto inst = testing::small_instance(20, 250.0, 5);
+    core::Algorithm2Config cfg;
+    cfg.candidates.delta_m = 25.0;
+    const auto res = core::GreedyCoveragePlanner(cfg).plan(inst);
+    const std::string svg = render_svg(inst, &res.plan);
+    EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+    EXPECT_NE(svg.find("polyline"), std::string::npos);  // tour drawn
+    EXPECT_NE(svg.find("depot"), std::string::npos);
+    // One circle per device plus stop/coverage circles.
+    std::size_t circles = 0;
+    for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+         pos = svg.find("<circle", pos + 1)) {
+        ++circles;
+    }
+    EXPECT_GE(circles, inst.devices.size());
+}
+
+TEST(Svg, RendersWithoutPlan) {
+    const auto inst = testing::small_instance(10, 200.0, 6);
+    const std::string svg = render_svg(inst);
+    EXPECT_EQ(svg.find("polyline"), std::string::npos);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, SaveToFile) {
+    const std::string path = ::testing::TempDir() + "/uavdc_field.svg";
+    const auto inst = testing::small_instance(8, 150.0, 7);
+    save_svg(path, inst);
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good());
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace uavdc::io

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "uavdc/sim/battery.hpp"
+#include "uavdc/sim/event.hpp"
+#include "uavdc/sim/event_queue.hpp"
+#include "uavdc/sim/radio.hpp"
+
+namespace uavdc::sim {
+namespace {
+
+TEST(Battery, InitialState) {
+    const Battery b(1000.0);
+    EXPECT_DOUBLE_EQ(b.capacity_j(), 1000.0);
+    EXPECT_DOUBLE_EQ(b.remaining_j(), 1000.0);
+    EXPECT_DOUBLE_EQ(b.consumed_j(), 0.0);
+    EXPECT_FALSE(b.depleted());
+}
+
+TEST(Battery, DrainWithinCapacity) {
+    Battery b(1000.0);
+    const double t = b.drain(100.0, 5.0);
+    EXPECT_DOUBLE_EQ(t, 5.0);
+    EXPECT_DOUBLE_EQ(b.remaining_j(), 500.0);
+    EXPECT_FALSE(b.depleted());
+}
+
+TEST(Battery, DrainTruncatesAtEmpty) {
+    Battery b(1000.0);
+    const double t = b.drain(100.0, 20.0);  // would need 2000 J
+    EXPECT_DOUBLE_EQ(t, 10.0);
+    EXPECT_TRUE(b.depleted());
+    EXPECT_DOUBLE_EQ(b.remaining_j(), 0.0);
+}
+
+TEST(Battery, ZeroPowerLastsForever) {
+    Battery b(10.0);
+    EXPECT_DOUBLE_EQ(b.drain(0.0, 123.0), 123.0);
+    EXPECT_DOUBLE_EQ(b.remaining_j(), 10.0);
+    EXPECT_GT(b.time_until_empty(0.0), 1e17);
+}
+
+TEST(Battery, TimeUntilEmpty) {
+    Battery b(300.0);
+    EXPECT_DOUBLE_EQ(b.time_until_empty(150.0), 2.0);
+    b.drain(150.0, 1.0);
+    EXPECT_DOUBLE_EQ(b.time_until_empty(150.0), 1.0);
+}
+
+TEST(Battery, ConsumeClamps) {
+    Battery b(100.0);
+    EXPECT_DOUBLE_EQ(b.consume(60.0), 60.0);
+    EXPECT_DOUBLE_EQ(b.consume(60.0), 40.0);
+    EXPECT_TRUE(b.depleted());
+    EXPECT_DOUBLE_EQ(b.consume(5.0), 0.0);
+}
+
+TEST(Battery, NegativeDurationsIgnored) {
+    Battery b(100.0);
+    EXPECT_DOUBLE_EQ(b.drain(10.0, -5.0), 0.0);
+    EXPECT_DOUBLE_EQ(b.remaining_j(), 100.0);
+}
+
+TEST(EventQueue, OrdersByTime) {
+    EventQueue q;
+    q.push({3.0, EventKind::kArrive, 0, -1, 0.0});
+    q.push({1.0, EventKind::kDepart, -1, -1, 0.0});
+    q.push({2.0, EventKind::kHoverStart, 0, -1, 0.0});
+    EXPECT_EQ(q.pop().kind, EventKind::kDepart);
+    EXPECT_EQ(q.pop().kind, EventKind::kHoverStart);
+    EXPECT_EQ(q.pop().kind, EventKind::kArrive);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FifoTieBreaking) {
+    EventQueue q;
+    q.push({1.0, EventKind::kDeviceDone, 0, 10, 0.0});
+    q.push({1.0, EventKind::kDeviceDone, 0, 11, 0.0});
+    q.push({1.0, EventKind::kDeviceDone, 0, 12, 0.0});
+    EXPECT_EQ(q.pop().device, 10);
+    EXPECT_EQ(q.pop().device, 11);
+    EXPECT_EQ(q.pop().device, 12);
+}
+
+TEST(EventQueue, PeekDoesNotRemove) {
+    EventQueue q;
+    q.push({5.0, EventKind::kArrive, 1, -1, 0.0});
+    EXPECT_EQ(q.peek().stop, 1);
+    EXPECT_EQ(q.size(), 1u);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventToString, Readable) {
+    const Event e{12.5, EventKind::kDeviceDone, 3, 42, 1.5};
+    const std::string s = e.to_string();
+    EXPECT_NE(s.find("device-done"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_EQ(to_string(EventKind::kTourComplete), "tour-complete");
+    EXPECT_EQ(to_string(EventKind::kBatteryDepleted), "battery-depleted");
+}
+
+TEST(Radio, ConstantModel) {
+    const ConstantRadio r;
+    EXPECT_DOUBLE_EQ(r.rate_mbps(0.0, 50.0, 150.0), 150.0);
+    EXPECT_DOUBLE_EQ(r.rate_mbps(50.0, 50.0, 150.0), 150.0);
+    EXPECT_DOUBLE_EQ(r.rate_mbps(50.001, 50.0, 150.0), 0.0);
+    EXPECT_EQ(r.name(), "constant");
+}
+
+TEST(Radio, TaperModel) {
+    const DistanceTaperRadio r(0.5);
+    EXPECT_DOUBLE_EQ(r.rate_mbps(0.0, 50.0, 100.0), 100.0);
+    EXPECT_DOUBLE_EQ(r.rate_mbps(50.0, 50.0, 100.0), 50.0);
+    EXPECT_DOUBLE_EQ(r.rate_mbps(25.0, 50.0, 100.0), 87.5);
+    EXPECT_DOUBLE_EQ(r.rate_mbps(51.0, 50.0, 100.0), 0.0);
+    EXPECT_EQ(r.name(), "distance-taper");
+}
+
+TEST(Radio, TaperZeroEqualsConstantInside) {
+    const DistanceTaperRadio t(0.0);
+    const ConstantRadio c;
+    for (double d : {0.0, 10.0, 30.0, 50.0}) {
+        EXPECT_DOUBLE_EQ(t.rate_mbps(d, 50.0, 150.0),
+                         c.rate_mbps(d, 50.0, 150.0));
+    }
+}
+
+TEST(Radio, TaperValidation) {
+    EXPECT_THROW(DistanceTaperRadio(-0.1), std::invalid_argument);
+    EXPECT_THROW(DistanceTaperRadio(1.0), std::invalid_argument);
+}
+
+TEST(Radio, SharedConstantInstance) {
+    EXPECT_DOUBLE_EQ(constant_radio().rate_mbps(10.0, 50.0, 150.0), 150.0);
+}
+
+}  // namespace
+}  // namespace uavdc::sim

@@ -1,0 +1,175 @@
+#include "uavdc/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/core/algorithm2.hpp"
+#include "uavdc/core/evaluate.hpp"
+
+namespace uavdc::sim {
+namespace {
+
+using testing::manual_instance;
+using testing::small_instance;
+
+TEST(Simulator, EmptyPlanCompletesImmediately) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 300.0}});
+    const Simulator sim;
+    const auto rep = sim.run(inst, {});
+    EXPECT_TRUE(rep.completed);
+    EXPECT_FALSE(rep.battery_depleted);
+    EXPECT_DOUBLE_EQ(rep.collected_mb, 0.0);
+    EXPECT_DOUBLE_EQ(rep.duration_s, 0.0);
+}
+
+TEST(Simulator, SingleStopFullCollection) {
+    const auto inst = manual_instance({{{30.0, 40.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 2.0, -1});
+    const auto rep = Simulator().run(inst, plan);
+    EXPECT_TRUE(rep.completed);
+    EXPECT_DOUBLE_EQ(rep.collected_mb, 300.0);
+    EXPECT_EQ(rep.devices_drained, 1);
+    EXPECT_DOUBLE_EQ(rep.travel_s, 10.0);   // 100 m round trip at 10 m/s
+    EXPECT_DOUBLE_EQ(rep.hover_s, 2.0);
+    EXPECT_DOUBLE_EQ(rep.duration_s, 12.0);
+    // Travel: 100 m * 100 J/m; hover: 2 s * 150 W.
+    EXPECT_DOUBLE_EQ(rep.energy_used_j, 100.0 * 100.0 + 2.0 * 150.0);
+}
+
+TEST(Simulator, TraceEventsInOrder) {
+    const auto inst = manual_instance({{{30.0, 40.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 2.0, -1});
+    const auto rep = Simulator().run(inst, plan);
+    ASSERT_GE(rep.trace.size(), 5u);
+    EXPECT_EQ(rep.trace.front().kind, EventKind::kDepart);
+    EXPECT_EQ(rep.trace.back().kind, EventKind::kTourComplete);
+    for (std::size_t i = 1; i < rep.trace.size(); ++i) {
+        EXPECT_GE(rep.trace[i].time_s, rep.trace[i - 1].time_s - 1e-12);
+    }
+    bool saw_device_done = false;
+    for (const auto& e : rep.trace) {
+        if (e.kind == EventKind::kDeviceDone) {
+            saw_device_done = true;
+            EXPECT_EQ(e.device, 0);
+        }
+    }
+    EXPECT_TRUE(saw_device_done);
+}
+
+TEST(Simulator, TraceDisabled) {
+    const auto inst = manual_instance({{{30.0, 40.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 2.0, -1});
+    SimConfig cfg;
+    cfg.record_trace = false;
+    const auto rep = Simulator(cfg).run(inst, plan);
+    EXPECT_TRUE(rep.trace.empty());
+    EXPECT_DOUBLE_EQ(rep.collected_mb, 300.0);
+}
+
+TEST(Simulator, BatteryDiesMidFlight) {
+    auto inst = manual_instance({{{150.0, 0.0}, 300.0}}, 200.0);
+    inst.uav.energy_j = 500.0;  // 5 m of flight; target is 150 m away
+    model::FlightPlan plan;
+    plan.stops.push_back({{150.0, 0.0}, 2.0, -1});
+    const auto rep = Simulator().run(inst, plan);
+    EXPECT_FALSE(rep.completed);
+    EXPECT_TRUE(rep.battery_depleted);
+    EXPECT_DOUBLE_EQ(rep.collected_mb, 0.0);
+    EXPECT_DOUBLE_EQ(rep.energy_used_j, 500.0);
+    EXPECT_EQ(rep.stops_visited, 0);
+}
+
+TEST(Simulator, BatteryDiesMidHover) {
+    auto inst = manual_instance({{{10.0, 0.0}, 1500.0}}, 200.0);
+    // Flight out: 10 m = 1000 J. Hover needs 10 s = 1500 J; give ~half.
+    inst.uav.energy_j = 1000.0 + 750.0;
+    model::FlightPlan plan;
+    plan.stops.push_back({{10.0, 0.0}, 10.0, -1});
+    const auto rep = Simulator().run(inst, plan);
+    EXPECT_FALSE(rep.completed);
+    EXPECT_TRUE(rep.battery_depleted);
+    EXPECT_NEAR(rep.hover_s, 5.0, 1e-9);
+    EXPECT_NEAR(rep.collected_mb, 5.0 * 150.0, 1e-9);
+}
+
+TEST(Simulator, ConcurrentUploadsFinishIndependently) {
+    const auto inst = manual_instance(
+        {{{45.0, 50.0}, 150.0}, {{55.0, 50.0}, 450.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 3.0, -1});
+    const auto rep = Simulator().run(inst, plan);
+    EXPECT_DOUBLE_EQ(rep.per_device_mb[0], 150.0);  // done after 1 s
+    EXPECT_DOUBLE_EQ(rep.per_device_mb[1], 450.0);  // done after 3 s
+    EXPECT_EQ(rep.devices_drained, 2);
+    int done_events = 0;
+    for (const auto& e : rep.trace) {
+        if (e.kind == EventKind::kDeviceDone) ++done_events;
+    }
+    EXPECT_EQ(done_events, 2);
+}
+
+TEST(Simulator, ResidualSpansMultipleStops) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 50.0}, 1.0, -1});
+    plan.stops.push_back({{70.0, 50.0}, 1.0, -1});
+    const auto rep = Simulator().run(inst, plan);
+    EXPECT_DOUBLE_EQ(rep.collected_mb, 300.0);
+    EXPECT_EQ(rep.devices_drained, 1);
+}
+
+TEST(Simulator, TaperRadioCollectsLess) {
+    const auto inst = manual_instance({{{90.0, 50.0}, 600.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 2.0, -1});  // device 40 m out
+    const DistanceTaperRadio taper(0.5);
+    SimConfig cfg;
+    cfg.radio = &taper;
+    const auto with_taper = Simulator(cfg).run(inst, plan);
+    const auto without = Simulator().run(inst, plan);
+    EXPECT_LT(with_taper.collected_mb, without.collected_mb);
+    // rate = 150 * (1 - 0.5 * (40/50)^2) = 102 MB/s for 2 s.
+    EXPECT_NEAR(with_taper.collected_mb, 204.0, 1e-9);
+}
+
+TEST(Simulator, MatchesClosedFormEvaluation) {
+    // The headline cross-check: event-driven execution == closed form for
+    // feasible plans produced by a real planner.
+    for (std::uint64_t seed : {41u, 42u, 43u, 44u}) {
+        const auto inst = small_instance(35, 320.0, seed);
+        core::Algorithm2Config cfg;
+        cfg.candidates.delta_m = 20.0;
+        const auto res = core::GreedyCoveragePlanner(cfg).plan(inst);
+        const auto ev = core::evaluate_plan(inst, res.plan);
+        SimConfig scfg;
+        scfg.record_trace = false;
+        const auto rep = Simulator(scfg).run(inst, res.plan);
+        EXPECT_TRUE(rep.completed) << "seed " << seed;
+        EXPECT_FALSE(rep.battery_depleted) << "seed " << seed;
+        EXPECT_NEAR(rep.collected_mb, ev.collected_mb, 1e-6)
+            << "seed " << seed;
+        EXPECT_NEAR(rep.energy_used_j, ev.energy_j, 1e-6) << "seed " << seed;
+        EXPECT_NEAR(rep.duration_s, ev.tour_time_s, 1e-6) << "seed " << seed;
+        for (std::size_t d = 0; d < rep.per_device_mb.size(); ++d) {
+            EXPECT_NEAR(rep.per_device_mb[d], ev.per_device_mb[d], 1e-6);
+        }
+    }
+}
+
+TEST(Simulator, EnergyNeverExceedsCapacity) {
+    for (std::uint64_t seed : {45u, 46u}) {
+        auto inst = small_instance(25, 300.0, seed);
+        inst.uav.energy_j = 2.0e4;
+        core::Algorithm2Config cfg;
+        cfg.candidates.delta_m = 25.0;
+        const auto res = core::GreedyCoveragePlanner(cfg).plan(inst);
+        const auto rep = Simulator().run(inst, res.plan);
+        EXPECT_LE(rep.energy_used_j, inst.uav.energy_j + 1e-6);
+    }
+}
+
+}  // namespace
+}  // namespace uavdc::sim

@@ -1,0 +1,101 @@
+#include "uavdc/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace uavdc::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+    const Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.variance(), 0.0);
+    EXPECT_EQ(a.stddev(), 0.0);
+    EXPECT_EQ(a.sum(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+    Accumulator a;
+    a.add(5.0);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 5.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Accumulator, KnownSample) {
+    Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+    Accumulator whole, left, right;
+    const std::vector<double> xs{1.5, -2.0, 3.25, 8.0, 0.0, -1.0, 4.5};
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        whole.add(xs[i]);
+        (i < 3 ? left : right).add(xs[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+    Accumulator a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    const double m = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), m);
+    empty.merge(a);
+    EXPECT_DOUBLE_EQ(empty.mean(), m);
+}
+
+TEST(Accumulator, Ci95ShrinksWithSamples) {
+    Accumulator small, big;
+    for (int i = 0; i < 10; ++i) small.add(i % 2 ? 1.0 : -1.0);
+    for (int i = 0; i < 1000; ++i) big.add(i % 2 ? 1.0 : -1.0);
+    EXPECT_GT(small.ci95_halfwidth(), big.ci95_halfwidth());
+}
+
+TEST(StatsFree, MeanAndStddev) {
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsFree, EmptyAndSingleton) {
+    EXPECT_EQ(mean(std::vector<double>{}), 0.0);
+    EXPECT_EQ(stddev(std::vector<double>{}), 0.0);
+    EXPECT_EQ(stddev(std::vector<double>{4.0}), 0.0);
+}
+
+TEST(StatsFree, MedianOddEven) {
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_EQ(median({}), 0.0);
+}
+
+TEST(StatsFree, Quantiles) {
+    const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.125), 0.5);  // interpolated
+}
+
+}  // namespace
+}  // namespace uavdc::util

@@ -1,0 +1,111 @@
+#include "uavdc/core/tour_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "uavdc/util/rng.hpp"
+
+namespace uavdc::core {
+namespace {
+
+TEST(TourBuilder, EmptyTour) {
+    const TourBuilder t({0.0, 0.0});
+    EXPECT_TRUE(t.empty());
+    EXPECT_DOUBLE_EQ(t.length(), 0.0);
+    EXPECT_DOUBLE_EQ(t.recompute_length(), 0.0);
+}
+
+TEST(TourBuilder, FirstInsertionOutAndBack) {
+    TourBuilder t({0.0, 0.0});
+    const auto ins = t.cheapest_insertion({30.0, 40.0});
+    EXPECT_DOUBLE_EQ(ins.delta_m, 100.0);
+    t.insert({30.0, 40.0}, 7, ins);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_DOUBLE_EQ(t.length(), 100.0);
+    EXPECT_EQ(t.keys(), std::vector<int>{7});
+}
+
+TEST(TourBuilder, IncrementalLengthMatchesRecompute) {
+    util::Rng rng(5);
+    TourBuilder t({0.0, 0.0});
+    for (int i = 0; i < 30; ++i) {
+        const geom::Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+        t.insert(p, i, t.cheapest_insertion(p));
+        ASSERT_NEAR(t.length(), t.recompute_length(), 1e-9) << "step " << i;
+    }
+    // Removals also stay consistent.
+    while (t.size() > 3) {
+        const std::size_t pos =
+            static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(t.size()) - 1));
+        t.remove(pos);
+        ASSERT_NEAR(t.length(), t.recompute_length(), 1e-9);
+    }
+}
+
+TEST(TourBuilder, CheapestInsertionIsActuallyCheapest) {
+    TourBuilder t({0.0, 0.0});
+    // Fixed simple tour: depot -> (100,0) -> (100,100) -> (0,100) -> depot.
+    t.insert({100.0, 0.0}, 0, t.cheapest_insertion({100.0, 0.0}));
+    t.insert({100.0, 100.0}, 1, t.cheapest_insertion({100.0, 100.0}));
+    t.insert({0.0, 100.0}, 2, t.cheapest_insertion({0.0, 100.0}));
+    const geom::Vec2 probe{50.0, -1.0};  // just below the depot->(100,0) edge
+    const auto ins = t.cheapest_insertion(probe);
+    // Brute force all positions.
+    double best = 1e18;
+    for (std::size_t pos = 0; pos <= t.size(); ++pos) {
+        TourBuilder copy = t;
+        copy.insert(probe, 9, {pos, 0.0});  // delta ignored for comparison
+        best = std::min(best, copy.recompute_length() - t.length());
+    }
+    EXPECT_NEAR(ins.delta_m, best, 1e-9);
+}
+
+TEST(TourBuilder, RemovalDeltaMatchesActualRemoval) {
+    util::Rng rng(9);
+    TourBuilder t({0.0, 0.0});
+    for (int i = 0; i < 10; ++i) {
+        const geom::Vec2 p{rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)};
+        t.insert(p, i, t.cheapest_insertion(p));
+    }
+    for (std::size_t pos = 0; pos < t.size(); ++pos) {
+        TourBuilder copy = t;
+        const double predicted = copy.removal_delta(pos);
+        const double before = copy.length();
+        copy.remove(pos);
+        EXPECT_NEAR(copy.recompute_length(), before + predicted, 1e-9);
+    }
+}
+
+TEST(TourBuilder, ReoptimizeNeverLengthens) {
+    util::Rng rng(13);
+    TourBuilder t({0.0, 0.0});
+    for (int i = 0; i < 25; ++i) {
+        const geom::Vec2 p{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+        // Insert at position 0 deliberately to create a bad tour.
+        t.insert(p, i, {0, 0.0});
+    }
+    const double messy = t.recompute_length();
+    const double opt = t.reoptimize();
+    EXPECT_LE(opt, messy + 1e-9);
+    EXPECT_NEAR(t.length(), t.recompute_length(), 1e-9);
+    EXPECT_EQ(t.size(), 25u);
+}
+
+TEST(TourBuilder, ReoptimizePreservesKeyPairing) {
+    util::Rng rng(17);
+    TourBuilder t({0.0, 0.0});
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < 12; ++i) {
+        const geom::Vec2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+        pts.push_back(p);
+        t.insert(p, i, t.cheapest_insertion(p));
+    }
+    t.reoptimize();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const auto key = static_cast<std::size_t>(t.keys()[i]);
+        EXPECT_EQ(t.stops()[i], pts[key]) << "key/stop pairing broken";
+    }
+}
+
+}  // namespace
+}  // namespace uavdc::core

@@ -1,0 +1,105 @@
+#include "uavdc/workload/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace uavdc::workload {
+namespace {
+
+using testing::small_instance;
+
+TEST(Transforms, ScaledPreservesRelativeLayout) {
+    const auto inst = small_instance(20, 200.0, 81);
+    const auto big = scaled(inst, 2.0);
+    EXPECT_DOUBLE_EQ(big.region.width(), 2.0 * inst.region.width());
+    ASSERT_EQ(big.devices.size(), inst.devices.size());
+    // Pairwise distances double; volumes unchanged.
+    const double d_before =
+        geom::distance(inst.devices[0].pos, inst.devices[1].pos);
+    const double d_after =
+        geom::distance(big.devices[0].pos, big.devices[1].pos);
+    EXPECT_NEAR(d_after, 2.0 * d_before, 1e-9);
+    EXPECT_DOUBLE_EQ(big.devices[0].data_mb, inst.devices[0].data_mb);
+}
+
+TEST(Transforms, ScaledRejectsBadFactor) {
+    const auto inst = small_instance(5, 100.0, 82);
+    EXPECT_THROW((void)scaled(inst, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)scaled(inst, -1.0), std::invalid_argument);
+}
+
+TEST(Transforms, TranslatedShiftsEverything) {
+    const auto inst = small_instance(10, 150.0, 83);
+    const geom::Vec2 off{100.0, -50.0};
+    const auto moved = translated(inst, off);
+    EXPECT_EQ(moved.depot, inst.depot + off);
+    EXPECT_EQ(moved.region.lo, inst.region.lo + off);
+    for (std::size_t i = 0; i < inst.devices.size(); ++i) {
+        EXPECT_EQ(moved.devices[i].pos, inst.devices[i].pos + off);
+    }
+}
+
+TEST(Transforms, RotatedPreservesPairwiseDistances) {
+    const auto inst = small_instance(15, 200.0, 84);
+    const auto rot = rotated(inst, 1.0);
+    ASSERT_EQ(rot.devices.size(), inst.devices.size());
+    for (std::size_t i = 0; i + 1 < inst.devices.size(); ++i) {
+        EXPECT_NEAR(
+            geom::distance(rot.devices[i].pos, rot.devices[i + 1].pos),
+            geom::distance(inst.devices[i].pos, inst.devices[i + 1].pos),
+            1e-9);
+    }
+    rot.validate();
+}
+
+TEST(Transforms, RotateFullCircleIsIdentityUpToEps) {
+    const auto inst = small_instance(8, 100.0, 85);
+    const auto rot = rotated(inst, 2.0 * std::acos(-1.0));
+    for (std::size_t i = 0; i < inst.devices.size(); ++i) {
+        EXPECT_NEAR(rot.devices[i].pos.x, inst.devices[i].pos.x, 1e-9);
+        EXPECT_NEAR(rot.devices[i].pos.y, inst.devices[i].pos.y, 1e-9);
+    }
+}
+
+TEST(Transforms, CroppedKeepsOnlyWindowDevices) {
+    const auto inst = small_instance(40, 300.0, 86);
+    const geom::Aabb window{{0.0, 0.0}, {150.0, 150.0}};
+    const auto crop = cropped(inst, window);
+    EXPECT_LT(crop.devices.size(), inst.devices.size());
+    for (const auto& d : crop.devices) {
+        EXPECT_TRUE(window.contains(d.pos));
+    }
+    // Ids dense again.
+    for (std::size_t i = 0; i < crop.devices.size(); ++i) {
+        EXPECT_EQ(crop.devices[i].id, static_cast<int>(i));
+    }
+}
+
+TEST(Transforms, MergedConcatenatesFields) {
+    const auto a = small_instance(10, 150.0, 87);
+    const auto b = translated(small_instance(12, 150.0, 88),
+                              {200.0, 0.0});
+    const auto m = merged(a, b);
+    EXPECT_EQ(m.devices.size(), a.devices.size() + b.devices.size());
+    EXPECT_TRUE(m.region.contains(a.devices[0].pos));
+    EXPECT_TRUE(m.region.contains(b.devices[0].pos));
+    EXPECT_EQ(m.depot, a.depot);
+    EXPECT_NEAR(m.total_data_mb(),
+                a.total_data_mb() + b.total_data_mb(), 1e-9);
+}
+
+TEST(Transforms, VolumeFactorScalesData) {
+    const auto inst = small_instance(10, 150.0, 89);
+    const auto doubled = with_volume_factor(inst, 2.0);
+    EXPECT_NEAR(doubled.total_data_mb(), 2.0 * inst.total_data_mb(), 1e-9);
+    const auto zero = with_volume_factor(inst, 0.0);
+    EXPECT_DOUBLE_EQ(zero.total_data_mb(), 0.0);
+    EXPECT_THROW((void)with_volume_factor(inst, -0.5),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uavdc::workload

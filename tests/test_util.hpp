@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "uavdc/model/instance.hpp"
+#include "uavdc/workload/generator.hpp"
+#include "uavdc/workload/presets.hpp"
+
+namespace uavdc::testing {
+
+/// Small deterministic instance: `n` devices uniform in a `side` x `side`
+/// region with paper UAV constants scaled for quick planning.
+inline model::Instance small_instance(int n = 40, double side = 300.0,
+                                      std::uint64_t seed = 7,
+                                      double energy_j = 6.0e4) {
+    workload::GeneratorConfig cfg = workload::paper_default();
+    cfg.num_devices = n;
+    cfg.region_w = side;
+    cfg.region_h = side;
+    cfg.uav.energy_j = energy_j;
+    return workload::generate(cfg, seed);
+}
+
+/// Hand-built instance with explicit device placement.
+inline model::Instance manual_instance(
+    std::vector<std::pair<geom::Vec2, double>> devices, double side = 200.0,
+    model::UavConfig uav = workload::paper_uav()) {
+    model::Instance inst;
+    inst.name = "manual";
+    inst.region = geom::Aabb::of_size(side, side);
+    inst.depot = {0.0, 0.0};
+    inst.uav = uav;
+    int id = 0;
+    for (const auto& [pos, mb] : devices) {
+        inst.devices.push_back({id++, pos, mb});
+    }
+    inst.validate();
+    return inst;
+}
+
+}  // namespace uavdc::testing

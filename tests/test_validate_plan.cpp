@@ -1,0 +1,105 @@
+#include "uavdc/core/validate_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "test_util.hpp"
+#include "uavdc/core/algorithm2.hpp"
+
+namespace uavdc::core {
+namespace {
+
+using testing::manual_instance;
+
+bool has_kind(const std::vector<PlanViolation>& vs,
+              PlanViolation::Kind kind) {
+    for (const auto& v : vs) {
+        if (v.kind == kind) return true;
+    }
+    return false;
+}
+
+TEST(ValidatePlan, CleanPlanPasses) {
+    const auto inst = testing::small_instance(20, 250.0, 41);
+    Algorithm2Config cfg;
+    cfg.candidates.delta_m = 25.0;
+    const auto res = GreedyCoveragePlanner(cfg).plan(inst);
+    const auto val = validate_plan(inst, res.plan);
+    EXPECT_TRUE(val.ok());
+    EXPECT_TRUE(val.errors.empty());
+}
+
+TEST(ValidatePlan, NegativeDwellIsError) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 100.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, -1.0, -1});
+    const auto val = validate_plan(inst, plan);
+    EXPECT_FALSE(val.ok());
+    EXPECT_TRUE(has_kind(val.errors, PlanViolation::Kind::kNegativeDwell));
+}
+
+TEST(ValidatePlan, NonFiniteIsError) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 100.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back(
+        {{std::numeric_limits<double>::quiet_NaN(), 0.0}, 1.0, -1});
+    const auto val = validate_plan(inst, plan);
+    EXPECT_TRUE(has_kind(val.errors, PlanViolation::Kind::kNonFiniteValue));
+}
+
+TEST(ValidatePlan, EnergyExceededIsError) {
+    auto inst = manual_instance({{{50.0, 50.0}, 100.0}});
+    inst.uav.energy_j = 10.0;
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 1.0, -1});
+    const auto val = validate_plan(inst, plan);
+    EXPECT_TRUE(has_kind(val.errors, PlanViolation::Kind::kEnergyExceeded));
+}
+
+TEST(ValidatePlan, FarStopIsError) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 100.0}}, 200.0);
+    model::FlightPlan plan;
+    plan.stops.push_back({{900.0, 900.0}, 1.0, -1});
+    const auto val = validate_plan(inst, plan);
+    EXPECT_TRUE(
+        has_kind(val.errors, PlanViolation::Kind::kStopFarFromField));
+}
+
+TEST(ValidatePlan, UselessStopIsWarning) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 100.0}}, 400.0);
+    model::FlightPlan plan;
+    plan.stops.push_back({{300.0, 300.0}, 5.0, -1});  // in-region, no device
+    const auto val = validate_plan(inst, plan);
+    EXPECT_TRUE(val.ok());  // warnings only
+    EXPECT_TRUE(has_kind(val.warnings, PlanViolation::Kind::kUselessStop));
+}
+
+TEST(ValidatePlan, EmptyPlanWithDataIsWarning) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 100.0}});
+    const auto val = validate_plan(inst, {});
+    EXPECT_TRUE(val.ok());
+    EXPECT_TRUE(
+        has_kind(val.warnings, PlanViolation::Kind::kEmptyPlanWithData));
+}
+
+TEST(ValidatePlan, KindsHaveNames) {
+    EXPECT_EQ(to_string(PlanViolation::Kind::kNegativeDwell),
+              "negative-dwell");
+    EXPECT_EQ(to_string(PlanViolation::Kind::kEnergyExceeded),
+              "energy-exceeded");
+    EXPECT_EQ(to_string(PlanViolation::Kind::kUselessStop), "useless-stop");
+}
+
+TEST(ValidatePlan, ViolationCarriesStopIndex) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 100.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 1.0, -1});
+    plan.stops.push_back({{60.0, 50.0}, -2.0, -1});
+    const auto val = validate_plan(inst, plan);
+    ASSERT_FALSE(val.errors.empty());
+    EXPECT_EQ(val.errors[0].stop, 1);
+}
+
+}  // namespace
+}  // namespace uavdc::core

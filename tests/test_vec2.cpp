@@ -1,0 +1,94 @@
+#include "uavdc/geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace uavdc::geom {
+namespace {
+
+TEST(Vec2, DefaultIsOrigin) {
+    const Vec2 v;
+    EXPECT_EQ(v.x, 0.0);
+    EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, ArithmeticOperators) {
+    const Vec2 a{1.0, 2.0};
+    const Vec2 b{3.0, -4.0};
+    EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+    EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+    EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+    EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+    EXPECT_EQ(b / 2.0, Vec2(1.5, -2.0));
+    EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+    Vec2 v{1.0, 1.0};
+    v += {2.0, 3.0};
+    EXPECT_EQ(v, Vec2(3.0, 4.0));
+    v -= {1.0, 1.0};
+    EXPECT_EQ(v, Vec2(2.0, 3.0));
+    v *= 2.0;
+    EXPECT_EQ(v, Vec2(4.0, 6.0));
+    v /= 4.0;
+    EXPECT_EQ(v, Vec2(1.0, 1.5));
+}
+
+TEST(Vec2, NormAndNorm2) {
+    const Vec2 v{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+    EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+}
+
+TEST(Vec2, DotAndCross) {
+    const Vec2 a{1.0, 2.0};
+    const Vec2 b{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(a.dot(b), 11.0);
+    EXPECT_DOUBLE_EQ(a.cross(b), -2.0);
+    EXPECT_DOUBLE_EQ(b.cross(a), 2.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+    const Vec2 v{3.0, 4.0};
+    const Vec2 u = v.normalized();
+    EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(u.x, 0.6, 1e-12);
+    EXPECT_NEAR(u.y, 0.8, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroStaysZero) {
+    const Vec2 z;
+    EXPECT_EQ(z.normalized(), Vec2());
+}
+
+TEST(Vec2, Distance) {
+    EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+    EXPECT_DOUBLE_EQ(distance2({0.0, 0.0}, {3.0, 4.0}), 25.0);
+    EXPECT_DOUBLE_EQ(distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(Vec2, DistanceSymmetry) {
+    const Vec2 a{-2.5, 7.0};
+    const Vec2 b{4.0, -1.0};
+    EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+}
+
+TEST(Vec2, Lerp) {
+    const Vec2 a{0.0, 0.0};
+    const Vec2 b{10.0, -10.0};
+    EXPECT_EQ(lerp(a, b, 0.0), a);
+    EXPECT_EQ(lerp(a, b, 1.0), b);
+    EXPECT_EQ(lerp(a, b, 0.5), Vec2(5.0, -5.0));
+}
+
+TEST(Vec2, StreamOutput) {
+    std::ostringstream os;
+    os << Vec2{1.5, -2.0};
+    EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+}  // namespace
+}  // namespace uavdc::geom

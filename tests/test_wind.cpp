@@ -1,0 +1,92 @@
+#include "uavdc/sim/wind.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/sim/simulator.hpp"
+
+namespace uavdc::sim {
+namespace {
+
+using testing::manual_instance;
+
+TEST(Wind, CalmMatchesAirspeed) {
+    const Wind calm;
+    EXPECT_TRUE(calm.calm());
+    EXPECT_DOUBLE_EQ(calm.ground_speed({1.0, 0.0}, 10.0), 10.0);
+    EXPECT_DOUBLE_EQ(calm.travel_time({0.0, 0.0}, {100.0, 0.0}, 10.0), 10.0);
+}
+
+TEST(Wind, TailwindSpeedsUp) {
+    const Wind tail{{5.0, 0.0}};
+    EXPECT_DOUBLE_EQ(tail.ground_speed({1.0, 0.0}, 10.0), 15.0);
+    EXPECT_DOUBLE_EQ(tail.travel_time({0.0, 0.0}, {150.0, 0.0}, 10.0), 10.0);
+}
+
+TEST(Wind, HeadwindSlowsDown) {
+    const Wind head{{-5.0, 0.0}};
+    EXPECT_DOUBLE_EQ(head.ground_speed({1.0, 0.0}, 10.0), 5.0);
+    EXPECT_DOUBLE_EQ(head.travel_time({0.0, 0.0}, {100.0, 0.0}, 10.0), 20.0);
+}
+
+TEST(Wind, CrosswindCostsSpeed) {
+    const Wind cross{{0.0, 6.0}};
+    // sqrt(10^2 - 6^2) = 8.
+    EXPECT_DOUBLE_EQ(cross.ground_speed({1.0, 0.0}, 10.0), 8.0);
+}
+
+TEST(Wind, OverpoweringWindUnflyable) {
+    const Wind gale{{0.0, 12.0}};
+    EXPECT_DOUBLE_EQ(gale.ground_speed({1.0, 0.0}, 10.0), 0.0);
+    EXPECT_GT(gale.travel_time({0.0, 0.0}, {10.0, 0.0}, 10.0), 1e17);
+    const Wind storm_head{{-15.0, 0.0}};
+    EXPECT_LT(storm_head.ground_speed({1.0, 0.0}, 10.0), 0.0);
+}
+
+TEST(Wind, ZeroLengthLegIsFree) {
+    const Wind w{{3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(w.travel_time({5.0, 5.0}, {5.0, 5.0}, 10.0), 0.0);
+}
+
+TEST(Wind, RoundTripNeverFasterThanCalm) {
+    // Headwind out + tailwind back is always a net loss.
+    const Wind w{{4.0, 0.0}};
+    const geom::Vec2 a{0.0, 0.0};
+    const geom::Vec2 b{100.0, 0.0};
+    const double calm_rt = 2.0 * 100.0 / 10.0;
+    const double windy_rt =
+        w.travel_time(a, b, 10.0) + w.travel_time(b, a, 10.0);
+    EXPECT_GT(windy_rt, calm_rt);
+}
+
+TEST(WindSim, HeadwindBurnsExtraEnergy) {
+    const auto inst = manual_instance({{{100.0, 0.0}, 150.0}}, 300.0);
+    model::FlightPlan plan;
+    plan.stops.push_back({{100.0, 0.0}, 1.0, -1});
+    SimConfig calm_cfg;
+    SimConfig windy_cfg;
+    windy_cfg.wind = Wind{{-5.0, 0.0}};  // headwind out, tailwind home
+    const auto calm = Simulator(calm_cfg).run(inst, plan);
+    const auto windy = Simulator(windy_cfg).run(inst, plan);
+    EXPECT_TRUE(calm.completed);
+    EXPECT_TRUE(windy.completed);
+    EXPECT_GT(windy.travel_s, calm.travel_s);
+    EXPECT_GT(windy.energy_used_j, calm.energy_used_j);
+    EXPECT_DOUBLE_EQ(windy.collected_mb, calm.collected_mb);
+}
+
+TEST(WindSim, StrongWindDepletesBattery) {
+    auto inst = manual_instance({{{100.0, 0.0}, 150.0}}, 300.0);
+    // Size the battery to just fit the calm plan.
+    model::FlightPlan plan;
+    plan.stops.push_back({{100.0, 0.0}, 1.0, -1});
+    inst.uav.energy_j = plan.total_energy(inst.depot, inst.uav) + 100.0;
+    SimConfig windy_cfg;
+    windy_cfg.wind = Wind{{-8.0, 0.0}};  // 5x slower outbound
+    const auto rep = Simulator(windy_cfg).run(inst, plan);
+    EXPECT_TRUE(rep.battery_depleted);
+    EXPECT_FALSE(rep.completed);
+}
+
+}  // namespace
+}  // namespace uavdc::sim

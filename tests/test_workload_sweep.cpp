@@ -1,0 +1,70 @@
+// Cross-product robustness sweep: every deployment model x every volume
+// model produces instances on which Algorithm 3 plans feasibly and the
+// simulator agrees with the closed-form evaluator. Catches generator or
+// planner assumptions that only hold for the paper's uniform/uniform
+// setting.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "uavdc/core/algorithm3.hpp"
+#include "uavdc/core/evaluate.hpp"
+#include "uavdc/sim/simulator.hpp"
+#include "uavdc/workload/presets.hpp"
+
+namespace uavdc {
+namespace {
+
+using Case = std::tuple<workload::Deployment, workload::VolumeModel>;
+
+class WorkloadSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WorkloadSweep, PlanFeasibleAndSimConsistent) {
+    const auto [deployment, volumes] = GetParam();
+    workload::GeneratorConfig cfg = workload::paper_scaled(0.3);
+    cfg.deployment = deployment;
+    cfg.volumes = volumes;
+    cfg.uav.energy_j = 5.0e4;
+    const auto inst = workload::generate(cfg, 7);
+
+    core::Algorithm3Config pcfg;
+    pcfg.candidates.delta_m = 20.0;
+    pcfg.k = 2;
+    const auto res = core::PartialCollectionPlanner(pcfg).plan(inst);
+    EXPECT_TRUE(res.plan.feasible(inst.depot, inst.uav, 1e-6));
+
+    const auto ev = core::evaluate_plan(inst, res.plan);
+    sim::SimConfig scfg;
+    scfg.record_trace = false;
+    const auto rep = sim::Simulator(scfg).run(inst, res.plan);
+    EXPECT_TRUE(rep.completed);
+    EXPECT_NEAR(rep.collected_mb, ev.collected_mb, 1e-6);
+    EXPECT_GT(ev.collected_mb, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, WorkloadSweep,
+    ::testing::Combine(
+        ::testing::Values(workload::Deployment::kUniform,
+                          workload::Deployment::kClustered,
+                          workload::Deployment::kGridJitter,
+                          workload::Deployment::kRing,
+                          workload::Deployment::kHalton,
+                          workload::Deployment::kPoissonDisk),
+        ::testing::Values(workload::VolumeModel::kUniform,
+                          workload::VolumeModel::kExponential,
+                          workload::VolumeModel::kFixed,
+                          workload::VolumeModel::kBimodal)),
+    [](const ::testing::TestParamInfo<Case>& info) {
+        std::string name = workload::to_string(std::get<0>(info.param)) +
+                           "_" +
+                           workload::to_string(std::get<1>(info.param));
+        for (char& c : name) {
+            if (c == '-') c = '_';  // gtest names must be identifiers
+        }
+        return name;
+    });
+
+}  // namespace
+}  // namespace uavdc

@@ -1,0 +1,332 @@
+// uavdc — command-line front end for the library.
+//
+//   uavdc generate --preset=paper|smart-city|disaster|farm [--devices=N]
+//                  [--side=M] [--energy=J] [--seed=S] --out=instance.json
+//   uavdc plan     --instance=instance.json --algo=alg1|alg2|alg3|benchmark
+//                  [--delta=10] [--k=2] [--out=plan.json]
+//   uavdc eval     --instance=instance.json --plan=plan.json [--json]
+//   uavdc sim      --instance=instance.json --plan=plan.json [--trace]
+//   uavdc render   --instance=instance.json [--plan=plan.json]
+//                  --out=field.svg
+//
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "uavdc/core/compare.hpp"
+#include "uavdc/core/evaluate.hpp"
+#include "uavdc/core/metrics.hpp"
+#include "uavdc/core/registry.hpp"
+#include "uavdc/core/sensitivity.hpp"
+#include "uavdc/core/validate_plan.hpp"
+#include "uavdc/io/serialize.hpp"
+#include "uavdc/io/svg.hpp"
+#include "uavdc/sim/monte_carlo.hpp"
+#include "uavdc/sim/simulator.hpp"
+#include "uavdc/util/flags.hpp"
+#include "uavdc/util/table.hpp"
+#include "uavdc/workload/presets.hpp"
+
+namespace {
+
+using namespace uavdc;
+
+int usage() {
+    std::cerr <<
+        "usage: uavdc <command> [flags]\n"
+        "  generate  --preset=paper|smart-city|disaster|farm --out=FILE\n"
+        "            [--devices=N] [--side=M] [--energy=J] [--seed=S]\n"
+        "  plan      --instance=FILE --algo=alg1|alg2|alg3|benchmark\n"
+        "            [--delta=10] [--k=2] [--max-candidates=2000]\n"
+        "            [--out=FILE]\n"
+        "  eval      --instance=FILE --plan=FILE [--json]\n"
+        "  sim       --instance=FILE --plan=FILE [--trace]\n"
+        "  validate  --instance=FILE --plan=FILE\n"
+        "  compare   --instance=FILE [--algos=a,b,...] [--delta=10]\n"
+        "            [--json]\n"
+        "  robustness --instance=FILE --plan=FILE [--trials=64]\n"
+        "            [--wind-max=4] [--taper-max=0.5]\n"
+        "  sensitivity --instance=FILE [--algo=alg2] [--perturb=0.2]\n"
+        "  render    --instance=FILE [--plan=FILE] --out=FILE.svg\n";
+    return 1;
+}
+
+workload::GeneratorConfig preset_by_name(const std::string& name) {
+    if (name == "paper") return workload::paper_default();
+    if (name == "smart-city") return workload::smart_city();
+    if (name == "disaster") return workload::disaster_response();
+    if (name == "farm") return workload::farm_monitoring();
+    throw std::invalid_argument("unknown preset '" + name + "'");
+}
+
+int cmd_generate(const util::Flags& flags) {
+    auto cfg = preset_by_name(flags.get_string("preset", "paper"));
+    if (flags.has("devices")) {
+        cfg.num_devices = flags.get_int("devices", cfg.num_devices);
+    }
+    if (flags.has("side")) {
+        cfg.region_w = cfg.region_h = flags.get_double("side", cfg.region_w);
+    }
+    if (flags.has("energy")) {
+        cfg.uav.energy_j = flags.get_double("energy", cfg.uav.energy_j);
+    }
+    const auto inst = workload::generate(
+        cfg, static_cast<std::uint64_t>(flags.get_int64("seed", 1)));
+    const std::string out = flags.get_string("out", "");
+    if (out.empty()) {
+        std::cerr << "generate: --out is required\n";
+        return 1;
+    }
+    io::save_instance(out, inst);
+    std::cout << "wrote " << out << ": " << inst.num_devices()
+              << " devices, "
+              << util::Table::fmt(inst.total_data_mb() / 1000.0, 2)
+              << " GB stored\n";
+    return 0;
+}
+
+int cmd_plan(const util::Flags& flags) {
+    const auto inst = io::load_instance(flags.get_string("instance", ""));
+    core::PlannerOptions opts;
+    opts.delta_m = flags.get_double("delta", opts.delta_m);
+    opts.k = flags.get_int("k", opts.k);
+    opts.max_candidates =
+        flags.get_int("max-candidates", opts.max_candidates);
+    auto planner =
+        core::make_planner(flags.get_string("algo", "alg3"), opts);
+    const auto res = planner->plan(inst);
+    const auto ev = core::evaluate_plan(inst, res.plan);
+    std::cout << planner->name() << ": " << res.plan.num_stops()
+              << " stops, "
+              << util::Table::fmt(ev.collected_mb / 1000.0, 2) << " GB ("
+              << util::Table::fmt(
+                     100.0 * ev.collected_mb /
+                         std::max(inst.total_data_mb(), 1e-9),
+                     1)
+              << "% of stored), energy "
+              << util::Table::fmt(ev.energy_j, 0) << " / "
+              << util::Table::fmt(inst.uav.energy_j, 0) << " J, planned in "
+              << util::Table::fmt(res.stats.runtime_s * 1e3, 1) << " ms\n";
+    const std::string out = flags.get_string("out", "");
+    if (!out.empty()) {
+        io::save_plan(out, res.plan);
+        std::cout << "wrote " << out << "\n";
+    }
+    return 0;
+}
+
+int cmd_eval(const util::Flags& flags) {
+    const auto inst = io::load_instance(flags.get_string("instance", ""));
+    const auto plan = io::load_plan(flags.get_string("plan", ""));
+    const auto ev = core::evaluate_plan(inst, plan);
+    const auto m = core::compute_metrics(inst, plan);
+    if (flags.get_bool("json", false)) {
+        io::Json doc = io::to_json(ev);
+        doc["jain_fairness"] = m.jain_fairness;
+        doc["hover_fraction"] = m.hover_fraction;
+        doc["energy_per_gb_j"] = m.energy_per_gb_j;
+        doc["mean_drain_latency_s"] = m.mean_drain_latency_s;
+        std::cout << doc.dump(2) << "\n";
+        return 0;
+    }
+    util::Table t({"metric", "value"});
+    t.add_row({"collected", util::Table::fmt(ev.collected_mb / 1000.0, 3) +
+                                " GB (" +
+                                util::Table::fmt(100.0 * m.collected_fraction,
+                                                 1) +
+                                "%)"});
+    t.add_row({"energy", util::Table::fmt(ev.energy_j, 0) + " J (" +
+                             (ev.energy_feasible ? "feasible"
+                                                 : "INFEASIBLE") +
+                             ")"});
+    t.add_row({"tour time", util::Table::fmt(ev.tour_time_s, 1) + " s"});
+    t.add_row({"tour length", util::Table::fmt(m.tour_length_m, 0) + " m"});
+    t.add_row({"hover fraction", util::Table::fmt(m.hover_fraction, 3)});
+    t.add_row({"devices drained",
+               std::to_string(ev.devices_drained) + " / " +
+                   std::to_string(inst.num_devices())});
+    t.add_row({"devices missed", std::to_string(m.devices_missed)});
+    t.add_row({"Jain fairness", util::Table::fmt(m.jain_fairness, 3)});
+    t.add_row({"mean drain latency",
+               util::Table::fmt(m.mean_drain_latency_s, 1) + " s"});
+    t.add_row({"energy per GB",
+               util::Table::fmt(m.energy_per_gb_j, 0) + " J"});
+    t.print(std::cout);
+    return 0;
+}
+
+int cmd_sim(const util::Flags& flags) {
+    const auto inst = io::load_instance(flags.get_string("instance", ""));
+    const auto plan = io::load_plan(flags.get_string("plan", ""));
+    sim::SimConfig cfg;
+    cfg.record_trace = flags.get_bool("trace", false);
+    const auto rep = sim::Simulator(cfg).run(inst, plan);
+    std::cout << (rep.completed ? "tour completed" : "TOUR TRUNCATED")
+              << (rep.battery_depleted ? " (battery depleted)" : "") << "\n"
+              << "  collected : "
+              << util::Table::fmt(rep.collected_mb / 1000.0, 3) << " GB\n"
+              << "  duration  : " << util::Table::fmt(rep.duration_s, 1)
+              << " s (" << util::Table::fmt(rep.hover_s, 1) << " hover / "
+              << util::Table::fmt(rep.travel_s, 1) << " travel)\n"
+              << "  energy    : " << util::Table::fmt(rep.energy_used_j, 0)
+              << " / " << util::Table::fmt(inst.uav.energy_j, 0) << " J\n"
+              << "  stops     : " << rep.stops_visited << " / "
+              << plan.stops.size() << "\n";
+    if (cfg.record_trace) {
+        for (const auto& e : rep.trace) {
+            std::cout << "  " << e.to_string() << "\n";
+        }
+    }
+    return rep.completed ? 0 : 2;
+}
+
+int cmd_validate(const util::Flags& flags) {
+    const auto inst = io::load_instance(flags.get_string("instance", ""));
+    const auto plan = io::load_plan(flags.get_string("plan", ""));
+    const auto val = core::validate_plan(inst, plan);
+    for (const auto& v : val.errors) {
+        std::cout << "ERROR   [" << core::to_string(v.kind) << "] stop "
+                  << v.stop << ": " << v.detail << "\n";
+    }
+    for (const auto& v : val.warnings) {
+        std::cout << "warning [" << core::to_string(v.kind) << "] stop "
+                  << v.stop << ": " << v.detail << "\n";
+    }
+    if (val.ok()) {
+        std::cout << "plan OK (" << plan.stops.size() << " stops, "
+                  << val.warnings.size() << " warnings)\n";
+        return 0;
+    }
+    return 2;
+}
+
+int cmd_compare(const util::Flags& flags) {
+    const auto inst = io::load_instance(flags.get_string("instance", ""));
+    core::PlannerOptions opts;
+    opts.delta_m = flags.get_double("delta", opts.delta_m);
+    opts.k = flags.get_int("k", opts.k);
+    std::vector<std::string> names;
+    {
+        std::stringstream ss(flags.get_string("algos", ""));
+        std::string tok;
+        while (std::getline(ss, tok, ',')) {
+            if (!tok.empty()) names.push_back(tok);
+        }
+    }
+    const auto results = core::compare_planners(inst, opts, names);
+    if (flags.get_bool("json", false)) {
+        io::Json::Array arr;
+        for (const auto& r : results) {
+            io::Json row = io::to_json(r.evaluation);
+            row["planner"] = r.name;
+            row["runtime_s"] = r.runtime_s;
+            row["jain_fairness"] = r.metrics.jain_fairness;
+            arr.push_back(std::move(row));
+        }
+        io::Json doc;
+        doc["results"] = io::Json(std::move(arr));
+        std::cout << doc.dump(2) << "\n";
+        return 0;
+    }
+    util::Table t({"planner", "collected [GB]", "of stored", "stops",
+                   "fairness", "time [ms]"});
+    const double total = std::max(inst.total_data_mb(), 1e-9);
+    for (const auto& r : results) {
+        t.add_row({r.name,
+                   util::Table::fmt(r.evaluation.collected_mb / 1000.0, 2),
+                   util::Table::fmt(
+                       100.0 * r.evaluation.collected_mb / total, 1) + "%",
+                   std::to_string(r.plan.num_stops()),
+                   util::Table::fmt(r.metrics.jain_fairness, 3),
+                   util::Table::fmt(r.runtime_s * 1e3, 1)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int cmd_robustness(const util::Flags& flags) {
+    const auto inst = io::load_instance(flags.get_string("instance", ""));
+    const auto plan = io::load_plan(flags.get_string("plan", ""));
+    sim::DisturbanceModel model;
+    model.wind_max_mps = flags.get_double("wind-max", model.wind_max_mps);
+    model.taper_max = flags.get_double("taper-max", model.taper_max);
+    model.early_departure = flags.get_bool("early-departure", false);
+    const int trials = flags.get_int("trials", 64);
+    const auto rep = sim::evaluate_robustness(inst, plan, model, trials);
+    util::Table t({"metric", "value"});
+    t.add_row({"trials", std::to_string(rep.trials)});
+    t.add_row({"completion rate",
+               util::Table::fmt(100.0 * rep.completion_rate, 1) + "%"});
+    t.add_row({"mean volume", util::Table::fmt(rep.mean_gb, 2) + " GB"});
+    t.add_row({"p10 / p90",
+               util::Table::fmt(rep.p10_gb, 2) + " / " +
+                   util::Table::fmt(rep.p90_gb, 2) + " GB"});
+    t.add_row({"worst case", util::Table::fmt(rep.worst_gb, 2) + " GB"});
+    t.add_row({"mean energy",
+               util::Table::fmt(rep.mean_energy_j, 0) + " J"});
+    t.print(std::cout);
+    return rep.completion_rate >= 0.999 ? 0 : 2;
+}
+
+int cmd_sensitivity(const util::Flags& flags) {
+    const auto inst = io::load_instance(flags.get_string("instance", ""));
+    core::PlannerOptions opts;
+    opts.delta_m = flags.get_double("delta", opts.delta_m);
+    opts.k = flags.get_int("k", opts.k);
+    const auto entries = core::analyze_sensitivity(
+        inst, flags.get_string("algo", "alg2"), opts,
+        flags.get_double("perturb", 0.2));
+    util::Table t({"parameter", "baseline", "-p [GB]", "+p [GB]",
+                   "elasticity"});
+    for (const auto& e : entries) {
+        t.add_row({e.parameter, util::Table::fmt(e.baseline_value, 1),
+                   util::Table::fmt(e.down_gb, 2),
+                   util::Table::fmt(e.up_gb, 2),
+                   util::Table::fmt(e.elasticity, 3)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int cmd_render(const util::Flags& flags) {
+    const auto inst = io::load_instance(flags.get_string("instance", ""));
+    const std::string out = flags.get_string("out", "");
+    if (out.empty()) {
+        std::cerr << "render: --out is required\n";
+        return 1;
+    }
+    if (flags.has("plan")) {
+        const auto plan = io::load_plan(flags.get_string("plan", ""));
+        io::save_svg(out, inst, &plan);
+    } else {
+        io::save_svg(out, inst, nullptr);
+    }
+    std::cout << "wrote " << out << "\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::Flags flags(argc, argv);
+    if (flags.positional().empty()) return usage();
+    const std::string& cmd = flags.positional()[0];
+    try {
+        if (cmd == "generate") return cmd_generate(flags);
+        if (cmd == "plan") return cmd_plan(flags);
+        if (cmd == "eval") return cmd_eval(flags);
+        if (cmd == "sim") return cmd_sim(flags);
+        if (cmd == "validate") return cmd_validate(flags);
+        if (cmd == "compare") return cmd_compare(flags);
+        if (cmd == "robustness") return cmd_robustness(flags);
+        if (cmd == "sensitivity") return cmd_sensitivity(flags);
+        if (cmd == "render") return cmd_render(flags);
+        std::cerr << "unknown command '" << cmd << "'\n";
+        return usage();
+    } catch (const std::exception& ex) {
+        std::cerr << "error: " << ex.what() << "\n";
+        return 2;
+    }
+}
