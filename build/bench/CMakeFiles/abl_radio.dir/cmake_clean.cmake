@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_radio.dir/abl_radio.cpp.o"
+  "CMakeFiles/abl_radio.dir/abl_radio.cpp.o.d"
+  "abl_radio"
+  "abl_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

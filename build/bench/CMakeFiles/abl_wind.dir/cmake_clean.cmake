@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_wind.dir/abl_wind.cpp.o"
+  "CMakeFiles/abl_wind.dir/abl_wind.cpp.o.d"
+  "abl_wind"
+  "abl_wind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

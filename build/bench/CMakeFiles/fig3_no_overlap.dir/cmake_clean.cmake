@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_no_overlap.dir/fig3_no_overlap.cpp.o"
+  "CMakeFiles/fig3_no_overlap.dir/fig3_no_overlap.cpp.o.d"
+  "fig3_no_overlap"
+  "fig3_no_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_no_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_deadline.dir/fig8_deadline.cpp.o"
+  "CMakeFiles/fig8_deadline.dir/fig8_deadline.cpp.o.d"
+  "fig8_deadline"
+  "fig8_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

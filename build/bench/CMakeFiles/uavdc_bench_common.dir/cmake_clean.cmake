@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavdc_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/uavdc_bench_common.dir/bench_common.cpp.o.d"
+  "libuavdc_bench_common.a"
+  "libuavdc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavdc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuavdc_bench_common.a"
+)

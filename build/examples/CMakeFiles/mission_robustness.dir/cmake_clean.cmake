@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_robustness.dir/mission_robustness.cpp.o"
+  "CMakeFiles/mission_robustness.dir/mission_robustness.cpp.o.d"
+  "mission_robustness"
+  "mission_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

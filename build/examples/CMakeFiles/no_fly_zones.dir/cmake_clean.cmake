@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/no_fly_zones.dir/no_fly_zones.cpp.o"
+  "CMakeFiles/no_fly_zones.dir/no_fly_zones.cpp.o.d"
+  "no_fly_zones"
+  "no_fly_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/no_fly_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_import.dir/survey_import.cpp.o"
+  "CMakeFiles/survey_import.dir/survey_import.cpp.o.d"
+  "survey_import"
+  "survey_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

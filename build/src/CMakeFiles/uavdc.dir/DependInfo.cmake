@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uavdc/core/algorithm1.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/algorithm1.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/algorithm1.cpp.o.d"
+  "/root/repo/src/uavdc/core/algorithm2.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/algorithm2.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/algorithm2.cpp.o.d"
+  "/root/repo/src/uavdc/core/algorithm3.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/algorithm3.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/algorithm3.cpp.o.d"
+  "/root/repo/src/uavdc/core/baseline_planners.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/baseline_planners.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/baseline_planners.cpp.o.d"
+  "/root/repo/src/uavdc/core/benchmark_planner.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/benchmark_planner.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/benchmark_planner.cpp.o.d"
+  "/root/repo/src/uavdc/core/compare.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/compare.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/compare.cpp.o.d"
+  "/root/repo/src/uavdc/core/evaluate.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/evaluate.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/evaluate.cpp.o.d"
+  "/root/repo/src/uavdc/core/exact_dcm.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/exact_dcm.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/exact_dcm.cpp.o.d"
+  "/root/repo/src/uavdc/core/fleet.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/fleet.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/fleet.cpp.o.d"
+  "/root/repo/src/uavdc/core/hover_candidates.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/hover_candidates.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/hover_candidates.cpp.o.d"
+  "/root/repo/src/uavdc/core/metrics.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/metrics.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/metrics.cpp.o.d"
+  "/root/repo/src/uavdc/core/multi_tour.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/multi_tour.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/multi_tour.cpp.o.d"
+  "/root/repo/src/uavdc/core/registry.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/registry.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/registry.cpp.o.d"
+  "/root/repo/src/uavdc/core/repair_plan.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/repair_plan.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/repair_plan.cpp.o.d"
+  "/root/repo/src/uavdc/core/route_around.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/route_around.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/route_around.cpp.o.d"
+  "/root/repo/src/uavdc/core/sensitivity.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/sensitivity.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/sensitivity.cpp.o.d"
+  "/root/repo/src/uavdc/core/tour_builder.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/tour_builder.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/tour_builder.cpp.o.d"
+  "/root/repo/src/uavdc/core/validate_plan.cpp" "src/CMakeFiles/uavdc.dir/uavdc/core/validate_plan.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/core/validate_plan.cpp.o.d"
+  "/root/repo/src/uavdc/geom/coverage.cpp" "src/CMakeFiles/uavdc.dir/uavdc/geom/coverage.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/geom/coverage.cpp.o.d"
+  "/root/repo/src/uavdc/geom/grid.cpp" "src/CMakeFiles/uavdc.dir/uavdc/geom/grid.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/geom/grid.cpp.o.d"
+  "/root/repo/src/uavdc/geom/hull.cpp" "src/CMakeFiles/uavdc.dir/uavdc/geom/hull.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/geom/hull.cpp.o.d"
+  "/root/repo/src/uavdc/geom/kmeans.cpp" "src/CMakeFiles/uavdc.dir/uavdc/geom/kmeans.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/geom/kmeans.cpp.o.d"
+  "/root/repo/src/uavdc/geom/obstacle_field.cpp" "src/CMakeFiles/uavdc.dir/uavdc/geom/obstacle_field.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/geom/obstacle_field.cpp.o.d"
+  "/root/repo/src/uavdc/geom/spatial_hash.cpp" "src/CMakeFiles/uavdc.dir/uavdc/geom/spatial_hash.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/geom/spatial_hash.cpp.o.d"
+  "/root/repo/src/uavdc/geom/vec2.cpp" "src/CMakeFiles/uavdc.dir/uavdc/geom/vec2.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/geom/vec2.cpp.o.d"
+  "/root/repo/src/uavdc/graph/christofides.cpp" "src/CMakeFiles/uavdc.dir/uavdc/graph/christofides.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/graph/christofides.cpp.o.d"
+  "/root/repo/src/uavdc/graph/dense_graph.cpp" "src/CMakeFiles/uavdc.dir/uavdc/graph/dense_graph.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/graph/dense_graph.cpp.o.d"
+  "/root/repo/src/uavdc/graph/euler.cpp" "src/CMakeFiles/uavdc.dir/uavdc/graph/euler.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/graph/euler.cpp.o.d"
+  "/root/repo/src/uavdc/graph/held_karp.cpp" "src/CMakeFiles/uavdc.dir/uavdc/graph/held_karp.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/graph/held_karp.cpp.o.d"
+  "/root/repo/src/uavdc/graph/local_search.cpp" "src/CMakeFiles/uavdc.dir/uavdc/graph/local_search.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/graph/local_search.cpp.o.d"
+  "/root/repo/src/uavdc/graph/matching.cpp" "src/CMakeFiles/uavdc.dir/uavdc/graph/matching.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/graph/matching.cpp.o.d"
+  "/root/repo/src/uavdc/graph/mst.cpp" "src/CMakeFiles/uavdc.dir/uavdc/graph/mst.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/graph/mst.cpp.o.d"
+  "/root/repo/src/uavdc/io/json.cpp" "src/CMakeFiles/uavdc.dir/uavdc/io/json.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/io/json.cpp.o.d"
+  "/root/repo/src/uavdc/io/serialize.cpp" "src/CMakeFiles/uavdc.dir/uavdc/io/serialize.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/io/serialize.cpp.o.d"
+  "/root/repo/src/uavdc/io/svg.cpp" "src/CMakeFiles/uavdc.dir/uavdc/io/svg.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/io/svg.cpp.o.d"
+  "/root/repo/src/uavdc/io/trace_export.cpp" "src/CMakeFiles/uavdc.dir/uavdc/io/trace_export.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/io/trace_export.cpp.o.d"
+  "/root/repo/src/uavdc/model/instance.cpp" "src/CMakeFiles/uavdc.dir/uavdc/model/instance.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/model/instance.cpp.o.d"
+  "/root/repo/src/uavdc/model/plan.cpp" "src/CMakeFiles/uavdc.dir/uavdc/model/plan.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/model/plan.cpp.o.d"
+  "/root/repo/src/uavdc/orienteering/exact.cpp" "src/CMakeFiles/uavdc.dir/uavdc/orienteering/exact.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/orienteering/exact.cpp.o.d"
+  "/root/repo/src/uavdc/orienteering/grasp.cpp" "src/CMakeFiles/uavdc.dir/uavdc/orienteering/grasp.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/orienteering/grasp.cpp.o.d"
+  "/root/repo/src/uavdc/orienteering/greedy.cpp" "src/CMakeFiles/uavdc.dir/uavdc/orienteering/greedy.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/orienteering/greedy.cpp.o.d"
+  "/root/repo/src/uavdc/orienteering/ils.cpp" "src/CMakeFiles/uavdc.dir/uavdc/orienteering/ils.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/orienteering/ils.cpp.o.d"
+  "/root/repo/src/uavdc/orienteering/problem.cpp" "src/CMakeFiles/uavdc.dir/uavdc/orienteering/problem.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/orienteering/problem.cpp.o.d"
+  "/root/repo/src/uavdc/orienteering/solver.cpp" "src/CMakeFiles/uavdc.dir/uavdc/orienteering/solver.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/orienteering/solver.cpp.o.d"
+  "/root/repo/src/uavdc/sim/adaptive.cpp" "src/CMakeFiles/uavdc.dir/uavdc/sim/adaptive.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/sim/adaptive.cpp.o.d"
+  "/root/repo/src/uavdc/sim/battery.cpp" "src/CMakeFiles/uavdc.dir/uavdc/sim/battery.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/sim/battery.cpp.o.d"
+  "/root/repo/src/uavdc/sim/event.cpp" "src/CMakeFiles/uavdc.dir/uavdc/sim/event.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/sim/event.cpp.o.d"
+  "/root/repo/src/uavdc/sim/event_queue.cpp" "src/CMakeFiles/uavdc.dir/uavdc/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/sim/event_queue.cpp.o.d"
+  "/root/repo/src/uavdc/sim/monte_carlo.cpp" "src/CMakeFiles/uavdc.dir/uavdc/sim/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/sim/monte_carlo.cpp.o.d"
+  "/root/repo/src/uavdc/sim/radio.cpp" "src/CMakeFiles/uavdc.dir/uavdc/sim/radio.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/sim/radio.cpp.o.d"
+  "/root/repo/src/uavdc/sim/simulator.cpp" "src/CMakeFiles/uavdc.dir/uavdc/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/sim/simulator.cpp.o.d"
+  "/root/repo/src/uavdc/util/csv.cpp" "src/CMakeFiles/uavdc.dir/uavdc/util/csv.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/util/csv.cpp.o.d"
+  "/root/repo/src/uavdc/util/flags.cpp" "src/CMakeFiles/uavdc.dir/uavdc/util/flags.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/util/flags.cpp.o.d"
+  "/root/repo/src/uavdc/util/rng.cpp" "src/CMakeFiles/uavdc.dir/uavdc/util/rng.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/util/rng.cpp.o.d"
+  "/root/repo/src/uavdc/util/stats.cpp" "src/CMakeFiles/uavdc.dir/uavdc/util/stats.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/util/stats.cpp.o.d"
+  "/root/repo/src/uavdc/util/table.cpp" "src/CMakeFiles/uavdc.dir/uavdc/util/table.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/util/table.cpp.o.d"
+  "/root/repo/src/uavdc/util/thread_pool.cpp" "src/CMakeFiles/uavdc.dir/uavdc/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/util/thread_pool.cpp.o.d"
+  "/root/repo/src/uavdc/workload/csv_import.cpp" "src/CMakeFiles/uavdc.dir/uavdc/workload/csv_import.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/workload/csv_import.cpp.o.d"
+  "/root/repo/src/uavdc/workload/generator.cpp" "src/CMakeFiles/uavdc.dir/uavdc/workload/generator.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/workload/generator.cpp.o.d"
+  "/root/repo/src/uavdc/workload/presets.cpp" "src/CMakeFiles/uavdc.dir/uavdc/workload/presets.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/workload/presets.cpp.o.d"
+  "/root/repo/src/uavdc/workload/transforms.cpp" "src/CMakeFiles/uavdc.dir/uavdc/workload/transforms.cpp.o" "gcc" "src/CMakeFiles/uavdc.dir/uavdc/workload/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

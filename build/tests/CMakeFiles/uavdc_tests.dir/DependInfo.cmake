@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aabb.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_aabb.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_aabb.cpp.o.d"
+  "/root/repo/tests/test_adaptive.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_adaptive.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_christofides.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_christofides.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_christofides.cpp.o.d"
+  "/root/repo/tests/test_compare.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_compare.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_compare.cpp.o.d"
+  "/root/repo/tests/test_coverage.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_coverage.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_coverage.cpp.o.d"
+  "/root/repo/tests/test_csv_import.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_csv_import.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_csv_import.cpp.o.d"
+  "/root/repo/tests/test_csv_table.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_csv_table.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_csv_table.cpp.o.d"
+  "/root/repo/tests/test_deadline.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_deadline.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_deadline.cpp.o.d"
+  "/root/repo/tests/test_dense_graph.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_dense_graph.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_dense_graph.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_early_departure.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_early_departure.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_early_departure.cpp.o.d"
+  "/root/repo/tests/test_edges.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_edges.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_edges.cpp.o.d"
+  "/root/repo/tests/test_energy_models.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_energy_models.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_energy_models.cpp.o.d"
+  "/root/repo/tests/test_euler.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_euler.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_euler.cpp.o.d"
+  "/root/repo/tests/test_evaluate.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_evaluate.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_evaluate.cpp.o.d"
+  "/root/repo/tests/test_exact_dcm.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_exact_dcm.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_exact_dcm.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_flags.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_flags.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_flags.cpp.o.d"
+  "/root/repo/tests/test_fleet.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_fleet.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_fleet.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_held_karp.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_held_karp.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_held_karp.cpp.o.d"
+  "/root/repo/tests/test_hover_candidates.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_hover_candidates.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_hover_candidates.cpp.o.d"
+  "/root/repo/tests/test_hull.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_hull.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_hull.cpp.o.d"
+  "/root/repo/tests/test_ils.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_ils.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_ils.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_kmeans.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_kmeans.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_kmeans.cpp.o.d"
+  "/root/repo/tests/test_local_search.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_local_search.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_local_search.cpp.o.d"
+  "/root/repo/tests/test_matching.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_matching.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_matching.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_mst.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_mst.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_mst.cpp.o.d"
+  "/root/repo/tests/test_multi_tour.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_multi_tour.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_multi_tour.cpp.o.d"
+  "/root/repo/tests/test_obstacles.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_obstacles.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_obstacles.cpp.o.d"
+  "/root/repo/tests/test_orienteering.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_orienteering.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_orienteering.cpp.o.d"
+  "/root/repo/tests/test_planners.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_planners.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_planners.cpp.o.d"
+  "/root/repo/tests/test_registry.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_registry.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_registry.cpp.o.d"
+  "/root/repo/tests/test_repair_plan.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_repair_plan.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_repair_plan.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_scale.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_scale.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_scale.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_sim_parts.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_sim_parts.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_sim_parts.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_spatial_hash.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_spatial_hash.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_spatial_hash.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_tour_builder.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_tour_builder.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_tour_builder.cpp.o.d"
+  "/root/repo/tests/test_trace_export.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_trace_export.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_trace_export.cpp.o.d"
+  "/root/repo/tests/test_transforms.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_transforms.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_transforms.cpp.o.d"
+  "/root/repo/tests/test_validate_plan.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_validate_plan.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_validate_plan.cpp.o.d"
+  "/root/repo/tests/test_vec2.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_vec2.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_vec2.cpp.o.d"
+  "/root/repo/tests/test_wind.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_wind.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_wind.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_workload.cpp.o.d"
+  "/root/repo/tests/test_workload_sweep.cpp" "tests/CMakeFiles/uavdc_tests.dir/test_workload_sweep.cpp.o" "gcc" "tests/CMakeFiles/uavdc_tests.dir/test_workload_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uavdc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavdc_cli.dir/uavdc_cli.cpp.o"
+  "CMakeFiles/uavdc_cli.dir/uavdc_cli.cpp.o.d"
+  "uavdc"
+  "uavdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavdc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
