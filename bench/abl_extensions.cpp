@@ -137,5 +137,6 @@ int main(int argc, char** argv) {
     }
     ed.print(std::cout, 2);
     bench::write_csv(settings.out_dir, "abl_extensions", csv_rows);
+    bench::print_context_stats();
     return 0;
 }

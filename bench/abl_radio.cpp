@@ -73,5 +73,6 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout, 2);
     bench::write_csv(settings.out_dir, "abl_radio", csv_rows);
+    bench::print_context_stats();
     return 0;
 }

@@ -41,5 +41,6 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout, 2);
     bench::write_csv(settings.out_dir, "abl_solver", csv_rows);
+    bench::print_context_stats();
     return 0;
 }

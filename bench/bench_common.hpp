@@ -69,6 +69,12 @@ void write_gnuplot(const std::string& out_dir, const std::string& name,
                    const std::vector<std::pair<std::string, RunOutcome>>& rows,
                    const std::string& xlabel);
 
+/// Print the global `PlanningContext` cache counters — context hit rate,
+/// candidate builds, and total build time. Called at the end of each sweep
+/// harness to show how much precompute the shared-context layer saved (a
+/// sweep of A algorithms over I instances shows I builds, not A * I).
+void print_context_stats();
+
 /// Print the standard two paper-style tables (collected volume + runtime)
 /// for a sweep: rows = sweep points, columns = algorithms.
 void print_figure(const std::string& title, const std::string& sweep_label,

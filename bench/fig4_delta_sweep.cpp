@@ -54,5 +54,6 @@ int main(int argc, char** argv) {
     bench::write_csv(settings.out_dir, "fig4_delta_sweep", csv_rows);
     bench::write_gnuplot(settings.out_dir, "fig4_delta_sweep", csv_rows,
                          "grid edge delta [m]");
+    bench::print_context_stats();
     return 0;
 }

@@ -45,5 +45,6 @@ int main(int argc, char** argv) {
     bench::write_csv(settings.out_dir, "fig5_energy_sweep", csv_rows);
     bench::write_gnuplot(settings.out_dir, "fig5_energy_sweep", csv_rows,
                          "energy capacity E [J]");
+    bench::print_context_stats();
     return 0;
 }

@@ -46,5 +46,6 @@ int main(int argc, char** argv) {
     bench::write_csv(settings.out_dir, "fig6_size_sweep", csv_rows);
     bench::write_gnuplot(settings.out_dir, "fig6_size_sweep", csv_rows,
                          "|V| aggregate sensor nodes");
+    bench::print_context_stats();
     return 0;
 }

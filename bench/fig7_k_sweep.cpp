@@ -37,5 +37,6 @@ int main(int argc, char** argv) {
     bench::write_csv(settings.out_dir, "fig7_k_sweep", csv_rows);
     bench::write_gnuplot(settings.out_dir, "fig7_k_sweep", csv_rows,
                          "sojourn partitions K");
+    bench::print_context_stats();
     return 0;
 }

@@ -95,5 +95,6 @@ int main(int argc, char** argv) {
     bench::write_csv(settings.out_dir, "fig8_deadline", csv_rows);
     bench::write_gnuplot(settings.out_dir, "fig8_deadline", csv_rows,
                          "mission deadline [s]");
+    bench::print_context_stats();
     return 0;
 }

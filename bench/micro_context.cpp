@@ -1,0 +1,107 @@
+// Microbenchmarks for the shared PlanningContext layer: cold candidate
+// builds, memoized (warm-cache) context lookups, and end-to-end planning
+// time for N planners on one instance with and without cross-planner
+// context sharing. The gap between BM_PlanNPlanners/cold and /warm is the
+// cost `compare_planners` and the fig sweeps used to pay (N - 1) extra
+// times per instance.
+
+#include <benchmark/benchmark.h>
+
+#include "uavdc/core/algorithm2.hpp"
+#include "uavdc/core/algorithm3.hpp"
+#include "uavdc/core/benchmark_planner.hpp"
+#include "uavdc/core/planning_context.hpp"
+#include "uavdc/core/registry.hpp"
+#include "uavdc/workload/presets.hpp"
+
+namespace {
+
+using namespace uavdc;
+
+model::Instance bench_instance(int devices) {
+    auto gen = workload::paper_scaled(0.35);
+    gen.num_devices = devices;
+    gen.uav.energy_j = 4.0e4;
+    return workload::generate(gen, 23);
+}
+
+core::HoverCandidateConfig bench_hover_config() {
+    core::HoverCandidateConfig cfg;
+    cfg.delta_m = 10.0;
+    return cfg;
+}
+
+/// Cold path: fresh context + forced candidate build every iteration.
+void BM_ContextColdBuild(benchmark::State& state) {
+    const auto inst = bench_instance(static_cast<int>(state.range(0)));
+    const auto cfg = bench_hover_config();
+    for (auto _ : state) {
+        const auto ctx = core::PlanningContext::build(inst, cfg);
+        benchmark::DoNotOptimize(ctx->candidates().size());
+    }
+}
+BENCHMARK(BM_ContextColdBuild)->Arg(60)->Arg(120);
+
+/// Warm path: memoized lookup of an already-built context.
+void BM_ContextWarmObtain(benchmark::State& state) {
+    const auto inst = bench_instance(static_cast<int>(state.range(0)));
+    const auto cfg = bench_hover_config();
+    (void)core::PlanningContext::obtain(inst, cfg)->candidates();
+    for (auto _ : state) {
+        const auto ctx = core::PlanningContext::obtain(inst, cfg);
+        benchmark::DoNotOptimize(ctx->candidates().size());
+    }
+}
+BENCHMARK(BM_ContextWarmObtain)->Arg(60)->Arg(120);
+
+std::vector<std::unique_ptr<core::Planner>> make_fleet(int n) {
+    // Rotate through the context-consuming planners so every planner count
+    // exercises a mixed workload over one shared candidate set.
+    const std::vector<std::string> names{"alg2", "alg3", "alg1", "benchmark"};
+    core::PlannerOptions opts;
+    opts.delta_m = bench_hover_config().delta_m;
+    opts.grasp_iterations = 2;
+    std::vector<std::unique_ptr<core::Planner>> fleet;
+    for (int i = 0; i < n; ++i) {
+        fleet.push_back(core::make_planner(
+            names[static_cast<std::size_t>(i) % names.size()], opts));
+    }
+    return fleet;
+}
+
+/// N planners, candidates rebuilt for every planner (the pre-context cost
+/// model: one build per planner invocation).
+void BM_PlanNPlannersCold(benchmark::State& state) {
+    const auto inst = bench_instance(60);
+    const auto fleet = make_fleet(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        double mb = 0.0;
+        for (const auto& p : fleet) {
+            const auto ctx =
+                core::PlanningContext::build(inst, p->candidate_config());
+            mb += p->plan(*ctx).stats.planned_mb;
+        }
+        benchmark::DoNotOptimize(mb);
+    }
+}
+BENCHMARK(BM_PlanNPlannersCold)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// N planners sharing one context (the compare_planners path).
+void BM_PlanNPlannersWarm(benchmark::State& state) {
+    const auto inst = bench_instance(60);
+    const auto fleet = make_fleet(static_cast<int>(state.range(0)));
+    core::PlannerOptions opts;
+    opts.delta_m = bench_hover_config().delta_m;
+    const auto ctx = core::PlanningContext::obtain(inst, opts.hover_config());
+    (void)ctx->candidates();
+    for (auto _ : state) {
+        double mb = 0.0;
+        for (const auto& p : fleet) mb += p->plan(*ctx).stats.planned_mb;
+        benchmark::DoNotOptimize(mb);
+    }
+}
+BENCHMARK(BM_PlanNPlannersWarm)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -17,6 +17,7 @@
 #include "uavdc/core/benchmark_planner.hpp"
 #include "uavdc/core/evaluate.hpp"
 #include "uavdc/core/hover_candidates.hpp"
+#include "uavdc/core/planning_context.hpp"
 #include "uavdc/util/flags.hpp"
 #include "uavdc/util/table.hpp"
 #include "uavdc/workload/presets.hpp"
@@ -38,10 +39,14 @@ int main(int argc, char** argv) {
               << " GB stored, battery "
               << util::Table::fmt(inst.uav.energy_j, 0) << " J\n\n";
 
-    // How much concurrency is available? Count devices per best candidate.
+    // Precompute the grid candidates once; the same context feeds every
+    // planner below, so the Sec. III-B build is paid a single time.
     core::HoverCandidateConfig ccfg;
     ccfg.delta_m = 10.0;
-    const auto cands = core::build_hover_candidates(inst, ccfg);
+    const auto ctx = core::PlanningContext::build(inst, ccfg);
+
+    // How much concurrency is available? Count devices per best candidate.
+    const auto& cands = ctx->candidates();
     std::size_t best_cluster = 0;
     for (const auto& c : cands.candidates) {
         best_cluster = std::max(best_cluster, c.covered.size());
@@ -57,21 +62,20 @@ int main(int argc, char** argv) {
     };
     std::vector<Entry> rows;
     auto run = [&](std::unique_ptr<core::Planner> planner) {
-        const auto res = planner->plan(inst);
+        const auto res = planner->plan(*ctx);
         const auto ev = core::evaluate_plan(inst, res.plan);
         rows.push_back({planner->name(), ev.collected_mb / 1000.0,
                         static_cast<double>(res.plan.num_stops()),
                         res.stats.runtime_s * 1e3});
     };
 
-    core::Algorithm1Config a1;
-    a1.candidates.delta_m = 10.0;
-    run(std::make_unique<core::GridOrienteeringPlanner>(a1));
-    core::Algorithm2Config a2;
-    a2.candidates.delta_m = 10.0;
-    run(std::make_unique<core::GreedyCoveragePlanner>(a2));
+    // Candidate settings live in the shared context now; only the
+    // planner-specific knobs remain per config.
+    run(std::make_unique<core::GridOrienteeringPlanner>(
+        core::Algorithm1Config{}));
+    run(std::make_unique<core::GreedyCoveragePlanner>(
+        core::Algorithm2Config{}));
     core::Algorithm3Config a3;
-    a3.candidates.delta_m = 10.0;
     a3.k = 4;
     run(std::make_unique<core::PartialCollectionPlanner>(a3));
     run(std::make_unique<core::PruneTspPlanner>());

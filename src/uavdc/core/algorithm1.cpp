@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "uavdc/core/planning_context.hpp"
 #include "uavdc/util/timer.hpp"
 
 namespace uavdc::core {
@@ -63,12 +64,13 @@ orienteering::Problem GridOrienteeringPlanner::build_auxiliary_problem(
     return p;
 }
 
-PlanResult GridOrienteeringPlanner::plan(const model::Instance& inst) {
+PlanResult GridOrienteeringPlanner::plan(const PlanningContext& ctx) {
     util::Timer timer;
     PlanResult out;
+    const model::Instance& inst = ctx.instance();
 
-    const HoverCandidateSet cands = select_disjoint(
-        build_hover_candidates(inst, cfg_.candidates), inst.num_devices());
+    const HoverCandidateSet cands =
+        select_disjoint(ctx.candidates(), inst.num_devices());
     out.stats.candidates = static_cast<int>(cands.size());
     if (cands.candidates.empty()) {
         out.stats.runtime_s = timer.seconds();

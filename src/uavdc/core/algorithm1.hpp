@@ -36,7 +36,11 @@ class GridOrienteeringPlanner final : public Planner {
     explicit GridOrienteeringPlanner(Algorithm1Config cfg = {})
         : cfg_(std::move(cfg)) {}
 
-    [[nodiscard]] PlanResult plan(const model::Instance& inst) override;
+    using Planner::plan;
+    [[nodiscard]] PlanResult plan(const PlanningContext& ctx) override;
+    [[nodiscard]] HoverCandidateConfig candidate_config() const override {
+        return cfg_.candidates;
+    }
     [[nodiscard]] std::string name() const override;
 
     /// Expose the auxiliary orienteering problem for a given candidate set

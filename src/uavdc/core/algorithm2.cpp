@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/tour_builder.hpp"
 #include "uavdc/graph/christofides.hpp"
 #include "uavdc/util/parallel_for.hpp"
@@ -38,13 +39,12 @@ struct Score {
 
 }  // namespace
 
-PlanResult GreedyCoveragePlanner::plan(const model::Instance& inst) {
+PlanResult GreedyCoveragePlanner::plan(const PlanningContext& ctx) {
     util::Timer timer;
     PlanResult out;
+    const model::Instance& inst = ctx.instance();
 
-    const HoverCandidateSet cset =
-        build_hover_candidates(inst, cfg_.candidates);
-    const auto& cands = cset.candidates;
+    const auto& cands = ctx.candidates().candidates;
     out.stats.candidates = static_cast<int>(cands.size());
     if (cands.empty()) {
         out.stats.runtime_s = timer.seconds();

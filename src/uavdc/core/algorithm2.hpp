@@ -54,7 +54,11 @@ class GreedyCoveragePlanner final : public Planner {
     explicit GreedyCoveragePlanner(Algorithm2Config cfg = {})
         : cfg_(std::move(cfg)) {}
 
-    [[nodiscard]] PlanResult plan(const model::Instance& inst) override;
+    using Planner::plan;
+    [[nodiscard]] PlanResult plan(const PlanningContext& ctx) override;
+    [[nodiscard]] HoverCandidateConfig candidate_config() const override {
+        return cfg_.candidates;
+    }
     [[nodiscard]] std::string name() const override { return "alg2-greedy"; }
 
   private:

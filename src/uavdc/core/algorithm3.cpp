@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/tour_builder.hpp"
 #include "uavdc/util/parallel_for.hpp"
 #include "uavdc/util/timer.hpp"
@@ -27,16 +28,15 @@ struct Score {
 
 }  // namespace
 
-PlanResult PartialCollectionPlanner::plan(const model::Instance& inst) {
+PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
     if (cfg_.k < 1) {
         throw std::invalid_argument("PartialCollectionPlanner: k must be >=1");
     }
     util::Timer timer;
     PlanResult out;
+    const model::Instance& inst = ctx.instance();
 
-    const HoverCandidateSet cset =
-        build_hover_candidates(inst, cfg_.candidates);
-    const auto& cands = cset.candidates;
+    const auto& cands = ctx.candidates().candidates;
     out.stats.candidates = static_cast<int>(cands.size());
     if (cands.empty()) {
         out.stats.runtime_s = timer.seconds();

@@ -38,7 +38,11 @@ class PartialCollectionPlanner final : public Planner {
     explicit PartialCollectionPlanner(Algorithm3Config cfg = {})
         : cfg_(std::move(cfg)) {}
 
-    [[nodiscard]] PlanResult plan(const model::Instance& inst) override;
+    using Planner::plan;
+    [[nodiscard]] PlanResult plan(const PlanningContext& ctx) override;
+    [[nodiscard]] HoverCandidateConfig candidate_config() const override {
+        return cfg_.candidates;
+    }
     [[nodiscard]] std::string name() const override {
         return "alg3-k" + std::to_string(cfg_.k);
     }

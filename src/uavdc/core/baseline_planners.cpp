@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/tour_builder.hpp"
 #include "uavdc/geom/coverage.hpp"
 #include "uavdc/geom/kmeans.hpp"
@@ -63,9 +64,10 @@ CenterPlan plan_from_centers(const model::Instance& inst,
 
 }  // namespace
 
-PlanResult ClusterPlanner::plan(const model::Instance& inst) {
+PlanResult ClusterPlanner::plan(const PlanningContext& ctx) {
     util::Timer timer;
     PlanResult res;
+    const model::Instance& inst = ctx.instance();
     if (inst.devices.empty()) {
         res.stats.runtime_s = timer.seconds();
         return res;
@@ -103,9 +105,10 @@ PlanResult ClusterPlanner::plan(const model::Instance& inst) {
     return res;
 }
 
-PlanResult SweepPlanner::plan(const model::Instance& inst) {
+PlanResult SweepPlanner::plan(const PlanningContext& ctx) {
     util::Timer timer;
     PlanResult res;
+    const model::Instance& inst = ctx.instance();
     const double r0 = inst.uav.coverage_radius_m;
     const double lattice = std::sqrt(2.0) * r0;  // gap-free disk coverage
     const double dy = std::max(1.0, lattice * cfg_.row_overlap);

@@ -21,7 +21,8 @@ struct ClusterPlannerConfig {
 class ClusterPlanner final : public Planner {
   public:
     explicit ClusterPlanner(ClusterPlannerConfig cfg = {}) : cfg_(cfg) {}
-    [[nodiscard]] PlanResult plan(const model::Instance& inst) override;
+    using Planner::plan;
+    [[nodiscard]] PlanResult plan(const PlanningContext& ctx) override;
     [[nodiscard]] std::string name() const override { return "kmeans"; }
 
   private:
@@ -46,7 +47,8 @@ struct SweepPlannerConfig {
 class SweepPlanner final : public Planner {
   public:
     explicit SweepPlanner(SweepPlannerConfig cfg = {}) : cfg_(cfg) {}
-    [[nodiscard]] PlanResult plan(const model::Instance& inst) override;
+    using Planner::plan;
+    [[nodiscard]] PlanResult plan(const PlanningContext& ctx) override;
     [[nodiscard]] std::string name() const override { return "sweep"; }
 
   private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/tour_builder.hpp"
 #include "uavdc/util/timer.hpp"
 
@@ -12,9 +13,10 @@ namespace {
 constexpr double kEps = 1e-9;
 }
 
-PlanResult PruneTspPlanner::plan(const model::Instance& inst) {
+PlanResult PruneTspPlanner::plan(const PlanningContext& ctx) {
     util::Timer timer;
     PlanResult out;
+    const model::Instance& inst = ctx.instance();
     out.stats.candidates = static_cast<int>(inst.devices.size());
     if (inst.devices.empty()) {
         out.stats.runtime_s = timer.seconds();

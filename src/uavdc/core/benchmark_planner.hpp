@@ -20,7 +20,8 @@ class PruneTspPlanner final : public Planner {
   public:
     explicit PruneTspPlanner(BenchmarkPlannerConfig cfg = {}) : cfg_(cfg) {}
 
-    [[nodiscard]] PlanResult plan(const model::Instance& inst) override;
+    using Planner::plan;
+    [[nodiscard]] PlanResult plan(const PlanningContext& ctx) override;
     [[nodiscard]] std::string name() const override { return "benchmark"; }
 
   private:

@@ -4,15 +4,23 @@
 
 namespace uavdc::core {
 
-std::vector<PlannerComparison> compare_planners(
-    const model::Instance& inst, const PlannerOptions& opts,
-    std::vector<std::string> names) {
+std::vector<PlannerComparison> compare_planners(const model::Instance& inst,
+                                                const PlannerOptions& opts,
+                                                std::vector<std::string> names) {
+    const auto ctx = PlanningContext::obtain(inst, opts.hover_config());
+    return compare_planners(*ctx, opts, std::move(names));
+}
+
+std::vector<PlannerComparison> compare_planners(const PlanningContext& ctx,
+                                                const PlannerOptions& opts,
+                                                std::vector<std::string> names) {
     if (names.empty()) names = planner_names();
+    const model::Instance& inst = ctx.instance();
     std::vector<PlannerComparison> out;
     out.reserve(names.size());
     for (const auto& name : names) {
         auto planner = make_planner(name, opts);
-        auto res = planner->plan(inst);
+        auto res = planner->plan(ctx);
         PlannerComparison cmp;
         cmp.name = planner->name();
         cmp.runtime_s = res.stats.runtime_s;

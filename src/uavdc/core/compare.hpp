@@ -5,6 +5,7 @@
 
 #include "uavdc/core/evaluate.hpp"
 #include "uavdc/core/metrics.hpp"
+#include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/registry.hpp"
 
 namespace uavdc::core {
@@ -22,8 +23,17 @@ struct PlannerComparison {
 /// same options and evaluate each plan. Results are ordered by collected
 /// volume, best first. The one-call backend for `uavdc compare` and for
 /// quick side-by-side studies in user code.
+///
+/// All planners share one `PlanningContext` (obtained through the global
+/// cache with `opts.hover_config()`), so the grid precompute runs exactly
+/// once per instance regardless of how many planners are compared.
 [[nodiscard]] std::vector<PlannerComparison> compare_planners(
     const model::Instance& inst, const PlannerOptions& opts = {},
+    std::vector<std::string> names = {});
+
+/// Same, against a caller-supplied context (e.g. reused across sweeps).
+[[nodiscard]] std::vector<PlannerComparison> compare_planners(
+    const PlanningContext& ctx, const PlannerOptions& opts = {},
     std::vector<std::string> names = {});
 
 }  // namespace uavdc::core

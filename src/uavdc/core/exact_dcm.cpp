@@ -8,10 +8,15 @@ namespace uavdc::core {
 
 ExactDcmResult solve_exact_dcm(const model::Instance& inst,
                                const ExactDcmConfig& cfg) {
+    const auto ctx = PlanningContext::obtain(inst, cfg.candidates);
+    return solve_exact_dcm(*ctx, cfg);
+}
+
+ExactDcmResult solve_exact_dcm(const PlanningContext& ctx,
+                               const ExactDcmConfig& cfg) {
     ExactDcmResult out;
-    const HoverCandidateSet cset =
-        build_hover_candidates(inst, cfg.candidates);
-    const auto& cands = cset.candidates;
+    const model::Instance& inst = ctx.instance();
+    const auto& cands = ctx.candidates().candidates;
     const std::size_t m = cands.size();
     if (m > static_cast<std::size_t>(cfg.max_candidates_for_exact)) {
         throw std::invalid_argument(
@@ -21,11 +26,7 @@ ExactDcmResult solve_exact_dcm(const model::Instance& inst,
     }
     if (m == 0) return out;
 
-    // Precompute the full distance matrix over depot (0) + candidates.
-    std::vector<geom::Vec2> pts{inst.depot};
-    for (const auto& c : cands) pts.push_back(c.pos);
-    const graph::DenseGraph dist = graph::DenseGraph::euclidean(pts);
-
+    const EnergyView& energy = ctx.energy();
     const std::size_t nmask = std::size_t{1} << m;
     for (std::size_t mask = 1; mask < nmask; ++mask) {
         ++out.subsets_checked;
@@ -47,21 +48,21 @@ ExactDcmResult solve_exact_dcm(const model::Instance& inst,
             }
         }
         if (volume <= out.collected_mb) continue;  // cannot improve
-        // Optimal tour over depot + chosen candidates.
+        // Optimal tour over depot + chosen candidates, distances served
+        // from the context's lazily-filled pair cache.
         graph::DenseGraph sub(nodes.size());
         for (std::size_t i = 0; i < nodes.size(); ++i) {
             for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-                sub.set_weight(i, j, dist.weight(nodes[i], nodes[j]));
+                sub.set_weight(i, j, ctx.node_distance(nodes[i], nodes[j]));
             }
         }
         const auto order = graph::held_karp_tour(sub, 0);
         const double tour_m = sub.tour_length(order);
-        const double energy =
-            inst.uav.travel_energy(tour_m) + inst.uav.hover_energy(hover_s);
-        if (energy > inst.uav.energy_j + 1e-9) continue;
+        const double energy_j = energy.tour_cost(tour_m, hover_s);
+        if (energy_j > energy.budget_j() + 1e-9) continue;
         // New best: materialise the plan in tour order.
         out.collected_mb = volume;
-        out.energy_j = energy;
+        out.energy_j = energy_j;
         out.plan.stops.clear();
         for (std::size_t i = 1; i < order.size(); ++i) {
             const auto c = nodes[order[i]] - 1;

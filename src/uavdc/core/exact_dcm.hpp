@@ -2,6 +2,7 @@
 
 #include "uavdc/core/hover_candidates.hpp"
 #include "uavdc/core/planner.hpp"
+#include "uavdc/core/planning_context.hpp"
 
 namespace uavdc::core {
 
@@ -28,9 +29,15 @@ struct ExactDcmResult {
     int subsets_checked{0};
 };
 
-/// Solve exactly. The candidate set is built with cfg.candidates; pass a
-/// coarse delta / small instance so the set stays within the guard.
+/// Solve exactly. The candidate set is built with cfg.candidates (memoized
+/// through the global context cache); pass a coarse delta / small instance
+/// so the set stays within the guard.
 [[nodiscard]] ExactDcmResult solve_exact_dcm(const model::Instance& inst,
+                                             const ExactDcmConfig& cfg);
+
+/// Context form: reuses `ctx.candidates()` (the context's candidate config
+/// wins over cfg.candidates) and the context's pair-distance cache.
+[[nodiscard]] ExactDcmResult solve_exact_dcm(const PlanningContext& ctx,
                                              const ExactDcmConfig& cfg);
 
 }  // namespace uavdc::core

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "uavdc/geom/coverage.hpp"
+#include "uavdc/util/parallel_for.hpp"
 
 namespace uavdc::core {
 
@@ -53,17 +54,19 @@ HoverCandidateSet build_hover_candidates(const model::Instance& inst,
     const double bw = inst.uav.bandwidth_mbps;
     const double eta_h = inst.uav.hover_power_w;
 
-    std::vector<HoverCandidate> cands;
-    for (int id = 0; id < grid.num_cells(); ++id) {
-        const auto& covered = cov.covered(id);
-        if (covered.empty()) continue;
-        if (cfg.position_ok &&
-            !cfg.position_ok(centers[static_cast<std::size_t>(id)])) {
-            continue;
-        }
-        HoverCandidate c;
-        c.pos = centers[static_cast<std::size_t>(id)];
-        c.cell_id = id;
+    // Per-cell Eq. 6-8 quantities are independent: score every cell into
+    // its own slot on the thread pool, then compact in cell order (keeps
+    // the output identical to a serial pass regardless of thread count).
+    const auto num_cells = static_cast<std::size_t>(grid.num_cells());
+    std::vector<HoverCandidate> slots(num_cells);
+    auto score_cell = [&](std::size_t id) {
+        const auto& covered = cov.covered(static_cast<int>(id));
+        HoverCandidate& c = slots[id];
+        c.cell_id = -1;  // stays -1 when the cell yields no candidate
+        if (covered.empty()) return;
+        if (cfg.position_ok && !cfg.position_ok(centers[id])) return;
+        c.pos = centers[id];
+        c.cell_id = static_cast<int>(id);
         c.covered = covered;
         double max_upload = 0.0;
         for (int v : covered) {
@@ -73,7 +76,16 @@ HoverCandidateSet build_hover_candidates(const model::Instance& inst,
         }
         c.dwell_s = max_upload;
         c.hover_energy_j = c.dwell_s * eta_h;
-        cands.push_back(std::move(c));
+    };
+    constexpr std::size_t kParallelCells = 1024;
+    if (num_cells >= kParallelCells) {
+        util::parallel_for(0, num_cells, score_cell, 128);
+    } else {
+        for (std::size_t id = 0; id < num_cells; ++id) score_cell(id);
+    }
+    std::vector<HoverCandidate> cands;
+    for (auto& slot : slots) {
+        if (slot.cell_id >= 0) cands.push_back(std::move(slot));
     }
     out.nonzero_cells = static_cast<int>(cands.size());
 

@@ -1,0 +1,12 @@
+#include "uavdc/core/planner.hpp"
+
+#include "uavdc/core/planning_context.hpp"
+
+namespace uavdc::core {
+
+PlanResult Planner::plan(const model::Instance& inst) {
+    const auto ctx = PlanningContext::obtain(inst, candidate_config());
+    return plan(*ctx);
+}
+
+}  // namespace uavdc::core

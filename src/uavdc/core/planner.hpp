@@ -2,10 +2,13 @@
 
 #include <string>
 
+#include "uavdc/core/hover_candidates.hpp"
 #include "uavdc/model/instance.hpp"
 #include "uavdc/model/plan.hpp"
 
 namespace uavdc::core {
+
+class PlanningContext;
 
 /// Planner-side bookkeeping reported alongside the plan.
 struct PlanStats {
@@ -24,13 +27,32 @@ struct PlanResult {
 
 /// Abstract tour planner. Implementations: GridOrienteeringPlanner (Alg. 1),
 /// GreedyCoveragePlanner (Alg. 2), PartialCollectionPlanner (Alg. 3),
-/// PruneTspPlanner (the paper's benchmark heuristic).
+/// PruneTspPlanner (the paper's benchmark heuristic), plus the related-work
+/// baselines (ClusterPlanner, SweepPlanner).
+///
+/// Planners consume a `PlanningContext` — the shared per-instance precompute
+/// bundle — so several planners run against one instance (compare_planners,
+/// sweeps) reuse the same candidate set instead of each rebuilding it. The
+/// non-virtual `plan(Instance)` adapter keeps the legacy call-site shape:
+/// it obtains a context through the global cache (keyed on the instance
+/// fingerprint and this planner's `candidate_config()`) and delegates.
 class Planner {
   public:
     virtual ~Planner() = default;
 
-    /// Produce an energy-feasible closed tour for `inst`.
-    [[nodiscard]] virtual PlanResult plan(const model::Instance& inst) = 0;
+    /// Produce an energy-feasible closed tour for `ctx.instance()`.
+    [[nodiscard]] virtual PlanResult plan(const PlanningContext& ctx) = 0;
+
+    /// Compatibility adapter: memoized context build, then plan(context).
+    /// Derived classes re-export it with `using Planner::plan;`.
+    [[nodiscard]] PlanResult plan(const model::Instance& inst);
+
+    /// Candidate-generation options to use when a context is built on this
+    /// planner's behalf by the Instance adapter. Planners that never touch
+    /// `PlanningContext::candidates()` keep the (never-built) default.
+    [[nodiscard]] virtual HoverCandidateConfig candidate_config() const {
+        return {};
+    }
 
     /// Short identifier for tables/CSV (e.g. "alg1-grasp").
     [[nodiscard]] virtual std::string name() const = 0;

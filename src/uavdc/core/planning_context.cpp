@@ -1,0 +1,237 @@
+#include "uavdc/core/planning_context.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstring>
+
+#include "uavdc/util/timer.hpp"
+
+namespace uavdc::core {
+
+namespace {
+
+// Candidate counts above this skip the per-row distance cache (a dense row
+// table would cost O(n^2) doubles) and compute distances on demand.
+constexpr std::size_t kMaxCachedDistanceNodes = 4097;  // depot + 4096
+
+std::atomic<std::uint64_t> g_candidate_builds{0};
+std::atomic<std::uint64_t> g_candidate_build_ns{0};
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (8 * byte)) & 0xffULL;
+        h *= kFnvPrime;
+    }
+}
+
+void fnv_mix(std::uint64_t& h, double v) {
+    // Normalise -0.0 so numerically-identical instances hash identically.
+    if (v == 0.0) v = 0.0;
+    fnv_mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+void fnv_mix(std::uint64_t& h, const geom::Vec2& v) {
+    fnv_mix(h, v.x);
+    fnv_mix(h, v.y);
+}
+
+}  // namespace
+
+PlanningContext::PlanningContext(model::Instance inst,
+                                 HoverCandidateConfig cfg)
+    : inst_(std::move(inst)),
+      cfg_(std::move(cfg)),
+      energy_(inst_.uav),
+      device_index_(inst_.device_positions(),
+                    std::max(inst_.uav.coverage_radius_m, 1e-9)) {
+    std::uint64_t h = instance_fingerprint(inst_);
+    fnv_mix(h, config_fingerprint(cfg_));
+    fingerprint_ = h;
+}
+
+std::uint64_t PlanningContext::instance_fingerprint(
+    const model::Instance& inst) {
+    std::uint64_t h = kFnvOffset;
+    fnv_mix(h, inst.region.lo);
+    fnv_mix(h, inst.region.hi);
+    fnv_mix(h, inst.depot);
+    fnv_mix(h, static_cast<std::uint64_t>(inst.devices.size()));
+    for (const auto& d : inst.devices) {
+        fnv_mix(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(d.id)));
+        fnv_mix(h, d.pos);
+        fnv_mix(h, d.data_mb);
+    }
+    const auto& u = inst.uav;
+    fnv_mix(h, u.energy_j);
+    fnv_mix(h, u.speed_mps);
+    fnv_mix(h, u.hover_power_w);
+    fnv_mix(h, u.travel_rate);
+    fnv_mix(h, static_cast<std::uint64_t>(u.travel_energy_model));
+    fnv_mix(h, u.coverage_radius_m);
+    fnv_mix(h, u.bandwidth_mbps);
+    return h;
+}
+
+std::uint64_t PlanningContext::config_fingerprint(
+    const HoverCandidateConfig& cfg) {
+    std::uint64_t h = kFnvOffset;
+    fnv_mix(h, cfg.delta_m);
+    fnv_mix(h, static_cast<std::uint64_t>(cfg.dedupe_identical_coverage));
+    fnv_mix(h, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(cfg.max_candidates)));
+    fnv_mix(h, static_cast<std::uint64_t>(cfg.inflate_by_coverage));
+    // position_ok is opaque; obtain() refuses to cache such configs, so the
+    // fingerprint only needs to distinguish "has one" from "hasn't".
+    fnv_mix(h, static_cast<std::uint64_t>(cfg.position_ok != nullptr));
+    return h;
+}
+
+const HoverCandidateSet& PlanningContext::candidates() const {
+    std::call_once(cand_once_, [this] {
+        util::Timer timer;
+        cands_ = build_hover_candidates(inst_, cfg_);
+        g_candidate_build_ns.fetch_add(
+            static_cast<std::uint64_t>(timer.seconds() * 1e9),
+            std::memory_order_relaxed);
+        g_candidate_builds.fetch_add(1, std::memory_order_relaxed);
+        cands_built_ = true;
+    });
+    return cands_;
+}
+
+bool PlanningContext::candidates_built() const { return cands_built_; }
+
+geom::Vec2 PlanningContext::node_pos(std::size_t i) const {
+    return i == 0 ? inst_.depot : cands_.candidates[i - 1].pos;
+}
+
+double PlanningContext::node_distance(std::size_t i, std::size_t j) const {
+    if (i == j) return 0.0;
+    const std::size_t n = candidates().size() + 1;
+    if (n > kMaxCachedDistanceNodes) {
+        return geom::distance(node_pos(i), node_pos(j));
+    }
+    const std::size_t r = std::min(i, j);
+    const std::size_t c = std::max(i, j);
+    std::lock_guard<std::mutex> lock(dist_mutex_);
+    if (rows_.empty()) rows_.resize(n);
+    auto& row = rows_[r];
+    if (row.empty()) {
+        row.resize(n);
+        const geom::Vec2 p = node_pos(r);
+        for (std::size_t k = 0; k < n; ++k) {
+            row[k] = geom::distance(p, node_pos(k));
+        }
+    }
+    return row[c];
+}
+
+std::uint64_t PlanningContext::total_candidate_builds() {
+    return g_candidate_builds.load(std::memory_order_relaxed);
+}
+
+double PlanningContext::total_candidate_build_time_s() {
+    return static_cast<double>(
+               g_candidate_build_ns.load(std::memory_order_relaxed)) *
+           1e-9;
+}
+
+std::shared_ptr<const PlanningContext> PlanningContext::build(
+    model::Instance inst, HoverCandidateConfig cfg) {
+    return std::make_shared<const PlanningContext>(std::move(inst),
+                                                   std::move(cfg));
+}
+
+std::shared_ptr<const PlanningContext> PlanningContext::obtain(
+    const model::Instance& inst, const HoverCandidateConfig& cfg) {
+    return PlanningContextCache::global().obtain(inst, cfg);
+}
+
+PlanningContextCache::PlanningContextCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::shared_ptr<const PlanningContext> PlanningContextCache::obtain(
+    const model::Instance& inst, const HoverCandidateConfig& cfg) {
+    if (cfg.position_ok) {
+        // Opaque predicate: two configs with different predicates would
+        // collide, so never memoize these.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++uncached_;
+        }
+        return PlanningContext::build(inst, cfg);
+    }
+    std::uint64_t key = PlanningContext::instance_fingerprint(inst);
+    fnv_mix(key, PlanningContext::config_fingerprint(cfg));
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].key == key) {
+                ++hits_;
+                // Move to front (MRU).
+                const auto mid =
+                    entries_.begin() + static_cast<std::ptrdiff_t>(i);
+                std::rotate(entries_.begin(), mid, mid + 1);
+                return entries_.front().ctx;
+            }
+        }
+    }
+    // Build outside the lock: context construction copies the instance and
+    // indexes devices, which should not serialise unrelated lookups. A
+    // racing builder of the same key is tolerated — the first insert wins
+    // and the loser's context is used once then dropped; the expensive
+    // candidate build is lazy, so the duplicate costs only the copy.
+    auto ctx = PlanningContext::build(inst, cfg);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].key == key) {
+            const auto mid =
+                entries_.begin() + static_cast<std::ptrdiff_t>(i);
+            std::rotate(entries_.begin(), mid, mid + 1);
+            return entries_.front().ctx;
+        }
+    }
+    entries_.insert(entries_.begin(), Entry{key, ctx});
+    if (entries_.size() > capacity_) {
+        entries_.pop_back();
+        ++evictions_;
+    }
+    return ctx;
+}
+
+ContextCacheStats PlanningContextCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ContextCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.uncached_builds = uncached_;
+    s.candidate_builds = PlanningContext::total_candidate_builds();
+    s.candidate_build_time_s = PlanningContext::total_candidate_build_time_s();
+    return s;
+}
+
+std::size_t PlanningContextCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void PlanningContextCache::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_ = misses_ = evictions_ = uncached_ = 0;
+}
+
+PlanningContextCache& PlanningContextCache::global() {
+    static PlanningContextCache cache;
+    return cache;
+}
+
+}  // namespace uavdc::core

@@ -1,0 +1,194 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "uavdc/core/hover_candidates.hpp"
+#include "uavdc/geom/spatial_hash.hpp"
+#include "uavdc/model/instance.hpp"
+
+namespace uavdc::core {
+
+/// Read-only energy-accounting facade over `UavConfig` — the single view
+/// planners should charge travel/hover against, so every layer (planner,
+/// evaluator, bench) agrees on the energy model without re-deriving it from
+/// raw UAV fields.
+class EnergyView {
+  public:
+    explicit EnergyView(const model::UavConfig& uav) : uav_(&uav) {}
+
+    /// Battery capacity E (joules).
+    [[nodiscard]] double budget_j() const { return uav_->energy_j; }
+    /// Energy to fly `meters` under the active travel model (J).
+    [[nodiscard]] double travel(double meters) const {
+        return uav_->travel_energy(meters);
+    }
+    /// Energy to hover for `seconds` (J).
+    [[nodiscard]] double hover(double seconds) const {
+        return uav_->hover_energy(seconds);
+    }
+    /// Time to fly `meters` (s).
+    [[nodiscard]] double travel_time(double meters) const {
+        return uav_->travel_time(meters);
+    }
+    /// Combined cost of a tour of `tour_m` metres with `hover_s` seconds of
+    /// hovering (J).
+    [[nodiscard]] double tour_cost(double tour_m, double hover_s) const {
+        return travel(tour_m) + hover(hover_s);
+    }
+    /// True when the combined cost fits the battery (with tolerance).
+    [[nodiscard]] bool feasible(double tour_m, double hover_s,
+                                double eps = 1e-9) const {
+        return tour_cost(tour_m, hover_s) <= budget_j() + eps;
+    }
+    [[nodiscard]] const model::UavConfig& uav() const { return *uav_; }
+
+  private:
+    const model::UavConfig* uav_;
+};
+
+/// Counters for the process-wide context cache (see
+/// `PlanningContextCache::stats`). `candidate_builds` / `build_time_s`
+/// aggregate over *all* contexts in the process, cached or not, so tests and
+/// benches can assert "candidates were built exactly once".
+struct ContextCacheStats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t evictions{0};
+    std::uint64_t uncached_builds{0};  ///< cache bypasses (position_ok set)
+    std::uint64_t candidate_builds{0};
+    double candidate_build_time_s{0.0};
+};
+
+/// Immutable, shareable bundle of per-instance planning precompute
+/// (Sec. III-B): the problem instance itself, the grid hover-candidate set
+/// (Eq. 6-8 awards/dwells, built lazily on first use and parallelised over
+/// the thread pool), a spatial index over device positions, a lazily-filled
+/// candidate-pair distance cache, and the `EnergyView`. Build one per
+/// instance — directly with `build()`, or memoized through `obtain()` — and
+/// hand the same context to every planner so a `compare_planners` or sweep
+/// run pays the precompute once instead of once per planner.
+///
+/// Thread-safe: all lazy fills are guarded, and every accessor is const, so
+/// one context may serve concurrent planners.
+class PlanningContext {
+  public:
+    /// Owns a copy of `inst`; candidate construction is deferred until
+    /// `candidates()` is first called.
+    explicit PlanningContext(model::Instance inst,
+                             HoverCandidateConfig cfg = {});
+
+    PlanningContext(const PlanningContext&) = delete;
+    PlanningContext& operator=(const PlanningContext&) = delete;
+
+    [[nodiscard]] const model::Instance& instance() const { return inst_; }
+    [[nodiscard]] const HoverCandidateConfig& candidate_config() const {
+        return cfg_;
+    }
+    [[nodiscard]] const EnergyView& energy() const { return energy_; }
+
+    /// The Sec. III-B candidate set; built on first call (thread-safe).
+    [[nodiscard]] const HoverCandidateSet& candidates() const;
+    /// True once `candidates()` has run (for laziness/caching tests).
+    [[nodiscard]] bool candidates_built() const;
+
+    /// Spatial index over device positions (bucket edge = R0); empty
+    /// instances yield an index with size() == 0.
+    [[nodiscard]] const geom::SpatialHash& device_index() const {
+        return device_index_;
+    }
+
+    /// Distance between tour nodes, where node 0 is the depot and node
+    /// j >= 1 is candidate j-1. Rows are filled lazily on first touch and
+    /// cached (small candidate sets only; larger sets compute on the fly).
+    [[nodiscard]] double node_distance(std::size_t i, std::size_t j) const;
+
+    /// Cache key: FNV-1a over every instance field (region, depot, devices,
+    /// all UAV parameters) combined with the candidate-config fields.
+    [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+    [[nodiscard]] static std::uint64_t instance_fingerprint(
+        const model::Instance& inst);
+    [[nodiscard]] static std::uint64_t config_fingerprint(
+        const HoverCandidateConfig& cfg);
+
+    /// Process-wide count of candidate-set builds (every context counts its
+    /// first `candidates()` call here). The cross-planner caching invariant
+    /// — "one build per instance per sweep" — is asserted against deltas of
+    /// this counter.
+    [[nodiscard]] static std::uint64_t total_candidate_builds();
+    /// Process-wide seconds spent building candidate sets.
+    [[nodiscard]] static double total_candidate_build_time_s();
+
+    /// Build a fresh, uncached context.
+    [[nodiscard]] static std::shared_ptr<const PlanningContext> build(
+        model::Instance inst, HoverCandidateConfig cfg = {});
+    /// Memoized build through the global `PlanningContextCache`. Configs
+    /// carrying a `position_ok` predicate are not hashable and bypass the
+    /// cache (a fresh context is returned each call).
+    [[nodiscard]] static std::shared_ptr<const PlanningContext> obtain(
+        const model::Instance& inst, const HoverCandidateConfig& cfg = {});
+
+  private:
+    geom::Vec2 node_pos(std::size_t i) const;
+
+    model::Instance inst_;
+    HoverCandidateConfig cfg_;
+    EnergyView energy_;
+    geom::SpatialHash device_index_;
+    std::uint64_t fingerprint_{0};
+
+    mutable std::once_flag cand_once_;
+    mutable HoverCandidateSet cands_;
+    mutable std::atomic<bool> cands_built_{false};
+
+    // Lazy per-row distance cache over depot + candidates; rows_ is sized
+    // on first use, row r is filled under dist_mutex_ the first time any
+    // (r, *) pair is requested.
+    mutable std::mutex dist_mutex_;
+    mutable std::vector<std::vector<double>> rows_;
+};
+
+/// Bounded LRU memo of `PlanningContext`s keyed on (instance fingerprint,
+/// candidate-config fingerprint). `compare_planners`, `analyze_sensitivity`,
+/// the CLI, and the `Planner::plan(Instance)` adapter all share the global
+/// instance, which is what turns an N-planner sweep into a single candidate
+/// build per instance.
+class PlanningContextCache {
+  public:
+    explicit PlanningContextCache(std::size_t capacity = 64);
+
+    /// Find-or-build. Never returns null.
+    [[nodiscard]] std::shared_ptr<const PlanningContext> obtain(
+        const model::Instance& inst, const HoverCandidateConfig& cfg);
+
+    [[nodiscard]] ContextCacheStats stats() const;
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    /// Drop every entry and zero the hit/miss/eviction counters (the
+    /// process-wide build counters are monotone and unaffected).
+    void clear();
+
+    /// The process-global cache used by `PlanningContext::obtain`.
+    [[nodiscard]] static PlanningContextCache& global();
+
+  private:
+    struct Entry {
+        std::uint64_t key;
+        std::shared_ptr<const PlanningContext> ctx;
+    };
+
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    // Most-recently-used first; linear scan is fine at cache sizes ~64.
+    std::vector<Entry> entries_;
+    std::uint64_t hits_{0};
+    std::uint64_t misses_{0};
+    std::uint64_t evictions_{0};
+    std::uint64_t uncached_{0};
+};
+
+}  // namespace uavdc::core

@@ -18,22 +18,19 @@ std::unique_ptr<Planner> make_planner(const std::string& name,
                                       const PlannerOptions& opts) {
     if (name == "alg1") {
         Algorithm1Config cfg;
-        cfg.candidates.delta_m = opts.delta_m;
-        cfg.candidates.max_candidates = opts.max_candidates;
+        cfg.candidates = opts.hover_config();
         cfg.solver = opts.solver;
         cfg.grasp.iterations = opts.grasp_iterations;
         return std::make_unique<GridOrienteeringPlanner>(cfg);
     }
     if (name == "alg2") {
         Algorithm2Config cfg;
-        cfg.candidates.delta_m = opts.delta_m;
-        cfg.candidates.max_candidates = opts.max_candidates;
+        cfg.candidates = opts.hover_config();
         return std::make_unique<GreedyCoveragePlanner>(cfg);
     }
     if (name == "alg3") {
         Algorithm3Config cfg;
-        cfg.candidates.delta_m = opts.delta_m;
-        cfg.candidates.max_candidates = opts.max_candidates;
+        cfg.candidates = opts.hover_config();
         cfg.k = opts.k;
         return std::make_unique<PartialCollectionPlanner>(cfg);
     }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "uavdc/core/evaluate.hpp"
+#include "uavdc/core/planning_context.hpp"
 
 namespace uavdc::core {
 
@@ -10,8 +11,12 @@ namespace {
 
 double plan_volume_gb(const model::Instance& inst, const std::string& name,
                       const PlannerOptions& opts) {
+    // Memoized context: replans of the same perturbed instance (and the
+    // baseline, shared with any enclosing compare/sweep) reuse one
+    // candidate build.
+    const auto ctx = PlanningContext::obtain(inst, opts.hover_config());
     auto planner = make_planner(name, opts);
-    const auto res = planner->plan(inst);
+    const auto res = planner->plan(*ctx);
     return evaluate_plan(inst, res.plan).collected_mb / 1000.0;
 }
 

@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "uavdc/util/parallel_for.hpp"
+
 namespace uavdc::geom {
+
+namespace {
+// Centre counts below this are cheaper to scan serially than to fan out.
+constexpr std::size_t kParallelCenters = 512;
+}  // namespace
 
 CoverageIndex::CoverageIndex(std::span<const Vec2> centers,
                              std::span<const Vec2> devices, double radius)
@@ -17,17 +24,27 @@ CoverageIndex::CoverageIndex(std::span<const Vec2> centers,
 
     const double cell = std::max(radius, 1e-9);
     const SpatialHash hash(devices, cell);
-    for (std::size_t c = 0; c < centers.size(); ++c) {
+    // Per-centre coverage lists are independent — fill them across the
+    // thread pool (each worker writes only its own slots, so the result is
+    // identical to the serial order).
+    auto cover_one = [&](std::size_t c) {
         auto& lst = covered_[c];
         hash.for_each_in_disk(centers[c], radius,
                               [&](int dev) { lst.push_back(dev); });
         std::sort(lst.begin(), lst.end());
-        for (int dev : lst) {
+    };
+    if (centers.size() >= kParallelCenters) {
+        util::parallel_for(0, centers.size(), cover_one, 64);
+    } else {
+        for (std::size_t c = 0; c < centers.size(); ++c) cover_one(c);
+    }
+    // Invert serially in centre order so covering_ lists come out sorted.
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+        for (int dev : covered_[c]) {
             covering_[static_cast<std::size_t>(dev)].push_back(
                 static_cast<int>(c));
         }
     }
-    // covering_ lists are already sorted: centres are visited in order.
 }
 
 int CoverageIndex::num_uncovered_devices() const {

@@ -18,6 +18,7 @@
 #include "uavdc/core/compare.hpp"
 #include "uavdc/core/evaluate.hpp"
 #include "uavdc/core/metrics.hpp"
+#include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/registry.hpp"
 #include "uavdc/core/sensitivity.hpp"
 #include "uavdc/core/validate_plan.hpp"
@@ -39,7 +40,7 @@ int usage() {
         "  generate  --preset=paper|smart-city|disaster|farm --out=FILE\n"
         "            [--devices=N] [--side=M] [--energy=J] [--seed=S]\n"
         "  plan      --instance=FILE --algo=alg1|alg2|alg3|benchmark\n"
-        "            [--delta=10] [--k=2] [--max-candidates=2000]\n"
+        "            [--delta=10] [--k=2] [--max-candidates=4000]\n"
         "            [--out=FILE]\n"
         "  eval      --instance=FILE --plan=FILE [--json]\n"
         "  sim       --instance=FILE --plan=FILE [--trace]\n"
@@ -96,7 +97,10 @@ int cmd_plan(const util::Flags& flags) {
         flags.get_int("max-candidates", opts.max_candidates);
     auto planner =
         core::make_planner(flags.get_string("algo", "alg3"), opts);
-    const auto res = planner->plan(inst);
+    // Shared precompute: repeated plans of the same instance (any algo with
+    // matching grid options) reuse the cached candidate set.
+    const auto ctx = core::PlanningContext::obtain(inst, opts.hover_config());
+    const auto res = planner->plan(*ctx);
     const auto ev = core::evaluate_plan(inst, res.plan);
     std::cout << planner->name() << ": " << res.plan.num_stops()
               << " stops, "
