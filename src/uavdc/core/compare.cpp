@@ -1,6 +1,7 @@
 #include "uavdc/core/compare.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace uavdc::core {
 
@@ -24,6 +25,16 @@ std::vector<PlannerComparison> compare_planners(const PlanningContext& ctx,
         PlannerComparison cmp;
         cmp.name = planner->name();
         cmp.runtime_s = res.stats.runtime_s;
+        cmp.validation = validate_plan(inst, res.plan);
+        if (!cmp.validation.ok()) {
+            std::string what = "compare_planners: planner '" + cmp.name +
+                               "' produced an invalid plan:";
+            for (const auto& v : cmp.validation.errors) {
+                what += " [" + to_string(v.kind) + " @ stop " +
+                        std::to_string(v.stop) + ": " + v.detail + "]";
+            }
+            throw std::runtime_error(what);
+        }
         cmp.evaluation = evaluate_plan(inst, res.plan);
         cmp.metrics = compute_metrics(inst, res.plan);
         cmp.plan = std::move(res.plan);

@@ -7,6 +7,7 @@
 #include "uavdc/core/metrics.hpp"
 #include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/registry.hpp"
+#include "uavdc/core/validate_plan.hpp"
 
 namespace uavdc::core {
 
@@ -16,6 +17,7 @@ struct PlannerComparison {
     model::FlightPlan plan;
     Evaluation evaluation;
     PlanMetrics metrics;
+    PlanValidation validation;  ///< never carries errors (those throw)
     double runtime_s{0.0};
 };
 
@@ -27,6 +29,12 @@ struct PlannerComparison {
 /// All planners share one `PlanningContext` (obtained through the global
 /// cache with `opts.hover_config()`), so the grid precompute runs exactly
 /// once per instance regardless of how many planners are compared.
+///
+/// Every plan is passed through `validate_plan` before evaluation; a plan
+/// with hard violations (energy exceeded, NaN coordinates, ...) throws
+/// `std::runtime_error` naming the planner — a planner emitting broken
+/// plans is a bug to surface, not a row to rank. Warnings are kept in
+/// `PlannerComparison::validation`.
 [[nodiscard]] std::vector<PlannerComparison> compare_planners(
     const model::Instance& inst, const PlannerOptions& opts = {},
     std::vector<std::string> names = {});

@@ -1,0 +1,207 @@
+#include "uavdc/core/conformance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uavdc/core/energy_view.hpp"
+#include "uavdc/core/planning_context.hpp"
+#include "uavdc/core/registry.hpp"
+#include "uavdc/sim/battery.hpp"
+#include "uavdc/util/rng.hpp"
+#include "uavdc/workload/generator.hpp"
+
+namespace uavdc::core {
+
+std::string to_string(ConformanceMismatch::Check check) {
+    switch (check) {
+        case ConformanceMismatch::Check::kEvaluatorVsSimulator:
+            return "evaluator-vs-simulator";
+        case ConformanceMismatch::Check::kEnergyModels:
+            return "energy-models";
+        case ConformanceMismatch::Check::kValidatorMissedAbort:
+            return "validator-missed-abort";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/// Mixed absolute/relative agreement: absolute `tol` for small values,
+/// relative above 1 (energies run to 1e5 J, where 1e-6 absolute would sit
+/// below double resolution of long sums).
+bool close(double a, double b, double tol) {
+    const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+    return std::abs(a - b) <= tol * scale;
+}
+
+void require(std::vector<ConformanceMismatch>& out,
+             ConformanceMismatch::Check check, const std::string& field,
+             double expected, double actual, double tol,
+             const std::string& detail) {
+    if (!close(expected, actual, tol)) {
+        out.push_back({check, field, expected, actual, detail});
+    }
+}
+
+/// Replay the tour leg by leg through a `sim::Battery` using `EnergyView`
+/// power draws — the third, stateful reading of the plan's energy.
+double battery_replay_j(const model::Instance& inst,
+                        const model::FlightPlan& plan, double demand_j) {
+    const EnergyView view(inst.uav);
+    // Headroom above the demand so the replay never truncates; keeping the
+    // capacity near the demand preserves double resolution in consumed_j.
+    sim::Battery battery(2.0 * demand_j + 1.0);
+    geom::Vec2 here = inst.depot;
+    for (const auto& stop : plan.stops) {
+        battery.drain(view.travel_power_w(),
+                      view.travel_time(geom::distance(here, stop.pos)));
+        battery.drain(view.hover_power_w(), stop.dwell_s);
+        here = stop.pos;
+    }
+    if (!plan.stops.empty()) {
+        battery.drain(view.travel_power_w(),
+                      view.travel_time(geom::distance(here, inst.depot)));
+    }
+    return battery.consumed_j();
+}
+
+bool has_energy_error(const PlanValidation& val) {
+    for (const auto& v : val.errors) {
+        if (v.kind == PlanViolation::Kind::kEnergyExceeded) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+ConformanceReport check_conformance(const model::Instance& inst,
+                                    const model::FlightPlan& plan,
+                                    double tol) {
+    ConformanceReport rep;
+    rep.evaluation = evaluate_plan(inst, plan, tol);
+    sim::SimConfig cfg;
+    cfg.record_trace = false;  // calm wind + constant radio by default
+    rep.simulation = sim::Simulator(cfg).run(inst, plan);
+    rep.validation = validate_plan(inst, plan);
+
+    auto& out = rep.mismatches;
+    const auto kEvalSim = ConformanceMismatch::Check::kEvaluatorVsSimulator;
+    const Evaluation& ev = rep.evaluation;
+    const sim::SimReport& sr = rep.simulation;
+
+    // (a) closed-form evaluator vs discrete-event simulator.
+    require(out, kEvalSim, "collected_mb", ev.collected_mb, sr.collected_mb,
+            tol, "total collected volume");
+    require(out, kEvalSim, "energy_j", ev.energy_spent_j, sr.energy_used_j,
+            tol, "energy actually spent");
+    require(out, kEvalSim, "tour_time_s", ev.executed_time_s, sr.duration_s,
+            tol, "executed tour time");
+    require(out, kEvalSim, "truncated",
+            ev.truncated ? 1.0 : 0.0, sr.battery_depleted ? 1.0 : 0.0, 0.0,
+            "evaluator truncation flag vs simulator battery depletion");
+    require(out, kEvalSim, "devices_drained",
+            static_cast<double>(ev.devices_drained),
+            static_cast<double>(sr.devices_drained), 0.0,
+            "fully-collected device count");
+    for (std::size_t d = 0; d < ev.per_device_mb.size(); ++d) {
+        if (!close(ev.per_device_mb[d], sr.per_device_mb[d], tol)) {
+            require(out, kEvalSim,
+                    "per_device_mb[" + std::to_string(d) + "]",
+                    ev.per_device_mb[d], sr.per_device_mb[d], tol,
+                    "per-device collected volume");
+        }
+    }
+
+    // (b) the three energy readings of the same tour.
+    const auto kEnergy = ConformanceMismatch::Check::kEnergyModels;
+    const double plan_j = plan.energy(inst.depot, inst.uav).total_j();
+    const EnergyView view(inst.uav);
+    const double view_j = view.tour_cost(plan.travel_length(inst.depot),
+                                         plan.hover_time());
+    const double replay_j = battery_replay_j(inst, plan, plan_j);
+    require(out, kEnergy, "energy_view_j", plan_j, view_j, tol,
+            "FlightPlan::energy vs EnergyView::tour_cost");
+    require(out, kEnergy, "battery_replay_j", plan_j, replay_j, tol,
+            "FlightPlan::energy vs sim::Battery leg-by-leg replay");
+
+    // (c) the validator must flag every plan the simulator aborts on.
+    // Plans within `tol` of the budget are exempt: at that knife edge the
+    // simulator's 1e-12-seconds rule and the validator's 1e-6-joules rule
+    // may legitimately land on opposite sides.
+    if (sr.battery_depleted && !has_energy_error(rep.validation) &&
+        plan_j > view.budget_j() * (1.0 + tol) + tol) {
+        out.push_back({ConformanceMismatch::Check::kValidatorMissedAbort,
+                       "energy_exceeded", plan_j, view.budget_j(),
+                       "simulator depleted the battery but validate_plan "
+                       "reported no kEnergyExceeded error"});
+    }
+    return rep;
+}
+
+ConformanceFuzzSummary fuzz_conformance(const ConformanceFuzzConfig& cfg) {
+    ConformanceFuzzSummary summary;
+    if (cfg.instances <= 0) return summary;
+    std::vector<std::string> planners =
+        cfg.planners.empty() ? planner_names() : cfg.planners;
+
+    util::Rng rng(cfg.seed);
+    constexpr workload::Deployment kDeployments[] = {
+        workload::Deployment::kUniform, workload::Deployment::kClustered,
+        workload::Deployment::kGridJitter, workload::Deployment::kRing,
+        workload::Deployment::kHalton, workload::Deployment::kPoissonDisk};
+    constexpr workload::VolumeModel kVolumes[] = {
+        workload::VolumeModel::kUniform, workload::VolumeModel::kExponential,
+        workload::VolumeModel::kFixed, workload::VolumeModel::kBimodal};
+
+    for (int i = 0; i < cfg.instances; ++i) {
+        workload::GeneratorConfig g;
+        g.num_devices = static_cast<int>(rng.uniform_int(4, 40));
+        g.region_w = rng.uniform(150.0, 500.0);
+        g.region_h = rng.uniform(150.0, 500.0);
+        g.deployment = kDeployments[static_cast<std::size_t>(
+            rng.uniform_int(0, 5))];
+        g.volumes = kVolumes[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+        g.min_mb = rng.uniform(20.0, 150.0);
+        g.max_mb = g.min_mb + rng.uniform(50.0, 800.0);
+        // Budgets from cramped to comfortable, so some plans hug E.
+        g.uav.energy_j = rng.uniform(2.0e4, 1.2e5);
+        const auto instance_seed = rng.next_u64();
+        const auto inst = workload::generate(g, instance_seed);
+        ++summary.instances;
+
+        // A plan of the full instance is feasible by planner contract; the
+        // stressed variant shrinks the battery under the same plan to force
+        // the truncation / abort paths.
+        auto stressed = inst;
+        stressed.uav.energy_j *= 0.45;
+
+        PlannerOptions opts;
+        opts.delta_m =
+            std::max(10.0, std::max(g.region_w, g.region_h) / 18.0);
+        const auto ctx = PlanningContext::obtain(inst, opts.hover_config());
+
+        for (const auto& name : planners) {
+            const auto res = make_planner(name, opts)->plan(*ctx);
+            auto consider = [&](const model::Instance& target,
+                               bool is_stressed) {
+                const auto report =
+                    check_conformance(target, res.plan, cfg.tol);
+                ++summary.plans_checked;
+                if (report.ok()) return;
+                summary.mismatches +=
+                    static_cast<int>(report.mismatches.size());
+                if (static_cast<int>(summary.failures.size()) <
+                    cfg.max_failures) {
+                    summary.failures.push_back({instance_seed, inst.name,
+                                                name, is_stressed,
+                                                report.mismatches});
+                }
+            };
+            consider(inst, false);
+            if (cfg.stress_energy) consider(stressed, true);
+        }
+    }
+    return summary;
+}
+
+}  // namespace uavdc::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "uavdc/model/uav.hpp"
+
+namespace uavdc::core {
+
+/// Read-only energy-accounting facade over `UavConfig` — the single view
+/// every layer charges travel/hover against. The planners, `evaluate_plan`,
+/// `validate_plan`, and the `Simulator` all route their energy math through
+/// this class, so the cost model cannot drift between layers by
+/// construction (the conformance oracle in `conformance.hpp` asserts it).
+class EnergyView {
+  public:
+    explicit EnergyView(const model::UavConfig& uav) : uav_(&uav) {}
+
+    /// Battery capacity E (joules).
+    [[nodiscard]] double budget_j() const { return uav_->energy_j; }
+    /// Energy to fly `meters` under the active travel model (J).
+    [[nodiscard]] double travel(double meters) const {
+        return uav_->travel_energy(meters);
+    }
+    /// Energy to hover for `seconds` (J).
+    [[nodiscard]] double hover(double seconds) const {
+        return uav_->hover_energy(seconds);
+    }
+    /// Time to fly `meters` (s).
+    [[nodiscard]] double travel_time(double meters) const {
+        return uav_->travel_time(meters);
+    }
+    /// Instantaneous power draw while flying (J/s) — what a battery sees.
+    [[nodiscard]] double travel_power_w() const {
+        return uav_->travel_power_w();
+    }
+    /// Instantaneous power draw while hovering (J/s).
+    [[nodiscard]] double hover_power_w() const { return uav_->hover_power_w; }
+    /// Combined cost of a tour of `tour_m` metres with `hover_s` seconds of
+    /// hovering (J).
+    [[nodiscard]] double tour_cost(double tour_m, double hover_s) const {
+        return travel(tour_m) + hover(hover_s);
+    }
+    /// True when the combined cost fits the battery (with tolerance).
+    [[nodiscard]] bool feasible(double tour_m, double hover_s,
+                                double eps = 1e-9) const {
+        return tour_cost(tour_m, hover_s) <= budget_j() + eps;
+    }
+    [[nodiscard]] const model::UavConfig& uav() const { return *uav_; }
+
+  private:
+    const model::UavConfig* uav_;
+};
+
+}  // namespace uavdc::core

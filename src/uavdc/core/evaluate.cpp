@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "uavdc/core/energy_view.hpp"
 #include "uavdc/geom/spatial_hash.hpp"
+#include "uavdc/sim/battery.hpp"
 
 namespace uavdc::core {
 
@@ -11,38 +13,104 @@ Evaluation evaluate_plan(const model::Instance& inst,
     Evaluation ev;
     ev.per_device_mb.assign(inst.devices.size(), 0.0);
 
+    const EnergyView energy(inst.uav);
     const auto breakdown = plan.energy(inst.depot, inst.uav);
     ev.energy_j = breakdown.total_j();
     ev.tour_time_s = breakdown.total_s();
-    ev.energy_feasible = ev.energy_j <= inst.uav.energy_j + eps;
+    ev.energy_feasible = ev.energy_j <= energy.budget_j() + eps;
 
-    if (!inst.devices.empty() && !plan.stops.empty()) {
+    const geom::SpatialHash* hash = nullptr;
+    geom::SpatialHash storage({}, 1.0);
+    if (!inst.devices.empty()) {
         const auto positions = inst.device_positions();
-        const geom::SpatialHash hash(positions, inst.uav.coverage_radius_m);
-        std::vector<double> residual(inst.devices.size());
-        for (std::size_t i = 0; i < inst.devices.size(); ++i) {
-            residual[i] = inst.devices[i].data_mb;
+        storage = geom::SpatialHash(positions, inst.uav.coverage_radius_m);
+        hash = &storage;
+    }
+
+    // `residual` feeds the battery-aware accounting; `optimistic` the
+    // battery-blind one. The same drain/truncation arithmetic as the
+    // simulator (via sim::Battery) keeps the two layers bit-comparable.
+    std::vector<double> residual(inst.devices.size());
+    std::vector<double> optimistic(inst.devices.size());
+    for (std::size_t i = 0; i < inst.devices.size(); ++i) {
+        residual[i] = inst.devices[i].data_mb;
+        optimistic[i] = inst.devices[i].data_mb;
+    }
+
+    sim::Battery battery(energy.budget_j());
+    const double bw = inst.uav.bandwidth_mbps;
+    geom::Vec2 here = inst.depot;
+    bool aborted = false;
+    for (std::size_t si = 0; si < plan.stops.size(); ++si) {
+        const auto& stop = plan.stops[si];
+        if (!aborted) {
+            const double dist = geom::distance(here, stop.pos);
+            const double fly_t = energy.travel_time(dist);
+            const double flown = battery.drain(energy.travel_power_w(),
+                                               fly_t);
+            ev.executed_time_s += flown;
+            if (flown + 1e-12 < fly_t) {
+                ev.truncated = true;
+                ev.first_unreached_stop = static_cast<int>(si);
+                aborted = true;
+            } else {
+                here = stop.pos;
+            }
         }
-        const double bw = inst.uav.bandwidth_mbps;
-        for (const auto& stop : plan.stops) {
-            const double budget_mb = bw * stop.dwell_s;
-            hash.for_each_in_disk(
+        double hover_t = 0.0;
+        if (!aborted) {
+            const double hover_budget =
+                battery.time_until_empty(energy.hover_power_w());
+            hover_t = std::min(stop.dwell_s, hover_budget);
+        }
+        if (hash != nullptr) {
+            const double actual_mb = bw * hover_t;
+            const double optimistic_mb = bw * stop.dwell_s;
+            hash->for_each_in_disk(
                 stop.pos, inst.uav.coverage_radius_m, [&](int dev) {
                     const auto d = static_cast<std::size_t>(dev);
-                    const double got = std::min(residual[d], budget_mb);
+                    const double got = std::min(residual[d], actual_mb);
                     if (got > 0.0) {
                         residual[d] -= got;
                         ev.per_device_mb[d] += got;
+                        ev.collected_mb += got;
+                    }
+                    const double wish = std::min(optimistic[d],
+                                                 optimistic_mb);
+                    if (wish > 0.0) {
+                        optimistic[d] -= wish;
+                        ev.optimistic_mb += wish;
                     }
                 });
         }
+        if (!aborted) {
+            battery.drain(energy.hover_power_w(), hover_t);
+            ev.executed_time_s += hover_t;
+            if (hover_t + 1e-12 < stop.dwell_s) {
+                ev.truncated = true;
+                if (si + 1 < plan.stops.size()) {
+                    ev.first_unreached_stop = static_cast<int>(si + 1);
+                }
+                aborted = true;
+            }
+        }
     }
 
+    if (!aborted && !plan.stops.empty()) {
+        const double dist = geom::distance(here, inst.depot);
+        const double fly_t = energy.travel_time(dist);
+        const double flown = battery.drain(energy.travel_power_w(), fly_t);
+        ev.executed_time_s += flown;
+        if (flown + 1e-12 < fly_t) ev.truncated = true;
+    }
+    ev.energy_spent_j = battery.consumed_j();
+
     for (std::size_t i = 0; i < ev.per_device_mb.size(); ++i) {
-        ev.collected_mb += ev.per_device_mb[i];
         if (ev.per_device_mb[i] > 0.0) ++ev.devices_touched;
-        if (ev.per_device_mb[i] >= inst.devices[i].data_mb - 1e-9) {
-            if (inst.devices[i].data_mb > 0.0) ++ev.devices_drained;
+        // Same drained rule (and arithmetic) as the simulator: residual
+        // tracked by decrement, threshold 1e-9.
+        if (inst.devices[i].data_mb > 0.0 && residual[i] <= 1e-9) {
+            ++ev.devices_drained;
         }
     }
     return ev;

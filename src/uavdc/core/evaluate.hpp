@@ -11,18 +11,34 @@ namespace uavdc::core {
 /// Each stop uploads concurrently (OFDMA) from every device within R0 at
 /// bandwidth B for the stop's dwell; a device's data is collected at most
 /// once in total (residual carried across stops, Sec. VI semantics).
+///
+/// Accounting is battery-aware: data is only credited while the battery
+/// lasts, mirroring the simulator's truncation-at-depletion semantics. An
+/// energy-infeasible plan therefore reports what the UAV would actually
+/// bring home (`collected_mb`), with the no-battery-limit credit kept as a
+/// separate field (`optimistic_mb`). For feasible plans the two coincide.
 struct Evaluation {
-    double collected_mb{0.0};           ///< total data actually collected
-    double energy_j{0.0};               ///< total energy spent
-    double tour_time_s{0.0};            ///< T = T_h + T_t
-    bool energy_feasible{false};        ///< energy_j <= E (+eps)
-    std::vector<double> per_device_mb;  ///< collected per device
+    double collected_mb{0.0};     ///< data actually collected (battery-aware)
+    double optimistic_mb{0.0};    ///< full-plan credit ignoring the battery
+    double energy_j{0.0};         ///< energy the full plan demands
+    double energy_spent_j{0.0};   ///< energy actually spent (<= battery E)
+    double tour_time_s{0.0};      ///< full-plan T = T_h + T_t
+    double executed_time_s{0.0};  ///< time until return or depletion
+    bool energy_feasible{false};  ///< energy_j <= E (+eps)
+    bool truncated{false};        ///< battery died before returning home
+    int first_unreached_stop{-1};  ///< first stop never arrived at (-1: none)
+    std::vector<double> per_device_mb;  ///< actually collected per device
     int devices_touched{0};             ///< devices with any data collected
     int devices_drained{0};             ///< devices fully collected
 };
 
 /// Evaluate `plan` against `inst`. Stops are processed in tour order;
-/// devices upload min(residual, B * dwell) at each covering stop.
+/// devices upload min(residual, B * dwell) at each covering stop. All
+/// energy math goes through `EnergyView`/`sim::Battery`, so the result
+/// agrees with the discrete-event `Simulator` (calm wind, constant radio)
+/// to floating-point accuracy — including for energy-infeasible plans,
+/// where both truncate at the first unreachable stop. The conformance
+/// oracle (`conformance.hpp`) asserts this agreement.
 [[nodiscard]] Evaluation evaluate_plan(const model::Instance& inst,
                                        const model::FlightPlan& plan,
                                        double eps = 1e-6);

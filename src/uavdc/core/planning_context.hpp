@@ -6,49 +6,12 @@
 #include <mutex>
 #include <vector>
 
+#include "uavdc/core/energy_view.hpp"
 #include "uavdc/core/hover_candidates.hpp"
 #include "uavdc/geom/spatial_hash.hpp"
 #include "uavdc/model/instance.hpp"
 
 namespace uavdc::core {
-
-/// Read-only energy-accounting facade over `UavConfig` — the single view
-/// planners should charge travel/hover against, so every layer (planner,
-/// evaluator, bench) agrees on the energy model without re-deriving it from
-/// raw UAV fields.
-class EnergyView {
-  public:
-    explicit EnergyView(const model::UavConfig& uav) : uav_(&uav) {}
-
-    /// Battery capacity E (joules).
-    [[nodiscard]] double budget_j() const { return uav_->energy_j; }
-    /// Energy to fly `meters` under the active travel model (J).
-    [[nodiscard]] double travel(double meters) const {
-        return uav_->travel_energy(meters);
-    }
-    /// Energy to hover for `seconds` (J).
-    [[nodiscard]] double hover(double seconds) const {
-        return uav_->hover_energy(seconds);
-    }
-    /// Time to fly `meters` (s).
-    [[nodiscard]] double travel_time(double meters) const {
-        return uav_->travel_time(meters);
-    }
-    /// Combined cost of a tour of `tour_m` metres with `hover_s` seconds of
-    /// hovering (J).
-    [[nodiscard]] double tour_cost(double tour_m, double hover_s) const {
-        return travel(tour_m) + hover(hover_s);
-    }
-    /// True when the combined cost fits the battery (with tolerance).
-    [[nodiscard]] bool feasible(double tour_m, double hover_s,
-                                double eps = 1e-9) const {
-        return tour_cost(tour_m, hover_s) <= budget_j() + eps;
-    }
-    [[nodiscard]] const model::UavConfig& uav() const { return *uav_; }
-
-  private:
-    const model::UavConfig* uav_;
-};
 
 /// Counters for the process-wide context cache (see
 /// `PlanningContextCache::stats`). `candidate_builds` / `build_time_s`

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "uavdc/core/energy_view.hpp"
 #include "uavdc/geom/spatial_hash.hpp"
 
 namespace uavdc::core {
@@ -18,6 +19,8 @@ std::string to_string(PlanViolation::Kind kind) {
             return "stop-far-from-field";
         case PlanViolation::Kind::kUselessStop:
             return "useless-stop";
+        case PlanViolation::Kind::kDuplicateStop:
+            return "duplicate-stop";
         case PlanViolation::Kind::kEmptyPlanWithData:
             return "empty-plan-with-data";
     }
@@ -63,6 +66,11 @@ PlanValidation validate_plan(const model::Instance& inst,
                   "stop is " +
                       std::to_string(inst.region.distance_to(s.pos)) +
                       " m outside the region (> R0)");
+        } else if (s.dwell_s == 0.0) {
+            // A zero-dwell stop collects nothing: pure travel-energy waste,
+            // whether or not devices are in range.
+            warn(PlanViolation::Kind::kUselessStop, idx,
+                 "zero dwell collects nothing but still costs travel");
         } else if (s.dwell_s > 0.0 && hash != nullptr) {
             bool any = false;
             hash->for_each_in_disk(s.pos, r0, [&](int) { any = true; });
@@ -71,14 +79,23 @@ PlanValidation validate_plan(const model::Instance& inst,
                      "positive dwell but no device within R0");
             }
         }
+        if (i > 0 && s.pos.x == plan.stops[i - 1].pos.x &&
+            s.pos.y == plan.stops[i - 1].pos.y) {
+            warn(PlanViolation::Kind::kDuplicateStop, idx,
+                 "same position as stop " + std::to_string(i - 1) +
+                     " (dwells should be merged)");
+        }
     }
 
     if (numerics_ok) {
-        const double energy = plan.total_energy(inst.depot, inst.uav);
-        if (energy > inst.uav.energy_j + 1e-6) {
+        // Same EnergyView cost model the planners and evaluator use.
+        const EnergyView view(inst.uav);
+        const double energy = view.tour_cost(plan.travel_length(inst.depot),
+                                             plan.hover_time());
+        if (energy > view.budget_j() + 1e-6) {
             error(PlanViolation::Kind::kEnergyExceeded, -1,
                   "plan needs " + std::to_string(energy) + " J of " +
-                      std::to_string(inst.uav.energy_j));
+                      std::to_string(view.budget_j()));
         }
     }
     if (plan.stops.empty() && inst.total_data_mb() > 0.0) {

@@ -16,7 +16,10 @@ struct PlanViolation {
         kEnergyExceeded,     ///< total energy > E
         kStopFarFromField,   ///< stop > R0 outside the region (covers
                              ///< nothing, wastes travel)
-        kUselessStop,        ///< positive dwell but no device in range
+        kUselessStop,        ///< collects nothing: no device in range, or
+                             ///< zero dwell (travel energy wasted either way)
+        kDuplicateStop,      ///< same position as the previous stop (dwells
+                             ///< should have been merged)
         kEmptyPlanWithData,  ///< nothing planned although data exists
     };
     Kind kind;

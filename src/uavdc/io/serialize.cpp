@@ -57,9 +57,13 @@ Json to_json(const model::FlightPlan& plan) {
 Json to_json(const core::Evaluation& ev) {
     Json doc;
     doc["collected_mb"] = ev.collected_mb;
+    doc["optimistic_mb"] = ev.optimistic_mb;
     doc["energy_j"] = ev.energy_j;
+    doc["energy_spent_j"] = ev.energy_spent_j;
     doc["tour_time_s"] = ev.tour_time_s;
+    doc["executed_time_s"] = ev.executed_time_s;
     doc["energy_feasible"] = ev.energy_feasible;
+    doc["truncated"] = ev.truncated;
     doc["devices_touched"] = ev.devices_touched;
     doc["devices_drained"] = ev.devices_drained;
     return doc;

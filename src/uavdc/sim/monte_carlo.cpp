@@ -12,6 +12,15 @@ RobustnessReport evaluate_robustness(const model::Instance& inst,
                                      const model::FlightPlan& plan,
                                      const DisturbanceModel& model,
                                      int trials, std::uint64_t seed) {
+    return evaluate_robustness(inst, plan, model, trials, seed,
+                               util::global_pool());
+}
+
+RobustnessReport evaluate_robustness(const model::Instance& inst,
+                                     const model::FlightPlan& plan,
+                                     const DisturbanceModel& model,
+                                     int trials, std::uint64_t seed,
+                                     util::ThreadPool& pool) {
     RobustnessReport out;
     if (trials <= 0) return out;
     out.trials = trials;
@@ -23,7 +32,7 @@ RobustnessReport evaluate_robustness(const model::Instance& inst,
     };
     std::vector<Trial> results(static_cast<std::size_t>(trials));
     const util::Rng root(seed);
-    util::parallel_for(0, results.size(), [&](std::size_t t) {
+    util::parallel_for(pool, 0, results.size(), [&](std::size_t t) {
         util::Rng rng = root.split(t + 1);
         const double speed = rng.uniform(0.0, model.wind_max_mps);
         const double angle = rng.uniform(0.0, 6.283185307179586);

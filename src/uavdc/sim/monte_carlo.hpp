@@ -5,6 +5,7 @@
 #include "uavdc/model/instance.hpp"
 #include "uavdc/model/plan.hpp"
 #include "uavdc/sim/simulator.hpp"
+#include "uavdc/util/thread_pool.hpp"
 
 namespace uavdc::sim {
 
@@ -33,9 +34,21 @@ struct RobustnessReport {
 /// fixed seed; trials run in parallel on the global pool). The question
 /// this answers: "how does this tour hold up when the world is not the
 /// planner's model?" — completion probability first, volume second.
+///
+/// The report is bit-identical for a fixed seed regardless of the pool's
+/// thread count: each trial derives its RNG from (seed, trial index) and
+/// writes to its own slot, and the aggregation pass is sequential. A
+/// determinism test holds this invariant (1 thread vs N).
 [[nodiscard]] RobustnessReport evaluate_robustness(
     const model::Instance& inst, const model::FlightPlan& plan,
     const DisturbanceModel& model = {}, int trials = 64,
     std::uint64_t seed = 12345);
+
+/// Same, on a caller-supplied pool (e.g. a single-thread pool to pin CPU
+/// usage, or the determinism test's 1-vs-N comparison).
+[[nodiscard]] RobustnessReport evaluate_robustness(
+    const model::Instance& inst, const model::FlightPlan& plan,
+    const DisturbanceModel& model, int trials, std::uint64_t seed,
+    util::ThreadPool& pool);
 
 }  // namespace uavdc::sim

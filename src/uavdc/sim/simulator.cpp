@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "uavdc/core/energy_view.hpp"
 #include "uavdc/geom/spatial_hash.hpp"
 #include "uavdc/sim/battery.hpp"
 #include "uavdc/sim/event_queue.hpp"
@@ -22,6 +23,9 @@ struct Upload {
 SimReport Simulator::run(const model::Instance& inst,
                          const model::FlightPlan& plan) const {
     const RadioModel& radio = cfg_.radio ? *cfg_.radio : constant_radio();
+    // Single energy model shared with the planners, evaluator, and
+    // validator (the conformance oracle asserts this agreement).
+    const core::EnergyView energy(inst.uav);
     SimReport rep;
     rep.per_device_mb.assign(inst.devices.size(), 0.0);
 
@@ -30,7 +34,7 @@ SimReport Simulator::run(const model::Instance& inst,
         residual[i] = inst.devices[i].data_mb;
     }
 
-    Battery battery(inst.uav.energy_j);
+    Battery battery(energy.budget_j());
     double now = 0.0;
     geom::Vec2 here = inst.depot;
     auto record = [&](EventKind kind, int stop, int device, double value) {
@@ -56,10 +60,9 @@ SimReport Simulator::run(const model::Instance& inst,
         const double dist = geom::distance(here, stop.pos);
         const double fly_t =
             cfg_.wind.calm()
-                ? inst.uav.travel_time(dist)
+                ? energy.travel_time(dist)
                 : cfg_.wind.travel_time(here, stop.pos, inst.uav.speed_mps);
-        const double flown =
-            battery.drain(inst.uav.travel_power_w(), fly_t);
+        const double flown = battery.drain(energy.travel_power_w(), fly_t);
         now += flown;
         rep.travel_s += flown;
         if (flown + 1e-12 < fly_t) {
@@ -76,7 +79,7 @@ SimReport Simulator::run(const model::Instance& inst,
 
         // --- hover + concurrent uploads ---
         const double hover_budget =
-            battery.time_until_empty(inst.uav.hover_power_w);
+            battery.time_until_empty(energy.hover_power_w());
         double desired_t = stop.dwell_s;
 
         std::vector<Upload> uploads;
@@ -102,7 +105,7 @@ SimReport Simulator::run(const model::Instance& inst,
             const double adaptive = std::min(stop.dwell_s, need);
             if (adaptive < desired_t) {
                 rep.energy_saved_j +=
-                    (desired_t - adaptive) * inst.uav.hover_power_w;
+                    energy.hover(desired_t - adaptive);
                 desired_t = adaptive;
             }
         }
@@ -132,7 +135,7 @@ SimReport Simulator::run(const model::Instance& inst,
                 rep.trace.push_back(e);
             }
         }
-        battery.drain(inst.uav.hover_power_w, hover_t);
+        battery.drain(energy.hover_power_w(), hover_t);
         now = hover_end;
         rep.hover_s += hover_t;
         ++rep.stops_visited;
@@ -150,10 +153,10 @@ SimReport Simulator::run(const model::Instance& inst,
         const double dist = geom::distance(here, inst.depot);
         const double fly_t =
             cfg_.wind.calm()
-                ? inst.uav.travel_time(dist)
+                ? energy.travel_time(dist)
                 : cfg_.wind.travel_time(here, inst.depot,
                                         inst.uav.speed_mps);
-        const double flown = battery.drain(inst.uav.travel_power_w(), fly_t);
+        const double flown = battery.drain(energy.travel_power_w(), fly_t);
         now += flown;
         rep.travel_s += flown;
         if (flown + 1e-12 < fly_t) {

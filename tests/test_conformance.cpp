@@ -1,0 +1,125 @@
+#include "uavdc/core/conformance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "uavdc/core/energy_view.hpp"
+#include "uavdc/core/registry.hpp"
+
+namespace uavdc::core {
+namespace {
+
+using testing::manual_instance;
+using testing::small_instance;
+
+std::string describe(const ConformanceReport& rep) {
+    std::string out;
+    for (const auto& m : rep.mismatches) {
+        out += "[" + to_string(m.check) + "] " + m.field + ": expected " +
+               std::to_string(m.expected) + ", got " +
+               std::to_string(m.actual) + " (" + m.detail + ")\n";
+    }
+    return out;
+}
+
+TEST(Conformance, FeasiblePlanAgreesAcrossLayers) {
+    const auto inst = small_instance(25, 280.0, 21);
+    for (const auto& name : planner_names()) {
+        const auto res = make_planner(name)->plan(inst);
+        const auto rep = check_conformance(inst, res.plan);
+        EXPECT_TRUE(rep.ok()) << "planner " << name << ":\n"
+                              << describe(rep);
+        EXPECT_FALSE(rep.evaluation.truncated);
+        EXPECT_TRUE(rep.simulation.completed);
+    }
+}
+
+TEST(Conformance, InfeasiblePlanStillAgrees) {
+    // Shrink the battery under a previously feasible plan: the simulator
+    // aborts mid-tour and the evaluator must truncate to the same numbers.
+    auto inst = small_instance(25, 280.0, 22);
+    const auto res = make_planner("alg2")->plan(inst);
+    inst.uav.energy_j *= 0.4;
+    const auto rep = check_conformance(inst, res.plan);
+    EXPECT_TRUE(rep.ok()) << describe(rep);
+    EXPECT_TRUE(rep.simulation.battery_depleted);
+    EXPECT_TRUE(rep.evaluation.truncated);
+    EXPECT_FALSE(rep.validation.ok());  // validator flagged it too
+}
+
+TEST(Conformance, EnergyModelsTripleEqual) {
+    const auto inst = small_instance(15, 220.0, 23);
+    const auto res = make_planner("alg3")->plan(inst);
+    const auto rep = check_conformance(inst, res.plan);
+    for (const auto& m : rep.mismatches) {
+        EXPECT_NE(m.check, ConformanceMismatch::Check::kEnergyModels)
+            << describe(rep);
+    }
+    // And explicitly: the plan's breakdown equals the EnergyView reading.
+    const EnergyView view(inst.uav);
+    EXPECT_DOUBLE_EQ(res.plan.energy(inst.depot, inst.uav).total_j(),
+                     view.tour_cost(res.plan.travel_length(inst.depot),
+                                    res.plan.hover_time()));
+}
+
+TEST(Conformance, DetectsEvaluatorDriftWhenPlanMutated) {
+    // Sanity-check the oracle itself: an instance whose device volumes are
+    // changed after evaluation must produce mismatches (evaluate one
+    // instance, simulate another).
+    const auto inst = manual_instance({{{50.0, 50.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 2.0, -1});
+    auto rep = check_conformance(inst, plan);
+    ASSERT_TRUE(rep.ok()) << describe(rep);
+    // Forge a mismatch by hand to exercise the reporting path.
+    rep.mismatches.push_back(
+        {ConformanceMismatch::Check::kEvaluatorVsSimulator, "collected_mb",
+         1.0, 2.0, "forged"});
+    EXPECT_FALSE(rep.ok());
+    EXPECT_EQ(to_string(rep.mismatches.back().check),
+              "evaluator-vs-simulator");
+}
+
+TEST(Conformance, EmptyPlanConforms) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 300.0}});
+    const auto rep = check_conformance(inst, {});
+    EXPECT_TRUE(rep.ok()) << describe(rep);
+    EXPECT_DOUBLE_EQ(rep.evaluation.collected_mb, 0.0);
+}
+
+// The acceptance gate: >= 100 fuzzed instances x every registered planner,
+// each plan cross-checked against the full instance and a battery-starved
+// variant. Deterministic for the fixed seed.
+TEST(Conformance, FuzzHundredInstancesAllPlanners) {
+    ConformanceFuzzConfig cfg;
+    cfg.instances = 100;
+    cfg.seed = 20260806;
+    const auto summary = fuzz_conformance(cfg);
+    EXPECT_EQ(summary.instances, 100);
+    const int planners = static_cast<int>(planner_names().size());
+    EXPECT_EQ(summary.plans_checked, 100 * planners * 2);  // + stressed
+    EXPECT_TRUE(summary.ok());
+    for (const auto& f : summary.failures) {
+        ADD_FAILURE() << "planner " << f.planner << " on seed "
+                      << f.instance_seed
+                      << (f.stressed ? " (stressed)" : "") << ": "
+                      << f.mismatches.size() << " mismatches, first: "
+                      << f.mismatches.front().field << " expected "
+                      << f.mismatches.front().expected << " got "
+                      << f.mismatches.front().actual;
+    }
+}
+
+TEST(Conformance, FuzzIsDeterministic) {
+    ConformanceFuzzConfig cfg;
+    cfg.instances = 5;
+    cfg.seed = 99;
+    const auto a = fuzz_conformance(cfg);
+    const auto b = fuzz_conformance(cfg);
+    EXPECT_EQ(a.plans_checked, b.plans_checked);
+    EXPECT_EQ(a.mismatches, b.mismatches);
+    EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+}  // namespace
+}  // namespace uavdc::core

@@ -101,6 +101,51 @@ TEST(Evaluate, InfeasibleFlagged) {
     EXPECT_FALSE(ev.energy_feasible);
 }
 
+TEST(Evaluate, UnreachableStopsEarnNoCredit) {
+    // Regression: an energy-infeasible plan used to report full
+    // collected_mb even though the battery dies before the first stop.
+    // Depot->stop is 50 m = 5000 J of travel; the 100 J battery dies on
+    // the way out, so nothing is actually collected.
+    auto inst = manual_instance({{{30.0, 40.0}, 300.0}});
+    inst.uav.energy_j = 100.0;
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 2.0, -1});
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_DOUBLE_EQ(ev.collected_mb, 0.0);
+    EXPECT_DOUBLE_EQ(ev.per_device_mb[0], 0.0);
+    EXPECT_DOUBLE_EQ(ev.optimistic_mb, 300.0);  // battery-blind credit
+    EXPECT_TRUE(ev.truncated);
+    EXPECT_EQ(ev.first_unreached_stop, 0);
+    EXPECT_DOUBLE_EQ(ev.energy_spent_j, 100.0);  // everything it had
+    EXPECT_EQ(ev.devices_touched, 0);
+}
+
+TEST(Evaluate, PartialHoverCollectsPartially) {
+    // Battery covers the outbound leg (5000 J) plus 1 s of hover (150 J):
+    // the UAV collects 1 s x 150 MB/s = 150 MB, then dies mid-dwell.
+    auto inst = manual_instance({{{30.0, 40.0}, 300.0}});
+    inst.uav.energy_j = 5150.0;
+    model::FlightPlan plan;
+    plan.stops.push_back({{30.0, 40.0}, 2.0, -1});
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_NEAR(ev.collected_mb, 150.0, 1e-9);
+    EXPECT_DOUBLE_EQ(ev.optimistic_mb, 300.0);
+    EXPECT_TRUE(ev.truncated);
+    EXPECT_EQ(ev.first_unreached_stop, -1);  // stop itself was reached
+}
+
+TEST(Evaluate, FeasiblePlanOptimisticEqualsActual) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 300.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 2.0, -1});
+    const auto ev = evaluate_plan(inst, plan);
+    EXPECT_TRUE(ev.energy_feasible);
+    EXPECT_FALSE(ev.truncated);
+    EXPECT_DOUBLE_EQ(ev.collected_mb, ev.optimistic_mb);
+    EXPECT_DOUBLE_EQ(ev.energy_spent_j, ev.energy_j);
+    EXPECT_DOUBLE_EQ(ev.executed_time_s, ev.tour_time_s);
+}
+
 TEST(Evaluate, BoundaryDeviceCollected) {
     // Device exactly at R0 = 50 m from the stop is covered (closed disk).
     const auto inst = manual_instance({{{100.0, 50.0}, 150.0}});

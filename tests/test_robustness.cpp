@@ -55,6 +55,29 @@ TEST(MonteCarlo, DeterministicForFixedSeed) {
     EXPECT_DOUBLE_EQ(a.completion_rate, b.completion_rate);
 }
 
+TEST(MonteCarlo, BitIdenticalAcrossThreadCounts) {
+    // Per-trial RNG streams derive from (seed, index) and each trial
+    // writes its own slot, so the report must be bit-identical whether the
+    // trials run sequentially or across N workers.
+    const auto inst = small_instance(20, 250.0, 115);
+    const auto plan = plan_for(inst);
+    util::ThreadPool one(1);
+    util::ThreadPool many(4);
+    const sim::DisturbanceModel model{};  // default wind + taper
+    const auto a = sim::evaluate_robustness(inst, plan, model, 33, 42, one);
+    const auto b = sim::evaluate_robustness(inst, plan, model, 33, 42, many);
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.mean_gb, b.mean_gb);              // exact, not NEAR
+    EXPECT_EQ(a.mean_energy_j, b.mean_energy_j);
+    EXPECT_EQ(a.completion_rate, b.completion_rate);
+    EXPECT_EQ(a.p10_gb, b.p10_gb);
+    EXPECT_EQ(a.p90_gb, b.p90_gb);
+    EXPECT_EQ(a.worst_gb, b.worst_gb);
+    // And against the global-pool overload with the same seed.
+    const auto c = sim::evaluate_robustness(inst, plan, model, 33, 42);
+    EXPECT_EQ(a.mean_gb, c.mean_gb);
+}
+
 TEST(MonteCarlo, ZeroTrials) {
     const auto inst = small_instance(5, 100.0, 114);
     const auto rep = sim::evaluate_robustness(inst, {}, {}, 0);

@@ -75,6 +75,56 @@ TEST(ValidatePlan, UselessStopIsWarning) {
     EXPECT_TRUE(has_kind(val.warnings, PlanViolation::Kind::kUselessStop));
 }
 
+TEST(ValidatePlan, ZeroDwellStopIsWarning) {
+    // Regression: zero-dwell stops silently wasted travel energy — the
+    // useless-stop warning only fired for dwell > 0.
+    const auto inst = manual_instance({{{50.0, 50.0}, 100.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 0.0, -1});  // device in range, 0 s
+    const auto val = validate_plan(inst, plan);
+    EXPECT_TRUE(val.ok());
+    EXPECT_TRUE(has_kind(val.warnings, PlanViolation::Kind::kUselessStop));
+}
+
+TEST(ValidatePlan, ZeroDwellWarnsEvenWithoutCoverage) {
+    const auto inst = manual_instance({{{50.0, 50.0}, 100.0}}, 400.0);
+    model::FlightPlan plan;
+    plan.stops.push_back({{300.0, 300.0}, 0.0, -1});  // no device, 0 s
+    const auto val = validate_plan(inst, plan);
+    EXPECT_TRUE(has_kind(val.warnings, PlanViolation::Kind::kUselessStop));
+}
+
+TEST(ValidatePlan, ConsecutiveDuplicateStopsAreWarning) {
+    // Regression: back-to-back stops at the same position (dwells that
+    // should have been merged) passed silently.
+    const auto inst = manual_instance({{{50.0, 50.0}, 100.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 1.0, -1});
+    plan.stops.push_back({{50.0, 50.0}, 1.0, -1});
+    const auto val = validate_plan(inst, plan);
+    EXPECT_TRUE(val.ok());
+    ASSERT_TRUE(
+        has_kind(val.warnings, PlanViolation::Kind::kDuplicateStop));
+    for (const auto& w : val.warnings) {
+        if (w.kind == PlanViolation::Kind::kDuplicateStop) {
+            EXPECT_EQ(w.stop, 1);  // the second of the pair is flagged
+        }
+    }
+}
+
+TEST(ValidatePlan, NonAdjacentRevisitIsNotDuplicate) {
+    // Revisiting a position later in the tour is legitimate (residual
+    // pickup); only consecutive duplicates are flagged.
+    const auto inst = manual_instance({{{50.0, 50.0}, 100.0}});
+    model::FlightPlan plan;
+    plan.stops.push_back({{50.0, 50.0}, 1.0, -1});
+    plan.stops.push_back({{80.0, 50.0}, 1.0, -1});
+    plan.stops.push_back({{50.0, 50.0}, 1.0, -1});
+    const auto val = validate_plan(inst, plan);
+    EXPECT_FALSE(
+        has_kind(val.warnings, PlanViolation::Kind::kDuplicateStop));
+}
+
 TEST(ValidatePlan, EmptyPlanWithDataIsWarning) {
     const auto inst = manual_instance({{{50.0, 50.0}, 100.0}});
     const auto val = validate_plan(inst, {});
@@ -89,6 +139,8 @@ TEST(ValidatePlan, KindsHaveNames) {
     EXPECT_EQ(to_string(PlanViolation::Kind::kEnergyExceeded),
               "energy-exceeded");
     EXPECT_EQ(to_string(PlanViolation::Kind::kUselessStop), "useless-stop");
+    EXPECT_EQ(to_string(PlanViolation::Kind::kDuplicateStop),
+              "duplicate-stop");
 }
 
 TEST(ValidatePlan, ViolationCarriesStopIndex) {

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "uavdc/core/compare.hpp"
+#include "uavdc/core/conformance.hpp"
 #include "uavdc/core/evaluate.hpp"
 #include "uavdc/core/metrics.hpp"
 #include "uavdc/core/planning_context.hpp"
@@ -49,6 +50,8 @@ int usage() {
         "            [--json]\n"
         "  robustness --instance=FILE --plan=FILE [--trials=64]\n"
         "            [--wind-max=4] [--taper-max=0.5]\n"
+        "  conformance [--instances=100] [--seed=S] [--algos=a,b,...]\n"
+        "            [--tol=1e-6] [--no-stress] [--max-failures=8]\n"
         "  sensitivity --instance=FILE [--algo=alg2] [--perturb=0.2]\n"
         "  render    --instance=FILE [--plan=FILE] --out=FILE.svg\n";
     return 1;
@@ -274,6 +277,47 @@ int cmd_robustness(const util::Flags& flags) {
     return rep.completion_rate >= 0.999 ? 0 : 2;
 }
 
+int cmd_conformance(const util::Flags& flags) {
+    core::ConformanceFuzzConfig cfg;
+    cfg.instances = flags.get_int("instances", cfg.instances);
+    cfg.seed = static_cast<std::uint64_t>(
+        flags.get_int64("seed", static_cast<std::int64_t>(cfg.seed)));
+    cfg.tol = flags.get_double("tol", cfg.tol);
+    cfg.stress_energy = !flags.get_bool("no-stress", false);
+    cfg.max_failures = flags.get_int("max-failures", cfg.max_failures);
+    {
+        std::stringstream ss(flags.get_string("algos", ""));
+        std::string tok;
+        while (std::getline(ss, tok, ',')) {
+            if (!tok.empty()) cfg.planners.push_back(tok);
+        }
+    }
+    const auto summary = core::fuzz_conformance(cfg);
+    util::Table t({"metric", "value"});
+    t.add_row({"instances", std::to_string(summary.instances)});
+    t.add_row({"plans cross-checked",
+               std::to_string(summary.plans_checked)});
+    t.add_row({"mismatched fields", std::to_string(summary.mismatches)});
+    t.add_row({"failing cases", std::to_string(summary.failures.size())});
+    t.print(std::cout);
+    for (const auto& f : summary.failures) {
+        std::cout << "FAIL planner=" << f.planner << " instance-seed="
+                  << f.instance_seed
+                  << (f.stressed ? " (stressed battery)" : "") << "\n";
+        for (const auto& m : f.mismatches) {
+            std::cout << "  [" << core::to_string(m.check) << "] "
+                      << m.field << ": expected " << m.expected << ", got "
+                      << m.actual << " — " << m.detail << "\n";
+        }
+    }
+    if (summary.ok()) {
+        std::cout << "conformance OK: evaluator, simulator, and energy "
+                     "accounting agree\n";
+        return 0;
+    }
+    return 2;
+}
+
 int cmd_sensitivity(const util::Flags& flags) {
     const auto inst = io::load_instance(flags.get_string("instance", ""));
     core::PlannerOptions opts;
@@ -325,6 +369,7 @@ int main(int argc, char** argv) {
         if (cmd == "validate") return cmd_validate(flags);
         if (cmd == "compare") return cmd_compare(flags);
         if (cmd == "robustness") return cmd_robustness(flags);
+        if (cmd == "conformance") return cmd_conformance(flags);
         if (cmd == "sensitivity") return cmd_sensitivity(flags);
         if (cmd == "render") return cmd_render(flags);
         std::cerr << "unknown command '" << cmd << "'\n";
