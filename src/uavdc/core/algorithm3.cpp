@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <limits>
-#include <stdexcept>
 
 #include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/tour_builder.hpp"
+#include "uavdc/util/check.hpp"
 #include "uavdc/util/parallel_for.hpp"
 #include "uavdc/util/timer.hpp"
 
@@ -29,9 +29,8 @@ struct Score {
 }  // namespace
 
 PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
-    if (cfg_.k < 1) {
-        throw std::invalid_argument("PartialCollectionPlanner: k must be >=1");
-    }
+    UAVDC_REQUIRE(cfg_.k >= 1)
+        << "PartialCollectionPlanner: k must be >= 1, got " << cfg_.k;
     util::Timer timer;
     PlanResult out;
     const model::Instance& inst = ctx.instance();
@@ -46,7 +45,7 @@ PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
     const double bw = inst.uav.bandwidth_mbps;
     const double eta_h = inst.uav.hover_power_w;
     const double energy_cap = inst.uav.energy_j;
-    const int K = cfg_.k;
+    const int k_max = cfg_.k;
 
     std::vector<double> residual(inst.devices.size());
     for (std::size_t v = 0; v < inst.devices.size(); ++v) {
@@ -88,9 +87,9 @@ PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
                 // Evaluate each virtual location s_{j,k}; keep the best
                 // feasible ratio (the argmax in Alg. 3 line 6 ranges over
                 // all virtual locations).
-                for (int k = 1; k <= K; ++k) {
+                for (int k = 1; k <= k_max; ++k) {
                     const double dt = static_cast<double>(k) * t_full /
-                                      static_cast<double>(K);
+                                      static_cast<double>(k_max);
                     double gain = 0.0;  // Eq. 4 under residual volumes
                     for (int v : c.covered) {
                         gain += std::min(

@@ -1,7 +1,8 @@
 #include "uavdc/core/compare.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::core {
 
@@ -26,15 +27,14 @@ std::vector<PlannerComparison> compare_planners(const PlanningContext& ctx,
         cmp.name = planner->name();
         cmp.runtime_s = res.stats.runtime_s;
         cmp.validation = validate_plan(inst, res.plan);
-        if (!cmp.validation.ok()) {
-            std::string what = "compare_planners: planner '" + cmp.name +
-                               "' produced an invalid plan:";
-            for (const auto& v : cmp.validation.errors) {
-                what += " [" + to_string(v.kind) + " @ stop " +
-                        std::to_string(v.stop) + ": " + v.detail + "]";
-            }
-            throw std::runtime_error(what);
+        std::string violations;
+        for (const auto& v : cmp.validation.errors) {
+            violations += " [" + to_string(v.kind) + " @ stop " +
+                          std::to_string(v.stop) + ": " + v.detail + "]";
         }
+        UAVDC_CHECK(cmp.validation.ok())
+            << "compare_planners: planner '" << cmp.name
+            << "' produced an invalid plan:" << violations;
         cmp.evaluation = evaluate_plan(inst, res.plan);
         cmp.metrics = compute_metrics(inst, res.plan);
         cmp.plan = std::move(res.plan);

@@ -1,8 +1,7 @@
 #include "uavdc/core/exact_dcm.hpp"
 
-#include <stdexcept>
-
 #include "uavdc/graph/held_karp.hpp"
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::core {
 
@@ -18,12 +17,9 @@ ExactDcmResult solve_exact_dcm(const PlanningContext& ctx,
     const model::Instance& inst = ctx.instance();
     const auto& cands = ctx.candidates().candidates;
     const std::size_t m = cands.size();
-    if (m > static_cast<std::size_t>(cfg.max_candidates_for_exact)) {
-        throw std::invalid_argument(
-            "solve_exact_dcm: candidate set too large (" +
-            std::to_string(m) + " > " +
-            std::to_string(cfg.max_candidates_for_exact) + ")");
-    }
+    UAVDC_REQUIRE(m <= static_cast<std::size_t>(cfg.max_candidates_for_exact))
+        << "solve_exact_dcm: candidate set too large (" << m << " > "
+        << cfg.max_candidates_for_exact << ")";
     if (m == 0) return out;
 
     const EnergyView& energy = ctx.energy();

@@ -95,6 +95,9 @@ HoverCandidateSet build_hover_candidates(const model::Instance& inst,
             buckets[hash_coverage(cands[i].covered)].push_back(i);
         }
         std::vector<bool> keep(cands.size(), true);
+        // NOLINTNEXTLINE(uavdc-unordered-iteration): per-bucket winners are
+        // chosen by spread comparisons alone and survivors are emitted in
+        // candidate index order below, so bucket order cannot reach output.
         for (auto& [h, idxs] : buckets) {
             if (idxs.size() < 2) continue;
             // Within a hash bucket, group truly-equal coverage sets and keep

@@ -1,12 +1,11 @@
 #include "uavdc/core/registry.hpp"
 
-#include <stdexcept>
-
 #include "uavdc/core/algorithm1.hpp"
 #include "uavdc/core/algorithm2.hpp"
 #include "uavdc/core/algorithm3.hpp"
 #include "uavdc/core/baseline_planners.hpp"
 #include "uavdc/core/benchmark_planner.hpp"
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::core {
 
@@ -43,9 +42,10 @@ std::unique_ptr<Planner> make_planner(const std::string& name,
     if (name == "sweep") {
         return std::make_unique<SweepPlanner>();
     }
-    throw std::invalid_argument(
-        "make_planner: unknown planner '" + name +
-        "' (expected alg1|alg2|alg3|benchmark|kmeans|sweep)");
+    UAVDC_REQUIRE(false) << "make_planner: unknown planner '" << name
+                         << "' (expected alg1|alg2|alg3|benchmark|"
+                         << "kmeans|sweep)";
+    return nullptr;  // unreachable: UAVDC_REQUIRE(false) always throws
 }
 
 }  // namespace uavdc::core

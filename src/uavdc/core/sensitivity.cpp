@@ -1,9 +1,8 @@
 #include "uavdc/core/sensitivity.hpp"
 
-#include <stdexcept>
-
 #include "uavdc/core/evaluate.hpp"
 #include "uavdc/core/planning_context.hpp"
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::core {
 
@@ -25,10 +24,9 @@ double plan_volume_gb(const model::Instance& inst, const std::string& name,
 std::vector<SensitivityEntry> analyze_sensitivity(
     const model::Instance& inst, const std::string& planner_name,
     const PlannerOptions& opts, double perturbation) {
-    if (!(perturbation > 0.0) || perturbation >= 1.0) {
-        throw std::invalid_argument(
-            "analyze_sensitivity: perturbation must be in (0, 1)");
-    }
+    UAVDC_REQUIRE(perturbation > 0.0 && perturbation < 1.0)
+        << "analyze_sensitivity: perturbation must be in (0, 1), got "
+        << perturbation;
     struct Knob {
         const char* name;
         std::function<double&(model::UavConfig&)> ref;

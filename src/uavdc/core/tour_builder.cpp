@@ -1,9 +1,9 @@
 #include "uavdc/core/tour_builder.hpp"
 
-#include <cassert>
 #include <limits>
 
 #include "uavdc/graph/christofides.hpp"
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::core {
 
@@ -39,7 +39,8 @@ TourBuilder::Insertion TourBuilder::cheapest_insertion(
 }
 
 void TourBuilder::insert(const geom::Vec2& p, int key, const Insertion& ins) {
-    assert(ins.position <= stops_.size());
+    UAVDC_REQUIRE(ins.position <= stops_.size())
+        << "insert at " << ins.position << " of " << stops_.size();
     stops_.insert(stops_.begin() + static_cast<std::ptrdiff_t>(ins.position),
                   p);
     keys_.insert(keys_.begin() + static_cast<std::ptrdiff_t>(ins.position),
@@ -48,7 +49,7 @@ void TourBuilder::insert(const geom::Vec2& p, int key, const Insertion& ins) {
 }
 
 double TourBuilder::removal_delta(std::size_t pos) const {
-    assert(pos < stops_.size());
+    UAVDC_REQUIRE(pos < stops_.size());
     const std::size_t n = stops_.size();
     const geom::Vec2& prev = pos == 0 ? depot_ : stops_[pos - 1];
     const geom::Vec2& next = pos + 1 == n ? depot_ : stops_[pos + 1];
@@ -74,7 +75,8 @@ double TourBuilder::reoptimize() {
     const graph::DenseGraph g = graph::DenseGraph::euclidean(pts);
     const std::vector<std::size_t> order = graph::christofides_tour(g, 0);
     // order[0] == 0 (depot); rebuild stops/keys in the new order.
-    assert(!order.empty() && order[0] == 0);
+    UAVDC_CHECK(!order.empty() && order[0] == 0)
+        << "christofides_tour must start at the depot node";
     std::vector<geom::Vec2> new_stops;
     std::vector<int> new_keys;
     new_stops.reserve(stops_.size());

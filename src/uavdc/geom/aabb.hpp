@@ -1,9 +1,9 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 
 #include "uavdc/geom/vec2.hpp"
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::geom {
 
@@ -15,7 +15,7 @@ struct Aabb {
 
     constexpr Aabb() = default;
     constexpr Aabb(Vec2 lo_, Vec2 hi_) : lo(lo_), hi(hi_) {
-        assert(lo.x <= hi.x && lo.y <= hi.y);
+        UAVDC_REQUIRE(lo.x <= hi.x && lo.y <= hi.y);
     }
 
     /// Box spanning [0,w] x [0,h].

@@ -1,8 +1,9 @@
 #include "uavdc/geom/grid.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::geom {
 
@@ -29,7 +30,7 @@ Grid::Grid(Aabb region, double delta)
 }
 
 Vec2 Grid::center(int id) const {
-    assert(id >= 0 && id < num_cells());
+    UAVDC_DCHECK(id >= 0 && id < num_cells());
     const int ix = ix_of(id);
     const int iy = iy_of(id);
     return {region_.lo.x + (ix + 0.5) * delta_,
@@ -37,7 +38,7 @@ Vec2 Grid::center(int id) const {
 }
 
 Aabb Grid::cell_box(int id) const {
-    assert(id >= 0 && id < num_cells());
+    UAVDC_DCHECK(id >= 0 && id < num_cells());
     const int ix = ix_of(id);
     const int iy = iy_of(id);
     const Vec2 lo{region_.lo.x + ix * delta_, region_.lo.y + iy * delta_};

@@ -1,12 +1,12 @@
 #include "uavdc/graph/christofides.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "uavdc/graph/euler.hpp"
 #include "uavdc/graph/local_search.hpp"
 #include "uavdc/graph/matching.hpp"
 #include "uavdc/graph/mst.hpp"
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::graph {
 
@@ -14,9 +14,8 @@ std::vector<std::size_t> christofides_tour(const DenseGraph& g,
                                            std::size_t start,
                                            const ChristofidesConfig& cfg) {
     const std::size_t n = g.size();
-    if (start >= n && n > 0) {
-        throw std::invalid_argument("christofides_tour: bad start node");
-    }
+    UAVDC_REQUIRE(start < n || n == 0)
+        << "christofides_tour: bad start node " << start;
     if (n == 0) return {};
     if (n == 1) return {0};
     if (n == 2) return {start, 1 - start};

@@ -1,12 +1,12 @@
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <functional>
 #include <span>
 #include <vector>
 
 #include "uavdc/geom/vec2.hpp"
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::graph {
 
@@ -32,20 +32,20 @@ class DenseGraph {
     [[nodiscard]] std::size_t size() const { return n_; }
 
     [[nodiscard]] double weight(std::size_t i, std::size_t j) const {
-        assert(i < n_ && j < n_);
+        UAVDC_DCHECK(i < n_ && j < n_);
         return w_[i * n_ + j];
     }
 
     /// Set w(i,j) = w(j,i) = v.
     void set_weight(std::size_t i, std::size_t j, double v) {
-        assert(i < n_ && j < n_);
+        UAVDC_DCHECK(i < n_ && j < n_);
         w_[i * n_ + j] = v;
         w_[j * n_ + i] = v;
     }
 
     /// Row view (read-only) for cache-friendly scans.
     [[nodiscard]] std::span<const double> row(std::size_t i) const {
-        assert(i < n_);
+        UAVDC_DCHECK(i < n_);
         return {w_.data() + i * n_, n_};
     }
 

@@ -1,16 +1,16 @@
 #include "uavdc/graph/euler.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::graph {
 
 std::vector<std::size_t> eulerian_circuit(std::size_t n,
                                           const std::vector<Edge>& edges,
                                           std::size_t start) {
-    if (start >= n) {
-        throw std::invalid_argument("eulerian_circuit: bad start node");
-    }
+    UAVDC_REQUIRE(start < n) << "eulerian_circuit: bad start node "
+                             << start;
     if (edges.empty()) return {start};
 
     // Adjacency as (neighbour, edge id) with per-edge used flags.
@@ -20,15 +20,11 @@ std::vector<std::size_t> eulerian_circuit(std::size_t n,
         adj[edges[e].v].emplace_back(edges[e].u, e);
     }
     for (std::size_t v = 0; v < n; ++v) {
-        if (adj[v].size() % 2 != 0) {
-            throw std::invalid_argument(
-                "eulerian_circuit: node with odd degree");
-        }
+        UAVDC_REQUIRE(adj[v].size() % 2 == 0)
+            << "eulerian_circuit: node " << v << " has odd degree";
     }
-    if (adj[start].empty()) {
-        throw std::invalid_argument(
-            "eulerian_circuit: start node has no incident edge");
-    }
+    UAVDC_REQUIRE(!adj[start].empty())
+        << "eulerian_circuit: start node has no incident edge";
 
     std::vector<bool> used(edges.size(), false);
     std::vector<std::size_t> cursor(n, 0);
@@ -48,9 +44,8 @@ std::vector<std::size_t> eulerian_circuit(std::size_t n,
             stack.push_back(to);
         }
     }
-    if (circuit.size() != edges.size() + 1) {
-        throw std::invalid_argument("eulerian_circuit: graph not connected");
-    }
+    UAVDC_REQUIRE(circuit.size() == edges.size() + 1)
+        << "eulerian_circuit: graph not connected";
     std::reverse(circuit.begin(), circuit.end());
     // Drop the final repeat of `start` — the closing edge is implicit.
     circuit.pop_back();

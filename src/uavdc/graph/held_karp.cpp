@@ -1,7 +1,8 @@
 #include "uavdc/graph/held_karp.hpp"
 
 #include <limits>
-#include <stdexcept>
+
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::graph {
 
@@ -13,12 +14,10 @@ std::vector<std::size_t> held_karp_tour(const DenseGraph& g,
                                         std::size_t start) {
     const std::size_t n = g.size();
     if (n == 0) return {};
-    if (start >= n) {
-        throw std::invalid_argument("held_karp_tour: bad start node");
-    }
-    if (n > 22) {
-        throw std::invalid_argument("held_karp_tour: instance too large");
-    }
+    UAVDC_REQUIRE(start < n) << "held_karp_tour: bad start node " << start;
+    UAVDC_REQUIRE(n <= 22)
+        << "held_karp_tour: instance too large for bitmask DP (n=" << n
+        << ")";
     if (n == 1) return {start};
 
     // Relabel so the start node is index 0; DP over the remaining n-1.

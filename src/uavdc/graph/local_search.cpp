@@ -1,8 +1,9 @@
 #include "uavdc/graph/local_search.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::graph {
 
@@ -104,7 +105,7 @@ double or_opt(const DenseGraph& g, std::vector<std::size_t>& tour,
                                                  seg.end());
                             }
                         }
-                        assert(next_tour.size() == n);
+                        UAVDC_DCHECK(next_tour.size() == n);
                         // Keep the original starting node in front.
                         const auto it = std::find(next_tour.begin(),
                                                   next_tour.end(), tour[0]);
@@ -144,7 +145,7 @@ Insertion cheapest_insertion(const DenseGraph& g,
 double removal_delta(const DenseGraph& g, const std::vector<std::size_t>& tour,
                      std::size_t pos) {
     const std::size_t n = tour.size();
-    assert(pos < n);
+    UAVDC_DCHECK(pos < n);
     if (n <= 1) return 0.0;
     if (n == 2) return -2.0 * g.weight(tour[0], tour[1]);
     const std::size_t prev = tour[(pos + n - 1) % n];

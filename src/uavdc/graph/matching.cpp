@@ -2,17 +2,17 @@
 
 #include <algorithm>
 #include <limits>
-#include <stdexcept>
+
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::graph {
 
 namespace {
 
 void require_even(const std::vector<std::size_t>& nodes) {
-    if (nodes.size() % 2 != 0) {
-        throw std::invalid_argument(
-            "matching: node set must have even cardinality");
-    }
+    UAVDC_REQUIRE(nodes.size() % 2 == 0)
+        << "matching: node set must have even cardinality, got "
+        << nodes.size();
 }
 
 }  // namespace
@@ -23,10 +23,9 @@ Matching exact_min_matching(const DenseGraph& g,
     const std::size_t k = nodes.size();
     Matching result;
     if (k == 0) return result;
-    if (k > 22) {
-        throw std::invalid_argument(
-            "exact_min_matching: too many nodes for bitmask DP");
-    }
+    UAVDC_REQUIRE(k <= 22)
+        << "exact_min_matching: too many nodes for bitmask DP (k=" << k
+        << ")";
     const std::size_t full = (std::size_t{1} << k) - 1;
     constexpr double kInf = std::numeric_limits<double>::infinity();
     // dp[mask] = min cost to perfectly match exactly the nodes in `mask`.

@@ -18,17 +18,19 @@ class Json {
     using Array = std::vector<Json>;
     using Object = std::map<std::string, Json>;
 
+    // Implicit by design: Json documents are assembled from literals
+    // (doc["k"] = 3; arr.push_back("s");) exactly like in nlohmann/json.
     Json() : value_(nullptr) {}
-    Json(std::nullptr_t) : value_(nullptr) {}
-    Json(bool b) : value_(b) {}
-    Json(double d) : value_(d) {}
-    Json(int i) : value_(static_cast<double>(i)) {}
-    Json(std::int64_t i) : value_(static_cast<double>(i)) {}
-    Json(std::size_t i) : value_(static_cast<double>(i)) {}
-    Json(const char* s) : value_(std::string(s)) {}
-    Json(std::string s) : value_(std::move(s)) {}
-    Json(Array a) : value_(std::move(a)) {}
-    Json(Object o) : value_(std::move(o)) {}
+    Json(std::nullptr_t) : value_(nullptr) {}       // NOLINT(google-explicit-constructor): literal DSL
+    Json(bool b) : value_(b) {}                     // NOLINT(google-explicit-constructor): literal DSL
+    Json(double d) : value_(d) {}                   // NOLINT(google-explicit-constructor): literal DSL
+    Json(int i) : value_(static_cast<double>(i)) {}  // NOLINT(google-explicit-constructor): literal DSL
+    Json(std::int64_t i) : value_(static_cast<double>(i)) {}  // NOLINT(google-explicit-constructor): literal DSL
+    Json(std::size_t i) : value_(static_cast<double>(i)) {}  // NOLINT(google-explicit-constructor): literal DSL
+    Json(const char* s) : value_(std::string(s)) {}  // NOLINT(google-explicit-constructor): literal DSL
+    Json(std::string s) : value_(std::move(s)) {}   // NOLINT(google-explicit-constructor): literal DSL
+    Json(Array a) : value_(std::move(a)) {}         // NOLINT(google-explicit-constructor): literal DSL
+    Json(Object o) : value_(std::move(o)) {}        // NOLINT(google-explicit-constructor): literal DSL
 
     [[nodiscard]] bool is_null() const {
         return std::holds_alternative<std::nullptr_t>(value_);

@@ -1,0 +1,535 @@
+#include "uavdc/lint/linter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace uavdc::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `text[pos..pos+name.size())` equals `name` as a whole
+/// identifier token (no identifier characters on either side).
+bool token_at(const std::string& text, std::size_t pos,
+              const std::string& name) {
+    if (text.compare(pos, name.size(), name) != 0) return false;
+    if (pos > 0 && is_ident_char(text[pos - 1])) return false;
+    const std::size_t end = pos + name.size();
+    if (end < text.size() && is_ident_char(text[end])) return false;
+    return true;
+}
+
+bool has_token(const std::string& text, const std::string& name) {
+    for (std::size_t pos = text.find(name); pos != std::string::npos;
+         pos = text.find(name, pos + 1)) {
+        if (token_at(text, pos, name)) return true;
+    }
+    return false;
+}
+
+/// True when the line contains identifier `name` directly invoked as a
+/// function call: `name` token followed by optional whitespace and '('.
+bool has_call(const std::string& text, const std::string& name) {
+    for (std::size_t pos = text.find(name); pos != std::string::npos;
+         pos = text.find(name, pos + 1)) {
+        if (!token_at(text, pos, name)) continue;
+        std::size_t after = pos + name.size();
+        while (after < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[after])) != 0) {
+            ++after;
+        }
+        if (after < text.size() && text[after] == '(') return true;
+    }
+    return false;
+}
+
+std::vector<std::string> path_components(const std::string& path) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : path) {
+        if (c == '/' || c == '\\') {
+            if (!cur.empty()) out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty()) out.push_back(cur);
+    return out;
+}
+
+bool has_component(const std::string& path, const std::string& name) {
+    const auto comps = path_components(path);
+    return std::find(comps.begin(), comps.end(), name) != comps.end();
+}
+
+std::string basename_of(const std::string& path) {
+    const auto comps = path_components(path);
+    return comps.empty() ? path : comps.back();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_header(const std::string& path) {
+    return ends_with(path, ".hpp") || ends_with(path, ".h");
+}
+
+/// Library code: anything under a src/ directory. std::cout and friends are
+/// reserved for tools/bench/examples; the library reports through return
+/// values and exceptions.
+bool in_library(const std::string& path) { return has_component(path, "src"); }
+
+/// Planner result paths: modules whose outputs are ordered artifacts (tours,
+/// stop lists, comparisons) where unordered-container iteration order could
+/// leak into results.
+bool in_planner_paths(const std::string& path) {
+    return in_library(path) &&
+           (has_component(path, "core") || has_component(path, "graph") ||
+            has_component(path, "orienteering"));
+}
+
+bool is_contracts_header(const std::string& path) {
+    return basename_of(path) == "check.hpp";
+}
+
+/// Parses a NOLINT(...) suppression for `slug` out of a comment. Returns
+/// 0 = no suppression, 1 = suppression with a reason (honour it),
+/// 2 = suppression without a reason (reject it, but say why).
+int suppression_state(const std::string& comment, const std::string& slug,
+                      const std::string& marker) {
+    std::size_t pos = comment.find(marker);
+    if (pos == std::string::npos) return 0;
+    pos += marker.size();
+    if (pos >= comment.size() || comment[pos] != '(') return 0;
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string::npos) return 0;
+    const std::string list = comment.substr(pos + 1, close - pos - 1);
+    const bool names_rule = list.find("uavdc-" + slug) != std::string::npos ||
+                            list.find(slug) != std::string::npos ||
+                            list.find("uavdc-*") != std::string::npos;
+    if (!names_rule) return 0;
+    std::size_t rest = close + 1;
+    while (rest < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[rest])) != 0) {
+        ++rest;
+    }
+    if (rest < comment.size() && comment[rest] == ':') {
+        ++rest;
+        while (rest < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[rest])) != 0) {
+            ++rest;
+        }
+        if (rest < comment.size()) return 1;
+    }
+    return 2;
+}
+
+struct RuleContext {
+    const std::string& path;
+    const std::vector<ScannedLine>& lines;
+    std::vector<Finding>& findings;
+
+    /// Reports a violation of (id, slug) at `line_idx` (0-based) unless a
+    /// same-line NOLINT(...) or a NOLINTNEXTLINE(...) in the comment block
+    /// directly above names the rule and gives a reason. The upward scan
+    /// crosses comment-only lines so the reason may wrap.
+    void report(std::size_t line_idx, const std::string& id,
+                const std::string& slug, const std::string& message) {
+        int state = suppression_state(lines[line_idx].comment, slug, "NOLINT");
+        for (std::size_t up = line_idx; state == 0 && up > 0; --up) {
+            const ScannedLine& above = lines[up - 1];
+            std::string code = above.code;
+            code.erase(0, code.find_first_not_of(" \t"));
+            if (!code.empty()) break;  // not a pure comment line
+            state = suppression_state(above.comment, slug, "NOLINTNEXTLINE");
+            if (above.comment.empty()) break;
+        }
+        if (state == 1) return;
+        std::string full = message;
+        if (state == 2) {
+            full += " (NOLINT suppression must carry a ': reason')";
+        }
+        findings.push_back(
+            {path, static_cast<int>(line_idx) + 1, id, slug, full});
+    }
+};
+
+const std::string kAssertToken = "assert";
+const std::string kAbortToken = "abort";
+
+void rule_no_raw_assert(RuleContext& ctx) {
+    if (is_contracts_header(ctx.path)) return;
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        if (has_call(ctx.lines[i].code, kAssertToken)) {
+            ctx.report(i, "UL001", "no-raw-assert",
+                       "raw " + kAssertToken +
+                           "() is compiled out in release builds; use "
+                           "UAVDC_CHECK / UAVDC_DCHECK from "
+                           "uavdc/util/check.hpp");
+        }
+    }
+}
+
+void rule_no_abort(RuleContext& ctx) {
+    if (is_contracts_header(ctx.path)) return;
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        if (has_call(ctx.lines[i].code, kAbortToken)) {
+            ctx.report(i, "UL002", "no-abort",
+                       kAbortToken +
+                           "() skips destructors and cannot be tested; raise "
+                           "a ContractViolation via UAVDC_CHECK instead");
+        }
+    }
+}
+
+void rule_no_nondeterminism(RuleContext& ctx) {
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        const std::string& code = ctx.lines[i].code;
+        std::string hit;
+        if (has_token(code, "random_device")) {
+            hit = "std::random_device";
+        } else if (has_call(code, "rand") || has_call(code, "srand")) {
+            hit = "rand()/srand()";
+        } else if (has_call(code, "time")) {
+            hit = "time()";
+        }
+        if (!hit.empty()) {
+            ctx.report(i, "UL003", "no-nondeterminism",
+                       hit +
+                           " breaks seeded reproducibility; take an explicit "
+                           "util::Rng or seed instead");
+        }
+    }
+}
+
+/// Same-line heuristic: names of variables declared as unordered_map /
+/// unordered_set in this file.
+std::vector<std::string> unordered_decl_names(
+    const std::vector<ScannedLine>& lines) {
+    std::vector<std::string> names;
+    for (const auto& line : lines) {
+        const std::string& code = line.code;
+        for (const char* kind : {"unordered_map", "unordered_set"}) {
+            std::size_t pos = code.find(kind);
+            if (pos == std::string::npos) continue;
+            std::size_t open = code.find('<', pos);
+            if (open == std::string::npos) continue;
+            int depth = 0;
+            std::size_t close = open;
+            for (; close < code.size(); ++close) {
+                if (code[close] == '<') ++depth;
+                if (code[close] == '>' && --depth == 0) break;
+            }
+            if (close >= code.size()) continue;
+            std::size_t p = close + 1;
+            while (p < code.size() &&
+                   (std::isspace(static_cast<unsigned char>(code[p])) != 0 ||
+                    code[p] == '&')) {
+                ++p;
+            }
+            std::string name;
+            while (p < code.size() && is_ident_char(code[p])) name += code[p++];
+            if (!name.empty()) names.push_back(name);
+        }
+    }
+    return names;
+}
+
+/// Extracts the container name of a same-line range-for, or "" if the line
+/// holds none. For `for (auto& [k, v] : buckets)` this is "buckets"; member
+/// accesses yield the final identifier.
+std::string range_for_container(const std::string& code) {
+    std::size_t pos = code.find("for");
+    if (pos == std::string::npos || !token_at(code, pos, "for")) return "";
+    std::size_t open = code.find('(', pos);
+    if (open == std::string::npos) return "";
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    std::size_t close = std::string::npos;
+    for (std::size_t i = open; i < code.size(); ++i) {
+        if (code[i] == '(') ++depth;
+        if (code[i] == ')' && --depth == 0) {
+            close = i;
+            break;
+        }
+        if (code[i] == ':' && depth == 1) {
+            if ((i > 0 && code[i - 1] == ':') ||
+                (i + 1 < code.size() && code[i + 1] == ':')) {
+                continue;  // scope resolution, not a range-for separator
+            }
+            colon = i;
+        }
+    }
+    if (colon == std::string::npos || close == std::string::npos) return "";
+    std::string name;
+    for (std::size_t i = colon + 1; i < close; ++i) {
+        if (is_ident_char(code[i])) {
+            name += code[i];
+        } else if (!name.empty() && code[i] != ' ') {
+            name.clear();  // keep only the last identifier (after . or ->)
+        }
+    }
+    return name;
+}
+
+bool sorted_nearby(const std::vector<ScannedLine>& lines, std::size_t from) {
+    const std::size_t until = std::min(lines.size(), from + 40);
+    for (std::size_t i = from; i < until; ++i) {
+        const std::string& code = lines[i].code;
+        if (has_call(code, "sort") || has_call(code, "stable_sort") ||
+            has_call(code, "is_sorted")) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void rule_unordered_iteration(RuleContext& ctx) {
+    if (!in_planner_paths(ctx.path)) return;
+    const auto names = unordered_decl_names(ctx.lines);
+    if (names.empty()) return;
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        const std::string container = range_for_container(ctx.lines[i].code);
+        if (container.empty()) continue;
+        if (std::find(names.begin(), names.end(), container) == names.end()) {
+            continue;
+        }
+        if (sorted_nearby(ctx.lines, i)) continue;
+        ctx.report(i, "UL004", "unordered-iteration",
+                   "iterating '" + container +
+                       "' (unordered container) in a planner result path: "
+                       "iteration order is unspecified and can leak into "
+                       "output; sort the results or add "
+                       "NOLINT(uavdc-unordered-iteration): <why order cannot "
+                       "matter>");
+    }
+}
+
+void rule_pragma_once(RuleContext& ctx) {
+    if (!is_header(ctx.path)) return;
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        std::string code = ctx.lines[i].code;
+        code.erase(0, code.find_first_not_of(" \t"));
+        if (code.empty()) continue;
+        if (code.rfind("#pragma once", 0) != 0) {
+            ctx.report(i, "UL005", "pragma-once",
+                       "headers must open with #pragma once before any other "
+                       "code");
+        }
+        return;
+    }
+    // A header with no code at all still needs the guard.
+    ctx.report(0, "UL005", "pragma-once",
+               "headers must open with #pragma once before any other code");
+}
+
+void rule_no_cout_in_library(RuleContext& ctx) {
+    if (!in_library(ctx.path)) return;
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        const std::string& code = ctx.lines[i].code;
+        std::size_t pos = code.find("std::cout");
+        if (pos != std::string::npos && token_at(code, pos + 5, "cout")) {
+            ctx.report(i, "UL006", "no-cout-in-library",
+                       "library code must not write to std::cout; return "
+                       "data or use the io/ writers, printing belongs to "
+                       "tools and benches");
+        }
+    }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+    static const std::vector<RuleInfo> kRules = {
+        {"UL001", "no-raw-assert",
+         "no raw C assert() outside util/check.hpp; invariants use "
+         "UAVDC_CHECK / UAVDC_DCHECK so they are testable and never silently "
+         "compiled out"},
+        {"UL002", "no-abort",
+         "no abort() outside util/check.hpp; contract failures raise "
+         "ContractViolation so callers and tests can observe them"},
+        {"UL003", "no-nondeterminism",
+         "no std::random_device / time() / rand() seeding; all randomness "
+         "flows through seeded util::Rng for reproducible experiments"},
+        {"UL004", "unordered-iteration",
+         "no iteration over unordered_map/unordered_set in planner result "
+         "paths unless results are sorted or the loop is annotated "
+         "order-independent"},
+        {"UL005", "pragma-once", "every header starts with #pragma once"},
+        {"UL006", "no-cout-in-library",
+         "no std::cout in library code (src/); stdout belongs to tools, "
+         "benches, and examples"},
+    };
+    return kRules;
+}
+
+std::vector<ScannedLine> scan_lines(const std::string& contents) {
+    enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+    std::vector<ScannedLine> lines;
+    ScannedLine cur;
+    State state = State::kCode;
+    std::string raw_delim;  // for )delim" raw-string termination
+
+    const auto flush_line = [&] {
+        lines.push_back(std::move(cur));
+        cur = ScannedLine{};
+    };
+
+    for (std::size_t i = 0; i < contents.size(); ++i) {
+        const char c = contents[i];
+        const char next = i + 1 < contents.size() ? contents[i + 1] : '\0';
+        if (c == '\n') {
+            flush_line();
+            continue;
+        }
+        switch (state) {
+            case State::kCode:
+                if (c == '/' && next == '/') {
+                    // Line comment: rest of the line is comment text.
+                    std::size_t end = contents.find('\n', i);
+                    if (end == std::string::npos) end = contents.size();
+                    cur.comment += contents.substr(i + 2, end - i - 2);
+                    i = end - 1;
+                } else if (c == '/' && next == '*') {
+                    state = State::kBlockComment;
+                    ++i;
+                } else if (c == 'R' && next == '"' &&
+                           (i == 0 || !is_ident_char(contents[i - 1]))) {
+                    std::size_t open = contents.find('(', i + 2);
+                    if (open == std::string::npos) open = contents.size();
+                    raw_delim =
+                        ")" + contents.substr(i + 2, open - i - 2) + "\"";
+                    cur.code += "\"\"";
+                    i = open;
+                    state = State::kRawString;
+                } else if (c == '"') {
+                    cur.code += '"';
+                    state = State::kString;
+                } else if (c == '\'' && i > 0 &&
+                           !is_ident_char(contents[i - 1])) {
+                    cur.code += '\'';
+                    state = State::kChar;
+                } else {
+                    cur.code += c;
+                }
+                break;
+            case State::kBlockComment:
+                if (c == '*' && next == '/') {
+                    state = State::kCode;
+                    ++i;
+                } else {
+                    cur.comment += c;
+                }
+                break;
+            case State::kString:
+                if (c == '\\') {
+                    ++i;
+                } else if (c == '"') {
+                    cur.code += '"';
+                    state = State::kCode;
+                }
+                break;
+            case State::kChar:
+                if (c == '\\') {
+                    ++i;
+                } else if (c == '\'') {
+                    cur.code += '\'';
+                    state = State::kCode;
+                }
+                break;
+            case State::kRawString:
+                if (contents.compare(i, raw_delim.size(), raw_delim) == 0) {
+                    i += raw_delim.size() - 1;
+                    state = State::kCode;
+                }
+                break;
+        }
+    }
+    flush_line();
+    return lines;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& contents) {
+    const auto lines = scan_lines(contents);
+    std::vector<Finding> findings;
+    RuleContext ctx{path, lines, findings};
+    rule_no_raw_assert(ctx);
+    rule_no_abort(ctx);
+    rule_no_nondeterminism(ctx);
+    rule_unordered_iteration(ctx);
+    rule_pragma_once(ctx);
+    rule_no_cout_in_library(ctx);
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  if (a.line != b.line) return a.line < b.line;
+                  return a.id < b.id;
+              });
+    return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return {Finding{path, 0, "UL000", "unreadable-file",
+                        "cannot open file for linting"}};
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return lint_source(path, buf.str());
+}
+
+std::vector<Finding> lint_tree(const std::vector<std::string>& roots) {
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const auto& root : roots) {
+        if (!fs::exists(root)) {
+            continue;
+        }
+        if (fs::is_regular_file(root)) {
+            files.push_back(root);
+            continue;
+        }
+        fs::recursive_directory_iterator it(
+            root, fs::directory_options::skip_permission_denied);
+        for (const auto& entry : it) {
+            const std::string name = entry.path().filename().string();
+            if (entry.is_directory() &&
+                (name.rfind("build", 0) == 0 || name.rfind('.', 0) == 0)) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (!entry.is_regular_file()) continue;
+            const std::string p = entry.path().generic_string();
+            if (ends_with(p, ".hpp") || ends_with(p, ".h") ||
+                ends_with(p, ".cpp") || ends_with(p, ".cc")) {
+                files.push_back(p);
+            }
+        }
+    }
+    std::sort(files.begin(), files.end());
+    std::vector<Finding> findings;
+    for (const auto& f : files) {
+        auto fs_findings = lint_file(f);
+        findings.insert(findings.end(),
+                        std::make_move_iterator(fs_findings.begin()),
+                        std::make_move_iterator(fs_findings.end()));
+    }
+    return findings;
+}
+
+std::string to_string(const Finding& f) {
+    return f.file + ":" + std::to_string(f.line) + ": [" + f.id + " " +
+           f.rule + "] " + f.message;
+}
+
+}  // namespace uavdc::lint

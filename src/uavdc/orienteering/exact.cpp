@@ -1,7 +1,8 @@
 #include "uavdc/orienteering/exact.hpp"
 
 #include <limits>
-#include <stdexcept>
+
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::orienteering {
 
@@ -14,10 +15,9 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 Solution solve_exact(const Problem& p) {
     p.validate();
     const std::size_t n = p.size();
-    if (n > 22) {
-        throw std::invalid_argument(
-            "solve_exact: instance too large for bitmask DP");
-    }
+    UAVDC_REQUIRE(n <= 22)
+        << "solve_exact: instance too large for bitmask DP (n=" << n
+        << ")";
     const std::size_t d = p.depot;
     const std::size_t nmask = std::size_t{1} << n;
     const std::size_t depot_bit = std::size_t{1} << d;
@@ -82,9 +82,7 @@ Solution solve_exact(const Problem& p) {
                     break;
                 }
             }
-            if (!found) {
-                throw std::logic_error("solve_exact: reconstruction failed");
-            }
+            UAVDC_CHECK(found) << "solve_exact: reconstruction failed";
         }
     }
     std::vector<std::size_t> tour{d};

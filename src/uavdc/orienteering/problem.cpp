@@ -1,28 +1,21 @@
 #include "uavdc/orienteering/problem.hpp"
 
-#include <stdexcept>
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::orienteering {
 
 void Problem::validate() const {
-    if (graph.size() != prizes.size()) {
-        throw std::invalid_argument(
-            "orienteering::Problem: graph/prize size mismatch");
-    }
-    if (prizes.empty()) {
-        throw std::invalid_argument("orienteering::Problem: empty instance");
-    }
-    if (depot >= prizes.size()) {
-        throw std::invalid_argument("orienteering::Problem: bad depot");
-    }
-    if (budget < 0.0) {
-        throw std::invalid_argument("orienteering::Problem: negative budget");
-    }
+    UAVDC_REQUIRE(graph.size() == prizes.size())
+        << "orienteering::Problem: graph/prize size mismatch ("
+        << graph.size() << " vs " << prizes.size() << ")";
+    UAVDC_REQUIRE(!prizes.empty()) << "orienteering::Problem: empty instance";
+    UAVDC_REQUIRE(depot < prizes.size())
+        << "orienteering::Problem: bad depot " << depot;
+    UAVDC_REQUIRE(budget >= 0.0)
+        << "orienteering::Problem: negative budget " << budget;
     for (double p : prizes) {
-        if (p < 0.0) {
-            throw std::invalid_argument(
-                "orienteering::Problem: negative prize");
-        }
+        UAVDC_REQUIRE(p >= 0.0)
+            << "orienteering::Problem: negative prize " << p;
     }
 }
 

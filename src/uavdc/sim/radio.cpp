@@ -1,7 +1,8 @@
 #include "uavdc/sim/radio.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::sim {
 
@@ -11,10 +12,8 @@ double ConstantRadio::rate_mbps(double dist_m, double radius_m,
 }
 
 DistanceTaperRadio::DistanceTaperRadio(double taper) : taper_(taper) {
-    if (taper < 0.0 || taper >= 1.0) {
-        throw std::invalid_argument(
-            "DistanceTaperRadio: taper must be in [0, 1)");
-    }
+    UAVDC_REQUIRE(taper >= 0.0 && taper < 1.0)
+        << "DistanceTaperRadio: taper must be in [0, 1), got " << taper;
 }
 
 double DistanceTaperRadio::rate_mbps(double dist_m, double radius_m,

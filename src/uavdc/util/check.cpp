@@ -1,0 +1,27 @@
+#include "uavdc/util/check.hpp"
+
+#include <utility>
+
+namespace uavdc::util {
+
+ContractViolation::ContractViolation(std::string kind, std::string expression,
+                                     std::string file, int line,
+                                     std::string message)
+    : std::runtime_error(format(kind, expression, file, line, message)),
+      kind_(std::move(kind)),
+      expression_(std::move(expression)),
+      file_(std::move(file)),
+      line_(line),
+      message_(std::move(message)) {}
+
+std::string ContractViolation::format(const std::string& kind,
+                                      const std::string& expression,
+                                      const std::string& file, int line,
+                                      const std::string& message) {
+    std::string out = kind + " failed at " + file + ":" +
+                      std::to_string(line) + ": (" + expression + ")";
+    if (!message.empty()) out += ": " + message;
+    return out;
+}
+
+}  // namespace uavdc::util

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace uavdc::util {
+
+/// Raised when a UAVDC_CHECK / UAVDC_DCHECK / UAVDC_REQUIRE contract fails.
+///
+/// Derives from std::runtime_error so existing catch sites keep working, but
+/// carries the failed expression and the file:line of the check site as
+/// structured fields — tests and tools can assert on them instead of parsing
+/// the what() string. what() always embeds "file:line" so a bare log line is
+/// enough to locate the failed contract.
+class ContractViolation : public std::runtime_error {
+  public:
+    ContractViolation(std::string kind, std::string expression,
+                      std::string file, int line, std::string message);
+
+    /// Which macro fired: "UAVDC_CHECK", "UAVDC_DCHECK", or "UAVDC_REQUIRE".
+    [[nodiscard]] const std::string& kind() const { return kind_; }
+    /// The stringified condition that evaluated false.
+    [[nodiscard]] const std::string& expression() const { return expression_; }
+    /// Source file of the check site.
+    [[nodiscard]] const std::string& file() const { return file_; }
+    /// Source line of the check site.
+    [[nodiscard]] int line() const { return line_; }
+    /// The streamed user message (empty when nothing was streamed).
+    [[nodiscard]] const std::string& message() const { return message_; }
+
+  private:
+    static std::string format(const std::string& kind,
+                              const std::string& expression,
+                              const std::string& file, int line,
+                              const std::string& message);
+
+    std::string kind_;
+    std::string expression_;
+    std::string file_;
+    int line_;
+    std::string message_;
+};
+
+namespace detail {
+
+/// Collects the `<< ...` message of a failing contract. The macros arrange
+/// for ContractRaiser::operator& — which binds looser than operator<< — to
+/// run after the whole message has been streamed, so the exception carries
+/// the complete text.
+class ContractMessage {
+  public:
+    ContractMessage(const char* kind, const char* expression, const char* file,
+                    int line)
+        : kind_(kind), expression_(expression), file_(file), line_(line) {}
+
+    template <typename T>
+    ContractMessage& operator<<(const T& value) {
+        stream_ << value;
+        return *this;
+    }
+
+    [[noreturn]] void raise() const {
+        throw ContractViolation(kind_, expression_, file_, line_,
+                                stream_.str());
+    }
+
+  private:
+    const char* kind_;
+    const char* expression_;
+    const char* file_;
+    int line_;
+    std::ostringstream stream_;
+};
+
+struct ContractRaiser {
+    [[noreturn]] void operator&(const ContractMessage& message) const {
+        message.raise();
+    }
+};
+
+}  // namespace detail
+
+}  // namespace uavdc::util
+
+// The ternary is deliberately left unparenthesised so a trailing
+// `<< "message"` attaches to the ContractMessage, not to the whole
+// expression; ContractRaiser::operator& then throws after the message is
+// fully streamed.
+#define UAVDC_CONTRACT_IMPL(kind, condstr, cond)                          \
+    (cond) ? (void)0                                                      \
+           : ::uavdc::util::detail::ContractRaiser() &                    \
+                 ::uavdc::util::detail::ContractMessage(kind, condstr,    \
+                                                        __FILE__, __LINE__)
+
+/// Internal invariant; always compiled in, including release builds, so the
+/// energy/data accounting checks the paper's guarantees rest on can never be
+/// silently disabled. Usage: UAVDC_CHECK(x >= 0) << "x=" << x;
+#define UAVDC_CHECK(cond) UAVDC_CONTRACT_IMPL("UAVDC_CHECK", #cond, cond)
+
+/// Caller-facing precondition (argument validation). Same always-on
+/// semantics as UAVDC_CHECK; the kind tag records intent.
+#define UAVDC_REQUIRE(cond) UAVDC_CONTRACT_IMPL("UAVDC_REQUIRE", #cond, cond)
+
+/// Debug-only invariant for checks too expensive for release hot paths. In
+/// NDEBUG builds the condition still has to compile but is never evaluated,
+/// and the streamed message is dead code.
+#ifdef NDEBUG
+#define UAVDC_DCHECK(cond) \
+    UAVDC_CONTRACT_IMPL("UAVDC_DCHECK", #cond, true || (cond))
+#else
+#define UAVDC_DCHECK(cond) UAVDC_CONTRACT_IMPL("UAVDC_DCHECK", #cond, cond)
+#endif

@@ -1,13 +1,11 @@
 #include "uavdc/util/csv.hpp"
 
-#include <stdexcept>
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::util {
 
 CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
-    if (!out_) {
-        throw std::runtime_error("CsvWriter: cannot open " + path);
-    }
+    UAVDC_REQUIRE(static_cast<bool>(out_)) << "CsvWriter: cannot open " << path;
 }
 
 std::string CsvWriter::escape(const std::string& cell) {

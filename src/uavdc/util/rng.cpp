@@ -1,7 +1,8 @@
 #include "uavdc/util/rng.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::util {
 
@@ -45,12 +46,12 @@ double Rng::uniform() {
 }
 
 double Rng::uniform(double lo, double hi) {
-    assert(lo <= hi);
+    UAVDC_REQUIRE(lo <= hi) << "uniform lo=" << lo << " hi=" << hi;
     return lo + (hi - lo) * uniform();
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-    assert(lo <= hi);
+    UAVDC_REQUIRE(lo <= hi) << "uniform_int lo=" << lo << " hi=" << hi;
     const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
     if (span == 0) {  // full 64-bit range
         return static_cast<std::int64_t>(next_u64());
@@ -82,7 +83,7 @@ double Rng::normal(double mean, double stddev) {
 }
 
 double Rng::exponential(double mean) {
-    assert(mean > 0.0);
+    UAVDC_REQUIRE(mean > 0.0) << "exponential mean=" << mean;
     double u = uniform();
     while (u <= 0.0) u = uniform();
     return -mean * std::log(u);

@@ -1,8 +1,9 @@
 #include "uavdc/util/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::util {
 
@@ -69,7 +70,7 @@ double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
 
 double quantile(std::vector<double> xs, double q) {
     if (xs.empty()) return 0.0;
-    assert(q >= 0.0 && q <= 1.0);
+    UAVDC_REQUIRE(q >= 0.0 && q <= 1.0) << "quantile q=" << q;
     std::sort(xs.begin(), xs.end());
     const double pos = q * static_cast<double>(xs.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(pos);

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "uavdc/util/check.hpp"
+
 namespace uavdc::util {
 
 /// Fixed-size worker pool. The planners use it to score candidate hovering
@@ -37,9 +39,7 @@ class ThreadPool {
         std::future<R> fut = task->get_future();
         {
             std::lock_guard lock(mu_);
-            if (stopping_) {
-                throw std::runtime_error("ThreadPool: submit after shutdown");
-            }
+            UAVDC_REQUIRE(!stopping_) << "ThreadPool: submit after shutdown";
             queue_.emplace_back([task]() { (*task)(); });
         }
         cv_.notify_one();

@@ -1,0 +1,99 @@
+#include "uavdc/util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace uavdc::util {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+    EXPECT_NO_THROW(UAVDC_CHECK(1 + 1 == 2));
+    EXPECT_NO_THROW(UAVDC_REQUIRE(true) << "never rendered");
+    EXPECT_NO_THROW(UAVDC_DCHECK(true));
+}
+
+TEST(Check, FailingConditionThrowsContractViolation) {
+    EXPECT_THROW(UAVDC_CHECK(false), ContractViolation);
+    EXPECT_THROW(UAVDC_REQUIRE(false), ContractViolation);
+    // ContractViolation remains catchable as std::runtime_error so legacy
+    // catch sites keep working.
+    EXPECT_THROW(UAVDC_CHECK(false), std::runtime_error);
+}
+
+TEST(Check, MessageStreamingReachesTheException) {
+    const int x = -3;
+    try {
+        UAVDC_CHECK(x >= 0) << "x=" << x << " must be non-negative";
+        FAIL() << "UAVDC_CHECK(false) did not throw";
+    } catch (const ContractViolation& e) {
+        EXPECT_EQ(e.message(), "x=-3 must be non-negative");
+        EXPECT_NE(std::string(e.what()).find("x=-3 must be non-negative"),
+                  std::string::npos);
+    }
+}
+
+TEST(Check, CarriesExpressionFileAndLine) {
+    try {
+        UAVDC_REQUIRE(2 + 2 == 5);
+        FAIL() << "UAVDC_REQUIRE(false) did not throw";
+    } catch (const ContractViolation& e) {
+        EXPECT_EQ(e.kind(), "UAVDC_REQUIRE");
+        EXPECT_EQ(e.expression(), "2 + 2 == 5");
+        EXPECT_NE(e.file().find("test_check.cpp"), std::string::npos);
+        EXPECT_GT(e.line(), 0);
+        // what() embeds file:line so a bare log line locates the site.
+        const std::string what = e.what();
+        const std::string file_line =
+            e.file() + ":" + std::to_string(e.line());
+        EXPECT_NE(what.find(file_line), std::string::npos);
+        EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    }
+}
+
+TEST(Check, EmptyMessageStillFormatsFileLine) {
+    try {
+        UAVDC_CHECK(false);
+        FAIL() << "UAVDC_CHECK(false) did not throw";
+    } catch (const ContractViolation& e) {
+        EXPECT_TRUE(e.message().empty());
+        EXPECT_NE(std::string(e.what()).find(":"), std::string::npos);
+    }
+}
+
+int& evaluation_counter() {
+    static int count = 0;
+    return count;
+}
+
+bool count_and_fail() {
+    ++evaluation_counter();
+    return false;
+}
+
+TEST(Check, DcheckBehaviourMatchesBuildMode) {
+    evaluation_counter() = 0;
+#ifdef NDEBUG
+    // Release: the condition is never evaluated and nothing throws; the
+    // expression must still compile.
+    EXPECT_NO_THROW(UAVDC_DCHECK(count_and_fail()) << "unseen");
+    EXPECT_EQ(evaluation_counter(), 0);
+#else
+    // Debug: behaves exactly like UAVDC_CHECK.
+    EXPECT_THROW(UAVDC_DCHECK(count_and_fail()) << "seen", ContractViolation);
+    EXPECT_EQ(evaluation_counter(), 1);
+#endif
+}
+
+TEST(Check, ChecksAreUsableInIfElseWithoutBraces) {
+    // The macros expand to a single expression, so dangling-else is safe.
+    bool reached_else = false;
+    if (1 == 2)
+        UAVDC_CHECK(true);
+    else
+        reached_else = true;
+    EXPECT_TRUE(reached_else);
+}
+
+}  // namespace
+}  // namespace uavdc::util

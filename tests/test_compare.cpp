@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "uavdc/util/check.hpp"
+
 #include "test_util.hpp"
 
 namespace uavdc::core {
@@ -47,7 +49,7 @@ TEST(Compare, SubsetSelection) {
 TEST(Compare, UnknownNameThrows) {
     const auto inst = testing::small_instance(5, 100.0, 93);
     EXPECT_THROW((void)compare_planners(inst, {}, {"alg99"}),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 }  // namespace

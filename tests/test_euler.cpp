@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "uavdc/util/check.hpp"
+
 #include <map>
 #include <vector>
 
@@ -64,23 +66,23 @@ TEST(Euler, StartFromDifferentNode) {
 
 TEST(Euler, OddDegreeThrows) {
     const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 1.0}};
-    EXPECT_THROW(eulerian_circuit(3, edges, 0), std::invalid_argument);
+    EXPECT_THROW(eulerian_circuit(3, edges, 0), util::ContractViolation);
 }
 
 TEST(Euler, DisconnectedThrows) {
     // Two disjoint 2-cycles; start can't reach the second.
     const std::vector<Edge> edges{{0, 1, 1.0}, {0, 1, 1.0},
                                   {2, 3, 1.0}, {2, 3, 1.0}};
-    EXPECT_THROW(eulerian_circuit(4, edges, 0), std::invalid_argument);
+    EXPECT_THROW(eulerian_circuit(4, edges, 0), util::ContractViolation);
 }
 
 TEST(Euler, IsolatedStartThrows) {
     const std::vector<Edge> edges{{1, 2, 1.0}, {1, 2, 1.0}};
-    EXPECT_THROW(eulerian_circuit(3, edges, 0), std::invalid_argument);
+    EXPECT_THROW(eulerian_circuit(3, edges, 0), util::ContractViolation);
 }
 
 TEST(Euler, BadStartThrows) {
-    EXPECT_THROW(eulerian_circuit(2, {}, 5), std::invalid_argument);
+    EXPECT_THROW(eulerian_circuit(2, {}, 5), util::ContractViolation);
 }
 
 TEST(Euler, NoEdgesSingleNode) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "uavdc/util/check.hpp"
+
 #include "test_util.hpp"
 #include "uavdc/core/algorithm1.hpp"
 #include "uavdc/core/algorithm2.hpp"
@@ -76,7 +78,7 @@ TEST(ExactDcm, GuardsAgainstLargeCandidateSets) {
     const auto inst = testing::small_instance(60, 400.0, 13);
     ExactDcmConfig cfg;
     cfg.candidates.delta_m = 10.0;  // hundreds of candidates
-    EXPECT_THROW((void)solve_exact_dcm(inst, cfg), std::invalid_argument);
+    EXPECT_THROW((void)solve_exact_dcm(inst, cfg), util::ContractViolation);
 }
 
 TEST(ExactDcm, EmptyInstance) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "uavdc/util/check.hpp"
+
 #include <algorithm>
 #include <numeric>
 #include <set>
@@ -78,9 +80,9 @@ TEST(HeldKarp, ChristofidesWithinApproximationFactor) {
 
 TEST(HeldKarp, ErrorsOnBadInput) {
     const DenseGraph g(5);
-    EXPECT_THROW((void)held_karp_tour(g, 9), std::invalid_argument);
+    EXPECT_THROW((void)held_karp_tour(g, 9), util::ContractViolation);
     EXPECT_THROW((void)held_karp_tour(DenseGraph(23)),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 }  // namespace

@@ -1,0 +1,222 @@
+#include "uavdc/lint/linter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace uavdc::lint {
+namespace {
+
+std::vector<std::string> ids_of(const std::vector<Finding>& findings) {
+    std::vector<std::string> ids;
+    ids.reserve(findings.size());
+    for (const auto& f : findings) ids.push_back(f.id);
+    return ids;
+}
+
+bool has_id(const std::vector<Finding>& findings, const std::string& id) {
+    const auto ids = ids_of(findings);
+    return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+constexpr const char* kLibPath = "src/uavdc/core/fixture.cpp";
+constexpr const char* kToolPath = "tools/fixture.cpp";
+
+TEST(Lint, RuleTableIsStable) {
+    const auto& table = rules();
+    ASSERT_EQ(table.size(), 6u);
+    std::set<std::string> ids;
+    for (const auto& r : table) ids.insert(r.id);
+    EXPECT_EQ(ids.size(), table.size()) << "rule ids must be unique";
+    EXPECT_EQ(table.front().id, "UL001");
+    EXPECT_EQ(table.front().rule, "no-raw-assert");
+}
+
+TEST(Lint, RawAssertFires) {
+    const auto findings = lint_source(kLibPath, R"(
+void f(int x) {
+    assert(x > 0);
+}
+)");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].id, "UL001");
+    EXPECT_EQ(findings[0].rule, "no-raw-assert");
+    EXPECT_EQ(findings[0].line, 3);
+    EXPECT_EQ(findings[0].file, kLibPath);
+}
+
+TEST(Lint, StaticAssertAndLookalikesDoNotFire) {
+    const auto findings = lint_source(kLibPath, R"(
+static_assert(sizeof(int) == 4);
+void my_assert(bool);
+void g() { my_assert(true); }
+)");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, AssertInsideStringOrCommentDoesNotFire) {
+    const auto findings = lint_source(kLibPath, R"fx(
+// a comment mentioning assert(x) is fine
+const char* s = "assert(x)";
+/* block comment: assert(y) */
+)fx");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, ContractsHeaderIsExemptFromAssertRules) {
+    const auto findings =
+        lint_source("src/uavdc/util/check.hpp", "#pragma once\nassert(x);\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, AbortFires) {
+    const auto findings = lint_source(kLibPath, "void f() { abort(); }\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].id, "UL002");
+}
+
+TEST(Lint, NondeterminismTokensFire) {
+    EXPECT_TRUE(has_id(lint_source(kLibPath, "std::random_device rd;\n"),
+                       "UL003"));
+    EXPECT_TRUE(has_id(lint_source(kLibPath, "int r = rand();\n"), "UL003"));
+    EXPECT_TRUE(has_id(lint_source(kLibPath, "srand(42);\n"), "UL003"));
+    EXPECT_TRUE(
+        has_id(lint_source(kLibPath, "auto t = time(nullptr);\n"), "UL003"));
+    // Identifiers merely containing the tokens are fine.
+    EXPECT_TRUE(lint_source(kLibPath, "double runtime = 0;\n").empty());
+    EXPECT_TRUE(lint_source(kLibPath, "x.executed_time_s = 1;\n").empty());
+    EXPECT_TRUE(lint_source(kLibPath, "int strand(int);\n").empty());
+}
+
+TEST(Lint, UnorderedIterationFiresInPlannerPaths) {
+    const char* body = R"(
+#include <unordered_map>
+void f() {
+    std::unordered_map<int, double> scores;
+    for (const auto& [k, v] : scores) {
+        emit(k, v);
+    }
+}
+)";
+    const auto findings = lint_source(kLibPath, body);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].id, "UL004");
+    EXPECT_EQ(findings[0].rule, "unordered-iteration");
+    EXPECT_EQ(findings[0].line, 5);
+    // Outside planner result paths the heuristic stays quiet.
+    EXPECT_TRUE(lint_source("src/uavdc/io/fixture.cpp", body).empty());
+}
+
+TEST(Lint, UnorderedIterationAllowsSortedResults) {
+    const auto findings = lint_source(kLibPath, R"(
+void f() {
+    std::unordered_set<int> seen;
+    std::vector<int> out;
+    for (int v : seen) out.push_back(v);
+    std::sort(out.begin(), out.end());
+}
+)");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, UnorderedIterationHonoursAnnotatedSuppression) {
+    const auto findings = lint_source(kLibPath, R"(
+void f() {
+    std::unordered_map<int, int> m;
+    // NOLINTNEXTLINE(uavdc-unordered-iteration): reduction is commutative
+    for (const auto& [k, v] : m) total += v;
+}
+)");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, SuppressionWithoutReasonIsRejected) {
+    const auto findings = lint_source(
+        kLibPath,
+        "void f(int x) { assert(x); }  // NOLINT(uavdc-no-raw-assert)\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("reason"), std::string::npos);
+}
+
+TEST(Lint, SuppressionWithReasonIsHonoured) {
+    const auto findings = lint_source(
+        kLibPath,
+        "void f(int x) { assert(x); }  "
+        "// NOLINT(uavdc-no-raw-assert): third-party macro requires it\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, PragmaOnceRequiredInHeaders) {
+    const auto missing =
+        lint_source("src/uavdc/core/fixture.hpp", "namespace x {}\n");
+    ASSERT_EQ(missing.size(), 1u);
+    EXPECT_EQ(missing[0].id, "UL005");
+
+    // Comments and blank lines may precede the pragma.
+    EXPECT_TRUE(lint_source("src/uavdc/core/fixture.hpp",
+                            "// copyright\n\n#pragma once\nnamespace x {}\n")
+                    .empty());
+    // Non-headers are exempt.
+    EXPECT_TRUE(lint_source(kLibPath, "namespace x {}\n").empty());
+}
+
+TEST(Lint, CoutForbiddenInLibraryOnly) {
+    const char* body = "#include <iostream>\n"
+                       "void f() { std::cout << \"hi\\n\"; }\n";
+    const auto findings = lint_source(kLibPath, body);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].id, "UL006");
+    EXPECT_EQ(findings[0].line, 2);
+    // Tools and benches may print.
+    EXPECT_TRUE(lint_source(kToolPath, body).empty());
+    EXPECT_TRUE(lint_source("bench/fixture.cpp", body).empty());
+}
+
+TEST(Lint, ScanLinesSeparatesCodeAndComments) {
+    const auto lines = scan_lines("int a;  // trailing note\n"
+                                  "/* block */ int b;\n"
+                                  "const char* s = \"in // string\";\n");
+    ASSERT_EQ(lines.size(), 4u);  // trailing newline yields an empty line
+    EXPECT_NE(lines[0].code.find("int a;"), std::string::npos);
+    EXPECT_EQ(lines[0].comment, " trailing note");
+    EXPECT_NE(lines[1].code.find("int b;"), std::string::npos);
+    EXPECT_EQ(lines[1].comment, " block ");
+    // String contents are blanked from the code view.
+    EXPECT_EQ(lines[2].code.find("string"), std::string::npos);
+    EXPECT_NE(lines[2].code.find("\"\""), std::string::npos);
+}
+
+TEST(Lint, FindingFormatting) {
+    const Finding f{"src/a.cpp", 7, "UL001", "no-raw-assert", "boom"};
+    EXPECT_EQ(to_string(f), "src/a.cpp:7: [UL001 no-raw-assert] boom");
+}
+
+TEST(Lint, MultipleViolationsReportEachLine) {
+    const auto findings = lint_source(kLibPath, R"(
+void f() {
+    assert(1);
+    abort();
+}
+)");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(findings[0].line, 3);
+    EXPECT_EQ(findings[0].id, "UL001");
+    EXPECT_EQ(findings[1].line, 4);
+    EXPECT_EQ(findings[1].id, "UL002");
+}
+
+// The gate itself: the real tree must be clean. This is the same sweep the
+// uavdc_lint_self ctest and the CI static-analysis job run.
+TEST(Lint, SelfRunOverSourceTreeIsClean) {
+    const std::string root = UAVDC_SOURCE_DIR;
+    const auto findings = lint_tree(
+        {root + "/src", root + "/tools", root + "/bench"});
+    for (const auto& f : findings) ADD_FAILURE() << to_string(f);
+    EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace
+}  // namespace uavdc::lint

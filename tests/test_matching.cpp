@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "uavdc/util/check.hpp"
+
 #include <numeric>
 #include <set>
 #include <vector>
@@ -39,9 +41,9 @@ TEST(Matching, EmptySet) {
 
 TEST(Matching, OddSetThrows) {
     const DenseGraph g(5);
-    EXPECT_THROW(exact_min_matching(g, {0, 1, 2}), std::invalid_argument);
-    EXPECT_THROW(greedy_min_matching(g, {0, 1, 2}), std::invalid_argument);
-    EXPECT_THROW(min_weight_matching(g, {0}), std::invalid_argument);
+    EXPECT_THROW(exact_min_matching(g, {0, 1, 2}), util::ContractViolation);
+    EXPECT_THROW(greedy_min_matching(g, {0, 1, 2}), util::ContractViolation);
+    EXPECT_THROW(min_weight_matching(g, {0}), util::ContractViolation);
 }
 
 TEST(Matching, PairOfNodes) {
@@ -124,7 +126,7 @@ TEST(Matching, ExactTooLargeThrows) {
     const DenseGraph g(30);
     std::vector<std::size_t> nodes(24);
     std::iota(nodes.begin(), nodes.end(), std::size_t{0});
-    EXPECT_THROW(exact_min_matching(g, nodes), std::invalid_argument);
+    EXPECT_THROW(exact_min_matching(g, nodes), util::ContractViolation);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "uavdc/util/check.hpp"
+
 #include <numeric>
 #include <set>
 #include <vector>
@@ -46,16 +48,16 @@ TEST(Problem, ValidationCatchesErrors) {
     p.validate();
     Problem bad_depot = p;
     bad_depot.depot = 99;
-    EXPECT_THROW(bad_depot.validate(), std::invalid_argument);
+    EXPECT_THROW(bad_depot.validate(), util::ContractViolation);
     Problem bad_budget = p;
     bad_budget.budget = -1.0;
-    EXPECT_THROW(bad_budget.validate(), std::invalid_argument);
+    EXPECT_THROW(bad_budget.validate(), util::ContractViolation);
     Problem bad_prize = p;
     bad_prize.prizes[2] = -5.0;
-    EXPECT_THROW(bad_prize.validate(), std::invalid_argument);
+    EXPECT_THROW(bad_prize.validate(), util::ContractViolation);
     Problem mismatch = p;
     mismatch.prizes.push_back(1.0);
-    EXPECT_THROW(mismatch.validate(), std::invalid_argument);
+    EXPECT_THROW(mismatch.validate(), util::ContractViolation);
 }
 
 TEST(MakeSolution, ComputesCostAndPrize) {
@@ -98,7 +100,7 @@ TEST(Exact, KnownTinyInstance) {
 
 TEST(Exact, TooLargeThrows) {
     const Problem p = random_problem(25, 100.0, 5);
-    EXPECT_THROW(solve_exact(p), std::invalid_argument);
+    EXPECT_THROW(solve_exact(p), util::ContractViolation);
 }
 
 TEST(Greedy, AlwaysFeasibleAndRooted) {

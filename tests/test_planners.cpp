@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "uavdc/util/check.hpp"
+
 #include <memory>
 
 #include "test_util.hpp"
@@ -244,7 +246,7 @@ TEST(Algorithm3, LargerKNotWorseOnAverage) {
 
 TEST(Algorithm3, InvalidKThrows) {
     PartialCollectionPlanner planner(small_alg3(0));
-    EXPECT_THROW(planner.plan(small_instance(5)), std::invalid_argument);
+    EXPECT_THROW(planner.plan(small_instance(5)), util::ContractViolation);
 }
 
 TEST(Algorithm3, NameEncodesK) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "uavdc/util/check.hpp"
+
 #include "test_util.hpp"
 #include "uavdc/core/evaluate.hpp"
 
@@ -29,8 +31,8 @@ TEST(Registry, ConstructsEveryListedPlanner) {
 }
 
 TEST(Registry, UnknownNameThrows) {
-    EXPECT_THROW((void)make_planner("alg9"), std::invalid_argument);
-    EXPECT_THROW((void)make_planner(""), std::invalid_argument);
+    EXPECT_THROW((void)make_planner("alg9"), util::ContractViolation);
+    EXPECT_THROW((void)make_planner(""), util::ContractViolation);
 }
 
 TEST(Registry, OptionsAreApplied) {

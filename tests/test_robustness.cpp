@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "uavdc/util/check.hpp"
+
 #include "test_util.hpp"
 #include "uavdc/core/algorithm2.hpp"
 #include "uavdc/core/sensitivity.hpp"
@@ -125,10 +127,10 @@ TEST(Sensitivity, RejectsBadPerturbation) {
     const auto inst = small_instance(5, 100.0, 118);
     EXPECT_THROW(
         (void)core::analyze_sensitivity(inst, "alg2", {}, 0.0),
-        std::invalid_argument);
+        util::ContractViolation);
     EXPECT_THROW(
         (void)core::analyze_sensitivity(inst, "alg2", {}, 1.0),
-        std::invalid_argument);
+        util::ContractViolation);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "uavdc/util/check.hpp"
+
 #include "uavdc/sim/battery.hpp"
 #include "uavdc/sim/event.hpp"
 #include "uavdc/sim/event_queue.hpp"
@@ -126,8 +128,8 @@ TEST(Radio, TaperZeroEqualsConstantInside) {
 }
 
 TEST(Radio, TaperValidation) {
-    EXPECT_THROW(DistanceTaperRadio(-0.1), std::invalid_argument);
-    EXPECT_THROW(DistanceTaperRadio(1.0), std::invalid_argument);
+    EXPECT_THROW(DistanceTaperRadio(-0.1), util::ContractViolation);
+    EXPECT_THROW(DistanceTaperRadio(1.0), util::ContractViolation);
 }
 
 TEST(Radio, SharedConstantInstance) {

@@ -1,0 +1,49 @@
+// uavdc_lint — domain lint gate for invariants clang-tidy cannot express.
+//
+// Usage:
+//   uavdc_lint [--list-rules] [path...]
+//
+// Each path may be a file or a directory (linted recursively). With no paths
+// it lints src/ tools/ bench/ relative to the current directory. Exit code 0
+// when clean, 1 when any finding fires, 2 on usage errors.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "uavdc/lint/linter.hpp"
+
+int main(int argc, char** argv) {
+    std::vector<std::string> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const auto& rule : uavdc::lint::rules()) {
+                std::cout << rule.id << " " << rule.rule << ": "
+                          << rule.description << "\n";
+            }
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: uavdc_lint [--list-rules] [path...]\n";
+            return 0;
+        }
+        if (arg.rfind("--", 0) == 0) {
+            std::cerr << "uavdc_lint: unknown option " << arg << "\n";
+            return 2;
+        }
+        roots.push_back(arg);
+    }
+    if (roots.empty()) roots = {"src", "tools", "bench"};
+
+    const auto findings = uavdc::lint::lint_tree(roots);
+    for (const auto& f : findings) {
+        std::cout << uavdc::lint::to_string(f) << "\n";
+    }
+    if (!findings.empty()) {
+        std::cout << findings.size() << " finding(s); see --list-rules for "
+                  << "what each rule protects.\n";
+        return 1;
+    }
+    return 0;
+}
