@@ -1,9 +1,17 @@
 // Google-benchmark microbenchmarks for the planners and orienteering
 // solvers at fixed small scale (planner scaling curves live in the fig*
 // harnesses; these catch per-commit performance regressions).
+//
+// With --baseline_out=<path> the binary instead runs the tracked
+// incremental-vs-reference scoring-engine cases and writes the
+// BENCH_planners.json schema (add --quick for the CI smoke variant checked
+// by scripts/check_perf_regression.py).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench_common.hpp"
 #include "uavdc/core/algorithm1.hpp"
 #include "uavdc/core/algorithm2.hpp"
 #include "uavdc/core/algorithm3.hpp"
@@ -110,4 +118,26 @@ BENCHMARK(BM_BenchmarkPlanner)->Arg(60)->Arg(120);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    const util::Flags flags(argc, argv);
+    if (flags.has("baseline_out")) {
+        const bool quick = flags.get_bool("quick", false);
+        const auto rows = bench::run_planner_baselines(quick);
+        for (const auto& r : rows) {
+            std::printf(
+                "%-22s devices=%-4d candidates=%-5d iter=%-5d "
+                "inc=%.4fs ref=%.4fs speedup=%.1fx\n",
+                r.name.c_str(), r.devices, r.candidates, r.iterations,
+                r.incremental_s, r.reference_s, r.speedup);
+        }
+        bench::write_planner_baselines(
+            flags.get_string("baseline_out", "BENCH_planners.json"), quick,
+            rows);
+        return 0;
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

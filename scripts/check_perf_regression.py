@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare a fresh planner-baseline JSON against the checked-in baseline.
+
+Both files use the uavdc-bench-planners-v1 schema written by
+`micro_planners --baseline_out=<path> [--quick]`. The check fails when any
+case's incremental-engine runtime regresses by more than --max-ratio
+(default 2x) relative to the checked-in run, or when a case disappeared.
+
+Absolute runtimes differ between the checked-in full-mode baseline and the
+CI quick-mode smoke, so the comparison is *shape-based*: each case's
+incremental runtime is first normalised by the total incremental runtime of
+its own file, and the per-case share is what must not blow up. A >2x jump
+in a case's share means that case slowed down disproportionately — the
+signature of an engine regression — while uniformly slower CI hardware
+cancels out.
+
+Exit codes: 0 ok, 1 regression (or malformed input).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "uavdc-bench-planners-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    cases = {c["name"]: c for c in doc.get("cases", [])}
+    if not cases:
+        sys.exit(f"{path}: no cases")
+    return cases
+
+
+def shares(cases):
+    total = sum(c["incremental_s"] for c in cases.values())
+    if total <= 0.0:
+        sys.exit("total incremental runtime is not positive")
+    return {name: c["incremental_s"] / total for name, c in cases.items()}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in BENCH_planners.json")
+    ap.add_argument("--current", required=True,
+                    help="freshly generated baseline JSON")
+    ap.add_argument("--max-ratio", type=float, default=2.0,
+                    help="max allowed per-case runtime-share ratio "
+                         "current/baseline (default 2.0)")
+    args = ap.parse_args()
+
+    base = load_cases(args.baseline)
+    cur = load_cases(args.current)
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"FAIL: cases missing from current run: {', '.join(missing)}")
+        return 1
+
+    base_share = shares(base)
+    cur_share = shares(cur)
+
+    failed = False
+    print(f"{'case':24s} {'base share':>11s} {'cur share':>11s} "
+          f"{'ratio':>7s} {'speedup':>8s}")
+    for name in sorted(base):
+        ratio = cur_share[name] / base_share[name]
+        speedup = cur[name]["speedup"]
+        flag = ""
+        if ratio > args.max_ratio:
+            failed = True
+            flag = f"  <-- REGRESSION (> {args.max_ratio:.1f}x)"
+        print(f"{name:24s} {base_share[name]:11.4f} {cur_share[name]:11.4f} "
+              f"{ratio:7.2f} {speedup:7.1f}x{flag}")
+
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name:24s} (new case, not in baseline)")
+
+    if failed:
+        print("\nFAIL: incremental-engine runtime regressed; if intentional, "
+              "regenerate bench/BENCH_planners.json with "
+              "`micro_planners --baseline_out=bench/BENCH_planners.json`.")
+        return 1
+    print("\nOK: no perf regression beyond "
+          f"{args.max_ratio:.1f}x per-case runtime share.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

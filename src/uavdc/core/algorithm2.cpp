@@ -27,7 +27,7 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-/// Per-candidate score computed each iteration.
+/// Per-candidate score computed each iteration (reference engine).
 struct Score {
     double new_mb{0.0};       ///< P'(s): data from not-yet-covered devices
     double dwell_s{0.0};      ///< t'(s): max residual upload time
@@ -37,9 +37,48 @@ struct Score {
     double ratio{-1.0};
 };
 
+/// Residual prize P'(s) and dwell t'(s) of a candidate under the current
+/// covered set (Eq. 11-12). Shared by both engines so their floating-point
+/// results are bit-identical.
+struct Gain {
+    double new_mb{0.0};
+    double dwell_s{0.0};
+};
+
+Gain residual_gain(const model::Instance& inst, const HoverCandidate& c,
+                   const std::vector<char>& covered, double bw) {
+    Gain g;
+    for (const int v : c.covered) {
+        if (covered[static_cast<std::size_t>(v)] != 0) continue;
+        const auto& d = inst.devices[static_cast<std::size_t>(v)];
+        if (d.data_mb <= 0.0) continue;
+        g.new_mb += d.data_mb;
+        g.dwell_s = std::max(g.dwell_s, d.upload_time(bw));
+    }
+    return g;
+}
+
+double rank_ratio(RatioRule rule, double new_mb, double extra_hover,
+                  double extra_travel) {
+    switch (rule) {
+        case RatioRule::kPaper:
+            return new_mb / std::max(extra_hover + extra_travel, kEps);
+        case RatioRule::kVolumeOnly:
+            return new_mb;
+        case RatioRule::kPerHover:
+            return new_mb / std::max(extra_hover, kEps);
+    }
+    return -1.0;
+}
+
 }  // namespace
 
 PlanResult GreedyCoveragePlanner::plan(const PlanningContext& ctx) {
+    return cfg_.scoring == ScoringEngine::kReference ? plan_reference(ctx)
+                                                     : plan_incremental(ctx);
+}
+
+PlanResult GreedyCoveragePlanner::plan_reference(const PlanningContext& ctx) {
     util::Timer timer;
     PlanResult out;
     const model::Instance& inst = ctx.instance();
@@ -55,8 +94,8 @@ PlanResult GreedyCoveragePlanner::plan(const PlanningContext& ctx) {
     const double eta_h = inst.uav.hover_power_w;
     const double energy_cap = inst.uav.energy_j;
 
-    std::vector<bool> covered(inst.devices.size(), false);
-    std::vector<bool> used(cands.size(), false);
+    std::vector<char> covered(inst.devices.size(), 0);
+    std::vector<char> used(cands.size(), 0);
     std::vector<double> dwell_of(cands.size(), 0.0);  // dwell when inserted
     TourBuilder tour(inst.depot);
     double hover_energy = 0.0;
@@ -75,28 +114,29 @@ PlanResult GreedyCoveragePlanner::plan(const PlanningContext& ctx) {
         ++iterations;
         auto score_one = [&](std::size_t i) {
             Score s{};
-            if (!used[i]) {
+            if (used[i] == 0) {
                 const auto& c = cands[i];
-                for (int v : c.covered) {
-                    if (covered[static_cast<std::size_t>(v)]) continue;
-                    const auto& d =
-                        inst.devices[static_cast<std::size_t>(v)];
-                    if (d.data_mb <= 0.0) continue;
-                    s.new_mb += d.data_mb;
-                    s.dwell_s = std::max(s.dwell_s, d.upload_time(bw));
-                }
+                const Gain g = residual_gain(inst, c, covered, bw);
+                s.new_mb = g.new_mb;
+                s.dwell_s = g.dwell_s;
                 if (s.new_mb > 0.0) {
                     if (cfg_.exact_ratio_tsp) {
                         // Literal Eq. 13: TSP(S_j) via Christofides over the
-                        // current stops plus this candidate.
-                        std::vector<geom::Vec2> pts;
+                        // current stops plus this candidate. Thread-local
+                        // scratch: one allocation per thread, not one per
+                        // candidate per iteration.
+                        static thread_local std::vector<geom::Vec2> pts;
+                        pts.clear();
                         pts.reserve(tour.size() + 2);
                         pts.push_back(inst.depot);
                         for (const auto& q : tour.stops()) pts.push_back(q);
                         pts.push_back(c.pos);
-                        const auto g = graph::DenseGraph::euclidean(pts);
-                        const auto order = graph::christofides_tour(g, 0);
-                        const double new_len = g.tour_length(order);
+                        // The reference engine is the equivalence oracle and
+                        // keeps the original per-candidate rebuild.
+                        // NOLINTNEXTLINE(uavdc-no-dense-rebuild-in-loop): oracle
+                        const auto g2 = graph::DenseGraph::euclidean(pts);
+                        const auto order = graph::christofides_tour(g2, 0);
+                        const double new_len = g2.tour_length(order);
                         s.travel_delta_m =
                             std::max(0.0, new_len - tour.length());
                         s.ins = tour.cheapest_insertion(c.pos);
@@ -120,37 +160,21 @@ PlanResult GreedyCoveragePlanner::plan(const PlanningContext& ctx) {
                         s.feasible = tour_time <= deadline + kEps;
                     }
                     if (s.feasible) {
-                        switch (cfg_.ratio_rule) {
-                            case RatioRule::kPaper:
-                                s.ratio =
-                                    s.new_mb /
-                                    std::max(extra_hover + extra_travel,
-                                             kEps);
-                                break;
-                            case RatioRule::kVolumeOnly:
-                                s.ratio = s.new_mb;
-                                break;
-                            case RatioRule::kPerHover:
-                                s.ratio =
-                                    s.new_mb / std::max(extra_hover, kEps);
-                                break;
-                        }
+                        s.ratio = rank_ratio(cfg_.ratio_rule, s.new_mb,
+                                             extra_hover, extra_travel);
                     }
                 }
             }
             scores[i] = s;
         };
-        if (parallel) {
-            util::parallel_for(0, cands.size(), score_one, 64);
-        } else {
-            for (std::size_t i = 0; i < cands.size(); ++i) score_one(i);
-        }
+        util::maybe_parallel_for(parallel, 0, cands.size(), score_one, 64);
 
+        // Deterministic argmax: (ratio desc, index asc), threshold > kEps.
         std::size_t best = cands.size();
-        double best_ratio = 0.0;
         for (std::size_t i = 0; i < cands.size(); ++i) {
-            if (scores[i].feasible && scores[i].ratio > best_ratio + kEps) {
-                best_ratio = scores[i].ratio;
+            if (scores[i].feasible && scores[i].ratio > kEps &&
+                (best == cands.size() ||
+                 scores[i].ratio > scores[best].ratio)) {
                 best = i;
             }
         }
@@ -159,16 +183,242 @@ PlanResult GreedyCoveragePlanner::plan(const PlanningContext& ctx) {
         const auto& c = cands[best];
         const Score& s = scores[best];
         tour.insert(c.pos, static_cast<int>(best), s.ins);
-        used[best] = true;
+        used[best] = 1;
         dwell_of[best] = s.dwell_s;
         hover_energy += s.dwell_s * eta_h;
         hover_seconds += s.dwell_s;
         collected_mb += s.new_mb;
-        for (int v : c.covered) covered[static_cast<std::size_t>(v)] = true;
+        for (const int v : c.covered) {
+            covered[static_cast<std::size_t>(v)] = 1;
+        }
 
         if (cfg_.retour_every > 0 && ++since_retour >= cfg_.retour_every) {
             tour.reoptimize();
             since_retour = 0;
+        }
+    }
+    tour.reoptimize();
+
+    for (std::size_t i = 0; i < tour.size(); ++i) {
+        const auto ci = static_cast<std::size_t>(tour.keys()[i]);
+        out.plan.stops.push_back(
+            {tour.stops()[i], dwell_of[ci], cands[ci].cell_id});
+    }
+    out.stats.planned_mb = collected_mb;
+    out.stats.planned_energy_j =
+        hover_energy + inst.uav.travel_energy(tour.length());
+    out.stats.iterations = iterations;
+    out.stats.runtime_s = timer.seconds();
+    return out;
+}
+
+PlanResult GreedyCoveragePlanner::plan_incremental(
+    const PlanningContext& ctx) {
+    util::Timer timer;
+    PlanResult out;
+    const model::Instance& inst = ctx.instance();
+
+    const auto& cands = ctx.candidates().candidates;
+    out.stats.candidates = static_cast<int>(cands.size());
+    if (cands.empty()) {
+        out.stats.runtime_s = timer.seconds();
+        return out;
+    }
+    const std::size_t n = cands.size();
+
+    const double bw = inst.uav.bandwidth_mbps;
+    const double eta_h = inst.uav.hover_power_w;
+    const double energy_cap = inst.uav.energy_j;
+    const double deadline = cfg_.max_tour_time_s;
+    const bool tsp = cfg_.exact_ratio_tsp;
+    const bool parallel =
+        cfg_.parallel_threshold > 0 &&
+        n >= static_cast<std::size_t>(cfg_.parallel_threshold);
+
+    std::vector<char> covered(inst.devices.size(), 0);
+    std::vector<char> used(n, 0);
+    std::vector<double> dwell_of(n, 0.0);
+    TourBuilder tour(inst.depot);
+    double hover_energy = 0.0;
+    double hover_seconds = 0.0;
+    double collected_mb = 0.0;
+
+    std::vector<geom::Vec2> pts(n);
+    for (std::size_t i = 0; i < n; ++i) pts[i] = cands[i].pos;
+    InsertionCache cache(tour, pts);
+    const InvertedCoverageIndex inverted(ctx.candidates(),
+                                         inst.devices.size());
+    LazyGreedyQueue queue(n);
+
+    // Residual gains, refreshed only for candidates whose coverage
+    // intersects newly covered devices.
+    std::vector<double> gain_mb(n, 0.0);
+    std::vector<double> gain_dwell(n, 0.0);
+    auto refresh_gain = [&](std::size_t i) {
+        const Gain g = residual_gain(inst, cands[i], covered, bw);
+        gain_mb[i] = g.new_mb;
+        gain_dwell[i] = g.dwell_s;
+    };
+
+    // Heap key. Default path: the exact (state-independent) ratio — policy
+    // A. exact_ratio_tsp: an upper bound on the ratio (travel >= 0, so
+    // dropping the travel term can only increase eq13/per-hover) — policy B.
+    auto key_of = [&](std::size_t i) {
+        const double extra_hover = gain_dwell[i] * eta_h;
+        if (!tsp) {
+            return rank_ratio(cfg_.ratio_rule, gain_mb[i], extra_hover,
+                              inst.uav.travel_energy(cache.get(i).delta_m));
+        }
+        switch (cfg_.ratio_rule) {
+            case RatioRule::kPaper:
+            case RatioRule::kPerHover:
+                return gain_mb[i] / std::max(extra_hover, kEps);
+            case RatioRule::kVolumeOnly:
+                return gain_mb[i];
+        }
+        return -1.0;
+    };
+
+    // TSP(S_j) - TSP(S_{j-1}) for the exact_ratio_tsp path, served from the
+    // PlanningContext distance matrix (node 0 = depot, node j+1 =
+    // candidate j) instead of rebuilding Euclidean rows per candidate.
+    std::vector<std::size_t> nodes;
+    auto tsp_delta = [&](std::size_t i) {
+        const std::size_t m = tour.size() + 2;
+        nodes.clear();
+        nodes.reserve(m);
+        nodes.push_back(0);
+        for (const int key : tour.keys()) {
+            nodes.push_back(static_cast<std::size_t>(key) + 1);
+        }
+        nodes.push_back(i + 1);
+        graph::DenseGraph g(m);
+        for (std::size_t r = 0; r < m; ++r) {
+            for (std::size_t c = r + 1; c < m; ++c) {
+                g.set_weight(r, c, ctx.node_distance(nodes[r], nodes[c]));
+            }
+        }
+        const auto order = graph::christofides_tour(g, 0);
+        const double new_len = g.tour_length(order);
+        return std::max(0.0, new_len - tour.length());
+    };
+
+    // Exact score + selectability, with the identical expressions (and
+    // operand order) as the reference engine's score_one.
+    auto eval = [&](std::size_t i) -> std::pair<double, bool> {
+        const double travel_delta = tsp ? tsp_delta(i) : cache.get(i).delta_m;
+        const double extra_hover = gain_dwell[i] * eta_h;
+        const double extra_travel = inst.uav.travel_energy(travel_delta);
+        const double total =
+            hover_energy + extra_hover +
+            inst.uav.travel_energy(tour.length() + travel_delta);
+        bool feasible = total <= energy_cap + kEps;
+        if (feasible && deadline > 0.0) {
+            const double tour_time =
+                hover_seconds + gain_dwell[i] +
+                inst.uav.travel_time(tour.length() + travel_delta);
+            feasible = tour_time <= deadline + kEps;
+        }
+        const double ratio = rank_ratio(cfg_.ratio_rule, gain_mb[i],
+                                        extra_hover, extra_travel);
+        return {ratio, feasible && ratio > kEps};
+    };
+
+    // Initial full scoring pass.
+    cache.rebuild_all(parallel);
+    util::maybe_parallel_for(parallel, 0, n, refresh_gain, 64);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (gain_mb[i] <= 0.0) {
+            // No residual prize now means none ever (coverage only grows).
+            queue.deactivate(i);
+            cache.deactivate(i);
+        } else {
+            queue.update(i, key_of(i));
+        }
+    }
+
+    int iterations = 0;
+    int since_retour = 0;
+    std::vector<std::size_t> gain_dirty;
+    std::vector<std::pair<std::size_t, double>> requeue;
+    std::vector<char> dirty_mark(n, 0);
+    std::vector<std::size_t> ins_changed;
+    for (;;) {
+        ++iterations;
+        const auto pick = queue.pop_best(/*exact_keys=*/!tsp, eval);
+        if (!pick.found) break;
+        const std::size_t best = pick.index;
+        const auto& c = cands[best];
+        const TourBuilder::Insertion ins = cache.get(best);
+
+        tour.insert(c.pos, static_cast<int>(best), ins);
+        used[best] = 1;
+        queue.deactivate(best);
+        cache.deactivate(best);
+        dwell_of[best] = gain_dwell[best];
+        hover_energy += gain_dwell[best] * eta_h;
+        hover_seconds += gain_dwell[best];
+        collected_mb += gain_mb[best];
+
+        // Newly covered devices dirty exactly the candidates that share
+        // them (inverted index) — nobody else's gain moved.
+        gain_dirty.clear();
+        for (const int v : c.covered) {
+            const auto dv = static_cast<std::size_t>(v);
+            if (covered[dv] != 0) continue;
+            covered[dv] = 1;
+            for (const std::int32_t j : inverted.covering(dv)) {
+                const auto cj = static_cast<std::size_t>(j);
+                if (cj == best || used[cj] != 0 || !queue.active(cj) ||
+                    dirty_mark[cj] != 0) {
+                    continue;
+                }
+                dirty_mark[cj] = 1;
+                gain_dirty.push_back(cj);
+            }
+        }
+
+        ins_changed.clear();
+        const bool do_retour =
+            cfg_.retour_every > 0 && ++since_retour >= cfg_.retour_every;
+        if (do_retour) {
+            since_retour = 0;
+            tour.reoptimize();
+            cache.invalidate_all();
+            cache.rebuild_all(parallel);
+        } else {
+            cache.on_insert(ins, ins_changed);
+        }
+
+        util::maybe_parallel_for(
+            parallel && gain_dirty.size() >= 256, 0, gain_dirty.size(),
+            [&](std::size_t t) { refresh_gain(gain_dirty[t]); }, 64);
+        for (const std::size_t j : gain_dirty) {
+            dirty_mark[j] = 0;
+            if (gain_mb[j] <= 0.0) {
+                queue.deactivate(j);
+                cache.deactivate(j);
+            }
+        }
+
+        if (do_retour) {
+            // Every insertion delta changed and feasibility may have
+            // loosened (shorter tour): refresh every live key, as a single
+            // O(n) heapify instead of n heap pushes.
+            requeue.clear();
+            for (std::size_t j = 0; j < n; ++j) {
+                if (used[j] == 0 && queue.active(j)) {
+                    requeue.push_back({j, key_of(j)});
+                }
+            }
+            queue.rebuild(requeue);
+        } else {
+            for (const std::size_t j : gain_dirty) {
+                if (queue.active(j)) queue.update(j, key_of(j));
+            }
+            for (const std::size_t j : ins_changed) {
+                if (queue.active(j)) queue.update(j, key_of(j));
+            }
         }
     }
     tour.reoptimize();

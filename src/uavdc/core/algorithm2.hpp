@@ -3,6 +3,7 @@
 #include <string>
 
 #include "uavdc/core/hover_candidates.hpp"
+#include "uavdc/core/incremental_scorer.hpp"
 #include "uavdc/core/planner.hpp"
 
 namespace uavdc::core {
@@ -39,6 +40,11 @@ struct Algorithm2Config {
     /// exceed this many seconds (0 = unconstrained). An operational
     /// extension beyond the paper's energy-only budget.
     double max_tour_time_s = 0.0;
+    /// Scoring engine. kIncremental (lazy-greedy heap + inverted coverage
+    /// index + insertion cache) and kReference (full rescan per iteration)
+    /// produce bit-identical plans; the reference engine is the equivalence
+    /// oracle.
+    ScoringEngine scoring = ScoringEngine::kIncremental;
 };
 
 /// The paper's Algorithm 2 (Sec. V): heuristic for the data collection
@@ -62,6 +68,9 @@ class GreedyCoveragePlanner final : public Planner {
     [[nodiscard]] std::string name() const override { return "alg2-greedy"; }
 
   private:
+    [[nodiscard]] PlanResult plan_reference(const PlanningContext& ctx);
+    [[nodiscard]] PlanResult plan_incremental(const PlanningContext& ctx);
+
     Algorithm2Config cfg_;
 };
 

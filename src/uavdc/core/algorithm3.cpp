@@ -31,6 +31,12 @@ struct Score {
 PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
     UAVDC_REQUIRE(cfg_.k >= 1)
         << "PartialCollectionPlanner: k must be >= 1, got " << cfg_.k;
+    return cfg_.scoring == ScoringEngine::kReference ? plan_reference(ctx)
+                                                     : plan_incremental(ctx);
+}
+
+PlanResult PartialCollectionPlanner::plan_reference(
+    const PlanningContext& ctx) {
     util::Timer timer;
     PlanResult out;
     const model::Instance& inst = ctx.instance();
@@ -52,7 +58,7 @@ PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
         residual[v] = inst.devices[v].data_mb;
     }
     std::vector<double> dwell_of(cands.size(), 0.0);
-    std::vector<bool> in_tour(cands.size(), false);
+    std::vector<char> in_tour(cands.size(), 0);
     TourBuilder tour(inst.depot);
     double hover_energy = 0.0;
     double hover_seconds = 0.0;
@@ -80,8 +86,8 @@ PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
             }
             if (t_full > kEps) {
                 const TourBuilder::Insertion ins =
-                    in_tour[j] ? TourBuilder::Insertion{0, 0.0}
-                               : tour.cheapest_insertion(c.pos);
+                    in_tour[j] != 0 ? TourBuilder::Insertion{0, 0.0}
+                                    : tour.cheapest_insertion(c.pos);
                 const double travel_j_extra =
                     inst.uav.travel_energy(ins.delta_m);
                 // Evaluate each virtual location s_{j,k}; keep the best
@@ -115,7 +121,7 @@ PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
                         best.new_mb = gain;
                         best.extra_dwell_s = dt;
                         best.ins = ins;
-                        best.in_tour = in_tour[j];
+                        best.in_tour = in_tour[j] != 0;
                         best.feasible = true;
                         best.ratio = ratio;
                     }
@@ -123,17 +129,14 @@ PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
             }
             scores[j] = best;
         };
-        if (parallel) {
-            util::parallel_for(0, cands.size(), score_one, 32);
-        } else {
-            for (std::size_t j = 0; j < cands.size(); ++j) score_one(j);
-        }
+        util::maybe_parallel_for(parallel, 0, cands.size(), score_one, 32);
 
+        // Deterministic argmax: (ratio desc, index asc), threshold > kEps.
         std::size_t best = cands.size();
-        double best_ratio = 0.0;
         for (std::size_t j = 0; j < cands.size(); ++j) {
-            if (scores[j].feasible && scores[j].ratio > best_ratio + kEps) {
-                best_ratio = scores[j].ratio;
+            if (scores[j].feasible && scores[j].ratio > kEps &&
+                (best == cands.size() ||
+                 scores[j].ratio > scores[best].ratio)) {
                 best = j;
             }
         }
@@ -143,7 +146,7 @@ PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
         const Score& s = scores[best];
         if (!s.in_tour) {
             tour.insert(c.pos, static_cast<int>(best), s.ins);
-            in_tour[best] = true;
+            in_tour[best] = 1;
             if (cfg_.retour_every > 0 &&
                 ++since_retour >= cfg_.retour_every) {
                 tour.reoptimize();
@@ -158,6 +161,252 @@ PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
         for (int v : c.covered) {
             auto& r = residual[static_cast<std::size_t>(v)];
             r -= std::min(r, budget_mb);
+        }
+    }
+    tour.reoptimize();
+
+    for (std::size_t i = 0; i < tour.size(); ++i) {
+        const auto ci = static_cast<std::size_t>(tour.keys()[i]);
+        out.plan.stops.push_back(
+            {tour.stops()[i], dwell_of[ci], cands[ci].cell_id});
+    }
+    out.stats.planned_mb = collected_mb;
+    out.stats.planned_energy_j =
+        hover_energy + inst.uav.travel_energy(tour.length());
+    out.stats.iterations = iterations;
+    out.stats.runtime_s = timer.seconds();
+    return out;
+}
+
+PlanResult PartialCollectionPlanner::plan_incremental(
+    const PlanningContext& ctx) {
+    util::Timer timer;
+    PlanResult out;
+    const model::Instance& inst = ctx.instance();
+
+    const auto& cands = ctx.candidates().candidates;
+    out.stats.candidates = static_cast<int>(cands.size());
+    if (cands.empty()) {
+        out.stats.runtime_s = timer.seconds();
+        return out;
+    }
+    const std::size_t n = cands.size();
+
+    const double bw = inst.uav.bandwidth_mbps;
+    const double eta_h = inst.uav.hover_power_w;
+    const double energy_cap = inst.uav.energy_j;
+    const int k_max = cfg_.k;
+    const double deadline = cfg_.max_tour_time_s;
+    const bool parallel =
+        cfg_.parallel_threshold > 0 &&
+        n >= static_cast<std::size_t>(cfg_.parallel_threshold);
+
+    std::vector<double> residual(inst.devices.size());
+    for (std::size_t v = 0; v < inst.devices.size(); ++v) {
+        residual[v] = inst.devices[v].data_mb;
+    }
+    std::vector<double> dwell_of(n, 0.0);
+    std::vector<char> in_tour(n, 0);
+    TourBuilder tour(inst.depot);
+    double hover_energy = 0.0;
+    double hover_seconds = 0.0;
+    double collected_mb = 0.0;
+
+    std::vector<geom::Vec2> pts(n);
+    for (std::size_t i = 0; i < n; ++i) pts[i] = cands[i].pos;
+    InsertionCache cache(tour, pts);
+    const InvertedCoverageIndex inverted(ctx.candidates(),
+                                         inst.devices.size());
+    LazyGreedyQueue queue(n);
+    std::vector<Score> scores(n);  // eval results, read back on selection
+
+    // Upper-bound key: the best per-k ratio *ignoring feasibility*. Each
+    // per-k value is computed with the exact expressions of score_one, so
+    // the max over all k is >= the max over the feasible subset — a valid
+    // bound with no floating-point slack. Returns -1 when the candidate is
+    // permanently dead (residuals only shrink, so t'(s) <= eps or all-k
+    // gains <= kMinGainMb can never revert).
+    auto key_of = [&](std::size_t j) {
+        const auto& c = cands[j];
+        double t_full = 0.0;
+        for (int v : c.covered) {
+            t_full =
+                std::max(t_full, residual[static_cast<std::size_t>(v)] / bw);
+        }
+        if (t_full <= kEps) return -1.0;
+        const double travel_extra =
+            in_tour[j] != 0 ? inst.uav.travel_energy(0.0)
+                            : inst.uav.travel_energy(cache.get(j).delta_m);
+        double ub = -1.0;
+        for (int k = 1; k <= k_max; ++k) {
+            const double dt = static_cast<double>(k) * t_full /
+                              static_cast<double>(k_max);
+            double gain = 0.0;
+            for (int v : c.covered) {
+                gain += std::min(residual[static_cast<std::size_t>(v)],
+                                 bw * dt);
+            }
+            if (gain <= kMinGainMb) continue;
+            const double extra_hover = dt * eta_h;
+            ub = std::max(ub,
+                          gain / std::max(extra_hover + travel_extra, kEps));
+        }
+        return ub;
+    };
+
+    // Exact evaluation: byte-for-byte the reference score_one, with the
+    // cached insertion standing in for tour.cheapest_insertion.
+    auto eval = [&](std::size_t j) -> std::pair<double, bool> {
+        Score best{};
+        const auto& c = cands[j];
+        double t_full = 0.0;
+        for (int v : c.covered) {
+            t_full =
+                std::max(t_full, residual[static_cast<std::size_t>(v)] / bw);
+        }
+        if (t_full > kEps) {
+            const TourBuilder::Insertion ins =
+                in_tour[j] != 0 ? TourBuilder::Insertion{0, 0.0}
+                                : cache.get(j);
+            const double travel_j_extra = inst.uav.travel_energy(ins.delta_m);
+            for (int k = 1; k <= k_max; ++k) {
+                const double dt = static_cast<double>(k) * t_full /
+                                  static_cast<double>(k_max);
+                double gain = 0.0;
+                for (int v : c.covered) {
+                    gain += std::min(residual[static_cast<std::size_t>(v)],
+                                     bw * dt);
+                }
+                if (gain <= kMinGainMb) continue;
+                const double extra_hover = dt * eta_h;
+                const double total =
+                    hover_energy + extra_hover +
+                    inst.uav.travel_energy(tour.length() + ins.delta_m);
+                if (total > energy_cap + kEps) continue;
+                if (deadline > 0.0) {
+                    const double tour_time =
+                        hover_seconds + dt +
+                        inst.uav.travel_time(tour.length() + ins.delta_m);
+                    if (tour_time > deadline + kEps) continue;
+                }
+                const double ratio =
+                    gain / std::max(extra_hover + travel_j_extra, kEps);
+                if (ratio > best.ratio) {
+                    best.new_mb = gain;
+                    best.extra_dwell_s = dt;
+                    best.ins = ins;
+                    best.in_tour = in_tour[j] != 0;
+                    best.feasible = true;
+                    best.ratio = ratio;
+                }
+            }
+        }
+        scores[j] = best;
+        return {best.ratio, best.feasible && best.ratio > kEps};
+    };
+
+    cache.rebuild_all(parallel);
+    for (std::size_t j = 0; j < n; ++j) {
+        const double key = key_of(j);
+        if (key < 0.0) {
+            queue.deactivate(j);
+            cache.deactivate(j);
+        } else {
+            queue.update(j, key);
+        }
+    }
+
+    int iterations = 0;
+    int since_retour = 0;
+    std::vector<std::size_t> gain_dirty;
+    std::vector<std::pair<std::size_t, double>> requeue;
+    std::vector<char> dirty_mark(n, 0);
+    std::vector<std::size_t> ins_changed;
+    for (;;) {
+        ++iterations;
+        const auto pick = queue.pop_best(/*exact_keys=*/false, eval);
+        if (!pick.found) break;
+        const std::size_t best = pick.index;
+        const auto& c = cands[best];
+        const Score s = scores[best];
+
+        const bool was_new = !s.in_tour;
+        bool do_retour = false;
+        if (was_new) {
+            tour.insert(c.pos, static_cast<int>(best), s.ins);
+            in_tour[best] = 1;
+            cache.deactivate(best);
+            if (cfg_.retour_every > 0 &&
+                ++since_retour >= cfg_.retour_every) {
+                do_retour = true;
+                since_retour = 0;
+            }
+        }
+        dwell_of[best] += s.extra_dwell_s;
+        hover_energy += s.extra_dwell_s * eta_h;
+        hover_seconds += s.extra_dwell_s;
+        collected_mb += s.new_mb;
+
+        // Drain residuals; a device whose residual moved dirties exactly
+        // the candidates covering it (the selected one included — it needs
+        // a fresh key or retirement).
+        const double budget_mb = bw * s.extra_dwell_s;
+        gain_dirty.clear();
+        for (int v : c.covered) {
+            const auto dv = static_cast<std::size_t>(v);
+            auto& r = residual[dv];
+            const double before = r;
+            r -= std::min(r, budget_mb);
+            if (r == before) continue;
+            for (const std::int32_t j : inverted.covering(dv)) {
+                const auto cj = static_cast<std::size_t>(j);
+                if (!queue.active(cj) || dirty_mark[cj] != 0) continue;
+                dirty_mark[cj] = 1;
+                gain_dirty.push_back(cj);
+            }
+        }
+
+        ins_changed.clear();
+        if (do_retour) {
+            tour.reoptimize();
+            cache.invalidate_all();
+            cache.rebuild_all(parallel);
+        } else if (was_new) {
+            cache.on_insert(s.ins, ins_changed);
+        }
+
+        auto refresh_key = [&](std::size_t j) {
+            if (!queue.active(j)) return;
+            const double key = key_of(j);
+            if (key < 0.0) {
+                queue.deactivate(j);
+                if (in_tour[j] == 0) cache.deactivate(j);
+            } else {
+                queue.update(j, key);
+            }
+        };
+        if (do_retour) {
+            for (const std::size_t j : gain_dirty) dirty_mark[j] = 0;
+            // Every insertion delta changed: refresh every live key, as a
+            // single O(n) heapify instead of n heap pushes.
+            requeue.clear();
+            for (std::size_t j = 0; j < n; ++j) {
+                if (!queue.active(j)) continue;
+                const double key = key_of(j);
+                if (key < 0.0) {
+                    queue.deactivate(j);
+                    if (in_tour[j] == 0) cache.deactivate(j);
+                } else {
+                    requeue.push_back({j, key});
+                }
+            }
+            queue.rebuild(requeue);
+        } else {
+            for (const std::size_t j : gain_dirty) {
+                dirty_mark[j] = 0;
+                refresh_key(j);
+            }
+            for (const std::size_t j : ins_changed) refresh_key(j);
         }
     }
     tour.reoptimize();

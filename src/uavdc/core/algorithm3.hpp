@@ -1,6 +1,7 @@
 #pragma once
 
 #include "uavdc/core/hover_candidates.hpp"
+#include "uavdc/core/incremental_scorer.hpp"
 #include "uavdc/core/planner.hpp"
 
 namespace uavdc::core {
@@ -19,6 +20,9 @@ struct Algorithm3Config {
     /// Optional mission deadline on T = T_h + T_t in seconds
     /// (0 = unconstrained); see Algorithm2Config::max_tour_time_s.
     double max_tour_time_s = 0.0;
+    /// Scoring engine (see Algorithm2Config::scoring); both engines produce
+    /// bit-identical plans.
+    ScoringEngine scoring = ScoringEngine::kIncremental;
 };
 
 /// The paper's Algorithm 3 (Sec. VI): heuristic for the *partial* data
@@ -48,6 +52,9 @@ class PartialCollectionPlanner final : public Planner {
     }
 
   private:
+    [[nodiscard]] PlanResult plan_reference(const PlanningContext& ctx);
+    [[nodiscard]] PlanResult plan_incremental(const PlanningContext& ctx);
+
     Algorithm3Config cfg_;
 };
 

@@ -5,14 +5,15 @@
 #include <bit>
 #include <cstring>
 
+#include "uavdc/util/parallel_for.hpp"
 #include "uavdc/util/timer.hpp"
 
 namespace uavdc::core {
 
 namespace {
 
-// Candidate counts above this skip the per-row distance cache (a dense row
-// table would cost O(n^2) doubles) and compute distances on demand.
+// Node counts above this skip the precomputed triangular distance matrix
+// (O(n^2 / 2) doubles) and compute distances on demand.
 constexpr std::size_t kMaxCachedDistanceNodes = 4097;  // depot + 4096
 
 std::atomic<std::uint64_t> g_candidate_builds{0};
@@ -110,25 +111,42 @@ geom::Vec2 PlanningContext::node_pos(std::size_t i) const {
     return i == 0 ? inst_.depot : cands_.candidates[i - 1].pos;
 }
 
+void PlanningContext::ensure_distance_matrix() const {
+    std::call_once(dist_once_, [this] {
+        const std::size_t n = candidates().size() + 1;
+        if (n > kMaxCachedDistanceNodes) return;  // dist_matrix_ stays false
+        tri_.resize(n * (n + 1) / 2);
+        // Rows have wildly different lengths; a small grain keeps the
+        // chunks balanced. Safe on a worker thread: parallel_for runs
+        // inline there.
+        util::parallel_for(
+            0, n,
+            [this](std::size_t r) {
+                const geom::Vec2 p = node_pos(r);
+                double* row = tri_.data() + r * (r + 1) / 2;
+                for (std::size_t c = 0; c <= r; ++c) {
+                    row[c] = geom::distance(p, node_pos(c));
+                }
+            },
+            64);
+        dist_matrix_ = true;
+    });
+}
+
+bool PlanningContext::has_distance_matrix() const {
+    ensure_distance_matrix();
+    return dist_matrix_;
+}
+
 double PlanningContext::node_distance(std::size_t i, std::size_t j) const {
     if (i == j) return 0.0;
-    const std::size_t n = candidates().size() + 1;
-    if (n > kMaxCachedDistanceNodes) {
+    ensure_distance_matrix();
+    if (!dist_matrix_) {
         return geom::distance(node_pos(i), node_pos(j));
     }
-    const std::size_t r = std::min(i, j);
-    const std::size_t c = std::max(i, j);
-    std::lock_guard<std::mutex> lock(dist_mutex_);
-    if (rows_.empty()) rows_.resize(n);
-    auto& row = rows_[r];
-    if (row.empty()) {
-        row.resize(n);
-        const geom::Vec2 p = node_pos(r);
-        for (std::size_t k = 0; k < n; ++k) {
-            row[k] = geom::distance(p, node_pos(k));
-        }
-    }
-    return row[c];
+    const std::size_t r = std::max(i, j);
+    const std::size_t c = std::min(i, j);
+    return tri_[r * (r + 1) / 2 + c];
 }
 
 std::uint64_t PlanningContext::total_candidate_builds() {

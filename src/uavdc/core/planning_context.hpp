@@ -65,9 +65,15 @@ class PlanningContext {
     }
 
     /// Distance between tour nodes, where node 0 is the depot and node
-    /// j >= 1 is candidate j-1. Rows are filled lazily on first touch and
-    /// cached (small candidate sets only; larger sets compute on the fly).
+    /// j >= 1 is candidate j-1. Below the size threshold the full distance
+    /// matrix is precomputed once (on first call, via std::call_once) into a
+    /// flat lower-triangular array, making every subsequent read lock-free
+    /// and contention-free; larger sets compute distances on the fly.
     [[nodiscard]] double node_distance(std::size_t i, std::size_t j) const;
+
+    /// True when node_distance is served from the precomputed triangular
+    /// matrix (candidate set below the size threshold).
+    [[nodiscard]] bool has_distance_matrix() const;
 
     /// Cache key: FNV-1a over every instance field (region, depot, devices,
     /// all UAV parameters) combined with the candidate-config fields.
@@ -107,11 +113,15 @@ class PlanningContext {
     mutable HoverCandidateSet cands_;
     mutable std::atomic<bool> cands_built_{false};
 
-    // Lazy per-row distance cache over depot + candidates; rows_ is sized
-    // on first use, row r is filled under dist_mutex_ the first time any
-    // (r, *) pair is requested.
-    mutable std::mutex dist_mutex_;
-    mutable std::vector<std::vector<double>> rows_;
+    void ensure_distance_matrix() const;
+
+    // Flat lower-triangular distance matrix over depot + candidates
+    // (tri_[r * (r + 1) / 2 + c] = distance(node r, node c) for c <= r),
+    // built once under dist_once_; readers then index it without any lock.
+    // Left empty (dist_matrix_ == false) above the size threshold.
+    mutable std::once_flag dist_once_;
+    mutable std::vector<double> tri_;
+    mutable bool dist_matrix_{false};
 };
 
 /// Bounded LRU memo of `PlanningContext`s keyed on (instance fingerprint,

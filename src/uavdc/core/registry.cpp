@@ -25,16 +25,20 @@ std::unique_ptr<Planner> make_planner(const std::string& name,
     if (name == "alg2") {
         Algorithm2Config cfg;
         cfg.candidates = opts.hover_config();
+        cfg.scoring = opts.scoring;
         return std::make_unique<GreedyCoveragePlanner>(cfg);
     }
     if (name == "alg3") {
         Algorithm3Config cfg;
         cfg.candidates = opts.hover_config();
         cfg.k = opts.k;
+        cfg.scoring = opts.scoring;
         return std::make_unique<PartialCollectionPlanner>(cfg);
     }
     if (name == "benchmark") {
-        return std::make_unique<PruneTspPlanner>();
+        BenchmarkPlannerConfig cfg;
+        cfg.scoring = opts.scoring;
+        return std::make_unique<PruneTspPlanner>(cfg);
     }
     if (name == "kmeans") {
         return std::make_unique<ClusterPlanner>();

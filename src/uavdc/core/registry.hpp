@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "uavdc/core/hover_candidates.hpp"
+#include "uavdc/core/incremental_scorer.hpp"
 #include "uavdc/core/planner.hpp"
 #include "uavdc/orienteering/solver.hpp"
 
@@ -23,6 +24,9 @@ struct PlannerOptions {
         HoverCandidateConfig{}.max_candidates;  ///< candidate cap (alg1/2/3)
     int k = 2;                   ///< Algorithm 3 sojourn partitions
     int grasp_iterations = 8;    ///< Algorithm 1 GRASP restarts
+    /// Scoring engine for the greedy planners (alg2/alg3/benchmark);
+    /// kReference keeps the from-scratch rescan oracle.
+    ScoringEngine scoring = ScoringEngine::kIncremental;
     orienteering::SolverKind solver =
         orienteering::SolverKind::kGrasp;  ///< Algorithm 1 backend
 

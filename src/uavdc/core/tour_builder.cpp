@@ -3,9 +3,21 @@
 #include <limits>
 
 #include "uavdc/graph/christofides.hpp"
+#include "uavdc/graph/local_search.hpp"
 #include "uavdc/util/check.hpp"
+#include "uavdc/util/parallel_for.hpp"
 
 namespace uavdc::core {
+
+namespace {
+
+// reoptimize() switches from the exact O(n^2)-per-sweep 2-opt/Or-opt inside
+// christofides_tour to neighbor-list (k-nearest) sweeps at this many nodes
+// (depot + stops); below it the exact polish is cheap and kept as-is.
+constexpr std::size_t kNeighborReoptMinNodes = 64;
+constexpr std::size_t kReoptNeighbors = 12;
+
+}  // namespace
 
 TourBuilder::Insertion TourBuilder::cheapest_insertion(
     const geom::Vec2& p) const {
@@ -36,6 +48,68 @@ TourBuilder::Insertion TourBuilder::cheapest_insertion(
         if (d < best.delta_m) best = {n, d};
     }
     return best;
+}
+
+TourBuilder::Insertion2 TourBuilder::cheapest_insertion2(
+    const geom::Vec2& p) const {
+    return cheapest_insertion2(p, {});
+}
+
+TourBuilder::Insertion2 TourBuilder::cheapest_insertion2(
+    const geom::Vec2& p, std::span<const double> edge_len) const {
+    const std::size_t n = stops_.size();
+    Insertion2 out;
+    if (n == 0) {
+        out.best = {0, 2.0 * geom::distance(depot_, p)};
+        return out;
+    }
+    UAVDC_DCHECK(edge_len.empty() || edge_len.size() == n + 1);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    Insertion best{0, kInf};
+    Insertion second{0, kInf};
+    // Scan order is ascending position, so a strict < keeps the earliest
+    // position among equal deltas — for the runner-up too.
+    auto consider = [&](std::size_t pos, double d) {
+        if (d < best.delta_m) {
+            second = best;
+            best = {pos, d};
+        } else if (d < second.delta_m) {
+            second = {pos, d};
+        }
+    };
+    const bool have_len = !edge_len.empty();
+    consider(0, geom::distance(depot_, p) + geom::distance(p, stops_[0]) -
+                    (have_len ? edge_len[0]
+                              : geom::distance(depot_, stops_[0])));
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        consider(i + 1, geom::distance(stops_[i], p) +
+                            geom::distance(p, stops_[i + 1]) -
+                            (have_len ? edge_len[i + 1]
+                                      : geom::distance(stops_[i],
+                                                       stops_[i + 1])));
+    }
+    consider(n, geom::distance(stops_[n - 1], p) +
+                    geom::distance(p, depot_) -
+                    (have_len ? edge_len[n]
+                              : geom::distance(stops_[n - 1], depot_)));
+    out.best = best;
+    if (second.delta_m < kInf) {
+        out.second = second;
+        out.has_second = true;
+    }
+    return out;
+}
+
+std::vector<double> TourBuilder::edge_lengths() const {
+    const std::size_t n = stops_.size();
+    if (n == 0) return {};
+    std::vector<double> len(n + 1);
+    len[0] = geom::distance(depot_, stops_[0]);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        len[i + 1] = geom::distance(stops_[i], stops_[i + 1]);
+    }
+    len[n] = geom::distance(stops_[n - 1], depot_);
+    return len;
 }
 
 void TourBuilder::insert(const geom::Vec2& p, int key, const Insertion& ins) {
@@ -73,7 +147,22 @@ double TourBuilder::reoptimize() {
     pts.push_back(depot_);
     pts.insert(pts.end(), stops_.begin(), stops_.end());
     const graph::DenseGraph g = graph::DenseGraph::euclidean(pts);
-    const std::vector<std::size_t> order = graph::christofides_tour(g, 0);
+    std::vector<std::size_t> order;
+    if (pts.size() < kNeighborReoptMinNodes) {
+        order = graph::christofides_tour(g, 0);
+    } else {
+        // Large tours: construct without the built-in exact polish, then run
+        // neighbor-list 2-opt / Or-opt (O(n * k) per sweep instead of
+        // O(n^2)).
+        graph::ChristofidesConfig ccfg;
+        ccfg.improve_two_opt = false;
+        ccfg.improve_or_opt = false;
+        order = graph::christofides_tour(g, 0, ccfg);
+        const auto nb = graph::nearest_neighbor_lists(g, kReoptNeighbors);
+        graph::two_opt_neighbors(g, order, nb);
+        graph::or_opt_neighbors(g, order, nb);
+        graph::two_opt_neighbors(g, order, nb);
+    }
     // order[0] == 0 (depot); rebuild stops/keys in the new order.
     UAVDC_CHECK(!order.empty() && order[0] == 0)
         << "christofides_tour must start at the depot node";
@@ -105,6 +194,141 @@ double TourBuilder::recompute_length() const {
     }
     len += geom::distance(stops_.back(), depot_);
     return len;
+}
+
+namespace {
+
+/// Fresh-scan ordering: strictly smaller delta wins; equal deltas resolve
+/// to the smaller (earlier-scanned) position.
+bool lex_less(const TourBuilder::Insertion& a,
+              const TourBuilder::Insertion& b) {
+    return a.delta_m < b.delta_m ||
+           (a.delta_m == b.delta_m && a.position < b.position);
+}
+
+}  // namespace
+
+InsertionCache::InsertionCache(const TourBuilder& tour,
+                               std::span<const geom::Vec2> points)
+    : tour_(&tour),
+      points_(points.begin(), points.end()),
+      cached_(points.size()),
+      second_(points.size()),
+      second_ok_(points.size(), 0),
+      active_(points.size(), 1) {}
+
+const TourBuilder::Insertion& InsertionCache::get(std::size_t i) const {
+    UAVDC_DCHECK(!dirty_) << "InsertionCache::get on a dirty cache";
+    UAVDC_DCHECK(i < cached_.size() && active_[i] != 0);
+    return cached_[i];
+}
+
+void InsertionCache::on_insert(const TourBuilder::Insertion& ins,
+                               std::vector<std::size_t>& changed) {
+    UAVDC_DCHECK(!dirty_) << "InsertionCache::on_insert on a dirty cache";
+    const std::size_t q = ins.position;
+    const std::size_t n = tour_->size();  // post-insert stop count
+    UAVDC_DCHECK(q < n);
+    const geom::Vec2& p = tour_->stops()[q];
+    const geom::Vec2& a = q == 0 ? tour_->depot() : tour_->stops()[q - 1];
+    const geom::Vec2& b = q + 1 == n ? tour_->depot() : tour_->stops()[q + 1];
+    // New edge lengths, hoisted out of the candidate loop (loop-invariant)
+    // and folded into the maintained edge-length array.
+    const double len_ap = geom::distance(a, p);
+    const double len_pb = geom::distance(p, b);
+    if (edge_len_.empty()) {
+        edge_len_ = {len_ap, len_pb};
+    } else {
+        UAVDC_DCHECK(edge_len_.size() == n);  // n - 1 stops before insert
+        edge_len_[q] = len_ap;
+        edge_len_.insert(edge_len_.begin() + static_cast<std::ptrdiff_t>(q) +
+                             1,
+                         len_pb);
+    }
+    for (std::size_t i = 0; i < cached_.size(); ++i) {
+        if (active_[i] == 0) continue;
+        TourBuilder::Insertion& c = cached_[i];
+        // Existing edges kept their deltas; only the two new edges
+        // (a -> p at position q, p -> b at position q+1) can improve an
+        // entry. Ties resolve to the smaller position, matching the
+        // strict-< scan order of TourBuilder::cheapest_insertion.
+        // geom::distance is FP-symmetric, so d(x, p) substitutes d(p, x)
+        // bit-for-bit in the second delta.
+        const geom::Vec2& x = points_[i];
+        const double d_xp = geom::distance(x, p);
+        const double d_ap = geom::distance(a, x) + d_xp - len_ap;
+        const double d_pb = d_xp + geom::distance(x, b) - len_pb;
+        const TourBuilder::Insertion n1{q, d_ap};
+        const TourBuilder::Insertion n2{q + 1, d_pb};
+        const bool n1_wins = !lex_less(n2, n1);
+        const TourBuilder::Insertion& nbest = n1_wins ? n1 : n2;
+        const TourBuilder::Insertion& nother = n1_wins ? n2 : n1;
+        if (c.position == q) {
+            // Straddler: the cached best edge is the one the insertion
+            // removed. Every surviving old edge is lex->= the runner-up, so
+            // the new best is the lex-min of the runner-up and the two new
+            // edges; a full rescan is needed only when the runner-up is
+            // unknown (consumed by an earlier straddle).
+            if (second_ok_[i] == 0) {
+                const auto r = tour_->cheapest_insertion2(x, edge_len_);
+                c = r.best;
+                second_[i] = r.second;
+                second_ok_[i] = r.has_second ? 1 : 0;
+            } else {
+                TourBuilder::Insertion s = second_[i];
+                if (s.position > q) s.position += 1;
+                if (lex_less(nbest, s)) {
+                    c = nbest;
+                    second_[i] = lex_less(s, nother) ? s : nother;
+                } else {
+                    // The runner-up took over; the true runner-up may now
+                    // be an edge the cache never tracked.
+                    c = s;
+                    second_ok_[i] = 0;
+                }
+            }
+            changed.push_back(i);
+            continue;
+        }
+        if (c.position > q) c.position += 1;
+        if (second_ok_[i] != 0) {
+            if (second_[i].position == q) {
+                // The runner-up edge was the one removed.
+                second_ok_[i] = 0;
+            } else if (second_[i].position > q) {
+                second_[i].position += 1;
+            }
+        }
+        if (lex_less(nbest, c)) {
+            // A new edge displaces the best; the old best becomes the
+            // runner-up bound for every surviving old edge, so the exact
+            // runner-up is the lex-min of it and the losing new edge —
+            // this holds even when the stored runner-up was unknown.
+            second_[i] = lex_less(c, nother) ? c : nother;
+            second_ok_[i] = 1;
+            c = nbest;
+            changed.push_back(i);
+        } else if (second_ok_[i] != 0 && lex_less(nbest, second_[i])) {
+            second_[i] = nbest;
+        }
+    }
+}
+
+void InsertionCache::rebuild_all(bool parallel) {
+    edge_len_ = tour_->edge_lengths();
+    util::maybe_parallel_for(
+        parallel, 0, cached_.size(),
+        [&](std::size_t i) {
+            if (active_[i] != 0) {
+                const auto r = tour_->cheapest_insertion2(points_[i],
+                                                          edge_len_);
+                cached_[i] = r.best;
+                second_[i] = r.second;
+                second_ok_[i] = r.has_second ? 1 : 0;
+            }
+        },
+        64);
+    dirty_ = false;
 }
 
 }  // namespace uavdc::core

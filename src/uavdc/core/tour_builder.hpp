@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "uavdc/geom/vec2.hpp"
@@ -37,6 +38,30 @@ class TourBuilder {
     };
     [[nodiscard]] Insertion cheapest_insertion(const geom::Vec2& p) const;
 
+    /// Cheapest insertion plus the runner-up edge (the insertion that a
+    /// fresh scan would pick if the best edge were excluded). `has_second`
+    /// is false when the tour has fewer than two insertion edges (i.e. it
+    /// is empty). Same tie-break as cheapest_insertion: strictly smaller
+    /// delta wins; equal deltas resolve to the smaller position.
+    struct Insertion2 {
+        Insertion best;
+        Insertion second;
+        bool has_second{false};
+    };
+    [[nodiscard]] Insertion2 cheapest_insertion2(const geom::Vec2& p) const;
+
+    /// As above, with the tour's edge lengths precomputed by the caller
+    /// (edge i runs prev(i) -> next(i); `edge_len` must hold size() + 1
+    /// entries matching recomputed geom::distance values bit-for-bit, e.g.
+    /// from edge_lengths()). Saves one sqrt per edge when scoring many
+    /// points against the same tour.
+    [[nodiscard]] Insertion2 cheapest_insertion2(
+        const geom::Vec2& p, std::span<const double> edge_len) const;
+
+    /// Current edge lengths in position order (size() + 1 entries; empty
+    /// for an empty tour).
+    [[nodiscard]] std::vector<double> edge_lengths() const;
+
     /// Insert stop `p` (with caller key `key`) at `ins.position`.
     void insert(const geom::Vec2& p, int key, const Insertion& ins);
 
@@ -60,6 +85,74 @@ class TourBuilder {
     std::vector<geom::Vec2> stops_;
     std::vector<int> keys_;
     double length_{0.0};
+};
+
+/// Edge-local cheapest-insertion cache: maintains, for a fixed set of
+/// candidate points, each point's current `TourBuilder::cheapest_insertion`
+/// result as the tour grows — without rescanning every tour edge per
+/// candidate per iteration.
+///
+/// Invariant (when not dirty()): for every active candidate i, get(i) is
+/// bit-identical to tour.cheapest_insertion(points[i]).
+///
+/// Maintained under `on_insert` in O(1) per candidate: inserting p at
+/// position q removes one tour edge and creates two. A candidate's best
+/// insertion can only *improve* via the two new edges (checked directly) and
+/// can only *worsen* if its cached best edge was the removed one (cached
+/// position == q). For those "straddlers" the cache keeps the runner-up
+/// edge: the new best is the lex-min of the runner-up and the two new edges.
+/// A full O(tour) rescan is needed only when the runner-up itself was
+/// consumed by an earlier straddle (tracked per candidate), which is rare —
+/// straddlers sit near the new stop, so a new edge usually wins. Any other
+/// cached entry stays optimal, with positions > q shifted by one.
+///
+/// `reoptimize()` invalidates every entry (the whole edge set changes);
+/// callers mark the cache dirty with `invalidate_all` and restore the
+/// invariant with `rebuild_all` — the dirty-bit fallback to full recompute.
+class InsertionCache {
+  public:
+    /// Snapshot of `points` scored against `tour`; starts dirty — call
+    /// rebuild_all() before the first get(). `tour` must outlive the cache.
+    InsertionCache(const TourBuilder& tour, std::span<const geom::Vec2> points);
+
+    [[nodiscard]] std::size_t size() const { return points_.size(); }
+    [[nodiscard]] bool dirty() const { return dirty_; }
+    [[nodiscard]] bool active(std::size_t i) const { return active_[i] != 0; }
+
+    /// Stop maintaining candidate i (inserted into the tour, or provably
+    /// never needed again).
+    void deactivate(std::size_t i) { active_[i] = 0; }
+
+    /// Cached cheapest insertion for active candidate i. Requires a clean
+    /// cache (rebuild_all after any invalidate_all).
+    [[nodiscard]] const TourBuilder::Insertion& get(std::size_t i) const;
+
+    /// Account for `tour.insert(p, key, ins)` — call immediately *after* the
+    /// insertion. Appends to `changed` every active candidate whose cached
+    /// delta may have changed (improved via a new edge, or straddled the
+    /// removed one).
+    void on_insert(const TourBuilder::Insertion& ins,
+                   std::vector<std::size_t>& changed);
+
+    /// Mark every entry stale (after TourBuilder::reoptimize()).
+    void invalidate_all() { dirty_ = true; }
+
+    /// Recompute every active entry from scratch (on the global thread pool
+    /// when `parallel`) and clear the dirty bit.
+    void rebuild_all(bool parallel);
+
+  private:
+    const TourBuilder* tour_;
+    std::vector<geom::Vec2> points_;
+    std::vector<TourBuilder::Insertion> cached_;
+    /// Runner-up edge per candidate; exact only where second_ok_[i] != 0.
+    std::vector<TourBuilder::Insertion> second_;
+    std::vector<char> second_ok_;
+    std::vector<char> active_;
+    /// Tour edge lengths (size() + 1 entries), maintained incrementally so
+    /// rescans and rebuilds pay two sqrts per edge instead of three.
+    std::vector<double> edge_len_;
+    bool dirty_{true};
 };
 
 }  // namespace uavdc::core

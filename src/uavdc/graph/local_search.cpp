@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "uavdc/util/check.hpp"
 
@@ -117,6 +118,146 @@ double or_opt(const DenseGraph& g, std::vector<std::size_t>& tour,
                     }
                 }
                 if (improved) break;
+            }
+            if (improved) break;
+        }
+        if (!improved) break;
+    }
+    return total_gain;
+}
+
+std::vector<std::vector<std::size_t>> nearest_neighbor_lists(
+    const DenseGraph& g, std::size_t k) {
+    const std::size_t n = g.size();
+    std::vector<std::vector<std::size_t>> nb(n);
+    if (n <= 1 || k == 0) return nb;
+    k = std::min(k, n - 1);
+    std::vector<std::pair<double, std::size_t>> row;
+    row.reserve(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        row.clear();
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j != i) row.emplace_back(g.weight(i, j), j);
+        }
+        std::partial_sort(row.begin(),
+                          row.begin() + static_cast<std::ptrdiff_t>(k),
+                          row.end());
+        nb[i].reserve(k);
+        for (std::size_t t = 0; t < k; ++t) nb[i].push_back(row[t].second);
+    }
+    return nb;
+}
+
+double two_opt_neighbors(const DenseGraph& g, std::vector<std::size_t>& tour,
+                         const std::vector<std::vector<std::size_t>>& neighbors,
+                         int max_rounds) {
+    const std::size_t n = tour.size();
+    if (n < 4) return 0.0;
+    UAVDC_DCHECK(neighbors.size() == g.size());
+    std::vector<std::size_t> pos(g.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) pos[tour[i]] = i;
+    double total_gain = 0.0;
+    for (int round = 0; round < max_rounds; ++round) {
+        bool improved = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t a = tour[i];
+            const double w_ab = g.weight(a, tour[(i + 1) % n]);
+            for (const std::size_t c : neighbors[a]) {
+                // Lists are sorted by weight: once the new edge (a, c) is no
+                // shorter than the removed edge (a, b), no later neighbour
+                // can yield a move of this form.
+                if (g.weight(a, c) >= w_ab) break;
+                std::size_t lo = i;
+                std::size_t hi = pos[c];
+                if (lo > hi) std::swap(lo, hi);
+                // Edges (lo, lo+1) and (hi, hi+1) must be disjoint.
+                if (hi - lo < 2 || (lo == 0 && hi == n - 1)) continue;
+                const std::size_t ea = tour[lo];
+                const std::size_t eb = tour[lo + 1];
+                const std::size_t ec = tour[hi];
+                const std::size_t ed = tour[(hi + 1) % n];
+                const double gain = g.weight(ea, eb) + g.weight(ec, ed) -
+                                    g.weight(ea, ec) - g.weight(eb, ed);
+                if (gain > kEps) {
+                    std::reverse(
+                        tour.begin() + static_cast<std::ptrdiff_t>(lo + 1),
+                        tour.begin() + static_cast<std::ptrdiff_t>(hi + 1));
+                    for (std::size_t t = lo + 1; t <= hi; ++t) {
+                        pos[tour[t]] = t;
+                    }
+                    total_gain += gain;
+                    improved = true;
+                    break;  // edge (i, i+1) changed; re-anchor at next i
+                }
+            }
+        }
+        if (!improved) break;
+    }
+    return total_gain;
+}
+
+double or_opt_neighbors(const DenseGraph& g, std::vector<std::size_t>& tour,
+                        const std::vector<std::vector<std::size_t>>& neighbors,
+                        int max_rounds) {
+    const std::size_t n = tour.size();
+    if (n < 5) return 0.0;
+    UAVDC_DCHECK(neighbors.size() == g.size());
+    std::vector<std::size_t> pos(g.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) pos[tour[i]] = i;
+    double total_gain = 0.0;
+    for (int round = 0; round < max_rounds; ++round) {
+        bool improved = false;
+        for (std::size_t seg_len = 1; seg_len <= 3 && seg_len + 2 <= n;
+             ++seg_len) {
+            for (std::size_t i = 0; i < n && !improved; ++i) {
+                const std::size_t prev = tour[(i + n - 1) % n];
+                const std::size_t s0 = tour[i];
+                const std::size_t s1 = tour[(i + seg_len - 1) % n];
+                const std::size_t next = tour[(i + seg_len) % n];
+                if (prev == s1 || next == s0) continue;
+                const double remove_gain = g.weight(prev, s0) +
+                                           g.weight(s1, next) -
+                                           g.weight(prev, next);
+                if (remove_gain <= kEps) continue;
+                // Only try re-insertion right after a near neighbour of the
+                // segment head.
+                for (const std::size_t u : neighbors[s0]) {
+                    if (u == prev) continue;  // no-op position
+                    const std::size_t ku = pos[u];
+                    // u must lie outside the (cyclic) segment.
+                    if ((ku + n - i) % n < seg_len) continue;
+                    const std::size_t v = tour[(ku + 1) % n];
+                    const double insert_cost = g.weight(u, s0) +
+                                               g.weight(s1, v) -
+                                               g.weight(u, v);
+                    if (remove_gain - insert_cost <= kEps) continue;
+                    // Rebuild the tour with the segment moved after u.
+                    std::vector<std::size_t> seg;
+                    seg.reserve(seg_len);
+                    for (std::size_t t = 0; t < seg_len; ++t) {
+                        seg.push_back(tour[(i + t) % n]);
+                    }
+                    std::vector<std::size_t> next_tour;
+                    next_tour.reserve(n);
+                    for (std::size_t t = 0; t < n - seg_len; ++t) {
+                        const std::size_t node = tour[(i + seg_len + t) % n];
+                        next_tour.push_back(node);
+                        if (node == u) {
+                            next_tour.insert(next_tour.end(), seg.begin(),
+                                             seg.end());
+                        }
+                    }
+                    UAVDC_DCHECK(next_tour.size() == n);
+                    // Keep the original starting node in front.
+                    const auto it = std::find(next_tour.begin(),
+                                              next_tour.end(), tour[0]);
+                    std::rotate(next_tour.begin(), it, next_tour.end());
+                    tour = std::move(next_tour);
+                    for (std::size_t t = 0; t < n; ++t) pos[tour[t]] = t;
+                    total_gain += remove_gain - insert_cost;
+                    improved = true;
+                    break;
+                }
             }
             if (improved) break;
         }

@@ -346,6 +346,50 @@ void rule_no_cout_in_library(RuleContext& ctx) {
     }
 }
 
+/// UL007: building a DenseGraph::euclidean inside a loop in core/ planner
+/// code is the O(n^2)-allocations-per-iteration pattern the incremental
+/// scoring engine exists to avoid. Loop scopes are tracked by brace depth:
+/// a line containing a `for`/`while`/`do` token arms a pending loop whose
+/// next `{` opens a loop scope; the header line itself (and the next line,
+/// covering brace-less bodies and wrapped headers) also count as inside.
+void rule_no_dense_rebuild_in_loop(RuleContext& ctx) {
+    if (!in_library(ctx.path) || !has_component(ctx.path, "core")) return;
+    int depth = 0;
+    std::vector<int> loop_depths;  // brace depths of open loop bodies
+    int pending = 0;               // lines left of an un-braced loop header
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        const std::string& code = ctx.lines[i].code;
+        const bool loop_header = has_token(code, "for") ||
+                                 has_token(code, "while") ||
+                                 has_token(code, "do");
+        if ((loop_header || pending > 0 || !loop_depths.empty()) &&
+            code.find("DenseGraph::euclidean") != std::string::npos) {
+            ctx.report(i, "UL007", "no-dense-rebuild-in-loop",
+                       "DenseGraph::euclidean built inside a loop allocates "
+                       "and refills an O(n^2) matrix every iteration; hoist "
+                       "the graph, use PlanningContext::node_distance, or "
+                       "annotate NOLINT(uavdc-no-dense-rebuild-in-loop): "
+                       "<why per-iteration rebuild is required>");
+        }
+        if (loop_header) pending = 2;
+        for (const char c : code) {
+            if (c == '{') {
+                ++depth;
+                if (pending > 0) {
+                    loop_depths.push_back(depth);
+                    pending = 0;
+                }
+            } else if (c == '}') {
+                while (!loop_depths.empty() && loop_depths.back() == depth) {
+                    loop_depths.pop_back();
+                }
+                --depth;
+            }
+        }
+        if (!loop_header && pending > 0) --pending;
+    }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -368,6 +412,10 @@ const std::vector<RuleInfo>& rules() {
         {"UL006", "no-cout-in-library",
          "no std::cout in library code (src/); stdout belongs to tools, "
          "benches, and examples"},
+        {"UL007", "no-dense-rebuild-in-loop",
+         "no DenseGraph::euclidean construction inside loops in core/ "
+         "planner code; hoist the graph or use the PlanningContext distance "
+         "matrix — per-iteration rebuilds are O(n^2) allocation churn"},
     };
     return kRules;
 }
@@ -469,6 +517,7 @@ std::vector<Finding> lint_source(const std::string& path,
     rule_unordered_iteration(ctx);
     rule_pragma_once(ctx);
     rule_no_cout_in_library(ctx);
+    rule_no_dense_rebuild_in_loop(ctx);
     std::sort(findings.begin(), findings.end(),
               [](const Finding& a, const Finding& b) {
                   if (a.line != b.line) return a.line < b.line;

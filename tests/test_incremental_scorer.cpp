@@ -1,0 +1,563 @@
+// Equivalence suite for the incremental scoring engine: the lazy-greedy
+// incremental planners must produce *bit-identical* plans (stops, dwells,
+// planned_mb, iteration counts) to the retained reference (from-scratch)
+// scorer, serially and in parallel, across seeded generator instances —
+// plus unit tests for the engine's parts (inverted coverage index,
+// edge-local insertion cache, lazy-greedy queue).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "test_util.hpp"
+#include "uavdc/core/algorithm2.hpp"
+#include "uavdc/core/algorithm3.hpp"
+#include "uavdc/core/benchmark_planner.hpp"
+#include "uavdc/core/incremental_scorer.hpp"
+#include "uavdc/core/planning_context.hpp"
+#include "uavdc/core/tour_builder.hpp"
+#include "uavdc/util/rng.hpp"
+#include "uavdc/workload/generator.hpp"
+
+namespace uavdc {
+namespace {
+
+using core::Algorithm2Config;
+using core::Algorithm3Config;
+using core::BenchmarkPlannerConfig;
+using core::GreedyCoveragePlanner;
+using core::InsertionCache;
+using core::InvertedCoverageIndex;
+using core::LazyGreedyQueue;
+using core::PartialCollectionPlanner;
+using core::PlanningContext;
+using core::PlanResult;
+using core::PruneTspPlanner;
+using core::RatioRule;
+using core::ScoringEngine;
+using core::TourBuilder;
+
+// Exact (bitwise) plan comparison — no tolerances anywhere.
+void expect_identical(const PlanResult& a, const PlanResult& b,
+                      const std::string& what) {
+    SCOPED_TRACE(what);
+    ASSERT_EQ(a.plan.stops.size(), b.plan.stops.size());
+    for (std::size_t i = 0; i < a.plan.stops.size(); ++i) {
+        EXPECT_EQ(a.plan.stops[i].pos.x, b.plan.stops[i].pos.x) << "stop " << i;
+        EXPECT_EQ(a.plan.stops[i].pos.y, b.plan.stops[i].pos.y) << "stop " << i;
+        EXPECT_EQ(a.plan.stops[i].dwell_s, b.plan.stops[i].dwell_s)
+            << "stop " << i;
+        EXPECT_EQ(a.plan.stops[i].cell_id, b.plan.stops[i].cell_id)
+            << "stop " << i;
+    }
+    EXPECT_EQ(a.stats.planned_mb, b.stats.planned_mb);
+    EXPECT_EQ(a.stats.planned_energy_j, b.stats.planned_energy_j);
+    EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+    EXPECT_EQ(a.stats.candidates, b.stats.candidates);
+}
+
+/// Seeded conformance-style instance (same knobs fuzz_conformance turns).
+model::Instance fuzz_instance(util::Rng& rng, int min_devices,
+                              int max_devices) {
+    constexpr workload::Deployment kDeployments[] = {
+        workload::Deployment::kUniform,    workload::Deployment::kClustered,
+        workload::Deployment::kGridJitter, workload::Deployment::kRing,
+        workload::Deployment::kHalton,     workload::Deployment::kPoissonDisk};
+    constexpr workload::VolumeModel kVolumes[] = {
+        workload::VolumeModel::kUniform, workload::VolumeModel::kExponential,
+        workload::VolumeModel::kFixed, workload::VolumeModel::kBimodal};
+    workload::GeneratorConfig g;
+    g.num_devices =
+        static_cast<int>(rng.uniform_int(min_devices, max_devices));
+    g.region_w = rng.uniform(150.0, 500.0);
+    g.region_h = rng.uniform(150.0, 500.0);
+    g.deployment =
+        kDeployments[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+    g.volumes = kVolumes[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+    g.min_mb = rng.uniform(20.0, 150.0);
+    g.max_mb = g.min_mb + rng.uniform(50.0, 800.0);
+    g.uav.energy_j = rng.uniform(2.0e4, 1.2e5);
+    return workload::generate(g, rng.next_u64());
+}
+
+core::HoverCandidateConfig hover_cfg(const model::Instance& inst) {
+    core::HoverCandidateConfig c;
+    c.delta_m = std::max(
+        10.0, std::max(inst.region.width(), inst.region.height()) / 15.0);
+    return c;
+}
+
+// --- Algorithm 2: incremental == reference, serial and parallel, across
+// --- retour cadences, ratio rules, and deadline configs.
+
+TEST(IncrementalEquivalence, Algorithm2MatchesReferenceAcrossInstances) {
+    util::Rng rng(2026);
+    constexpr RatioRule kRules[] = {RatioRule::kPaper, RatioRule::kVolumeOnly,
+                                    RatioRule::kPerHover};
+    constexpr int kRetours[] = {8, 1, 0, 3};
+    for (int trial = 0; trial < 60; ++trial) {
+        const auto inst = fuzz_instance(rng, 6, 45);
+        const auto ctx = PlanningContext::build(inst, hover_cfg(inst));
+
+        Algorithm2Config cfg;
+        cfg.candidates = hover_cfg(inst);
+        cfg.ratio_rule = kRules[trial % 3];
+        cfg.retour_every = kRetours[trial % 4];
+        if (trial % 5 == 0) cfg.max_tour_time_s = 400.0;
+
+        PlanResult results[4];
+        int slot = 0;
+        for (const auto engine :
+             {ScoringEngine::kReference, ScoringEngine::kIncremental}) {
+            for (const int threshold : {0, 1}) {  // serial / forced parallel
+                cfg.scoring = engine;
+                cfg.parallel_threshold = threshold;
+                results[slot++] = GreedyCoveragePlanner(cfg).plan(*ctx);
+            }
+        }
+        const std::string tag = "trial " + std::to_string(trial);
+        expect_identical(results[0], results[1], tag + " ref serial/par");
+        expect_identical(results[0], results[2], tag + " ref vs inc serial");
+        expect_identical(results[0], results[3], tag + " ref vs inc par");
+        if (::testing::Test::HasFailure()) break;
+    }
+}
+
+TEST(IncrementalEquivalence, Algorithm2ExactRatioTspMatchesReference) {
+    util::Rng rng(99);
+    for (int trial = 0; trial < 12; ++trial) {
+        const auto inst = fuzz_instance(rng, 5, 16);
+        const auto ctx = PlanningContext::build(inst, hover_cfg(inst));
+
+        Algorithm2Config cfg;
+        cfg.candidates = hover_cfg(inst);
+        cfg.exact_ratio_tsp = true;
+        cfg.retour_every = trial % 2 == 0 ? 4 : 0;
+
+        PlanResult results[4];
+        int slot = 0;
+        for (const auto engine :
+             {ScoringEngine::kReference, ScoringEngine::kIncremental}) {
+            for (const int threshold : {0, 1}) {
+                cfg.scoring = engine;
+                cfg.parallel_threshold = threshold;
+                results[slot++] = GreedyCoveragePlanner(cfg).plan(*ctx);
+            }
+        }
+        const std::string tag = "tsp trial " + std::to_string(trial);
+        expect_identical(results[0], results[1], tag + " ref serial/par");
+        expect_identical(results[0], results[2], tag + " ref vs inc serial");
+        expect_identical(results[0], results[3], tag + " ref vs inc par");
+        if (::testing::Test::HasFailure()) break;
+    }
+}
+
+// --- Algorithm 3 across K values and retour cadences.
+
+TEST(IncrementalEquivalence, Algorithm3MatchesReferenceAcrossInstances) {
+    util::Rng rng(777);
+    constexpr int kRetours[] = {8, 1, 0};
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto inst = fuzz_instance(rng, 6, 40);
+        const auto ctx = PlanningContext::build(inst, hover_cfg(inst));
+
+        Algorithm3Config cfg;
+        cfg.candidates = hover_cfg(inst);
+        cfg.k = 1 + trial % 3;
+        cfg.retour_every = kRetours[trial % 3];
+        if (trial % 4 == 0) cfg.max_tour_time_s = 500.0;
+
+        PlanResult results[4];
+        int slot = 0;
+        for (const auto engine :
+             {ScoringEngine::kReference, ScoringEngine::kIncremental}) {
+            for (const int threshold : {0, 1}) {
+                cfg.scoring = engine;
+                cfg.parallel_threshold = threshold;
+                results[slot++] = PartialCollectionPlanner(cfg).plan(*ctx);
+            }
+        }
+        const std::string tag = "alg3 trial " + std::to_string(trial);
+        expect_identical(results[0], results[1], tag + " ref serial/par");
+        expect_identical(results[0], results[2], tag + " ref vs inc serial");
+        expect_identical(results[0], results[3], tag + " ref vs inc par");
+        if (::testing::Test::HasFailure()) break;
+    }
+}
+
+// --- Benchmark (PruneTsp) prune loop.
+
+TEST(IncrementalEquivalence, PruneTspMatchesReferenceAcrossInstances) {
+    util::Rng rng(31337);
+    int total_prunes = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+        auto inst = fuzz_instance(rng, 8, 50);
+        // Shrink the budget so the prune loop actually runs.
+        if (trial % 2 == 0) inst.uav.energy_j *= 0.35;
+        const auto ctx = PlanningContext::build(inst, hover_cfg(inst));
+
+        BenchmarkPlannerConfig cfg;
+        cfg.reoptimize_after_prune = trial % 3 != 0;
+        cfg.scoring = ScoringEngine::kReference;
+        const auto ref = PruneTspPlanner(cfg).plan(*ctx);
+        cfg.scoring = ScoringEngine::kIncremental;
+        const auto inc = PruneTspPlanner(cfg).plan(*ctx);
+        expect_identical(ref, inc, "prune trial " + std::to_string(trial));
+        total_prunes += ref.stats.iterations;
+        if (::testing::Test::HasFailure()) break;
+    }
+    // The suite must actually exercise the prune loop, not just trivially
+    // matching empty prunes.
+    EXPECT_GT(total_prunes, 0);
+}
+
+// --- InvertedCoverageIndex: decrement targeting vs brute force.
+
+TEST(InvertedCoverageIndex, MatchesBruteForceMembership) {
+    const auto inst = testing::small_instance(30, 250.0, 11);
+    const auto ctx = PlanningContext::build(inst, hover_cfg(inst));
+    const auto& cands = ctx->candidates();
+    const InvertedCoverageIndex index(cands, inst.devices.size());
+    ASSERT_EQ(index.num_devices(), inst.devices.size());
+
+    for (std::size_t v = 0; v < inst.devices.size(); ++v) {
+        std::vector<std::int32_t> expected;
+        for (std::size_t j = 0; j < cands.candidates.size(); ++j) {
+            for (const int dv : cands.candidates[j].covered) {
+                if (static_cast<std::size_t>(dv) == v) {
+                    expected.push_back(static_cast<std::int32_t>(j));
+                }
+            }
+        }
+        const auto got = index.covering(v);
+        ASSERT_EQ(got.size(), expected.size()) << "device " << v;
+        for (std::size_t t = 0; t < expected.size(); ++t) {
+            EXPECT_EQ(got[t], expected[t]) << "device " << v;
+        }
+        // Sorted ascending — planners rely on deterministic dirty order.
+        for (std::size_t t = 1; t < got.size(); ++t) {
+            EXPECT_LT(got[t - 1], got[t]);
+        }
+    }
+
+    // Covering a device must dirty exactly the candidates whose coverage
+    // contains it: every candidate listed loses gain, nobody else does.
+    const std::size_t device = 0;
+    for (std::size_t j = 0; j < cands.candidates.size(); ++j) {
+        const auto& cov = cands.candidates[j].covered;
+        const bool listed = [&] {
+            for (const auto cj : index.covering(device)) {
+                if (static_cast<std::size_t>(cj) == j) return true;
+            }
+            return false;
+        }();
+        const bool contains = [&] {
+            for (const int dv : cov) {
+                if (static_cast<std::size_t>(dv) == device) return true;
+            }
+            return false;
+        }();
+        EXPECT_EQ(listed, contains) << "candidate " << j;
+    }
+}
+
+// --- InsertionCache: exactness after every insert, straddler handling,
+// --- and the dirty-bit fallback after reoptimize().
+
+TEST(InsertionCache, StaysExactUnderInsertions) {
+    util::Rng rng(5);
+    std::vector<geom::Vec2> points;
+    for (int i = 0; i < 40; ++i) {
+        points.push_back({rng.uniform(0.0, 300.0), rng.uniform(0.0, 300.0)});
+    }
+    TourBuilder tour({0.0, 0.0});
+    InsertionCache cache(tour, points);
+    EXPECT_TRUE(cache.dirty());
+    cache.rebuild_all(false);
+    EXPECT_FALSE(cache.dirty());
+
+    std::vector<std::size_t> changed;
+    for (int step = 0; step < 25; ++step) {
+        // Verify every active entry against a fresh scan (bitwise).
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (!cache.active(i)) continue;
+            const auto fresh = tour.cheapest_insertion(points[i]);
+            EXPECT_EQ(cache.get(i).position, fresh.position)
+                << "step " << step << " cand " << i;
+            EXPECT_EQ(cache.get(i).delta_m, fresh.delta_m)
+                << "step " << step << " cand " << i;
+        }
+        // Insert the next point (round-robin) and maintain the cache.
+        const auto next = static_cast<std::size_t>(step);
+        const auto ins = cache.get(next);
+        tour.insert(points[next], static_cast<int>(next), ins);
+        cache.deactivate(next);
+        changed.clear();
+        cache.on_insert(ins, changed);
+    }
+}
+
+TEST(InsertionCache, ReoptimizeRequiresRebuild) {
+    util::Rng rng(17);
+    std::vector<geom::Vec2> points;
+    for (int i = 0; i < 20; ++i) {
+        points.push_back({rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)});
+    }
+    TourBuilder tour({0.0, 0.0});
+    InsertionCache cache(tour, points);
+    cache.rebuild_all(false);
+    std::vector<std::size_t> changed;
+    for (std::size_t i = 0; i < 8; ++i) {
+        const auto ins = cache.get(i);
+        tour.insert(points[i], static_cast<int>(i), ins);
+        cache.deactivate(i);
+        cache.on_insert(ins, changed);
+    }
+    tour.reoptimize();
+    cache.invalidate_all();
+    EXPECT_TRUE(cache.dirty());
+    cache.rebuild_all(true);  // parallel rebuild path
+    EXPECT_FALSE(cache.dirty());
+    for (std::size_t i = 8; i < points.size(); ++i) {
+        const auto fresh = tour.cheapest_insertion(points[i]);
+        EXPECT_EQ(cache.get(i).position, fresh.position) << "cand " << i;
+        EXPECT_EQ(cache.get(i).delta_m, fresh.delta_m) << "cand " << i;
+    }
+}
+
+TEST(InsertionCache, ReportsChangedCandidates) {
+    // Depot at origin, two clusters; inserting a stop near cluster A must
+    // report the A candidates (their delta improves via the new edges).
+    TourBuilder tour({0.0, 0.0});
+    std::vector<geom::Vec2> points{{100.0, 0.0}, {100.0, 5.0}, {0.0, 100.0}};
+    InsertionCache cache(tour, points);
+    cache.rebuild_all(false);
+    // Empty tour: every delta is the out-and-back 2 * d(depot, p).
+    EXPECT_EQ(cache.get(0).delta_m, 2.0 * geom::distance({0.0, 0.0}, points[0]));
+
+    const TourBuilder::Insertion ins = tour.cheapest_insertion({100.0, 2.0});
+    tour.insert({100.0, 2.0}, 99, ins);
+    std::vector<std::size_t> changed;
+    cache.on_insert(ins, changed);
+    // All three straddle the (empty-tour) position-0 edge; all reported and
+    // all exact afterwards.
+    ASSERT_EQ(changed.size(), 3u);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto fresh = tour.cheapest_insertion(points[i]);
+        EXPECT_EQ(cache.get(i).position, fresh.position);
+        EXPECT_EQ(cache.get(i).delta_m, fresh.delta_m);
+    }
+}
+
+// --- LazyGreedyQueue: deterministic tie-break, staleness, both policies.
+
+TEST(LazyGreedyQueue, TieBreaksOnSmallerIndex) {
+    LazyGreedyQueue q(4);
+    q.update(2, 5.0);
+    q.update(0, 5.0);
+    q.update(1, 5.0);
+    q.update(3, 7.0);
+    int evals = 0;
+    const auto pick = q.pop_best(true, [&](std::size_t i) {
+        ++evals;
+        return std::pair<double, bool>{i == 3 ? 7.0 : 5.0, i != 3};
+    });
+    ASSERT_TRUE(pick.found);
+    // 3 has the top key but is unselectable; among the 5.0 tie the smallest
+    // index must win.
+    EXPECT_EQ(pick.index, 0u);
+    EXPECT_EQ(pick.exact, 5.0);
+    EXPECT_EQ(evals, 2);  // 3 (rejected) then 0 (accepted; 1 and 2 pruned)
+}
+
+TEST(LazyGreedyQueue, StaleEntriesAreSkipped) {
+    LazyGreedyQueue q(3);
+    q.update(0, 10.0);
+    q.update(1, 4.0);
+    q.update(0, 1.0);  // 10.0 entry is now stale
+    const auto pick = q.pop_best(true, [&](std::size_t i) {
+        return std::pair<double, bool>{q.key(i), true};
+    });
+    ASSERT_TRUE(pick.found);
+    EXPECT_EQ(pick.index, 1u);
+    EXPECT_EQ(pick.exact, 4.0);
+}
+
+TEST(LazyGreedyQueue, PolicyADropsUnselectableUntilUpdate) {
+    LazyGreedyQueue q(2);
+    q.update(0, 9.0);
+    q.update(1, 3.0);
+    int evals_of_0 = 0;
+    auto eval = [&](std::size_t i) {
+        if (i == 0) ++evals_of_0;
+        return std::pair<double, bool>{q.key(i), i != 0};
+    };
+    EXPECT_EQ(q.pop_best(true, eval).index, 1u);
+    EXPECT_EQ(evals_of_0, 1);
+    // 0 was dropped: the next pop must not re-evaluate it...
+    q.update(1, 3.0);
+    EXPECT_EQ(q.pop_best(true, eval).index, 1u);
+    EXPECT_EQ(evals_of_0, 1);
+    // ...until an explicit update re-enqueues it.
+    q.update(0, 9.0);
+    q.update(1, 3.0);
+    EXPECT_EQ(q.pop_best(true, eval).index, 1u);
+    EXPECT_EQ(evals_of_0, 2);
+}
+
+TEST(LazyGreedyQueue, PolicyBReenqueuesEvaluated) {
+    LazyGreedyQueue q(2);
+    q.update(0, 9.0);  // upper bound; exact is lower
+    q.update(1, 3.0);
+    int evals_of_0 = 0;
+    auto eval = [&](std::size_t i) {
+        if (i == 0) ++evals_of_0;
+        // 0's exact score is 1.0 (bound was loose); 1's is exact.
+        return std::pair<double, bool>{i == 0 ? 1.0 : 3.0, true};
+    };
+    EXPECT_EQ(q.pop_best(false, eval).index, 1u);
+    EXPECT_EQ(evals_of_0, 1);
+    // Policy B keeps 0 queued under its bound: evaluated again next round.
+    q.update(1, 3.0);
+    EXPECT_EQ(q.pop_best(false, eval).index, 1u);
+    EXPECT_EQ(evals_of_0, 2);
+}
+
+TEST(LazyGreedyQueue, DeactivatedNeverReturned) {
+    LazyGreedyQueue q(2);
+    q.update(0, 9.0);
+    q.update(1, 3.0);
+    q.deactivate(0);
+    const auto pick = q.pop_best(true, [&](std::size_t i) {
+        return std::pair<double, bool>{q.key(i), true};
+    });
+    ASSERT_TRUE(pick.found);
+    EXPECT_EQ(pick.index, 1u);
+    EXPECT_FALSE(q.active(0));
+    q.deactivate(1);
+    EXPECT_FALSE(q.pop_best(true, [&](std::size_t) {
+                      return std::pair<double, bool>{0.0, true};
+                  }).found);
+}
+
+TEST(LazyGreedyQueue, RebuildMatchesClearPlusUpdate) {
+    // rebuild() is the bulk form of clear() + update(): stale entries from
+    // before the rebuild must never surface, and pops come out in the same
+    // (key desc, index asc) order as the incremental form.
+    LazyGreedyQueue bulk(5);
+    LazyGreedyQueue one_by_one(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+        bulk.update(i, 100.0 + static_cast<double>(i));
+        one_by_one.update(i, 100.0 + static_cast<double>(i));
+    }
+    const std::vector<std::pair<std::size_t, double>> items = {
+        {0, 2.0}, {1, 7.0}, {2, 7.0}, {4, 1.0}};
+    bulk.rebuild(items);
+    one_by_one.clear();
+    for (const auto& [i, key] : items) one_by_one.update(i, key);
+    // Candidate 3 was dropped by both; the old key-103 entry must be stale.
+    auto eval = [&](LazyGreedyQueue& q) {
+        return [&q](std::size_t i) {
+            return std::pair<double, bool>{q.key(i), true};
+        };
+    };
+    for (int round = 0; round < 4; ++round) {
+        const auto a = bulk.pop_best(true, eval(bulk));
+        const auto b = one_by_one.pop_best(true, eval(one_by_one));
+        ASSERT_TRUE(a.found);
+        ASSERT_TRUE(b.found);
+        EXPECT_EQ(a.index, b.index);
+        EXPECT_EQ(a.exact, b.exact);
+        bulk.deactivate(a.index);
+        one_by_one.deactivate(b.index);
+    }
+    EXPECT_FALSE(bulk.pop_best(true, eval(bulk)).found);
+    EXPECT_FALSE(one_by_one.pop_best(true, eval(one_by_one)).found);
+}
+
+TEST(InsertionCache, RunnerUpSurvivesRepeatedStraddles) {
+    // Points clustered near one tour edge so successive insertions keep
+    // splitting the edge the cached best (and then its runner-up) sit on —
+    // exercising both the O(1) runner-up promotion and the rescan fallback
+    // when the runner-up has been consumed.
+    util::Rng rng(99);
+    TourBuilder tour({0.0, 0.0});
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < 30; ++i) {
+        pts.push_back({rng.uniform(40.0, 60.0), rng.uniform(-5.0, 5.0)});
+    }
+    for (int i = 0; i < 10; ++i) {
+        pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    }
+    InsertionCache cache(tour, pts);
+    cache.rebuild_all(false);
+    std::vector<std::size_t> changed;
+    std::vector<char> used(pts.size(), 0);
+    for (int step = 0; step < 25; ++step) {
+        // Insert the clustered points first to maximise straddling.
+        std::size_t pick = pts.size();
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            if (used[i] == 0) {
+                pick = i;
+                break;
+            }
+        }
+        ASSERT_LT(pick, pts.size());
+        const auto ins = cache.get(pick);
+        tour.insert(pts[pick], static_cast<int>(pick), ins);
+        used[pick] = 1;
+        cache.deactivate(pick);
+        changed.clear();
+        cache.on_insert(ins, changed);
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            if (used[i] != 0) continue;
+            const auto fresh = tour.cheapest_insertion(pts[i]);
+            const auto& got = cache.get(i);
+            ASSERT_EQ(got.position, fresh.position)
+                << "step " << step << " candidate " << i;
+            ASSERT_EQ(got.delta_m, fresh.delta_m)
+                << "step " << step << " candidate " << i;
+        }
+    }
+}
+
+TEST(TourBuilder, CheapestInsertion2MatchesSingleAndRunnerUp) {
+    util::Rng rng(7);
+    TourBuilder tour({0.0, 0.0});
+    for (int i = 0; i < 12; ++i) {
+        const geom::Vec2 p{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+        tour.insert(p, i, tour.cheapest_insertion(p));
+    }
+    const auto edge_len = tour.edge_lengths();
+    ASSERT_EQ(edge_len.size(), tour.size() + 1);
+    for (int t = 0; t < 50; ++t) {
+        const geom::Vec2 q{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+        const auto single = tour.cheapest_insertion(q);
+        const auto both = tour.cheapest_insertion2(q);
+        const auto spanned = tour.cheapest_insertion2(q, edge_len);
+        EXPECT_EQ(both.best.position, single.position);
+        EXPECT_EQ(both.best.delta_m, single.delta_m);
+        ASSERT_TRUE(both.has_second);
+        EXPECT_EQ(spanned.best.position, both.best.position);
+        EXPECT_EQ(spanned.best.delta_m, both.best.delta_m);
+        EXPECT_EQ(spanned.second.position, both.second.position);
+        EXPECT_EQ(spanned.second.delta_m, both.second.delta_m);
+        // The runner-up is what a fresh scan picks with the best edge gone:
+        // strictly worse or equal delta, never the same position.
+        EXPECT_NE(both.second.position, both.best.position);
+        EXPECT_GE(both.second.delta_m, both.best.delta_m);
+    }
+    // Empty tour: single pseudo-edge, no runner-up.
+    TourBuilder empty({0.0, 0.0});
+    const auto e = empty.cheapest_insertion2({3.0, 4.0});
+    EXPECT_FALSE(e.has_second);
+    EXPECT_EQ(e.best.delta_m, 10.0);
+    EXPECT_TRUE(empty.edge_lengths().empty());
+}
+
+}  // namespace
+}  // namespace uavdc

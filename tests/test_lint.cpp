@@ -27,7 +27,7 @@ constexpr const char* kToolPath = "tools/fixture.cpp";
 
 TEST(Lint, RuleTableIsStable) {
     const auto& table = rules();
-    ASSERT_EQ(table.size(), 6u);
+    ASSERT_EQ(table.size(), 7u);
     std::set<std::string> ids;
     for (const auto& r : table) ids.insert(r.id);
     EXPECT_EQ(ids.size(), table.size()) << "rule ids must be unique";
@@ -173,6 +173,78 @@ TEST(Lint, CoutForbiddenInLibraryOnly) {
     // Tools and benches may print.
     EXPECT_TRUE(lint_source(kToolPath, body).empty());
     EXPECT_TRUE(lint_source("bench/fixture.cpp", body).empty());
+}
+
+TEST(Lint, DenseRebuildInLoopFires) {
+    const char* body = R"(
+void f(const std::vector<geom::Vec2>& pts) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const auto g = graph::DenseGraph::euclidean(pts);
+        use(g);
+    }
+}
+)";
+    const auto findings = lint_source(kLibPath, body);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].id, "UL007");
+    EXPECT_EQ(findings[0].rule, "no-dense-rebuild-in-loop");
+    EXPECT_EQ(findings[0].line, 4);
+    // Only core/ planner files are in scope.
+    EXPECT_TRUE(lint_source("src/uavdc/graph/fixture.cpp", body).empty());
+    EXPECT_TRUE(lint_source(kToolPath, body).empty());
+}
+
+TEST(Lint, DenseRebuildOutsideLoopIsFine) {
+    const auto findings = lint_source(kLibPath, R"(
+void f(const std::vector<geom::Vec2>& pts) {
+    const auto g = graph::DenseGraph::euclidean(pts);
+    for (std::size_t i = 0; i < pts.size(); ++i) use(g.weight(0, i));
+}
+)");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, DenseRebuildInWhileAndBracelessBodiesFires) {
+    EXPECT_TRUE(has_id(lint_source(kLibPath, R"(
+void f(const std::vector<geom::Vec2>& pts) {
+    while (improving) {
+        score(graph::DenseGraph::euclidean(pts));
+    }
+}
+)"),
+                       "UL007"));
+    // Brace-less single-statement loop body.
+    EXPECT_TRUE(has_id(lint_source(kLibPath, R"(
+void f(const std::vector<geom::Vec2>& pts) {
+    for (int r = 0; r < rounds; ++r)
+        score(graph::DenseGraph::euclidean(pts));
+}
+)"),
+                       "UL007"));
+}
+
+TEST(Lint, DenseRebuildAfterLoopClosesDoesNotFire) {
+    const auto findings = lint_source(kLibPath, R"(
+void f(const std::vector<geom::Vec2>& pts) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        accumulate(pts[i]);
+    }
+    const auto g = graph::DenseGraph::euclidean(pts);
+}
+)");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, DenseRebuildHonoursAnnotatedSuppression) {
+    const auto findings = lint_source(kLibPath, R"(
+void f(const std::vector<geom::Vec2>& pts) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        // NOLINTNEXTLINE(uavdc-no-dense-rebuild-in-loop): oracle rescans
+        const auto g = graph::DenseGraph::euclidean(pts);
+    }
+}
+)");
+    EXPECT_TRUE(findings.empty());
 }
 
 TEST(Lint, ScanLinesSeparatesCodeAndComments) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <set>
 #include <vector>
@@ -138,6 +139,115 @@ TEST(RemovalDelta, NonPositiveOnMetricGraphs) {
     std::iota(tour.begin(), tour.end(), std::size_t{0});
     for (std::size_t pos = 0; pos < tour.size(); ++pos) {
         EXPECT_LE(removal_delta(g, tour, pos), 1e-12);
+    }
+}
+
+TEST(NeighborLists, OrderedByWeightThenIndex) {
+    const auto pts = random_points(40, 31);
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    const auto nb = nearest_neighbor_lists(g, 8);
+    ASSERT_EQ(nb.size(), pts.size());
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+        ASSERT_EQ(nb[i].size(), 8u);
+        for (std::size_t t = 0; t < nb[i].size(); ++t) {
+            EXPECT_NE(nb[i][t], i);
+            if (t > 0) {
+                const double prev = g.weight(i, nb[i][t - 1]);
+                const double cur = g.weight(i, nb[i][t]);
+                EXPECT_TRUE(prev < cur ||
+                            (prev == cur && nb[i][t - 1] < nb[i][t]))
+                    << "node " << i << " slot " << t;
+            }
+        }
+        // The k-th list entry really is the k-th smallest weight overall.
+        std::vector<double> all;
+        for (std::size_t j = 0; j < pts.size(); ++j) {
+            if (j != i) all.push_back(g.weight(i, j));
+        }
+        std::sort(all.begin(), all.end());
+        EXPECT_EQ(g.weight(i, nb[i].back()), all[7]) << "node " << i;
+    }
+}
+
+TEST(NeighborLists, KClampedToGraphSize) {
+    const auto pts = random_points(5, 32);
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    const auto nb = nearest_neighbor_lists(g, 50);
+    for (const auto& list : nb) EXPECT_EQ(list.size(), 4u);
+}
+
+TEST(TwoOptNeighbors, FixesObviousCrossing) {
+    const std::vector<geom::Vec2> pts{
+        {0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    const auto nb = nearest_neighbor_lists(g, 3);
+    std::vector<std::size_t> tour{0, 2, 1, 3};
+    const double before = g.tour_length(tour);
+    const double gain = two_opt_neighbors(g, tour, nb);
+    EXPECT_GT(gain, 0.0);
+    EXPECT_NEAR(g.tour_length(tour), before - gain, 1e-12);
+    EXPECT_NEAR(g.tour_length(tour), 4.0, 1e-12);
+}
+
+TEST(TwoOptNeighbors, NeverLengthensKeepsSetAndAnchor) {
+    for (std::uint64_t seed : {41u, 42u, 43u, 44u}) {
+        const auto pts = random_points(60, seed);
+        const DenseGraph g = DenseGraph::euclidean(pts);
+        const auto nb = nearest_neighbor_lists(g, 10);
+        std::vector<std::size_t> tour(pts.size());
+        std::iota(tour.begin(), tour.end(), std::size_t{0});
+        const double before = g.tour_length(tour);
+        const double gain = two_opt_neighbors(g, tour, nb);
+        EXPECT_GE(gain, 0.0);
+        EXPECT_NEAR(g.tour_length(tour), before - gain, 1e-9);
+        const std::set<std::size_t> s(tour.begin(), tour.end());
+        EXPECT_EQ(s.size(), pts.size());
+        EXPECT_EQ(tour.front(), 0u);
+    }
+}
+
+TEST(TwoOptNeighbors, ComparableToFullTwoOpt) {
+    // With generous neighbour lists the pruned search should land within a
+    // few percent of the full O(n^2) pass on random instances.
+    for (std::uint64_t seed : {51u, 52u}) {
+        const auto pts = random_points(50, seed);
+        const DenseGraph g = DenseGraph::euclidean(pts);
+        const auto nb = nearest_neighbor_lists(g, 12);
+        std::vector<std::size_t> full(pts.size());
+        std::iota(full.begin(), full.end(), std::size_t{0});
+        std::vector<std::size_t> pruned = full;
+        two_opt(g, full);
+        two_opt_neighbors(g, pruned, nb);
+        EXPECT_LE(g.tour_length(pruned), 1.10 * g.tour_length(full));
+    }
+}
+
+TEST(OrOptNeighbors, RelocatesProfitableSegment) {
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < 6; ++i) pts.push_back({static_cast<double>(i), 0.0});
+    const DenseGraph g = DenseGraph::euclidean(pts);
+    const auto nb = nearest_neighbor_lists(g, 5);
+    std::vector<std::size_t> tour{0, 1, 2, 4, 3, 5};
+    const double before = g.tour_length(tour);
+    or_opt_neighbors(g, tour, nb);
+    EXPECT_LE(g.tour_length(tour), before);
+    EXPECT_NEAR(g.tour_length(tour), 10.0, 1e-9);
+}
+
+TEST(OrOptNeighbors, NeverLengthensKeepsSetAndAnchor) {
+    for (std::uint64_t seed : {61u, 62u, 63u}) {
+        const auto pts = random_points(45, seed);
+        const DenseGraph g = DenseGraph::euclidean(pts);
+        const auto nb = nearest_neighbor_lists(g, 10);
+        std::vector<std::size_t> tour(pts.size());
+        std::iota(tour.begin(), tour.end(), std::size_t{0});
+        const double before = g.tour_length(tour);
+        const double gain = or_opt_neighbors(g, tour, nb);
+        EXPECT_GE(gain, 0.0);
+        EXPECT_NEAR(g.tour_length(tour), before - gain, 1e-9);
+        const std::set<std::size_t> s(tour.begin(), tour.end());
+        EXPECT_EQ(s.size(), pts.size());
+        EXPECT_EQ(tour.front(), 0u);
     }
 }
 
