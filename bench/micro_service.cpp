@@ -1,0 +1,210 @@
+// Google-benchmark microbenchmarks for the plan service: request throughput
+// through the full submit/queue/execute/respond path, cold cache vs warm.
+//
+// With --baseline_out=<path> the binary instead runs the tracked service
+// throughput cases and writes the uavdc-bench-service-v1 schema (add
+// --quick for the CI smoke variant checked by
+// scripts/check_perf_regression.py).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "uavdc/io/json.hpp"
+#include "uavdc/service/jsonl.hpp"
+#include "uavdc/service/plan_service.hpp"
+#include "uavdc/service/request.hpp"
+#include "uavdc/service/workload_gen.hpp"
+#include "uavdc/util/flags.hpp"
+#include "uavdc/util/timer.hpp"
+#include "uavdc/workload/presets.hpp"
+
+namespace {
+
+using namespace uavdc;
+
+core::PlannerOptions bench_options() {
+    core::PlannerOptions opts;
+    opts.delta_m = 25.0;
+    opts.grasp_iterations = 3;
+    return opts;
+}
+
+service::PlanService::Config service_config(std::size_t workers) {
+    service::PlanService::Config cfg;
+    cfg.workers = workers;
+    cfg.defaults = bench_options();
+    return cfg;
+}
+
+std::vector<service::PlanRequest> bench_requests(int count,
+                                                 std::uint64_t seed) {
+    service::WorkloadGenConfig gen;
+    gen.requests = count;
+    gen.instances = 4;
+    gen.seed = seed;
+    gen.deadline_prob = 0.0;  // throughput, not expiry handling
+    gen.control_verbs = false;
+    std::vector<service::PlanRequest> reqs;
+    std::istringstream in(service::generate_jsonl_workload(gen));
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty()) {
+            reqs.push_back(service::request_from_json(io::Json::parse(line)));
+        }
+    }
+    return reqs;
+}
+
+void run_batch(service::PlanService& svc,
+               const std::vector<service::PlanRequest>& reqs) {
+    for (const auto& req : reqs) {
+        svc.submit(req, [](service::PlanResponse resp) {
+            benchmark::DoNotOptimize(resp.status);
+        });
+    }
+    svc.drain();
+}
+
+/// Cold cache: a fresh service per iteration plans every unique request.
+void BM_ServeCold(benchmark::State& state) {
+    const auto reqs =
+        bench_requests(static_cast<int>(state.range(0)), 17);
+    const auto workers = static_cast<std::size_t>(state.range(1));
+    for (auto _ : state) {
+        service::PlanService svc(service_config(workers));
+        run_batch(svc, reqs);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServeCold)->Args({32, 1})->Args({32, 4});
+
+/// Warm cache: the service has already answered the same workload, so every
+/// request is a response-cache hit — the transport/queue overhead ceiling.
+void BM_ServeWarm(benchmark::State& state) {
+    const auto reqs =
+        bench_requests(static_cast<int>(state.range(0)), 17);
+    const auto workers = static_cast<std::size_t>(state.range(1));
+    service::PlanService svc(service_config(workers));
+    run_batch(svc, reqs);  // prime the cache
+    for (auto _ : state) {
+        run_batch(svc, reqs);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServeWarm)->Args({32, 4});
+
+/// JSONL transport end to end (parse + serve + serialize).
+void BM_ServeJsonl(benchmark::State& state) {
+    service::WorkloadGenConfig gen;
+    gen.requests = static_cast<int>(state.range(0));
+    gen.instances = 4;
+    gen.seed = 17;
+    gen.deadline_prob = 0.0;
+    const std::string workload = service::generate_jsonl_workload(gen);
+    service::JsonlConfig cfg;
+    cfg.service = service_config(4);
+    for (auto _ : state) {
+        std::istringstream in(workload);
+        std::ostringstream out;
+        auto summary = service::serve_jsonl(in, out, cfg);
+        benchmark::DoNotOptimize(summary.stats.ok);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServeJsonl)->Arg(32);
+
+// ---------------------------------------------------------------------------
+// Tracked baselines (uavdc-bench-service-v1)
+// ---------------------------------------------------------------------------
+
+struct ServiceBaseline {
+    std::string name;
+    int requests{0};
+    int workers{0};
+    bool warm{false};
+    double runtime_s{0.0};
+    double rps{0.0};
+    double cache_hit_rate{0.0};
+};
+
+ServiceBaseline run_case(const std::string& name, int requests, int workers,
+                         bool warm) {
+    ServiceBaseline row;
+    row.name = name;
+    row.requests = requests;
+    row.workers = workers;
+    row.warm = warm;
+    const auto reqs = bench_requests(requests, 17);
+    service::PlanService svc(
+        service_config(static_cast<std::size_t>(workers)));
+    if (warm) run_batch(svc, reqs);
+    util::Timer timer;
+    run_batch(svc, reqs);
+    row.runtime_s = timer.seconds();
+    row.rps = row.runtime_s > 0.0
+                  ? static_cast<double>(requests) / row.runtime_s
+                  : 0.0;
+    row.cache_hit_rate = svc.stats().cache_hit_rate();
+    return row;
+}
+
+std::vector<ServiceBaseline> run_service_baselines(bool quick) {
+    const int n = quick ? 48 : 256;
+    return {
+        run_case("serve_cold_w1", n, 1, false),
+        run_case("serve_cold_w4", n, 4, false),
+        run_case("serve_warm_w4", n, 4, true),
+    };
+}
+
+void write_service_baselines(const std::string& path, bool quick,
+                             const std::vector<ServiceBaseline>& rows) {
+    io::Json::Array cases;
+    for (const auto& r : rows) {
+        io::Json row;
+        row["name"] = r.name;
+        row["requests"] = r.requests;
+        row["workers"] = r.workers;
+        row["warm"] = r.warm;
+        row["runtime_s"] = r.runtime_s;
+        row["rps"] = r.rps;
+        row["cache_hit_rate"] = r.cache_hit_rate;
+        cases.push_back(std::move(row));
+    }
+    io::Json doc;
+    doc["schema"] = "uavdc-bench-service-v1";
+    doc["mode"] = quick ? "quick" : "full";
+    doc["cases"] = io::Json(std::move(cases));
+    io::save_json_file(path, doc);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const util::Flags flags(argc, argv);
+    if (flags.has("baseline_out")) {
+        const bool quick = flags.get_bool("quick", false);
+        const auto rows = run_service_baselines(quick);
+        for (const auto& r : rows) {
+            std::printf(
+                "%-16s requests=%-4d workers=%-2d %s runtime=%.4fs "
+                "rps=%.1f hit-rate=%.2f\n",
+                r.name.c_str(), r.requests, r.workers,
+                r.warm ? "warm" : "cold", r.runtime_s, r.rps,
+                r.cache_hit_rate);
+        }
+        write_service_baselines(
+            flags.get_string("baseline_out", "BENCH_service.json"), quick,
+            rows);
+        return 0;
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,18 +1,23 @@
 #!/usr/bin/env python3
-"""Compare a fresh planner-baseline JSON against the checked-in baseline.
+"""Compare a fresh benchmark-baseline JSON against the checked-in baseline.
 
-Both files use the uavdc-bench-planners-v1 schema written by
-`micro_planners --baseline_out=<path> [--quick]`. The check fails when any
-case's incremental-engine runtime regresses by more than --max-ratio
-(default 2x) relative to the checked-in run, or when a case disappeared.
+Two schemas are understood, both with a top-level ``cases`` list:
+
+- ``uavdc-bench-planners-v1`` (``micro_planners --baseline_out=...``),
+  compared on each case's ``incremental_s``;
+- ``uavdc-bench-service-v1`` (``micro_service --baseline_out=...``),
+  compared on each case's ``runtime_s``.
+
+Baseline and current file must carry the same schema. The check fails when
+any case's runtime regresses by more than --max-ratio (default 2x) relative
+to the checked-in run, or when a case disappeared.
 
 Absolute runtimes differ between the checked-in full-mode baseline and the
 CI quick-mode smoke, so the comparison is *shape-based*: each case's
-incremental runtime is first normalised by the total incremental runtime of
-its own file, and the per-case share is what must not blow up. A >2x jump
-in a case's share means that case slowed down disproportionately — the
-signature of an engine regression — while uniformly slower CI hardware
-cancels out.
+runtime is first normalised by the total runtime of its own file, and the
+per-case share is what must not blow up. A >2x jump in a case's share means
+that case slowed down disproportionately — the signature of a regression —
+while uniformly slower CI hardware cancels out.
 
 Exit codes: 0 ok, 1 regression (or malformed input).
 """
@@ -21,29 +26,37 @@ import argparse
 import json
 import sys
 
+# schema -> (runtime field compared, optional extra column shown)
+SCHEMAS = {
+    "uavdc-bench-planners-v1": ("incremental_s", "speedup"),
+    "uavdc-bench-service-v1": ("runtime_s", "rps"),
+}
 
-def load_cases(path):
+
+def load_doc(path):
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
-    if doc.get("schema") != "uavdc-bench-planners-v1":
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    if schema not in SCHEMAS:
+        sys.exit(f"{path}: unexpected schema {schema!r} "
+                 f"(known: {', '.join(sorted(SCHEMAS))})")
     cases = {c["name"]: c for c in doc.get("cases", [])}
     if not cases:
         sys.exit(f"{path}: no cases")
-    return cases
+    return schema, cases
 
 
-def shares(cases):
-    total = sum(c["incremental_s"] for c in cases.values())
+def shares(cases, metric):
+    total = sum(c[metric] for c in cases.values())
     if total <= 0.0:
-        sys.exit("total incremental runtime is not positive")
-    return {name: c["incremental_s"] / total for name, c in cases.items()}
+        sys.exit(f"total {metric} is not positive")
+    return {name: c[metric] / total for name, c in cases.items()}
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True,
-                    help="checked-in BENCH_planners.json")
+                    help="checked-in BENCH_*.json")
     ap.add_argument("--current", required=True,
                     help="freshly generated baseline JSON")
     ap.add_argument("--max-ratio", type=float, default=2.0,
@@ -51,37 +64,41 @@ def main():
                          "current/baseline (default 2.0)")
     args = ap.parse_args()
 
-    base = load_cases(args.baseline)
-    cur = load_cases(args.current)
+    base_schema, base = load_doc(args.baseline)
+    cur_schema, cur = load_doc(args.current)
+    if base_schema != cur_schema:
+        sys.exit(f"schema mismatch: baseline is {base_schema}, "
+                 f"current is {cur_schema}")
+    metric, extra = SCHEMAS[base_schema]
 
     missing = sorted(set(base) - set(cur))
     if missing:
         print(f"FAIL: cases missing from current run: {', '.join(missing)}")
         return 1
 
-    base_share = shares(base)
-    cur_share = shares(cur)
+    base_share = shares(base, metric)
+    cur_share = shares(cur, metric)
 
     failed = False
     print(f"{'case':24s} {'base share':>11s} {'cur share':>11s} "
-          f"{'ratio':>7s} {'speedup':>8s}")
+          f"{'ratio':>7s} {extra:>10s}")
     for name in sorted(base):
         ratio = cur_share[name] / base_share[name]
-        speedup = cur[name]["speedup"]
         flag = ""
         if ratio > args.max_ratio:
             failed = True
             flag = f"  <-- REGRESSION (> {args.max_ratio:.1f}x)"
         print(f"{name:24s} {base_share[name]:11.4f} {cur_share[name]:11.4f} "
-              f"{ratio:7.2f} {speedup:7.1f}x{flag}")
+              f"{ratio:7.2f} {cur[name][extra]:10.1f}{flag}")
 
     for name in sorted(set(cur) - set(base)):
         print(f"{name:24s} (new case, not in baseline)")
 
     if failed:
-        print("\nFAIL: incremental-engine runtime regressed; if intentional, "
-              "regenerate bench/BENCH_planners.json with "
-              "`micro_planners --baseline_out=bench/BENCH_planners.json`.")
+        tool = ("micro_planners" if base_schema == "uavdc-bench-planners-v1"
+                else "micro_service")
+        print(f"\nFAIL: {metric} regressed; if intentional, regenerate the "
+              f"checked-in baseline with `{tool} --baseline_out=<path>`.")
         return 1
     print("\nOK: no perf regression beyond "
           f"{args.max_ratio:.1f}x per-case runtime share.")

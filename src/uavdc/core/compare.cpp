@@ -1,44 +1,73 @@
 #include "uavdc/core/compare.hpp"
 
 #include <algorithm>
+#include <future>
 
 #include "uavdc/util/check.hpp"
 
 namespace uavdc::core {
 
+namespace {
+
+/// Plan + validate + evaluate one planner. Independent of every other
+/// planner, which is what makes the pooled fan-out below safe: each call
+/// fills exactly one output slot.
+PlannerComparison compare_one(const PlanningContext& ctx,
+                              const PlannerOptions& opts,
+                              const std::string& name) {
+    const model::Instance& inst = ctx.instance();
+    auto planner = make_planner(name, opts);
+    auto res = planner->plan(ctx);
+    PlannerComparison cmp;
+    cmp.name = planner->name();
+    cmp.runtime_s = res.stats.runtime_s;
+    cmp.validation = validate_plan(inst, res.plan);
+    std::string violations;
+    for (const auto& v : cmp.validation.errors) {
+        violations += " [" + to_string(v.kind) + " @ stop " +
+                      std::to_string(v.stop) + ": " + v.detail + "]";
+    }
+    UAVDC_CHECK(cmp.validation.ok())
+        << "compare_planners: planner '" << cmp.name
+        << "' produced an invalid plan:" << violations;
+    cmp.evaluation = evaluate_plan(inst, res.plan);
+    cmp.metrics = compute_metrics(inst, res.plan);
+    cmp.plan = std::move(res.plan);
+    return cmp;
+}
+
+}  // namespace
+
 std::vector<PlannerComparison> compare_planners(const model::Instance& inst,
                                                 const PlannerOptions& opts,
-                                                std::vector<std::string> names) {
+                                                std::vector<std::string> names,
+                                                util::ThreadPool* pool) {
     const auto ctx = PlanningContext::obtain(inst, opts.hover_config());
-    return compare_planners(*ctx, opts, std::move(names));
+    return compare_planners(*ctx, opts, std::move(names), pool);
 }
 
 std::vector<PlannerComparison> compare_planners(const PlanningContext& ctx,
                                                 const PlannerOptions& opts,
-                                                std::vector<std::string> names) {
+                                                std::vector<std::string> names,
+                                                util::ThreadPool* pool) {
     if (names.empty()) names = planner_names();
-    const model::Instance& inst = ctx.instance();
     std::vector<PlannerComparison> out;
     out.reserve(names.size());
-    for (const auto& name : names) {
-        auto planner = make_planner(name, opts);
-        auto res = planner->plan(ctx);
-        PlannerComparison cmp;
-        cmp.name = planner->name();
-        cmp.runtime_s = res.stats.runtime_s;
-        cmp.validation = validate_plan(inst, res.plan);
-        std::string violations;
-        for (const auto& v : cmp.validation.errors) {
-            violations += " [" + to_string(v.kind) + " @ stop " +
-                          std::to_string(v.stop) + ": " + v.detail + "]";
+    if (pool != nullptr && names.size() > 1 && !pool->on_worker_thread()) {
+        std::vector<std::future<PlannerComparison>> futures;
+        futures.reserve(names.size());
+        for (const auto& name : names) {
+            futures.push_back(pool->submit(
+                [&ctx, &opts, &name]() { return compare_one(ctx, opts, name); }));
         }
-        UAVDC_CHECK(cmp.validation.ok())
-            << "compare_planners: planner '" << cmp.name
-            << "' produced an invalid plan:" << violations;
-        cmp.evaluation = evaluate_plan(inst, res.plan);
-        cmp.metrics = compute_metrics(inst, res.plan);
-        cmp.plan = std::move(res.plan);
-        out.push_back(std::move(cmp));
+        // get() in submission order: results land in the same slots as the
+        // serial loop, and the first planner failure propagates as the same
+        // exception a serial run would have thrown.
+        for (auto& fut : futures) out.push_back(fut.get());
+    } else {
+        for (const auto& name : names) {
+            out.push_back(compare_one(ctx, opts, name));
+        }
     }
     std::stable_sort(out.begin(), out.end(),
                      [](const PlannerComparison& a,

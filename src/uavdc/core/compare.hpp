@@ -8,6 +8,7 @@
 #include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/registry.hpp"
 #include "uavdc/core/validate_plan.hpp"
+#include "uavdc/util/thread_pool.hpp"
 
 namespace uavdc::core {
 
@@ -35,13 +36,20 @@ struct PlannerComparison {
 /// `std::runtime_error` naming the planner — a planner emitting broken
 /// plans is a bug to surface, not a row to rank. Warnings are kept in
 /// `PlannerComparison::validation`.
+///
+/// `pool` != nullptr fans the planners out across the caller's thread pool
+/// (one task per planner) instead of running them back to back — no pool
+/// is ever constructed internally, so callers that already own workers
+/// (the plan service, `uavdc compare`) avoid per-call thread churn. The
+/// result is bit-identical to the serial run: each planner writes its own
+/// slot and the final ranking pass is sequential.
 [[nodiscard]] std::vector<PlannerComparison> compare_planners(
     const model::Instance& inst, const PlannerOptions& opts = {},
-    std::vector<std::string> names = {});
+    std::vector<std::string> names = {}, util::ThreadPool* pool = nullptr);
 
 /// Same, against a caller-supplied context (e.g. reused across sweeps).
 [[nodiscard]] std::vector<PlannerComparison> compare_planners(
     const PlanningContext& ctx, const PlannerOptions& opts = {},
-    std::vector<std::string> names = {});
+    std::vector<std::string> names = {}, util::ThreadPool* pool = nullptr);
 
 }  // namespace uavdc::core

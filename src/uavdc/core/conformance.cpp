@@ -8,6 +8,7 @@
 #include "uavdc/core/registry.hpp"
 #include "uavdc/sim/battery.hpp"
 #include "uavdc/util/rng.hpp"
+#include "uavdc/util/thread_pool.hpp"
 #include "uavdc/workload/generator.hpp"
 
 namespace uavdc::core {
@@ -138,6 +139,54 @@ ConformanceReport check_conformance(const model::Instance& inst,
     return rep;
 }
 
+namespace {
+
+/// Outcome of fuzzing one generated instance across every planner. Kept
+/// per-instance so the pooled path can merge slots in instance order and
+/// reproduce the serial summary bit for bit.
+struct InstanceFuzzResult {
+    int plans_checked{0};
+    int mismatches{0};
+    std::vector<ConformanceFuzzFailure> failures;  ///< capped at max_failures
+};
+
+InstanceFuzzResult fuzz_one_instance(const workload::GeneratorConfig& g,
+                                     std::uint64_t instance_seed,
+                                     const std::vector<std::string>& planners,
+                                     const ConformanceFuzzConfig& cfg) {
+    InstanceFuzzResult out;
+    const auto inst = workload::generate(g, instance_seed);
+
+    // A plan of the full instance is feasible by planner contract; the
+    // stressed variant shrinks the battery under the same plan to force
+    // the truncation / abort paths.
+    auto stressed = inst;
+    stressed.uav.energy_j *= 0.45;
+
+    PlannerOptions opts;
+    opts.delta_m = std::max(10.0, std::max(g.region_w, g.region_h) / 18.0);
+    const auto ctx = PlanningContext::obtain(inst, opts.hover_config());
+
+    for (const auto& name : planners) {
+        const auto res = make_planner(name, opts)->plan(*ctx);
+        auto consider = [&](const model::Instance& target, bool is_stressed) {
+            const auto report = check_conformance(target, res.plan, cfg.tol);
+            ++out.plans_checked;
+            if (report.ok()) return;
+            out.mismatches += static_cast<int>(report.mismatches.size());
+            if (static_cast<int>(out.failures.size()) < cfg.max_failures) {
+                out.failures.push_back({instance_seed, inst.name, name,
+                                        is_stressed, report.mismatches});
+            }
+        };
+        consider(inst, false);
+        if (cfg.stress_energy) consider(stressed, true);
+    }
+    return out;
+}
+
+}  // namespace
+
 ConformanceFuzzSummary fuzz_conformance(const ConformanceFuzzConfig& cfg) {
     ConformanceFuzzSummary summary;
     if (cfg.instances <= 0) return summary;
@@ -153,6 +202,13 @@ ConformanceFuzzSummary fuzz_conformance(const ConformanceFuzzConfig& cfg) {
         workload::VolumeModel::kUniform, workload::VolumeModel::kExponential,
         workload::VolumeModel::kFixed, workload::VolumeModel::kBimodal};
 
+    // Draw every instance's recipe up front from the single root stream —
+    // the draw order (and thus the generated instances) is identical
+    // whether the fuzz work below runs serially or on a pool.
+    std::vector<workload::GeneratorConfig> configs;
+    std::vector<std::uint64_t> seeds;
+    configs.reserve(static_cast<std::size_t>(cfg.instances));
+    seeds.reserve(static_cast<std::size_t>(cfg.instances));
     for (int i = 0; i < cfg.instances; ++i) {
         workload::GeneratorConfig g;
         g.num_devices = static_cast<int>(rng.uniform_int(4, 40));
@@ -165,40 +221,43 @@ ConformanceFuzzSummary fuzz_conformance(const ConformanceFuzzConfig& cfg) {
         g.max_mb = g.min_mb + rng.uniform(50.0, 800.0);
         // Budgets from cramped to comfortable, so some plans hug E.
         g.uav.energy_j = rng.uniform(2.0e4, 1.2e5);
-        const auto instance_seed = rng.next_u64();
-        const auto inst = workload::generate(g, instance_seed);
+        configs.push_back(g);
+        seeds.push_back(rng.next_u64());
+    }
+
+    std::vector<InstanceFuzzResult> results(
+        static_cast<std::size_t>(cfg.instances));
+    if (cfg.pool != nullptr && cfg.instances > 1 &&
+        !cfg.pool->on_worker_thread()) {
+        std::vector<std::future<void>> futures;
+        futures.reserve(results.size());
+        for (int i = 0; i < cfg.instances; ++i) {
+            const auto idx = static_cast<std::size_t>(i);
+            futures.push_back(cfg.pool->submit([&, idx]() {
+                results[idx] = fuzz_one_instance(configs[idx], seeds[idx],
+                                                 planners, cfg);
+            }));
+        }
+        for (auto& fut : futures) fut.get();
+    } else {
+        for (int i = 0; i < cfg.instances; ++i) {
+            const auto idx = static_cast<std::size_t>(i);
+            results[idx] =
+                fuzz_one_instance(configs[idx], seeds[idx], planners, cfg);
+        }
+    }
+
+    // Sequential merge in instance order: counters sum, and the first
+    // `max_failures` failures are the same cases a serial run collects.
+    for (auto& res : results) {
         ++summary.instances;
-
-        // A plan of the full instance is feasible by planner contract; the
-        // stressed variant shrinks the battery under the same plan to force
-        // the truncation / abort paths.
-        auto stressed = inst;
-        stressed.uav.energy_j *= 0.45;
-
-        PlannerOptions opts;
-        opts.delta_m =
-            std::max(10.0, std::max(g.region_w, g.region_h) / 18.0);
-        const auto ctx = PlanningContext::obtain(inst, opts.hover_config());
-
-        for (const auto& name : planners) {
-            const auto res = make_planner(name, opts)->plan(*ctx);
-            auto consider = [&](const model::Instance& target,
-                               bool is_stressed) {
-                const auto report =
-                    check_conformance(target, res.plan, cfg.tol);
-                ++summary.plans_checked;
-                if (report.ok()) return;
-                summary.mismatches +=
-                    static_cast<int>(report.mismatches.size());
-                if (static_cast<int>(summary.failures.size()) <
-                    cfg.max_failures) {
-                    summary.failures.push_back({instance_seed, inst.name,
-                                                name, is_stressed,
-                                                report.mismatches});
-                }
-            };
-            consider(inst, false);
-            if (cfg.stress_energy) consider(stressed, true);
+        summary.plans_checked += res.plans_checked;
+        summary.mismatches += res.mismatches;
+        for (auto& failure : res.failures) {
+            if (static_cast<int>(summary.failures.size()) <
+                cfg.max_failures) {
+                summary.failures.push_back(std::move(failure));
+            }
         }
     }
     return summary;

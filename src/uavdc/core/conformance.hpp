@@ -10,6 +10,10 @@
 #include "uavdc/model/plan.hpp"
 #include "uavdc/sim/simulator.hpp"
 
+namespace uavdc::util {
+class ThreadPool;
+}  // namespace uavdc::util
+
 namespace uavdc::core {
 
 /// One cross-layer disagreement found by the conformance oracle.
@@ -68,6 +72,12 @@ struct ConformanceFuzzConfig {
     /// feasible plan never exercises.
     bool stress_energy = true;
     int max_failures = 8;  ///< stop collecting after this many failed cases
+    /// Optional caller-provided worker pool. When set, instances are fuzzed
+    /// concurrently (one task per instance) and the per-instance results are
+    /// merged in instance order, so the summary — counters and the identity
+    /// of the first `max_failures` failures — is bit-identical to a serial
+    /// run. The fuzzer never constructs threads of its own.
+    util::ThreadPool* pool = nullptr;
 };
 
 /// One failing (instance, planner) case, replayable from the seed.

@@ -7,6 +7,83 @@
 
 namespace uavdc::core {
 
+namespace {
+
+// Geometric bucket grid: kLoSeconds * kGrowth^b for b in [0, kBuckets).
+// 96 buckets spanning 1e-6 s .. ~1e3 s gives a per-bucket growth factor of
+// ~1.24, i.e. quantiles resolve to ~12% before interpolation.
+constexpr double kLoSeconds = 1e-6;
+constexpr double kHiSeconds = 1e3;
+
+double bucket_growth() {
+    static const double kGrowth =
+        std::pow(kHiSeconds / kLoSeconds,
+                 1.0 / static_cast<double>(LatencyHistogram::kBuckets - 1));
+    return kGrowth;
+}
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_of(double seconds) {
+    if (seconds <= kLoSeconds) return 0;
+    const std::size_t b = static_cast<std::size_t>(
+        std::log(seconds / kLoSeconds) / std::log(bucket_growth()) + 1.0);
+    return std::min(b, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_lo(std::size_t b) {
+    return b == 0 ? 0.0
+                  : kLoSeconds *
+                        std::pow(bucket_growth(),
+                                 static_cast<double>(b) - 1.0);
+}
+
+void LatencyHistogram::record(double seconds) {
+    seconds = std::max(seconds, 0.0);
+    ++counts_[bucket_of(seconds)];
+    if (n_ == 0) {
+        min_ = max_ = seconds;
+    } else {
+        min_ = std::min(min_, seconds);
+        max_ = std::max(max_, seconds);
+    }
+    ++n_;
+    sum_ += seconds;
+}
+
+double LatencyHistogram::quantile(double q) const {
+    if (n_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(n_);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        if (counts_[b] == 0) continue;
+        const auto next = seen + counts_[b];
+        if (static_cast<double>(next) >= target) {
+            // Interpolate within the bucket by rank.
+            const double lo = bucket_lo(b);
+            const double hi =
+                b + 1 < kBuckets ? bucket_lo(b + 1) : max_;
+            const double frac =
+                (target - static_cast<double>(seen)) /
+                static_cast<double>(counts_[b]);
+            const double v = lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+            return std::clamp(v, min_, max_);
+        }
+        seen = next;
+    }
+    return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& o) {
+    if (o.n_ == 0) return;
+    for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += o.counts_[b];
+    min_ = n_ == 0 ? o.min_ : std::min(min_, o.min_);
+    max_ = n_ == 0 ? o.max_ : std::max(max_, o.max_);
+    n_ += o.n_;
+    sum_ += o.sum_;
+}
+
 PlanMetrics compute_metrics(const model::Instance& inst,
                             const model::FlightPlan& plan) {
     PlanMetrics m;

@@ -1,11 +1,51 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "uavdc/model/instance.hpp"
 #include "uavdc/model/plan.hpp"
 
 namespace uavdc::core {
+
+/// Fixed-footprint log-bucketed latency histogram. Buckets are geometric
+/// from 1 microsecond to ~1000 seconds, so p50/p95/p99 resolve to a few
+/// percent across six decades without storing samples. Quantiles are read
+/// from the bucket whose cumulative count first reaches q * n, linearly
+/// interpolated within the bucket and clamped to the observed [min, max].
+///
+/// Not internally synchronized — the plan service guards each per-planner
+/// histogram with its stats mutex.
+class LatencyHistogram {
+  public:
+    void record(double seconds);
+
+    [[nodiscard]] std::uint64_t count() const { return n_; }
+    [[nodiscard]] double mean_s() const {
+        return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+    }
+    [[nodiscard]] double min_s() const { return n_ ? min_ : 0.0; }
+    [[nodiscard]] double max_s() const { return n_ ? max_ : 0.0; }
+
+    /// q-th quantile in seconds, q in [0, 1]; 0 when empty.
+    [[nodiscard]] double quantile(double q) const;
+
+    /// Merge another histogram (e.g. per-worker shards).
+    void merge(const LatencyHistogram& o);
+
+    static constexpr std::size_t kBuckets = 96;
+
+  private:
+    [[nodiscard]] static std::size_t bucket_of(double seconds);
+    [[nodiscard]] static double bucket_lo(std::size_t b);
+
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t n_{0};
+    double sum_{0.0};
+    double min_{0.0};
+    double max_{0.0};
+};
 
 /// Per-plan analytics beyond raw collected volume — the quantities an
 /// operator would track sortie over sortie.

@@ -390,6 +390,37 @@ void rule_no_dense_rebuild_in_loop(RuleContext& ctx) {
     }
 }
 
+/// UL008: threading in the library flows through util::ThreadPool. A raw
+/// std::thread outside util/ dodges the pool's deterministic shutdown (and
+/// the service's drain barrier); a detach() anywhere abandons the thread
+/// past teardown entirely, which no test or sanitizer run can wait out.
+void rule_no_raw_thread(RuleContext& ctx) {
+    if (!in_library(ctx.path)) return;
+    const bool in_util = has_component(ctx.path, "util");
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        const std::string& code = ctx.lines[i].code;
+        if (has_call(code, "detach")) {
+            ctx.report(i, "UL008", "no-raw-thread",
+                       "detach() abandons a thread with no join and no "
+                       "deterministic teardown; keep threads joinable "
+                       "(util::ThreadPool joins every worker on shutdown) or "
+                       "annotate NOLINT(uavdc-no-raw-thread): <why the thread "
+                       "must outlive its owner>");
+            continue;
+        }
+        if (in_util) continue;  // the pool itself may own std::thread
+        const std::size_t pos = code.find("std::thread");
+        if (pos != std::string::npos && token_at(code, pos + 5, "thread")) {
+            ctx.report(i, "UL008", "no-raw-thread",
+                       "raw std::thread outside util/ bypasses the shared "
+                       "ThreadPool's sizing and deterministic shutdown; "
+                       "submit to util::ThreadPool / util::global_pool(), or "
+                       "annotate NOLINT(uavdc-no-raw-thread): <why a "
+                       "dedicated thread is required>");
+        }
+    }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -416,6 +447,10 @@ const std::vector<RuleInfo>& rules() {
          "no DenseGraph::euclidean construction inside loops in core/ "
          "planner code; hoist the graph or use the PlanningContext distance "
          "matrix — per-iteration rebuilds are O(n^2) allocation churn"},
+        {"UL008", "no-raw-thread",
+         "no raw std::thread outside util/ and no detach() anywhere in the "
+         "library; threads come from util::ThreadPool, which joins every "
+         "worker on shutdown"},
     };
     return kRules;
 }
@@ -518,6 +553,7 @@ std::vector<Finding> lint_source(const std::string& path,
     rule_pragma_once(ctx);
     rule_no_cout_in_library(ctx);
     rule_no_dense_rebuild_in_loop(ctx);
+    rule_no_raw_thread(ctx);
     std::sort(findings.begin(), findings.end(),
               [](const Finding& a, const Finding& b) {
                   if (a.line != b.line) return a.line < b.line;

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "uavdc/service/plan_service.hpp"
+
+namespace uavdc::service {
+
+/// JSONL session configuration for `serve_jsonl` / `uavdc serve`.
+struct JsonlConfig {
+    PlanService::Config service;
+    bool final_stats = false;  ///< append one stats line after EOF drain
+};
+
+/// Outcome of one JSONL session (also printed by `uavdc serve --summary`).
+struct JsonlSummary {
+    std::uint64_t lines{0};         ///< non-blank input lines
+    std::uint64_t requests{0};      ///< plan requests submitted
+    std::uint64_t control{0};       ///< stats/drain verbs answered
+    std::uint64_t parse_errors{0};  ///< malformed lines (answered, not fatal)
+    ServiceStats stats;             ///< service counters after the final drain
+};
+
+/// Newline-delimited request/response transport over streams.
+///
+/// Each input line is one JSON document:
+///   - a plan request (see `request_from_json`) — submitted asynchronously;
+///     its response line is written whenever it completes, so responses are
+///     pipelined and may be out of order relative to the input. Clients
+///     correlate by `id`.
+///   - {"op": "stats", "id": ...} — answered immediately with a
+///     point-in-time `ServiceStats` snapshot (in-flight work continues).
+///   - {"op": "drain", "id": ...} — a barrier: answered only after every
+///     previously submitted request has been responded to.
+/// Malformed lines are answered with a `bad_request` response (echoing the
+/// line's `id` when one could be parsed) rather than aborting the session.
+///
+/// Every line receives exactly one response line; output lines are written
+/// atomically (one mutex around the stream) and flushed so a downstream
+/// pipe sees completed JSON documents only. After EOF the service is
+/// drained, so the summary's counters are final.
+JsonlSummary serve_jsonl(std::istream& in, std::ostream& out,
+                         const JsonlConfig& cfg = {},
+                         util::ThreadPool* pool = nullptr);
+
+}  // namespace uavdc::service

@@ -1,0 +1,406 @@
+#include "uavdc/service/plan_service.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "uavdc/core/planning_context.hpp"
+#include "uavdc/io/serialize.hpp"
+#include "uavdc/util/check.hpp"
+
+namespace uavdc::service {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+}
+
+void fnv_double(std::uint64_t& h, double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    fnv_bytes(h, &bits, sizeof(bits));
+}
+
+void fnv_int(std::uint64_t& h, std::int64_t v) {
+    fnv_bytes(h, &v, sizeof(v));
+}
+
+/// Response-cache key half: planner identity + every resolved option that
+/// can change the plan. Two requests collide only when they would produce
+/// byte-identical plans.
+std::uint64_t options_fingerprint(const std::string& planner,
+                                  const core::PlannerOptions& opts) {
+    std::uint64_t h = kFnvOffset;
+    fnv_bytes(h, planner.data(), planner.size());
+    fnv_double(h, opts.delta_m);
+    fnv_int(h, opts.max_candidates);
+    fnv_int(h, opts.k);
+    fnv_int(h, opts.grasp_iterations);
+    fnv_int(h, static_cast<std::int64_t>(opts.scoring));
+    fnv_int(h, static_cast<std::int64_t>(opts.solver));
+    return h;
+}
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+io::Json stats_to_json(const core::PlanStats& s) {
+    io::Json doc;
+    doc["runtime_s"] = s.runtime_s;
+    doc["iterations"] = s.iterations;
+    doc["candidates"] = s.candidates;
+    doc["planned_mb"] = s.planned_mb;
+    doc["planned_energy_j"] = s.planned_energy_j;
+    return doc;
+}
+
+bool known_planner(const std::string& name) {
+    const auto names = core::planner_names();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+}  // namespace
+
+io::Json to_json(const ServiceStats& stats) {
+    io::Json doc;
+    doc["submitted"] = stats.submitted;
+    doc["admitted"] = stats.admitted;
+    doc["completed"] = stats.completed;
+    doc["ok"] = stats.ok;
+    doc["rejected_overload"] = stats.rejected_overload;
+    doc["rejected_bad_request"] = stats.rejected_bad_request;
+    doc["deadline_exceeded"] = stats.deadline_exceeded;
+    doc["internal_errors"] = stats.internal_errors;
+    doc["queue_depth"] = stats.queue_depth;
+    doc["in_flight"] = stats.in_flight;
+    doc["workers"] = stats.workers;
+    io::Json cache;
+    cache["hits"] = stats.cache_hits;
+    cache["misses"] = stats.cache_misses;
+    cache["hit_rate"] = stats.cache_hit_rate();
+    doc["cache"] = std::move(cache);
+    io::Json latency{io::Json::Object{}};
+    for (const auto& [planner, lat] : stats.latency) {
+        io::Json row;
+        row["count"] = lat.count;
+        row["mean_ms"] = lat.mean_ms;
+        row["p50_ms"] = lat.p50_ms;
+        row["p95_ms"] = lat.p95_ms;
+        row["p99_ms"] = lat.p99_ms;
+        latency[planner] = std::move(row);
+    }
+    doc["latency_ms"] = std::move(latency);
+    return doc;
+}
+
+PlanService::PlanService() : PlanService(Config()) {}
+
+PlanService::PlanService(Config cfg, util::ThreadPool* pool)
+    : cfg_(cfg) {
+    UAVDC_REQUIRE(cfg_.queue_capacity > 0)
+        << "PlanService: queue_capacity must be positive";
+    if (pool == nullptr) {
+        owned_pool_ = std::make_unique<util::ThreadPool>(
+            std::max<std::size_t>(1, cfg_.workers));
+        pool_ = owned_pool_.get();
+    } else {
+        pool_ = pool;
+    }
+}
+
+PlanService::~PlanService() { shutdown(); }
+
+bool PlanService::heap_less(const Pending& a, const Pending& b) {
+    if (a.req.priority != b.req.priority) {
+        return a.req.priority < b.req.priority;
+    }
+    return a.seq > b.seq;  // lower seq = older = higher heap rank
+}
+
+bool PlanService::submit(PlanRequest req, Callback cb) {
+    const auto now = Clock::now();
+    {
+        std::lock_guard lock(stats_mu_);
+        ++counters_.submitted;
+    }
+    // Remember the inline instance before any shedding decision so that
+    // pipelined instance_ref requests behind this one stay resolvable.
+    if (req.instance) {
+        std::string ignored;
+        (void)resolve_instance(req, ignored);
+    }
+
+    PlanResponse reject;
+    reject.id = req.id;
+    {
+        std::unique_lock lock(mu_);
+        if (stopping_) {
+            reject.status = ResponseStatus::kShutdown;
+            reject.error = "service is shutting down";
+        } else if (queue_.size() >= cfg_.queue_capacity) {
+            reject.status = ResponseStatus::kOverloaded;
+            reject.error =
+                "admission queue full (capacity " +
+                std::to_string(cfg_.queue_capacity) + ")";
+        } else {
+            Pending p;
+            p.req = std::move(req);
+            p.cb = std::move(cb);
+            p.admitted = now;
+            p.has_deadline = p.req.deadline_ms > 0.0;
+            if (p.has_deadline) {
+                p.deadline =
+                    now + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(
+                                  p.req.deadline_ms));
+            }
+            p.seq = next_seq_++;
+            queue_.push_back(std::move(p));
+            std::push_heap(queue_.begin(), queue_.end(), heap_less);
+            lock.unlock();
+            {
+                std::lock_guard slock(stats_mu_);
+                ++counters_.admitted;
+            }
+            pool_->submit([this] { run_one(); });
+            return true;
+        }
+    }
+    {
+        std::lock_guard lock(stats_mu_);
+        if (reject.status == ResponseStatus::kOverloaded) {
+            ++counters_.rejected_overload;
+        }
+        ++counters_.completed;
+    }
+    cb(std::move(reject));
+    return false;
+}
+
+void PlanService::run_one() {
+    Pending p;
+    {
+        std::lock_guard lock(mu_);
+        // One ticket per admitted request: the queue cannot be empty here.
+        UAVDC_CHECK(!queue_.empty()) << "PlanService: ticket without request";
+        std::pop_heap(queue_.begin(), queue_.end(), heap_less);
+        p = std::move(queue_.back());
+        queue_.pop_back();
+        ++in_flight_;
+    }
+    const auto start = Clock::now();
+
+    PlanResponse resp;
+    if (p.has_deadline && start >= p.deadline) {
+        resp.status = ResponseStatus::kDeadlineExceeded;
+        resp.error = "deadline expired after " +
+                     std::to_string(ms_between(p.admitted, start)) +
+                     " ms in queue";
+    } else {
+        resp = execute(p.req);
+        if (p.has_deadline && Clock::now() >= p.deadline &&
+            resp.status == ResponseStatus::kOk) {
+            // Cooperative timeout: the planner ran to completion past the
+            // deadline; hand back the finished plan flagged as late/partial.
+            resp.status = ResponseStatus::kDeadlineExceeded;
+            resp.partial = true;
+            resp.error = "deadline expired during planning";
+        }
+        note_latency(p.req.planner,
+                     std::chrono::duration<double>(Clock::now() - start)
+                         .count());
+    }
+    finish(std::move(resp), p, start);
+}
+
+void PlanService::finish(PlanResponse resp, const Pending& p,
+                         Clock::time_point start) {
+    resp.id = p.req.id;
+    resp.queue_ms = ms_between(p.admitted, start);
+    resp.exec_ms = ms_between(start, Clock::now());
+    {
+        std::lock_guard lock(stats_mu_);
+        ++counters_.completed;
+        switch (resp.status) {
+            case ResponseStatus::kOk:
+                ++counters_.ok;
+                break;
+            case ResponseStatus::kDeadlineExceeded:
+                ++counters_.deadline_exceeded;
+                break;
+            case ResponseStatus::kBadRequest:
+                ++counters_.rejected_bad_request;
+                break;
+            case ResponseStatus::kInternalError:
+                ++counters_.internal_errors;
+                break;
+            default:
+                break;
+        }
+    }
+    p.cb(std::move(resp));
+    {
+        std::lock_guard lock(mu_);
+        --in_flight_;
+        if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+    }
+}
+
+std::shared_ptr<const model::Instance> PlanService::resolve_instance(
+    const PlanRequest& req, std::string& error) {
+    if (req.instance) {
+        const std::uint64_t fp =
+            core::PlanningContext::instance_fingerprint(*req.instance);
+        std::lock_guard lock(inst_mu_);
+        auto it = instances_.find(fp);
+        if (it != instances_.end()) return it->second;
+        auto inst = std::make_shared<const model::Instance>(*req.instance);
+        instances_.emplace(fp, inst);
+        instance_order_.push_back(fp);
+        while (instance_order_.size() > cfg_.instance_capacity) {
+            instances_.erase(instance_order_.front());
+            instance_order_.erase(instance_order_.begin());
+        }
+        return inst;
+    }
+    if (req.instance_ref) {
+        std::lock_guard lock(inst_mu_);
+        auto it = instances_.find(*req.instance_ref);
+        if (it != instances_.end()) return it->second;
+        error = "unknown instance_ref '" +
+                fingerprint_to_hex(*req.instance_ref) +
+                "' (instances must be sent inline once before being "
+                "referenced)";
+        return nullptr;
+    }
+    error = "request carries neither an inline instance nor an instance_ref";
+    return nullptr;
+}
+
+PlanResponse PlanService::execute(const PlanRequest& req) {
+    PlanResponse resp;
+    resp.id = req.id;
+
+    std::string error;
+    const auto inst = resolve_instance(req, error);
+    if (!inst) {
+        resp.status = ResponseStatus::kBadRequest;
+        resp.error = error;
+        return resp;
+    }
+    if (!known_planner(req.planner)) {
+        resp.status = ResponseStatus::kBadRequest;
+        resp.error = "unknown planner '" + req.planner + "'";
+        return resp;
+    }
+    const core::PlannerOptions opts = req.overrides.resolve(cfg_.defaults);
+    const std::uint64_t inst_fp =
+        core::PlanningContext::instance_fingerprint(*inst);
+    const std::uint64_t opts_fp = options_fingerprint(req.planner, opts);
+
+    {
+        std::lock_guard lock(cache_mu_);
+        for (std::size_t i = 0; i < cache_.size(); ++i) {
+            if (cache_[i].key_hi == inst_fp && cache_[i].key_lo == opts_fp) {
+                if (i != 0) {
+                    const auto mid =
+                        cache_.begin() + static_cast<std::ptrdiff_t>(i);
+                    std::rotate(cache_.begin(), mid, mid + 1);
+                }
+                ++cache_hits_;
+                resp.cache_hit = true;
+                resp.result = cache_.front().result;
+                return resp;
+            }
+        }
+        ++cache_misses_;
+    }
+
+    try {
+        auto planner = core::make_planner(req.planner, opts);
+        const auto ctx =
+            core::PlanningContext::obtain(*inst, opts.hover_config());
+        auto res = planner->plan(*ctx);
+        io::Json result;
+        result["instance_fingerprint"] = fingerprint_to_hex(inst_fp);
+        result["planner"] = planner->name();
+        result["plan"] = io::to_json(res.plan);
+        result["stats"] = stats_to_json(res.stats);
+        resp.result = result;
+        {
+            std::lock_guard lock(cache_mu_);
+            cache_.insert(cache_.begin(),
+                          CacheEntry{inst_fp, opts_fp, std::move(result)});
+            if (cache_.size() > cfg_.response_cache_capacity) {
+                cache_.pop_back();
+            }
+        }
+    } catch (const std::exception& ex) {
+        resp.status = ResponseStatus::kInternalError;
+        resp.error = std::string("planner '") + req.planner +
+                     "' failed: " + ex.what();
+        resp.result = io::Json();
+    }
+    return resp;
+}
+
+void PlanService::drain() {
+    std::unique_lock lock(mu_);
+    drained_cv_.wait(lock,
+                     [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void PlanService::shutdown() {
+    {
+        std::lock_guard lock(mu_);
+        stopping_ = true;
+    }
+    drain();
+    if (owned_pool_) owned_pool_->shutdown();
+}
+
+void PlanService::note_latency(const std::string& planner, double seconds) {
+    std::lock_guard lock(stats_mu_);
+    latency_[planner].record(seconds);
+}
+
+ServiceStats PlanService::stats() const {
+    ServiceStats out;
+    {
+        std::lock_guard lock(stats_mu_);
+        out = counters_;
+        for (const auto& [planner, hist] : latency_) {
+            PlannerLatency lat;
+            lat.count = hist.count();
+            lat.mean_ms = hist.mean_s() * 1e3;
+            lat.p50_ms = hist.quantile(0.50) * 1e3;
+            lat.p95_ms = hist.quantile(0.95) * 1e3;
+            lat.p99_ms = hist.quantile(0.99) * 1e3;
+            out.latency[planner] = lat;
+        }
+    }
+    {
+        std::lock_guard lock(cache_mu_);
+        out.cache_hits = cache_hits_;
+        out.cache_misses = cache_misses_;
+    }
+    {
+        std::lock_guard lock(mu_);
+        out.queue_depth = queue_.size();
+        out.in_flight = in_flight_;
+    }
+    out.workers = pool_->num_threads();
+    return out;
+}
+
+}  // namespace uavdc::service

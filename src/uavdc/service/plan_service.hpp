@@ -1,0 +1,189 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "uavdc/core/metrics.hpp"
+#include "uavdc/core/registry.hpp"
+#include "uavdc/service/request.hpp"
+#include "uavdc/util/thread_pool.hpp"
+
+namespace uavdc::service {
+
+/// Per-planner wall-clock latency summary (milliseconds).
+struct PlannerLatency {
+    std::uint64_t count{0};
+    double mean_ms{0.0};
+    double p50_ms{0.0};
+    double p95_ms{0.0};
+    double p99_ms{0.0};
+};
+
+/// Point-in-time service counters (the `stats` control verb's payload).
+struct ServiceStats {
+    std::uint64_t submitted{0};         ///< submit() calls
+    std::uint64_t admitted{0};          ///< accepted into the queue
+    std::uint64_t completed{0};         ///< responses delivered (admission
+                                        ///< rejections included)
+    std::uint64_t ok{0};                ///< status == ok
+    std::uint64_t rejected_overload{0};
+    std::uint64_t rejected_bad_request{0};
+    std::uint64_t deadline_exceeded{0};
+    std::uint64_t internal_errors{0};
+    std::uint64_t cache_hits{0};
+    std::uint64_t cache_misses{0};
+    std::size_t queue_depth{0};         ///< requests waiting right now
+    std::size_t in_flight{0};           ///< requests executing right now
+    std::size_t workers{0};
+    /// Keyed by planner name; execution latency only (queue time excluded).
+    std::map<std::string, PlannerLatency> latency;
+
+    [[nodiscard]] double cache_hit_rate() const {
+        const auto total = cache_hits + cache_misses;
+        return total ? static_cast<double>(cache_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+[[nodiscard]] io::Json to_json(const ServiceStats& stats);
+
+/// Embeddable, multi-threaded planning service.
+///
+/// Lifecycle of a request:
+///   submit() -> [REJECTED overloaded|bad ref later|shutdown]
+///            -> ADMITTED (bounded queue, priority desc then FIFO)
+///            -> RUNNING on a util::ThreadPool worker
+///            -> DONE (ok | deadline_exceeded | bad_request |
+///                     internal_error), callback invoked exactly once.
+///
+/// Backpressure: admission is a hard bound — when the queue holds
+/// `queue_capacity` requests, submit() answers `overloaded` immediately
+/// (on the caller's thread) instead of buffering without limit; the caller
+/// retries or sheds load.
+///
+/// Deadlines are cooperative: a request whose deadline passes while queued
+/// is answered `deadline_exceeded` without planning; one that finishes
+/// planning past its deadline is answered `deadline_exceeded` with
+/// `partial = true` and the finished plan attached (planners are not
+/// preempted mid-run).
+///
+/// Duplicate suppression: responses are cached by (instance fingerprint,
+/// planner, resolved options). A hit returns the byte-identical `result`
+/// payload of the original run without replanning. Planning itself runs
+/// against the process-wide `PlanningContext` LRU, so even cache *misses*
+/// on a known instance skip the candidate precompute.
+///
+/// Thread safety: submit/drain/stats/shutdown may be called from any
+/// thread. Callbacks run on worker threads (or on the submitting thread
+/// for admission rejections) and must synchronize their own sinks.
+class PlanService {
+  public:
+    struct Config {
+        std::size_t workers = 4;        ///< owned-pool size (ignored when an
+                                        ///< external pool is supplied)
+        std::size_t queue_capacity = 256;
+        std::size_t response_cache_capacity = 512;
+        std::size_t instance_capacity = 256;  ///< fingerprint registry bound
+        core::PlannerOptions defaults;  ///< base options requests override
+    };
+
+    /// `pool` == nullptr: the service owns a `util::ThreadPool` of
+    /// `cfg.workers` threads and joins it in shutdown(). Otherwise all
+    /// execution shares the caller's pool (e.g. `util::global_pool()`),
+    /// and shutdown() only drains this service's requests.
+    PlanService();  ///< default Config, owned 4-worker pool
+    explicit PlanService(Config cfg, util::ThreadPool* pool = nullptr);
+    ~PlanService();
+
+    PlanService(const PlanService&) = delete;
+    PlanService& operator=(const PlanService&) = delete;
+
+    using Callback = std::function<void(PlanResponse)>;
+
+    /// Asynchronous entry point. Always results in exactly one callback
+    /// invocation; returns false when the request was rejected at admission
+    /// (overloaded / shutdown — the callback has already run inline).
+    /// An inline instance is registered under its fingerprint before the
+    /// capacity check, so pipelined `instance_ref` requests resolve even
+    /// when this request itself is shed.
+    bool submit(PlanRequest req, Callback cb);
+
+    /// Synchronous execution (no admission queue, no deadline): resolve,
+    /// plan, cache. Workers call this; tests use it as the reference path.
+    [[nodiscard]] PlanResponse execute(const PlanRequest& req);
+
+    /// Block until every admitted request has been answered.
+    void drain();
+
+    /// Stop admitting, drain, and (for an owned pool) join all workers.
+    /// Idempotent; the destructor calls it.
+    void shutdown();
+
+    [[nodiscard]] ServiceStats stats() const;
+
+    [[nodiscard]] const Config& config() const { return cfg_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Pending {
+        PlanRequest req;
+        Callback cb;
+        Clock::time_point admitted;
+        Clock::time_point deadline;  ///< admitted + deadline_ms
+        bool has_deadline{false};
+        std::uint64_t seq{0};
+    };
+
+    /// Max-heap order: priority desc, then seq asc (FIFO within a class).
+    static bool heap_less(const Pending& a, const Pending& b);
+
+    void run_one();
+    void finish(PlanResponse resp, const Pending& p, Clock::time_point start);
+    [[nodiscard]] std::shared_ptr<const model::Instance> resolve_instance(
+        const PlanRequest& req, std::string& error);
+    void note_latency(const std::string& planner, double seconds);
+
+    Config cfg_;
+    std::unique_ptr<util::ThreadPool> owned_pool_;
+    util::ThreadPool* pool_;  ///< owned_pool_.get() or the external pool
+
+    mutable std::mutex mu_;
+    std::condition_variable drained_cv_;
+    std::vector<Pending> queue_;  ///< heap via std::push_heap/pop_heap
+    std::size_t in_flight_{0};
+    std::uint64_t next_seq_{0};
+    bool stopping_{false};
+
+    // Instance registry: fingerprint -> instance, bounded FIFO eviction.
+    mutable std::mutex inst_mu_;
+    std::map<std::uint64_t, std::shared_ptr<const model::Instance>>
+        instances_;
+    std::vector<std::uint64_t> instance_order_;
+
+    // Response cache: (instance fp, planner+options fp) -> result payload.
+    struct CacheEntry {
+        std::uint64_t key_hi;
+        std::uint64_t key_lo;
+        io::Json result;
+    };
+    mutable std::mutex cache_mu_;
+    std::vector<CacheEntry> cache_;  ///< MRU first, linear scan
+    std::uint64_t cache_hits_{0};
+    std::uint64_t cache_misses_{0};
+
+    // Counters + per-planner latency histograms.
+    mutable std::mutex stats_mu_;
+    ServiceStats counters_;  ///< queue_depth/in_flight/latency filled lazily
+    std::map<std::string, core::LatencyHistogram> latency_;
+};
+
+}  // namespace uavdc::service

@@ -1,0 +1,210 @@
+#include "uavdc/service/request.hpp"
+
+#include <stdexcept>
+
+#include "uavdc/io/serialize.hpp"
+
+namespace uavdc::service {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+    throw std::runtime_error("bad request: " + what);
+}
+
+core::ScoringEngine scoring_from_string(const std::string& s) {
+    if (s == "incremental") return core::ScoringEngine::kIncremental;
+    if (s == "reference") return core::ScoringEngine::kReference;
+    bad("unknown scoring engine '" + s +
+        "' (expected incremental|reference)");
+}
+
+orienteering::SolverKind solver_from_string(const std::string& s) {
+    if (s == "exact") return orienteering::SolverKind::kExact;
+    if (s == "greedy") return orienteering::SolverKind::kGreedy;
+    if (s == "grasp") return orienteering::SolverKind::kGrasp;
+    if (s == "ils") return orienteering::SolverKind::kIls;
+    bad("unknown solver '" + s + "' (expected exact|greedy|grasp|ils)");
+}
+
+int int_field(const io::Json& obj, const std::string& key) {
+    const double v = obj.at(key).as_number();
+    return static_cast<int>(v);
+}
+
+}  // namespace
+
+core::PlannerOptions PlannerOverrides::resolve(
+    core::PlannerOptions base) const {
+    if (delta_m) base.delta_m = *delta_m;
+    if (max_candidates) base.max_candidates = *max_candidates;
+    if (k) base.k = *k;
+    if (grasp_iterations) base.grasp_iterations = *grasp_iterations;
+    if (scoring) base.scoring = *scoring;
+    if (solver) base.solver = *solver;
+    return base;
+}
+
+std::string to_string(ResponseStatus status) {
+    switch (status) {
+        case ResponseStatus::kOk:
+            return "ok";
+        case ResponseStatus::kOverloaded:
+            return "overloaded";
+        case ResponseStatus::kDeadlineExceeded:
+            return "deadline_exceeded";
+        case ResponseStatus::kBadRequest:
+            return "bad_request";
+        case ResponseStatus::kInternalError:
+            return "internal_error";
+        case ResponseStatus::kShutdown:
+            return "shutdown";
+    }
+    return "unknown";
+}
+
+std::string fingerprint_to_hex(std::uint64_t fp) {
+    static const char* kDigits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[fp & 0xF];
+        fp >>= 4;
+    }
+    return out;
+}
+
+std::uint64_t fingerprint_from_hex(const std::string& hex) {
+    if (hex.size() != 16) {
+        bad("instance_ref must be 16 hex digits, got '" + hex + "'");
+    }
+    std::uint64_t fp = 0;
+    for (char c : hex) {
+        fp <<= 4;
+        if (c >= '0' && c <= '9') {
+            fp |= static_cast<std::uint64_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+            fp |= static_cast<std::uint64_t>(c - 'a' + 10);
+        } else {
+            bad("instance_ref must be lowercase hex, got '" + hex + "'");
+        }
+    }
+    return fp;
+}
+
+PlanRequest request_from_json(const io::Json& doc) {
+    if (!doc.is_object()) bad("request must be a JSON object");
+    PlanRequest req;
+    req.id = doc.string_or("id", "");
+    if (req.id.empty()) bad("missing request 'id'");
+    req.planner = doc.string_or("planner", "");
+    if (req.planner.empty()) bad("missing 'planner' name");
+
+    const bool has_inline = doc.contains("instance");
+    const bool has_ref = doc.contains("instance_ref");
+    if (has_inline == has_ref) {
+        bad("exactly one of 'instance' or 'instance_ref' is required");
+    }
+    if (has_inline) {
+        try {
+            req.instance = io::instance_from_json(doc.at("instance"));
+        } catch (const std::exception& ex) {
+            bad(std::string("invalid inline instance: ") + ex.what());
+        }
+    } else {
+        req.instance_ref =
+            fingerprint_from_hex(doc.at("instance_ref").as_string());
+    }
+
+    if (doc.contains("options")) {
+        const io::Json& opts = doc.at("options");
+        if (!opts.is_object()) bad("'options' must be an object");
+        if (opts.contains("delta_m")) {
+            req.overrides.delta_m = opts.at("delta_m").as_number();
+        }
+        if (opts.contains("max_candidates")) {
+            req.overrides.max_candidates = int_field(opts, "max_candidates");
+        }
+        if (opts.contains("k")) req.overrides.k = int_field(opts, "k");
+        if (opts.contains("grasp_iterations")) {
+            req.overrides.grasp_iterations =
+                int_field(opts, "grasp_iterations");
+        }
+        if (opts.contains("scoring")) {
+            req.overrides.scoring =
+                scoring_from_string(opts.at("scoring").as_string());
+        }
+        if (opts.contains("solver")) {
+            req.overrides.solver =
+                solver_from_string(opts.at("solver").as_string());
+        }
+    }
+    req.priority = static_cast<int>(doc.number_or("priority", 0.0));
+    req.deadline_ms = doc.number_or("deadline_ms", 0.0);
+    return req;
+}
+
+io::Json to_json(const PlanRequest& req) {
+    io::Json doc;
+    doc["id"] = req.id;
+    doc["planner"] = req.planner;
+    if (req.instance) {
+        doc["instance"] = io::to_json(*req.instance);
+    } else if (req.instance_ref) {
+        doc["instance_ref"] = fingerprint_to_hex(*req.instance_ref);
+    }
+    io::Json opts;
+    const PlannerOverrides& o = req.overrides;
+    if (o.delta_m) opts["delta_m"] = *o.delta_m;
+    if (o.max_candidates) opts["max_candidates"] = *o.max_candidates;
+    if (o.k) opts["k"] = *o.k;
+    if (o.grasp_iterations) opts["grasp_iterations"] = *o.grasp_iterations;
+    if (o.scoring) opts["scoring"] = core::to_string(*o.scoring);
+    if (o.solver) opts["solver"] = orienteering::to_string(*o.solver);
+    if (opts.is_object()) doc["options"] = std::move(opts);
+    if (req.priority != 0) doc["priority"] = req.priority;
+    if (req.deadline_ms > 0.0) doc["deadline_ms"] = req.deadline_ms;
+    return doc;
+}
+
+io::Json to_json(const PlanResponse& resp) {
+    io::Json doc;
+    doc["id"] = resp.id;
+    doc["status"] = to_string(resp.status);
+    if (!resp.error.empty()) doc["error"] = resp.error;
+    if (resp.cache_hit) doc["cache_hit"] = true;
+    if (resp.partial) doc["partial"] = true;
+    doc["queue_ms"] = resp.queue_ms;
+    doc["exec_ms"] = resp.exec_ms;
+    if (!resp.result.is_null()) doc["result"] = resp.result;
+    return doc;
+}
+
+PlanResponse response_from_json(const io::Json& doc) {
+    PlanResponse resp;
+    resp.id = doc.string_or("id", "");
+    const std::string status = doc.string_or("status", "");
+    bool known = false;
+    for (ResponseStatus s :
+         {ResponseStatus::kOk, ResponseStatus::kOverloaded,
+          ResponseStatus::kDeadlineExceeded, ResponseStatus::kBadRequest,
+          ResponseStatus::kInternalError, ResponseStatus::kShutdown}) {
+        if (to_string(s) == status) {
+            resp.status = s;
+            known = true;
+            break;
+        }
+    }
+    if (!known) {
+        throw std::runtime_error("bad response: unknown status '" + status +
+                                 "'");
+    }
+    resp.error = doc.string_or("error", "");
+    resp.cache_hit = doc.bool_or("cache_hit", false);
+    resp.partial = doc.bool_or("partial", false);
+    resp.queue_ms = doc.number_or("queue_ms", 0.0);
+    resp.exec_ms = doc.number_or("exec_ms", 0.0);
+    if (doc.contains("result")) resp.result = doc.at("result");
+    return resp;
+}
+
+}  // namespace uavdc::service

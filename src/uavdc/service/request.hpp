@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "uavdc/core/registry.hpp"
+#include "uavdc/io/json.hpp"
+#include "uavdc/model/instance.hpp"
+#include "uavdc/model/plan.hpp"
+
+namespace uavdc::service {
+
+/// Per-request overrides of the service's default `core::PlannerOptions`.
+/// Absent fields inherit the service default, so a request only carries
+/// what it changes (the resolved options feed the response-cache key).
+struct PlannerOverrides {
+    std::optional<double> delta_m;
+    std::optional<int> max_candidates;
+    std::optional<int> k;
+    std::optional<int> grasp_iterations;
+    std::optional<core::ScoringEngine> scoring;
+    std::optional<orienteering::SolverKind> solver;
+
+    /// Service defaults + this request's overrides.
+    [[nodiscard]] core::PlannerOptions resolve(
+        core::PlannerOptions base) const;
+};
+
+/// One planning request. The instance travels inline exactly once — the
+/// service remembers every inline instance under its fingerprint, so later
+/// requests in the same session reference it by `instance_ref` and pay the
+/// transfer/parse cost once per fleet instead of once per request.
+struct PlanRequest {
+    std::string id;                ///< client correlation id (echoed back)
+    std::string planner;           ///< registry name ("alg1".."sweep")
+    std::optional<model::Instance> instance;       ///< inline instance
+    std::optional<std::uint64_t> instance_ref;     ///< fingerprint reference
+    PlannerOverrides overrides;
+    int priority{0};               ///< higher runs first; ties are FIFO
+    double deadline_ms{0.0};       ///< wall-clock budget from admission;
+                                   ///< <= 0 means no deadline
+};
+
+/// Terminal request states (the response `status` field).
+enum class ResponseStatus {
+    kOk,                ///< planned (or served from the response cache)
+    kOverloaded,        ///< rejected at admission: queue full
+    kDeadlineExceeded,  ///< deadline passed before/while planning
+    kBadRequest,        ///< malformed request / unknown planner / unknown ref
+    kInternalError,     ///< planner threw
+    kShutdown,          ///< service stopping, request not admitted
+};
+
+[[nodiscard]] std::string to_string(ResponseStatus status);
+
+/// One response, correlated to its request by `id`. Exactly one response is
+/// produced per submitted request, in completion (not submission) order.
+struct PlanResponse {
+    std::string id;
+    ResponseStatus status{ResponseStatus::kOk};
+    std::string error;       ///< human-readable detail for non-ok statuses
+    bool cache_hit{false};   ///< payload served from the response cache
+    bool partial{false};     ///< deadline expired mid-plan; `result` holds
+                             ///< the best plan produced anyway
+    double queue_ms{0.0};    ///< admission -> execution start
+    double exec_ms{0.0};     ///< execution start -> response
+    io::Json result;         ///< {"instance_fingerprint","planner","plan",
+                             ///<  "stats"}; null unless ok or partial
+};
+
+/// Instance fingerprints travel as fixed-width lowercase hex (JSON numbers
+/// are doubles and cannot carry 64 bits exactly).
+[[nodiscard]] std::string fingerprint_to_hex(std::uint64_t fp);
+[[nodiscard]] std::uint64_t fingerprint_from_hex(const std::string& hex);
+
+/// Request wire format:
+///   {"id": str, "planner": str,
+///    "instance": {...} | "instance_ref": "16-hex",
+///    "options": {"delta_m","max_candidates","k","grasp_iterations",
+///                "scoring": "incremental"|"reference",
+///                "solver": "exact"|"greedy"|"grasp"|"ils"},
+///    "priority": int, "deadline_ms": num}
+/// Throws std::runtime_error (with field context) on malformed input — the
+/// transport maps that to a `bad_request` response.
+[[nodiscard]] PlanRequest request_from_json(const io::Json& doc);
+[[nodiscard]] io::Json to_json(const PlanRequest& req);
+
+[[nodiscard]] io::Json to_json(const PlanResponse& resp);
+[[nodiscard]] PlanResponse response_from_json(const io::Json& doc);
+
+}  // namespace uavdc::service

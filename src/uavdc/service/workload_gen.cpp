@@ -1,0 +1,100 @@
+#include "uavdc/service/workload_gen.hpp"
+
+#include <algorithm>
+
+#include "uavdc/core/planning_context.hpp"
+#include "uavdc/io/serialize.hpp"
+#include "uavdc/service/request.hpp"
+#include "uavdc/util/check.hpp"
+#include "uavdc/util/rng.hpp"
+#include "uavdc/workload/generator.hpp"
+
+namespace uavdc::service {
+
+std::string generate_jsonl_workload(const WorkloadGenConfig& cfg) {
+    UAVDC_REQUIRE(cfg.requests >= 0 && cfg.instances > 0)
+        << "workload_gen: requests must be >= 0 and instances > 0";
+    UAVDC_REQUIRE(cfg.devices_lo > 0 && cfg.devices_hi >= cfg.devices_lo)
+        << "workload_gen: invalid device count range";
+    const std::vector<std::string> planners =
+        cfg.planners.empty()
+            ? std::vector<std::string>{"alg2", "alg3", "benchmark", "kmeans",
+                                       "sweep"}
+            : cfg.planners;
+
+    util::Rng rng(cfg.seed);
+    std::vector<model::Instance> instances;
+    std::vector<std::uint64_t> fingerprints;
+    instances.reserve(static_cast<std::size_t>(cfg.instances));
+    for (int i = 0; i < cfg.instances; ++i) {
+        workload::GeneratorConfig g;
+        g.num_devices = static_cast<int>(
+            rng.uniform_int(cfg.devices_lo, cfg.devices_hi));
+        g.region_w = rng.uniform(180.0, 420.0);
+        g.region_h = rng.uniform(180.0, 420.0);
+        g.min_mb = 40.0;
+        g.max_mb = 400.0;
+        g.uav.energy_j = rng.uniform(2.5e4, 8.0e4);
+        instances.push_back(workload::generate(g, rng.next_u64()));
+        fingerprints.push_back(
+            core::PlanningContext::instance_fingerprint(instances.back()));
+    }
+
+    std::string out;
+    std::vector<bool> sent_inline(instances.size(), false);
+    std::vector<io::Json> history;  // emitted requests, for duplicates
+    for (int r = 0; r < cfg.requests; ++r) {
+        const std::string id = "r" + std::to_string(r);
+        if (!history.empty() && rng.uniform() < cfg.duplicate_prob) {
+            // Verbatim repeat under a fresh id: same planner, instance, and
+            // options, so the service's response cache must serve it.
+            io::Json dup = history[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<int>(history.size()) - 1))];
+            dup["id"] = id;
+            out += dup.dump();
+            out += '\n';
+        } else {
+            const auto inst_idx = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<int>(instances.size()) - 1));
+            PlanRequest req;
+            req.id = id;
+            req.planner = planners[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<int>(planners.size()) - 1))];
+            if (sent_inline[inst_idx]) {
+                req.instance_ref = fingerprints[inst_idx];
+            } else {
+                req.instance = instances[inst_idx];
+                sent_inline[inst_idx] = true;
+            }
+            if (rng.uniform() < cfg.priority_prob) {
+                req.priority = static_cast<int>(rng.uniform_int(1, 5));
+            }
+            if (rng.uniform() < cfg.deadline_prob) {
+                req.deadline_ms = 0.01;
+            }
+            io::Json doc = to_json(req);
+            // Duplicates must reference, not re-inline, the instance —
+            // keeps repeated lines small and exercises the ref path.
+            io::Json compact = doc;
+            if (req.instance) {
+                compact.as_object().erase("instance");
+                compact["instance_ref"] =
+                    fingerprint_to_hex(fingerprints[inst_idx]);
+            }
+            history.push_back(std::move(compact));
+            out += doc.dump();
+            out += '\n';
+        }
+        if (cfg.control_verbs && r > 0 && r % 64 == 0) {
+            out += R"({"op":"stats","id":"stats-)" + std::to_string(r) +
+                   "\"}\n";
+        }
+    }
+    if (cfg.control_verbs) {
+        out += R"({"op":"drain","id":"drain-final"})";
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace uavdc::service

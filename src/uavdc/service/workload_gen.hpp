@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uavdc::service {
+
+/// Knobs for a synthetic JSONL request stream (CI smoke, benches, tests).
+struct WorkloadGenConfig {
+    int requests = 200;          ///< plan-request lines to emit
+    int instances = 6;           ///< distinct generated instances
+    int devices_lo = 10;         ///< per-instance device count range
+    int devices_hi = 28;
+    std::uint64_t seed = 1;
+    double duplicate_prob = 0.35;  ///< repeat an earlier request verbatim
+                                   ///< (same planner/instance/options, new
+                                   ///< id) so the response cache gets hits
+    double deadline_prob = 0.05;   ///< give the request a ~0.01 ms deadline
+                                   ///< to exercise the expiry path
+    double priority_prob = 0.3;    ///< give the request priority 1..5
+    bool control_verbs = true;     ///< sprinkle stats lines, end with drain
+    /// Planners to cycle through; empty = the fast default mix
+    /// (alg2, alg3, benchmark, kmeans, sweep).
+    std::vector<std::string> planners;
+};
+
+/// Deterministic mixed workload: same config -> same byte stream. Each
+/// instance travels inline on first use and by `instance_ref` afterwards;
+/// duplicates, priorities, and tiny deadlines are sampled per request.
+[[nodiscard]] std::string generate_jsonl_workload(
+    const WorkloadGenConfig& cfg);
+
+}  // namespace uavdc::service

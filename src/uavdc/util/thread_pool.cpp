@@ -14,13 +14,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
     }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
     {
         std::lock_guard lock(mu_);
         stopping_ = true;
     }
     cv_.notify_all();
-    for (auto& w : workers_) w.join();
+    for (auto& w : workers_) {
+        if (w.joinable()) w.join();
+    }
 }
 
 void ThreadPool::worker_loop() {

@@ -49,6 +49,13 @@ class ThreadPool {
     /// Block until the queue is empty and all workers are idle.
     void wait_idle();
 
+    /// Deterministic shutdown: drain the queue, then join every worker.
+    /// Idempotent (the destructor calls it); `submit` after shutdown raises
+    /// a ContractViolation. Lets owners (the plan service, tests) sequence
+    /// "no worker is running" against their own teardown instead of relying
+    /// on destructor ordering.
+    void shutdown();
+
     /// True when called from one of this pool's worker threads. Nested
     /// parallel constructs use this to fall back to inline execution
     /// instead of deadlocking on their own queue.

@@ -52,5 +52,39 @@ TEST(Compare, UnknownNameThrows) {
                  util::ContractViolation);
 }
 
+TEST(Compare, PooledRunMatchesSerialBitForBit) {
+    const auto inst = testing::small_instance(20, 260.0, 94);
+    PlannerOptions opts;
+    opts.delta_m = 22.0;
+    opts.grasp_iterations = 3;
+    const auto serial = compare_planners(inst, opts);
+    util::ThreadPool pool(4);
+    const auto pooled = compare_planners(inst, opts, {}, &pool);
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].name, pooled[i].name);
+        EXPECT_EQ(serial[i].plan.stops.size(), pooled[i].plan.stops.size());
+        EXPECT_DOUBLE_EQ(serial[i].evaluation.collected_mb,
+                         pooled[i].evaluation.collected_mb);
+        EXPECT_DOUBLE_EQ(serial[i].evaluation.energy_spent_j,
+                         pooled[i].evaluation.energy_spent_j);
+        for (std::size_t s = 0; s < serial[i].plan.stops.size(); ++s) {
+            EXPECT_DOUBLE_EQ(serial[i].plan.stops[s].pos.x,
+                             pooled[i].plan.stops[s].pos.x);
+            EXPECT_DOUBLE_EQ(serial[i].plan.stops[s].pos.y,
+                             pooled[i].plan.stops[s].pos.y);
+            EXPECT_DOUBLE_EQ(serial[i].plan.stops[s].dwell_s,
+                             pooled[i].plan.stops[s].dwell_s);
+        }
+    }
+}
+
+TEST(Compare, PooledRunPropagatesPlannerFailures) {
+    const auto inst = testing::small_instance(5, 100.0, 95);
+    util::ThreadPool pool(2);
+    EXPECT_THROW((void)compare_planners(inst, {}, {"alg99"}, &pool),
+                 util::ContractViolation);
+}
+
 }  // namespace
 }  // namespace uavdc::core

@@ -5,6 +5,7 @@
 #include "test_util.hpp"
 #include "uavdc/core/energy_view.hpp"
 #include "uavdc/core/registry.hpp"
+#include "uavdc/util/thread_pool.hpp"
 
 namespace uavdc::core {
 namespace {
@@ -119,6 +120,28 @@ TEST(Conformance, FuzzIsDeterministic) {
     EXPECT_EQ(a.plans_checked, b.plans_checked);
     EXPECT_EQ(a.mismatches, b.mismatches);
     EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+TEST(Conformance, PooledFuzzMatchesSerial) {
+    ConformanceFuzzConfig cfg;
+    cfg.instances = 8;
+    cfg.seed = 77;
+    cfg.planners = {"alg2", "benchmark"};
+    const auto serial = fuzz_conformance(cfg);
+
+    util::ThreadPool pool(4);
+    cfg.pool = &pool;
+    const auto pooled = fuzz_conformance(cfg);
+    EXPECT_EQ(serial.instances, pooled.instances);
+    EXPECT_EQ(serial.plans_checked, pooled.plans_checked);
+    EXPECT_EQ(serial.mismatches, pooled.mismatches);
+    ASSERT_EQ(serial.failures.size(), pooled.failures.size());
+    for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+        EXPECT_EQ(serial.failures[i].instance_seed,
+                  pooled.failures[i].instance_seed);
+        EXPECT_EQ(serial.failures[i].planner, pooled.failures[i].planner);
+        EXPECT_EQ(serial.failures[i].stressed, pooled.failures[i].stressed);
+    }
 }
 
 }  // namespace

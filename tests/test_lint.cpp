@@ -27,7 +27,7 @@ constexpr const char* kToolPath = "tools/fixture.cpp";
 
 TEST(Lint, RuleTableIsStable) {
     const auto& table = rules();
-    ASSERT_EQ(table.size(), 7u);
+    ASSERT_EQ(table.size(), 8u);
     std::set<std::string> ids;
     for (const auto& r : table) ids.insert(r.id);
     EXPECT_EQ(ids.size(), table.size()) << "rule ids must be unique";
@@ -245,6 +245,39 @@ void f(const std::vector<geom::Vec2>& pts) {
 }
 )");
     EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, RawThreadFiresOutsideUtil) {
+    const char* body = "#include <thread>\n"
+                       "void f() { std::thread t(work); t.join(); }\n";
+    const auto findings = lint_source(kLibPath, body);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].id, "UL008");
+    EXPECT_EQ(findings[0].rule, "no-raw-thread");
+    EXPECT_EQ(findings[0].line, 2);
+    // The pool implementation in util/ may own std::thread; tools and
+    // benches are out of the library scope entirely.
+    EXPECT_TRUE(lint_source("src/uavdc/util/thread_pool.cpp", body).empty());
+    EXPECT_TRUE(lint_source(kToolPath, body).empty());
+    // std::this_thread (sleep/yield) is not a thread construction.
+    EXPECT_TRUE(
+        lint_source(kLibPath, "std::this_thread::yield();\n").empty());
+}
+
+TEST(Lint, DetachFiresEverywhereInLibrary) {
+    const char* body = "void f(std::thread& t) { t.detach(); }\n";
+    EXPECT_TRUE(has_id(lint_source(kLibPath, body), "UL008"));
+    // detach() is banned even inside util/ — the pool must stay joinable.
+    EXPECT_TRUE(
+        has_id(lint_source("src/uavdc/util/thread_pool.cpp", body), "UL008"));
+    EXPECT_TRUE(lint_source(kToolPath, body).empty());
+    // A member named detach on a non-thread is still flagged by the token
+    // heuristic, so the escape hatch must work.
+    const auto suppressed = lint_source(
+        kLibPath,
+        "void f(std::thread& t) { t.detach(); }  "
+        "// NOLINT(uavdc-no-raw-thread): watchdog must survive teardown\n");
+    EXPECT_TRUE(suppressed.empty());
 }
 
 TEST(Lint, ScanLinesSeparatesCodeAndComments) {

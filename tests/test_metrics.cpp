@@ -114,5 +114,74 @@ TEST(Metrics, ZeroDataInstanceSafe) {
     EXPECT_EQ(m.devices_missed, 0);  // nothing to miss
 }
 
+TEST(LatencyHistogram, EmptyIsAllZero) {
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean_s(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.min_s(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max_s(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleQuantilesCollapse) {
+    LatencyHistogram h;
+    h.record(0.025);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean_s(), 0.025);
+    // Every quantile of a one-sample distribution is that sample (the
+    // bucketed estimate is clamped to the observed [min, max]).
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.025);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.025);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.025);
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotoneAndBracketed) {
+    LatencyHistogram h;
+    for (int i = 1; i <= 1000; ++i) {
+        h.record(static_cast<double>(i) * 1e-4);  // 0.1 ms .. 100 ms
+    }
+    EXPECT_EQ(h.count(), 1000u);
+    const double p50 = h.quantile(0.50);
+    const double p95 = h.quantile(0.95);
+    const double p99 = h.quantile(0.99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_GE(p50, h.min_s());
+    EXPECT_LE(p99, h.max_s());
+    // Log-bucketed estimates resolve to a few percent: true p50 = 50 ms.
+    EXPECT_NEAR(p50, 0.050, 0.050 * 0.15);
+    EXPECT_NEAR(p99, 0.099, 0.099 * 0.15);
+    EXPECT_NEAR(h.mean_s(), 0.05005, 1e-6);
+}
+
+TEST(LatencyHistogram, OutOfRangeSamplesClampToEdgeBuckets) {
+    LatencyHistogram h;
+    h.record(1e-9);  // below the 1 us bottom bucket
+    h.record(1e6);   // above the ~1000 s top bucket
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.min_s(), 1e-9);
+    EXPECT_DOUBLE_EQ(h.max_s(), 1e6);
+    EXPECT_GE(h.quantile(0.99), h.quantile(0.01));
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording) {
+    LatencyHistogram a;
+    LatencyHistogram b;
+    LatencyHistogram both;
+    for (int i = 1; i <= 100; ++i) {
+        const double v = static_cast<double>(i) * 1e-3;
+        ((i % 2 == 0) ? a : b).record(v);
+        both.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_DOUBLE_EQ(a.mean_s(), both.mean_s());
+    EXPECT_DOUBLE_EQ(a.min_s(), both.min_s());
+    EXPECT_DOUBLE_EQ(a.max_s(), both.max_s());
+    for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+        EXPECT_DOUBLE_EQ(a.quantile(q), both.quantile(q));
+    }
+}
+
 }  // namespace
 }  // namespace uavdc::core

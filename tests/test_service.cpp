@@ -1,0 +1,709 @@
+#include "uavdc/service/plan_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "uavdc/core/planning_context.hpp"
+#include "uavdc/core/registry.hpp"
+#include "uavdc/io/serialize.hpp"
+#include "uavdc/service/jsonl.hpp"
+#include "uavdc/service/request.hpp"
+#include "uavdc/service/workload_gen.hpp"
+#include "uavdc/util/thread_pool.hpp"
+
+#include "test_util.hpp"
+
+namespace uavdc::service {
+namespace {
+
+PlanRequest make_request(std::string id, std::string planner,
+                         const model::Instance& inst) {
+    PlanRequest req;
+    req.id = std::move(id);
+    req.planner = std::move(planner);
+    req.instance = inst;
+    return req;
+}
+
+/// Deterministic identity of a result payload: the serialized plan plus
+/// every stats field except wall-clock runtime. Two runs of the same
+/// (instance, planner, options) must agree on this key bit for bit.
+std::string result_key(const io::Json& result) {
+    io::Json key;
+    key["plan"] = result.at("plan");
+    key["planner"] = result.at("planner");
+    key["instance_fingerprint"] = result.at("instance_fingerprint");
+    const io::Json& stats = result.at("stats");
+    key["planned_mb"] = stats.at("planned_mb");
+    key["planned_energy_j"] = stats.at("planned_energy_j");
+    key["iterations"] = stats.at("iterations");
+    key["candidates"] = stats.at("candidates");
+    return key.dump();
+}
+
+/// The same plan computed straight through the registry — the reference the
+/// service must match byte for byte.
+std::string direct_key(const model::Instance& inst,
+                       const std::string& planner,
+                       const core::PlannerOptions& opts) {
+    const auto ctx = core::PlanningContext::obtain(inst, opts.hover_config());
+    const auto impl = core::make_planner(planner, opts);
+    const auto res = impl->plan(*ctx);
+    io::Json key;
+    key["plan"] = io::to_json(res.plan);
+    key["planner"] = impl->name();  // display name, e.g. "alg2-greedy"
+    key["instance_fingerprint"] = fingerprint_to_hex(
+        core::PlanningContext::instance_fingerprint(inst));
+    key["planned_mb"] = res.stats.planned_mb;
+    key["planned_energy_j"] = res.stats.planned_energy_j;
+    key["iterations"] = res.stats.iterations;
+    key["candidates"] = res.stats.candidates;
+    return key.dump();
+}
+
+core::PlannerOptions fast_options() {
+    core::PlannerOptions opts;
+    opts.delta_m = 25.0;
+    opts.grasp_iterations = 3;
+    return opts;
+}
+
+TEST(ServiceRequest, JsonRoundTrip) {
+    const auto inst = uavdc::testing::small_instance(12, 200.0, 31);
+    PlanRequest req = make_request("req-7", "alg3", inst);
+    req.overrides.delta_m = 17.5;
+    req.overrides.k = 3;
+    req.overrides.scoring = core::ScoringEngine::kReference;
+    req.overrides.solver = orienteering::SolverKind::kGrasp;
+    req.priority = 4;
+    req.deadline_ms = 250.0;
+
+    const PlanRequest back = request_from_json(to_json(req));
+    EXPECT_EQ(back.id, "req-7");
+    EXPECT_EQ(back.planner, "alg3");
+    ASSERT_TRUE(back.instance.has_value());
+    EXPECT_EQ(core::PlanningContext::instance_fingerprint(*back.instance),
+              core::PlanningContext::instance_fingerprint(inst));
+    EXPECT_EQ(back.overrides.delta_m, 17.5);
+    EXPECT_EQ(back.overrides.k, 3);
+    EXPECT_EQ(back.overrides.scoring, core::ScoringEngine::kReference);
+    EXPECT_EQ(back.overrides.solver, orienteering::SolverKind::kGrasp);
+    EXPECT_FALSE(back.overrides.max_candidates.has_value());
+    EXPECT_EQ(back.priority, 4);
+    EXPECT_EQ(back.deadline_ms, 250.0);
+
+    // Reference form survives too.
+    PlanRequest ref;
+    ref.id = "by-ref";
+    ref.planner = "alg2";
+    ref.instance_ref = 0xdeadbeefcafef00dULL;
+    const PlanRequest ref_back = request_from_json(to_json(ref));
+    ASSERT_TRUE(ref_back.instance_ref.has_value());
+    EXPECT_EQ(*ref_back.instance_ref, 0xdeadbeefcafef00dULL);
+}
+
+TEST(ServiceRequest, FingerprintHexCodec) {
+    for (const std::uint64_t fp :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0xabcdef0123456789},
+          ~std::uint64_t{0}}) {
+        const std::string hex = fingerprint_to_hex(fp);
+        EXPECT_EQ(hex.size(), 16u);
+        EXPECT_EQ(fingerprint_from_hex(hex), fp);
+    }
+    EXPECT_THROW((void)fingerprint_from_hex("xyz"), std::runtime_error);
+    EXPECT_THROW((void)fingerprint_from_hex(""), std::runtime_error);
+}
+
+TEST(ServiceRequest, MalformedRequestsThrow) {
+    const auto inst = uavdc::testing::small_instance(8, 150.0, 32);
+    io::Json ok = to_json(make_request("a", "alg2", inst));
+
+    io::Json no_id = ok;
+    no_id.as_object().erase("id");
+    EXPECT_THROW((void)request_from_json(no_id), std::runtime_error);
+
+    io::Json no_planner = ok;
+    no_planner.as_object().erase("planner");
+    EXPECT_THROW((void)request_from_json(no_planner), std::runtime_error);
+
+    io::Json both = ok;
+    both["instance_ref"] = fingerprint_to_hex(1);
+    EXPECT_THROW((void)request_from_json(both), std::runtime_error);
+
+    io::Json neither = ok;
+    neither.as_object().erase("instance");
+    EXPECT_THROW((void)request_from_json(neither), std::runtime_error);
+
+    EXPECT_THROW((void)request_from_json(io::Json("not an object")),
+                 std::runtime_error);
+}
+
+TEST(ServiceRequest, ResponseRoundTrip) {
+    PlanResponse resp;
+    resp.id = "r1";
+    resp.status = ResponseStatus::kDeadlineExceeded;
+    resp.error = "deadline expired";
+    resp.partial = true;
+    resp.queue_ms = 1.5;
+    resp.exec_ms = 2.5;
+    const PlanResponse back = response_from_json(to_json(resp));
+    EXPECT_EQ(back.id, "r1");
+    EXPECT_EQ(back.status, ResponseStatus::kDeadlineExceeded);
+    EXPECT_EQ(back.error, "deadline expired");
+    EXPECT_TRUE(back.partial);
+    EXPECT_FALSE(back.cache_hit);
+    EXPECT_EQ(back.queue_ms, 1.5);
+    EXPECT_EQ(back.exec_ms, 2.5);
+}
+
+TEST(Service, ExecuteMatchesDirectRegistryCall) {
+    const auto inst = uavdc::testing::small_instance(20, 260.0, 41);
+    PlanService::Config cfg;
+    cfg.workers = 2;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg);
+
+    for (const std::string planner : {"alg2", "benchmark", "kmeans"}) {
+        const PlanResponse resp =
+            svc.execute(make_request("x-" + planner, planner, inst));
+        ASSERT_EQ(resp.status, ResponseStatus::kOk) << resp.error;
+        EXPECT_EQ(result_key(resp.result),
+                  direct_key(inst, planner, cfg.defaults));
+    }
+}
+
+TEST(Service, PerRequestOverridesChangeTheResolvedOptions) {
+    const auto inst = uavdc::testing::small_instance(20, 260.0, 42);
+    PlanService::Config cfg;
+    cfg.workers = 2;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg);
+
+    PlanRequest req = make_request("coarse", "alg2", inst);
+    req.overrides.delta_m = 60.0;
+    const PlanResponse resp = svc.execute(req);
+    ASSERT_EQ(resp.status, ResponseStatus::kOk) << resp.error;
+
+    core::PlannerOptions coarse = cfg.defaults;
+    coarse.delta_m = 60.0;
+    EXPECT_EQ(result_key(resp.result), direct_key(inst, "alg2", coarse));
+    // And it is genuinely different from the default-options plan.
+    EXPECT_NE(result_key(resp.result),
+              direct_key(inst, "alg2", cfg.defaults));
+}
+
+TEST(Service, ExactlyOneResponsePerRequestUnderConcurrentProducers) {
+    const auto inst_a = uavdc::testing::small_instance(16, 220.0, 51);
+    const auto inst_b = uavdc::testing::small_instance(22, 300.0, 52);
+    PlanService::Config cfg;
+    cfg.workers = 4;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg);
+
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 16;
+    std::mutex mu;
+    std::map<std::string, int> seen;        // id -> response count
+    std::map<std::string, int> statuses;    // status string -> count
+
+    util::ThreadPool producers(kProducers);
+    std::vector<std::future<void>> futs;
+    for (int p = 0; p < kProducers; ++p) {
+        futs.push_back(producers.submit([&, p] {
+            const std::vector<std::string> planners = {"alg2", "benchmark",
+                                                       "kmeans", "sweep"};
+            for (int i = 0; i < kPerProducer; ++i) {
+                PlanRequest req = make_request(
+                    "p" + std::to_string(p) + "-" + std::to_string(i),
+                    planners[static_cast<std::size_t>(i) % planners.size()],
+                    (i % 2 == 0) ? inst_a : inst_b);
+                req.priority = i % 3;
+                svc.submit(std::move(req), [&](PlanResponse resp) {
+                    std::lock_guard lock(mu);
+                    ++seen[resp.id];
+                    ++statuses[to_string(resp.status)];
+                });
+            }
+        }));
+    }
+    for (auto& f : futs) f.get();
+    svc.drain();
+
+    ASSERT_EQ(seen.size(),
+              static_cast<std::size_t>(kProducers * kPerProducer));
+    for (const auto& [id, count] : seen) {
+        EXPECT_EQ(count, 1) << "id " << id << " answered " << count
+                            << " times";
+    }
+    EXPECT_EQ(statuses["ok"], kProducers * kPerProducer);
+
+    const ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.submitted,
+              static_cast<std::uint64_t>(kProducers * kPerProducer));
+    EXPECT_EQ(stats.completed, stats.submitted);
+    EXPECT_EQ(stats.queue_depth, 0u);
+    EXPECT_EQ(stats.in_flight, 0u);
+    EXPECT_GT(stats.cache_hits + stats.cache_misses, 0u);
+}
+
+TEST(Service, ConcurrentResponsesBitIdenticalToSerialExecution) {
+    const auto inst = uavdc::testing::small_instance(18, 240.0, 61);
+    PlanService::Config cfg;
+    cfg.workers = 4;
+    cfg.defaults = fast_options();
+
+    const std::vector<std::string> planners = {"alg2", "alg3", "benchmark",
+                                               "kmeans", "sweep"};
+    std::mutex mu;
+    std::map<std::string, std::string> keys;  // id -> result identity
+    {
+        PlanService svc(cfg);
+        for (int round = 0; round < 3; ++round) {
+            for (const auto& planner : planners) {
+                svc.submit(
+                    make_request(planner + "#" + std::to_string(round),
+                                 planner, inst),
+                    [&](PlanResponse resp) {
+                        ASSERT_EQ(resp.status, ResponseStatus::kOk)
+                            << resp.error;
+                        std::lock_guard lock(mu);
+                        keys[resp.id] = result_key(resp.result);
+                    });
+            }
+        }
+        svc.drain();
+    }
+
+    for (const auto& planner : planners) {
+        const std::string expected = direct_key(inst, planner, cfg.defaults);
+        for (int round = 0; round < 3; ++round) {
+            EXPECT_EQ(keys.at(planner + "#" + std::to_string(round)),
+                      expected)
+                << planner << " diverged from the serial registry run";
+        }
+    }
+}
+
+TEST(Service, CacheHitPayloadEqualsMissPayload) {
+    const auto inst = uavdc::testing::small_instance(16, 220.0, 71);
+    PlanService::Config cfg;
+    cfg.workers = 1;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg);
+
+    const PlanRequest req = make_request("first", "alg2", inst);
+    const PlanResponse miss = svc.execute(req);
+    ASSERT_EQ(miss.status, ResponseStatus::kOk) << miss.error;
+    EXPECT_FALSE(miss.cache_hit);
+
+    PlanRequest again = req;
+    again.id = "second";
+    const PlanResponse hit = svc.execute(again);
+    ASSERT_EQ(hit.status, ResponseStatus::kOk) << hit.error;
+    EXPECT_TRUE(hit.cache_hit);
+    // Byte-identical payload, not merely equivalent.
+    EXPECT_EQ(hit.result.dump(), miss.result.dump());
+
+    const ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.cache_misses, 1u);
+    EXPECT_DOUBLE_EQ(stats.cache_hit_rate(), 0.5);
+
+    // A different planner or option set is a different cache key.
+    PlanRequest other = req;
+    other.id = "third";
+    other.overrides.delta_m = 40.0;
+    const PlanResponse third = svc.execute(other);
+    ASSERT_EQ(third.status, ResponseStatus::kOk);
+    EXPECT_FALSE(third.cache_hit);
+}
+
+TEST(Service, QueueFullRejectionsAreWellFormed) {
+    const auto inst = uavdc::testing::small_instance(14, 200.0, 81);
+    util::ThreadPool pool(1);
+    std::promise<void> gate;
+    auto blocker =
+        pool.submit([f = gate.get_future().share()] { f.wait(); });
+
+    PlanService::Config cfg;
+    cfg.queue_capacity = 1;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg, &pool);
+
+    std::mutex mu;
+    std::vector<PlanResponse> responses;
+    const auto collect = [&](PlanResponse resp) {
+        std::lock_guard lock(mu);
+        responses.push_back(std::move(resp));
+    };
+
+    // The pool's only worker is parked on the gate, so the first request
+    // sits in the admission queue and the second overflows it.
+    EXPECT_TRUE(svc.submit(make_request("q1", "alg2", inst), collect));
+    EXPECT_FALSE(svc.submit(make_request("q2", "alg2", inst), collect));
+    {
+        std::lock_guard lock(mu);
+        ASSERT_EQ(responses.size(), 1u);  // rejection answered inline
+        EXPECT_EQ(responses[0].id, "q2");
+        EXPECT_EQ(responses[0].status, ResponseStatus::kOverloaded);
+        EXPECT_NE(responses[0].error.find("queue full"), std::string::npos);
+        EXPECT_TRUE(responses[0].result.is_null());
+    }
+
+    gate.set_value();
+    blocker.get();
+    svc.drain();
+    {
+        std::lock_guard lock(mu);
+        ASSERT_EQ(responses.size(), 2u);
+        EXPECT_EQ(responses[1].id, "q1");
+        EXPECT_EQ(responses[1].status, ResponseStatus::kOk)
+            << responses[1].error;
+    }
+    const ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.rejected_overload, 1u);
+    EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.admitted, 1u);
+    svc.shutdown();
+}
+
+TEST(Service, DeadlineExpiredInQueueIsWellFormed) {
+    const auto inst = uavdc::testing::small_instance(14, 200.0, 82);
+    util::ThreadPool pool(1);
+    std::promise<void> gate;
+    auto blocker =
+        pool.submit([f = gate.get_future().share()] { f.wait(); });
+
+    PlanService::Config cfg;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg, &pool);
+
+    std::mutex mu;
+    std::vector<PlanResponse> responses;
+    PlanRequest req = make_request("late", "alg2", inst);
+    req.deadline_ms = 1.0;
+    svc.submit(std::move(req), [&](PlanResponse resp) {
+        std::lock_guard lock(mu);
+        responses.push_back(std::move(resp));
+    });
+
+    // Hold the worker well past the 1 ms deadline before letting it pop.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    gate.set_value();
+    blocker.get();
+    svc.drain();
+
+    std::lock_guard lock(mu);
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].id, "late");
+    EXPECT_EQ(responses[0].status, ResponseStatus::kDeadlineExceeded);
+    EXPECT_NE(responses[0].error.find("deadline"), std::string::npos);
+    EXPECT_FALSE(responses[0].partial);
+    EXPECT_TRUE(responses[0].result.is_null());
+    EXPECT_GE(responses[0].queue_ms, 1.0);
+    EXPECT_EQ(svc.stats().deadline_exceeded, 1u);
+    svc.shutdown();
+}
+
+TEST(Service, PriorityOrdersExecutionFifoWithinClass) {
+    const auto inst = uavdc::testing::small_instance(14, 200.0, 83);
+    util::ThreadPool pool(1);
+    std::promise<void> gate;
+    auto blocker =
+        pool.submit([f = gate.get_future().share()] { f.wait(); });
+
+    PlanService::Config cfg;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg, &pool);
+
+    std::mutex mu;
+    std::vector<std::string> order;
+    const auto record = [&](PlanResponse resp) {
+        ASSERT_EQ(resp.status, ResponseStatus::kOk) << resp.error;
+        std::lock_guard lock(mu);
+        order.push_back(resp.id);
+    };
+
+    // All admitted while the worker is parked, so the pops happen strictly
+    // by (priority desc, submission order).
+    const auto enqueue = [&](const std::string& id, int priority) {
+        PlanRequest req = make_request(id, "benchmark", inst);
+        req.priority = priority;
+        svc.submit(std::move(req), record);
+    };
+    enqueue("low", 0);
+    enqueue("high", 5);
+    enqueue("mid", 1);
+    enqueue("high-2", 5);
+
+    gate.set_value();
+    blocker.get();
+    svc.drain();
+
+    std::lock_guard lock(mu);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], "high");
+    EXPECT_EQ(order[1], "high-2");  // FIFO within the priority class
+    EXPECT_EQ(order[2], "mid");
+    EXPECT_EQ(order[3], "low");
+    svc.shutdown();
+}
+
+TEST(Service, BadRequestsAndShutdownAreStructured) {
+    const auto inst = uavdc::testing::small_instance(12, 180.0, 84);
+    PlanService::Config cfg;
+    cfg.workers = 1;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg);
+
+    const PlanResponse unknown =
+        svc.execute(make_request("u", "no-such-planner", inst));
+    EXPECT_EQ(unknown.status, ResponseStatus::kBadRequest);
+    EXPECT_NE(unknown.error.find("unknown planner"), std::string::npos);
+
+    PlanRequest dangling;
+    dangling.id = "d";
+    dangling.planner = "alg2";
+    dangling.instance_ref = 0x1234;  // never registered
+    const PlanResponse ref = svc.execute(dangling);
+    EXPECT_EQ(ref.status, ResponseStatus::kBadRequest);
+    EXPECT_NE(ref.error.find("instance_ref"), std::string::npos);
+
+    svc.shutdown();
+    bool called = false;
+    const bool admitted =
+        svc.submit(make_request("s", "alg2", inst), [&](PlanResponse resp) {
+            called = true;
+            EXPECT_EQ(resp.status, ResponseStatus::kShutdown);
+            EXPECT_EQ(resp.id, "s");
+        });
+    EXPECT_FALSE(admitted);
+    EXPECT_TRUE(called);
+}
+
+TEST(Service, InlineInstanceRegistersForLaterRefs) {
+    const auto inst = uavdc::testing::small_instance(16, 220.0, 85);
+    PlanService::Config cfg;
+    cfg.workers = 2;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg);
+
+    const PlanResponse first =
+        svc.execute(make_request("inline", "alg2", inst));
+    ASSERT_EQ(first.status, ResponseStatus::kOk);
+
+    PlanRequest by_ref;
+    by_ref.id = "ref";
+    by_ref.planner = "benchmark";
+    by_ref.instance_ref =
+        core::PlanningContext::instance_fingerprint(inst);
+    const PlanResponse second = svc.execute(by_ref);
+    ASSERT_EQ(second.status, ResponseStatus::kOk) << second.error;
+    EXPECT_EQ(result_key(second.result),
+              direct_key(inst, "benchmark", cfg.defaults));
+}
+
+TEST(Service, StatsReportLatencyQuantilesPerPlanner) {
+    const auto inst = uavdc::testing::small_instance(16, 220.0, 86);
+    PlanService::Config cfg;
+    cfg.workers = 2;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg);
+
+    std::mutex mu;
+    int ok = 0;
+    for (int i = 0; i < 6; ++i) {
+        PlanRequest req = make_request("s" + std::to_string(i),
+                                       i % 2 ? "alg2" : "benchmark", inst);
+        if (i >= 2) req.overrides.delta_m = 20.0 + i;  // defeat the cache
+        svc.submit(std::move(req), [&](PlanResponse resp) {
+            ASSERT_EQ(resp.status, ResponseStatus::kOk) << resp.error;
+            std::lock_guard lock(mu);
+            ++ok;
+        });
+    }
+    svc.drain();
+    EXPECT_EQ(ok, 6);
+
+    const ServiceStats stats = svc.stats();
+    ASSERT_TRUE(stats.latency.count("alg2"));
+    ASSERT_TRUE(stats.latency.count("benchmark"));
+    for (const auto& [planner, lat] : stats.latency) {
+        EXPECT_GT(lat.count, 0u) << planner;
+        EXPECT_GE(lat.p50_ms, 0.0) << planner;
+        EXPECT_LE(lat.p50_ms, lat.p95_ms) << planner;
+        EXPECT_LE(lat.p95_ms, lat.p99_ms) << planner;
+        EXPECT_GT(lat.mean_ms, 0.0) << planner;
+    }
+    EXPECT_EQ(stats.workers, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL transport
+// ---------------------------------------------------------------------------
+
+std::vector<io::Json> parse_lines(const std::string& text) {
+    std::vector<io::Json> docs;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty()) docs.push_back(io::Json::parse(line));
+    }
+    return docs;
+}
+
+TEST(ServiceJsonl, GeneratedWorkloadIsDeterministic) {
+    WorkloadGenConfig cfg;
+    cfg.requests = 24;
+    cfg.instances = 3;
+    cfg.seed = 5;
+    const std::string a = generate_jsonl_workload(cfg);
+    const std::string b = generate_jsonl_workload(cfg);
+    EXPECT_EQ(a, b);
+    cfg.seed = 6;
+    EXPECT_NE(a, generate_jsonl_workload(cfg));
+}
+
+TEST(ServiceJsonl, EndToEndOneResponsePerLine) {
+    WorkloadGenConfig gen;
+    gen.requests = 40;
+    gen.instances = 3;
+    gen.seed = 11;
+    gen.deadline_prob = 0.0;  // all-ok run; expiry is covered elsewhere
+    const std::string workload = generate_jsonl_workload(gen);
+
+    JsonlConfig cfg;
+    cfg.service.workers = 4;
+    cfg.service.defaults = fast_options();
+    std::istringstream in(workload);
+    std::ostringstream out;
+    const JsonlSummary summary = serve_jsonl(in, out, cfg);
+
+    EXPECT_EQ(summary.requests, 40u);
+    EXPECT_EQ(summary.parse_errors, 0u);
+    EXPECT_GT(summary.control, 0u);
+    EXPECT_EQ(summary.lines,
+              summary.requests + summary.control + summary.parse_errors);
+
+    const auto docs = parse_lines(out.str());
+    EXPECT_EQ(docs.size(), summary.lines);
+    std::map<std::string, int> ids;
+    for (const auto& doc : docs) {
+        if (doc.contains("op")) {
+            EXPECT_EQ(doc.string_or("status", ""), "ok");
+            EXPECT_TRUE(doc.contains("stats"));
+            continue;
+        }
+        ++ids[doc.string_or("id", "")];
+        EXPECT_EQ(doc.string_or("status", ""), "ok")
+            << doc.string_or("error", "");
+    }
+    ASSERT_EQ(ids.size(), 40u);
+    for (const auto& [id, count] : ids) {
+        EXPECT_EQ(count, 1) << id;
+    }
+
+    // Byte-identical across sessions: same workload, fresh service.
+    std::istringstream in2(workload);
+    std::ostringstream out2;
+    (void)serve_jsonl(in2, out2, cfg);
+    std::map<std::string, std::string> first_keys;
+    std::map<std::string, std::string> second_keys;
+    for (const auto& doc : docs) {
+        if (!doc.contains("op")) {
+            first_keys[doc.string_or("id", "")] =
+                result_key(doc.at("result"));
+        }
+    }
+    for (const auto& doc : parse_lines(out2.str())) {
+        if (!doc.contains("op")) {
+            second_keys[doc.string_or("id", "")] =
+                result_key(doc.at("result"));
+        }
+    }
+    EXPECT_EQ(first_keys, second_keys);
+
+    // Cache effectiveness is visible in the final stats.
+    EXPECT_GT(summary.stats.cache_hits, 0u);
+    EXPECT_EQ(summary.stats.ok, 40u);
+}
+
+TEST(ServiceJsonl, MalformedLinesGetErrorResponsesNotAborts) {
+    const auto inst = uavdc::testing::small_instance(10, 160.0, 21);
+    std::ostringstream input;
+    input << "this is not json\n";
+    input << R"({"op":"frobnicate","id":"c1"})" << "\n";
+    input << R"({"id":"m1","planner":"alg2"})" << "\n";  // no instance
+    {
+        PlanRequest ok_req;
+        ok_req.id = "ok1";
+        ok_req.planner = "benchmark";
+        ok_req.instance = inst;
+        input << to_json(ok_req).dump() << "\n";
+    }
+
+    JsonlConfig cfg;
+    cfg.service.workers = 2;
+    cfg.service.defaults = fast_options();
+    std::istringstream in(input.str());
+    std::ostringstream out;
+    const JsonlSummary summary = serve_jsonl(in, out, cfg);
+
+    EXPECT_EQ(summary.lines, 4u);
+    EXPECT_EQ(summary.parse_errors, 3u);
+    EXPECT_EQ(summary.requests, 1u);
+
+    int bad = 0;
+    int ok = 0;
+    for (const auto& doc : parse_lines(out.str())) {
+        const std::string status = doc.string_or("status", "");
+        if (status == "bad_request") {
+            ++bad;
+            EXPECT_FALSE(doc.string_or("error", "").empty());
+        } else if (status == "ok") {
+            ++ok;
+            EXPECT_EQ(doc.string_or("id", ""), "ok1");
+        }
+    }
+    EXPECT_EQ(bad, 3);
+    EXPECT_EQ(ok, 1);
+}
+
+TEST(ServiceJsonl, DrainVerbIsABarrier) {
+    const auto inst = uavdc::testing::small_instance(14, 200.0, 22);
+    PlanRequest req;
+    req.id = "before-drain";
+    req.planner = "alg2";
+    req.instance = inst;
+
+    std::ostringstream input;
+    input << to_json(req).dump() << "\n";
+    input << R"({"op":"drain","id":"the-drain"})" << "\n";
+
+    JsonlConfig cfg;
+    cfg.service.workers = 2;
+    cfg.service.defaults = fast_options();
+    std::istringstream in(input.str());
+    std::ostringstream out;
+    (void)serve_jsonl(in, out, cfg);
+
+    const auto docs = parse_lines(out.str());
+    ASSERT_EQ(docs.size(), 2u);
+    // The drain reply comes after the request it barriers on, and its
+    // snapshot already counts that request as completed.
+    EXPECT_EQ(docs[0].string_or("id", ""), "before-drain");
+    EXPECT_EQ(docs[1].string_or("id", ""), "the-drain");
+    EXPECT_EQ(docs[1].at("stats").number_or("completed", -1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace uavdc::service

@@ -114,5 +114,24 @@ TEST(GlobalPool, IsUsable) {
     EXPECT_EQ(f.get(), 1);
 }
 
+TEST(ThreadPool, ShutdownDrainsThenJoins) {
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 128; ++i) {
+        (void)pool.submit([&done] { ++done; });
+    }
+    pool.shutdown();
+    // Every queued task ran before the workers were joined.
+    EXPECT_EQ(done.load(), 128);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndRejectsNewWork) {
+    ThreadPool pool(2);
+    pool.shutdown();
+    pool.shutdown();  // second call is a no-op, not a crash
+    EXPECT_THROW((void)pool.submit([] { return 0; }),
+                 uavdc::util::ContractViolation);
+}
+
 }  // namespace
 }  // namespace uavdc::util

@@ -11,6 +11,7 @@
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -25,10 +26,13 @@
 #include "uavdc/core/validate_plan.hpp"
 #include "uavdc/io/serialize.hpp"
 #include "uavdc/io/svg.hpp"
+#include "uavdc/service/jsonl.hpp"
+#include "uavdc/service/workload_gen.hpp"
 #include "uavdc/sim/monte_carlo.hpp"
 #include "uavdc/sim/simulator.hpp"
 #include "uavdc/util/flags.hpp"
 #include "uavdc/util/table.hpp"
+#include "uavdc/util/thread_pool.hpp"
 #include "uavdc/workload/presets.hpp"
 
 namespace {
@@ -53,7 +57,12 @@ int usage() {
         "  conformance [--instances=100] [--seed=S] [--algos=a,b,...]\n"
         "            [--tol=1e-6] [--no-stress] [--max-failures=8]\n"
         "  sensitivity --instance=FILE [--algo=alg2] [--perturb=0.2]\n"
-        "  render    --instance=FILE [--plan=FILE] --out=FILE.svg\n";
+        "  render    --instance=FILE [--plan=FILE] --out=FILE.svg\n"
+        "  serve     [--in=FILE] [--out=FILE] [--workers=4] [--queue=256]\n"
+        "            [--cache=512] [--delta=10] [--k=2]\n"
+        "            [--max-candidates=4000] [--stats] [--summary]\n"
+        "  serve-gen [--requests=200] [--instances=6] [--seed=1]\n"
+        "            [--algos=a,b,...] [--no-control] [--out=FILE]\n";
     return 1;
 }
 
@@ -222,7 +231,10 @@ int cmd_compare(const util::Flags& flags) {
             if (!tok.empty()) names.push_back(tok);
         }
     }
-    const auto results = core::compare_planners(inst, opts, names);
+    // Planners fan out across the process-wide pool — the same workers the
+    // planners' own parallel_for uses, so no extra threads are spawned.
+    const auto results =
+        core::compare_planners(inst, opts, names, &util::global_pool());
     if (flags.get_bool("json", false)) {
         io::Json::Array arr;
         for (const auto& r : results) {
@@ -285,6 +297,7 @@ int cmd_conformance(const util::Flags& flags) {
     cfg.tol = flags.get_double("tol", cfg.tol);
     cfg.stress_energy = !flags.get_bool("no-stress", false);
     cfg.max_failures = flags.get_int("max-failures", cfg.max_failures);
+    cfg.pool = &util::global_pool();  // fuzz instances concurrently
     {
         std::stringstream ss(flags.get_string("algos", ""));
         std::string tok;
@@ -338,6 +351,90 @@ int cmd_sensitivity(const util::Flags& flags) {
     return 0;
 }
 
+int cmd_serve(const util::Flags& flags) {
+    service::JsonlConfig cfg;
+    cfg.service.workers = static_cast<std::size_t>(
+        flags.get_int("workers", static_cast<int>(cfg.service.workers)));
+    cfg.service.queue_capacity = static_cast<std::size_t>(flags.get_int(
+        "queue", static_cast<int>(cfg.service.queue_capacity)));
+    cfg.service.response_cache_capacity = static_cast<std::size_t>(
+        flags.get_int("cache",
+                      static_cast<int>(cfg.service.response_cache_capacity)));
+    cfg.service.defaults.delta_m =
+        flags.get_double("delta", cfg.service.defaults.delta_m);
+    cfg.service.defaults.k = flags.get_int("k", cfg.service.defaults.k);
+    cfg.service.defaults.max_candidates = flags.get_int(
+        "max-candidates", cfg.service.defaults.max_candidates);
+    cfg.final_stats = flags.get_bool("stats", false);
+
+    std::ifstream fin;
+    const std::string in_path = flags.get_string("in", "");
+    if (!in_path.empty()) {
+        fin.open(in_path);
+        if (!fin) {
+            std::cerr << "serve: cannot open --in=" << in_path << "\n";
+            return 1;
+        }
+    }
+    std::ofstream fout;
+    const std::string out_path = flags.get_string("out", "");
+    if (!out_path.empty()) {
+        fout.open(out_path);
+        if (!fout) {
+            std::cerr << "serve: cannot open --out=" << out_path << "\n";
+            return 1;
+        }
+    }
+    std::istream& in = in_path.empty() ? std::cin : fin;
+    std::ostream& out = out_path.empty() ? std::cout : fout;
+
+    const auto summary = service::serve_jsonl(in, out, cfg);
+    if (flags.get_bool("summary", false)) {
+        // Human-readable wrap-up on stderr so stdout stays pure JSONL.
+        std::cerr << "serve: " << summary.requests << " requests, "
+                  << summary.control << " control, " << summary.parse_errors
+                  << " malformed; ok=" << summary.stats.ok
+                  << " overloaded=" << summary.stats.rejected_overload
+                  << " deadline=" << summary.stats.deadline_exceeded
+                  << " errors=" << summary.stats.internal_errors
+                  << "; cache hit rate "
+                  << util::Table::fmt(100.0 * summary.stats.cache_hit_rate(),
+                                      1)
+                  << "%\n";
+    }
+    return summary.stats.internal_errors == 0 ? 0 : 2;
+}
+
+int cmd_serve_gen(const util::Flags& flags) {
+    service::WorkloadGenConfig cfg;
+    cfg.requests = flags.get_int("requests", cfg.requests);
+    cfg.instances = flags.get_int("instances", cfg.instances);
+    cfg.seed = static_cast<std::uint64_t>(
+        flags.get_int64("seed", static_cast<std::int64_t>(cfg.seed)));
+    cfg.control_verbs = !flags.get_bool("no-control", false);
+    {
+        std::stringstream ss(flags.get_string("algos", ""));
+        std::string tok;
+        while (std::getline(ss, tok, ',')) {
+            if (!tok.empty()) cfg.planners.push_back(tok);
+        }
+    }
+    const std::string text = service::generate_jsonl_workload(cfg);
+    const std::string out = flags.get_string("out", "");
+    if (out.empty()) {
+        std::cout << text;
+        return 0;
+    }
+    std::ofstream f(out);
+    if (!f) {
+        std::cerr << "serve-gen: cannot open --out=" << out << "\n";
+        return 1;
+    }
+    f << text;
+    std::cout << "wrote " << out << "\n";
+    return 0;
+}
+
 int cmd_render(const util::Flags& flags) {
     const auto inst = io::load_instance(flags.get_string("instance", ""));
     const std::string out = flags.get_string("out", "");
@@ -372,6 +469,8 @@ int main(int argc, char** argv) {
         if (cmd == "conformance") return cmd_conformance(flags);
         if (cmd == "sensitivity") return cmd_sensitivity(flags);
         if (cmd == "render") return cmd_render(flags);
+        if (cmd == "serve") return cmd_serve(flags);
+        if (cmd == "serve-gen") return cmd_serve_gen(flags);
         std::cerr << "unknown command '" << cmd << "'\n";
         return usage();
     } catch (const std::exception& ex) {
