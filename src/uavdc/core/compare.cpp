@@ -1,6 +1,7 @@
 #include "uavdc/core/compare.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <future>
 
 #include "uavdc/util/check.hpp"
@@ -62,8 +63,19 @@ std::vector<PlannerComparison> compare_planners(const PlanningContext& ctx,
         }
         // get() in submission order: results land in the same slots as the
         // serial loop, and the first planner failure propagates as the same
-        // exception a serial run would have thrown.
-        for (auto& fut : futures) out.push_back(fut.get());
+        // exception a serial run would have thrown. Every future must be
+        // drained before propagating — packaged_task futures do not block
+        // in their destructor, so bailing on the first get() would leave
+        // running tasks dereferencing this frame's `names`/`opts`/`ctx`.
+        std::exception_ptr first_error;
+        for (auto& fut : futures) {
+            try {
+                out.push_back(fut.get());
+            } catch (...) {
+                if (!first_error) first_error = std::current_exception();
+            }
+        }
+        if (first_error) std::rethrow_exception(first_error);
     } else {
         for (const auto& name : names) {
             out.push_back(compare_one(ctx, opts, name));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 
 #include "uavdc/core/energy_view.hpp"
 #include "uavdc/core/planning_context.hpp"
@@ -238,7 +239,20 @@ ConformanceFuzzSummary fuzz_conformance(const ConformanceFuzzConfig& cfg) {
                                                  planners, cfg);
             }));
         }
-        for (auto& fut : futures) fut.get();
+        // Drain every future before propagating a failure: bailing on the
+        // first get() would destroy the remaining futures without waiting
+        // (packaged_task futures do not block in their destructor) while
+        // sibling tasks still read `configs`/`seeds`/`planners` and write
+        // `results[idx]` on this unwound frame.
+        std::exception_ptr first_error;
+        for (auto& fut : futures) {
+            try {
+                fut.get();
+            } catch (...) {
+                if (!first_error) first_error = std::current_exception();
+            }
+        }
+        if (first_error) std::rethrow_exception(first_error);
     } else {
         for (int i = 0; i < cfg.instances; ++i) {
             const auto idx = static_cast<std::size_t>(i);

@@ -69,6 +69,40 @@ bool known_planner(const std::string& name) {
     return std::find(names.begin(), names.end(), name) != names.end();
 }
 
+/// Field-for-field equality over exactly the content that
+/// `PlanningContext::instance_fingerprint` hashes. The log-label `name` is
+/// deliberately excluded to match the fingerprint: two submissions of the
+/// same physical instance under different labels are the same instance,
+/// not a collision.
+bool same_planning_content(const model::Instance& a,
+                           const model::Instance& b) {
+    const auto same_vec = [](const geom::Vec2& u, const geom::Vec2& v) {
+        return u.x == v.x && u.y == v.y;
+    };
+    if (!same_vec(a.region.lo, b.region.lo) ||
+        !same_vec(a.region.hi, b.region.hi) ||
+        !same_vec(a.depot, b.depot)) {
+        return false;
+    }
+    if (a.devices.size() != b.devices.size()) return false;
+    for (std::size_t i = 0; i < a.devices.size(); ++i) {
+        const auto& da = a.devices[i];
+        const auto& db = b.devices[i];
+        if (da.id != db.id || !same_vec(da.pos, db.pos) ||
+            da.data_mb != db.data_mb) {
+            return false;
+        }
+    }
+    const auto& ua = a.uav;
+    const auto& ub = b.uav;
+    return ua.energy_j == ub.energy_j && ua.speed_mps == ub.speed_mps &&
+           ua.hover_power_w == ub.hover_power_w &&
+           ua.travel_rate == ub.travel_rate &&
+           ua.travel_energy_model == ub.travel_energy_model &&
+           ua.coverage_radius_m == ub.coverage_radius_m &&
+           ua.bandwidth_mbps == ub.bandwidth_mbps;
+}
+
 }  // namespace
 
 io::Json to_json(const ServiceStats& stats) {
@@ -79,6 +113,7 @@ io::Json to_json(const ServiceStats& stats) {
     doc["ok"] = stats.ok;
     doc["rejected_overload"] = stats.rejected_overload;
     doc["rejected_bad_request"] = stats.rejected_bad_request;
+    doc["rejected_shutdown"] = stats.rejected_shutdown;
     doc["deadline_exceeded"] = stats.deadline_exceeded;
     doc["internal_errors"] = stats.internal_errors;
     doc["queue_depth"] = stats.queue_depth;
@@ -137,7 +172,8 @@ bool PlanService::submit(PlanRequest req, Callback cb) {
     // pipelined instance_ref requests behind this one stay resolvable.
     if (req.instance) {
         std::string ignored;
-        (void)resolve_instance(req, ignored);
+        ResponseStatus ignored_status = ResponseStatus::kOk;
+        (void)resolve_instance(req, ignored, ignored_status);
     }
 
     PlanResponse reject;
@@ -165,6 +201,7 @@ bool PlanService::submit(PlanRequest req, Callback cb) {
                                   p.req.deadline_ms));
             }
             p.seq = next_seq_++;
+            const std::uint64_t seq = p.seq;
             queue_.push_back(std::move(p));
             std::push_heap(queue_.begin(), queue_.end(), heap_less);
             lock.unlock();
@@ -172,7 +209,55 @@ bool PlanService::submit(PlanRequest req, Callback cb) {
                 std::lock_guard slock(stats_mu_);
                 ++counters_.admitted;
             }
-            pool_->submit([this] { run_one(); });
+            try {
+                pool_->submit([this] { run_one(); });
+            } catch (...) {
+                // An external pool shut down concurrently and refused the
+                // ticket. Exactly one queued request now has no worker
+                // coming for it; leaving it would hang drain(). Un-admit
+                // this request by seq — or, if a racing ticket already
+                // claimed it off the heap, shed the current top instead —
+                // and answer the orphan with `shutdown`.
+                Pending orphan;
+                bool ours = false;
+                bool have = false;
+                {
+                    std::lock_guard relock(mu_);
+                    auto it = std::find_if(
+                        queue_.begin(), queue_.end(),
+                        [&](const Pending& q) { return q.seq == seq; });
+                    if (it != queue_.end()) {
+                        orphan = std::move(*it);
+                        queue_.erase(it);
+                        std::make_heap(queue_.begin(), queue_.end(),
+                                       heap_less);
+                        ours = have = true;
+                    } else if (!queue_.empty()) {
+                        std::pop_heap(queue_.begin(), queue_.end(),
+                                      heap_less);
+                        orphan = std::move(queue_.back());
+                        queue_.pop_back();
+                        have = true;
+                    }
+                    if (queue_.empty() && in_flight_ == 0) {
+                        drained_cv_.notify_all();
+                    }
+                }
+                if (have) {
+                    PlanResponse r;
+                    r.id = orphan.req.id;
+                    r.status = ResponseStatus::kShutdown;
+                    r.error = "worker pool rejected the request "
+                              "(pool shutting down)";
+                    {
+                        std::lock_guard slock(stats_mu_);
+                        ++counters_.completed;
+                        ++counters_.rejected_shutdown;
+                    }
+                    orphan.cb(std::move(r));
+                }
+                return !ours;
+            }
             return true;
         }
     }
@@ -180,6 +265,8 @@ bool PlanService::submit(PlanRequest req, Callback cb) {
         std::lock_guard lock(stats_mu_);
         if (reject.status == ResponseStatus::kOverloaded) {
             ++counters_.rejected_overload;
+        } else if (reject.status == ResponseStatus::kShutdown) {
+            ++counters_.rejected_shutdown;
         }
         ++counters_.completed;
     }
@@ -198,6 +285,21 @@ void PlanService::run_one() {
         queue_.pop_back();
         ++in_flight_;
     }
+    // The drain invariant must survive any throw below — most importantly
+    // a throwing user callback, whose exception vanishes into the pool's
+    // unobserved future. Skipping the decrement would wedge
+    // drain()/shutdown() (and the destructor) forever, so a scope guard
+    // decrements no matter how this frame exits.
+    struct InFlightGuard {
+        PlanService* svc;
+        ~InFlightGuard() {
+            std::lock_guard lock(svc->mu_);
+            --svc->in_flight_;
+            if (svc->queue_.empty() && svc->in_flight_ == 0) {
+                svc->drained_cv_.notify_all();
+            }
+        }
+    } guard{this};
     const auto start = Clock::now();
 
     PlanResponse resp;
@@ -244,26 +346,39 @@ void PlanService::finish(PlanResponse resp, const Pending& p,
             case ResponseStatus::kInternalError:
                 ++counters_.internal_errors;
                 break;
+            case ResponseStatus::kShutdown:
+                ++counters_.rejected_shutdown;
+                break;
             default:
                 break;
         }
     }
     p.cb(std::move(resp));
-    {
-        std::lock_guard lock(mu_);
-        --in_flight_;
-        if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
-    }
 }
 
 std::shared_ptr<const model::Instance> PlanService::resolve_instance(
-    const PlanRequest& req, std::string& error) {
+    const PlanRequest& req, std::string& error, ResponseStatus& status) {
     if (req.instance) {
         const std::uint64_t fp =
             core::PlanningContext::instance_fingerprint(*req.instance);
         std::lock_guard lock(inst_mu_);
         auto it = instances_.find(fp);
-        if (it != instances_.end()) return it->second;
+        if (it != instances_.end()) {
+            // The 64-bit fingerprint alone would silently resolve a
+            // colliding instance to whatever was stored first — a wrong
+            // answer with no detection path. We hold the submitted content
+            // right here, so verify it (cheap next to planning) and fail
+            // loudly instead of planning the wrong instance.
+            if (!same_planning_content(*it->second, *req.instance)) {
+                error = "instance fingerprint collision: inline instance "
+                        "hashes to " + fingerprint_to_hex(fp) +
+                        " but differs from the instance registered under "
+                        "that fingerprint";
+                status = ResponseStatus::kInternalError;
+                return nullptr;
+            }
+            return it->second;
+        }
         auto inst = std::make_shared<const model::Instance>(*req.instance);
         instances_.emplace(fp, inst);
         instance_order_.push_back(fp);
@@ -281,9 +396,11 @@ std::shared_ptr<const model::Instance> PlanService::resolve_instance(
                 fingerprint_to_hex(*req.instance_ref) +
                 "' (instances must be sent inline once before being "
                 "referenced)";
+        status = ResponseStatus::kBadRequest;
         return nullptr;
     }
     error = "request carries neither an inline instance nor an instance_ref";
+    status = ResponseStatus::kBadRequest;
     return nullptr;
 }
 
@@ -292,9 +409,10 @@ PlanResponse PlanService::execute(const PlanRequest& req) {
     resp.id = req.id;
 
     std::string error;
-    const auto inst = resolve_instance(req, error);
+    ResponseStatus error_status = ResponseStatus::kBadRequest;
+    const auto inst = resolve_instance(req, error, error_status);
     if (!inst) {
-        resp.status = ResponseStatus::kBadRequest;
+        resp.status = error_status;
         resp.error = error;
         return resp;
     }

@@ -27,6 +27,10 @@ struct PlannerLatency {
 };
 
 /// Point-in-time service counters (the `stats` control verb's payload).
+/// Reconciliation invariants: `completed == ok + rejected_overload +
+/// rejected_bad_request + rejected_shutdown + deadline_exceeded +
+/// internal_errors` at all times, and `submitted == completed` once the
+/// service has drained.
 struct ServiceStats {
     std::uint64_t submitted{0};         ///< submit() calls
     std::uint64_t admitted{0};          ///< accepted into the queue
@@ -35,6 +39,7 @@ struct ServiceStats {
     std::uint64_t ok{0};                ///< status == ok
     std::uint64_t rejected_overload{0};
     std::uint64_t rejected_bad_request{0};
+    std::uint64_t rejected_shutdown{0};  ///< shed while stopping
     std::uint64_t deadline_exceeded{0};
     std::uint64_t internal_errors{0};
     std::uint64_t cache_hits{0};
@@ -148,8 +153,12 @@ class PlanService {
 
     void run_one();
     void finish(PlanResponse resp, const Pending& p, Clock::time_point start);
+    /// Resolve the request's instance (inline or by fingerprint ref).
+    /// On failure returns nullptr with `error` and `status` filled
+    /// (`bad_request` for client mistakes, `internal_error` for a detected
+    /// fingerprint collision in the registry).
     [[nodiscard]] std::shared_ptr<const model::Instance> resolve_instance(
-        const PlanRequest& req, std::string& error);
+        const PlanRequest& req, std::string& error, ResponseStatus& status);
     void note_latency(const std::string& planner, double seconds);
 
     Config cfg_;
@@ -170,6 +179,11 @@ class PlanService {
     std::vector<std::uint64_t> instance_order_;
 
     // Response cache: (instance fp, planner+options fp) -> result payload.
+    // The key is a pair of 64-bit FNV fingerprints with no stored content
+    // to verify against, so a full 128-bit collision would replay another
+    // request's payload as `ok`. The instance half is cross-checked against
+    // the registry on every inline submission (see resolve_instance); the
+    // options half hashes a handful of scalar fields and is accepted as-is.
     struct CacheEntry {
         std::uint64_t key_hi;
         std::uint64_t key_lo;

@@ -82,7 +82,13 @@ TEST(Compare, PooledRunMatchesSerialBitForBit) {
 TEST(Compare, PooledRunPropagatesPlannerFailures) {
     const auto inst = testing::small_instance(5, 100.0, 95);
     util::ThreadPool pool(2);
-    EXPECT_THROW((void)compare_planners(inst, {}, {"alg99"}, &pool),
+    // A single name drops to the serial path; mix the bad name with valid
+    // ones so the pooled fan-out itself handles the failure. The unknown
+    // planner is listed first so sibling tasks are still queued/running
+    // when its exception surfaces — the fan-out must drain them before
+    // rethrowing instead of abandoning futures over this frame's locals.
+    EXPECT_THROW((void)compare_planners(
+                     inst, {}, {"alg99", "alg2", "benchmark"}, &pool),
                  util::ContractViolation);
 }
 

@@ -5,6 +5,7 @@
 #include "test_util.hpp"
 #include "uavdc/core/energy_view.hpp"
 #include "uavdc/core/registry.hpp"
+#include "uavdc/util/check.hpp"
 #include "uavdc/util/thread_pool.hpp"
 
 namespace uavdc::core {
@@ -120,6 +121,19 @@ TEST(Conformance, FuzzIsDeterministic) {
     EXPECT_EQ(a.plans_checked, b.plans_checked);
     EXPECT_EQ(a.mismatches, b.mismatches);
     EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+TEST(Conformance, PooledFuzzPropagatesUnknownPlanner) {
+    ConformanceFuzzConfig cfg;
+    cfg.instances = 6;
+    cfg.seed = 78;
+    cfg.planners = {"no-such-planner", "alg2"};
+    util::ThreadPool pool(4);
+    cfg.pool = &pool;
+    // Every instance task hits make_planner on the unknown name; the
+    // fan-out must drain all sibling futures (which still write into the
+    // frame's `results`) before rethrowing the first failure.
+    EXPECT_THROW((void)fuzz_conformance(cfg), util::ContractViolation);
 }
 
 TEST(Conformance, PooledFuzzMatchesSerial) {

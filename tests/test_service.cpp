@@ -8,6 +8,7 @@
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -488,6 +489,89 @@ TEST(Service, BadRequestsAndShutdownAreStructured) {
         });
     EXPECT_FALSE(admitted);
     EXPECT_TRUE(called);
+
+    // Shutdown rejections are first-class in the counters: the per-status
+    // counts must reconcile with `completed` (and with `submitted`, since
+    // nothing is queued or in flight here).
+    const ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.rejected_shutdown, 1u);
+    EXPECT_EQ(stats.submitted, stats.completed);
+    EXPECT_EQ(stats.completed,
+              stats.ok + stats.rejected_overload +
+                  stats.rejected_bad_request + stats.rejected_shutdown +
+                  stats.deadline_exceeded + stats.internal_errors);
+}
+
+TEST(Service, ThrowingCallbackDoesNotWedgeDrain) {
+    const auto inst = uavdc::testing::small_instance(10, 160.0, 86);
+    PlanService::Config cfg;
+    cfg.workers = 2;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg);
+
+    for (int i = 0; i < 4; ++i) {
+        svc.submit(make_request("t" + std::to_string(i), "alg2", inst),
+                   [](PlanResponse) {
+                       throw std::runtime_error("sink failed");
+                   });
+    }
+    // Regression: a throwing user callback used to skip the in_flight_
+    // decrement, wedging drain()/shutdown() (and the destructor) forever.
+    svc.drain();
+    const ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.completed, 4u);
+    EXPECT_EQ(stats.in_flight, 0u);
+    EXPECT_EQ(stats.queue_depth, 0u);
+    svc.shutdown();
+}
+
+TEST(Service, ExternalPoolShutdownAnswersInsteadOfHangingDrain) {
+    const auto inst = uavdc::testing::small_instance(10, 160.0, 88);
+    util::ThreadPool pool(1);
+    pool.shutdown();  // the pool refuses every ticket from now on
+
+    PlanService::Config cfg;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg, &pool);
+
+    bool called = false;
+    const bool admitted =
+        svc.submit(make_request("x", "alg2", inst), [&](PlanResponse resp) {
+            called = true;
+            EXPECT_EQ(resp.id, "x");
+            EXPECT_EQ(resp.status, ResponseStatus::kShutdown);
+            EXPECT_TRUE(resp.result.is_null());
+        });
+    // Regression: the request used to stay queued with no ticket and no
+    // callback, hanging drain(); now it is un-admitted and answered.
+    EXPECT_FALSE(admitted);
+    EXPECT_TRUE(called);
+    svc.drain();
+    const ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.rejected_shutdown, 1u);
+    EXPECT_EQ(stats.queue_depth, 0u);
+    svc.shutdown();
+}
+
+TEST(Service, InlineResubmissionUnderAnotherLabelIsNotACollision) {
+    const auto inst = uavdc::testing::small_instance(12, 180.0, 87);
+    PlanService::Config cfg;
+    cfg.workers = 1;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg);
+
+    ASSERT_EQ(svc.execute(make_request("a", "alg2", inst)).status,
+              ResponseStatus::kOk);
+
+    // Same planning content, different log label: the fingerprint ignores
+    // `name`, and the registry's collision cross-check must agree instead
+    // of reporting a spurious collision.
+    auto renamed = inst;
+    renamed.name = "same-content-new-label";
+    const PlanResponse resp = svc.execute(make_request("b", "alg2", renamed));
+    EXPECT_EQ(resp.status, ResponseStatus::kOk) << resp.error;
+    EXPECT_TRUE(resp.cache_hit);
+    svc.shutdown();
 }
 
 TEST(Service, InlineInstanceRegistersForLaterRefs) {
