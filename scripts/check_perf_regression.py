@@ -6,7 +6,9 @@ Two schemas are understood, both with a top-level ``cases`` list:
 - ``uavdc-bench-planners-v1`` (``micro_planners --baseline_out=...``),
   compared on each case's ``incremental_s``;
 - ``uavdc-bench-service-v1`` (``micro_service --baseline_out=...``),
-  compared on each case's ``runtime_s``.
+  compared on each case's ``runtime_s``;
+- ``uavdc-bench-kernels-v1`` (``micro_kernels --baseline_out=...``),
+  compared on each case's ``batched_s``.
 
 Baseline and current file must carry the same schema. The check fails when
 any case's runtime regresses by more than --max-ratio (default 2x) relative
@@ -30,6 +32,14 @@ import sys
 SCHEMAS = {
     "uavdc-bench-planners-v1": ("incremental_s", "speedup"),
     "uavdc-bench-service-v1": ("runtime_s", "rps"),
+    "uavdc-bench-kernels-v1": ("batched_s", "speedup"),
+}
+
+# schema -> regenerating tool
+TOOLS = {
+    "uavdc-bench-planners-v1": "micro_planners",
+    "uavdc-bench-service-v1": "micro_service",
+    "uavdc-bench-kernels-v1": "micro_kernels",
 }
 
 
@@ -95,8 +105,7 @@ def main():
         print(f"{name:24s} (new case, not in baseline)")
 
     if failed:
-        tool = ("micro_planners" if base_schema == "uavdc-bench-planners-v1"
-                else "micro_service")
+        tool = TOOLS[base_schema]
         print(f"\nFAIL: {metric} regressed; if intentional, regenerate the "
               f"checked-in baseline with `{tool} --baseline_out=<path>`.")
         return 1

@@ -57,6 +57,8 @@ orienteering::Problem GridOrienteeringPlanner::build_auxiliary_problem(
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = i + 1; j < n; ++j) {
             const double travel =
+                // NOLINTNEXTLINE(uavdc-batched-distance): one-shot O(n^2)
+                // graph build for the MST solver, not a scoring loop
                 inst.uav.travel_energy(geom::distance(pos[i], pos[j]));
             p.graph.set_weight(i, j, (w1[i] + w1[j]) / 2.0 + travel);
         }

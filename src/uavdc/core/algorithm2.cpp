@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory_resource>
 
+#include "uavdc/core/batch_kernels.hpp"
 #include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/tour_builder.hpp"
 #include "uavdc/graph/christofides.hpp"
@@ -226,7 +228,6 @@ PlanResult GreedyCoveragePlanner::plan_incremental(
     }
     const std::size_t n = cands.size();
 
-    const double bw = inst.uav.bandwidth_mbps;
     const double eta_h = inst.uav.hover_power_w;
     const double energy_cap = inst.uav.energy_j;
     const double deadline = cfg_.max_tour_time_s;
@@ -235,29 +236,49 @@ PlanResult GreedyCoveragePlanner::plan_incremental(
         cfg_.parallel_threshold > 0 &&
         n >= static_cast<std::size_t>(cfg_.parallel_threshold);
 
-    std::vector<char> covered(inst.devices.size(), 0);
-    std::vector<char> used(n, 0);
-    std::vector<double> dwell_of(n, 0.0);
+    // Per-plan scratch lives in the context's arena: back-to-back plans on
+    // the same context reuse one warmed block (zero allocation).
+    ArenaLease lease = ctx.acquire_arena();
+    std::pmr::memory_resource* mr = lease.resource();
+
+    std::pmr::vector<char> covered(inst.devices.size(), 0, mr);
+    std::pmr::vector<char> used(n, 0, mr);
+    std::pmr::vector<double> dwell_of(n, 0.0, mr);
     TourBuilder tour(inst.depot);
     double hover_energy = 0.0;
     double hover_seconds = 0.0;
     double collected_mb = 0.0;
 
-    std::vector<geom::Vec2> pts(n);
-    for (std::size_t i = 0; i < n; ++i) pts[i] = cands[i].pos;
-    InsertionCache cache(tour, pts);
+    // SoA planes shared across plans through the context.
+    const DeviceSoa& dsoa = ctx.device_soa();
+    const CandidateSoa& csoa = ctx.candidate_soa();
+    InsertionCache cache(tour, std::span(csoa.pos.xs.data(), n),
+                         std::span(csoa.pos.ys.data(), n), mr);
     const InvertedCoverageIndex inverted(ctx.candidates(),
                                          inst.devices.size());
     LazyGreedyQueue queue(n);
 
     // Residual gains, refreshed only for candidates whose coverage
-    // intersects newly covered devices.
-    std::vector<double> gain_mb(n, 0.0);
-    std::vector<double> gain_dwell(n, 0.0);
+    // intersects newly covered devices. The ordered kernel walks the
+    // forward CSR coverage list with the exact accumulation order of the
+    // reference residual_gain (bit-identical); the opt-in fast kernel
+    // reassociates the sum into 8 fixed lanes (epsilon tier).
+    const bool fast = cfg_.scoring == ScoringEngine::kIncrementalFast;
+    std::pmr::vector<double> gain_mb(n, 0.0, mr);
+    std::pmr::vector<double> gain_dwell(n, 0.0, mr);
     auto refresh_gain = [&](std::size_t i) {
-        const Gain g = residual_gain(inst, cands[i], covered, bw);
-        gain_mb[i] = g.new_mb;
-        gain_dwell[i] = g.dwell_s;
+        const auto cov = csoa.covered(i);
+        const kernels::GainAccum g =
+            fast ? kernels::residual_gain_fast(cov.data(), cov.size(),
+                                               dsoa.data_mb.data(),
+                                               dsoa.upload_s.data(),
+                                               covered.data())
+                 : kernels::residual_gain_ordered(cov.data(), cov.size(),
+                                                  dsoa.data_mb.data(),
+                                                  dsoa.upload_s.data(),
+                                                  covered.data());
+        gain_mb[i] = g.sum_mb;
+        gain_dwell[i] = g.max_s;
     };
 
     // Heap key. Default path: the exact (state-independent) ratio — policy
@@ -282,7 +303,7 @@ PlanResult GreedyCoveragePlanner::plan_incremental(
     // TSP(S_j) - TSP(S_{j-1}) for the exact_ratio_tsp path, served from the
     // PlanningContext distance matrix (node 0 = depot, node j+1 =
     // candidate j) instead of rebuilding Euclidean rows per candidate.
-    std::vector<std::size_t> nodes;
+    std::pmr::vector<std::size_t> nodes(mr);
     auto tsp_delta = [&](std::size_t i) {
         const std::size_t m = tour.size() + 2;
         nodes.clear();
@@ -293,11 +314,7 @@ PlanResult GreedyCoveragePlanner::plan_incremental(
         }
         nodes.push_back(i + 1);
         graph::DenseGraph g(m);
-        for (std::size_t r = 0; r < m; ++r) {
-            for (std::size_t c = r + 1; c < m; ++c) {
-                g.set_weight(r, c, ctx.node_distance(nodes[r], nodes[c]));
-            }
-        }
+        ctx.fill_submatrix({nodes.data(), nodes.size()}, g);
         const auto order = graph::christofides_tour(g, 0);
         const double new_len = g.tour_length(order);
         return std::max(0.0, new_len - tour.length());
@@ -339,10 +356,10 @@ PlanResult GreedyCoveragePlanner::plan_incremental(
 
     int iterations = 0;
     int since_retour = 0;
-    std::vector<std::size_t> gain_dirty;
-    std::vector<std::pair<std::size_t, double>> requeue;
-    std::vector<char> dirty_mark(n, 0);
-    std::vector<std::size_t> ins_changed;
+    std::pmr::vector<std::size_t> gain_dirty(mr);
+    std::pmr::vector<std::pair<std::size_t, double>> requeue(mr);
+    std::pmr::vector<char> dirty_mark(n, 0, mr);
+    std::pmr::vector<std::size_t> ins_changed(mr);
     for (;;) {
         ++iterations;
         const auto pick = queue.pop_best(/*exact_keys=*/!tsp, eval);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory_resource>
 
+#include "uavdc/core/batch_kernels.hpp"
 #include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/tour_builder.hpp"
 #include "uavdc/util/check.hpp"
@@ -201,24 +203,42 @@ PlanResult PartialCollectionPlanner::plan_incremental(
         cfg_.parallel_threshold > 0 &&
         n >= static_cast<std::size_t>(cfg_.parallel_threshold);
 
-    std::vector<double> residual(inst.devices.size());
+    // Per-plan scratch lives in the context's arena: back-to-back plans on
+    // the same context reuse one warmed block (zero allocation).
+    ArenaLease lease = ctx.acquire_arena();
+    std::pmr::memory_resource* mr = lease.resource();
+
+    std::pmr::vector<double> residual(inst.devices.size(), 0.0, mr);
     for (std::size_t v = 0; v < inst.devices.size(); ++v) {
         residual[v] = inst.devices[v].data_mb;
     }
-    std::vector<double> dwell_of(n, 0.0);
-    std::vector<char> in_tour(n, 0);
+    std::pmr::vector<double> dwell_of(n, 0.0, mr);
+    std::pmr::vector<char> in_tour(n, 0, mr);
     TourBuilder tour(inst.depot);
     double hover_energy = 0.0;
     double hover_seconds = 0.0;
     double collected_mb = 0.0;
 
-    std::vector<geom::Vec2> pts(n);
-    for (std::size_t i = 0; i < n; ++i) pts[i] = cands[i].pos;
-    InsertionCache cache(tour, pts);
+    // SoA candidate plane (coords + forward CSR coverage) shared across
+    // plans through the context. The gain loops below walk the CSR lists
+    // with kernels whose accumulation order matches the reference engine
+    // exactly (ordered) or reassociates into 8 fixed lanes (fast, opt-in
+    // epsilon tier).
+    const CandidateSoa& csoa = ctx.candidate_soa();
+    const bool fast = cfg_.scoring == ScoringEngine::kIncrementalFast;
+    InsertionCache cache(tour, std::span(csoa.pos.xs.data(), n),
+                         std::span(csoa.pos.ys.data(), n), mr);
     const InvertedCoverageIndex inverted(ctx.candidates(),
                                          inst.devices.size());
     LazyGreedyQueue queue(n);
-    std::vector<Score> scores(n);  // eval results, read back on selection
+    std::pmr::vector<Score> scores(n, Score{}, mr);  // read back on selection
+
+    auto capped_sum = [&](std::span<const std::int32_t> cov, double cap) {
+        return fast ? kernels::capped_sum_fast(cov.data(), cov.size(),
+                                               residual.data(), cap)
+                    : kernels::capped_sum_ordered(cov.data(), cov.size(),
+                                                  residual.data(), cap);
+    };
 
     // Upper-bound key: the best per-k ratio *ignoring feasibility*. Each
     // per-k value is computed with the exact expressions of score_one, so
@@ -227,12 +247,9 @@ PlanResult PartialCollectionPlanner::plan_incremental(
     // permanently dead (residuals only shrink, so t'(s) <= eps or all-k
     // gains <= kMinGainMb can never revert).
     auto key_of = [&](std::size_t j) {
-        const auto& c = cands[j];
-        double t_full = 0.0;
-        for (int v : c.covered) {
-            t_full =
-                std::max(t_full, residual[static_cast<std::size_t>(v)] / bw);
-        }
+        const auto cov = csoa.covered(j);
+        const double t_full = kernels::max_residual_time_ordered(
+            cov.data(), cov.size(), residual.data(), bw);
         if (t_full <= kEps) return -1.0;
         const double travel_extra =
             in_tour[j] != 0 ? inst.uav.travel_energy(0.0)
@@ -241,11 +258,7 @@ PlanResult PartialCollectionPlanner::plan_incremental(
         for (int k = 1; k <= k_max; ++k) {
             const double dt = static_cast<double>(k) * t_full /
                               static_cast<double>(k_max);
-            double gain = 0.0;
-            for (int v : c.covered) {
-                gain += std::min(residual[static_cast<std::size_t>(v)],
-                                 bw * dt);
-            }
+            const double gain = capped_sum(cov, bw * dt);
             if (gain <= kMinGainMb) continue;
             const double extra_hover = dt * eta_h;
             ub = std::max(ub,
@@ -258,12 +271,9 @@ PlanResult PartialCollectionPlanner::plan_incremental(
     // cached insertion standing in for tour.cheapest_insertion.
     auto eval = [&](std::size_t j) -> std::pair<double, bool> {
         Score best{};
-        const auto& c = cands[j];
-        double t_full = 0.0;
-        for (int v : c.covered) {
-            t_full =
-                std::max(t_full, residual[static_cast<std::size_t>(v)] / bw);
-        }
+        const auto cov = csoa.covered(j);
+        const double t_full = kernels::max_residual_time_ordered(
+            cov.data(), cov.size(), residual.data(), bw);
         if (t_full > kEps) {
             const TourBuilder::Insertion ins =
                 in_tour[j] != 0 ? TourBuilder::Insertion{0, 0.0}
@@ -272,11 +282,7 @@ PlanResult PartialCollectionPlanner::plan_incremental(
             for (int k = 1; k <= k_max; ++k) {
                 const double dt = static_cast<double>(k) * t_full /
                                   static_cast<double>(k_max);
-                double gain = 0.0;
-                for (int v : c.covered) {
-                    gain += std::min(residual[static_cast<std::size_t>(v)],
-                                     bw * dt);
-                }
+                const double gain = capped_sum(cov, bw * dt);
                 if (gain <= kMinGainMb) continue;
                 const double extra_hover = dt * eta_h;
                 const double total =
@@ -318,10 +324,10 @@ PlanResult PartialCollectionPlanner::plan_incremental(
 
     int iterations = 0;
     int since_retour = 0;
-    std::vector<std::size_t> gain_dirty;
-    std::vector<std::pair<std::size_t, double>> requeue;
-    std::vector<char> dirty_mark(n, 0);
-    std::vector<std::size_t> ins_changed;
+    std::pmr::vector<std::size_t> gain_dirty(mr);
+    std::pmr::vector<std::pair<std::size_t, double>> requeue(mr);
+    std::pmr::vector<char> dirty_mark(n, 0, mr);
+    std::pmr::vector<std::size_t> ins_changed(mr);
     for (;;) {
         ++iterations;
         const auto pick = queue.pop_best(/*exact_keys=*/false, eval);

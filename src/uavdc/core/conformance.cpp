@@ -22,6 +22,8 @@ std::string to_string(ConformanceMismatch::Check check) {
             return "energy-models";
         case ConformanceMismatch::Check::kValidatorMissedAbort:
             return "validator-missed-abort";
+        case ConformanceMismatch::Check::kFastScoringDrift:
+            return "fast-scoring-drift";
     }
     return "unknown";
 }
@@ -56,6 +58,8 @@ double battery_replay_j(const model::Instance& inst,
     geom::Vec2 here = inst.depot;
     for (const auto& stop : plan.stops) {
         battery.drain(view.travel_power_w(),
+                      // NOLINTNEXTLINE(uavdc-batched-distance): independent
+                      // scalar replay is the cross-check oracle
                       view.travel_time(geom::distance(here, stop.pos)));
         battery.drain(view.hover_power_w(), stop.dwell_s);
         here = stop.pos;
@@ -170,18 +174,53 @@ InstanceFuzzResult fuzz_one_instance(const workload::GeneratorConfig& g,
 
     for (const auto& name : planners) {
         const auto res = make_planner(name, opts)->plan(*ctx);
-        auto consider = [&](const model::Instance& target, bool is_stressed) {
-            const auto report = check_conformance(target, res.plan, cfg.tol);
-            ++out.plans_checked;
-            if (report.ok()) return;
-            out.mismatches += static_cast<int>(report.mismatches.size());
+        auto record = [&](bool is_stressed, const char* planner_label,
+                          const std::vector<ConformanceMismatch>& mm) {
+            out.mismatches += static_cast<int>(mm.size());
             if (static_cast<int>(out.failures.size()) < cfg.max_failures) {
-                out.failures.push_back({instance_seed, inst.name, name,
-                                        is_stressed, report.mismatches});
+                out.failures.push_back({instance_seed, inst.name,
+                                        name + std::string(planner_label),
+                                        is_stressed, mm});
             }
         };
-        consider(inst, false);
-        if (cfg.stress_energy) consider(stressed, true);
+        auto consider = [&](const model::Instance& target, bool is_stressed,
+                            const model::FlightPlan& plan,
+                            const char* planner_label) {
+            const auto report = check_conformance(target, plan, cfg.tol);
+            ++out.plans_checked;
+            if (report.ok()) return;
+            record(is_stressed, planner_label, report.mismatches);
+        };
+        consider(inst, false, res.plan, "");
+        if (cfg.stress_energy) consider(stressed, true, res.plan, "");
+
+        // Epsilon tier: the fast engine's plan must (a) pass the same
+        // cross-layer checks as any plan and (b) land within fast_rel_tol
+        // of the default engine's outcome. Scoring-aware planners only.
+        const bool scoring_aware =
+            name == "alg2" || name == "alg3" || name == "benchmark";
+        if (cfg.check_fast_scoring && scoring_aware) {
+            PlannerOptions fast_opts = opts;
+            fast_opts.scoring = ScoringEngine::kIncrementalFast;
+            const auto fast = make_planner(name, fast_opts)->plan(*ctx);
+            consider(inst, false, fast.plan, "+fast");
+
+            const auto base_ev = evaluate_plan(inst, res.plan, cfg.tol);
+            const auto fast_ev = evaluate_plan(inst, fast.plan, cfg.tol);
+            std::vector<ConformanceMismatch> drift;
+            const auto kDrift = ConformanceMismatch::Check::kFastScoringDrift;
+            require(drift, kDrift, "collected_mb", base_ev.collected_mb,
+                    fast_ev.collected_mb, cfg.fast_rel_tol,
+                    "incremental vs incremental-fast collected volume");
+            require(drift, kDrift, "energy_j", base_ev.energy_spent_j,
+                    fast_ev.energy_spent_j, cfg.fast_rel_tol,
+                    "incremental vs incremental-fast spent energy");
+            require(drift, kDrift, "tour_time_s", base_ev.executed_time_s,
+                    fast_ev.executed_time_s, cfg.fast_rel_tol,
+                    "incremental vs incremental-fast executed time");
+            ++out.plans_checked;
+            if (!drift.empty()) record(false, "+fast", drift);
+        }
     }
     return out;
 }

@@ -44,6 +44,8 @@ Evaluation evaluate_plan(const model::Instance& inst,
     for (std::size_t si = 0; si < plan.stops.size(); ++si) {
         const auto& stop = plan.stops[si];
         if (!aborted) {
+            // NOLINTNEXTLINE(uavdc-batched-distance): the evaluator replays
+            // each stop once; the scalar oracle form is the spec
             const double dist = geom::distance(here, stop.pos);
             const double fly_t = energy.travel_time(dist);
             const double flown = battery.drain(energy.travel_power_w(),

@@ -47,11 +47,7 @@ ExactDcmResult solve_exact_dcm(const PlanningContext& ctx,
         // Optimal tour over depot + chosen candidates, distances served
         // from the context's lazily-filled pair cache.
         graph::DenseGraph sub(nodes.size());
-        for (std::size_t i = 0; i < nodes.size(); ++i) {
-            for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-                sub.set_weight(i, j, ctx.node_distance(nodes[i], nodes[j]));
-            }
-        }
+        ctx.fill_submatrix(nodes, sub);
         const auto order = graph::held_karp_tour(sub, 0);
         const double tour_m = sub.tour_length(order);
         const double energy_j = energy.tour_cost(tour_m, hover_s);

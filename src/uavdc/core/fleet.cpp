@@ -90,6 +90,8 @@ FleetResult plan_fleet(const model::Instance& inst, const FleetConfig& cfg) {
             for (std::size_t z = 0; z < zones; ++z) {
                 if (z == own) continue;
                 const double d =
+                    // NOLINTNEXTLINE(uavdc-batched-distance): handoff scans
+                    // a handful of zone centroids, not the candidate set
                     geom::distance(pts[i], clusters.centroids[z]);
                 if (d < best) {
                     best = d;

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "uavdc/core/batch_kernels.hpp"
+#include "uavdc/core/soa_layout.hpp"
 #include "uavdc/geom/coverage.hpp"
 #include "uavdc/util/parallel_for.hpp"
 
@@ -24,12 +26,12 @@ std::uint64_t hash_coverage(const std::vector<int>& covered) {
 /// Mean squared distance from `pos` to its covered devices — dedup keeps
 /// the candidate centred best over its coverage set.
 double coverage_spread(const geom::Vec2& pos, const std::vector<int>& covered,
-                       const std::vector<geom::Vec2>& dev_pos) {
-    double s = 0.0;
-    for (int v : covered) {
-        s += geom::distance2(pos, dev_pos[static_cast<std::size_t>(v)]);
-    }
-    return covered.empty() ? 0.0 : s / static_cast<double>(covered.size());
+                       const DeviceSoa& soa) {
+    if (covered.empty()) return 0.0;
+    const double s = kernels::sum_squared_distances_ordered(
+        covered.data(), covered.size(), soa.pos.xs.data(), soa.pos.ys.data(),
+        pos);
+    return s / static_cast<double>(covered.size());
 }
 
 }  // namespace
@@ -51,8 +53,10 @@ HoverCandidateSet build_hover_candidates(const model::Instance& inst,
     const geom::CoverageIndex cov(centers, dev_pos,
                                   inst.uav.coverage_radius_m);
 
-    const double bw = inst.uav.bandwidth_mbps;
     const double eta_h = inst.uav.hover_power_w;
+    // SoA device plane for the scoring kernels: data volumes plus
+    // precomputed upload times (bit-identical to Device::upload_time).
+    const DeviceSoa soa = build_device_soa(inst);
 
     // Per-cell Eq. 6-8 quantities are independent: score every cell into
     // its own slot on the thread pool, then compact in cell order (keeps
@@ -68,13 +72,13 @@ HoverCandidateSet build_hover_candidates(const model::Instance& inst,
         c.pos = centers[id];
         c.cell_id = static_cast<int>(id);
         c.covered = covered;
-        double max_upload = 0.0;
-        for (int v : covered) {
-            const auto& d = inst.devices[static_cast<std::size_t>(v)];
-            c.award_mb += d.data_mb;
-            max_upload = std::max(max_upload, d.upload_time(bw));
-        }
-        c.dwell_s = max_upload;
+        // Eq. 6-8 award/dwell, accumulated in covered-list order (the same
+        // order and expressions as the scalar loop this replaces).
+        const kernels::GainAccum g = kernels::award_dwell_ordered(
+            covered.data(), covered.size(), soa.data_mb.data(),
+            soa.upload_s.data());
+        c.award_mb = g.sum_mb;
+        c.dwell_s = g.max_s;
         c.hover_energy_j = c.dwell_s * eta_h;
     };
     constexpr std::size_t kParallelCells = 1024;
@@ -107,14 +111,14 @@ HoverCandidateSet build_hover_candidates(const model::Instance& inst,
                 std::size_t best = idxs[a];
                 double best_spread =
                     coverage_spread(cands[best].pos, cands[best].covered,
-                                    dev_pos);
+                                    soa);
                 for (std::size_t b = a + 1; b < idxs.size(); ++b) {
                     if (!keep[idxs[b]]) continue;
                     if (cands[idxs[a]].covered != cands[idxs[b]].covered) {
                         continue;
                     }
                     const double sp = coverage_spread(
-                        cands[idxs[b]].pos, cands[idxs[b]].covered, dev_pos);
+                        cands[idxs[b]].pos, cands[idxs[b]].covered, soa);
                     if (sp < best_spread) {
                         keep[best] = false;
                         best = idxs[b];

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <queue>
 #include <span>
 #include <string>
@@ -12,15 +13,27 @@
 
 namespace uavdc::core {
 
-/// Which scoring engine a greedy planner runs. Both must produce
-/// bit-identical plans; the reference engine is retained as the equivalence
-/// oracle (tests/test_incremental_scorer.cpp) and as a fallback.
+/// Which scoring engine a greedy planner runs. kIncremental and kReference
+/// must produce bit-identical plans; the reference engine is retained as the
+/// equivalence oracle (tests/test_incremental_scorer.cpp) and as a fallback.
+/// kIncrementalFast additionally reassociates the coverage-gain sums into
+/// fixed 8-lane partials (kernels::*_fast) — deterministic on every
+/// compiler/ISA but only epsilon-equal to the oracle; it is opt-in and
+/// validated by the epsilon tier of `uavdc conformance` (tolerances in
+/// DESIGN.md "Memory layout & vectorization").
 enum class ScoringEngine {
-    kIncremental,  ///< lazy-greedy heap + inverted index + insertion cache
-    kReference,    ///< from-scratch rescan of every candidate per iteration
+    kIncremental,      ///< lazy-greedy heap + inverted index + insertion cache
+    kReference,        ///< from-scratch rescan of every candidate per iteration
+    kIncrementalFast,  ///< kIncremental with reassociated (8-lane) gain sums
 };
 
 [[nodiscard]] std::string to_string(ScoringEngine engine);
+
+/// Parses the `to_string` names ("incremental" | "incremental-fast" |
+/// "reference"); nullopt on anything else. Shared by the CLI `--scoring`
+/// flag and the service request schema so the spellings cannot drift.
+[[nodiscard]] std::optional<ScoringEngine> scoring_engine_from_string(
+    const std::string& name);
 
 /// CSR inverted index mapping each device to the hover candidates whose
 /// coverage set contains it. Covering a device then touches only

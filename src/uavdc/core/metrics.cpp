@@ -114,6 +114,8 @@ PlanMetrics compute_metrics(const model::Instance& inst,
         geom::Vec2 here = inst.depot;
         const double bw = inst.uav.bandwidth_mbps;
         for (const auto& stop : plan.stops) {
+            // NOLINTNEXTLINE(uavdc-batched-distance): metrics replay each
+            // stop once, mirroring the evaluator oracle
             clock += inst.uav.travel_time(geom::distance(here, stop.pos));
             here = stop.pos;
             hash.for_each_in_disk(

@@ -5,6 +5,8 @@
 #include <bit>
 #include <cstring>
 
+#include "uavdc/core/batch_kernels.hpp"
+#include "uavdc/graph/dense_graph.hpp"
 #include "uavdc/util/parallel_for.hpp"
 #include "uavdc/util/timer.hpp"
 
@@ -48,7 +50,8 @@ PlanningContext::PlanningContext(model::Instance inst,
       cfg_(std::move(cfg)),
       energy_(inst_.uav),
       device_index_(inst_.device_positions(),
-                    std::max(inst_.uav.coverage_radius_m, 1e-9)) {
+                    std::max(inst_.uav.coverage_radius_m, 1e-9)),
+      device_soa_(build_device_soa(inst_)) {
     std::uint64_t h = instance_fingerprint(inst_);
     fnv_mix(h, config_fingerprint(cfg_));
     fingerprint_ = h;
@@ -107,6 +110,36 @@ const HoverCandidateSet& PlanningContext::candidates() const {
 
 bool PlanningContext::candidates_built() const { return cands_built_; }
 
+const CandidateSoa& PlanningContext::candidate_soa() const {
+    std::call_once(soa_once_,
+                   [this] { cand_soa_ = build_candidate_soa(candidates()); });
+    return cand_soa_;
+}
+
+ArenaLease PlanningContext::acquire_arena() const {
+    {
+        std::lock_guard<std::mutex> lock(arena_mutex_);
+        if (!arena_pool_.empty()) {
+            auto a = std::move(arena_pool_.back());
+            arena_pool_.pop_back();
+            return ArenaLease(this, std::move(a));
+        }
+    }
+    return ArenaLease(this, std::make_unique<ScratchArena>());
+}
+
+std::size_t PlanningContext::arena_pool_size() const {
+    std::lock_guard<std::mutex> lock(arena_mutex_);
+    return arena_pool_.size();
+}
+
+ArenaLease::~ArenaLease() {
+    if (!arena_ || owner_ == nullptr) return;
+    arena_->reset();
+    std::lock_guard<std::mutex> lock(owner_->arena_mutex_);
+    owner_->arena_pool_.push_back(std::move(arena_));
+}
+
 geom::Vec2 PlanningContext::node_pos(std::size_t i) const {
     return i == 0 ? inst_.depot : cands_.candidates[i - 1].pos;
 }
@@ -116,19 +149,41 @@ void PlanningContext::ensure_distance_matrix() const {
         const std::size_t n = candidates().size() + 1;
         if (n > kMaxCachedDistanceNodes) return;  // dist_matrix_ stays false
         tri_.resize(n * (n + 1) / 2);
-        // Rows have wildly different lengths; a small grain keeps the
-        // chunks balanced. Safe on a worker thread: parallel_for runs
-        // inline there.
+        // Node coordinate plane: node 0 = depot, node j >= 1 = candidate
+        // j-1, copied once so the fill is a pure SoA sweep.
+        const CandidateSoa& soa = candidate_soa();
+        util::AlignedVector<double> nx(n);
+        util::AlignedVector<double> ny(n);
+        nx[0] = inst_.depot.x;
+        ny[0] = inst_.depot.y;
+        std::copy_n(soa.pos.xs.begin(), n - 1, nx.begin() + 1);
+        std::copy_n(soa.pos.ys.begin(), n - 1, ny.begin() + 1);
+        // Cache-blocked batched fill: blocks of kRowBlock rows walk the
+        // column plane in kColTile-wide tiles, so one tile of nx/ny stays
+        // hot in L1 across the whole row block. Row blocks are independent
+        // (parallel); tile rows write disjoint tri_ segments. Each segment
+        // is bit-identical to the scalar geom::distance(p, node_pos(c))
+        // expression it replaces. Safe on a worker thread: parallel_for
+        // runs inline there.
+        constexpr std::size_t kRowBlock = 8;
+        constexpr std::size_t kColTile = 1024;
+        const std::size_t blocks = (n + kRowBlock - 1) / kRowBlock;
         util::parallel_for(
-            0, n,
-            [this](std::size_t r) {
-                const geom::Vec2 p = node_pos(r);
-                double* row = tri_.data() + r * (r + 1) / 2;
-                for (std::size_t c = 0; c <= r; ++c) {
-                    row[c] = geom::distance(p, node_pos(c));
+            0, blocks,
+            [&](std::size_t bi) {
+                const std::size_t r0 = bi * kRowBlock;
+                const std::size_t r1 = std::min(r0 + kRowBlock, n);
+                for (std::size_t c0 = 0; c0 < r1; c0 += kColTile) {
+                    const std::size_t c1 = std::min(c0 + kColTile, r1);
+                    for (std::size_t r = std::max(r0, c0); r < r1; ++r) {
+                        const std::size_t ce = std::min(c1, r + 1);
+                        kernels::fill_distance_tile(
+                            nx.data(), ny.data(), c0, ce, nx[r], ny[r],
+                            tri_.data() + r * (r + 1) / 2);
+                    }
                 }
             },
-            64);
+            8);
         dist_matrix_ = true;
     });
 }
@@ -147,6 +202,16 @@ double PlanningContext::node_distance(std::size_t i, std::size_t j) const {
     const std::size_t r = std::max(i, j);
     const std::size_t c = std::min(i, j);
     return tri_[r * (r + 1) / 2 + c];
+}
+
+void PlanningContext::fill_submatrix(std::span<const std::size_t> nodes,
+                                     graph::DenseGraph& g) const {
+    const std::size_t m = nodes.size();
+    for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c = r + 1; c < m; ++c) {
+            g.set_weight(r, c, node_distance(nodes[r], nodes[c]));
+        }
+    }
 }
 
 std::uint64_t PlanningContext::total_candidate_builds() {

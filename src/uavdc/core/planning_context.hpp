@@ -3,15 +3,50 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "uavdc/core/energy_view.hpp"
 #include "uavdc/core/hover_candidates.hpp"
+#include "uavdc/core/scratch_arena.hpp"
+#include "uavdc/core/soa_layout.hpp"
 #include "uavdc/geom/spatial_hash.hpp"
 #include "uavdc/model/instance.hpp"
 
+namespace uavdc::graph {
+class DenseGraph;
+}
+
 namespace uavdc::core {
+
+class PlanningContext;
+
+/// RAII loan of a ScratchArena from a PlanningContext's pool. On
+/// destruction the arena is reset (rewound, capacity kept) and returned, so
+/// the next plan() on the same context reuses the warmed block instead of
+/// reallocating per-plan scratch.
+class ArenaLease {
+  public:
+    ArenaLease(const PlanningContext* owner,
+               std::unique_ptr<ScratchArena> arena)
+        : owner_(owner), arena_(std::move(arena)) {}
+    ArenaLease(ArenaLease&&) noexcept = default;
+    ArenaLease& operator=(ArenaLease&&) = delete;
+    ArenaLease(const ArenaLease&) = delete;
+    ArenaLease& operator=(const ArenaLease&) = delete;
+    ~ArenaLease();
+
+    [[nodiscard]] ScratchArena& arena() { return *arena_; }
+    [[nodiscard]] std::pmr::memory_resource* resource() {
+        return arena_.get();
+    }
+
+  private:
+    const PlanningContext* owner_;
+    std::unique_ptr<ScratchArena> arena_;
+};
 
 /// Counters for the process-wide context cache (see
 /// `PlanningContextCache::stats`). `candidate_builds` / `build_time_s`
@@ -64,6 +99,24 @@ class PlanningContext {
         return device_index_;
     }
 
+    /// SoA view of the instance's devices (positions, data volumes,
+    /// precomputed upload times); built eagerly at construction (O(devices))
+    /// and shared by every planner on this context.
+    [[nodiscard]] const DeviceSoa& device_soa() const { return device_soa_; }
+
+    /// SoA view of the hover-candidate set plus its forward CSR coverage
+    /// lists; built once on first call (thread-safe), after candidates().
+    [[nodiscard]] const CandidateSoa& candidate_soa() const;
+
+    /// Borrow a per-plan scratch arena from the context's pool (thread-safe;
+    /// concurrent planners each get their own arena). The lease returns the
+    /// arena, reset but with capacity kept, so back-to-back plans on the
+    /// same context hit a warm block and allocate nothing.
+    [[nodiscard]] ArenaLease acquire_arena() const;
+
+    /// Arenas currently parked in the pool (for reuse tests).
+    [[nodiscard]] std::size_t arena_pool_size() const;
+
     /// Distance between tour nodes, where node 0 is the depot and node
     /// j >= 1 is candidate j-1. Below the size threshold the full distance
     /// matrix is precomputed once (on first call, via std::call_once) into a
@@ -74,6 +127,12 @@ class PlanningContext {
     /// True when node_distance is served from the precomputed triangular
     /// matrix (candidate set below the size threshold).
     [[nodiscard]] bool has_distance_matrix() const;
+
+    /// Fill the dense graph `g` (size nodes.size()) with the pairwise
+    /// node_distance of every pair in `nodes` — the shared induced-submatrix
+    /// path of the exact oracles (exact_dcm, exact_ratio_tsp).
+    void fill_submatrix(std::span<const std::size_t> nodes,
+                        graph::DenseGraph& g) const;
 
     /// Cache key: FNV-1a over every instance field (region, depot, devices,
     /// all UAV parameters) combined with the candidate-config fields.
@@ -107,11 +166,19 @@ class PlanningContext {
     HoverCandidateConfig cfg_;
     EnergyView energy_;
     geom::SpatialHash device_index_;
+    DeviceSoa device_soa_;
     std::uint64_t fingerprint_{0};
 
     mutable std::once_flag cand_once_;
     mutable HoverCandidateSet cands_;
     mutable std::atomic<bool> cands_built_{false};
+
+    mutable std::once_flag soa_once_;
+    mutable CandidateSoa cand_soa_;
+
+    friend class ArenaLease;
+    mutable std::mutex arena_mutex_;
+    mutable std::vector<std::unique_ptr<ScratchArena>> arena_pool_;
 
     void ensure_distance_matrix() const;
 

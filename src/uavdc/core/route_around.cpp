@@ -14,6 +14,8 @@ RoutedPlan route_around(const model::Instance& inst,
 
     for (std::size_t i = 0; i + 1 < points.size(); ++i) {
         const auto res = field.shortest_path(points[i], points[i + 1]);
+        // NOLINTNEXTLINE(uavdc-batched-distance): per-leg accounting over
+        // the plan's stops; not a candidate-scoring loop
         const double direct = geom::distance(points[i], points[i + 1]);
         out.direct_m += direct;
         if (!res.reachable) {

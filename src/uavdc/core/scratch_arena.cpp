@@ -1,0 +1,57 @@
+#include "uavdc/core/scratch_arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "uavdc/util/aligned.hpp"
+
+namespace uavdc::core {
+
+ScratchArena::ScratchArena(std::size_t initial_bytes) {
+    if (initial_bytes > 0) add_chunk(initial_bytes);
+}
+
+void ScratchArena::add_chunk(std::size_t min_bytes) {
+    // Grow geometrically from the current capacity so a cold arena converges
+    // in O(log need) chunks; reset() then folds them into one.
+    const std::size_t want = std::max(min_bytes, capacity_);
+    Chunk c;
+    c.size = std::max<std::size_t>(want, 1024);
+    c.data = std::make_unique<std::byte[]>(c.size + util::kSoaAlignment);
+    chunks_.push_back(std::move(c));
+    capacity_ += chunks_.back().size;
+    ++chunks_allocated_;
+}
+
+void* ScratchArena::do_allocate(std::size_t bytes, std::size_t alignment) {
+    const std::size_t align = std::max(alignment, util::kSoaAlignment);
+    if (chunks_.empty()) add_chunk(bytes + align);
+    Chunk* c = &chunks_.back();
+    auto base = reinterpret_cast<std::uintptr_t>(c->data.get());
+    std::uintptr_t p = (base + c->used + align - 1) & ~(align - 1);
+    if (p + bytes > base + c->size + util::kSoaAlignment ||
+        p + bytes < p /* overflow */) {
+        add_chunk(bytes + align);
+        c = &chunks_.back();
+        base = reinterpret_cast<std::uintptr_t>(c->data.get());
+        p = (base + align - 1) & ~(align - 1);
+    }
+    c->used = (p + bytes) - base;
+    bytes_in_use_ += bytes;
+    return reinterpret_cast<void*>(p);
+}
+
+void ScratchArena::reset() {
+    bytes_in_use_ = 0;
+    if (chunks_.size() > 1) {
+        // Fragmented run: replace the chunk list with one block covering the
+        // whole high-water mark so the next run fits without a new malloc.
+        const std::size_t total = capacity_;
+        chunks_.clear();
+        capacity_ = 0;
+        add_chunk(total);
+    }
+    for (auto& c : chunks_) c.used = 0;
+}
+
+}  // namespace uavdc::core

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <memory_resource>
+#include <vector>
+
+namespace uavdc::core {
+
+/// Grow-only bump allocator behind std::pmr::memory_resource, built for
+/// per-plan scratch (scorer keys, dirty lists, insertion-cache buffers).
+/// Allocation bumps a pointer inside the current chunk; deallocation is a
+/// no-op; reset() rewinds to empty while KEEPING the high-water-mark
+/// capacity, so a warmed arena serves a whole plan() without touching
+/// malloc. If a run overflowed into multiple chunks, the next reset()
+/// coalesces them into one chunk of the combined size — the steady state is
+/// always a single block, and PlanningContext's reuse test can assert
+/// chunks_allocated() stays flat across repeated plans.
+///
+/// Not thread-safe; each planner thread takes its own arena via
+/// PlanningContext::acquire_arena().
+class ScratchArena final : public std::pmr::memory_resource {
+public:
+    explicit ScratchArena(std::size_t initial_bytes = 64 * 1024);
+
+    ScratchArena(const ScratchArena&) = delete;
+    ScratchArena& operator=(const ScratchArena&) = delete;
+
+    /// Rewind to empty, keeping (and if fragmented, consolidating) capacity.
+    void reset();
+
+    /// Total number of chunk mallocs over the arena's lifetime. Flat counter
+    /// across plan() calls == the warm path allocated nothing new.
+    [[nodiscard]] std::size_t chunks_allocated() const {
+        return chunks_allocated_;
+    }
+
+    /// Bytes currently handed out (since the last reset).
+    [[nodiscard]] std::size_t bytes_in_use() const { return bytes_in_use_; }
+
+    /// Total capacity across chunks.
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+private:
+    struct Chunk {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size{0};
+        std::size_t used{0};
+    };
+
+    void* do_allocate(std::size_t bytes, std::size_t alignment) override;
+    void do_deallocate(void*, std::size_t, std::size_t) noexcept override {}
+    [[nodiscard]] bool do_is_equal(
+        const std::pmr::memory_resource& other) const noexcept override {
+        return this == &other;
+    }
+
+    void add_chunk(std::size_t min_bytes);
+
+    std::vector<Chunk> chunks_;
+    std::size_t chunks_allocated_{0};
+    std::size_t bytes_in_use_{0};
+    std::size_t capacity_{0};
+};
+
+}  // namespace uavdc::core

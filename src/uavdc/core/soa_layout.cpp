@@ -1,0 +1,66 @@
+#include "uavdc/core/soa_layout.hpp"
+
+namespace uavdc::core {
+
+PointsSoa PointsSoa::from(std::span<const geom::Vec2> pts) {
+    PointsSoa out;
+    out.count = pts.size();
+    const std::size_t padded = soa_padded(pts.size());
+    out.xs.assign(padded, 0.0);
+    out.ys.assign(padded, 0.0);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        out.xs[i] = pts[i].x;
+        out.ys[i] = pts[i].y;
+    }
+    return out;
+}
+
+DeviceSoa build_device_soa(const model::Instance& inst) {
+    DeviceSoa out;
+    const std::size_t n = inst.devices.size();
+    const std::size_t padded = soa_padded(n);
+    out.pos.count = n;
+    out.pos.xs.assign(padded, 0.0);
+    out.pos.ys.assign(padded, 0.0);
+    out.data_mb.assign(padded, 0.0);
+    out.upload_s.assign(padded, 0.0);
+    const double bw = inst.uav.bandwidth_mbps;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& d = inst.devices[i];
+        out.pos.xs[i] = d.pos.x;
+        out.pos.ys[i] = d.pos.y;
+        out.data_mb[i] = d.data_mb;
+        out.upload_s[i] = d.upload_time(bw);
+    }
+    return out;
+}
+
+CandidateSoa build_candidate_soa(const HoverCandidateSet& set) {
+    CandidateSoa out;
+    const auto& cands = set.candidates;
+    const std::size_t n = cands.size();
+    const std::size_t padded = soa_padded(n);
+    out.pos.count = n;
+    out.pos.xs.assign(padded, 0.0);
+    out.pos.ys.assign(padded, 0.0);
+    out.award_mb.assign(padded, 0.0);
+    out.dwell_s.assign(padded, 0.0);
+    out.cov_starts.assign(n + 1, 0);
+    std::size_t total = 0;
+    for (std::size_t j = 0; j < n; ++j) total += cands[j].covered.size();
+    out.cov.reserve(total);
+    for (std::size_t j = 0; j < n; ++j) {
+        const auto& c = cands[j];
+        out.pos.xs[j] = c.pos.x;
+        out.pos.ys[j] = c.pos.y;
+        out.award_mb[j] = c.award_mb;
+        out.dwell_s[j] = c.dwell_s;
+        for (const int v : c.covered) {
+            out.cov.push_back(static_cast<std::int32_t>(v));
+        }
+        out.cov_starts[j + 1] = out.cov.size();
+    }
+    return out;
+}
+
+}  // namespace uavdc::core

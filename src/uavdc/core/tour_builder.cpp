@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "uavdc/core/batch_kernels.hpp"
 #include "uavdc/graph/christofides.hpp"
 #include "uavdc/graph/local_search.hpp"
 #include "uavdc/util/check.hpp"
@@ -17,81 +18,67 @@ namespace {
 constexpr std::size_t kNeighborReoptMinNodes = 64;
 constexpr std::size_t kReoptNeighbors = 12;
 
+/// Per-thread distance scratch for the batched insertion scans (rebuild_all
+/// fans cheapest_insertion2 out over pool threads). Grow-only.
+thread_local std::vector<double> t_scan_dist;
+
 }  // namespace
+
+template <typename Consider>
+void TourBuilder::scan_edges(const geom::Vec2& p, Consider&& consider) const {
+    const std::size_t n = stops_.size();
+    UAVDC_DCHECK(n > 0 && edge_len_.size() == n + 1);
+    std::vector<double>& dist = t_scan_dist;
+    if (dist.size() < n) dist.resize(n);
+    // dist[i] = d(stops[i], p), batched; bit-identical to the scalar
+    // geom::distance both ways round (the squares kill the sign).
+    kernels::distances_to_point(sx_.data(), sy_.data(), n, p.x, p.y,
+                                dist.data());
+    const double d_depot = geom::distance(depot_, p);
+    // Edge depot -> stops[0].
+    consider(std::size_t{0}, d_depot + dist[0] - edge_len_[0]);
+    // Edges stops[i] -> stops[i+1].
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        consider(i + 1, dist[i] + dist[i + 1] - edge_len_[i + 1]);
+    }
+    // Edge stops[n-1] -> depot.
+    consider(n, dist[n - 1] + d_depot - edge_len_[n]);
+}
 
 TourBuilder::Insertion TourBuilder::cheapest_insertion(
     const geom::Vec2& p) const {
-    const std::size_t n = stops_.size();
-    if (n == 0) {
+    if (stops_.empty()) {
         return {0, 2.0 * geom::distance(depot_, p)};
     }
     Insertion best{0, std::numeric_limits<double>::infinity()};
-    // Edge depot -> stops[0].
-    {
-        const double d = geom::distance(depot_, p) +
-                         geom::distance(p, stops_[0]) -
-                         geom::distance(depot_, stops_[0]);
-        if (d < best.delta_m) best = {0, d};
-    }
-    // Edges stops[i] -> stops[i+1].
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-        const double d = geom::distance(stops_[i], p) +
-                         geom::distance(p, stops_[i + 1]) -
-                         geom::distance(stops_[i], stops_[i + 1]);
-        if (d < best.delta_m) best = {i + 1, d};
-    }
-    // Edge stops[n-1] -> depot.
-    {
-        const double d = geom::distance(stops_[n - 1], p) +
-                         geom::distance(p, depot_) -
-                         geom::distance(stops_[n - 1], depot_);
-        if (d < best.delta_m) best = {n, d};
-    }
+    // Scan order is ascending position, so the strict < keeps the earliest
+    // position among equal deltas.
+    scan_edges(p, [&](std::size_t pos, double d) {
+        if (d < best.delta_m) best = {pos, d};
+    });
     return best;
 }
 
 TourBuilder::Insertion2 TourBuilder::cheapest_insertion2(
     const geom::Vec2& p) const {
-    return cheapest_insertion2(p, {});
-}
-
-TourBuilder::Insertion2 TourBuilder::cheapest_insertion2(
-    const geom::Vec2& p, std::span<const double> edge_len) const {
-    const std::size_t n = stops_.size();
     Insertion2 out;
-    if (n == 0) {
+    if (stops_.empty()) {
         out.best = {0, 2.0 * geom::distance(depot_, p)};
         return out;
     }
-    UAVDC_DCHECK(edge_len.empty() || edge_len.size() == n + 1);
     constexpr double kInf = std::numeric_limits<double>::infinity();
     Insertion best{0, kInf};
     Insertion second{0, kInf};
-    // Scan order is ascending position, so a strict < keeps the earliest
-    // position among equal deltas — for the runner-up too.
-    auto consider = [&](std::size_t pos, double d) {
+    // Ascending positions + strict < keep the earliest position among equal
+    // deltas — for the runner-up too.
+    scan_edges(p, [&](std::size_t pos, double d) {
         if (d < best.delta_m) {
             second = best;
             best = {pos, d};
         } else if (d < second.delta_m) {
             second = {pos, d};
         }
-    };
-    const bool have_len = !edge_len.empty();
-    consider(0, geom::distance(depot_, p) + geom::distance(p, stops_[0]) -
-                    (have_len ? edge_len[0]
-                              : geom::distance(depot_, stops_[0])));
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-        consider(i + 1, geom::distance(stops_[i], p) +
-                            geom::distance(p, stops_[i + 1]) -
-                            (have_len ? edge_len[i + 1]
-                                      : geom::distance(stops_[i],
-                                                       stops_[i + 1])));
-    }
-    consider(n, geom::distance(stops_[n - 1], p) +
-                    geom::distance(p, depot_) -
-                    (have_len ? edge_len[n]
-                              : geom::distance(stops_[n - 1], depot_)));
+    });
     out.best = best;
     if (second.delta_m < kInf) {
         out.second = second;
@@ -104,21 +91,37 @@ std::vector<double> TourBuilder::edge_lengths() const {
     const std::size_t n = stops_.size();
     if (n == 0) return {};
     std::vector<double> len(n + 1);
+    // NOLINTBEGIN(uavdc-batched-distance): oracle recomputation — the
+    // reference the maintained edge_len() span is checked against.
     len[0] = geom::distance(depot_, stops_[0]);
     for (std::size_t i = 0; i + 1 < n; ++i) {
         len[i + 1] = geom::distance(stops_[i], stops_[i + 1]);
     }
     len[n] = geom::distance(stops_[n - 1], depot_);
+    // NOLINTEND(uavdc-batched-distance)
     return len;
 }
 
 void TourBuilder::insert(const geom::Vec2& p, int key, const Insertion& ins) {
     UAVDC_REQUIRE(ins.position <= stops_.size())
         << "insert at " << ins.position << " of " << stops_.size();
-    stops_.insert(stops_.begin() + static_cast<std::ptrdiff_t>(ins.position),
-                  p);
-    keys_.insert(keys_.begin() + static_cast<std::ptrdiff_t>(ins.position),
-                 key);
+    const std::size_t q = ins.position;
+    const auto qd = static_cast<std::ptrdiff_t>(q);
+    // Edge endpoints around the insertion point, read before mutation.
+    const geom::Vec2 a = q == 0 ? depot_ : stops_[q - 1];
+    const geom::Vec2 b = q == stops_.size() ? depot_ : stops_[q];
+    stops_.insert(stops_.begin() + qd, p);
+    keys_.insert(keys_.begin() + qd, key);
+    sx_.insert(sx_.begin() + qd, p.x);
+    sy_.insert(sy_.begin() + qd, p.y);
+    // Maintain edge_len_ with the exact expressions edge_lengths() would
+    // recompute: the removed edge a -> b becomes a -> p and p -> b.
+    if (edge_len_.empty()) {
+        edge_len_ = {geom::distance(depot_, p), geom::distance(p, depot_)};
+    } else {
+        edge_len_[q] = geom::distance(a, p);
+        edge_len_.insert(edge_len_.begin() + qd + 1, geom::distance(p, b));
+    }
     length_ += ins.delta_m;
 }
 
@@ -133,8 +136,21 @@ double TourBuilder::removal_delta(std::size_t pos) const {
 
 void TourBuilder::remove(std::size_t pos) {
     length_ += removal_delta(pos);
-    stops_.erase(stops_.begin() + static_cast<std::ptrdiff_t>(pos));
-    keys_.erase(keys_.begin() + static_cast<std::ptrdiff_t>(pos));
+    const std::size_t n = stops_.size();
+    const geom::Vec2 prev = pos == 0 ? depot_ : stops_[pos - 1];
+    const geom::Vec2 next = pos + 1 == n ? depot_ : stops_[pos + 1];
+    const auto posd = static_cast<std::ptrdiff_t>(pos);
+    stops_.erase(stops_.begin() + posd);
+    keys_.erase(keys_.begin() + posd);
+    sx_.erase(sx_.begin() + posd);
+    sy_.erase(sy_.begin() + posd);
+    if (stops_.empty()) {
+        edge_len_.clear();
+    } else {
+        // Edges pos and pos+1 merge into prev -> next at pos.
+        edge_len_[pos] = geom::distance(prev, next);
+        edge_len_.erase(edge_len_.begin() + posd + 1);
+    }
 }
 
 double TourBuilder::reoptimize() {
@@ -179,6 +195,11 @@ double TourBuilder::reoptimize() {
     if (new_len <= length_) {
         stops_ = std::move(new_stops);
         keys_ = std::move(new_keys);
+        for (std::size_t i = 0; i < stops_.size(); ++i) {
+            sx_[i] = stops_[i].x;
+            sy_[i] = stops_[i].y;
+        }
+        edge_len_ = edge_lengths();
         length_ = new_len;
     } else {
         length_ = recompute_length();
@@ -188,11 +209,13 @@ double TourBuilder::reoptimize() {
 
 double TourBuilder::recompute_length() const {
     if (stops_.empty()) return 0.0;
+    // NOLINTBEGIN(uavdc-batched-distance): drift-guard oracle; stays scalar.
     double len = geom::distance(depot_, stops_.front());
     for (std::size_t i = 0; i + 1 < stops_.size(); ++i) {
         len += geom::distance(stops_[i], stops_[i + 1]);
     }
     len += geom::distance(stops_.back(), depot_);
+    // NOLINTEND(uavdc-batched-distance)
     return len;
 }
 
@@ -209,22 +232,92 @@ bool lex_less(const TourBuilder::Insertion& a,
 }  // namespace
 
 InsertionCache::InsertionCache(const TourBuilder& tour,
-                               std::span<const geom::Vec2> points)
+                               std::span<const geom::Vec2> points,
+                               std::pmr::memory_resource* mr)
     : tour_(&tour),
-      points_(points.begin(), points.end()),
-      cached_(points.size()),
-      second_(points.size()),
-      second_ok_(points.size(), 0),
-      active_(points.size(), 1) {}
+      ids_(mr),
+      slot_(mr),
+      xs_(mr),
+      ys_(mr),
+      cached_(mr),
+      second_(mr),
+      second_ok_(mr),
+      n1_(mr),
+      n2_(mr) {
+    const std::size_t n = points.size();
+    ids_.resize(n);
+    slot_.resize(n);
+    xs_.resize(n);
+    ys_.resize(n);
+    cached_.resize(n);
+    second_.resize(n);
+    second_ok_.assign(n, 0);
+    n1_.resize(n);
+    n2_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ids_[i] = i;
+        slot_[i] = static_cast<std::ptrdiff_t>(i);
+        xs_[i] = points[i].x;
+        ys_[i] = points[i].y;
+    }
+}
+
+InsertionCache::InsertionCache(const TourBuilder& tour,
+                               std::span<const double> xs,
+                               std::span<const double> ys,
+                               std::pmr::memory_resource* mr)
+    : tour_(&tour),
+      ids_(mr),
+      slot_(mr),
+      xs_(mr),
+      ys_(mr),
+      cached_(mr),
+      second_(mr),
+      second_ok_(mr),
+      n1_(mr),
+      n2_(mr) {
+    UAVDC_DCHECK(xs.size() == ys.size());
+    const std::size_t n = xs.size();
+    ids_.resize(n);
+    slot_.resize(n);
+    xs_.assign(xs.begin(), xs.end());
+    ys_.assign(ys.begin(), ys.end());
+    cached_.resize(n);
+    second_.resize(n);
+    second_ok_.assign(n, 0);
+    n1_.resize(n);
+    n2_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ids_[i] = i;
+        slot_[i] = static_cast<std::ptrdiff_t>(i);
+    }
+}
+
+void InsertionCache::deactivate(std::size_t i) {
+    const std::ptrdiff_t k = slot_[i];
+    if (k < 0) return;
+    const auto kk = static_cast<std::size_t>(k);
+    const std::size_t last = ids_.size() - 1;
+    if (kk != last) {
+        ids_[kk] = ids_[last];
+        xs_[kk] = xs_[last];
+        ys_[kk] = ys_[last];
+        slot_[ids_[kk]] = k;
+    }
+    ids_.pop_back();
+    xs_.pop_back();
+    ys_.pop_back();
+    slot_[i] = -1;
+}
 
 const TourBuilder::Insertion& InsertionCache::get(std::size_t i) const {
     UAVDC_DCHECK(!dirty_) << "InsertionCache::get on a dirty cache";
-    UAVDC_DCHECK(i < cached_.size() && active_[i] != 0);
+    UAVDC_DCHECK(i < cached_.size() && slot_[i] >= 0);
     return cached_[i];
 }
 
 void InsertionCache::on_insert(const TourBuilder::Insertion& ins,
-                               std::vector<std::size_t>& changed) {
+                               std::pmr::vector<std::size_t>& changed) {
     UAVDC_DCHECK(!dirty_) << "InsertionCache::on_insert on a dirty cache";
     const std::size_t q = ins.position;
     const std::size_t n = tour_->size();  // post-insert stop count
@@ -232,37 +325,32 @@ void InsertionCache::on_insert(const TourBuilder::Insertion& ins,
     const geom::Vec2& p = tour_->stops()[q];
     const geom::Vec2& a = q == 0 ? tour_->depot() : tour_->stops()[q - 1];
     const geom::Vec2& b = q + 1 == n ? tour_->depot() : tour_->stops()[q + 1];
-    // New edge lengths, hoisted out of the candidate loop (loop-invariant)
-    // and folded into the maintained edge-length array.
-    const double len_ap = geom::distance(a, p);
-    const double len_pb = geom::distance(p, b);
-    if (edge_len_.empty()) {
-        edge_len_ = {len_ap, len_pb};
-    } else {
-        UAVDC_DCHECK(edge_len_.size() == n);  // n - 1 stops before insert
-        edge_len_[q] = len_ap;
-        edge_len_.insert(edge_len_.begin() + static_cast<std::ptrdiff_t>(q) +
-                             1,
-                         len_pb);
-    }
-    for (std::size_t i = 0; i < cached_.size(); ++i) {
-        if (active_[i] == 0) continue;
+    // The two new edge lengths, already maintained by TourBuilder::insert
+    // with the exact fresh-distance expressions.
+    const auto edge_len = tour_->edge_len();
+    UAVDC_DCHECK(edge_len.size() == n + 1);
+    const double len_ap = edge_len[q];
+    const double len_pb = edge_len[q + 1];
+    // Batched delta pass over the dense active pool: n1_[k]/n2_[k] hold the
+    // insertion deltas of candidate ids_[k] on the two new edges, with the
+    // same operand order as the scalar expressions they replace
+    // (geom::distance is FP-symmetric, so d(x, p) substitutes d(p, x)
+    // bit-for-bit).
+    const std::size_t m = ids_.size();
+    kernels::insertion_edge_deltas(xs_.data(), ys_.data(), m, a, p, b, len_ap,
+                                   len_pb, n1_.data(), n2_.data());
+    for (std::size_t k = 0; k < m; ++k) {
+        const std::size_t i = ids_[k];
         TourBuilder::Insertion& c = cached_[i];
         // Existing edges kept their deltas; only the two new edges
         // (a -> p at position q, p -> b at position q+1) can improve an
         // entry. Ties resolve to the smaller position, matching the
         // strict-< scan order of TourBuilder::cheapest_insertion.
-        // geom::distance is FP-symmetric, so d(x, p) substitutes d(p, x)
-        // bit-for-bit in the second delta.
-        const geom::Vec2& x = points_[i];
-        const double d_xp = geom::distance(x, p);
-        const double d_ap = geom::distance(a, x) + d_xp - len_ap;
-        const double d_pb = d_xp + geom::distance(x, b) - len_pb;
-        const TourBuilder::Insertion n1{q, d_ap};
-        const TourBuilder::Insertion n2{q + 1, d_pb};
-        const bool n1_wins = !lex_less(n2, n1);
-        const TourBuilder::Insertion& nbest = n1_wins ? n1 : n2;
-        const TourBuilder::Insertion& nother = n1_wins ? n2 : n1;
+        const TourBuilder::Insertion e1{q, n1_[k]};
+        const TourBuilder::Insertion e2{q + 1, n2_[k]};
+        const bool e1_wins = !lex_less(e2, e1);
+        const TourBuilder::Insertion& nbest = e1_wins ? e1 : e2;
+        const TourBuilder::Insertion& nother = e1_wins ? e2 : e1;
         if (c.position == q) {
             // Straddler: the cached best edge is the one the insertion
             // removed. Every surviving old edge is lex->= the runner-up, so
@@ -270,7 +358,7 @@ void InsertionCache::on_insert(const TourBuilder::Insertion& ins,
             // edges; a full rescan is needed only when the runner-up is
             // unknown (consumed by an earlier straddle).
             if (second_ok_[i] == 0) {
-                const auto r = tour_->cheapest_insertion2(x, edge_len_);
+                const auto r = tour_->cheapest_insertion2(point(k));
                 c = r.best;
                 second_[i] = r.second;
                 second_ok_[i] = r.has_second ? 1 : 0;
@@ -315,17 +403,14 @@ void InsertionCache::on_insert(const TourBuilder::Insertion& ins,
 }
 
 void InsertionCache::rebuild_all(bool parallel) {
-    edge_len_ = tour_->edge_lengths();
     util::maybe_parallel_for(
-        parallel, 0, cached_.size(),
-        [&](std::size_t i) {
-            if (active_[i] != 0) {
-                const auto r = tour_->cheapest_insertion2(points_[i],
-                                                          edge_len_);
-                cached_[i] = r.best;
-                second_[i] = r.second;
-                second_ok_[i] = r.has_second ? 1 : 0;
-            }
+        parallel, 0, ids_.size(),
+        [&](std::size_t k) {
+            const std::size_t i = ids_[k];
+            const auto r = tour_->cheapest_insertion2(point(k));
+            cached_[i] = r.best;
+            second_[i] = r.second;
+            second_ok_[i] = r.has_second ? 1 : 0;
         },
         64);
     dirty_ = false;

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory_resource>
 #include <span>
 #include <vector>
 
 #include "uavdc/geom/vec2.hpp"
+#include "uavdc/util/aligned.hpp"
 
 namespace uavdc::core {
 
@@ -13,6 +15,14 @@ namespace uavdc::core {
 /// planner. Supports cheapest-insertion deltas (the TSP(S_j) - TSP(S_{j-1})
 /// surrogate of Eq. 13), actual insertion/removal, and a Christofides +
 /// 2-opt re-optimisation pass.
+///
+/// Hot-path layout: stop coordinates are mirrored into SoA arrays
+/// (`stop_xs`/`stop_ys`) and the current edge lengths are maintained
+/// incrementally (`edge_len`), so the cheapest-insertion scans run as one
+/// batched distance kernel over the stops plus a scalar argmin pass —
+/// no per-edge sqrt at scan time. Both mirrors are bit-identical to what a
+/// fresh recomputation would produce (maintenance uses the same
+/// geom::distance expressions; see the invariants on edge_len()).
 class TourBuilder {
   public:
     explicit TourBuilder(geom::Vec2 depot) : depot_(depot) {}
@@ -25,10 +35,21 @@ class TourBuilder {
     [[nodiscard]] const std::vector<geom::Vec2>& stops() const {
         return stops_;
     }
+    /// SoA mirrors of stops() (same order, same values).
+    [[nodiscard]] std::span<const double> stop_xs() const { return sx_; }
+    [[nodiscard]] std::span<const double> stop_ys() const { return sy_; }
     /// Caller keys in tour order (parallel to stops()).
     [[nodiscard]] const std::vector<int>& keys() const { return keys_; }
     /// Current closed-tour length (metres), maintained incrementally.
     [[nodiscard]] double length() const { return length_; }
+
+    /// Maintained edge lengths in position order (size() + 1 entries; empty
+    /// for an empty tour). Invariant: bit-identical to edge_lengths() —
+    /// every maintenance step stores a fresh geom::distance over the same
+    /// operands a recomputation would use.
+    [[nodiscard]] std::span<const double> edge_len() const {
+        return edge_len_;
+    }
 
     /// Cheapest-insertion result: inserting at `position` (index into
     /// stops(), 0..size()) lengthens the tour by `delta_m` metres.
@@ -50,16 +71,8 @@ class TourBuilder {
     };
     [[nodiscard]] Insertion2 cheapest_insertion2(const geom::Vec2& p) const;
 
-    /// As above, with the tour's edge lengths precomputed by the caller
-    /// (edge i runs prev(i) -> next(i); `edge_len` must hold size() + 1
-    /// entries matching recomputed geom::distance values bit-for-bit, e.g.
-    /// from edge_lengths()). Saves one sqrt per edge when scoring many
-    /// points against the same tour.
-    [[nodiscard]] Insertion2 cheapest_insertion2(
-        const geom::Vec2& p, std::span<const double> edge_len) const;
-
-    /// Current edge lengths in position order (size() + 1 entries; empty
-    /// for an empty tour).
+    /// Fresh O(n) recomputation of the current edge lengths (edge i runs
+    /// prev(i) -> next(i)); the oracle for the maintained edge_len() span.
     [[nodiscard]] std::vector<double> edge_lengths() const;
 
     /// Insert stop `p` (with caller key `key`) at `ins.position`.
@@ -81,9 +94,19 @@ class TourBuilder {
     [[nodiscard]] double recompute_length() const;
 
   private:
+    /// Batched scan core: distances from every stop to p into a
+    /// thread-local buffer, then the scalar argmin pass via `consider`.
+    template <typename Consider>
+    void scan_edges(const geom::Vec2& p, Consider&& consider) const;
+
     geom::Vec2 depot_;
     std::vector<geom::Vec2> stops_;
     std::vector<int> keys_;
+    /// SoA mirrors of stops_ for the batched insertion scans.
+    util::AlignedVector<double> sx_;
+    util::AlignedVector<double> sy_;
+    /// Maintained edge lengths (stops_.size() + 1 when non-empty).
+    std::vector<double> edge_len_;
     double length_{0.0};
 };
 
@@ -106,22 +129,41 @@ class TourBuilder {
 /// straddlers sit near the new stop, so a new edge usually wins. Any other
 /// cached entry stays optimal, with positions > q shifted by one.
 ///
+/// Layout: active candidates live in a dense SoA pool (`xs_`/`ys_` parallel
+/// to the dense-id list), compacted by swap-remove on deactivate, so the
+/// on_insert delta pass is one call to kernels::insertion_edge_deltas over
+/// a contiguous array. Per-candidate state (cached best, runner-up) stays
+/// indexed by the ORIGINAL candidate id. All per-plan buffers draw from the
+/// std::pmr resource passed at construction (PlanningContext's ScratchArena
+/// on the planner hot path), so repeated plans on a warm arena allocate
+/// nothing.
+///
 /// `reoptimize()` invalidates every entry (the whole edge set changes);
 /// callers mark the cache dirty with `invalidate_all` and restore the
 /// invariant with `rebuild_all` — the dirty-bit fallback to full recompute.
 class InsertionCache {
   public:
     /// Snapshot of `points` scored against `tour`; starts dirty — call
-    /// rebuild_all() before the first get(). `tour` must outlive the cache.
-    InsertionCache(const TourBuilder& tour, std::span<const geom::Vec2> points);
+    /// rebuild_all() before the first get(). `tour` must outlive the cache;
+    /// `mr` must outlive it too.
+    InsertionCache(const TourBuilder& tour, std::span<const geom::Vec2> points,
+                   std::pmr::memory_resource* mr =
+                       std::pmr::get_default_resource());
 
-    [[nodiscard]] std::size_t size() const { return points_.size(); }
+    /// As above with the candidate coordinates already in SoA form
+    /// (xs.size() == ys.size() == candidate count).
+    InsertionCache(const TourBuilder& tour, std::span<const double> xs,
+                   std::span<const double> ys,
+                   std::pmr::memory_resource* mr =
+                       std::pmr::get_default_resource());
+
+    [[nodiscard]] std::size_t size() const { return cached_.size(); }
     [[nodiscard]] bool dirty() const { return dirty_; }
-    [[nodiscard]] bool active(std::size_t i) const { return active_[i] != 0; }
+    [[nodiscard]] bool active(std::size_t i) const { return slot_[i] >= 0; }
 
     /// Stop maintaining candidate i (inserted into the tour, or provably
-    /// never needed again).
-    void deactivate(std::size_t i) { active_[i] = 0; }
+    /// never needed again). Swap-removes i from the dense pool.
+    void deactivate(std::size_t i);
 
     /// Cached cheapest insertion for active candidate i. Requires a clean
     /// cache (rebuild_all after any invalidate_all).
@@ -130,9 +172,9 @@ class InsertionCache {
     /// Account for `tour.insert(p, key, ins)` — call immediately *after* the
     /// insertion. Appends to `changed` every active candidate whose cached
     /// delta may have changed (improved via a new edge, or straddled the
-    /// removed one).
+    /// removed one). Order of appended ids is unspecified.
     void on_insert(const TourBuilder::Insertion& ins,
-                   std::vector<std::size_t>& changed);
+                   std::pmr::vector<std::size_t>& changed);
 
     /// Mark every entry stale (after TourBuilder::reoptimize()).
     void invalidate_all() { dirty_ = true; }
@@ -142,16 +184,25 @@ class InsertionCache {
     void rebuild_all(bool parallel);
 
   private:
+    [[nodiscard]] geom::Vec2 point(std::size_t dense) const {
+        return {xs_[dense], ys_[dense]};
+    }
+
     const TourBuilder* tour_;
-    std::vector<geom::Vec2> points_;
-    std::vector<TourBuilder::Insertion> cached_;
+    /// Dense active pool: ids_[k] is the original id at dense slot k;
+    /// xs_/ys_ are parallel to ids_. slot_[orig] is the dense slot or -1.
+    std::pmr::vector<std::size_t> ids_;
+    std::pmr::vector<std::ptrdiff_t> slot_;
+    std::pmr::vector<double> xs_;
+    std::pmr::vector<double> ys_;
+    /// Original-indexed per-candidate state.
+    std::pmr::vector<TourBuilder::Insertion> cached_;
     /// Runner-up edge per candidate; exact only where second_ok_[i] != 0.
-    std::vector<TourBuilder::Insertion> second_;
-    std::vector<char> second_ok_;
-    std::vector<char> active_;
-    /// Tour edge lengths (size() + 1 entries), maintained incrementally so
-    /// rescans and rebuilds pay two sqrts per edge instead of three.
-    std::vector<double> edge_len_;
+    std::pmr::vector<TourBuilder::Insertion> second_;
+    std::pmr::vector<char> second_ok_;
+    /// Batched delta outputs, parallel to the dense pool.
+    std::pmr::vector<double> n1_;
+    std::pmr::vector<double> n2_;
     bool dirty_{true};
 };
 

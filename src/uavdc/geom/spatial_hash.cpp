@@ -50,6 +50,14 @@ SpatialHash::SpatialHash(std::span<const Vec2> points, double cell_size)
     for (std::size_t i = 0; i < points_.size(); ++i) {
         order_[cursor[bucket_of(points_[i])]++] = static_cast<int>(i);
     }
+    // Bucket-ordered SoA mirror for the chunked disk scans.
+    xs_.resize(points_.size());
+    ys_.resize(points_.size());
+    for (std::size_t k = 0; k < points_.size(); ++k) {
+        const auto idx = static_cast<std::size_t>(order_[k]);
+        xs_[k] = points_[idx].x;
+        ys_[k] = points_[idx].y;
+    }
 }
 
 int SpatialHash::bucket_coord(double offset) const {

@@ -1,11 +1,13 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
 
 #include "uavdc/geom/aabb.hpp"
 #include "uavdc/geom/vec2.hpp"
+#include "uavdc/util/aligned.hpp"
 
 namespace uavdc::geom {
 
@@ -29,6 +31,15 @@ class SpatialHash {
     [[nodiscard]] std::vector<int> query_disk(const Vec2& q, double r) const;
 
     /// Visit indices of points within distance r of q.
+    ///
+    /// The candidate distances of each bucket run are computed over the
+    /// bucket-ordered SoA mirror (`xs_`/`ys_`) in fixed-size chunks — a
+    /// plain elementwise loop the compiler vectorizes — then the callback
+    /// fires for hits in the original scan order. Each lane evaluates the
+    /// exact `distance2(points_[idx], q)` expression, so the visited set is
+    /// bit-identical to the scalar scan this replaces. (geom may not depend
+    /// on core, so the chunk loop lives here rather than in
+    /// core/batch_kernels.)
     template <typename F>
     void for_each_in_disk(const Vec2& q, double r, F&& f) const {
         if (points_.empty() || r < 0.0) return;
@@ -37,6 +48,8 @@ class SpatialHash {
         const int bx_hi = bucket_coord(q.x + r - origin_.x);
         const int by_lo = bucket_coord(q.y - r - origin_.y);
         const int by_hi = bucket_coord(q.y + r - origin_.y);
+        constexpr std::size_t kChunk = 64;
+        double d2[kChunk];
         for (int by = std::max(0, by_lo); by <= std::min(nby_ - 1, by_hi);
              ++by) {
             for (int bx = std::max(0, bx_lo); bx <= std::min(nbx_ - 1, bx_hi);
@@ -45,12 +58,19 @@ class SpatialHash {
                     static_cast<std::size_t>(by) *
                         static_cast<std::size_t>(nbx_) +
                     static_cast<std::size_t>(bx);
-                for (std::size_t k = starts_[b]; k < starts_[b + 1]; ++k) {
-                    const int idx = order_[k];
-                    if (distance2(points_[static_cast<std::size_t>(idx)], q) <=
-                        r2) {
-                        f(idx);
+                for (std::size_t k = starts_[b]; k < starts_[b + 1];) {
+                    const std::size_t end =
+                        std::min(starts_[b + 1], k + kChunk);
+                    const std::size_t len = end - k;
+                    for (std::size_t t = 0; t < len; ++t) {
+                        const double dx = xs_[k + t] - q.x;
+                        const double dy = ys_[k + t] - q.y;
+                        d2[t] = dx * dx + dy * dy;
                     }
+                    for (std::size_t t = 0; t < len; ++t) {
+                        if (d2[t] <= r2) f(order_[k + t]);
+                    }
+                    k = end;
                 }
             }
         }
@@ -74,9 +94,13 @@ class SpatialHash {
     int nbx_{0};
     int nby_{0};
     // CSR layout: order_ holds point indices grouped by bucket,
-    // starts_[b]..starts_[b+1] delimit bucket b.
+    // starts_[b]..starts_[b+1] delimit bucket b. xs_/ys_ mirror the point
+    // coordinates in bucket order (xs_[k] == points_[order_[k]].x), so disk
+    // queries stream contiguous memory instead of gathering through order_.
     std::vector<std::size_t> starts_;
     std::vector<int> order_;
+    util::AlignedVector<double> xs_;
+    util::AlignedVector<double> ys_;
 };
 
 }  // namespace uavdc::geom

@@ -139,9 +139,11 @@ struct RuleContext {
     std::vector<Finding>& findings;
 
     /// Reports a violation of (id, slug) at `line_idx` (0-based) unless a
-    /// same-line NOLINT(...) or a NOLINTNEXTLINE(...) in the comment block
-    /// directly above names the rule and gives a reason. The upward scan
-    /// crosses comment-only lines so the reason may wrap.
+    /// same-line NOLINT(...), a NOLINTNEXTLINE(...) in the comment block
+    /// directly above, or an enclosing NOLINTBEGIN(...) block names the rule
+    /// and gives a reason. The NEXTLINE scan crosses comment-only lines so
+    /// the reason may wrap; a BEGIN is cancelled by the nearest
+    /// NOLINTEND(...) naming the same rule.
     void report(std::size_t line_idx, const std::string& id,
                 const std::string& slug, const std::string& message) {
         int state = suppression_state(lines[line_idx].comment, slug, "NOLINT");
@@ -152,6 +154,13 @@ struct RuleContext {
             if (!code.empty()) break;  // not a pure comment line
             state = suppression_state(above.comment, slug, "NOLINTNEXTLINE");
             if (above.comment.empty()) break;
+        }
+        // Block suppression: the nearest NOLINTBEGIN(...) above wins unless
+        // a NOLINTEND(...) for the rule closes it first.
+        for (std::size_t up = line_idx; state == 0 && up > 0; --up) {
+            const std::string& comment = lines[up - 1].comment;
+            if (suppression_state(comment, slug, "NOLINTEND") != 0) break;
+            state = suppression_state(comment, slug, "NOLINTBEGIN");
         }
         if (state == 1) return;
         std::string full = message;
@@ -346,23 +355,55 @@ void rule_no_cout_in_library(RuleContext& ctx) {
     }
 }
 
-/// UL007: building a DenseGraph::euclidean inside a loop in core/ planner
-/// code is the O(n^2)-allocations-per-iteration pattern the incremental
-/// scoring engine exists to avoid. Loop scopes are tracked by brace depth:
-/// a line containing a `for`/`while`/`do` token arms a pending loop whose
-/// next `{` opens a loop scope; the header line itself (and the next line,
-/// covering brace-less bodies and wrapped headers) also count as inside.
-void rule_no_dense_rebuild_in_loop(RuleContext& ctx) {
-    if (!in_library(ctx.path) || !has_component(ctx.path, "core")) return;
-    int depth = 0;
-    std::vector<int> loop_depths;  // brace depths of open loop bodies
-    int pending = 0;               // lines left of an un-braced loop header
-    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
-        const std::string& code = ctx.lines[i].code;
+/// Brace-depth loop tracking shared by UL007/UL009. Feed lines in order;
+/// consume() returns true when the line is (heuristically) inside a loop —
+/// a `for`/`while`/`do` header line, the two lines after an un-braced
+/// header (covering brace-less bodies and wrapped headers), or any line of
+/// a braced loop body.
+class LoopScopes {
+  public:
+    bool consume(const std::string& code) {
         const bool loop_header = has_token(code, "for") ||
                                  has_token(code, "while") ||
                                  has_token(code, "do");
-        if ((loop_header || pending > 0 || !loop_depths.empty()) &&
+        const bool inside =
+            loop_header || pending_ > 0 || !loop_depths_.empty();
+        if (loop_header) pending_ = 2;
+        for (const char c : code) {
+            if (c == '{') {
+                ++depth_;
+                if (pending_ > 0) {
+                    loop_depths_.push_back(depth_);
+                    pending_ = 0;
+                }
+            } else if (c == '}') {
+                while (!loop_depths_.empty() &&
+                       loop_depths_.back() == depth_) {
+                    loop_depths_.pop_back();
+                }
+                --depth_;
+            }
+        }
+        if (!loop_header && pending_ > 0) --pending_;
+        return inside;
+    }
+
+  private:
+    int depth_ = 0;
+    std::vector<int> loop_depths_;  // brace depths of open loop bodies
+    int pending_ = 0;  // lines left of an un-braced loop header
+};
+
+/// UL007: building a DenseGraph::euclidean inside a loop in core/ planner
+/// code is the O(n^2)-allocations-per-iteration pattern the incremental
+/// scoring engine exists to avoid.
+void rule_no_dense_rebuild_in_loop(RuleContext& ctx) {
+    if (!in_library(ctx.path) || !has_component(ctx.path, "core")) return;
+    LoopScopes loops;
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        const std::string& code = ctx.lines[i].code;
+        const bool inside = loops.consume(code);
+        if (inside &&
             code.find("DenseGraph::euclidean") != std::string::npos) {
             ctx.report(i, "UL007", "no-dense-rebuild-in-loop",
                        "DenseGraph::euclidean built inside a loop allocates "
@@ -371,22 +412,41 @@ void rule_no_dense_rebuild_in_loop(RuleContext& ctx) {
                        "annotate NOLINT(uavdc-no-dense-rebuild-in-loop): "
                        "<why per-iteration rebuild is required>");
         }
-        if (loop_header) pending = 2;
-        for (const char c : code) {
-            if (c == '{') {
-                ++depth;
-                if (pending > 0) {
-                    loop_depths.push_back(depth);
-                    pending = 0;
-                }
-            } else if (c == '}') {
-                while (!loop_depths.empty() && loop_depths.back() == depth) {
-                    loop_depths.pop_back();
-                }
-                --depth;
+    }
+}
+
+/// UL009: per-element distance math inside loops in core/ planner code.
+/// A loop that calls geom::distance / distance2 / std::sqrt / std::hypot
+/// one element at a time runs scalar — the call boundary stops the
+/// compiler from vectorizing the scan. Hot paths stream the
+/// PlanningContext SoA mirrors through the batch kernels
+/// (core/batch_kernels.hpp) instead; reference oracles that deliberately
+/// stay scalar carry a NOLINT(uavdc-batched-distance): <reason>.
+/// batch_kernels.* is exempt — it IS the blessed implementation.
+void rule_batched_distance(RuleContext& ctx) {
+    if (!in_library(ctx.path) || !has_component(ctx.path, "core")) return;
+    const std::string base = basename_of(ctx.path);
+    if (base == "batch_kernels.cpp" || base == "batch_kernels.hpp") return;
+    LoopScopes loops;
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        const std::string& code = ctx.lines[i].code;
+        if (!loops.consume(code)) continue;
+        std::string hit;
+        for (const char* fn : {"distance", "distance2", "sqrt", "hypot"}) {
+            if (has_call(code, fn)) {
+                hit = fn;
+                break;
             }
         }
-        if (!loop_header && pending > 0) --pending;
+        if (hit.empty()) continue;
+        ctx.report(i, "UL009", "batched-distance",
+                   "per-element " + hit +
+                       "() inside a candidate-scoring loop runs scalar; "
+                       "stream the SoA arrays through the batch kernels "
+                       "(kernels::distances_to_point / "
+                       "squared_distances_to_point / fill_distance_tile) or "
+                       "annotate NOLINT(uavdc-batched-distance): <why this "
+                       "loop must stay scalar>");
     }
 }
 
@@ -451,6 +511,11 @@ const std::vector<RuleInfo>& rules() {
          "no raw std::thread outside util/ and no detach() anywhere in the "
          "library; threads come from util::ThreadPool, which joins every "
          "worker on shutdown"},
+        {"UL009", "batched-distance",
+         "no per-element distance/sqrt/hypot calls inside candidate-scoring "
+         "loops in core/; hot scans stream the PlanningContext SoA mirrors "
+         "through core/batch_kernels — scalar oracle loops carry a "
+         "NOLINT(uavdc-batched-distance) with a reason"},
     };
     return kRules;
 }
@@ -554,6 +619,7 @@ std::vector<Finding> lint_source(const std::string& path,
     rule_no_cout_in_library(ctx);
     rule_no_dense_rebuild_in_loop(ctx);
     rule_no_raw_thread(ctx);
+    rule_batched_distance(ctx);
     std::sort(findings.begin(), findings.end(),
               [](const Finding& a, const Finding& b) {
                   if (a.line != b.line) return a.line < b.line;

@@ -13,10 +13,11 @@ namespace {
 }
 
 core::ScoringEngine scoring_from_string(const std::string& s) {
-    if (s == "incremental") return core::ScoringEngine::kIncremental;
-    if (s == "reference") return core::ScoringEngine::kReference;
+    if (const auto engine = core::scoring_engine_from_string(s)) {
+        return *engine;
+    }
     bad("unknown scoring engine '" + s +
-        "' (expected incremental|reference)");
+        "' (expected incremental|incremental-fast|reference)");
 }
 
 orienteering::SolverKind solver_from_string(const std::string& s) {

@@ -78,7 +78,7 @@ struct PlanResponse {
 ///   {"id": str, "planner": str,
 ///    "instance": {...} | "instance_ref": "16-hex",
 ///    "options": {"delta_m","max_candidates","k","grasp_iterations",
-///                "scoring": "incremental"|"reference",
+///                "scoring": "incremental"|"incremental-fast"|"reference",
 ///                "solver": "exact"|"greedy"|"grasp"|"ils"},
 ///    "priority": int, "deadline_ms": num}
 /// Throws std::runtime_error (with field context) on malformed input — the

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace uavdc::util {
+
+/// Minimum alignment (bytes) of the structure-of-arrays buffers in
+/// core/soa_layout and of every ScratchArena block: one AVX2 vector, so the
+/// batched kernels read full-width lanes without ever straddling a cache
+/// line at the array head.
+inline constexpr std::size_t kSoaAlignment = 32;
+
+/// std::allocator drop-in that over-aligns every allocation to `Align`
+/// bytes. Used through AlignedVector; the container is layout-compatible
+/// with std::vector apart from the allocator type.
+template <typename T, std::size_t Align = kSoaAlignment>
+struct AlignedAllocator {
+    using value_type = T;
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "Align must be a power of two >= alignof(T)");
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    explicit AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+    template <typename U>
+    struct rebind {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    [[nodiscard]] T* allocate(std::size_t n) {
+        return static_cast<T*>(
+            ::operator new(n * sizeof(T), std::align_val_t{Align}));
+    }
+    void deallocate(T* p, std::size_t) noexcept {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+
+    friend bool operator==(const AlignedAllocator&,
+                           const AlignedAllocator&) noexcept {
+        return true;
+    }
+};
+
+/// Contiguous array whose data() is `kSoaAlignment`-aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace uavdc::util

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory_resource>
 #include <string>
 #include <utility>
 #include <vector>
@@ -156,6 +157,53 @@ TEST(IncrementalEquivalence, Algorithm2ExactRatioTspMatchesReference) {
     }
 }
 
+// --- Epsilon tier: kIncrementalFast is deterministic run-to-run, and its
+// --- outcomes stay within the documented tolerance of the default engine.
+// --- (It is NOT bit-identical — the fast reductions reassociate sums —
+// --- which is exactly why it is opt-in.)
+
+TEST(IncrementalEquivalence, FastEngineIsDeterministicAndEpsilonClose) {
+    util::Rng rng(4242);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto inst = fuzz_instance(rng, 6, 40);
+        const auto ctx = PlanningContext::build(inst, hover_cfg(inst));
+        const std::string tag = "fast trial " + std::to_string(trial);
+
+        Algorithm2Config cfg;
+        cfg.candidates = hover_cfg(inst);
+        cfg.scoring = ScoringEngine::kIncremental;
+        const auto base = GreedyCoveragePlanner(cfg).plan(*ctx);
+        cfg.scoring = ScoringEngine::kIncrementalFast;
+        const auto fast = GreedyCoveragePlanner(cfg).plan(*ctx);
+        expect_identical(fast, GreedyCoveragePlanner(cfg).plan(*ctx),
+                         tag + " alg2 rerun");
+        EXPECT_NEAR(fast.stats.planned_mb, base.stats.planned_mb,
+                    1e-9 * std::max(1.0, base.stats.planned_mb))
+            << tag;
+        EXPECT_NEAR(fast.stats.planned_energy_j, base.stats.planned_energy_j,
+                    1e-9 * std::max(1.0, base.stats.planned_energy_j))
+            << tag;
+
+        Algorithm3Config cfg3;
+        cfg3.candidates = hover_cfg(inst);
+        cfg3.k = 1 + trial % 3;
+        cfg3.scoring = ScoringEngine::kIncremental;
+        const auto base3 = PartialCollectionPlanner(cfg3).plan(*ctx);
+        cfg3.scoring = ScoringEngine::kIncrementalFast;
+        const auto fast3 = PartialCollectionPlanner(cfg3).plan(*ctx);
+        expect_identical(fast3, PartialCollectionPlanner(cfg3).plan(*ctx),
+                         tag + " alg3 rerun");
+        EXPECT_NEAR(fast3.stats.planned_mb, base3.stats.planned_mb,
+                    1e-9 * std::max(1.0, base3.stats.planned_mb))
+            << tag;
+        EXPECT_NEAR(fast3.stats.planned_energy_j,
+                    base3.stats.planned_energy_j,
+                    1e-9 * std::max(1.0, base3.stats.planned_energy_j))
+            << tag;
+        if (::testing::Test::HasFailure()) break;
+    }
+}
+
 // --- Algorithm 3 across K values and retour cadences.
 
 TEST(IncrementalEquivalence, Algorithm3MatchesReferenceAcrossInstances) {
@@ -280,7 +328,7 @@ TEST(InsertionCache, StaysExactUnderInsertions) {
     cache.rebuild_all(false);
     EXPECT_FALSE(cache.dirty());
 
-    std::vector<std::size_t> changed;
+    std::pmr::vector<std::size_t> changed;
     for (int step = 0; step < 25; ++step) {
         // Verify every active entry against a fresh scan (bitwise).
         for (std::size_t i = 0; i < points.size(); ++i) {
@@ -310,7 +358,7 @@ TEST(InsertionCache, ReoptimizeRequiresRebuild) {
     TourBuilder tour({0.0, 0.0});
     InsertionCache cache(tour, points);
     cache.rebuild_all(false);
-    std::vector<std::size_t> changed;
+    std::pmr::vector<std::size_t> changed;
     for (std::size_t i = 0; i < 8; ++i) {
         const auto ins = cache.get(i);
         tour.insert(points[i], static_cast<int>(i), ins);
@@ -341,7 +389,7 @@ TEST(InsertionCache, ReportsChangedCandidates) {
 
     const TourBuilder::Insertion ins = tour.cheapest_insertion({100.0, 2.0});
     tour.insert({100.0, 2.0}, 99, ins);
-    std::vector<std::size_t> changed;
+    std::pmr::vector<std::size_t> changed;
     cache.on_insert(ins, changed);
     // All three straddle the (empty-tour) position-0 edge; all reported and
     // all exact afterwards.
@@ -495,7 +543,7 @@ TEST(InsertionCache, RunnerUpSurvivesRepeatedStraddles) {
     }
     InsertionCache cache(tour, pts);
     cache.rebuild_all(false);
-    std::vector<std::size_t> changed;
+    std::pmr::vector<std::size_t> changed;
     std::vector<char> used(pts.size(), 0);
     for (int step = 0; step < 25; ++step) {
         // Insert the clustered points first to maximise straddling.
@@ -532,20 +580,22 @@ TEST(TourBuilder, CheapestInsertion2MatchesSingleAndRunnerUp) {
         const geom::Vec2 p{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
         tour.insert(p, i, tour.cheapest_insertion(p));
     }
+    // The maintained per-edge lengths must match the from-scratch oracle
+    // bitwise — scan_edges subtracts edge_len_[i] where the scalar scan
+    // recomputed distance(a, b).
     const auto edge_len = tour.edge_lengths();
     ASSERT_EQ(edge_len.size(), tour.size() + 1);
+    ASSERT_EQ(tour.edge_len().size(), edge_len.size());
+    for (std::size_t i = 0; i < edge_len.size(); ++i) {
+        EXPECT_EQ(tour.edge_len()[i], edge_len[i]) << "edge " << i;
+    }
     for (int t = 0; t < 50; ++t) {
         const geom::Vec2 q{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
         const auto single = tour.cheapest_insertion(q);
         const auto both = tour.cheapest_insertion2(q);
-        const auto spanned = tour.cheapest_insertion2(q, edge_len);
         EXPECT_EQ(both.best.position, single.position);
         EXPECT_EQ(both.best.delta_m, single.delta_m);
         ASSERT_TRUE(both.has_second);
-        EXPECT_EQ(spanned.best.position, both.best.position);
-        EXPECT_EQ(spanned.best.delta_m, both.best.delta_m);
-        EXPECT_EQ(spanned.second.position, both.second.position);
-        EXPECT_EQ(spanned.second.delta_m, both.second.delta_m);
         // The runner-up is what a fresh scan picks with the best edge gone:
         // strictly worse or equal delta, never the same position.
         EXPECT_NE(both.second.position, both.best.position);
@@ -557,6 +607,7 @@ TEST(TourBuilder, CheapestInsertion2MatchesSingleAndRunnerUp) {
     EXPECT_FALSE(e.has_second);
     EXPECT_EQ(e.best.delta_m, 10.0);
     EXPECT_TRUE(empty.edge_lengths().empty());
+    EXPECT_TRUE(empty.edge_len().empty());
 }
 
 }  // namespace

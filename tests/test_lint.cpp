@@ -27,7 +27,7 @@ constexpr const char* kToolPath = "tools/fixture.cpp";
 
 TEST(Lint, RuleTableIsStable) {
     const auto& table = rules();
-    ASSERT_EQ(table.size(), 8u);
+    ASSERT_EQ(table.size(), 9u);
     std::set<std::string> ids;
     for (const auto& r : table) ids.insert(r.id);
     EXPECT_EQ(ids.size(), table.size()) << "rule ids must be unique";
@@ -278,6 +278,100 @@ TEST(Lint, DetachFiresEverywhereInLibrary) {
         "void f(std::thread& t) { t.detach(); }  "
         "// NOLINT(uavdc-no-raw-thread): watchdog must survive teardown\n");
     EXPECT_TRUE(suppressed.empty());
+}
+
+TEST(Lint, BatchedDistanceFiresInsideLoops) {
+    const char* body = R"(
+void f(const std::vector<geom::Vec2>& pts, geom::Vec2 q) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        best = std::min(best, geom::distance(pts[i], q));
+    }
+}
+)";
+    const auto findings = lint_source(kLibPath, body);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].id, "UL009");
+    EXPECT_EQ(findings[0].rule, "batched-distance");
+    EXPECT_EQ(findings[0].line, 4);
+    // Only core/ is in scope; geom owns the primitives, tools are free.
+    EXPECT_TRUE(lint_source("src/uavdc/geom/fixture.cpp", body).empty());
+    EXPECT_TRUE(lint_source(kToolPath, body).empty());
+    // The kernels themselves are the blessed scalar-per-lane loops.
+    EXPECT_TRUE(
+        lint_source("src/uavdc/core/batch_kernels.cpp", body).empty());
+}
+
+TEST(Lint, BatchedDistanceVariantsAndNonLoopUses) {
+    // sqrt / distance2 / hypot in loops all fire.
+    EXPECT_TRUE(has_id(lint_source(kLibPath, R"(
+void f() {
+    while (go) { d = std::sqrt(dx * dx + dy * dy); }
+}
+)"),
+                       "UL009"));
+    EXPECT_TRUE(has_id(lint_source(kLibPath, R"(
+void f() {
+    for (int i = 0; i < n; ++i) acc += geom::distance2(a[i], q);
+}
+)"),
+                       "UL009"));
+    EXPECT_TRUE(has_id(lint_source(kLibPath, R"(
+void f() {
+    for (int i = 0; i < n; ++i) acc += std::hypot(xs[i], ys[i]);
+}
+)"),
+                       "UL009"));
+    // Outside a loop: a single distance call is fine.
+    EXPECT_TRUE(lint_source(kLibPath, R"(
+void f(geom::Vec2 a, geom::Vec2 b) {
+    const double d = geom::distance(a, b);
+}
+)")
+                    .empty());
+    // node_distance / squared_distances_to_point are not the banned tokens.
+    EXPECT_TRUE(lint_source(kLibPath, R"(
+void f() {
+    for (int i = 0; i < n; ++i) acc += ctx.node_distance(0, i);
+}
+)")
+                    .empty());
+}
+
+TEST(Lint, BatchedDistanceHonoursBlockSuppression) {
+    const auto findings = lint_source(kLibPath, R"(
+// NOLINTBEGIN(uavdc-batched-distance): from-scratch oracle stays scalar
+double oracle(const std::vector<geom::Vec2>& pts, geom::Vec2 q) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        acc += geom::distance(pts[i], q);
+    }
+    return acc;
+}
+// NOLINTEND(uavdc-batched-distance)
+)");
+    EXPECT_TRUE(findings.empty());
+    // A closed block no longer suppresses what follows it.
+    const auto after = lint_source(kLibPath, R"(
+// NOLINTBEGIN(uavdc-batched-distance): oracle
+// NOLINTEND(uavdc-batched-distance)
+void f(const std::vector<geom::Vec2>& pts, geom::Vec2 q) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        acc += geom::distance(pts[i], q);
+    }
+}
+)");
+    EXPECT_TRUE(has_id(after, "UL009"));
+    // A BEGIN without a reason is rejected like any bare NOLINT.
+    const auto bare = lint_source(kLibPath, R"(
+// NOLINTBEGIN(uavdc-batched-distance)
+void f(const std::vector<geom::Vec2>& pts, geom::Vec2 q) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        acc += geom::distance(pts[i], q);
+    }
+}
+// NOLINTEND(uavdc-batched-distance)
+)");
+    EXPECT_TRUE(has_id(bare, "UL009"));
 }
 
 TEST(Lint, ScanLinesSeparatesCodeAndComments) {

@@ -1,0 +1,130 @@
+// ScratchArena + PlanningContext arena-pool tests: bump allocation,
+// reset-with-coalesce, LIFO lease recycling, and the warm-path contract —
+// repeated plan() calls on a warmed context allocate zero new chunks.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory_resource>
+#include <vector>
+
+#include "test_util.hpp"
+#include "uavdc/core/algorithm2.hpp"
+#include "uavdc/core/algorithm3.hpp"
+#include "uavdc/core/planning_context.hpp"
+#include "uavdc/core/scratch_arena.hpp"
+
+namespace uavdc::core {
+namespace {
+
+TEST(ScratchArena, BumpAllocatesAndResetsWithoutFreeing) {
+    ScratchArena arena(1024);
+    EXPECT_EQ(arena.chunks_allocated(), 1u);
+    EXPECT_EQ(arena.bytes_in_use(), 0u);
+
+    std::pmr::vector<double> v(100, 1.5, &arena);
+    EXPECT_GE(arena.bytes_in_use(), 100 * sizeof(double));
+    const std::size_t after_v = arena.bytes_in_use();
+    {
+        std::pmr::vector<int> w(10, 7, &arena);
+        EXPECT_GT(arena.bytes_in_use(), after_v);
+    }
+    // Deallocation is a no-op; reset rewinds everything at once.
+    v = std::pmr::vector<double>(&arena);  // release before reset
+    arena.reset();
+    EXPECT_EQ(arena.bytes_in_use(), 0u);
+    EXPECT_GE(arena.capacity(), 1024u);
+}
+
+TEST(ScratchArena, AllocationsAreSoaAligned) {
+    ScratchArena arena(512);
+    for (const std::size_t bytes : {8u, 24u, 100u, 4096u}) {
+        void* p = arena.allocate(bytes, alignof(double));
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 32, 0u)
+            << bytes << " bytes";
+    }
+}
+
+TEST(ScratchArena, OverflowGrowsThenResetCoalesces) {
+    ScratchArena arena(256);
+    EXPECT_EQ(arena.chunks_allocated(), 1u);
+    // Overflow the first chunk several times.
+    (void)arena.allocate(200, 8);
+    (void)arena.allocate(300, 8);
+    (void)arena.allocate(5000, 8);
+    const std::size_t grown = arena.chunks_allocated();
+    EXPECT_GT(grown, 1u);
+    const std::size_t cap = arena.capacity();
+
+    arena.reset();
+    // One coalesced chunk of at least the combined capacity: the same
+    // demand now fits without another malloc.
+    EXPECT_EQ(arena.chunks_allocated(), grown + 1);
+    EXPECT_GE(arena.capacity(), cap);
+    (void)arena.allocate(200, 8);
+    (void)arena.allocate(300, 8);
+    (void)arena.allocate(5000, 8);
+    EXPECT_EQ(arena.chunks_allocated(), grown + 1);
+}
+
+TEST(PlanningContext, ArenaLeasesRecycleLifo) {
+    const auto inst = testing::small_instance(20, 200.0, 3);
+    const auto ctx = PlanningContext::build(inst, {});
+    EXPECT_EQ(ctx->arena_pool_size(), 0u);
+    const ScratchArena* first = nullptr;
+    {
+        ArenaLease lease = ctx->acquire_arena();
+        first = &lease.arena();
+        (void)lease.resource()->allocate(64, 8);
+    }
+    EXPECT_EQ(ctx->arena_pool_size(), 1u);
+    {
+        ArenaLease lease = ctx->acquire_arena();
+        // Same arena comes back (LIFO), rewound by the lease destructor.
+        EXPECT_EQ(&lease.arena(), first);
+        EXPECT_EQ(lease.arena().bytes_in_use(), 0u);
+        ArenaLease second = ctx->acquire_arena();
+        EXPECT_NE(&second.arena(), &lease.arena());
+    }
+    EXPECT_EQ(ctx->arena_pool_size(), 2u);
+}
+
+/// The warm-path contract behind the SoA rework: after a couple of warm-up
+/// plans, repeated plan() calls on the same context reuse the pooled
+/// arena's coalesced block — chunks_allocated() stays flat, i.e. the hot
+/// path performs zero scratch mallocs.
+TEST(PlanningContext, WarmPlansAllocateNoNewChunks) {
+    const auto inst = testing::small_instance(40, 300.0, 9);
+    Algorithm2Config cfg2;
+    Algorithm3Config cfg3;
+    cfg3.k = 3;
+    const auto ctx = PlanningContext::build(inst, cfg2.candidates);
+
+    GreedyCoveragePlanner alg2(cfg2);
+    PartialCollectionPlanner alg3(cfg3);
+    // Warm-up: first run grows the arena, second consolidates it.
+    (void)alg2.plan(*ctx);
+    (void)alg2.plan(*ctx);
+    (void)alg3.plan(*ctx);
+    (void)alg3.plan(*ctx);
+
+    std::vector<std::size_t> snapshot;
+    {
+        ArenaLease lease = ctx->acquire_arena();
+        snapshot.push_back(lease.arena().chunks_allocated());
+    }
+    for (int round = 0; round < 5; ++round) {
+        const auto a = alg2.plan(*ctx);
+        const auto b = alg3.plan(*ctx);
+        EXPECT_GT(a.stats.candidates, 0);
+        EXPECT_GT(b.stats.candidates, 0);
+    }
+    {
+        ArenaLease lease = ctx->acquire_arena();
+        EXPECT_EQ(lease.arena().chunks_allocated(), snapshot.front())
+            << "warm plan() calls must not allocate new arena chunks";
+    }
+}
+
+}  // namespace
+}  // namespace uavdc::core

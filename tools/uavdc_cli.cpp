@@ -14,6 +14,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "uavdc/core/compare.hpp"
@@ -46,6 +47,7 @@ int usage() {
         "            [--devices=N] [--side=M] [--energy=J] [--seed=S]\n"
         "  plan      --instance=FILE --algo=alg1|alg2|alg3|benchmark\n"
         "            [--delta=10] [--k=2] [--max-candidates=4000]\n"
+        "            [--scoring=incremental|incremental-fast|reference]\n"
         "            [--out=FILE]\n"
         "  eval      --instance=FILE --plan=FILE [--json]\n"
         "  sim       --instance=FILE --plan=FILE [--trace]\n"
@@ -56,6 +58,7 @@ int usage() {
         "            [--wind-max=4] [--taper-max=0.5]\n"
         "  conformance [--instances=100] [--seed=S] [--algos=a,b,...]\n"
         "            [--tol=1e-6] [--no-stress] [--max-failures=8]\n"
+        "            [--fast-scoring] [--fast-tol=1e-9]\n"
         "  sensitivity --instance=FILE [--algo=alg2] [--perturb=0.2]\n"
         "  render    --instance=FILE [--plan=FILE] --out=FILE.svg\n"
         "  serve     [--in=FILE] [--out=FILE] [--workers=4] [--queue=256]\n"
@@ -107,6 +110,15 @@ int cmd_plan(const util::Flags& flags) {
     opts.k = flags.get_int("k", opts.k);
     opts.max_candidates =
         flags.get_int("max-candidates", opts.max_candidates);
+    const std::string scoring =
+        flags.get_string("scoring", core::to_string(opts.scoring));
+    if (const auto engine = core::scoring_engine_from_string(scoring)) {
+        opts.scoring = *engine;
+    } else {
+        throw std::runtime_error(
+            "unknown scoring '" + scoring +
+            "' (expected incremental|incremental-fast|reference)");
+    }
     auto planner =
         core::make_planner(flags.get_string("algo", "alg3"), opts);
     // Shared precompute: repeated plans of the same instance (any algo with
@@ -297,6 +309,8 @@ int cmd_conformance(const util::Flags& flags) {
     cfg.tol = flags.get_double("tol", cfg.tol);
     cfg.stress_energy = !flags.get_bool("no-stress", false);
     cfg.max_failures = flags.get_int("max-failures", cfg.max_failures);
+    cfg.check_fast_scoring = flags.get_bool("fast-scoring", false);
+    cfg.fast_rel_tol = flags.get_double("fast-tol", cfg.fast_rel_tol);
     cfg.pool = &util::global_pool();  // fuzz instances concurrently
     {
         std::stringstream ss(flags.get_string("algos", ""));
