@@ -8,7 +8,9 @@ Two schemas are understood, both with a top-level ``cases`` list:
 - ``uavdc-bench-service-v1`` (``micro_service --baseline_out=...``),
   compared on each case's ``runtime_s``;
 - ``uavdc-bench-kernels-v1`` (``micro_kernels --baseline_out=...``),
-  compared on each case's ``batched_s``.
+  compared on each case's ``batched_s``;
+- ``uavdc-bench-reduction-v1`` (``micro_reduction --baseline_out=...``),
+  compared on each case's ``plan_s``.
 
 Baseline and current file must carry the same schema. The check fails when
 any case's runtime regresses by more than --max-ratio (default 2x) relative
@@ -33,6 +35,7 @@ SCHEMAS = {
     "uavdc-bench-planners-v1": ("incremental_s", "speedup"),
     "uavdc-bench-service-v1": ("runtime_s", "rps"),
     "uavdc-bench-kernels-v1": ("batched_s", "speedup"),
+    "uavdc-bench-reduction-v1": ("plan_s", "speedup"),
 }
 
 # schema -> regenerating tool
@@ -40,6 +43,7 @@ TOOLS = {
     "uavdc-bench-planners-v1": "micro_planners",
     "uavdc-bench-service-v1": "micro_service",
     "uavdc-bench-kernels-v1": "micro_kernels",
+    "uavdc-bench-reduction-v1": "micro_reduction",
 }
 
 

@@ -76,16 +76,60 @@ double rank_ratio(RatioRule rule, double new_mb, double extra_hover,
 }  // namespace
 
 PlanResult GreedyCoveragePlanner::plan(const PlanningContext& ctx) {
-    return cfg_.scoring == ScoringEngine::kReference ? plan_reference(ctx)
-                                                     : plan_incremental(ctx);
+    auto run = [&](const CandidateView& view) {
+        return cfg_.scoring == ScoringEngine::kReference
+                   ? plan_reference(ctx, view)
+                   : plan_incremental(ctx, view);
+    };
+    if (!cfg_.reduction.enabled()) {
+        return run(CandidateView{&ctx.candidates(), &ctx.candidate_soa(), {}});
+    }
+    util::Timer timer;
+    const ReducedCandidates& reduced = ctx.reduced_candidates(cfg_.reduction);
+    PlanResult out = run(reduced.view());
+    int iterations = out.stats.iterations;
+    if (cfg_.reduction.refine_band_m > 0.0 && !out.plan.stops.empty()) {
+        // Refine-and-replan: reinstate the originals near the incumbent tour
+        // and keep the better of the two plans (by collected volume).
+        std::vector<geom::Vec2> stops;
+        stops.reserve(out.plan.stops.size());
+        for (const auto& s : out.plan.stops) stops.push_back(s.pos);
+        const ReducedCandidates refined = refine_near_tour(
+            ctx.candidates(), reduced, stops, ctx.instance().depot,
+            cfg_.reduction.refine_band_m, ctx.instance().devices.size());
+        if (refined.set.candidates.size() > reduced.set.candidates.size()) {
+            PlanResult replanned = run(refined.view());
+            iterations += replanned.stats.iterations;
+            if (replanned.stats.planned_mb > out.stats.planned_mb) {
+                out = std::move(replanned);
+            }
+        }
+    }
+    if (out.plan.stops.empty()) {
+        // Reduction must never turn a collectable mission into an empty
+        // plan (a cramped budget can leave only pruned candidates in
+        // reach, and the refine band has no incumbent tour to grow from).
+        // Fall back to the full set — the pathological case pays the full
+        // planning cost, every other case keeps the reduction win.
+        PlanResult full = run(CandidateView{&ctx.candidates(),
+                                            &ctx.candidate_soa(), {}});
+        iterations += full.stats.iterations;
+        if (full.stats.planned_mb > out.stats.planned_mb) {
+            out = std::move(full);
+        }
+    }
+    out.stats.iterations = iterations;
+    out.stats.runtime_s = timer.seconds();
+    return out;
 }
 
-PlanResult GreedyCoveragePlanner::plan_reference(const PlanningContext& ctx) {
+PlanResult GreedyCoveragePlanner::plan_reference(const PlanningContext& ctx,
+                                                 const CandidateView& view) {
     util::Timer timer;
     PlanResult out;
     const model::Instance& inst = ctx.instance();
 
-    const auto& cands = ctx.candidates().candidates;
+    const auto& cands = view.set->candidates;
     out.stats.candidates = static_cast<int>(cands.size());
     if (cands.empty()) {
         out.stats.runtime_s = timer.seconds();
@@ -215,12 +259,12 @@ PlanResult GreedyCoveragePlanner::plan_reference(const PlanningContext& ctx) {
 }
 
 PlanResult GreedyCoveragePlanner::plan_incremental(
-    const PlanningContext& ctx) {
+    const PlanningContext& ctx, const CandidateView& view) {
     util::Timer timer;
     PlanResult out;
     const model::Instance& inst = ctx.instance();
 
-    const auto& cands = ctx.candidates().candidates;
+    const auto& cands = view.set->candidates;
     out.stats.candidates = static_cast<int>(cands.size());
     if (cands.empty()) {
         out.stats.runtime_s = timer.seconds();
@@ -249,13 +293,13 @@ PlanResult GreedyCoveragePlanner::plan_incremental(
     double hover_seconds = 0.0;
     double collected_mb = 0.0;
 
-    // SoA planes shared across plans through the context.
+    // SoA planes shared across plans through the context (or the reduced
+    // mirrors owned by the memoized ReducedCandidates).
     const DeviceSoa& dsoa = ctx.device_soa();
-    const CandidateSoa& csoa = ctx.candidate_soa();
+    const CandidateSoa& csoa = *view.soa;
     InsertionCache cache(tour, std::span(csoa.pos.xs.data(), n),
                          std::span(csoa.pos.ys.data(), n), mr);
-    const InvertedCoverageIndex inverted(ctx.candidates(),
-                                         inst.devices.size());
+    const InvertedCoverageIndex inverted(*view.set, inst.devices.size());
     LazyGreedyQueue queue(n);
 
     // Residual gains, refreshed only for candidates whose coverage
@@ -301,8 +345,10 @@ PlanResult GreedyCoveragePlanner::plan_incremental(
     };
 
     // TSP(S_j) - TSP(S_{j-1}) for the exact_ratio_tsp path, served from the
-    // PlanningContext distance matrix (node 0 = depot, node j+1 =
-    // candidate j) instead of rebuilding Euclidean rows per candidate.
+    // PlanningContext distance matrix (node 0 = depot, node j+1 = *original*
+    // candidate j) instead of rebuilding Euclidean rows per candidate. The
+    // context matrix covers the full set, so view-local indices are mapped
+    // back through view.original().
     std::pmr::vector<std::size_t> nodes(mr);
     auto tsp_delta = [&](std::size_t i) {
         const std::size_t m = tour.size() + 2;
@@ -310,9 +356,9 @@ PlanResult GreedyCoveragePlanner::plan_incremental(
         nodes.reserve(m);
         nodes.push_back(0);
         for (const int key : tour.keys()) {
-            nodes.push_back(static_cast<std::size_t>(key) + 1);
+            nodes.push_back(view.original(static_cast<std::size_t>(key)) + 1);
         }
-        nodes.push_back(i + 1);
+        nodes.push_back(view.original(i) + 1);
         graph::DenseGraph g(m);
         ctx.fill_submatrix({nodes.data(), nodes.size()}, g);
         const auto order = graph::christofides_tour(g, 0);

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "uavdc/core/candidate_reduction.hpp"
 #include "uavdc/core/hover_candidates.hpp"
 #include "uavdc/core/incremental_scorer.hpp"
 #include "uavdc/core/planner.hpp"
@@ -45,6 +46,11 @@ struct Algorithm2Config {
     /// produce bit-identical plans; the reference engine is the equivalence
     /// oracle.
     ScoringEngine scoring = ScoringEngine::kIncremental;
+    /// Candidate-space reduction applied before planning (disabled by
+    /// default). When `reduction.refine_band_m > 0` the planner re-plans
+    /// once over the reduced set plus the originals within the band of the
+    /// incumbent tour and keeps the better plan.
+    CandidateReductionConfig reduction;
 };
 
 /// The paper's Algorithm 2 (Sec. V): heuristic for the data collection
@@ -68,8 +74,10 @@ class GreedyCoveragePlanner final : public Planner {
     [[nodiscard]] std::string name() const override { return "alg2-greedy"; }
 
   private:
-    [[nodiscard]] PlanResult plan_reference(const PlanningContext& ctx);
-    [[nodiscard]] PlanResult plan_incremental(const PlanningContext& ctx);
+    [[nodiscard]] PlanResult plan_reference(const PlanningContext& ctx,
+                                            const CandidateView& view);
+    [[nodiscard]] PlanResult plan_incremental(const PlanningContext& ctx,
+                                              const CandidateView& view);
 
     Algorithm2Config cfg_;
 };

@@ -33,17 +33,58 @@ struct Score {
 PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
     UAVDC_REQUIRE(cfg_.k >= 1)
         << "PartialCollectionPlanner: k must be >= 1, got " << cfg_.k;
-    return cfg_.scoring == ScoringEngine::kReference ? plan_reference(ctx)
-                                                     : plan_incremental(ctx);
+    auto run = [&](const CandidateView& view) {
+        return cfg_.scoring == ScoringEngine::kReference
+                   ? plan_reference(ctx, view)
+                   : plan_incremental(ctx, view);
+    };
+    if (!cfg_.reduction.enabled()) {
+        return run(CandidateView{&ctx.candidates(), &ctx.candidate_soa(), {}});
+    }
+    util::Timer timer;
+    const ReducedCandidates& reduced = ctx.reduced_candidates(cfg_.reduction);
+    PlanResult out = run(reduced.view());
+    int iterations = out.stats.iterations;
+    if (cfg_.reduction.refine_band_m > 0.0 && !out.plan.stops.empty()) {
+        // Refine-and-replan: reinstate the originals near the incumbent tour
+        // and keep the better of the two plans (by collected volume).
+        std::vector<geom::Vec2> stops;
+        stops.reserve(out.plan.stops.size());
+        for (const auto& s : out.plan.stops) stops.push_back(s.pos);
+        const ReducedCandidates refined = refine_near_tour(
+            ctx.candidates(), reduced, stops, ctx.instance().depot,
+            cfg_.reduction.refine_band_m, ctx.instance().devices.size());
+        if (refined.set.candidates.size() > reduced.set.candidates.size()) {
+            PlanResult replanned = run(refined.view());
+            iterations += replanned.stats.iterations;
+            if (replanned.stats.planned_mb > out.stats.planned_mb) {
+                out = std::move(replanned);
+            }
+        }
+    }
+    if (out.plan.stops.empty()) {
+        // Same fallback as GreedyCoveragePlanner::plan: an empty reduced
+        // plan means the pruning removed every reachable candidate, so
+        // re-plan on the full set rather than report zero collection.
+        PlanResult full = run(CandidateView{&ctx.candidates(),
+                                            &ctx.candidate_soa(), {}});
+        iterations += full.stats.iterations;
+        if (full.stats.planned_mb > out.stats.planned_mb) {
+            out = std::move(full);
+        }
+    }
+    out.stats.iterations = iterations;
+    out.stats.runtime_s = timer.seconds();
+    return out;
 }
 
 PlanResult PartialCollectionPlanner::plan_reference(
-    const PlanningContext& ctx) {
+    const PlanningContext& ctx, const CandidateView& view) {
     util::Timer timer;
     PlanResult out;
     const model::Instance& inst = ctx.instance();
 
-    const auto& cands = ctx.candidates().candidates;
+    const auto& cands = view.set->candidates;
     out.stats.candidates = static_cast<int>(cands.size());
     if (cands.empty()) {
         out.stats.runtime_s = timer.seconds();
@@ -181,12 +222,12 @@ PlanResult PartialCollectionPlanner::plan_reference(
 }
 
 PlanResult PartialCollectionPlanner::plan_incremental(
-    const PlanningContext& ctx) {
+    const PlanningContext& ctx, const CandidateView& view) {
     util::Timer timer;
     PlanResult out;
     const model::Instance& inst = ctx.instance();
 
-    const auto& cands = ctx.candidates().candidates;
+    const auto& cands = view.set->candidates;
     out.stats.candidates = static_cast<int>(cands.size());
     if (cands.empty()) {
         out.stats.runtime_s = timer.seconds();
@@ -224,12 +265,11 @@ PlanResult PartialCollectionPlanner::plan_incremental(
     // with kernels whose accumulation order matches the reference engine
     // exactly (ordered) or reassociates into 8 fixed lanes (fast, opt-in
     // epsilon tier).
-    const CandidateSoa& csoa = ctx.candidate_soa();
+    const CandidateSoa& csoa = *view.soa;
     const bool fast = cfg_.scoring == ScoringEngine::kIncrementalFast;
     InsertionCache cache(tour, std::span(csoa.pos.xs.data(), n),
                          std::span(csoa.pos.ys.data(), n), mr);
-    const InvertedCoverageIndex inverted(ctx.candidates(),
-                                         inst.devices.size());
+    const InvertedCoverageIndex inverted(*view.set, inst.devices.size());
     LazyGreedyQueue queue(n);
     std::pmr::vector<Score> scores(n, Score{}, mr);  // read back on selection
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "uavdc/core/candidate_reduction.hpp"
 #include "uavdc/core/hover_candidates.hpp"
 #include "uavdc/core/incremental_scorer.hpp"
 #include "uavdc/core/planner.hpp"
@@ -23,6 +24,9 @@ struct Algorithm3Config {
     /// Scoring engine (see Algorithm2Config::scoring); both engines produce
     /// bit-identical plans.
     ScoringEngine scoring = ScoringEngine::kIncremental;
+    /// Candidate-space reduction applied before planning (disabled by
+    /// default); see Algorithm2Config::reduction.
+    CandidateReductionConfig reduction;
 };
 
 /// The paper's Algorithm 3 (Sec. VI): heuristic for the *partial* data
@@ -52,8 +56,10 @@ class PartialCollectionPlanner final : public Planner {
     }
 
   private:
-    [[nodiscard]] PlanResult plan_reference(const PlanningContext& ctx);
-    [[nodiscard]] PlanResult plan_incremental(const PlanningContext& ctx);
+    [[nodiscard]] PlanResult plan_reference(const PlanningContext& ctx,
+                                            const CandidateView& view);
+    [[nodiscard]] PlanResult plan_incremental(const PlanningContext& ctx,
+                                              const CandidateView& view);
 
     Algorithm3Config cfg_;
 };

@@ -8,6 +8,7 @@
 #include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/registry.hpp"
 #include "uavdc/sim/battery.hpp"
+#include "uavdc/util/check.hpp"
 #include "uavdc/util/rng.hpp"
 #include "uavdc/util/thread_pool.hpp"
 #include "uavdc/workload/generator.hpp"
@@ -24,6 +25,8 @@ std::string to_string(ConformanceMismatch::Check check) {
             return "validator-missed-abort";
         case ConformanceMismatch::Check::kFastScoringDrift:
             return "fast-scoring-drift";
+        case ConformanceMismatch::Check::kReductionQualityDrift:
+            return "reduction-quality-drift";
     }
     return "unknown";
 }
@@ -221,6 +224,40 @@ InstanceFuzzResult fuzz_one_instance(const workload::GeneratorConfig& g,
             ++out.plans_checked;
             if (!drift.empty()) record(false, "+fast", drift);
         }
+
+        // Pruned-vs-unpruned tier: the reduced candidate set must keep the
+        // collected volume within reduction_rel_tol of the full set's (one
+        // sided — collecting more is fine). alg2/alg3 only: the other
+        // planners ignore the reduction config.
+        const bool reducible = name == "alg2" || name == "alg3";
+        if (cfg.check_reduction && reducible) {
+            PlannerOptions red_opts = opts;
+            red_opts.reduction = cfg.reduction;
+            if (!red_opts.reduction.enabled()) {
+                red_opts.reduction.dominance = true;
+                red_opts.reduction.coarsen_factor = 2;
+                red_opts.reduction.refine_band_m = 4.0 * opts.delta_m;
+            }
+            const auto red = make_planner(name, red_opts)->plan(*ctx);
+            consider(inst, false, red.plan, "+reduced");
+
+            const auto base_ev = evaluate_plan(inst, res.plan, cfg.tol);
+            const auto red_ev = evaluate_plan(inst, red.plan, cfg.tol);
+            ++out.plans_checked;
+            const double floor =
+                base_ev.collected_mb -
+                cfg.reduction_rel_tol * std::max(1.0, base_ev.collected_mb);
+            if (red_ev.collected_mb < floor) {
+                std::vector<ConformanceMismatch> drift;
+                drift.push_back(
+                    {ConformanceMismatch::Check::kReductionQualityDrift,
+                     "collected_mb", base_ev.collected_mb,
+                     red_ev.collected_mb,
+                     "reduced candidate set lost more than the allowed "
+                     "fraction of the unpruned collected volume"});
+                record(false, "+reduced", drift);
+            }
+        }
     }
     return out;
 }
@@ -228,6 +265,19 @@ InstanceFuzzResult fuzz_one_instance(const workload::GeneratorConfig& g,
 }  // namespace
 
 ConformanceFuzzSummary fuzz_conformance(const ConformanceFuzzConfig& cfg) {
+    // Tolerances are relative fractions: non-positive would flag every
+    // case, NaN would flag none (every comparison false), and > 1 would
+    // accept any outcome — all three are configuration mistakes, rejected
+    // up front instead of producing a silently meaningless run.
+    const auto valid_tol = [](double t) {
+        return std::isfinite(t) && t > 0.0 && t <= 1.0;
+    };
+    UAVDC_REQUIRE(valid_tol(cfg.fast_rel_tol))
+        << "fuzz_conformance: fast_rel_tol must be a finite fraction in "
+        << "(0, 1], got " << cfg.fast_rel_tol;
+    UAVDC_REQUIRE(valid_tol(cfg.reduction_rel_tol))
+        << "fuzz_conformance: reduction_rel_tol must be a finite fraction "
+        << "in (0, 1], got " << cfg.reduction_rel_tol;
     ConformanceFuzzSummary summary;
     if (cfg.instances <= 0) return summary;
     std::vector<std::string> planners =

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "uavdc/core/candidate_reduction.hpp"
 #include "uavdc/core/evaluate.hpp"
 #include "uavdc/core/validate_plan.hpp"
 #include "uavdc/model/instance.hpp"
@@ -25,6 +26,8 @@ struct ConformanceMismatch {
         kValidatorMissedAbort,  ///< simulator aborted, validate_plan silent
         kFastScoringDrift,      ///< epsilon tier: kIncrementalFast outcome
                                 ///< drifted beyond the documented tolerance
+        kReductionQualityDrift, ///< pruned candidate set collected less
+                                ///< than (1 - tol) of the unpruned volume
     };
     Check check;
     std::string field;   ///< which quantity diverged ("collected_mb", ...)
@@ -88,6 +91,19 @@ struct ConformanceFuzzConfig {
     /// `Check::kFastScoringDrift` mismatches.
     bool check_fast_scoring = false;
     double fast_rel_tol = 1e-9;
+    /// Pruned-vs-unpruned quality tier (opt-in). For alg2/alg3 additionally
+    /// plan with candidate-space reduction enabled, run the reduced plan
+    /// through the same cross-layer checks, and require its collected
+    /// volume to stay within `reduction_rel_tol` (relative, one-sided — a
+    /// reduced plan may legitimately collect *more* after the refine
+    /// re-plan) of the unpruned plan's. Violations surface as
+    /// `Check::kReductionQualityDrift`.
+    bool check_reduction = false;
+    double reduction_rel_tol = 0.01;
+    /// Reduction profile for the tier above. When left disabled a default
+    /// profile is used: dominance filtering + 2x grid coarsening + a refine
+    /// band of 4 grid steps around the incumbent tour.
+    CandidateReductionConfig reduction{};
     /// Optional caller-provided worker pool. When set, instances are fuzzed
     /// concurrently (one task per instance) and the per-instance results are
     /// merged in instance order, so the summary — counters and the identity

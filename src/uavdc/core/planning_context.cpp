@@ -111,9 +111,27 @@ const HoverCandidateSet& PlanningContext::candidates() const {
 bool PlanningContext::candidates_built() const { return cands_built_; }
 
 const CandidateSoa& PlanningContext::candidate_soa() const {
-    std::call_once(soa_once_,
-                   [this] { cand_soa_ = build_candidate_soa(candidates()); });
+    std::call_once(soa_once_, [this] {
+        cand_soa_ = build_candidate_soa(candidates(), inst_.devices.size());
+    });
     return cand_soa_;
+}
+
+const ReducedCandidates& PlanningContext::reduced_candidates(
+    const CandidateReductionConfig& cfg) const {
+    const std::uint64_t fp = cfg.fingerprint();
+    // Ensure the candidate build (its own call_once) happens outside the
+    // reduction lock, so a concurrent candidates() caller never waits on a
+    // reduction in progress.
+    const HoverCandidateSet& full = candidates();
+    std::lock_guard<std::mutex> lock(reduction_mutex_);
+    for (const auto& [key, red] : reductions_) {
+        if (key == fp) return *red;
+    }
+    reductions_.emplace_back(
+        fp, std::make_unique<ReducedCandidates>(
+                reduce_candidates(full, inst_.devices.size(), cfg)));
+    return *reductions_.back().second;
 }
 
 ArenaLease PlanningContext::acquire_arena() const {

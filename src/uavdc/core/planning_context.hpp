@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "uavdc/core/candidate_reduction.hpp"
 #include "uavdc/core/energy_view.hpp"
 #include "uavdc/core/hover_candidates.hpp"
 #include "uavdc/core/scratch_arena.hpp"
@@ -108,6 +109,14 @@ class PlanningContext {
     /// lists; built once on first call (thread-safe), after candidates().
     [[nodiscard]] const CandidateSoa& candidate_soa() const;
 
+    /// Reduced candidate set for `cfg`, memoized per config fingerprint
+    /// next to the SoA mirrors (thread-safe; stable address for the
+    /// context's lifetime). Planners sharing a context therefore pay each
+    /// reduction once per distinct config, exactly like the candidate
+    /// build itself.
+    [[nodiscard]] const ReducedCandidates& reduced_candidates(
+        const CandidateReductionConfig& cfg) const;
+
     /// Borrow a per-plan scratch arena from the context's pool (thread-safe;
     /// concurrent planners each get their own arena). The lease returns the
     /// arena, reset but with capacity kept, so back-to-back plans on the
@@ -175,6 +184,13 @@ class PlanningContext {
 
     mutable std::once_flag soa_once_;
     mutable CandidateSoa cand_soa_;
+
+    // Reduced-set memo: (reduction-config fingerprint -> reduction), built
+    // under the mutex, unique_ptr for address stability across growth.
+    mutable std::mutex reduction_mutex_;
+    mutable std::vector<
+        std::pair<std::uint64_t, std::unique_ptr<ReducedCandidates>>>
+        reductions_;
 
     friend class ArenaLease;
     mutable std::mutex arena_mutex_;

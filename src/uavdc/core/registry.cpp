@@ -26,6 +26,7 @@ std::unique_ptr<Planner> make_planner(const std::string& name,
         Algorithm2Config cfg;
         cfg.candidates = opts.hover_config();
         cfg.scoring = opts.scoring;
+        cfg.reduction = opts.reduction;
         return std::make_unique<GreedyCoveragePlanner>(cfg);
     }
     if (name == "alg3") {
@@ -33,6 +34,7 @@ std::unique_ptr<Planner> make_planner(const std::string& name,
         cfg.candidates = opts.hover_config();
         cfg.k = opts.k;
         cfg.scoring = opts.scoring;
+        cfg.reduction = opts.reduction;
         return std::make_unique<PartialCollectionPlanner>(cfg);
     }
     if (name == "benchmark") {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "uavdc/core/candidate_reduction.hpp"
 #include "uavdc/core/hover_candidates.hpp"
 #include "uavdc/core/incremental_scorer.hpp"
 #include "uavdc/core/planner.hpp"
@@ -29,6 +30,9 @@ struct PlannerOptions {
     ScoringEngine scoring = ScoringEngine::kIncremental;
     orienteering::SolverKind solver =
         orienteering::SolverKind::kGrasp;  ///< Algorithm 1 backend
+    /// Candidate-space reduction for alg2/alg3 (disabled by default; the
+    /// other planners ignore it).
+    CandidateReductionConfig reduction{};
 
     /// The candidate config these options denote; also the config to build
     /// a shared `PlanningContext` with so registry planners hit the same

@@ -1,6 +1,17 @@
 #include "uavdc/core/soa_layout.hpp"
 
+#include <limits>
+
+#include "uavdc/util/check.hpp"
+
 namespace uavdc::core {
+
+namespace {
+
+constexpr std::size_t kMaxInt32 =
+    static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max());
+
+}  // namespace
 
 PointsSoa PointsSoa::from(std::span<const geom::Vec2> pts) {
     PointsSoa out;
@@ -39,6 +50,12 @@ CandidateSoa build_candidate_soa(const HoverCandidateSet& set) {
     CandidateSoa out;
     const auto& cands = set.candidates;
     const std::size_t n = cands.size();
+    // Candidate indices are stored as int32 throughout the hot layers
+    // (inverted index, reduction back-maps); refuse to build a layout those
+    // layers cannot index.
+    UAVDC_CHECK(n <= kMaxInt32)
+        << "build_candidate_soa: " << n
+        << " candidates exceed the int32 index space";
     const std::size_t padded = soa_padded(n);
     out.pos.count = n;
     out.pos.xs.assign(padded, 0.0);
@@ -61,6 +78,25 @@ CandidateSoa build_candidate_soa(const HoverCandidateSet& set) {
         out.cov_starts[j + 1] = out.cov.size();
     }
     return out;
+}
+
+CandidateSoa build_candidate_soa(const HoverCandidateSet& set,
+                                 std::size_t num_devices) {
+    // The CSR pool narrows device ids to std::int32_t; an instance with
+    // more devices than int32 can address would wrap silently, so fail at
+    // build time — before any id is narrowed.
+    UAVDC_CHECK(num_devices <= kMaxInt32)
+        << "build_candidate_soa: " << num_devices
+        << " devices exceed the int32 CSR id space";
+    for (std::size_t j = 0; j < set.candidates.size(); ++j) {
+        for (const int v : set.candidates[j].covered) {
+            UAVDC_CHECK(v >= 0 && static_cast<std::size_t>(v) < num_devices)
+                << "build_candidate_soa: candidate " << j
+                << " covers device id " << v << " outside [0, "
+                << num_devices << ")";
+        }
+    }
+    return build_candidate_soa(set);
 }
 
 }  // namespace uavdc::core

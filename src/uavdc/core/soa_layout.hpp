@@ -77,6 +77,17 @@ struct CandidateSoa {
 [[nodiscard]] DeviceSoa build_device_soa(const model::Instance& inst);
 
 /// SoA view of a hover-candidate set (O(candidates + coverage) build).
+/// Covered-device ids are narrowed into the std::int32_t CSR pool; this
+/// overload cannot range-check them (the device count is unknown here) but
+/// still guards the candidate count, whose indices other layers
+/// (InvertedCoverageIndex, reduction back-maps) also store as int32.
 [[nodiscard]] CandidateSoa build_candidate_soa(const HoverCandidateSet& set);
+
+/// Checked build: additionally UAVDC_CHECKs that `num_devices` fits the
+/// int32 id space and that every covered-device id lies in
+/// [0, num_devices), so a scale-large instance cannot silently wrap in the
+/// CSR pool. Prefer this overload whenever the instance is at hand.
+[[nodiscard]] CandidateSoa build_candidate_soa(const HoverCandidateSet& set,
+                                               std::size_t num_devices);
 
 }  // namespace uavdc::core

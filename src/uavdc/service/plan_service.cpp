@@ -46,7 +46,20 @@ std::uint64_t options_fingerprint(const std::string& planner,
     fnv_int(h, opts.grasp_iterations);
     fnv_int(h, static_cast<std::int64_t>(opts.scoring));
     fnv_int(h, static_cast<std::int64_t>(opts.solver));
+    fnv_int(h, opts.reduction.dominance ? 1 : 0);
+    fnv_double(h, opts.reduction.dominance_radius_m);
+    fnv_double(h, opts.reduction.dominance_dwell_slack);
+    fnv_int(h, opts.reduction.coarsen_factor);
+    fnv_double(h, opts.reduction.refine_band_m);
+    fnv_int(h, opts.reduction.consolidate_to);
     return h;
+}
+
+/// Fixed-width lowercase-hex bit pattern of a double (canonical, exact).
+std::string hex_bits(double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return fingerprint_to_hex(bits);
 }
 
 double ms_between(std::chrono::steady_clock::time_point a,
@@ -104,6 +117,105 @@ bool same_planning_content(const model::Instance& a,
 }
 
 }  // namespace
+
+std::string canonical_options(const std::string& planner,
+                              const core::PlannerOptions& opts) {
+    std::string s = planner;
+    s += ";d=" + hex_bits(opts.delta_m);
+    s += ";mc=" + std::to_string(opts.max_candidates);
+    s += ";k=" + std::to_string(opts.k);
+    s += ";gi=" + std::to_string(opts.grasp_iterations);
+    s += ";sc=" + std::to_string(static_cast<int>(opts.scoring));
+    s += ";so=" + std::to_string(static_cast<int>(opts.solver));
+    const core::CandidateReductionConfig& r = opts.reduction;
+    s += ";rd=" + std::to_string(r.dominance ? 1 : 0);
+    s += ";rr=" + hex_bits(r.dominance_radius_m);
+    s += ";rs=" + hex_bits(r.dominance_dwell_slack);
+    s += ";rc=" + std::to_string(r.coarsen_factor);
+    s += ";rb=" + hex_bits(r.refine_band_m);
+    s += ";rk=" + std::to_string(r.consolidate_to);
+    return s;
+}
+
+std::uint64_t instance_check_hash(const model::Instance& inst) {
+    // Different seed than PlanningContext::instance_fingerprint (golden
+    // ratio XOR), same content walk: a pair of instances would have to
+    // collide under both unrelated seeds at once to fool the cache.
+    std::uint64_t h = kFnvOffset ^ 0x9e3779b97f4a7c15ULL;
+    fnv_double(h, inst.region.lo.x);
+    fnv_double(h, inst.region.lo.y);
+    fnv_double(h, inst.region.hi.x);
+    fnv_double(h, inst.region.hi.y);
+    fnv_double(h, inst.depot.x);
+    fnv_double(h, inst.depot.y);
+    fnv_int(h, static_cast<std::int64_t>(inst.devices.size()));
+    for (const auto& d : inst.devices) {
+        fnv_int(h, d.id);
+        fnv_double(h, d.pos.x);
+        fnv_double(h, d.pos.y);
+        fnv_double(h, d.data_mb);
+    }
+    fnv_double(h, inst.uav.energy_j);
+    fnv_double(h, inst.uav.speed_mps);
+    fnv_double(h, inst.uav.hover_power_w);
+    fnv_double(h, inst.uav.travel_rate);
+    fnv_int(h, static_cast<std::int64_t>(inst.uav.travel_energy_model));
+    fnv_double(h, inst.uav.coverage_radius_m);
+    fnv_double(h, inst.uav.bandwidth_mbps);
+    return h;
+}
+
+ResponseCache::Hit ResponseCache::get(std::uint64_t key_hi,
+                                      std::uint64_t key_lo,
+                                      const std::string& options_canon,
+                                      std::uint64_t instance_check) {
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        Entry& e = entries_[i];
+        if (e.key_hi != key_hi || e.key_lo != key_lo) continue;
+        if (e.options_canon != options_canon ||
+            e.instance_check != instance_check) {
+            // Fingerprint collision: the stored payload belongs to a
+            // different (instance, options) pair. Serving it would replay
+            // another request's plan as `ok`; miss instead.
+            ++misses_;
+            return {};
+        }
+        if (i != 0) {
+            const auto mid = entries_.begin() + static_cast<std::ptrdiff_t>(i);
+            std::rotate(entries_.begin(), mid, mid + 1);
+        }
+        ++hits_;
+        return {true, entries_.front().result};
+    }
+    ++misses_;
+    return {};
+}
+
+void ResponseCache::put(std::uint64_t key_hi, std::uint64_t key_lo,
+                        std::string options_canon,
+                        std::uint64_t instance_check, io::Json result) {
+    std::lock_guard lock(mu_);
+    entries_.insert(entries_.begin(),
+                    Entry{key_hi, key_lo, std::move(options_canon),
+                          instance_check, std::move(result)});
+    if (entries_.size() > capacity_) entries_.pop_back();
+}
+
+std::uint64_t ResponseCache::hits() const {
+    std::lock_guard lock(mu_);
+    return hits_;
+}
+
+std::uint64_t ResponseCache::misses() const {
+    std::lock_guard lock(mu_);
+    return misses_;
+}
+
+std::size_t ResponseCache::size() const {
+    std::lock_guard lock(mu_);
+    return entries_.size();
+}
 
 io::Json to_json(const ServiceStats& stats) {
     io::Json doc;
@@ -425,23 +537,13 @@ PlanResponse PlanService::execute(const PlanRequest& req) {
     const std::uint64_t inst_fp =
         core::PlanningContext::instance_fingerprint(*inst);
     const std::uint64_t opts_fp = options_fingerprint(req.planner, opts);
+    const std::string canon = canonical_options(req.planner, opts);
+    const std::uint64_t check = instance_check_hash(*inst);
 
-    {
-        std::lock_guard lock(cache_mu_);
-        for (std::size_t i = 0; i < cache_.size(); ++i) {
-            if (cache_[i].key_hi == inst_fp && cache_[i].key_lo == opts_fp) {
-                if (i != 0) {
-                    const auto mid =
-                        cache_.begin() + static_cast<std::ptrdiff_t>(i);
-                    std::rotate(cache_.begin(), mid, mid + 1);
-                }
-                ++cache_hits_;
-                resp.cache_hit = true;
-                resp.result = cache_.front().result;
-                return resp;
-            }
-        }
-        ++cache_misses_;
+    if (auto hit = cache_.get(inst_fp, opts_fp, canon, check); hit.found) {
+        resp.cache_hit = true;
+        resp.result = std::move(hit.result);
+        return resp;
     }
 
     try {
@@ -455,14 +557,7 @@ PlanResponse PlanService::execute(const PlanRequest& req) {
         result["plan"] = io::to_json(res.plan);
         result["stats"] = stats_to_json(res.stats);
         resp.result = result;
-        {
-            std::lock_guard lock(cache_mu_);
-            cache_.insert(cache_.begin(),
-                          CacheEntry{inst_fp, opts_fp, std::move(result)});
-            if (cache_.size() > cfg_.response_cache_capacity) {
-                cache_.pop_back();
-            }
-        }
+        cache_.put(inst_fp, opts_fp, canon, check, std::move(result));
     } catch (const std::exception& ex) {
         resp.status = ResponseStatus::kInternalError;
         resp.error = std::string("planner '") + req.planner +
@@ -507,11 +602,8 @@ ServiceStats PlanService::stats() const {
             out.latency[planner] = lat;
         }
     }
-    {
-        std::lock_guard lock(cache_mu_);
-        out.cache_hits = cache_hits_;
-        out.cache_misses = cache_misses_;
-    }
+    out.cache_hits = cache_.hits();
+    out.cache_misses = cache_.misses();
     {
         std::lock_guard lock(mu_);
         out.queue_depth = queue_.size();

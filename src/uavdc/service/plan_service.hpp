@@ -60,6 +60,69 @@ struct ServiceStats {
 
 [[nodiscard]] io::Json to_json(const ServiceStats& stats);
 
+/// Deterministic canonical encoding of (planner name, resolved options):
+/// every option that can change a plan, doubles as fixed-width bit-pattern
+/// hex. Two requests have equal encodings iff they would plan identically,
+/// so the response cache stores it alongside the hashed key and verifies it
+/// on every hit — a 128-bit fingerprint collision then reads as a miss
+/// instead of replaying the other request's payload.
+[[nodiscard]] std::string canonical_options(const std::string& planner,
+                                            const core::PlannerOptions& opts);
+
+/// Second, independently-seeded content hash over exactly the instance
+/// fields `PlanningContext::instance_fingerprint` hashes. An instance pair
+/// colliding under both hashes simultaneously would need a 128-bit
+/// coincidence across two unrelated seeds; the cache cross-checks this
+/// value on every hit.
+[[nodiscard]] std::uint64_t instance_check_hash(const model::Instance& inst);
+
+/// Bounded, thread-safe, MRU-ordered response cache keyed on the
+/// (instance fingerprint, planner+options fingerprint) pair. The 128-bit
+/// key alone cannot prove identity, so each entry also carries the
+/// canonical options encoding and the independent instance check hash;
+/// `get` answers a hit only when all four match, and counts anything less
+/// as a miss (the subsequent `put` then stores the new payload under the
+/// same key, ahead of the colliding entry in MRU order).
+class ResponseCache {
+  public:
+    explicit ResponseCache(std::size_t capacity) : capacity_(capacity) {}
+
+    struct Hit {
+        bool found{false};
+        io::Json result;
+    };
+
+    /// Lookup; moves a verified hit to the MRU front and counts it. A key
+    /// match whose canon/check differs counts as a miss.
+    [[nodiscard]] Hit get(std::uint64_t key_hi, std::uint64_t key_lo,
+                          const std::string& options_canon,
+                          std::uint64_t instance_check);
+
+    /// Insert at the MRU front, evicting from the back past capacity.
+    void put(std::uint64_t key_hi, std::uint64_t key_lo,
+             std::string options_canon, std::uint64_t instance_check,
+             io::Json result);
+
+    [[nodiscard]] std::uint64_t hits() const;
+    [[nodiscard]] std::uint64_t misses() const;
+    [[nodiscard]] std::size_t size() const;
+
+  private:
+    struct Entry {
+        std::uint64_t key_hi;
+        std::uint64_t key_lo;
+        std::string options_canon;    ///< verified on every key match
+        std::uint64_t instance_check; ///< verified on every key match
+        io::Json result;
+    };
+
+    std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::vector<Entry> entries_;  ///< MRU first, linear scan
+    std::uint64_t hits_{0};
+    std::uint64_t misses_{0};
+};
+
 /// Embeddable, multi-threaded planning service.
 ///
 /// Lifecycle of a request:
@@ -178,21 +241,10 @@ class PlanService {
         instances_;
     std::vector<std::uint64_t> instance_order_;
 
-    // Response cache: (instance fp, planner+options fp) -> result payload.
-    // The key is a pair of 64-bit FNV fingerprints with no stored content
-    // to verify against, so a full 128-bit collision would replay another
-    // request's payload as `ok`. The instance half is cross-checked against
-    // the registry on every inline submission (see resolve_instance); the
-    // options half hashes a handful of scalar fields and is accepted as-is.
-    struct CacheEntry {
-        std::uint64_t key_hi;
-        std::uint64_t key_lo;
-        io::Json result;
-    };
-    mutable std::mutex cache_mu_;
-    std::vector<CacheEntry> cache_;  ///< MRU first, linear scan
-    std::uint64_t cache_hits_{0};
-    std::uint64_t cache_misses_{0};
+    // Response cache: (instance fp, planner+options fp) -> result payload,
+    // with the canonical options encoding and an independent instance check
+    // hash verified on every hit (see ResponseCache).
+    ResponseCache cache_{cfg_.response_cache_capacity};
 
     // Counters + per-planner latency histograms.
     mutable std::mutex stats_mu_;

@@ -43,6 +43,12 @@ core::PlannerOptions PlannerOverrides::resolve(
     if (grasp_iterations) base.grasp_iterations = *grasp_iterations;
     if (scoring) base.scoring = *scoring;
     if (solver) base.solver = *solver;
+    if (reduce) base.reduction.dominance = *reduce;
+    if (reduce_coarsen) base.reduction.coarsen_factor = *reduce_coarsen;
+    if (reduce_band_m) base.reduction.refine_band_m = *reduce_band_m;
+    if (reduce_consolidate) {
+        base.reduction.consolidate_to = *reduce_consolidate;
+    }
     return base;
 }
 
@@ -138,6 +144,19 @@ PlanRequest request_from_json(const io::Json& doc) {
             req.overrides.solver =
                 solver_from_string(opts.at("solver").as_string());
         }
+        if (opts.contains("reduce")) {
+            req.overrides.reduce = opts.at("reduce").as_bool();
+        }
+        if (opts.contains("reduce_coarsen")) {
+            req.overrides.reduce_coarsen = int_field(opts, "reduce_coarsen");
+        }
+        if (opts.contains("reduce_band_m")) {
+            req.overrides.reduce_band_m = opts.at("reduce_band_m").as_number();
+        }
+        if (opts.contains("reduce_consolidate")) {
+            req.overrides.reduce_consolidate =
+                int_field(opts, "reduce_consolidate");
+        }
     }
     req.priority = static_cast<int>(doc.number_or("priority", 0.0));
     req.deadline_ms = doc.number_or("deadline_ms", 0.0);
@@ -161,6 +180,12 @@ io::Json to_json(const PlanRequest& req) {
     if (o.grasp_iterations) opts["grasp_iterations"] = *o.grasp_iterations;
     if (o.scoring) opts["scoring"] = core::to_string(*o.scoring);
     if (o.solver) opts["solver"] = orienteering::to_string(*o.solver);
+    if (o.reduce) opts["reduce"] = *o.reduce;
+    if (o.reduce_coarsen) opts["reduce_coarsen"] = *o.reduce_coarsen;
+    if (o.reduce_band_m) opts["reduce_band_m"] = *o.reduce_band_m;
+    if (o.reduce_consolidate) {
+        opts["reduce_consolidate"] = *o.reduce_consolidate;
+    }
     if (opts.is_object()) doc["options"] = std::move(opts);
     if (req.priority != 0) doc["priority"] = req.priority;
     if (req.deadline_ms > 0.0) doc["deadline_ms"] = req.deadline_ms;

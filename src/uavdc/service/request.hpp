@@ -21,6 +21,11 @@ struct PlannerOverrides {
     std::optional<int> grasp_iterations;
     std::optional<core::ScoringEngine> scoring;
     std::optional<orienteering::SolverKind> solver;
+    /// Candidate-space reduction (alg2/alg3 only; other planners ignore it).
+    std::optional<bool> reduce;            ///< dominance filtering on/off
+    std::optional<int> reduce_coarsen;     ///< grid-coarsening factor (>= 2)
+    std::optional<double> reduce_band_m;   ///< refine-replan band (metres)
+    std::optional<int> reduce_consolidate; ///< k-means target count (> 0)
 
     /// Service defaults + this request's overrides.
     [[nodiscard]] core::PlannerOptions resolve(
@@ -79,7 +84,9 @@ struct PlanResponse {
 ///    "instance": {...} | "instance_ref": "16-hex",
 ///    "options": {"delta_m","max_candidates","k","grasp_iterations",
 ///                "scoring": "incremental"|"incremental-fast"|"reference",
-///                "solver": "exact"|"greedy"|"grasp"|"ils"},
+///                "solver": "exact"|"greedy"|"grasp"|"ils",
+///                "reduce": bool, "reduce_coarsen": int,
+///                "reduce_band_m": num, "reduce_consolidate": int},
 ///    "priority": int, "deadline_ms": num}
 /// Throws std::runtime_error (with field context) on malformed input — the
 /// transport maps that to a `bad_request` response.

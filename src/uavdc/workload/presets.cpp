@@ -59,6 +59,15 @@ GeneratorConfig disaster_response() {
     return cfg;
 }
 
+GeneratorConfig scale_large() {
+    GeneratorConfig cfg = paper_default();
+    cfg.num_devices = 5000;
+    cfg.region_w = 3200.0;
+    cfg.region_h = 3200.0;
+    cfg.uav.energy_j = 3.0e6;
+    return cfg;
+}
+
 GeneratorConfig farm_monitoring() {
     GeneratorConfig cfg = paper_default();
     cfg.deployment = Deployment::kGridJitter;

@@ -26,6 +26,13 @@ namespace uavdc::workload {
 /// near-identical volumes.
 [[nodiscard]] GeneratorConfig farm_monitoring();
 
+/// Scale-stress tier: 5000 devices uniform in 3200 x 3200 m (a ~100k-cell
+/// grid at the 10 m default resolution — 10x the paper's device count and
+/// ~100x its cell count), with the battery scaled up 10x so plans still
+/// visit a meaningful fraction of the field. The candidate-reduction
+/// pipeline is benchmarked against this tier (bench/micro_reduction).
+[[nodiscard]] GeneratorConfig scale_large();
+
 /// Paper-defaults UAV platform (used by all presets).
 [[nodiscard]] model::UavConfig paper_uav();
 

@@ -1,9 +1,10 @@
 // uavdc — command-line front end for the library.
 //
-//   uavdc generate --preset=paper|smart-city|disaster|farm [--devices=N]
-//                  [--side=M] [--energy=J] [--seed=S] --out=instance.json
+//   uavdc generate --preset=paper|smart-city|disaster|farm|scale-large
+//                  [--devices=N] [--side=M] [--energy=J] [--seed=S]
+//                  --out=instance.json
 //   uavdc plan     --instance=instance.json --algo=alg1|alg2|alg3|benchmark
-//                  [--delta=10] [--k=2] [--out=plan.json]
+//                  [--delta=10] [--k=2] [--reduce] [--out=plan.json]
 //   uavdc eval     --instance=instance.json --plan=plan.json [--json]
 //   uavdc sim      --instance=instance.json --plan=plan.json [--trace]
 //   uavdc render   --instance=instance.json [--plan=plan.json]
@@ -43,12 +44,14 @@ using namespace uavdc;
 int usage() {
     std::cerr <<
         "usage: uavdc <command> [flags]\n"
-        "  generate  --preset=paper|smart-city|disaster|farm --out=FILE\n"
+        "  generate  --preset=paper|smart-city|disaster|farm|scale-large\n"
+        "            --out=FILE\n"
         "            [--devices=N] [--side=M] [--energy=J] [--seed=S]\n"
         "  plan      --instance=FILE --algo=alg1|alg2|alg3|benchmark\n"
         "            [--delta=10] [--k=2] [--max-candidates=4000]\n"
         "            [--scoring=incremental|incremental-fast|reference]\n"
-        "            [--out=FILE]\n"
+        "            [--reduce] [--reduce-coarsen=F] [--reduce-band=M]\n"
+        "            [--reduce-consolidate=N] [--out=FILE]\n"
         "  eval      --instance=FILE --plan=FILE [--json]\n"
         "  sim       --instance=FILE --plan=FILE [--trace]\n"
         "  validate  --instance=FILE --plan=FILE\n"
@@ -59,11 +62,14 @@ int usage() {
         "  conformance [--instances=100] [--seed=S] [--algos=a,b,...]\n"
         "            [--tol=1e-6] [--no-stress] [--max-failures=8]\n"
         "            [--fast-scoring] [--fast-tol=1e-9]\n"
+        "            [--reduction] [--reduction-tol=0.01]\n"
         "  sensitivity --instance=FILE [--algo=alg2] [--perturb=0.2]\n"
         "  render    --instance=FILE [--plan=FILE] --out=FILE.svg\n"
         "  serve     [--in=FILE] [--out=FILE] [--workers=4] [--queue=256]\n"
         "            [--cache=512] [--delta=10] [--k=2]\n"
-        "            [--max-candidates=4000] [--stats] [--summary]\n"
+        "            [--max-candidates=4000] [--reduce]\n"
+        "            [--reduce-coarsen=F] [--reduce-band=M]\n"
+        "            [--reduce-consolidate=N] [--stats] [--summary]\n"
         "  serve-gen [--requests=200] [--instances=6] [--seed=1]\n"
         "            [--algos=a,b,...] [--no-control] [--out=FILE]\n";
     return 1;
@@ -74,7 +80,21 @@ workload::GeneratorConfig preset_by_name(const std::string& name) {
     if (name == "smart-city") return workload::smart_city();
     if (name == "disaster") return workload::disaster_response();
     if (name == "farm") return workload::farm_monitoring();
+    if (name == "scale-large") return workload::scale_large();
     throw std::invalid_argument("unknown preset '" + name + "'");
+}
+
+/// Shared --reduce* flag plumbing for plan/serve (alg2/alg3 only; the
+/// other planners ignore the reduction config).
+void apply_reduction_flags(const util::Flags& flags,
+                           core::PlannerOptions& opts) {
+    if (flags.get_bool("reduce", false)) opts.reduction.dominance = true;
+    opts.reduction.coarsen_factor =
+        flags.get_int("reduce-coarsen", opts.reduction.coarsen_factor);
+    opts.reduction.refine_band_m =
+        flags.get_double("reduce-band", opts.reduction.refine_band_m);
+    opts.reduction.consolidate_to =
+        flags.get_int("reduce-consolidate", opts.reduction.consolidate_to);
 }
 
 int cmd_generate(const util::Flags& flags) {
@@ -119,6 +139,7 @@ int cmd_plan(const util::Flags& flags) {
             "unknown scoring '" + scoring +
             "' (expected incremental|incremental-fast|reference)");
     }
+    apply_reduction_flags(flags, opts);
     auto planner =
         core::make_planner(flags.get_string("algo", "alg3"), opts);
     // Shared precompute: repeated plans of the same instance (any algo with
@@ -311,6 +332,9 @@ int cmd_conformance(const util::Flags& flags) {
     cfg.max_failures = flags.get_int("max-failures", cfg.max_failures);
     cfg.check_fast_scoring = flags.get_bool("fast-scoring", false);
     cfg.fast_rel_tol = flags.get_double("fast-tol", cfg.fast_rel_tol);
+    cfg.check_reduction = flags.get_bool("reduction", false);
+    cfg.reduction_rel_tol =
+        flags.get_double("reduction-tol", cfg.reduction_rel_tol);
     cfg.pool = &util::global_pool();  // fuzz instances concurrently
     {
         std::stringstream ss(flags.get_string("algos", ""));
@@ -379,6 +403,7 @@ int cmd_serve(const util::Flags& flags) {
     cfg.service.defaults.k = flags.get_int("k", cfg.service.defaults.k);
     cfg.service.defaults.max_candidates = flags.get_int(
         "max-candidates", cfg.service.defaults.max_candidates);
+    apply_reduction_flags(flags, cfg.service.defaults);
     cfg.final_stats = flags.get_bool("stats", false);
 
     std::ifstream fin;
