@@ -1,10 +1,10 @@
-#include "uavdc/core/conformance.hpp"
+#include "uavdc/conformance/conformance.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <exception>
 
-#include "uavdc/core/energy_view.hpp"
+#include "uavdc/model/energy_view.hpp"
 #include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/registry.hpp"
 #include "uavdc/sim/battery.hpp"
@@ -13,7 +13,7 @@
 #include "uavdc/util/thread_pool.hpp"
 #include "uavdc/workload/generator.hpp"
 
-namespace uavdc::core {
+namespace uavdc::conformance {
 
 std::string to_string(ConformanceMismatch::Check check) {
     switch (check) {
@@ -54,7 +54,7 @@ void require(std::vector<ConformanceMismatch>& out,
 /// power draws — the third, stateful reading of the plan's energy.
 double battery_replay_j(const model::Instance& inst,
                         const model::FlightPlan& plan, double demand_j) {
-    const EnergyView view(inst.uav);
+    const model::EnergyView view(inst.uav);
     // Headroom above the demand so the replay never truncates; keeping the
     // capacity near the demand preserves double resolution in consumed_j.
     sim::Battery battery(2.0 * demand_j + 1.0);
@@ -74,9 +74,9 @@ double battery_replay_j(const model::Instance& inst,
     return battery.consumed_j();
 }
 
-bool has_energy_error(const PlanValidation& val) {
+bool has_energy_error(const core::PlanValidation& val) {
     for (const auto& v : val.errors) {
-        if (v.kind == PlanViolation::Kind::kEnergyExceeded) return true;
+        if (v.kind == core::PlanViolation::Kind::kEnergyExceeded) return true;
     }
     return false;
 }
@@ -87,15 +87,15 @@ ConformanceReport check_conformance(const model::Instance& inst,
                                     const model::FlightPlan& plan,
                                     double tol) {
     ConformanceReport rep;
-    rep.evaluation = evaluate_plan(inst, plan, tol);
+    rep.evaluation = core::evaluate_plan(inst, plan, tol);
     sim::SimConfig cfg;
     cfg.record_trace = false;  // calm wind + constant radio by default
     rep.simulation = sim::Simulator(cfg).run(inst, plan);
-    rep.validation = validate_plan(inst, plan);
+    rep.validation = core::validate_plan(inst, plan);
 
     auto& out = rep.mismatches;
     const auto kEvalSim = ConformanceMismatch::Check::kEvaluatorVsSimulator;
-    const Evaluation& ev = rep.evaluation;
+    const core::Evaluation& ev = rep.evaluation;
     const sim::SimReport& sr = rep.simulation;
 
     // (a) closed-form evaluator vs discrete-event simulator.
@@ -124,7 +124,7 @@ ConformanceReport check_conformance(const model::Instance& inst,
     // (b) the three energy readings of the same tour.
     const auto kEnergy = ConformanceMismatch::Check::kEnergyModels;
     const double plan_j = plan.energy(inst.depot, inst.uav).total_j();
-    const EnergyView view(inst.uav);
+    const model::EnergyView view(inst.uav);
     const double view_j = view.tour_cost(plan.travel_length(inst.depot),
                                          plan.hover_time());
     const double replay_j = battery_replay_j(inst, plan, plan_j);
@@ -171,12 +171,12 @@ InstanceFuzzResult fuzz_one_instance(const workload::GeneratorConfig& g,
     auto stressed = inst;
     stressed.uav.energy_j *= 0.45;
 
-    PlannerOptions opts;
+    core::PlannerOptions opts;
     opts.delta_m = std::max(10.0, std::max(g.region_w, g.region_h) / 18.0);
-    const auto ctx = PlanningContext::obtain(inst, opts.hover_config());
+    const auto ctx = core::PlanningContext::obtain(inst, opts.hover_config());
 
     for (const auto& name : planners) {
-        const auto res = make_planner(name, opts)->plan(*ctx);
+        const auto res = core::make_planner(name, opts)->plan(*ctx);
         auto record = [&](bool is_stressed, const char* planner_label,
                           const std::vector<ConformanceMismatch>& mm) {
             out.mismatches += static_cast<int>(mm.size());
@@ -203,13 +203,13 @@ InstanceFuzzResult fuzz_one_instance(const workload::GeneratorConfig& g,
         const bool scoring_aware =
             name == "alg2" || name == "alg3" || name == "benchmark";
         if (cfg.check_fast_scoring && scoring_aware) {
-            PlannerOptions fast_opts = opts;
-            fast_opts.scoring = ScoringEngine::kIncrementalFast;
-            const auto fast = make_planner(name, fast_opts)->plan(*ctx);
+            core::PlannerOptions fast_opts = opts;
+            fast_opts.scoring = core::ScoringEngine::kIncrementalFast;
+            const auto fast = core::make_planner(name, fast_opts)->plan(*ctx);
             consider(inst, false, fast.plan, "+fast");
 
-            const auto base_ev = evaluate_plan(inst, res.plan, cfg.tol);
-            const auto fast_ev = evaluate_plan(inst, fast.plan, cfg.tol);
+            const auto base_ev = core::evaluate_plan(inst, res.plan, cfg.tol);
+            const auto fast_ev = core::evaluate_plan(inst, fast.plan, cfg.tol);
             std::vector<ConformanceMismatch> drift;
             const auto kDrift = ConformanceMismatch::Check::kFastScoringDrift;
             require(drift, kDrift, "collected_mb", base_ev.collected_mb,
@@ -231,18 +231,18 @@ InstanceFuzzResult fuzz_one_instance(const workload::GeneratorConfig& g,
         // planners ignore the reduction config.
         const bool reducible = name == "alg2" || name == "alg3";
         if (cfg.check_reduction && reducible) {
-            PlannerOptions red_opts = opts;
+            core::PlannerOptions red_opts = opts;
             red_opts.reduction = cfg.reduction;
             if (!red_opts.reduction.enabled()) {
                 red_opts.reduction.dominance = true;
                 red_opts.reduction.coarsen_factor = 2;
                 red_opts.reduction.refine_band_m = 4.0 * opts.delta_m;
             }
-            const auto red = make_planner(name, red_opts)->plan(*ctx);
+            const auto red = core::make_planner(name, red_opts)->plan(*ctx);
             consider(inst, false, red.plan, "+reduced");
 
-            const auto base_ev = evaluate_plan(inst, res.plan, cfg.tol);
-            const auto red_ev = evaluate_plan(inst, red.plan, cfg.tol);
+            const auto base_ev = core::evaluate_plan(inst, res.plan, cfg.tol);
+            const auto red_ev = core::evaluate_plan(inst, red.plan, cfg.tol);
             ++out.plans_checked;
             const double floor =
                 base_ev.collected_mb -
@@ -281,7 +281,7 @@ ConformanceFuzzSummary fuzz_conformance(const ConformanceFuzzConfig& cfg) {
     ConformanceFuzzSummary summary;
     if (cfg.instances <= 0) return summary;
     std::vector<std::string> planners =
-        cfg.planners.empty() ? planner_names() : cfg.planners;
+        cfg.planners.empty() ? core::planner_names() : cfg.planners;
 
     util::Rng rng(cfg.seed);
     constexpr workload::Deployment kDeployments[] = {
@@ -366,4 +366,4 @@ ConformanceFuzzSummary fuzz_conformance(const ConformanceFuzzConfig& cfg) {
     return summary;
 }
 
-}  // namespace uavdc::core
+}  // namespace uavdc::conformance

@@ -15,7 +15,7 @@ namespace uavdc::util {
 class ThreadPool;
 }  // namespace uavdc::util
 
-namespace uavdc::core {
+namespace uavdc::conformance {
 
 /// One cross-layer disagreement found by the conformance oracle.
 struct ConformanceMismatch {
@@ -43,9 +43,9 @@ struct ConformanceMismatch {
 /// closed-form evaluator, and the discrete-event simulator describe the
 /// same mission.
 struct ConformanceReport {
-    Evaluation evaluation;
+    core::Evaluation evaluation;
     sim::SimReport simulation;  ///< calm wind, constant radio, no trace
-    PlanValidation validation;
+    core::PlanValidation validation;
     std::vector<ConformanceMismatch> mismatches;
     [[nodiscard]] bool ok() const { return mismatches.empty(); }
 };
@@ -103,7 +103,7 @@ struct ConformanceFuzzConfig {
     /// Reduction profile for the tier above. When left disabled a default
     /// profile is used: dominance filtering + 2x grid coarsening + a refine
     /// band of 4 grid steps around the incumbent tour.
-    CandidateReductionConfig reduction{};
+    core::CandidateReductionConfig reduction{};
     /// Optional caller-provided worker pool. When set, instances are fuzzed
     /// concurrently (one task per instance) and the per-instance results are
     /// merged in instance order, so the summary — counters and the identity
@@ -132,4 +132,4 @@ struct ConformanceFuzzSummary {
 [[nodiscard]] ConformanceFuzzSummary fuzz_conformance(
     const ConformanceFuzzConfig& cfg = {});
 
-}  // namespace uavdc::core
+}  // namespace uavdc::conformance

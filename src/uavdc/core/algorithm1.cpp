@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "uavdc/core/planning_context.hpp"
+#include "uavdc/util/check.hpp"
 #include "uavdc/util/timer.hpp"
 
 namespace uavdc::core {
@@ -73,7 +74,7 @@ PlanResult GridOrienteeringPlanner::plan(const PlanningContext& ctx) {
 
     const HoverCandidateSet cands =
         select_disjoint(ctx.candidates(), inst.num_devices());
-    out.stats.candidates = static_cast<int>(cands.size());
+    out.stats.candidates = util::checked_cast<int>(cands.size());
     if (cands.candidates.empty()) {
         out.stats.runtime_s = timer.seconds();
         return out;

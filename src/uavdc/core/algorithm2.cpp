@@ -8,6 +8,7 @@
 #include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/tour_builder.hpp"
 #include "uavdc/graph/christofides.hpp"
+#include "uavdc/util/check.hpp"
 #include "uavdc/util/parallel_for.hpp"
 #include "uavdc/util/timer.hpp"
 
@@ -130,7 +131,7 @@ PlanResult GreedyCoveragePlanner::plan_reference(const PlanningContext& ctx,
     const model::Instance& inst = ctx.instance();
 
     const auto& cands = view.set->candidates;
-    out.stats.candidates = static_cast<int>(cands.size());
+    out.stats.candidates = util::checked_cast<int>(cands.size());
     if (cands.empty()) {
         out.stats.runtime_s = timer.seconds();
         return out;
@@ -228,7 +229,7 @@ PlanResult GreedyCoveragePlanner::plan_reference(const PlanningContext& ctx,
 
         const auto& c = cands[best];
         const Score& s = scores[best];
-        tour.insert(c.pos, static_cast<int>(best), s.ins);
+        tour.insert(c.pos, util::checked_cast<int>(best), s.ins);
         used[best] = 1;
         dwell_of[best] = s.dwell_s;
         hover_energy += s.dwell_s * eta_h;
@@ -265,7 +266,7 @@ PlanResult GreedyCoveragePlanner::plan_incremental(
     const model::Instance& inst = ctx.instance();
 
     const auto& cands = view.set->candidates;
-    out.stats.candidates = static_cast<int>(cands.size());
+    out.stats.candidates = util::checked_cast<int>(cands.size());
     if (cands.empty()) {
         out.stats.runtime_s = timer.seconds();
         return out;
@@ -414,7 +415,7 @@ PlanResult GreedyCoveragePlanner::plan_incremental(
         const auto& c = cands[best];
         const TourBuilder::Insertion ins = cache.get(best);
 
-        tour.insert(c.pos, static_cast<int>(best), ins);
+        tour.insert(c.pos, util::checked_cast<int>(best), ins);
         used[best] = 1;
         queue.deactivate(best);
         cache.deactivate(best);

@@ -85,7 +85,7 @@ PlanResult PartialCollectionPlanner::plan_reference(
     const model::Instance& inst = ctx.instance();
 
     const auto& cands = view.set->candidates;
-    out.stats.candidates = static_cast<int>(cands.size());
+    out.stats.candidates = util::checked_cast<int>(cands.size());
     if (cands.empty()) {
         out.stats.runtime_s = timer.seconds();
         return out;
@@ -188,7 +188,7 @@ PlanResult PartialCollectionPlanner::plan_reference(
         const auto& c = cands[best];
         const Score& s = scores[best];
         if (!s.in_tour) {
-            tour.insert(c.pos, static_cast<int>(best), s.ins);
+            tour.insert(c.pos, util::checked_cast<int>(best), s.ins);
             in_tour[best] = 1;
             if (cfg_.retour_every > 0 &&
                 ++since_retour >= cfg_.retour_every) {
@@ -228,7 +228,7 @@ PlanResult PartialCollectionPlanner::plan_incremental(
     const model::Instance& inst = ctx.instance();
 
     const auto& cands = view.set->candidates;
-    out.stats.candidates = static_cast<int>(cands.size());
+    out.stats.candidates = util::checked_cast<int>(cands.size());
     if (cands.empty()) {
         out.stats.runtime_s = timer.seconds();
         return out;
@@ -379,7 +379,7 @@ PlanResult PartialCollectionPlanner::plan_incremental(
         const bool was_new = !s.in_tour;
         bool do_retour = false;
         if (was_new) {
-            tour.insert(c.pos, static_cast<int>(best), s.ins);
+            tour.insert(c.pos, util::checked_cast<int>(best), s.ins);
             in_tour[best] = 1;
             cache.deactivate(best);
             if (cfg_.retour_every > 0 &&

@@ -7,6 +7,7 @@
 #include "uavdc/core/tour_builder.hpp"
 #include "uavdc/geom/coverage.hpp"
 #include "uavdc/geom/kmeans.hpp"
+#include "uavdc/util/check.hpp"
 #include "uavdc/util/timer.hpp"
 
 namespace uavdc::core {
@@ -37,7 +38,7 @@ CenterPlan plan_from_centers(const model::Instance& inst,
     std::vector<bool> claimed(inst.devices.size(), false);
     for (std::size_t c = 0; c < centers.size(); ++c) {
         double max_t = 0.0;
-        for (int v : cov.covered(static_cast<int>(c))) {
+        for (int v : cov.covered(util::checked_cast<int>(c))) {
             const auto d = static_cast<std::size_t>(v);
             max_t = std::max(max_t,
                              inst.devices[d].upload_time(
@@ -49,7 +50,7 @@ CenterPlan plan_from_centers(const model::Instance& inst,
         }
         if (max_t <= 0.0) continue;
         dwell[c] = max_t;
-        tour.insert(centers[c], static_cast<int>(c),
+        tour.insert(centers[c], util::checked_cast<int>(c),
                     tour.cheapest_insertion(centers[c]));
         out.hover_s += max_t;
     }
@@ -80,7 +81,7 @@ PlanResult ClusterPlanner::plan(const PlanningContext& ctx) {
     }
 
     const int k_max = std::min<int>(cfg_.max_clusters,
-                                    static_cast<int>(pts.size()));
+                                    util::checked_cast<int>(pts.size()));
     // Decrease k until the tour fits the battery (fewer, bigger clusters =
     // shorter tours but more devices out of range).
     for (int k = k_max; k >= 1; --k) {
@@ -145,7 +146,7 @@ PlanResult SweepPlanner::plan(const PlanningContext& ctx) {
     for (std::size_t w = 0; w < route.size(); ++w) {
         double max_t = 0.0;
         double gain = 0.0;
-        for (int v : cov.covered(static_cast<int>(w))) {
+        for (int v : cov.covered(util::checked_cast<int>(w))) {
             const auto d = static_cast<std::size_t>(v);
             if (claimed[d]) continue;
             max_t = std::max(max_t, inst.devices[d].upload_time(
@@ -167,14 +168,14 @@ PlanResult SweepPlanner::plan(const PlanningContext& ctx) {
         here = route[w];
         res.plan.stops.push_back({route[w], max_t, -1});
         res.stats.planned_mb += gain;
-        for (int v : cov.covered(static_cast<int>(w))) {
+        for (int v : cov.covered(util::checked_cast<int>(w))) {
             claimed[static_cast<std::size_t>(v)] = true;
         }
         ++res.stats.iterations;
     }
     res.stats.planned_energy_j =
         res.plan.total_energy(inst.depot, inst.uav);
-    res.stats.candidates = static_cast<int>(route.size());
+    res.stats.candidates = util::checked_cast<int>(route.size());
     res.stats.runtime_s = timer.seconds();
     return res;
 }

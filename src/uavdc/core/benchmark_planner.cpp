@@ -5,6 +5,7 @@
 
 #include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/tour_builder.hpp"
+#include "uavdc/util/check.hpp"
 #include "uavdc/util/timer.hpp"
 
 namespace uavdc::core {
@@ -17,7 +18,7 @@ PlanResult PruneTspPlanner::plan(const PlanningContext& ctx) {
     util::Timer timer;
     PlanResult out;
     const model::Instance& inst = ctx.instance();
-    out.stats.candidates = static_cast<int>(inst.devices.size());
+    out.stats.candidates = util::checked_cast<int>(inst.devices.size());
     if (inst.devices.empty()) {
         out.stats.runtime_s = timer.seconds();
         return out;

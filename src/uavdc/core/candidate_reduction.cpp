@@ -233,9 +233,9 @@ ReducedCandidates gather(const HoverCandidateSet& full,
     for (std::size_t j = 0; j < full.candidates.size(); ++j) {
         if (kept[j] == 0) continue;
         out.set.candidates.push_back(full.candidates[j]);
-        out.original_index.push_back(static_cast<std::int32_t>(j));
+        out.original_index.push_back(util::checked_cast<std::int32_t>(j));
     }
-    stats.kept = static_cast<int>(out.set.candidates.size());
+    stats.kept = util::checked_cast<int>(out.set.candidates.size());
     out.stats = stats;
     out.soa = build_candidate_soa(out.set, num_devices);
     return out;
@@ -270,7 +270,7 @@ ReducedCandidates reduce_candidates(const HoverCandidateSet& full,
         << cfg.dominance_radius_m;
 
     CandidateReductionStats stats;
-    stats.original = static_cast<int>(full.size());
+    stats.original = util::checked_cast<int>(full.size());
     std::vector<char> kept(full.size(), 1);
     if (!full.candidates.empty()) {
         if (cfg.dominance) {

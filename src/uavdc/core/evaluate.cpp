@@ -2,9 +2,10 @@
 
 #include <algorithm>
 
-#include "uavdc/core/energy_view.hpp"
+#include "uavdc/model/energy_view.hpp"
 #include "uavdc/geom/spatial_hash.hpp"
 #include "uavdc/sim/battery.hpp"
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::core {
 
@@ -13,7 +14,7 @@ Evaluation evaluate_plan(const model::Instance& inst,
     Evaluation ev;
     ev.per_device_mb.assign(inst.devices.size(), 0.0);
 
-    const EnergyView energy(inst.uav);
+    const model::EnergyView energy(inst.uav);
     const auto breakdown = plan.energy(inst.depot, inst.uav);
     ev.energy_j = breakdown.total_j();
     ev.tour_time_s = breakdown.total_s();
@@ -53,7 +54,7 @@ Evaluation evaluate_plan(const model::Instance& inst,
             ev.executed_time_s += flown;
             if (flown + 1e-12 < fly_t) {
                 ev.truncated = true;
-                ev.first_unreached_stop = static_cast<int>(si);
+                ev.first_unreached_stop = util::checked_cast<int>(si);
                 aborted = true;
             } else {
                 here = stop.pos;
@@ -91,7 +92,7 @@ Evaluation evaluate_plan(const model::Instance& inst,
             if (hover_t + 1e-12 < stop.dwell_s) {
                 ev.truncated = true;
                 if (si + 1 < plan.stops.size()) {
-                    ev.first_unreached_stop = static_cast<int>(si + 1);
+                    ev.first_unreached_stop = util::checked_cast<int>(si + 1);
                 }
                 aborted = true;
             }

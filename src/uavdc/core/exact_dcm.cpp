@@ -22,7 +22,7 @@ ExactDcmResult solve_exact_dcm(const PlanningContext& ctx,
         << cfg.max_candidates_for_exact << ")";
     if (m == 0) return out;
 
-    const EnergyView& energy = ctx.energy();
+    const model::EnergyView& energy = ctx.energy();
     const std::size_t nmask = std::size_t{1} << m;
     for (std::size_t mask = 1; mask < nmask; ++mask) {
         ++out.subsets_checked;

@@ -4,6 +4,7 @@
 
 #include "uavdc/core/evaluate.hpp"
 #include "uavdc/geom/kmeans.hpp"
+#include "uavdc/util/check.hpp"
 #include "uavdc/util/timer.hpp"
 
 namespace uavdc::core {
@@ -53,7 +54,7 @@ FleetResult plan_fleet(const model::Instance& inst, const FleetConfig& cfg) {
     std::vector<std::vector<int>> members(zones);
     for (std::size_t i = 0; i < pts.size(); ++i) {
         members[static_cast<std::size_t>(clusters.assignment[i])].push_back(
-            static_cast<int>(i));
+            util::checked_cast<int>(i));
     }
 
     // Plan each zone independently; collect leftovers for the rebalance
@@ -99,7 +100,7 @@ FleetResult plan_fleet(const model::Instance& inst, const FleetConfig& cfg) {
                 }
             }
             if (target != own) {
-                extra[target].push_back(static_cast<int>(i));
+                extra[target].push_back(util::checked_cast<int>(i));
                 any = true;
             }
         }

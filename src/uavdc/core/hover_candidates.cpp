@@ -7,6 +7,7 @@
 #include "uavdc/core/batch_kernels.hpp"
 #include "uavdc/core/soa_layout.hpp"
 #include "uavdc/geom/coverage.hpp"
+#include "uavdc/util/check.hpp"
 #include "uavdc/util/parallel_for.hpp"
 
 namespace uavdc::core {
@@ -17,6 +18,9 @@ namespace {
 std::uint64_t hash_coverage(const std::vector<int>& covered) {
     std::uint64_t h = 1469598103934665603ULL;
     for (int v : covered) {
+        // NOLINTNEXTLINE(uavdc-unchecked-narrowing): device ids are
+        // dense non-negative indices; mixing their 32-bit pattern is
+        // the hash, wraparound would be harmless by design
         h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
         h *= 1099511628211ULL;
     }
@@ -64,13 +68,13 @@ HoverCandidateSet build_hover_candidates(const model::Instance& inst,
     const auto num_cells = static_cast<std::size_t>(grid.num_cells());
     std::vector<HoverCandidate> slots(num_cells);
     auto score_cell = [&](std::size_t id) {
-        const auto& covered = cov.covered(static_cast<int>(id));
+        const auto& covered = cov.covered(util::checked_cast<int>(id));
         HoverCandidate& c = slots[id];
         c.cell_id = -1;  // stays -1 when the cell yields no candidate
         if (covered.empty()) return;
         if (cfg.position_ok && !cfg.position_ok(centers[id])) return;
         c.pos = centers[id];
-        c.cell_id = static_cast<int>(id);
+        c.cell_id = util::checked_cast<int>(id);
         c.covered = covered;
         // Eq. 6-8 award/dwell, accumulated in covered-list order (the same
         // order and expressions as the scalar loop this replaces).
@@ -91,7 +95,7 @@ HoverCandidateSet build_hover_candidates(const model::Instance& inst,
     for (auto& slot : slots) {
         if (slot.cell_id >= 0) cands.push_back(std::move(slot));
     }
-    out.nonzero_cells = static_cast<int>(cands.size());
+    out.nonzero_cells = util::checked_cast<int>(cands.size());
 
     if (cfg.dedupe_identical_coverage && !cands.empty()) {
         std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
@@ -136,7 +140,7 @@ HoverCandidateSet build_hover_candidates(const model::Instance& inst,
         }
         cands = std::move(deduped);
     }
-    out.after_dedupe = static_cast<int>(cands.size());
+    out.after_dedupe = util::checked_cast<int>(cands.size());
 
     if (cfg.max_candidates > 0 &&
         cands.size() > static_cast<std::size_t>(cfg.max_candidates)) {

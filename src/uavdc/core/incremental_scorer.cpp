@@ -44,7 +44,7 @@ InvertedCoverageIndex::InvertedCoverageIndex(const HoverCandidateSet& cands,
     for (std::size_t j = 0; j < cands.candidates.size(); ++j) {
         for (const int v : cands.candidates[j].covered) {
             cand_[cursor[static_cast<std::size_t>(v)]++] =
-                static_cast<std::int32_t>(j);
+                util::checked_cast<std::int32_t>(j);
         }
     }
 }

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "uavdc/core/candidate_reduction.hpp"
-#include "uavdc/core/energy_view.hpp"
+#include "uavdc/model/energy_view.hpp"
 #include "uavdc/core/hover_candidates.hpp"
 #include "uavdc/core/scratch_arena.hpp"
 #include "uavdc/core/soa_layout.hpp"
@@ -87,7 +87,7 @@ class PlanningContext {
     [[nodiscard]] const HoverCandidateConfig& candidate_config() const {
         return cfg_;
     }
-    [[nodiscard]] const EnergyView& energy() const { return energy_; }
+    [[nodiscard]] const model::EnergyView& energy() const { return energy_; }
 
     /// The Sec. III-B candidate set; built on first call (thread-safe).
     [[nodiscard]] const HoverCandidateSet& candidates() const;
@@ -173,7 +173,7 @@ class PlanningContext {
 
     model::Instance inst_;
     HoverCandidateConfig cfg_;
-    EnergyView energy_;
+    model::EnergyView energy_;
     geom::SpatialHash device_index_;
     DeviceSoa device_soa_;
     std::uint64_t fingerprint_{0};

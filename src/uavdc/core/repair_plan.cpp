@@ -4,6 +4,7 @@
 
 #include "uavdc/core/tour_builder.hpp"
 #include "uavdc/geom/spatial_hash.hpp"
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::core {
 
@@ -59,7 +60,7 @@ RepairResult repair_plan(const model::Instance& inst,
     // Re-optimise the visiting order of the surviving stops.
     TourBuilder tour(inst.depot);
     for (std::size_t i = 0; i < kept.size(); ++i) {
-        tour.insert(kept[i].pos, static_cast<int>(i),
+        tour.insert(kept[i].pos, util::checked_cast<int>(i),
                     tour.cheapest_insertion(kept[i].pos));
     }
     tour.reoptimize();

@@ -73,7 +73,7 @@ CandidateSoa build_candidate_soa(const HoverCandidateSet& set) {
         out.award_mb[j] = c.award_mb;
         out.dwell_s[j] = c.dwell_s;
         for (const int v : c.covered) {
-            out.cov.push_back(static_cast<std::int32_t>(v));
+            out.cov.push_back(util::checked_cast<std::int32_t>(v));
         }
         out.cov_starts[j + 1] = out.cov.size();
     }

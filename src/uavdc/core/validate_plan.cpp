@@ -2,8 +2,9 @@
 
 #include <cmath>
 
-#include "uavdc/core/energy_view.hpp"
+#include "uavdc/model/energy_view.hpp"
 #include "uavdc/geom/spatial_hash.hpp"
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::core {
 
@@ -49,7 +50,7 @@ PlanValidation validate_plan(const model::Instance& inst,
     bool numerics_ok = true;
     for (std::size_t i = 0; i < plan.stops.size(); ++i) {
         const auto& s = plan.stops[i];
-        const int idx = static_cast<int>(i);
+        const int idx = util::checked_cast<int>(i);
         if (!std::isfinite(s.pos.x) || !std::isfinite(s.pos.y) ||
             !std::isfinite(s.dwell_s)) {
             error(PlanViolation::Kind::kNonFiniteValue, idx,
@@ -89,7 +90,7 @@ PlanValidation validate_plan(const model::Instance& inst,
 
     if (numerics_ok) {
         // Same EnergyView cost model the planners and evaluator use.
-        const EnergyView view(inst.uav);
+        const model::EnergyView view(inst.uav);
         const double energy = view.tour_cost(plan.travel_length(inst.depot),
                                              plan.hover_time());
         if (energy > view.budget_j() + 1e-6) {

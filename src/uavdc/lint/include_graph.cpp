@@ -1,0 +1,377 @@
+#include "uavdc/lint/include_graph.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace uavdc::lint {
+
+namespace {
+
+std::vector<std::string> split_path(const std::string& path) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : path) {
+        if (c == '/' || c == '\\') {
+            if (!cur.empty()) out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty()) out.push_back(cur);
+    return out;
+}
+
+bool known_module(const std::string& name) {
+    for (const auto& rule : layering()) {
+        if (rule.module == name) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+std::vector<IncludeDirective> collect_includes(
+    const std::vector<ScannedLine>& lines) {
+    std::vector<IncludeDirective> out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        std::size_t pos = code.find_first_not_of(" \t");
+        if (pos == std::string::npos || code[pos] != '#') continue;
+        pos = code.find_first_not_of(" \t", pos + 1);
+        if (pos == std::string::npos ||
+            code.compare(pos, 7, "include") != 0) {
+            continue;
+        }
+        // The lexer blanks string contents, so a quoted include shows up as
+        // "" in the code view — recover the target from the raw directive
+        // by scanning the original quoted span. Instead of re-reading the
+        // raw file, the lexer leaves the quotes themselves in place; the
+        // target must be recovered from the comment-free raw line, which
+        // scan_lines preserves in `raw`.
+        const std::string& raw = lines[i].raw;
+        const std::size_t open = raw.find('"');
+        if (open == std::string::npos) continue;  // <system> include
+        const std::size_t close = raw.find('"', open + 1);
+        if (close == std::string::npos) continue;
+        out.push_back({static_cast<int>(i) + 1,
+                       raw.substr(open + 1, close - open - 1)});
+    }
+    return out;
+}
+
+std::string module_of(const std::string& path) {
+    const auto comps = split_path(path);
+    for (std::size_t i = 0; i + 2 < comps.size(); ++i) {
+        if (comps[i] == "src" && comps[i + 1] == "uavdc" &&
+            known_module(comps[i + 2])) {
+            return comps[i + 2];
+        }
+    }
+    return "";
+}
+
+std::string module_of_include(const std::string& target) {
+    const auto comps = split_path(target);
+    if (comps.size() >= 2 && comps[0] == "uavdc" && known_module(comps[1])) {
+        return comps[1];
+    }
+    return "";
+}
+
+const std::vector<LayerRule>& layering() {
+    // Bottom-up declared dependency table. A module may include itself and
+    // the listed modules, nothing else — in particular core/ may never
+    // reach service/, io/, or workload/, and sim/ may never reach core/
+    // (the shared EnergyView cost model lives in model/ precisely so both
+    // can use it without either including the other). The table is a DAG
+    // by construction; UL011 additionally checks the *actual* include
+    // graph stays acyclic.
+    static const std::vector<LayerRule> kTable = {
+        {"util", {}},
+        {"geom", {"util"}},
+        {"lint", {"util"}},
+        {"model", {"geom", "util"}},
+        {"graph", {"geom", "util"}},
+        {"sim", {"model", "geom", "util"}},
+        {"orienteering", {"graph", "model", "geom", "util"}},
+        {"workload", {"model", "geom", "util"}},
+        {"core",
+         {"sim", "orienteering", "graph", "model", "geom", "util"}},
+        {"io", {"core", "sim", "orienteering", "graph", "model", "geom",
+                "util"}},
+        {"conformance", {"core", "sim", "workload", "orienteering", "graph",
+                         "model", "geom", "util"}},
+        {"service", {"io", "conformance", "core", "sim", "workload",
+                     "orienteering", "graph", "model", "geom", "util"}},
+    };
+    return kTable;
+}
+
+bool edge_allowed(const std::string& from, const std::string& to) {
+    if (from == to) return true;
+    for (const auto& rule : layering()) {
+        if (rule.module != from) continue;
+        return std::find(rule.allowed.begin(), rule.allowed.end(), to) !=
+               rule.allowed.end();
+    }
+    return false;
+}
+
+std::string to_dot(const ModuleGraph& graph) {
+    // Display layers, bottom-up; only modules present in the graph are
+    // emitted. rankdir=BT draws dependencies pointing down at their
+    // foundations.
+    static const std::vector<std::vector<std::string>> kLayers = {
+        {"util"},
+        {"geom", "lint"},
+        {"model", "graph"},
+        {"sim", "orienteering", "workload"},
+        {"core"},
+        {"io", "conformance"},
+        {"service"},
+    };
+    std::ostringstream out;
+    out << "digraph uavdc_modules {\n";
+    out << "  rankdir=BT;\n";
+    out << "  node [shape=box, fontname=\"Helvetica\"];\n";
+    const auto present = [&](const std::string& m) {
+        return std::find(graph.modules.begin(), graph.modules.end(), m) !=
+               graph.modules.end();
+    };
+    for (const auto& layer : kLayers) {
+        std::vector<std::string> here;
+        for (const auto& m : layer) {
+            if (present(m)) here.push_back(m);
+        }
+        if (here.empty()) continue;
+        out << "  { rank=same;";
+        for (const auto& m : here) out << " \"" << m << "\";";
+        out << " }\n";
+    }
+    for (const auto& e : graph.edges) {
+        out << "  \"" << e.from << "\" -> \"" << e.to << "\" [label=\""
+            << e.count << "\"";
+        if (!edge_allowed(e.from, e.to)) {
+            out << ", color=red, penwidth=2.0, fontcolor=red";
+        }
+        out << "];\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+std::vector<std::vector<std::string>> find_cycles(const ModuleGraph& graph) {
+    // Iterative Tarjan SCC over the (small) module graph; modules and edge
+    // lists are sorted, so component discovery is deterministic.
+    const auto& modules = graph.modules;
+    const auto index_of = [&](const std::string& m) {
+        return static_cast<int>(
+            std::find(modules.begin(), modules.end(), m) - modules.begin());
+    };
+    const int n = static_cast<int>(modules.size());
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+    for (const auto& e : graph.edges) {
+        adj[static_cast<std::size_t>(index_of(e.from))].push_back(
+            index_of(e.to));
+    }
+    for (auto& nbrs : adj) std::sort(nbrs.begin(), nbrs.end());
+
+    std::vector<int> idx(static_cast<std::size_t>(n), -1);
+    std::vector<int> low(static_cast<std::size_t>(n), 0);
+    std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+    std::vector<int> stack;
+    std::vector<std::vector<int>> sccs;
+    int counter = 0;
+
+    struct Frame {
+        int v;
+        std::size_t next_edge;
+    };
+    for (int root = 0; root < n; ++root) {
+        if (idx[static_cast<std::size_t>(root)] != -1) continue;
+        std::vector<Frame> frames{{root, 0}};
+        idx[static_cast<std::size_t>(root)] =
+            low[static_cast<std::size_t>(root)] = counter++;
+        stack.push_back(root);
+        on_stack[static_cast<std::size_t>(root)] = true;
+        while (!frames.empty()) {
+            Frame& f = frames.back();
+            const auto v = static_cast<std::size_t>(f.v);
+            if (f.next_edge < adj[v].size()) {
+                const int w = adj[v][f.next_edge++];
+                const auto wu = static_cast<std::size_t>(w);
+                if (idx[wu] == -1) {
+                    idx[wu] = low[wu] = counter++;
+                    stack.push_back(w);
+                    on_stack[wu] = true;
+                    frames.push_back({w, 0});
+                } else if (on_stack[wu]) {
+                    low[v] = std::min(low[v], idx[wu]);
+                }
+            } else {
+                if (low[v] == idx[v]) {
+                    std::vector<int> scc;
+                    int w = -1;
+                    do {
+                        w = stack.back();
+                        stack.pop_back();
+                        on_stack[static_cast<std::size_t>(w)] = false;
+                        scc.push_back(w);
+                    } while (w != f.v);
+                    if (scc.size() >= 2) sccs.push_back(scc);
+                }
+                const int done = f.v;
+                frames.pop_back();
+                if (!frames.empty()) {
+                    const auto p =
+                        static_cast<std::size_t>(frames.back().v);
+                    low[p] = std::min(low[p],
+                                      low[static_cast<std::size_t>(done)]);
+                }
+            }
+        }
+    }
+
+    // Turn each SCC into one concrete closed path: DFS from its smallest
+    // module, restricted to the component, until the start reappears.
+    std::vector<std::vector<std::string>> cycles;
+    for (auto& scc : sccs) {
+        std::sort(scc.begin(), scc.end());
+        const std::set<int> members(scc.begin(), scc.end());
+        const int start = scc.front();
+        std::vector<int> path{start};
+        std::set<int> visited{start};
+        bool closed = false;
+        // Iterative DFS carrying the current path.
+        std::vector<std::pair<int, std::size_t>> st{{start, 0}};
+        while (!st.empty() && !closed) {
+            auto& [v, next] = st.back();
+            const auto& nbrs = adj[static_cast<std::size_t>(v)];
+            bool advanced = false;
+            while (next < nbrs.size()) {
+                const int w = nbrs[next++];
+                if (w == start && st.size() >= 2) {
+                    closed = true;
+                    break;
+                }
+                if (members.count(w) == 0 || visited.count(w) != 0) {
+                    continue;
+                }
+                visited.insert(w);
+                path.push_back(w);
+                st.push_back({w, 0});
+                advanced = true;
+                break;
+            }
+            if (closed || advanced) continue;
+            st.pop_back();
+            path.pop_back();
+        }
+        if (!closed) path = {start};  // defensive; SCC guarantees a cycle
+        std::vector<std::string> named;
+        named.reserve(path.size() + 1);
+        for (int v : path) {
+            named.push_back(modules[static_cast<std::size_t>(v)]);
+        }
+        named.push_back(modules[static_cast<std::size_t>(start)]);
+        cycles.push_back(std::move(named));
+    }
+    std::sort(cycles.begin(), cycles.end());
+    return cycles;
+}
+
+AnalysisResult analyze_tree(const std::vector<std::string>& roots) {
+    AnalysisResult result;
+    const auto files = discover_files(roots);
+
+    std::set<std::string> modules;
+    std::map<std::pair<std::string, std::string>, ModuleEdge> edges;
+    for (const auto& file : files) {
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            result.findings.push_back({file, 0, "UL000", "unreadable-file",
+                                       "cannot open file for linting"});
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::string contents = buf.str();
+
+        auto file_findings = lint_source(file, contents);
+        result.findings.insert(result.findings.end(),
+                               std::make_move_iterator(file_findings.begin()),
+                               std::make_move_iterator(file_findings.end()));
+
+        const std::string from = module_of(file);
+        if (from.empty()) continue;
+        modules.insert(from);
+        for (const auto& inc : collect_includes(scan_lines(contents))) {
+            const std::string to = module_of_include(inc.target);
+            if (to.empty()) continue;
+            modules.insert(to);
+            if (to == from) continue;
+            auto [it, inserted] =
+                edges.try_emplace({from, to},
+                                  ModuleEdge{from, to, file, inc.line, 0});
+            ++it->second.count;
+            (void)inserted;
+        }
+    }
+    result.graph.modules.assign(modules.begin(), modules.end());
+    for (auto& [key, edge] : edges) {
+        result.graph.edges.push_back(std::move(edge));
+    }
+
+    for (const auto& cycle : find_cycles(result.graph)) {
+        std::string pathstr;
+        for (std::size_t i = 0; i < cycle.size(); ++i) {
+            if (i != 0) pathstr += " -> ";
+            pathstr += cycle[i];
+        }
+        std::string sites;
+        const ModuleEdge* first_edge = nullptr;
+        for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+            for (const auto& e : result.graph.edges) {
+                if (e.from != cycle[i] || e.to != cycle[i + 1]) continue;
+                sites += "; " + e.from + " -> " + e.to + " at " + e.file +
+                         ":" + std::to_string(e.line);
+                if (first_edge == nullptr) first_edge = &e;
+                break;
+            }
+        }
+        std::string message =
+            "module include cycle: " + pathstr + sites +
+            "; break it by moving the shared type into a module below "
+            "both (the EnergyView move into model/ is the precedent)";
+        // The cycle anchors at its first representative include site, so a
+        // NOLINT(uavdc-include-cycle): reason there suppresses it — same
+        // contract as every per-line rule, including reason rejection.
+        if (first_edge != nullptr) {
+            std::ifstream anchor(first_edge->file, std::ios::binary);
+            std::ostringstream abuf;
+            abuf << anchor.rdbuf();
+            const auto lines = scan_lines(abuf.str());
+            const auto at = static_cast<std::size_t>(first_edge->line - 1);
+            if (at < lines.size()) {
+                const int state = suppression_for(lines, at, "include-cycle");
+                if (state == 1) continue;
+                if (state == 2) {
+                    message +=
+                        " (NOLINT suppression must carry a ': reason')";
+                }
+            }
+        }
+        result.findings.push_back(
+            {first_edge != nullptr ? first_edge->file : "<module-graph>",
+             first_edge != nullptr ? first_edge->line : 0, "UL011",
+             "include-cycle", std::move(message)});
+    }
+    return result;
+}
+
+}  // namespace uavdc::lint

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uavdc/lint/linter.hpp"
+
+namespace uavdc::lint {
+
+/// One `#include "..."` directive (quoted form only — system includes are
+/// never layered). `line` is 1-based; `target` is the path between quotes.
+struct IncludeDirective {
+    int line{0};
+    std::string target;
+};
+
+/// Extract the quoted include directives from scanned lines. Directives
+/// blanked by the lexer (inside strings or comments) are never returned.
+std::vector<IncludeDirective> collect_includes(
+    const std::vector<ScannedLine>& lines);
+
+/// Module a repo file belongs to: "core" for src/uavdc/core/..., "" for
+/// anything outside the layered library (tools/, bench/, tests/, examples/
+/// are deliberately unconstrained).
+std::string module_of(const std::string& path);
+
+/// Module an include target names: "geom" for "uavdc/geom/vec2.hpp", ""
+/// for system or non-uavdc includes.
+std::string module_of_include(const std::string& target);
+
+/// One row of the declared layering table: `module` may include itself and
+/// any module in `allowed`, nothing else. The table as a whole is the
+/// architecture contract UL010 enforces (see DESIGN.md "Module layering").
+struct LayerRule {
+    std::string module;
+    std::vector<std::string> allowed;
+};
+
+/// The declared layering table, in bottom-up order.
+const std::vector<LayerRule>& layering();
+
+/// True when a file in module `from` may include a header of module `to`.
+/// Intra-module includes are always allowed; unknown modules are never.
+bool edge_allowed(const std::string& from, const std::string& to);
+
+/// One aggregated module->module dependency, with the first include site
+/// (in sorted file order) kept as the representative example.
+struct ModuleEdge {
+    std::string from;
+    std::string to;
+    std::string file;  ///< first file contributing the edge
+    int line{0};       ///< line of that first include
+    int count{0};      ///< number of include sites forming the edge
+};
+
+/// The whole-tree module dependency graph (distinct-module edges only).
+struct ModuleGraph {
+    std::vector<std::string> modules;  ///< sorted module names seen
+    std::vector<ModuleEdge> edges;     ///< sorted by (from, to)
+};
+
+/// Graphviz DOT export: one node per module ranked by layer, solid edges
+/// for allowed dependencies, bold red edges for layering violations.
+std::string to_dot(const ModuleGraph& graph);
+
+/// Module-level include cycles: every strongly connected component with
+/// two or more modules, returned as a closed path ("core", "sim", "core").
+/// Paths are deterministic (lexicographically smallest entry first).
+std::vector<std::vector<std::string>> find_cycles(const ModuleGraph& graph);
+
+/// Whole-tree analysis: every per-file rule (UL001-UL010, UL012, UL013)
+/// plus the graph-level passes — UL011 include-cycle detection and the
+/// module graph itself (for --dot and the docs diagram).
+struct AnalysisResult {
+    std::vector<Finding> findings;
+    ModuleGraph graph;
+};
+
+AnalysisResult analyze_tree(const std::vector<std::string>& roots);
+
+}  // namespace uavdc::lint

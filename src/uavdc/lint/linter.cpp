@@ -4,7 +4,10 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
+
+#include "uavdc/lint/include_graph.hpp"
 
 namespace uavdc::lint {
 
@@ -133,35 +136,43 @@ int suppression_state(const std::string& comment, const std::string& slug,
     return 2;
 }
 
+}  // namespace
+
+int suppression_for(const std::vector<ScannedLine>& lines,
+                    std::size_t line_idx, const std::string& slug) {
+    int state = suppression_state(lines[line_idx].comment, slug, "NOLINT");
+    // NOLINTNEXTLINE in the comment block directly above; the scan crosses
+    // comment-only lines so the reason may wrap.
+    for (std::size_t up = line_idx; state == 0 && up > 0; --up) {
+        const ScannedLine& above = lines[up - 1];
+        std::string code = above.code;
+        code.erase(0, code.find_first_not_of(" \t"));
+        if (!code.empty()) break;  // not a pure comment line
+        state = suppression_state(above.comment, slug, "NOLINTNEXTLINE");
+        if (above.comment.empty()) break;
+    }
+    // Block suppression: the nearest NOLINTBEGIN(...) above wins unless a
+    // NOLINTEND(...) naming the same rule closes it first.
+    for (std::size_t up = line_idx; state == 0 && up > 0; --up) {
+        const std::string& comment = lines[up - 1].comment;
+        if (suppression_state(comment, slug, "NOLINTEND") != 0) break;
+        state = suppression_state(comment, slug, "NOLINTBEGIN");
+    }
+    return state;
+}
+
+namespace {
+
 struct RuleContext {
     const std::string& path;
     const std::vector<ScannedLine>& lines;
     std::vector<Finding>& findings;
 
     /// Reports a violation of (id, slug) at `line_idx` (0-based) unless a
-    /// same-line NOLINT(...), a NOLINTNEXTLINE(...) in the comment block
-    /// directly above, or an enclosing NOLINTBEGIN(...) block names the rule
-    /// and gives a reason. The NEXTLINE scan crosses comment-only lines so
-    /// the reason may wrap; a BEGIN is cancelled by the nearest
-    /// NOLINTEND(...) naming the same rule.
+    /// suppression names the rule and gives a reason (see suppression_for).
     void report(std::size_t line_idx, const std::string& id,
                 const std::string& slug, const std::string& message) {
-        int state = suppression_state(lines[line_idx].comment, slug, "NOLINT");
-        for (std::size_t up = line_idx; state == 0 && up > 0; --up) {
-            const ScannedLine& above = lines[up - 1];
-            std::string code = above.code;
-            code.erase(0, code.find_first_not_of(" \t"));
-            if (!code.empty()) break;  // not a pure comment line
-            state = suppression_state(above.comment, slug, "NOLINTNEXTLINE");
-            if (above.comment.empty()) break;
-        }
-        // Block suppression: the nearest NOLINTBEGIN(...) above wins unless
-        // a NOLINTEND(...) for the rule closes it first.
-        for (std::size_t up = line_idx; state == 0 && up > 0; --up) {
-            const std::string& comment = lines[up - 1].comment;
-            if (suppression_state(comment, slug, "NOLINTEND") != 0) break;
-            state = suppression_state(comment, slug, "NOLINTBEGIN");
-        }
+        const int state = suppression_for(lines, line_idx, slug);
         if (state == 1) return;
         std::string full = message;
         if (state == 2) {
@@ -481,6 +492,180 @@ void rule_no_raw_thread(RuleContext& ctx) {
     }
 }
 
+/// UL010: every `#include "uavdc/<module>/..."` must respect the declared
+/// layering table (include_graph.cpp). A file in module M may include
+/// module N only when N is M itself or one of M's allowed dependencies —
+/// in particular core/ may never reach service/, io/, or workload/.
+void rule_layering(RuleContext& ctx) {
+    const std::string from = module_of(ctx.path);
+    if (from.empty()) return;
+    for (const auto& inc : collect_includes(ctx.lines)) {
+        const std::string to = module_of_include(inc.target);
+        if (to.empty() || edge_allowed(from, to)) continue;
+        ctx.report(static_cast<std::size_t>(inc.line - 1), "UL010",
+                   "layering-violation",
+                   "module '" + from + "' may not include \"" + inc.target +
+                       "\" (module '" + to +
+                       "'): the declared layering (DESIGN.md \"Module "
+                       "layering\") forbids this edge; move the shared type "
+                       "into a lower module or invert the dependency");
+    }
+}
+
+/// True when the code plausibly touches floating-point values: a double /
+/// float token, or a floating literal (digit run followed by '.' or an
+/// exponent, not part of an identifier).
+bool has_floating_hint(const std::string& code) {
+    if (has_token(code, "double") || has_token(code, "float")) return true;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (std::isdigit(static_cast<unsigned char>(code[i])) == 0) continue;
+        if (i > 0 && is_ident_char(code[i - 1])) {
+            while (i + 1 < code.size() && is_ident_char(code[i + 1])) ++i;
+            continue;  // digits inside an identifier like x2
+        }
+        std::size_t j = i;
+        while (j < code.size() &&
+               std::isdigit(static_cast<unsigned char>(code[j])) != 0) {
+            ++j;
+        }
+        if (j < code.size() &&
+            (code[j] == '.' || code[j] == 'e' || code[j] == 'E')) {
+            return true;
+        }
+        i = j;
+    }
+    return false;
+}
+
+/// UL012: floating-point reductions in core/ must pair terms in a fixed
+/// order. std::accumulate makes no pairing guarantee across
+/// implementations, std::reduce and std::transform_reduce explicitly
+/// permit arbitrary regrouping, and OpenMP reduction clauses combine
+/// partial sums in thread-completion order — all of which let bitwise
+/// results drift between runs or toolchains. Planner scores feed argmax
+/// decisions, so a one-ulp drift can flip a tour.
+void rule_fp_determinism(RuleContext& ctx) {
+    if (!in_library(ctx.path) || !has_component(ctx.path, "core")) return;
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        const std::string& code = ctx.lines[i].code;
+        if (code.find("#pragma") != std::string::npos &&
+            has_token(code, "omp") &&
+            code.find("reduction") != std::string::npos) {
+            ctx.report(i, "UL012", "nondeterministic-fp-reduction",
+                       "OpenMP reduction clauses combine partial sums in "
+                       "thread-completion order; use the fixed-lane "
+                       "reductions in core/batch_kernels (kSoaLanes partial "
+                       "sums, deterministic pairwise combine) so results are "
+                       "bit-stable across runs");
+            continue;
+        }
+        std::string hit;
+        for (const char* fn : {"accumulate", "reduce", "transform_reduce"}) {
+            if (has_call(code, fn)) {
+                hit = fn;
+                break;
+            }
+        }
+        if (hit.empty()) continue;
+        bool floating = false;
+        const std::size_t until = std::min(ctx.lines.size(), i + 3);
+        for (std::size_t j = i; j < until && !floating; ++j) {
+            floating = has_floating_hint(ctx.lines[j].code);
+        }
+        if (!floating) continue;
+        ctx.report(i, "UL012", "nondeterministic-fp-reduction",
+                   hit +
+                       "() over floating-point values pairs terms in an "
+                       "order the standard does not fix; write an explicit "
+                       "indexed loop or use the fixed-lane reductions in "
+                       "core/batch_kernels, or annotate "
+                       "NOLINT(uavdc-nondeterministic-fp-reduction): <why "
+                       "pairing order cannot affect results>");
+    }
+}
+
+/// Narrower-than-register integer targets a static_cast can silently
+/// truncate into. Type text is normalized (whitespace stripped, leading
+/// std:: removed) before lookup.
+bool is_narrow_integer_type(std::string type) {
+    type.erase(std::remove_if(type.begin(), type.end(),
+                              [](unsigned char c) {
+                                  return std::isspace(c) != 0;
+                              }),
+               type.end());
+    if (type.rfind("std::", 0) == 0) type.erase(0, 5);
+    static const char* const kNarrow[] = {
+        "int",          "short",         "shortint",     "char",
+        "signedchar",   "unsignedchar",  "unsigned",     "unsignedint",
+        "unsignedshort", "unsignedshortint",
+        "int8_t",       "int16_t",       "int32_t",      "uint8_t",
+        "uint16_t",     "uint32_t",
+    };
+    for (const char* t : kNarrow) {
+        if (type == t) return true;
+    }
+    return false;
+}
+
+/// UL013: a static_cast to a narrower integer type in core/ or service/
+/// silently truncates out-of-range values (the CSR-offset bug class).
+/// Sanctioned forms: util::checked_cast<T>() (range-checked via
+/// std::in_range + UAVDC_CHECK), or an explicit UAVDC_CHECK / REQUIRE
+/// guard within the surrounding lines, or a NOLINT with a reason.
+void rule_unchecked_narrowing(RuleContext& ctx) {
+    if (!in_library(ctx.path)) return;
+    if (!has_component(ctx.path, "core") &&
+        !has_component(ctx.path, "service")) {
+        return;
+    }
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        const std::string& code = ctx.lines[i].code;
+        for (std::size_t pos = code.find("static_cast");
+             pos != std::string::npos;
+             pos = code.find("static_cast", pos + 1)) {
+            if (!token_at(code, pos, "static_cast")) continue;
+            std::size_t open = pos + 11;
+            while (open < code.size() &&
+                   std::isspace(static_cast<unsigned char>(code[open])) !=
+                       0) {
+                ++open;
+            }
+            if (open >= code.size() || code[open] != '<') continue;
+            int depth = 0;
+            std::size_t close = open;
+            for (; close < code.size(); ++close) {
+                if (code[close] == '<') ++depth;
+                if (code[close] == '>' && --depth == 0) break;
+            }
+            if (close >= code.size()) continue;
+            if (!is_narrow_integer_type(
+                    code.substr(open + 1, close - open - 1))) {
+                continue;
+            }
+            bool guarded = false;
+            const std::size_t lo = i >= 4 ? i - 4 : 0;
+            const std::size_t hi = std::min(ctx.lines.size(), i + 3);
+            for (std::size_t j = lo; j < hi && !guarded; ++j) {
+                const std::string& near = ctx.lines[j].code;
+                guarded = has_token(near, "UAVDC_CHECK") ||
+                          has_token(near, "UAVDC_DCHECK") ||
+                          has_token(near, "UAVDC_REQUIRE") ||
+                          has_token(near, "checked_cast") ||
+                          has_token(near, "in_range");
+            }
+            if (guarded) break;
+            ctx.report(i, "UL013", "unchecked-narrowing",
+                       "static_cast to a narrow integer type silently "
+                       "truncates out-of-range values; use "
+                       "util::checked_cast<T>() (uavdc/util/check.hpp), "
+                       "guard with UAVDC_CHECK in the surrounding lines, or "
+                       "annotate NOLINT(uavdc-unchecked-narrowing): <why the "
+                       "value provably fits>");
+            break;  // one finding per line
+        }
+    }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -516,12 +701,38 @@ const std::vector<RuleInfo>& rules() {
          "loops in core/; hot scans stream the PlanningContext SoA mirrors "
          "through core/batch_kernels — scalar oracle loops carry a "
          "NOLINT(uavdc-batched-distance) with a reason"},
+        {"UL010", "layering-violation",
+         "every include of uavdc/<module>/ must respect the declared "
+         "layering table: a module may depend only on itself and the "
+         "modules listed below it (core/ never reaches service/, io/, or "
+         "workload/)"},
+        {"UL011", "include-cycle",
+         "the module-level include graph must stay acyclic; cycles are "
+         "reported with the full module path and one representative include "
+         "site per edge"},
+        {"UL012", "nondeterministic-fp-reduction",
+         "no std::accumulate/reduce/transform_reduce over floating-point "
+         "values and no OpenMP reduction pragmas in core/; floating "
+         "reductions use the fixed-lane batch kernels or explicit indexed "
+         "loops so planner scores are bit-stable"},
+        {"UL013", "unchecked-narrowing",
+         "no static_cast to a narrower integer type in core/ or service/ "
+         "without util::checked_cast, a UAVDC_CHECK guard in the "
+         "surrounding lines, or a NOLINT with a reason — silent truncation "
+         "is the CSR-offset bug class"},
     };
     return kRules;
 }
 
 std::vector<ScannedLine> scan_lines(const std::string& contents) {
-    enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+    enum class State {
+        kCode,
+        kLineComment,
+        kBlockComment,
+        kString,
+        kChar,
+        kRawString
+    };
     std::vector<ScannedLine> lines;
     ScannedLine cur;
     State state = State::kCode;
@@ -536,39 +747,62 @@ std::vector<ScannedLine> scan_lines(const std::string& contents) {
         const char c = contents[i];
         const char next = i + 1 < contents.size() ? contents[i + 1] : '\0';
         if (c == '\n') {
+            // A // comment whose final character is a backslash splices the
+            // next physical line into itself (phase-2 line continuation);
+            // every other state simply persists across the newline. An
+            // unterminated block comment or raw string at EOF drains
+            // harmlessly: the loop ends and the last line is flushed.
+            if (state == State::kLineComment &&
+                (cur.comment.empty() || cur.comment.back() != '\\')) {
+                state = State::kCode;
+            }
             flush_line();
             continue;
         }
         switch (state) {
             case State::kCode:
                 if (c == '/' && next == '/') {
-                    // Line comment: rest of the line is comment text.
-                    std::size_t end = contents.find('\n', i);
-                    if (end == std::string::npos) end = contents.size();
-                    cur.comment += contents.substr(i + 2, end - i - 2);
-                    i = end - 1;
+                    state = State::kLineComment;
+                    ++i;
                 } else if (c == '/' && next == '*') {
                     state = State::kBlockComment;
                     ++i;
                 } else if (c == 'R' && next == '"' &&
                            (i == 0 || !is_ident_char(contents[i - 1]))) {
-                    std::size_t open = contents.find('(', i + 2);
-                    if (open == std::string::npos) open = contents.size();
+                    // The raw-string delimiter must close on this line; if
+                    // it does not, this is malformed input and the 'R' is
+                    // treated as ordinary code rather than swallowing the
+                    // rest of the file in a delimiter search.
+                    const std::size_t eol = contents.find('\n', i);
+                    const std::size_t open = contents.find('(', i + 2);
+                    if (open == std::string::npos ||
+                        (eol != std::string::npos && open > eol)) {
+                        cur.code += c;
+                        cur.raw += c;
+                        break;
+                    }
                     raw_delim =
                         ")" + contents.substr(i + 2, open - i - 2) + "\"";
                     cur.code += "\"\"";
+                    cur.raw += contents.substr(i, open - i + 1);
                     i = open;
                     state = State::kRawString;
                 } else if (c == '"') {
                     cur.code += '"';
+                    cur.raw += '"';
                     state = State::kString;
                 } else if (c == '\'' && i > 0 &&
                            !is_ident_char(contents[i - 1])) {
                     cur.code += '\'';
+                    cur.raw += '\'';
                     state = State::kChar;
                 } else {
                     cur.code += c;
+                    cur.raw += c;
                 }
+                break;
+            case State::kLineComment:
+                cur.comment += c;
                 break;
             case State::kBlockComment:
                 if (c == '*' && next == '/') {
@@ -579,25 +813,33 @@ std::vector<ScannedLine> scan_lines(const std::string& contents) {
                 }
                 break;
             case State::kString:
+            case State::kChar: {
+                const char quote = state == State::kString ? '"' : '\'';
                 if (c == '\\') {
-                    ++i;
-                } else if (c == '"') {
-                    cur.code += '"';
+                    // Never consume the newline of a backslash line splice:
+                    // the '\n' handler above must see it so line numbers
+                    // stay aligned with the file.
+                    cur.raw += c;
+                    if (next != '\n' && next != '\0') {
+                        cur.raw += next;
+                        ++i;
+                    }
+                } else if (c == quote) {
+                    cur.code += quote;
+                    cur.raw += quote;
                     state = State::kCode;
+                } else {
+                    cur.raw += c;
                 }
                 break;
-            case State::kChar:
-                if (c == '\\') {
-                    ++i;
-                } else if (c == '\'') {
-                    cur.code += '\'';
-                    state = State::kCode;
-                }
-                break;
+            }
             case State::kRawString:
                 if (contents.compare(i, raw_delim.size(), raw_delim) == 0) {
+                    cur.raw += raw_delim;
                     i += raw_delim.size() - 1;
                     state = State::kCode;
+                } else {
+                    cur.raw += c;
                 }
                 break;
         }
@@ -620,6 +862,9 @@ std::vector<Finding> lint_source(const std::string& path,
     rule_no_dense_rebuild_in_loop(ctx);
     rule_no_raw_thread(ctx);
     rule_batched_distance(ctx);
+    rule_layering(ctx);
+    rule_fp_determinism(ctx);
+    rule_unchecked_narrowing(ctx);
     std::sort(findings.begin(), findings.end(),
               [](const Finding& a, const Finding& b) {
                   if (a.line != b.line) return a.line < b.line;
@@ -639,37 +884,59 @@ std::vector<Finding> lint_file(const std::string& path) {
     return lint_source(path, buf.str());
 }
 
-std::vector<Finding> lint_tree(const std::vector<std::string>& roots) {
+std::vector<std::string> discover_files(
+    const std::vector<std::string>& roots) {
     namespace fs = std::filesystem;
     std::vector<std::string> files;
+    // Explicit recursion with per-directory sorting: directory_iterator
+    // order is filesystem-dependent, so every level is sorted before
+    // descending. The final global sort merges multiple roots; together
+    // they make discovery byte-identical across runs and machines.
+    const std::function<void(const fs::path&)> walk =
+        [&](const fs::path& dir) {
+            std::vector<fs::path> entries;
+            for (const auto& entry : fs::directory_iterator(
+                     dir, fs::directory_options::skip_permission_denied)) {
+                entries.push_back(entry.path());
+            }
+            std::sort(entries.begin(), entries.end(),
+                      [](const fs::path& a, const fs::path& b) {
+                          return a.generic_string() < b.generic_string();
+                      });
+            for (const auto& path : entries) {
+                const std::string name = path.filename().string();
+                if (fs::is_directory(path)) {
+                    if (name.rfind("build", 0) == 0 ||
+                        name.rfind('.', 0) == 0) {
+                        continue;
+                    }
+                    walk(path);
+                    continue;
+                }
+                if (!fs::is_regular_file(path)) continue;
+                const std::string p = path.generic_string();
+                if (ends_with(p, ".hpp") || ends_with(p, ".h") ||
+                    ends_with(p, ".cpp") || ends_with(p, ".cc")) {
+                    files.push_back(p);
+                }
+            }
+        };
     for (const auto& root : roots) {
-        if (!fs::exists(root)) {
-            continue;
-        }
+        if (!fs::exists(root)) continue;
         if (fs::is_regular_file(root)) {
             files.push_back(root);
             continue;
         }
-        fs::recursive_directory_iterator it(
-            root, fs::directory_options::skip_permission_denied);
-        for (const auto& entry : it) {
-            const std::string name = entry.path().filename().string();
-            if (entry.is_directory() &&
-                (name.rfind("build", 0) == 0 || name.rfind('.', 0) == 0)) {
-                it.disable_recursion_pending();
-                continue;
-            }
-            if (!entry.is_regular_file()) continue;
-            const std::string p = entry.path().generic_string();
-            if (ends_with(p, ".hpp") || ends_with(p, ".h") ||
-                ends_with(p, ".cpp") || ends_with(p, ".cc")) {
-                files.push_back(p);
-            }
-        }
+        walk(root);
     }
     std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+std::vector<Finding> lint_tree(const std::vector<std::string>& roots) {
     std::vector<Finding> findings;
-    for (const auto& f : files) {
+    for (const auto& f : discover_files(roots)) {
         auto fs_findings = lint_file(f);
         findings.insert(findings.end(),
                         std::make_move_iterator(fs_findings.begin()),

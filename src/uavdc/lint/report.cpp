@@ -1,0 +1,234 @@
+#include "uavdc/lint/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace uavdc::lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+                break;
+        }
+    }
+    return out;
+}
+
+std::string quoted(const std::string& s) {
+    // Built up with += rather than operator+ chaining: GCC 12's -Wrestrict
+    // false-positives on `"\"" + s + "\""` under -O2 (PR105651) and the
+    // tree builds with -Werror in CI.
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    out += json_escape(s);
+    out += '"';
+    return out;
+}
+
+// The baseline format is line- and tab-delimited, so keys escape exactly
+// those characters (plus backslash itself) and nothing else.
+std::string key_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c; break;
+        }
+    }
+    return out;
+}
+
+std::string key_unescape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 >= s.size()) {
+            out += s[i];
+            continue;
+        }
+        const char next = s[++i];
+        if (next == 'n') {
+            out += '\n';
+        } else if (next == 't') {
+            out += '\t';
+        } else {
+            out += next;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string to_text(const std::vector<Finding>& findings) {
+    std::string out;
+    for (const auto& f : findings) {
+        out += to_string(f);
+        out += '\n';
+    }
+    if (!findings.empty()) {
+        out += std::to_string(findings.size()) +
+               " finding(s); see --list-rules for what each rule "
+               "protects.\n";
+    }
+    return out;
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+    std::ostringstream out;
+    out << "{\n  \"tool\": \"uavdc_lint\",\n  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        out << (i == 0 ? "\n" : ",\n");
+        out << "    {\"file\": " << quoted(f.file)
+            << ", \"line\": " << f.line << ", \"id\": " << quoted(f.id)
+            << ", \"rule\": " << quoted(f.rule)
+            << ", \"message\": " << quoted(f.message) << "}";
+    }
+    out << (findings.empty() ? "]" : "\n  ]");
+    out << ",\n  \"count\": " << findings.size() << "\n}\n";
+    return out.str();
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+    const auto& table = rules();
+    const auto rule_index = [&](const std::string& id) {
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            if (table[i].id == id) return static_cast<int>(i);
+        }
+        return -1;
+    };
+
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"uavdc_lint\",\n"
+        << "          \"informationUri\": "
+           "\"https://example.invalid/uavdc/CONTRIBUTING.md\",\n"
+        << "          \"rules\": [";
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        out << (i == 0 ? "\n" : ",\n");
+        out << "            {\"id\": " << quoted(table[i].id)
+            << ", \"name\": " << quoted(table[i].rule)
+            << ", \"shortDescription\": {\"text\": "
+            << quoted(table[i].description) << "}}";
+    }
+    out << "\n          ]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"results\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        const int idx = rule_index(f.id);
+        out << (i == 0 ? "\n" : ",\n");
+        out << "        {\"ruleId\": " << quoted(f.id);
+        if (idx >= 0) out << ", \"ruleIndex\": " << idx;
+        out << ", \"level\": \"error\", \"message\": {\"text\": "
+            << quoted(f.message) << "}, \"locations\": [{"
+            << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": "
+            << quoted(f.file) << "}, \"region\": {\"startLine\": "
+            << std::max(1, f.line) << "}}}]}";
+    }
+    out << (findings.empty() ? "]\n" : "\n      ]\n");
+    out << "    }\n  ]\n}\n";
+    return out.str();
+}
+
+std::string finding_key(const Finding& f) {
+    return f.file + "|" + f.id + "|" + f.message;
+}
+
+Baseline make_baseline(const std::vector<Finding>& findings) {
+    Baseline b;
+    for (const auto& f : findings) ++b.counts[finding_key(f)];
+    return b;
+}
+
+std::string serialize_baseline(const Baseline& baseline) {
+    std::string out = "# uavdc_lint baseline v1\n";
+    for (const auto& [key, count] : baseline.counts) {
+        out += std::to_string(count) + "\t" + key_escape(key) + "\n";
+    }
+    return out;
+}
+
+Baseline parse_baseline(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != "# uavdc_lint baseline v1") {
+        throw std::runtime_error(
+            "baseline: missing '# uavdc_lint baseline v1' header");
+    }
+    Baseline b;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        const std::size_t tab = line.find('\t');
+        if (tab == std::string::npos) {
+            throw std::runtime_error("baseline: malformed line (no tab): " +
+                                     line);
+        }
+        int count = 0;
+        try {
+            count = std::stoi(line.substr(0, tab));
+        } catch (const std::exception&) {
+            throw std::runtime_error("baseline: malformed count: " + line);
+        }
+        if (count <= 0) {
+            throw std::runtime_error("baseline: count must be positive: " +
+                                     line);
+        }
+        b.counts[key_unescape(line.substr(tab + 1))] += count;
+    }
+    return b;
+}
+
+std::vector<Finding> new_findings(const std::vector<Finding>& findings,
+                                  const Baseline& baseline) {
+    std::map<std::string, int> budget;
+    for (const auto& [key, count] : baseline.counts) budget[key] = count;
+    std::vector<Finding> fresh;
+    for (const auto& f : findings) {
+        auto it = budget.find(finding_key(f));
+        if (it != budget.end() && it->second > 0) {
+            --it->second;
+            continue;
+        }
+        fresh.push_back(f);
+    }
+    return fresh;
+}
+
+}  // namespace uavdc::lint

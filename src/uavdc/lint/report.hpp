@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "uavdc/lint/linter.hpp"
+
+namespace uavdc::lint {
+
+/// Plain-text report: one to_string(finding) line each, plus a summary
+/// trailer when findings exist. Exactly what the CLI prints by default.
+std::string to_text(const std::vector<Finding>& findings);
+
+/// Machine-readable JSON: {"tool": ..., "findings": [...], "count": N}.
+/// Hand-emitted (lint/ sits below io/ in the layering and cannot use the
+/// io:: JSON writer); strings are escaped per RFC 8259.
+std::string to_json(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 log for GitHub code scanning: one run, the full rule table
+/// under tool.driver.rules, one result per finding with ruleIndex into
+/// that table and a physicalLocation region (startLine clamped to >= 1,
+/// as the spec requires).
+std::string to_sarif(const std::vector<Finding>& findings);
+
+/// A baseline is a multiset of line-independent finding keys
+/// ("file|id|message") with occurrence counts. Keys deliberately omit the
+/// line number so unrelated edits shifting a baselined finding up or down
+/// a file do not break the gate.
+struct Baseline {
+    std::map<std::string, int> counts;
+};
+
+/// The line-independent identity of a finding: "file|id|message".
+std::string finding_key(const Finding& f);
+
+Baseline make_baseline(const std::vector<Finding>& findings);
+
+/// Text form: a "# uavdc_lint baseline v1" header, then one
+/// "<count>\t<key>" line per key, sorted. Byte-identical for equal input.
+std::string serialize_baseline(const Baseline& baseline);
+
+/// Parses serialize_baseline output. Unknown header or malformed lines
+/// throw std::runtime_error (a corrupt baseline must fail closed, not
+/// silently admit findings).
+Baseline parse_baseline(const std::string& text);
+
+/// Findings not covered by the baseline: for each key appearing more often
+/// than the baseline allows, the surplus occurrences (later ones first
+/// dropped — the earliest findings in file order are treated as covered).
+std::vector<Finding> new_findings(const std::vector<Finding>& findings,
+                                  const Baseline& baseline);
+
+}  // namespace uavdc::lint

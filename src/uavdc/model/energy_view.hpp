@@ -2,16 +2,19 @@
 
 #include "uavdc/model/uav.hpp"
 
-namespace uavdc::core {
+namespace uavdc::model {
 
 /// Read-only energy-accounting facade over `UavConfig` — the single view
 /// every layer charges travel/hover against. The planners, `evaluate_plan`,
 /// `validate_plan`, and the `Simulator` all route their energy math through
 /// this class, so the cost model cannot drift between layers by
-/// construction (the conformance oracle in `conformance.hpp` asserts it).
+/// construction (the conformance oracle in `conformance/conformance.hpp`
+/// asserts it). Lives in model/ — below both core/ and sim/ in the module
+/// layering — precisely so the planner and the simulator can share it
+/// without either layer including the other.
 class EnergyView {
   public:
-    explicit EnergyView(const model::UavConfig& uav) : uav_(&uav) {}
+    explicit EnergyView(const UavConfig& uav) : uav_(&uav) {}
 
     /// Battery capacity E (joules).
     [[nodiscard]] double budget_j() const { return uav_->energy_j; }
@@ -43,10 +46,10 @@ class EnergyView {
                                 double eps = 1e-9) const {
         return tour_cost(tour_m, hover_s) <= budget_j() + eps;
     }
-    [[nodiscard]] const model::UavConfig& uav() const { return *uav_; }
+    [[nodiscard]] const UavConfig& uav() const { return *uav_; }
 
   private:
-    const model::UavConfig* uav_;
+    const UavConfig* uav_;
 };
 
-}  // namespace uavdc::core
+}  // namespace uavdc::model

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "uavdc/io/serialize.hpp"
+#include "uavdc/util/check.hpp"
 
 namespace uavdc::service {
 
@@ -30,6 +31,8 @@ orienteering::SolverKind solver_from_string(const std::string& s) {
 
 int int_field(const io::Json& obj, const std::string& key) {
     const double v = obj.at(key).as_number();
+    UAVDC_REQUIRE(v >= -2147483648.0 && v <= 2147483647.0)
+        << "request field '" << key << "' out of int range: " << v;
     return static_cast<int>(v);
 }
 
@@ -158,7 +161,10 @@ PlanRequest request_from_json(const io::Json& doc) {
                 int_field(opts, "reduce_consolidate");
         }
     }
-    req.priority = static_cast<int>(doc.number_or("priority", 0.0));
+    const double priority = doc.number_or("priority", 0.0);
+    UAVDC_REQUIRE(priority >= -2147483648.0 && priority <= 2147483647.0)
+        << "priority out of int range: " << priority;
+    req.priority = static_cast<int>(priority);
     req.deadline_ms = doc.number_or("deadline_ms", 0.0);
     return req;
 }

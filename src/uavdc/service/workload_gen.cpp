@@ -28,7 +28,7 @@ std::string generate_jsonl_workload(const WorkloadGenConfig& cfg) {
     instances.reserve(static_cast<std::size_t>(cfg.instances));
     for (int i = 0; i < cfg.instances; ++i) {
         workload::GeneratorConfig g;
-        g.num_devices = static_cast<int>(
+        g.num_devices = util::checked_cast<int>(
             rng.uniform_int(cfg.devices_lo, cfg.devices_hi));
         g.region_w = rng.uniform(180.0, 420.0);
         g.region_h = rng.uniform(180.0, 420.0);
@@ -44,22 +44,26 @@ std::string generate_jsonl_workload(const WorkloadGenConfig& cfg) {
     std::vector<bool> sent_inline(instances.size(), false);
     std::vector<io::Json> history;  // emitted requests, for duplicates
     for (int r = 0; r < cfg.requests; ++r) {
-        const std::string id = "r" + std::to_string(r);
+        // += instead of `"r" + ...`: GCC 12 -Wrestrict false-positives on
+        // char*-plus-temporary concatenation once inlining gets deep enough
+        // (PR105651), and the tree builds with -Werror.
+        std::string id = "r";
+        id += std::to_string(r);
         if (!history.empty() && rng.uniform() < cfg.duplicate_prob) {
             // Verbatim repeat under a fresh id: same planner, instance, and
             // options, so the service's response cache must serve it.
             io::Json dup = history[static_cast<std::size_t>(
-                rng.uniform_int(0, static_cast<int>(history.size()) - 1))];
+                rng.uniform_int(0, util::checked_cast<int>(history.size()) - 1))];
             dup["id"] = id;
             out += dup.dump();
             out += '\n';
         } else {
             const auto inst_idx = static_cast<std::size_t>(
-                rng.uniform_int(0, static_cast<int>(instances.size()) - 1));
+                rng.uniform_int(0, util::checked_cast<int>(instances.size()) - 1));
             PlanRequest req;
             req.id = id;
             req.planner = planners[static_cast<std::size_t>(rng.uniform_int(
-                0, static_cast<int>(planners.size()) - 1))];
+                0, util::checked_cast<int>(planners.size()) - 1))];
             if (sent_inline[inst_idx]) {
                 req.instance_ref = fingerprints[inst_idx];
             } else {
@@ -67,7 +71,7 @@ std::string generate_jsonl_workload(const WorkloadGenConfig& cfg) {
                 sent_inline[inst_idx] = true;
             }
             if (rng.uniform() < cfg.priority_prob) {
-                req.priority = static_cast<int>(rng.uniform_int(1, 5));
+                req.priority = util::checked_cast<int>(rng.uniform_int(1, 5));
             }
             if (rng.uniform() < cfg.deadline_prob) {
                 req.deadline_ms = 0.01;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "uavdc/core/energy_view.hpp"
+#include "uavdc/model/energy_view.hpp"
 #include "uavdc/geom/spatial_hash.hpp"
 #include "uavdc/sim/battery.hpp"
 #include "uavdc/sim/event_queue.hpp"
@@ -25,7 +25,7 @@ SimReport Simulator::run(const model::Instance& inst,
     const RadioModel& radio = cfg_.radio ? *cfg_.radio : constant_radio();
     // Single energy model shared with the planners, evaluator, and
     // validator (the conformance oracle asserts this agreement).
-    const core::EnergyView energy(inst.uav);
+    const model::EnergyView energy(inst.uav);
     SimReport rep;
     rep.per_device_mb.assign(inst.devices.size(), 0.0);
 

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 namespace uavdc::util {
 
@@ -111,3 +113,25 @@ struct ContractRaiser {
 #else
 #define UAVDC_DCHECK(cond) UAVDC_CONTRACT_IMPL("UAVDC_DCHECK", #cond, cond)
 #endif
+
+namespace uavdc::util {
+
+/// Range-checked integer narrowing: the sanctioned replacement for a bare
+/// static_cast to a narrower integer type (lint rule UL013,
+/// uavdc-unchecked-narrowing). Throws ContractViolation when `value` does
+/// not fit in `To`; compiles to a compare-and-cast otherwise. Defined
+/// after the contract macros because it uses UAVDC_CHECK itself.
+/// Usage: const std::int32_t off = util::checked_cast<std::int32_t>(n);
+template <typename To, typename From>
+[[nodiscard]] constexpr To checked_cast(From value) {
+    static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                  "checked_cast is for integer narrowing; use an explicit "
+                  "conversion with a range check for floating point");
+    UAVDC_CHECK(std::in_range<To>(value))
+        << "checked_cast: value " << +value << " does not fit the target "
+        << "integer type (" << sizeof(To) << " bytes, "
+        << (std::is_signed_v<To> ? "signed" : "unsigned") << ")";
+    return static_cast<To>(value);
+}
+
+}  // namespace uavdc::util

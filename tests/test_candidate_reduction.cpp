@@ -19,7 +19,7 @@
 #include "uavdc/core/algorithm2.hpp"
 #include "uavdc/core/algorithm3.hpp"
 #include "uavdc/core/candidate_reduction.hpp"
-#include "uavdc/core/conformance.hpp"
+#include "uavdc/conformance/conformance.hpp"
 #include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/soa_layout.hpp"
 #include "uavdc/service/plan_service.hpp"
@@ -260,26 +260,26 @@ TEST(ConformanceTolerances, RejectsInvalidValues) {
          {0.0, -1.0, 1.5, std::numeric_limits<double>::quiet_NaN(),
           std::numeric_limits<double>::infinity()}) {
         SCOPED_TRACE(bad);
-        core::ConformanceFuzzConfig fast;
+        conformance::ConformanceFuzzConfig fast;
         fast.instances = 1;
         fast.fast_rel_tol = bad;
-        EXPECT_THROW((void)core::fuzz_conformance(fast), ContractViolation);
+        EXPECT_THROW((void)conformance::fuzz_conformance(fast), ContractViolation);
 
-        core::ConformanceFuzzConfig red;
+        conformance::ConformanceFuzzConfig red;
         red.instances = 1;
         red.reduction_rel_tol = bad;
-        EXPECT_THROW((void)core::fuzz_conformance(red), ContractViolation);
+        EXPECT_THROW((void)conformance::fuzz_conformance(red), ContractViolation);
     }
 }
 
 TEST(ConformanceTolerances, AcceptsBoundaryValueOne) {
-    core::ConformanceFuzzConfig cfg;
+    conformance::ConformanceFuzzConfig cfg;
     cfg.instances = 1;
     cfg.planners = {"alg2"};
     cfg.stress_energy = false;
     cfg.fast_rel_tol = 1.0;
     cfg.reduction_rel_tol = 1.0;
-    const auto summary = core::fuzz_conformance(cfg);
+    const auto summary = conformance::fuzz_conformance(cfg);
     EXPECT_TRUE(summary.ok());
 }
 

@@ -1,14 +1,14 @@
-#include "uavdc/core/conformance.hpp"
+#include "uavdc/conformance/conformance.hpp"
 
 #include <gtest/gtest.h>
 
 #include "test_util.hpp"
-#include "uavdc/core/energy_view.hpp"
+#include "uavdc/model/energy_view.hpp"
 #include "uavdc/core/registry.hpp"
 #include "uavdc/util/check.hpp"
 #include "uavdc/util/thread_pool.hpp"
 
-namespace uavdc::core {
+namespace uavdc::conformance {
 namespace {
 
 using testing::manual_instance;
@@ -26,8 +26,8 @@ std::string describe(const ConformanceReport& rep) {
 
 TEST(Conformance, FeasiblePlanAgreesAcrossLayers) {
     const auto inst = small_instance(25, 280.0, 21);
-    for (const auto& name : planner_names()) {
-        const auto res = make_planner(name)->plan(inst);
+    for (const auto& name : core::planner_names()) {
+        const auto res = core::make_planner(name)->plan(inst);
         const auto rep = check_conformance(inst, res.plan);
         EXPECT_TRUE(rep.ok()) << "planner " << name << ":\n"
                               << describe(rep);
@@ -40,7 +40,7 @@ TEST(Conformance, InfeasiblePlanStillAgrees) {
     // Shrink the battery under a previously feasible plan: the simulator
     // aborts mid-tour and the evaluator must truncate to the same numbers.
     auto inst = small_instance(25, 280.0, 22);
-    const auto res = make_planner("alg2")->plan(inst);
+    const auto res = core::make_planner("alg2")->plan(inst);
     inst.uav.energy_j *= 0.4;
     const auto rep = check_conformance(inst, res.plan);
     EXPECT_TRUE(rep.ok()) << describe(rep);
@@ -51,14 +51,14 @@ TEST(Conformance, InfeasiblePlanStillAgrees) {
 
 TEST(Conformance, EnergyModelsTripleEqual) {
     const auto inst = small_instance(15, 220.0, 23);
-    const auto res = make_planner("alg3")->plan(inst);
+    const auto res = core::make_planner("alg3")->plan(inst);
     const auto rep = check_conformance(inst, res.plan);
     for (const auto& m : rep.mismatches) {
         EXPECT_NE(m.check, ConformanceMismatch::Check::kEnergyModels)
             << describe(rep);
     }
     // And explicitly: the plan's breakdown equals the EnergyView reading.
-    const EnergyView view(inst.uav);
+    const model::EnergyView view(inst.uav);
     EXPECT_DOUBLE_EQ(res.plan.energy(inst.depot, inst.uav).total_j(),
                      view.tour_cost(res.plan.travel_length(inst.depot),
                                     res.plan.hover_time()));
@@ -98,7 +98,7 @@ TEST(Conformance, FuzzHundredInstancesAllPlanners) {
     cfg.seed = 20260806;
     const auto summary = fuzz_conformance(cfg);
     EXPECT_EQ(summary.instances, 100);
-    const int planners = static_cast<int>(planner_names().size());
+    const int planners = static_cast<int>(core::planner_names().size());
     EXPECT_EQ(summary.plans_checked, 100 * planners * 2);  // + stressed
     EXPECT_TRUE(summary.ok());
     for (const auto& f : summary.failures) {
@@ -184,4 +184,4 @@ TEST(Conformance, PooledFuzzMatchesSerial) {
 }
 
 }  // namespace
-}  // namespace uavdc::core
+}  // namespace uavdc::conformance

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "uavdc/lint/include_graph.hpp"
 
 namespace uavdc::lint {
 namespace {
@@ -27,7 +31,7 @@ constexpr const char* kToolPath = "tools/fixture.cpp";
 
 TEST(Lint, RuleTableIsStable) {
     const auto& table = rules();
-    ASSERT_EQ(table.size(), 9u);
+    ASSERT_EQ(table.size(), 13u);
     std::set<std::string> ids;
     for (const auto& r : table) ids.insert(r.id);
     EXPECT_EQ(ids.size(), table.size()) << "rule ids must be unique";
@@ -374,6 +378,159 @@ void f(const std::vector<geom::Vec2>& pts, geom::Vec2 q) {
     EXPECT_TRUE(has_id(bare, "UL009"));
 }
 
+TEST(Lint, FpReductionFiresOnFloatingAccumulate) {
+    const char* body = R"(
+double total(const std::vector<double>& xs) {
+    return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+)";
+    const auto findings = lint_source(kLibPath, body);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].id, "UL012");
+    EXPECT_EQ(findings[0].rule, "nondeterministic-fp-reduction");
+    EXPECT_EQ(findings[0].line, 3);
+    // Only core/ is in scope — io/ aggregation and tools are free.
+    EXPECT_TRUE(lint_source("src/uavdc/io/fixture.cpp", body).empty());
+    EXPECT_TRUE(lint_source(kToolPath, body).empty());
+}
+
+TEST(Lint, FpReductionVariantsAndIntegerUses) {
+    // reduce / transform_reduce with a floating hint nearby fire.
+    EXPECT_TRUE(has_id(lint_source(kLibPath, R"(
+double f(const std::vector<double>& xs) {
+    return std::reduce(xs.begin(), xs.end(),
+                       0.0, std::plus<double>{});
+}
+)"),
+                       "UL012"));
+    EXPECT_TRUE(has_id(lint_source(kLibPath, R"(
+double f(const std::vector<double>& xs) {
+    return std::transform_reduce(xs.begin(), xs.end(), 0.0, std::plus<>{},
+                                 square);
+}
+)"),
+                       "UL012"));
+    // Integer accumulation is associative — no finding.
+    EXPECT_TRUE(lint_source(kLibPath, R"(
+int f(const std::vector<int>& xs) {
+    return std::accumulate(xs.begin(), xs.end(), 0);
+}
+)")
+                    .empty());
+    // The word in a comment is not a call.
+    EXPECT_TRUE(
+        lint_source(kLibPath, "// we accumulate(0.0) in tree order\n")
+            .empty());
+}
+
+TEST(Lint, FpReductionFiresOnOmpReductionPragma) {
+    const auto findings = lint_source(
+        kLibPath, "#pragma omp parallel for reduction(+ : total)\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].id, "UL012");
+    // An omp pragma without a reduction clause is out of this rule's scope.
+    EXPECT_TRUE(
+        lint_source(kLibPath, "#pragma omp parallel for\n").empty());
+}
+
+TEST(Lint, FpReductionHonoursAnnotatedSuppression) {
+    EXPECT_TRUE(lint_source(kLibPath, R"(
+double f(const std::vector<double>& xs) {
+    // NOLINTNEXTLINE(uavdc-nondeterministic-fp-reduction): test-only sum
+    return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+)")
+                    .empty());
+    // Without a reason the suppression is rejected.
+    const auto bare = lint_source(kLibPath, R"(
+double f(const std::vector<double>& xs) {
+    // NOLINTNEXTLINE(uavdc-nondeterministic-fp-reduction)
+    return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+)");
+    ASSERT_TRUE(has_id(bare, "UL012"));
+    EXPECT_NE(bare[0].message.find("reason"), std::string::npos);
+}
+
+TEST(Lint, UncheckedNarrowingFires) {
+    const char* body = R"(
+int f(std::size_t n) {
+    return static_cast<int>(n);
+}
+)";
+    const auto findings = lint_source(kLibPath, body);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].id, "UL013");
+    EXPECT_EQ(findings[0].rule, "unchecked-narrowing");
+    EXPECT_EQ(findings[0].line, 3);
+    // service/ is in scope too; io/ and tools are not.
+    EXPECT_TRUE(
+        has_id(lint_source("src/uavdc/service/fixture.cpp", body), "UL013"));
+    EXPECT_TRUE(lint_source("src/uavdc/io/fixture.cpp", body).empty());
+    EXPECT_TRUE(lint_source(kToolPath, body).empty());
+}
+
+TEST(Lint, UncheckedNarrowingTargetTypes) {
+    // Narrow targets fire; widening and floating targets do not.
+    EXPECT_TRUE(has_id(
+        lint_source(kLibPath, "x = static_cast<std::int32_t>(n);\n"),
+        "UL013"));
+    EXPECT_TRUE(has_id(
+        lint_source(kLibPath, "x = static_cast< unsigned short >(n);\n"),
+        "UL013"));
+    EXPECT_TRUE(
+        lint_source(kLibPath, "x = static_cast<std::int64_t>(n);\n").empty());
+    EXPECT_TRUE(
+        lint_source(kLibPath, "x = static_cast<std::size_t>(v);\n").empty());
+    EXPECT_TRUE(
+        lint_source(kLibPath, "x = static_cast<double>(n);\n").empty());
+}
+
+TEST(Lint, UncheckedNarrowingGuardedCastsAreFine) {
+    // util::checked_cast is the sanctioned idiom.
+    EXPECT_TRUE(lint_source(kLibPath, R"(
+int f(std::size_t n) {
+    return util::checked_cast<int>(n);
+}
+)")
+                    .empty());
+    // A UAVDC_CHECK guard within the surrounding lines counts.
+    EXPECT_TRUE(lint_source(kLibPath, R"(
+int f(std::size_t n) {
+    UAVDC_CHECK(n <= 1000) << "candidate count overflow";
+    return static_cast<int>(n);
+}
+)")
+                    .empty());
+    // The guard window is bounded: a check far above does not excuse it.
+    EXPECT_TRUE(has_id(lint_source(kLibPath, R"(
+int f(std::size_t n) {
+    UAVDC_CHECK(n <= 1000);
+    use(n);
+    use(n);
+    use(n);
+    use(n);
+    use(n);
+    return static_cast<int>(n);
+}
+)"),
+                       "UL013"));
+}
+
+TEST(Lint, UncheckedNarrowingHonoursAnnotatedSuppression) {
+    EXPECT_TRUE(lint_source(kLibPath,
+                            "h ^= static_cast<std::uint32_t>(v);  "
+                            "// NOLINT(uavdc-unchecked-narrowing): hash "
+                            "mixes the low 32 bits by design\n")
+                    .empty());
+    const auto bare = lint_source(
+        kLibPath,
+        "h ^= static_cast<std::uint32_t>(v);  "
+        "// NOLINT(uavdc-unchecked-narrowing)\n");
+    ASSERT_TRUE(has_id(bare, "UL013"));
+    EXPECT_NE(bare[0].message.find("reason"), std::string::npos);
+}
+
 TEST(Lint, ScanLinesSeparatesCodeAndComments) {
     const auto lines = scan_lines("int a;  // trailing note\n"
                                   "/* block */ int b;\n"
@@ -386,6 +543,116 @@ TEST(Lint, ScanLinesSeparatesCodeAndComments) {
     // String contents are blanked from the code view.
     EXPECT_EQ(lines[2].code.find("string"), std::string::npos);
     EXPECT_NE(lines[2].code.find("\"\""), std::string::npos);
+}
+
+TEST(Lint, ScanLinesKeepsRawViewWithLiteralContents) {
+    const auto lines =
+        scan_lines("#include \"uavdc/geom/vec2.hpp\"  // comment\n");
+    ASSERT_EQ(lines.size(), 2u);
+    // The code view blanks the literal; the raw view preserves it.
+    EXPECT_EQ(lines[0].code.find("vec2"), std::string::npos);
+    EXPECT_NE(lines[0].raw.find("\"uavdc/geom/vec2.hpp\""),
+              std::string::npos);
+    EXPECT_EQ(lines[0].raw.find("comment"), std::string::npos);
+}
+
+TEST(Lint, ScanLinesMultiLineRawStringKeepsLineNumbers) {
+    const auto lines = scan_lines("const char* s = R\"(line one\n"
+                                  "assert(x) inside raw string\n"
+                                  ")\";\n"
+                                  "assert(y);\n");
+    ASSERT_EQ(lines.size(), 5u);
+    // Raw-string contents never reach the code view...
+    EXPECT_EQ(lines[1].code, "");
+    // ...and the line counter stays aligned: the real assert is line 4.
+    const auto findings =
+        lint_source(kLibPath, "const char* s = R\"(line one\n"
+                              "assert(x) inside raw string\n"
+                              ")\";\n"
+                              "assert(y);\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(Lint, ScanLinesMalformedRawStringDoesNotSwallowFile) {
+    // 'R"' with no '(' on the same line is not a raw-string opener: the
+    // old scanner searched the whole rest of the file for one (the first
+    // later '(' — here inside assert — became the "delimiter" and
+    // everything after was swallowed). Now the R is ordinary code and the
+    // quote opens a plain string that closes at the next quote.
+    const auto findings = lint_source(kLibPath, "auto x = R\"oops\n"
+                                                "still\";\n"
+                                                "assert(y);\n");
+    ASSERT_TRUE(has_id(findings, "UL001"));
+    EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(Lint, ScanLinesUnterminatedBlockCommentAtEofIsSafe) {
+    const auto lines = scan_lines("int a;\n/* never closed\nassert(x)\n");
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[2].code, "");
+    EXPECT_NE(lines[2].comment.find("assert"), std::string::npos);
+    // And the linter sees no code in the dangling comment.
+    EXPECT_TRUE(
+        lint_source(kLibPath, "int a;\n/* never closed\nassert(x)\n")
+            .empty());
+}
+
+TEST(Lint, ScanLinesLineCommentBackslashContinuation) {
+    // A // comment ending in a backslash splices the next line into the
+    // comment (phase-2 line continuation), so the "code" there is inert.
+    const auto lines = scan_lines("// continued \\\nassert(x);\nint b;\n");
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[1].code, "");
+    EXPECT_NE(lines[1].comment.find("assert"), std::string::npos);
+    EXPECT_NE(lines[2].code.find("int b;"), std::string::npos);
+    EXPECT_TRUE(
+        lint_source(kLibPath, "// continued \\\nassert(x);\nint b;\n")
+            .empty());
+}
+
+TEST(Lint, ScanLinesStringBackslashNewlineKeepsLineNumbers) {
+    // A backslash-newline splice inside a string must not desynchronise
+    // the line counter.
+    const auto findings = lint_source(kLibPath, "const char* s = \"a\\\n"
+                                                "b\";\n"
+                                                "assert(y);\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].id, "UL001");
+    EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(Lint, DiscoverFilesIsSortedAndDeterministic) {
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::temp_directory_path() / "uavdc_lint_discover_fixture";
+    fs::remove_all(root);
+    fs::create_directories(root / "b_dir");
+    fs::create_directories(root / "a_dir");
+    fs::create_directories(root / "build");     // skipped
+    fs::create_directories(root / ".hidden");   // skipped
+    const auto touch = [](const fs::path& p) {
+        std::ofstream(p) << "// empty\n";
+    };
+    touch(root / "b_dir" / "z.cpp");
+    touch(root / "b_dir" / "a.hpp");
+    touch(root / "a_dir" / "m.cc");
+    touch(root / "top.cpp");
+    touch(root / "build" / "gen.cpp");
+    touch(root / ".hidden" / "x.cpp");
+    touch(root / "README.md");  // wrong extension
+
+    const auto first = discover_files({root.generic_string()});
+    const auto second = discover_files({root.generic_string()});
+    EXPECT_EQ(first, second);
+    ASSERT_EQ(first.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(first.begin(), first.end()));
+    EXPECT_NE(first[0].find("a_dir/m.cc"), std::string::npos);
+    for (const auto& f : first) {
+        EXPECT_EQ(f.find("build"), std::string::npos) << f;
+        EXPECT_EQ(f.find(".hidden"), std::string::npos) << f;
+    }
+    fs::remove_all(root);
 }
 
 TEST(Lint, FindingFormatting) {
@@ -407,14 +674,16 @@ void f() {
     EXPECT_EQ(findings[1].id, "UL002");
 }
 
-// The gate itself: the real tree must be clean. This is the same sweep the
-// uavdc_lint_self ctest and the CI static-analysis job run.
+// The gate itself: the real tree must be clean under the FULL engine —
+// all per-file rules plus the include-graph passes — over src/, tools/,
+// and bench/. This is the same sweep the uavdc_lint_self ctest and the CI
+// static-analysis job run.
 TEST(Lint, SelfRunOverSourceTreeIsClean) {
     const std::string root = UAVDC_SOURCE_DIR;
-    const auto findings = lint_tree(
+    const auto analysis = analyze_tree(
         {root + "/src", root + "/tools", root + "/bench"});
-    for (const auto& f : findings) ADD_FAILURE() << to_string(f);
-    EXPECT_TRUE(findings.empty());
+    for (const auto& f : analysis.findings) ADD_FAILURE() << to_string(f);
+    EXPECT_TRUE(analysis.findings.empty());
 }
 
 }  // namespace

@@ -57,7 +57,7 @@ TEST(PlanningContext, CandidateBuildIsDeterministic) {
 TEST(PlanningContext, EnergyViewMatchesUavConfig) {
     const auto inst = testing::small_instance(10, 150.0, 13);
     const PlanningContext ctx(inst);
-    const EnergyView& e = ctx.energy();
+    const model::EnergyView& e = ctx.energy();
     EXPECT_DOUBLE_EQ(e.budget_j(), inst.uav.energy_j);
     EXPECT_DOUBLE_EQ(e.travel(123.0), inst.uav.travel_energy(123.0));
     EXPECT_DOUBLE_EQ(e.hover(4.5), inst.uav.hover_energy(4.5));

@@ -19,7 +19,7 @@
 #include <string>
 
 #include "uavdc/core/compare.hpp"
-#include "uavdc/core/conformance.hpp"
+#include "uavdc/conformance/conformance.hpp"
 #include "uavdc/core/evaluate.hpp"
 #include "uavdc/core/metrics.hpp"
 #include "uavdc/core/planning_context.hpp"
@@ -323,7 +323,7 @@ int cmd_robustness(const util::Flags& flags) {
 }
 
 int cmd_conformance(const util::Flags& flags) {
-    core::ConformanceFuzzConfig cfg;
+    conformance::ConformanceFuzzConfig cfg;
     cfg.instances = flags.get_int("instances", cfg.instances);
     cfg.seed = static_cast<std::uint64_t>(
         flags.get_int64("seed", static_cast<std::int64_t>(cfg.seed)));
@@ -343,7 +343,7 @@ int cmd_conformance(const util::Flags& flags) {
             if (!tok.empty()) cfg.planners.push_back(tok);
         }
     }
-    const auto summary = core::fuzz_conformance(cfg);
+    const auto summary = conformance::fuzz_conformance(cfg);
     util::Table t({"metric", "value"});
     t.add_row({"instances", std::to_string(summary.instances)});
     t.add_row({"plans cross-checked",
@@ -356,7 +356,7 @@ int cmd_conformance(const util::Flags& flags) {
                   << f.instance_seed
                   << (f.stressed ? " (stressed battery)" : "") << "\n";
         for (const auto& m : f.mismatches) {
-            std::cout << "  [" << core::to_string(m.check) << "] "
+            std::cout << "  [" << conformance::to_string(m.check) << "] "
                       << m.field << ": expected " << m.expected << ", got "
                       << m.actual << " — " << m.detail << "\n";
         }

@@ -1,20 +1,57 @@
-// uavdc_lint — domain lint gate for invariants clang-tidy cannot express.
+// uavdc_lint — domain lint gate for invariants clang-tidy cannot express:
+// contract-macro discipline, seeded determinism, module layering, FP
+// reduction order, and checked integer narrowing.
 //
 // Usage:
-//   uavdc_lint [--list-rules] [path...]
+//   uavdc_lint [--list-rules] [--format=text|json|sarif]
+//              [--baseline=FILE] [--write-baseline=FILE] [--dot=FILE]
+//              [path...]
 //
-// Each path may be a file or a directory (linted recursively). With no paths
-// it lints src/ tools/ bench/ relative to the current directory. Exit code 0
-// when clean, 1 when any finding fires, 2 on usage errors.
+// Each path may be a file or a directory (linted recursively). With no
+// paths it lints src/ tools/ bench/ relative to the current directory.
+//
+// --format=sarif emits a SARIF 2.1.0 log for code-scanning upload;
+// --baseline=FILE suppresses findings recorded in FILE and gates only on
+// NEW findings; --write-baseline=FILE records the current findings and
+// exits 0 (the refresh path); --dot=FILE writes the module include graph
+// as Graphviz, with layering violations in red.
+//
+// Exit code 0 when clean (or no new findings vs the baseline), 1 when the
+// gate fails, 2 on usage errors or an unreadable baseline.
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "uavdc/lint/include_graph.hpp"
 #include "uavdc/lint/linter.hpp"
+#include "uavdc/lint/report.hpp"
+
+namespace {
+
+bool take_value(const std::string& arg, const std::string& flag,
+                std::string* value) {
+    if (arg.rfind(flag + "=", 0) != 0) return false;
+    *value = arg.substr(flag.size() + 1);
+    return true;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+    std::ofstream out(path, std::ios::binary);
+    out << contents;
+    return static_cast<bool>(out);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     std::vector<std::string> roots;
+    std::string format = "text";
+    std::string baseline_path;
+    std::string write_baseline_path;
+    std::string dot_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list-rules") {
@@ -25,8 +62,17 @@ int main(int argc, char** argv) {
             return 0;
         }
         if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: uavdc_lint [--list-rules] [path...]\n";
+            std::cout
+                << "usage: uavdc_lint [--list-rules] "
+                   "[--format=text|json|sarif] [--baseline=FILE] "
+                   "[--write-baseline=FILE] [--dot=FILE] [path...]\n";
             return 0;
+        }
+        if (take_value(arg, "--format", &format) ||
+            take_value(arg, "--baseline", &baseline_path) ||
+            take_value(arg, "--write-baseline", &write_baseline_path) ||
+            take_value(arg, "--dot", &dot_path)) {
+            continue;
         }
         if (arg.rfind("--", 0) == 0) {
             std::cerr << "uavdc_lint: unknown option " << arg << "\n";
@@ -34,16 +80,65 @@ int main(int argc, char** argv) {
         }
         roots.push_back(arg);
     }
+    if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "uavdc_lint: unknown --format '" << format
+                  << "' (expected text|json|sarif)\n";
+        return 2;
+    }
     if (roots.empty()) roots = {"src", "tools", "bench"};
 
-    const auto findings = uavdc::lint::lint_tree(roots);
-    for (const auto& f : findings) {
-        std::cout << uavdc::lint::to_string(f) << "\n";
+    const auto analysis = uavdc::lint::analyze_tree(roots);
+
+    if (!dot_path.empty() &&
+        !write_file(dot_path, uavdc::lint::to_dot(analysis.graph))) {
+        std::cerr << "uavdc_lint: cannot write --dot file " << dot_path
+                  << "\n";
+        return 2;
     }
-    if (!findings.empty()) {
-        std::cout << findings.size() << " finding(s); see --list-rules for "
-                  << "what each rule protects.\n";
-        return 1;
+
+    if (!write_baseline_path.empty()) {
+        const auto baseline = uavdc::lint::make_baseline(analysis.findings);
+        if (!write_file(write_baseline_path,
+                        uavdc::lint::serialize_baseline(baseline))) {
+            std::cerr << "uavdc_lint: cannot write baseline "
+                      << write_baseline_path << "\n";
+            return 2;
+        }
+        std::cerr << "uavdc_lint: recorded " << analysis.findings.size()
+                  << " finding(s) into " << write_baseline_path << "\n";
+        return 0;
     }
-    return 0;
+
+    // The gate set: everything, or only what the baseline does not cover.
+    std::vector<uavdc::lint::Finding> gated = analysis.findings;
+    if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path, std::ios::binary);
+        if (!in) {
+            std::cerr << "uavdc_lint: cannot read baseline " << baseline_path
+                      << "\n";
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        try {
+            gated = uavdc::lint::new_findings(
+                analysis.findings, uavdc::lint::parse_baseline(buf.str()));
+        } catch (const std::exception& e) {
+            std::cerr << "uavdc_lint: " << e.what() << "\n";
+            return 2;
+        }
+    }
+
+    if (format == "json") {
+        std::cout << uavdc::lint::to_json(gated);
+    } else if (format == "sarif") {
+        std::cout << uavdc::lint::to_sarif(gated);
+    } else {
+        std::cout << uavdc::lint::to_text(gated);
+    }
+    if (!gated.empty() && !baseline_path.empty() && format == "text") {
+        std::cout << gated.size() << " NEW finding(s) not covered by "
+                  << baseline_path << "\n";
+    }
+    return gated.empty() ? 0 : 1;
 }
