@@ -1,5 +1,7 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -30,7 +32,35 @@ BenchSettings BenchSettings::parse(int argc, char** argv) {
     s.replicates = flags.get_int("replicates", s.full ? 15 : 5);
     s.seed = static_cast<std::uint64_t>(flags.get_int64("seed", 1));
     s.out_dir = flags.get_string("out", "bench_results");
+    const std::string scoring =
+        flags.get_string("scoring", to_string(s.scoring));
+    const auto parsed = core::scoring_engine_from_string(scoring);
+    UAVDC_CHECK(parsed.has_value())
+        << "--scoring must be incremental | incremental-fast | reference, "
+           "got \""
+        << scoring << "\"";
+    s.scoring = *parsed;
     return s;
+}
+
+TimingStats timing_stats(std::vector<double> samples) {
+    UAVDC_CHECK(!samples.empty()) << "timing_stats over zero samples";
+    std::sort(samples.begin(), samples.end());
+    TimingStats t;
+    t.min_s = samples.front();
+    const std::size_t n = samples.size();
+    t.median_s = n % 2 == 1
+                     ? samples[n / 2]
+                     : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+    double sum = 0.0;
+    for (const double s : samples) sum += s;
+    t.mean_s = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (const double s : samples) {
+        var += (s - t.mean_s) * (s - t.mean_s);
+    }
+    t.stddev_s = std::sqrt(var / static_cast<double>(n));
+    return t;
 }
 
 workload::GeneratorConfig base_generator(const BenchSettings& s) {
@@ -201,6 +231,7 @@ AlgoParams default_algo_params(const BenchSettings& s) {
     p.delta_m = 10.0;
     p.max_candidates = s.full ? 2500 : 1200;
     p.grasp_iterations = s.full ? 12 : 6;
+    p.scoring = s.scoring;
     return p;
 }
 
@@ -234,6 +265,7 @@ PlannerFactory alg2_factory(const AlgoParams& p) {
         core::Algorithm2Config cfg;
         cfg.candidates.delta_m = p.delta_m;
         cfg.candidates.max_candidates = p.max_candidates;
+        cfg.scoring = p.scoring;
         return std::make_unique<core::GreedyCoveragePlanner>(cfg);
     };
 }
@@ -244,12 +276,17 @@ PlannerFactory alg3_factory(const AlgoParams& p, int k) {
         cfg.candidates.delta_m = p.delta_m;
         cfg.candidates.max_candidates = p.max_candidates;
         cfg.k = k;
+        cfg.scoring = p.scoring;
         return std::make_unique<core::PartialCollectionPlanner>(cfg);
     };
 }
 
-PlannerFactory benchmark_factory() {
-    return [] { return std::make_unique<core::PruneTspPlanner>(); };
+PlannerFactory benchmark_factory(core::ScoringEngine scoring) {
+    return [scoring] {
+        core::BenchmarkPlannerConfig cfg;
+        cfg.scoring = scoring;
+        return std::make_unique<core::PruneTspPlanner>(cfg);
+    };
 }
 
 namespace {
@@ -359,7 +396,9 @@ std::vector<BaselineCase> baseline_cases(bool quick) {
 }  // namespace
 
 std::vector<PlannerBaseline> run_planner_baselines(bool quick) {
-    const int reps = quick ? 1 : 3;
+    // Quick mode runs 3 reps too: the regression gate compares medians, and
+    // a single-sample median is just the (noise-prone) one measurement.
+    const int reps = 3;
     std::vector<PlannerBaseline> rows;
     for (const auto& c : baseline_cases(quick)) {
         const auto inst = workload::generate(c.gen, 23);
@@ -376,11 +415,12 @@ std::vector<PlannerBaseline> run_planner_baselines(bool quick) {
         double planned_ref = 0.0;
         for (const auto engine : {core::ScoringEngine::kIncremental,
                                   core::ScoringEngine::kReference}) {
-            double best_s = std::numeric_limits<double>::infinity();
+            std::vector<double> samples;
+            samples.reserve(static_cast<std::size_t>(reps));
             for (int r = 0; r < reps; ++r) {
                 const auto planner = c.make(engine);
                 const auto res = planner->plan(*ctx);
-                best_s = std::min(best_s, res.stats.runtime_s);
+                samples.push_back(res.stats.runtime_s);
                 if (engine == core::ScoringEngine::kIncremental) {
                     row.planned_mb = res.stats.planned_mb;
                     row.iterations = res.stats.iterations;
@@ -388,10 +428,13 @@ std::vector<PlannerBaseline> run_planner_baselines(bool quick) {
                     planned_ref = res.stats.planned_mb;
                 }
             }
+            const TimingStats t = timing_stats(std::move(samples));
             if (engine == core::ScoringEngine::kIncremental) {
-                row.incremental_s = best_s;
+                row.incremental_s = t.min_s;
+                row.incremental = t;
             } else {
-                row.reference_s = best_s;
+                row.reference_s = t.min_s;
+                row.reference = t;
             }
         }
         // The baseline doubles as an equivalence check: bit-identical plans
@@ -422,6 +465,12 @@ void write_planner_baselines(const std::string& path, bool quick,
         c["incremental_s"] = r.incremental_s;
         c["reference_s"] = r.reference_s;
         c["speedup"] = r.speedup;
+        // Rep aggregates: the regression gate prefers *_med_s when both
+        // baseline and current carry it; min stays the legacy metric above.
+        c["incremental_med_s"] = r.incremental.median_s;
+        c["incremental_std_s"] = r.incremental.stddev_s;
+        c["reference_med_s"] = r.reference.median_s;
+        c["reference_std_s"] = r.reference.stddev_s;
         cases.push_back(std::move(c));
     }
     doc["cases"] = std::move(cases);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "uavdc/core/incremental_scorer.hpp"
 #include "uavdc/core/planner.hpp"
 #include "uavdc/model/instance.hpp"
 #include "uavdc/util/flags.hpp"
@@ -35,11 +36,32 @@ struct BenchSettings {
     int replicates{5};     ///< instances per sweep point
     std::uint64_t seed{1}; ///< base seed; replicate i uses seed + i
     std::string out_dir;   ///< CSV output directory ("" = no CSV)
+    /// Scoring engine for the scoring-aware planners (alg2/alg3 and the
+    /// benchmark planner). `--scoring=incremental-fast` runs the figure
+    /// sweep on the epsilon tier (reassociated 8-lane gain sums); its drift
+    /// against the default tier is characterized at full scale by
+    /// `uavdc conformance --fast-scoring`.
+    core::ScoringEngine scoring{core::ScoringEngine::kIncremental};
 
-    /// Parse --full / --replicates / --seed / --out flags (UAVDC_FULL=1
-    /// also enables full mode).
+    /// Parse --full / --replicates / --seed / --out / --scoring flags
+    /// (UAVDC_FULL=1 also enables full mode).
     static BenchSettings parse(int argc, char** argv);
 };
+
+/// Robust timing aggregates over benchmark repetitions. `min_s` is the
+/// classical best-of (least noise-inflated); `median_s` is what
+/// scripts/check_perf_regression.py compares, since it tolerates a single
+/// interrupted rep without reading as a regression.
+struct TimingStats {
+    double min_s{0.0};
+    double median_s{0.0};
+    double mean_s{0.0};
+    double stddev_s{0.0};
+};
+
+/// Aggregate `samples` (seconds per rep; must be non-empty). Sorts a copy;
+/// even-sized medians average the middle pair. Population stddev.
+[[nodiscard]] TimingStats timing_stats(std::vector<double> samples);
 
 /// Generator config for the current mode: paper scale in full mode, the
 /// density-preserving 0.35-scaled field otherwise.
@@ -87,6 +109,9 @@ struct AlgoParams {
     double delta_m{10.0};
     int max_candidates{1200};
     int grasp_iterations{6};
+    /// Engine for the scoring-aware planners (copied from
+    /// BenchSettings::scoring by default_algo_params; alg1/GRASP ignores it).
+    core::ScoringEngine scoring{core::ScoringEngine::kIncremental};
 };
 
 /// Mode defaults: fast mode trims the candidate cap and GRASP restarts.
@@ -96,7 +121,8 @@ struct AlgoParams {
 [[nodiscard]] PlannerFactory alg1_factory(const AlgoParams& p);
 [[nodiscard]] PlannerFactory alg2_factory(const AlgoParams& p);
 [[nodiscard]] PlannerFactory alg3_factory(const AlgoParams& p, int k);
-[[nodiscard]] PlannerFactory benchmark_factory();
+[[nodiscard]] PlannerFactory benchmark_factory(
+    core::ScoringEngine scoring = core::ScoringEngine::kIncremental);
 
 /// One row of the tracked planner perf baseline (BENCH_planners.json):
 /// the same seeded instance planned with the incremental scoring engine and
@@ -112,6 +138,8 @@ struct PlannerBaseline {
     double incremental_s{0.0};  ///< best wall time, incremental engine
     double reference_s{0.0};    ///< best wall time, reference engine
     double speedup{0.0};        ///< reference_s / incremental_s
+    TimingStats incremental;    ///< full rep aggregates, incremental engine
+    TimingStats reference;      ///< full rep aggregates, reference engine
 };
 
 /// Run the tracked planner perf cases (alg2 large grid, alg2 exact-ratio

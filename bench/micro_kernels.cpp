@@ -10,11 +10,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "uavdc/core/batch_kernels.hpp"
 #include "uavdc/core/soa_layout.hpp"
 #include "uavdc/geom/vec2.hpp"
@@ -50,16 +52,19 @@ Cloud make_cloud(std::size_t n, std::uint64_t seed) {
     return c;
 }
 
-/// Best-of-`reps` wall time of `fn()` (each call must do the full sweep).
+/// Wall-time aggregates over `reps` calls of `fn()` (each call must do the
+/// full sweep). `min_s` is the legacy best-of metric; the regression gate
+/// compares medians.
 template <typename F>
-double best_seconds(int reps, F&& fn) {
-    double best = 1e300;
+bench::TimingStats timed_reps(int reps, F&& fn) {
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
     for (int r = 0; r < reps; ++r) {
         const util::Timer t;
         fn();
-        best = std::min(best, t.seconds());
+        samples.push_back(t.seconds());
     }
-    return best;
+    return bench::timing_stats(std::move(samples));
 }
 
 struct KernelCase {
@@ -68,6 +73,8 @@ struct KernelCase {
     double batched_s{0};  ///< best wall time, batched kernel
     double scalar_s{0};   ///< best wall time, scalar AoS loop
     double speedup{0};    ///< scalar_s / batched_s
+    bench::TimingStats batched;  ///< full rep aggregates, batched kernel
+    bench::TimingStats scalar;   ///< full rep aggregates, scalar loop
 };
 
 KernelCase case_distances(bool quick, bool squared) {
@@ -80,7 +87,7 @@ KernelCase case_distances(bool quick, bool squared) {
     KernelCase out;
     out.name = squared ? "dist2_batch" : "dist_batch";
     out.n = static_cast<int>(n);
-    out.batched_s = best_seconds(reps, [&] {
+    out.batched = timed_reps(reps, [&] {
         for (int s = 0; s < sweeps; ++s) {
             if (squared) {
                 core::kernels::squared_distances_to_point(
@@ -92,7 +99,7 @@ KernelCase case_distances(bool quick, bool squared) {
             benchmark::DoNotOptimize(batched.data());
         }
     });
-    out.scalar_s = best_seconds(reps, [&] {
+    out.scalar = timed_reps(reps, [&] {
         for (int s = 0; s < sweeps; ++s) {
             for (std::size_t i = 0; i < n; ++i) {
                 scalar[i] = squared ? geom::distance2(c.aos[i], q)
@@ -105,6 +112,8 @@ KernelCase case_distances(bool quick, bool squared) {
         UAVDC_CHECK(batched[i] == scalar[i])
             << out.name << ": lane " << i << " diverged";
     }
+    out.batched_s = out.batched.min_s;
+    out.scalar_s = out.scalar.min_s;
     out.speedup = out.scalar_s / out.batched_s;
     return out;
 }
@@ -120,7 +129,7 @@ KernelCase case_insertion_deltas(bool quick) {
     KernelCase out;
     out.name = "insertion_deltas";
     out.n = static_cast<int>(n);
-    out.batched_s = best_seconds(5, [&] {
+    out.batched = timed_reps(5, [&] {
         for (int s = 0; s < sweeps; ++s) {
             core::kernels::insertion_edge_deltas(c.xs.data(), c.ys.data(), n,
                                                  a, p, b, len_ap, len_pb,
@@ -128,7 +137,7 @@ KernelCase case_insertion_deltas(bool quick) {
             benchmark::DoNotOptimize(n1.data());
         }
     });
-    out.scalar_s = best_seconds(5, [&] {
+    out.scalar = timed_reps(5, [&] {
         for (int s = 0; s < sweeps; ++s) {
             for (std::size_t i = 0; i < n; ++i) {
                 const geom::Vec2 x = c.aos[i];
@@ -143,6 +152,8 @@ KernelCase case_insertion_deltas(bool quick) {
         UAVDC_CHECK(n1[i] == m1[i] && n2[i] == m2[i])
             << out.name << ": lane " << i << " diverged";
     }
+    out.batched_s = out.batched.min_s;
+    out.scalar_s = out.scalar.min_s;
     out.speedup = out.scalar_s / out.batched_s;
     return out;
 }
@@ -155,7 +166,7 @@ KernelCase case_matrix_fill(bool quick) {
     KernelCase out;
     out.name = "matrix_fill";
     out.n = static_cast<int>(n);
-    out.batched_s = best_seconds(5, [&] {
+    out.batched = timed_reps(5, [&] {
         for (std::size_t r = 0; r < n; ++r) {
             const geom::Vec2 p = c.aos[r];
             for (std::size_t c0 = 0; c0 < n; c0 += kColTile) {
@@ -166,7 +177,7 @@ KernelCase case_matrix_fill(bool quick) {
         }
         benchmark::DoNotOptimize(flat_b.data());
     });
-    out.scalar_s = best_seconds(5, [&] {
+    out.scalar = timed_reps(5, [&] {
         for (std::size_t r = 0; r < n; ++r) {
             for (std::size_t col = 0; col < n; ++col) {
                 flat_s[r * n + col] = geom::distance(c.aos[r], c.aos[col]);
@@ -178,6 +189,103 @@ KernelCase case_matrix_fill(bool quick) {
         UAVDC_CHECK(flat_b[i] == flat_s[i])
             << out.name << ": cell " << i << " diverged";
     }
+    out.batched_s = out.batched.min_s;
+    out.scalar_s = out.scalar.min_s;
+    out.speedup = out.scalar_s / out.batched_s;
+    return out;
+}
+
+/// Squared insertion lower bounds (the tour-builder prune pass) vs the
+/// scalar squared-distance loop. Outputs are asserted bit-identical before
+/// timing — the pruned-vs-exact contract the planner's bound-then-verify
+/// scan relies on.
+KernelCase case_squared_insertion_lb(bool quick) {
+    const std::size_t n = quick ? 1u << 13 : 1u << 16;
+    const Cloud c = make_cloud(n, 37);
+    const geom::Vec2 a{100.0, 120.0}, p{480.0, 510.0}, b{900.0, 140.0};
+    std::vector<double> s1(n), s2(n), m1(n), m2(n);
+    const int sweeps = quick ? 30 : 60;
+    KernelCase out;
+    out.name = "squared_insertion_lb";
+    out.n = static_cast<int>(n);
+    out.batched = timed_reps(5, [&] {
+        for (int s = 0; s < sweeps; ++s) {
+            core::kernels::squared_insertion_lower_bounds(
+                c.xs.data(), c.ys.data(), n, a, p, b, s1.data(), s2.data());
+            benchmark::DoNotOptimize(s1.data());
+        }
+    });
+    out.scalar = timed_reps(5, [&] {
+        for (int s = 0; s < sweeps; ++s) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const geom::Vec2 x = c.aos[i];
+                const double d2_xp = geom::distance2(x, p);
+                m1[i] = geom::distance2(a, x) + d2_xp;
+                m2[i] = d2_xp + geom::distance2(x, b);
+            }
+            benchmark::DoNotOptimize(m1.data());
+        }
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+        UAVDC_CHECK(s1[i] == m1[i] && s2[i] == m2[i])
+            << out.name << ": lane " << i << " diverged";
+    }
+    out.batched_s = out.batched.min_s;
+    out.scalar_s = out.scalar.min_s;
+    out.speedup = out.scalar_s / out.batched_s;
+    return out;
+}
+
+/// Squared distance-matrix tile fill vs the exact (sqrt-taking) fill. The
+/// deferral identity is asserted bitwise before timing: sqrt of every
+/// squared cell must reproduce the exact tile exactly, which is what lets
+/// consumers defer the sqrt to survivors without changing any plan.
+KernelCase case_squared_matrix_fill(bool quick) {
+    const std::size_t n = quick ? 192 : 640;
+    const Cloud c = make_cloud(n, 41);
+    std::vector<double> flat_sq(n * n), flat_exact(n * n);
+    constexpr std::size_t kColTile = 1024;
+    for (std::size_t r = 0; r < n; ++r) {
+        const geom::Vec2 p = c.aos[r];
+        core::kernels::fill_squared_distance_tile(c.xs.data(), c.ys.data(), 0,
+                                                  n, p.x, p.y,
+                                                  flat_sq.data() + r * n);
+        core::kernels::fill_distance_tile(c.xs.data(), c.ys.data(), 0, n, p.x,
+                                          p.y, flat_exact.data() + r * n);
+    }
+    for (std::size_t i = 0; i < n * n; ++i) {
+        UAVDC_CHECK(std::sqrt(flat_sq[i]) == flat_exact[i])
+            << "sq_matrix_fill: deferral identity broke at cell " << i;
+    }
+    KernelCase out;
+    out.name = "sq_matrix_fill";
+    out.n = static_cast<int>(n);
+    out.batched = timed_reps(5, [&] {
+        for (std::size_t r = 0; r < n; ++r) {
+            const geom::Vec2 p = c.aos[r];
+            for (std::size_t c0 = 0; c0 < n; c0 += kColTile) {
+                core::kernels::fill_squared_distance_tile(
+                    c.xs.data(), c.ys.data(), c0, std::min(n, c0 + kColTile),
+                    p.x, p.y, flat_sq.data() + r * n);
+            }
+        }
+        benchmark::DoNotOptimize(flat_sq.data());
+    });
+    // "scalar" column: the exact tile fill — the speedup column is the pure
+    // sqrt-deferral gain, both sides batched.
+    out.scalar = timed_reps(5, [&] {
+        for (std::size_t r = 0; r < n; ++r) {
+            const geom::Vec2 p = c.aos[r];
+            for (std::size_t c0 = 0; c0 < n; c0 += kColTile) {
+                core::kernels::fill_distance_tile(
+                    c.xs.data(), c.ys.data(), c0, std::min(n, c0 + kColTile),
+                    p.x, p.y, flat_exact.data() + r * n);
+            }
+        }
+        benchmark::DoNotOptimize(flat_exact.data());
+    });
+    out.batched_s = out.batched.min_s;
+    out.scalar_s = out.scalar.min_s;
     out.speedup = out.scalar_s / out.batched_s;
     return out;
 }
@@ -198,7 +306,7 @@ KernelCase case_capped_sum(bool quick) {
     KernelCase out;
     out.name = "capped_sum";
     out.n = static_cast<int>(m);
-    out.batched_s = best_seconds(5, [&] {
+    out.batched = timed_reps(5, [&] {
         double acc = 0.0;
         for (int s = 0; s < sweeps; ++s) {
             acc += core::kernels::capped_sum_fast(idx.data(), m,
@@ -206,7 +314,7 @@ KernelCase case_capped_sum(bool quick) {
         }
         benchmark::DoNotOptimize(acc);
     });
-    out.scalar_s = best_seconds(5, [&] {
+    out.scalar = timed_reps(5, [&] {
         double acc = 0.0;
         for (int s = 0; s < sweeps; ++s) {
             acc += core::kernels::capped_sum_ordered(idx.data(), m,
@@ -214,13 +322,16 @@ KernelCase case_capped_sum(bool quick) {
         }
         benchmark::DoNotOptimize(acc);
     });
+    out.batched_s = out.batched.min_s;
+    out.scalar_s = out.scalar.min_s;
     out.speedup = out.scalar_s / out.batched_s;
     return out;
 }
 
 std::vector<KernelCase> run_kernel_baselines(bool quick) {
-    return {case_distances(quick, true), case_distances(quick, false),
-            case_insertion_deltas(quick), case_matrix_fill(quick),
+    return {case_distances(quick, true),     case_distances(quick, false),
+            case_insertion_deltas(quick),    case_squared_insertion_lb(quick),
+            case_matrix_fill(quick),         case_squared_matrix_fill(quick),
             case_capped_sum(quick)};
 }
 
@@ -237,6 +348,12 @@ void write_kernel_baselines(const std::string& path, bool quick,
         c["batched_s"] = r.batched_s;
         c["scalar_s"] = r.scalar_s;
         c["speedup"] = r.speedup;
+        // Rep aggregates: the regression gate prefers *_med_s when both
+        // baseline and current carry it; min stays the legacy metric above.
+        c["batched_med_s"] = r.batched.median_s;
+        c["batched_std_s"] = r.batched.stddev_s;
+        c["scalar_med_s"] = r.scalar.median_s;
+        c["scalar_std_s"] = r.scalar.stddev_s;
         cases.push_back(std::move(c));
     }
     doc["cases"] = std::move(cases);

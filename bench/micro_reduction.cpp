@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "uavdc/core/candidate_reduction.hpp"
 #include "uavdc/core/planning_context.hpp"
 #include "uavdc/core/registry.hpp"
@@ -38,16 +39,18 @@ using namespace uavdc;
 
 constexpr std::uint64_t kSeed = 7;
 
-/// Best-of-`reps` wall time of `fn()`.
+/// Wall-time aggregates over `reps` calls of `fn()`. `min_s` is the legacy
+/// best-of metric; the regression gate compares medians.
 template <typename F>
-double best_seconds(int reps, F&& fn) {
-    double best = 1e300;
+bench::TimingStats timed_reps(int reps, F&& fn) {
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
     for (int r = 0; r < reps; ++r) {
         const util::Timer t;
         fn();
-        best = std::min(best, t.seconds());
+        samples.push_back(t.seconds());
     }
-    return best;
+    return bench::timing_stats(std::move(samples));
 }
 
 struct ReductionCase {
@@ -58,6 +61,7 @@ struct ReductionCase {
     double reduce_s{0}; ///< one-off reduce_candidates cost (0 = no reduction)
     double planned_mb{0};
     double speedup{0};  ///< unreduced plan_s / this case's plan_s
+    bench::TimingStats plan;  ///< full rep aggregates of the planning time
 };
 
 /// The benchmarked throughput profile: 6x grid coarsening, nothing else.
@@ -82,13 +86,14 @@ ReductionCase time_planner(const std::string& name,
     ReductionCase out;
     out.name = name;
     out.devices = static_cast<int>(ctx.instance().devices.size());
-    out.plan_s = best_seconds(reps, [&] {
+    out.plan = timed_reps(reps, [&] {
         res = planner->plan(ctx);
         // Sink a copy: DoNotOptimize's in-place register round-trip may
         // clobber the lvalue it is handed, and we still read `res` below.
         double sink = res.stats.planned_mb;
         benchmark::DoNotOptimize(sink);
     });
+    out.plan_s = out.plan.min_s;
     out.candidates = res.stats.candidates;
     out.planned_mb = res.stats.planned_mb;
     return out;
@@ -174,6 +179,10 @@ void write_reduction_baselines(const std::string& path, bool quick,
         c["reduce_s"] = r.reduce_s;
         c["planned_mb"] = r.planned_mb;
         c["speedup"] = r.speedup;
+        // Rep aggregates: the regression gate prefers *_med_s when both
+        // baseline and current carry it; min stays the legacy metric above.
+        c["plan_med_s"] = r.plan.median_s;
+        c["plan_std_s"] = r.plan.stddev_s;
         cases.push_back(std::move(c));
     }
     doc["cases"] = std::move(cases);

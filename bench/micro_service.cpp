@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "uavdc/io/json.hpp"
 #include "uavdc/service/jsonl.hpp"
 #include "uavdc/service/plan_service.hpp"
@@ -126,9 +127,10 @@ struct ServiceBaseline {
     int requests{0};
     int workers{0};
     bool warm{false};
-    double runtime_s{0.0};
+    double runtime_s{0.0};  ///< best-of-reps wall time (legacy metric)
     double rps{0.0};
     double cache_hit_rate{0.0};
+    bench::TimingStats timing;  ///< full rep aggregates
 };
 
 ServiceBaseline run_case(const std::string& name, int requests, int workers,
@@ -139,16 +141,25 @@ ServiceBaseline run_case(const std::string& name, int requests, int workers,
     row.workers = workers;
     row.warm = warm;
     const auto reqs = bench_requests(requests, 17);
-    service::PlanService svc(
-        service_config(static_cast<std::size_t>(workers)));
-    if (warm) run_batch(svc, reqs);
-    util::Timer timer;
-    run_batch(svc, reqs);
-    row.runtime_s = timer.seconds();
+    // A fresh service per rep keeps cold cases cold (re-running a batch on
+    // the same service would be a cache hit); warm cases prime theirs first.
+    const int reps = 3;
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        service::PlanService svc(
+            service_config(static_cast<std::size_t>(workers)));
+        if (warm) run_batch(svc, reqs);
+        util::Timer timer;
+        run_batch(svc, reqs);
+        samples.push_back(timer.seconds());
+        row.cache_hit_rate = svc.stats().cache_hit_rate();
+    }
+    row.timing = bench::timing_stats(std::move(samples));
+    row.runtime_s = row.timing.min_s;
     row.rps = row.runtime_s > 0.0
                   ? static_cast<double>(requests) / row.runtime_s
                   : 0.0;
-    row.cache_hit_rate = svc.stats().cache_hit_rate();
     return row;
 }
 
@@ -173,6 +184,10 @@ void write_service_baselines(const std::string& path, bool quick,
         row["runtime_s"] = r.runtime_s;
         row["rps"] = r.rps;
         row["cache_hit_rate"] = r.cache_hit_rate;
+        // Rep aggregates: the regression gate prefers *_med_s when both
+        // baseline and current carry it; min stays the legacy metric above.
+        row["runtime_med_s"] = r.timing.median_s;
+        row["runtime_std_s"] = r.timing.stddev_s;
         cases.push_back(std::move(row));
     }
     io::Json doc;

@@ -12,6 +12,12 @@ Two schemas are understood, both with a top-level ``cases`` list:
 - ``uavdc-bench-reduction-v1`` (``micro_reduction --baseline_out=...``),
   compared on each case's ``plan_s``.
 
+When every case in *both* files also carries the matching ``*_med_s``
+median-of-reps field, the comparison runs on the median instead — it
+tolerates a single interrupted rep without reading as a regression, where
+min/best-of stays noise-prone at 1-3 reps. Older baselines without the
+median fields fall back to the legacy metric above.
+
 Baseline and current file must carry the same schema. The check fails when
 any case's runtime regresses by more than --max-ratio (default 2x) relative
 to the checked-in run, or when a case disappeared.
@@ -36,6 +42,14 @@ SCHEMAS = {
     "uavdc-bench-service-v1": ("runtime_s", "rps"),
     "uavdc-bench-kernels-v1": ("batched_s", "speedup"),
     "uavdc-bench-reduction-v1": ("plan_s", "speedup"),
+}
+
+# legacy (min/best-of) metric -> median-of-reps companion field
+MEDIAN_FIELDS = {
+    "incremental_s": "incremental_med_s",
+    "runtime_s": "runtime_med_s",
+    "batched_s": "batched_med_s",
+    "plan_s": "plan_med_s",
 }
 
 # schema -> regenerating tool
@@ -84,6 +98,10 @@ def main():
         sys.exit(f"schema mismatch: baseline is {base_schema}, "
                  f"current is {cur_schema}")
     metric, extra = SCHEMAS[base_schema]
+    med = MEDIAN_FIELDS[metric]
+    if all(med in c for c in base.values()) and \
+            all(med in c for c in cur.values()):
+        metric = med
 
     missing = sorted(set(base) - set(cur))
     if missing:
@@ -94,6 +112,7 @@ def main():
     cur_share = shares(cur, metric)
 
     failed = False
+    print(f"comparing per-case {metric} shares ({base_schema})")
     print(f"{'case':24s} {'base share':>11s} {'cur share':>11s} "
           f"{'ratio':>7s} {extra:>10s}")
     for name in sorted(base):

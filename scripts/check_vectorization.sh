@@ -49,7 +49,9 @@ kernels=(
     squared_distances_to_point
     distances_to_point
     insertion_edge_deltas
+    squared_insertion_lower_bounds
     fill_distance_tile
+    fill_squared_distance_tile
 )
 
 status=0

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerate every checked-in benchmark baseline (bench/BENCH_*.json) in one
+# command.
+#
+#   scripts/rebaseline.sh [build-dir]
+#
+# Runs the four tracked --baseline_out binaries (micro_planners,
+# micro_service, micro_kernels, micro_reduction) twice each: once in quick
+# mode to refresh the CI smoke baselines (BENCH_*_quick.json, gated by
+# scripts/check_perf_regression.py) and once at full scale to refresh the
+# tracked full-mode numbers (BENCH_*.json). Run this on a quiet machine
+# after an intentional perf change, eyeball the diff, and commit the JSON
+# alongside the change — the gate compares per-case runtime *shares*, so
+# absolute machine speed does not need to match CI's.
+#
+# The build dir must be an existing Release configuration (the default
+# `cmake -S . -B build -DCMAKE_BUILD_TYPE=Release && cmake --build build`).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+build_dir="${1:-build}"
+if [ ! -d "$build_dir/bench" ]; then
+    echo "rebaseline.sh: $build_dir/bench not found — build the Release" \
+         "tree first (cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+tools=(micro_planners micro_service micro_kernels micro_reduction)
+names=(planners service kernels reduction)
+
+for i in "${!tools[@]}"; do
+    tool="$build_dir/bench/${tools[$i]}"
+    name="${names[$i]}"
+    if [ ! -x "$tool" ]; then
+        echo "rebaseline.sh: $tool not built" >&2
+        exit 1
+    fi
+    echo "== ${tools[$i]} (quick) =="
+    "$tool" --baseline_out="bench/BENCH_${name}_quick.json" --quick
+    echo "== ${tools[$i]} (full) =="
+    "$tool" --baseline_out="bench/BENCH_${name}.json"
+done
+
+echo "rebaselined: bench/BENCH_{planners,service,kernels,reduction}{_quick,}.json"

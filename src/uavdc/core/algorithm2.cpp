@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <memory_resource>
+#include <optional>
 
 #include "uavdc/core/batch_kernels.hpp"
 #include "uavdc/core/planning_context.hpp"
@@ -83,7 +84,8 @@ PlanResult GreedyCoveragePlanner::plan(const PlanningContext& ctx) {
                    : plan_incremental(ctx, view);
     };
     if (!cfg_.reduction.enabled()) {
-        return run(CandidateView{&ctx.candidates(), &ctx.candidate_soa(), {}});
+        return run(CandidateView{&ctx.candidates(), &ctx.candidate_soa(), {},
+                                 &ctx.inverted_coverage()});
     }
     util::Timer timer;
     const ReducedCandidates& reduced = ctx.reduced_candidates(cfg_.reduction);
@@ -112,8 +114,9 @@ PlanResult GreedyCoveragePlanner::plan(const PlanningContext& ctx) {
         // reach, and the refine band has no incumbent tour to grow from).
         // Fall back to the full set — the pathological case pays the full
         // planning cost, every other case keeps the reduction win.
-        PlanResult full = run(CandidateView{&ctx.candidates(),
-                                            &ctx.candidate_soa(), {}});
+        PlanResult full =
+            run(CandidateView{&ctx.candidates(), &ctx.candidate_soa(), {},
+                              &ctx.inverted_coverage()});
         iterations += full.stats.iterations;
         if (full.stats.planned_mb > out.stats.planned_mb) {
             out = std::move(full);
@@ -300,7 +303,15 @@ PlanResult GreedyCoveragePlanner::plan_incremental(
     const CandidateSoa& csoa = *view.soa;
     InsertionCache cache(tour, std::span(csoa.pos.xs.data(), n),
                          std::span(csoa.pos.ys.data(), n), mr);
-    const InvertedCoverageIndex inverted(*view.set, inst.devices.size());
+    // Device -> covering-candidates inversion: reuse the view's prebuilt
+    // index (context- or reduction-memoized; the warm-serve win), building
+    // locally only for bare views.
+    std::optional<InvertedCoverageIndex> local_inverted;
+    if (view.inverted == nullptr) {
+        local_inverted.emplace(*view.set, inst.devices.size());
+    }
+    const InvertedCoverageIndex& inverted =
+        view.inverted != nullptr ? *view.inverted : *local_inverted;
     LazyGreedyQueue queue(n);
 
     // Residual gains, refreshed only for candidates whose coverage

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <memory_resource>
+#include <optional>
 
 #include "uavdc/core/batch_kernels.hpp"
 #include "uavdc/core/planning_context.hpp"
@@ -39,7 +40,8 @@ PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
                    : plan_incremental(ctx, view);
     };
     if (!cfg_.reduction.enabled()) {
-        return run(CandidateView{&ctx.candidates(), &ctx.candidate_soa(), {}});
+        return run(CandidateView{&ctx.candidates(), &ctx.candidate_soa(), {},
+                                 &ctx.inverted_coverage()});
     }
     util::Timer timer;
     const ReducedCandidates& reduced = ctx.reduced_candidates(cfg_.reduction);
@@ -66,8 +68,9 @@ PlanResult PartialCollectionPlanner::plan(const PlanningContext& ctx) {
         // Same fallback as GreedyCoveragePlanner::plan: an empty reduced
         // plan means the pruning removed every reachable candidate, so
         // re-plan on the full set rather than report zero collection.
-        PlanResult full = run(CandidateView{&ctx.candidates(),
-                                            &ctx.candidate_soa(), {}});
+        PlanResult full =
+            run(CandidateView{&ctx.candidates(), &ctx.candidate_soa(), {},
+                              &ctx.inverted_coverage()});
         iterations += full.stats.iterations;
         if (full.stats.planned_mb > out.stats.planned_mb) {
             out = std::move(full);
@@ -269,7 +272,15 @@ PlanResult PartialCollectionPlanner::plan_incremental(
     const bool fast = cfg_.scoring == ScoringEngine::kIncrementalFast;
     InsertionCache cache(tour, std::span(csoa.pos.xs.data(), n),
                          std::span(csoa.pos.ys.data(), n), mr);
-    const InvertedCoverageIndex inverted(*view.set, inst.devices.size());
+    // Device -> covering-candidates inversion: reuse the view's prebuilt
+    // index (context- or reduction-memoized; the warm-serve win), building
+    // locally only for bare views.
+    std::optional<InvertedCoverageIndex> local_inverted;
+    if (view.inverted == nullptr) {
+        local_inverted.emplace(*view.set, inst.devices.size());
+    }
+    const InvertedCoverageIndex& inverted =
+        view.inverted != nullptr ? *view.inverted : *local_inverted;
     LazyGreedyQueue queue(n);
     std::pmr::vector<Score> scores(n, Score{}, mr);  // read back on selection
 

@@ -87,6 +87,36 @@ UAVDC_KERNEL_BODY void fill_distance_tile_body(const double* xs,
     }
 }
 
+UAVDC_KERNEL_BODY void fill_squared_distance_tile_body(
+    const double* xs, const double* ys, std::size_t c0, std::size_t c1,
+    double px, double py, double* row) {
+    for (std::size_t c = c0; c < c1; ++c) {
+        const double dx = px - xs[c];
+        const double dy = py - ys[c];
+        row[c] = dx * dx + dy * dy;
+    }
+}
+
+UAVDC_KERNEL_BODY void squared_insertion_lower_bounds_body(
+    const double* xs, const double* ys, std::size_t n, geom::Vec2 a,
+    geom::Vec2 p, geom::Vec2 b, double* s1, double* s2) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = xs[i];
+        const double y = ys[i];
+        const double dxp_x = x - p.x;
+        const double dxp_y = y - p.y;
+        const double d2_xp = dxp_x * dxp_x + dxp_y * dxp_y;
+        const double dax_x = a.x - x;
+        const double dax_y = a.y - y;
+        const double d2_ax = dax_x * dax_x + dax_y * dax_y;
+        const double dxb_x = x - b.x;
+        const double dxb_y = y - b.y;
+        const double d2_xb = dxb_x * dxb_x + dxb_y * dxb_y;
+        s1[i] = d2_ax + d2_xp;
+        s2[i] = d2_xp + d2_xb;
+    }
+}
+
 #if UAVDC_HAVE_AVX2_DISPATCH
 
 [[nodiscard]] bool cpu_has_avx2() {
@@ -118,6 +148,18 @@ __attribute__((target("avx2"))) void fill_distance_tile_avx2(
     const double* xs, const double* ys, std::size_t c0, std::size_t c1,
     double px, double py, double* row) {
     fill_distance_tile_body(xs, ys, c0, c1, px, py, row);
+}
+
+__attribute__((target("avx2"))) void fill_squared_distance_tile_avx2(
+    const double* xs, const double* ys, std::size_t c0, std::size_t c1,
+    double px, double py, double* row) {
+    fill_squared_distance_tile_body(xs, ys, c0, c1, px, py, row);
+}
+
+__attribute__((target("avx2"))) void squared_insertion_lower_bounds_avx2(
+    const double* xs, const double* ys, std::size_t n, geom::Vec2 a,
+    geom::Vec2 p, geom::Vec2 b, double* s1, double* s2) {
+    squared_insertion_lower_bounds_body(xs, ys, n, a, p, b, s1, s2);
 }
 
 #endif  // UAVDC_HAVE_AVX2_DISPATCH
@@ -170,6 +212,30 @@ void fill_distance_tile(const double* xs, const double* ys, std::size_t c0,
     }
 #endif
     fill_distance_tile_body(xs, ys, c0, c1, px, py, row);
+}
+
+void fill_squared_distance_tile(const double* xs, const double* ys,
+                                std::size_t c0, std::size_t c1, double px,
+                                double py, double* row) {
+#if UAVDC_HAVE_AVX2_DISPATCH
+    if (cpu_has_avx2()) {
+        fill_squared_distance_tile_avx2(xs, ys, c0, c1, px, py, row);
+        return;
+    }
+#endif
+    fill_squared_distance_tile_body(xs, ys, c0, c1, px, py, row);
+}
+
+void squared_insertion_lower_bounds(const double* xs, const double* ys,
+                                    std::size_t n, geom::Vec2 a, geom::Vec2 p,
+                                    geom::Vec2 b, double* s1, double* s2) {
+#if UAVDC_HAVE_AVX2_DISPATCH
+    if (cpu_has_avx2()) {
+        squared_insertion_lower_bounds_avx2(xs, ys, n, a, p, b, s1, s2);
+        return;
+    }
+#endif
+    squared_insertion_lower_bounds_body(xs, ys, n, a, p, b, s1, s2);
 }
 
 // ---------------------------------------------------------------------------

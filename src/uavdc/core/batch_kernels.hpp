@@ -63,6 +63,31 @@ void insertion_edge_deltas(const double* xs, const double* ys, std::size_t n,
 void fill_distance_tile(const double* xs, const double* ys, std::size_t c0,
                         std::size_t c1, double px, double py, double* row);
 
+/// Squared-form companion of fill_distance_tile: row[c] = d2(p, node_c) for
+/// c in [c0, c1) — the same (p - node) difference expressions with the sqrt
+/// deferred. Each lane satisfies fill_distance_tile's output ==
+/// std::sqrt(this output) bit-for-bit (the deferral identity the
+/// micro_kernels cross-check asserts), so squared-space prefilters can
+/// resolve survivors by sqrt-ing exactly the values this kernel produced.
+void fill_squared_distance_tile(const double* xs, const double* ys,
+                                std::size_t c0, std::size_t c1, double px,
+                                double py, double* row);
+
+/// Squared lower-bound inputs for the InsertionCache::on_insert prune pass:
+/// for each candidate x_i = (xs[i], ys[i]),
+///   s1[i] = d2(a, x_i) + d2(x_i, p)   (edge a -> p)
+///   s2[i] = d2(x_i, p) + d2(x_i, b)   (edge p -> b)
+/// using the same difference expressions as insertion_edge_deltas but with
+/// every sqrt deferred. With |d(a,x) - d(x,p)| <= d(a,p) = len_ap (reverse
+/// triangle inequality over the edge), the exact delta obeys
+///   (d(a,x) + d(x,p))^2 = 2 * s1[i] - (d(a,x) - d(x,p))^2
+///                       >= 2 * s1[i] - len_ap^2,
+/// so a candidate whose squared sum fails the bound test cannot beat the
+/// caller's threshold; only survivors pay insertion_edge_deltas' 3 sqrts.
+void squared_insertion_lower_bounds(const double* xs, const double* ys,
+                                    std::size_t n, geom::Vec2 a, geom::Vec2 p,
+                                    geom::Vec2 b, double* s1, double* s2);
+
 // ---------------------------------------------------------------------------
 // Ordered reductions (bit-identical to the reference engines' loops).
 // Inline templates so both the int (HoverCandidate::covered) and

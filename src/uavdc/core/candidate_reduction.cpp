@@ -238,6 +238,11 @@ ReducedCandidates gather(const HoverCandidateSet& full,
     stats.kept = util::checked_cast<int>(out.set.candidates.size());
     out.stats = stats;
     out.soa = build_candidate_soa(out.set, num_devices);
+    // Invert coverage once here so memoized reductions hand every planner a
+    // ready device -> candidates index (reduced ids) instead of a per-plan
+    // rebuild.
+    out.inverted =
+        std::make_shared<InvertedCoverageIndex>(out.set, num_devices);
     return out;
 }
 

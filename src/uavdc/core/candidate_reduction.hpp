@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -10,6 +11,8 @@
 #include "uavdc/geom/vec2.hpp"
 
 namespace uavdc::core {
+
+class InvertedCoverageIndex;
 
 /// Candidate-space reduction options, applied between hover-candidate
 /// generation and planning (DESIGN.md "Candidate-space reduction"). All
@@ -74,6 +77,10 @@ struct CandidateView {
     const HoverCandidateSet* set{nullptr};
     const CandidateSoa* soa{nullptr};
     std::span<const std::int32_t> original_index{};
+    /// Optional device -> covering-candidates index over `set` (view-local
+    /// candidate ids). Null when the owner has not built one; planners then
+    /// fall back to constructing a per-plan index.
+    const InvertedCoverageIndex* inverted{nullptr};
 
     [[nodiscard]] std::size_t size() const { return set->size(); }
     /// Map a view-local candidate index to the full set's index (identity
@@ -92,11 +99,17 @@ struct ReducedCandidates {
     CandidateSoa soa;
     std::vector<std::int32_t> original_index;  ///< reduced idx -> full idx
     CandidateReductionStats stats;
+    /// Device -> covering-candidates index over `set`, built alongside the
+    /// SoA mirror so memoized reductions (PlanningContext, warm service
+    /// traffic) hand planners a ready inversion. shared_ptr keeps the struct
+    /// copyable.
+    std::shared_ptr<const InvertedCoverageIndex> inverted;
 
     [[nodiscard]] CandidateView view() const {
         return {&set, &soa,
                 std::span<const std::int32_t>(original_index.data(),
-                                              original_index.size())};
+                                              original_index.size()),
+                inverted.get()};
     }
 };
 

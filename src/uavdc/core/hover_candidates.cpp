@@ -41,7 +41,8 @@ double coverage_spread(const geom::Vec2& pos, const std::vector<int>& covered,
 }  // namespace
 
 HoverCandidateSet build_hover_candidates(const model::Instance& inst,
-                                         const HoverCandidateConfig& cfg) {
+                                         const HoverCandidateConfig& cfg,
+                                         const DeviceSoa* device_soa) {
     HoverCandidateSet out;
     out.delta_m = cfg.delta_m;
 
@@ -60,7 +61,12 @@ HoverCandidateSet build_hover_candidates(const model::Instance& inst,
     const double eta_h = inst.uav.hover_power_w;
     // SoA device plane for the scoring kernels: data volumes plus
     // precomputed upload times (bit-identical to Device::upload_time).
-    const DeviceSoa soa = build_device_soa(inst);
+    // Reuse the caller's copy when offered (build_device_soa is itself
+    // deterministic, so either path yields the same values).
+    const DeviceSoa local_soa =
+        device_soa == nullptr ? build_device_soa(inst) : DeviceSoa{};
+    const DeviceSoa& soa = device_soa == nullptr ? local_soa : *device_soa;
+    UAVDC_DCHECK(soa.data_mb.size() >= inst.devices.size());
 
     // Per-cell Eq. 6-8 quantities are independent: score every cell into
     // its own slot on the thread pool, then compact in cell order (keeps

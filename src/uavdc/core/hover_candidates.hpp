@@ -9,6 +9,8 @@
 
 namespace uavdc::core {
 
+struct DeviceSoa;
+
 /// Candidate-generation options (Sec. III-B / IV-A grid discretisation).
 struct HoverCandidateConfig {
     double delta_m = 10.0;  ///< grid edge length delta
@@ -54,8 +56,11 @@ struct HoverCandidateSet {
 
 /// Build candidate hovering locations for `inst`: partition the region into
 /// delta-squares, keep cells covering >= 1 device, compute Eq. 6-8
-/// quantities, dedupe and cap per `cfg`.
+/// quantities, dedupe and cap per `cfg`. When the caller already holds the
+/// instance's SoA device plane (PlanningContext builds it eagerly), passing
+/// it via `device_soa` skips the redundant rebuild; it must mirror `inst`.
 [[nodiscard]] HoverCandidateSet build_hover_candidates(
-    const model::Instance& inst, const HoverCandidateConfig& cfg);
+    const model::Instance& inst, const HoverCandidateConfig& cfg,
+    const DeviceSoa* device_soa = nullptr);
 
 }  // namespace uavdc::core

@@ -98,7 +98,7 @@ std::uint64_t PlanningContext::config_fingerprint(
 const HoverCandidateSet& PlanningContext::candidates() const {
     std::call_once(cand_once_, [this] {
         util::Timer timer;
-        cands_ = build_hover_candidates(inst_, cfg_);
+        cands_ = build_hover_candidates(inst_, cfg_, &device_soa_);
         g_candidate_build_ns.fetch_add(
             static_cast<std::uint64_t>(timer.seconds() * 1e9),
             std::memory_order_relaxed);
@@ -115,6 +115,14 @@ const CandidateSoa& PlanningContext::candidate_soa() const {
         cand_soa_ = build_candidate_soa(candidates(), inst_.devices.size());
     });
     return cand_soa_;
+}
+
+const InvertedCoverageIndex& PlanningContext::inverted_coverage() const {
+    std::call_once(inv_once_, [this] {
+        inverted_ = std::make_unique<InvertedCoverageIndex>(
+            candidates(), inst_.devices.size());
+    });
+    return *inverted_;
 }
 
 const ReducedCandidates& PlanningContext::reduced_candidates(

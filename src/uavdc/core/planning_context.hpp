@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "uavdc/core/candidate_reduction.hpp"
+#include "uavdc/core/incremental_scorer.hpp"
 #include "uavdc/model/energy_view.hpp"
 #include "uavdc/core/hover_candidates.hpp"
 #include "uavdc/core/scratch_arena.hpp"
@@ -109,6 +110,12 @@ class PlanningContext {
     /// lists; built once on first call (thread-safe), after candidates().
     [[nodiscard]] const CandidateSoa& candidate_soa() const;
 
+    /// Device -> covering-candidates index over the FULL candidate set;
+    /// built once on first call (thread-safe). Warm PlanService traffic and
+    /// repeat plans on a shared context reuse it instead of rebuilding the
+    /// inversion per plan() call.
+    [[nodiscard]] const InvertedCoverageIndex& inverted_coverage() const;
+
     /// Reduced candidate set for `cfg`, memoized per config fingerprint
     /// next to the SoA mirrors (thread-safe; stable address for the
     /// context's lifetime). Planners sharing a context therefore pay each
@@ -184,6 +191,9 @@ class PlanningContext {
 
     mutable std::once_flag soa_once_;
     mutable CandidateSoa cand_soa_;
+
+    mutable std::once_flag inv_once_;
+    mutable std::unique_ptr<InvertedCoverageIndex> inverted_;
 
     // Reduced-set memo: (reduction-config fingerprint -> reduction), built
     // under the mutex, unique_ptr for address stability across growth.

@@ -1,5 +1,6 @@
 #include "uavdc/core/tour_builder.hpp"
 
+#include <cmath>
 #include <limits>
 
 #include "uavdc/core/batch_kernels.hpp"
@@ -18,31 +19,70 @@ namespace {
 constexpr std::size_t kNeighborReoptMinNodes = 64;
 constexpr std::size_t kReoptNeighbors = 12;
 
-/// Per-thread distance scratch for the batched insertion scans (rebuild_all
-/// fans cheapest_insertion2 out over pool threads). Grow-only.
-thread_local std::vector<double> t_scan_dist;
+/// Per-thread squared-distance scratch for the batched insertion scans
+/// (rebuild_all fans cheapest_insertion2 out over pool threads). Grow-only.
+thread_local std::vector<double> t_scan_dist2;
+
+/// Relative slack on the squared-space prune tests. The bound compares
+/// 2 * (d2_a + d2_b) - len^2 against thr^2; every operand carries a few ulp
+/// of rounding, amplified by up to (d_a + d_b) / thr when the sums are far
+/// apart, so a 1e-10 relative margin keeps the test conservative (a pruned
+/// edge's exact computed delta is strictly above the threshold) with orders
+/// of magnitude to spare over double rounding error.
+constexpr double kSqrtPruneSlack = 1.0 + 1e-10;
 
 }  // namespace
 
-template <typename Consider>
-void TourBuilder::scan_edges(const geom::Vec2& p, Consider&& consider) const {
+template <typename Threshold, typename Consider>
+void TourBuilder::scan_edges(const geom::Vec2& p, Threshold&& bound,
+                             Consider&& consider) const {
     const std::size_t n = stops_.size();
-    UAVDC_DCHECK(n > 0 && edge_len_.size() == n + 1);
-    std::vector<double>& dist = t_scan_dist;
-    if (dist.size() < n) dist.resize(n);
-    // dist[i] = d(stops[i], p), batched; bit-identical to the scalar
-    // geom::distance both ways round (the squares kill the sign).
-    kernels::distances_to_point(sx_.data(), sy_.data(), n, p.x, p.y,
-                                dist.data());
+    UAVDC_DCHECK(n > 0 && edge_len_.size() == n + 1 &&
+                 edge_len2_.size() == n + 1);
+    std::vector<double>& d2 = t_scan_dist2;
+    if (d2.size() < n) d2.resize(n);
+    // d2[i] = d2(stops[i], p), batched. sqrt(d2[i]) is bit-identical to the
+    // distances_to_point lane the pre-deferral scan used: same difference
+    // expression in the same contraction-off kernel TU, and sqrt of the
+    // identical squared value is correctly rounded wherever it runs.
+    kernels::squared_distances_to_point(sx_.data(), sy_.data(), n, p.x, p.y,
+                                        d2.data());
+    // The depot distance keeps the exact pre-deferral expression (survivor
+    // deltas must not change bits); its squared form feeds only the
+    // conservative bound, where a ulp of drift vanishes in the slack.
     const double d_depot = geom::distance(depot_, p);
+    const double d2_depot = geom::distance2(depot_, p);
+    // Prune edge e iff squared space proves d_a + d_b > bound() + len_e,
+    // i.e. the exact delta d_a + d_b - len_e is strictly above bound():
+    //   (d_a + d_b)^2 = 2 * (d2_a + d2_b) - (d_a - d_b)^2
+    //                >= 2 * (d2_a + d2_b) - len_e^2
+    // by the reverse triangle inequality over the edge endpoints. A pruned
+    // edge can never win the strict-< argmin (nor tie for it), so the scan
+    // verdicts — position ties included — are bit-identical to considering
+    // every edge. bound() <= 0 (or +inf) disables the test.
+    const auto pruned = [&](std::size_t e, double s_sum) {
+        const double thr = bound() + edge_len_[e];
+        return thr > 0.0 &&
+               2.0 * s_sum - edge_len2_[e] >= thr * thr * kSqrtPruneSlack;
+    };
     // Edge depot -> stops[0].
-    consider(std::size_t{0}, d_depot + dist[0] - edge_len_[0]);
-    // Edges stops[i] -> stops[i+1].
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-        consider(i + 1, dist[i] + dist[i + 1] - edge_len_[i + 1]);
+    if (!pruned(0, d2_depot + d2[0])) {
+        consider(std::size_t{0}, d_depot + std::sqrt(d2[0]) - edge_len_[0]);
     }
+    // Edges stops[i] -> stops[i+1].
+    // NOLINTBEGIN(uavdc-batched-distance): survivor resolution — the batched
+    // squared kernel already ran above; only the few unpruned edges pay
+    // these scalar sqrts, which must be sqrt-of-the-buffered-value exactly.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (pruned(i + 1, d2[i] + d2[i + 1])) continue;
+        consider(i + 1,
+                 std::sqrt(d2[i]) + std::sqrt(d2[i + 1]) - edge_len_[i + 1]);
+    }
+    // NOLINTEND(uavdc-batched-distance)
     // Edge stops[n-1] -> depot.
-    consider(n, dist[n - 1] + d_depot - edge_len_[n]);
+    if (!pruned(n, d2[n - 1] + d2_depot)) {
+        consider(n, std::sqrt(d2[n - 1]) + d_depot - edge_len_[n]);
+    }
 }
 
 TourBuilder::Insertion TourBuilder::cheapest_insertion(
@@ -52,10 +92,13 @@ TourBuilder::Insertion TourBuilder::cheapest_insertion(
     }
     Insertion best{0, std::numeric_limits<double>::infinity()};
     // Scan order is ascending position, so the strict < keeps the earliest
-    // position among equal deltas.
-    scan_edges(p, [&](std::size_t pos, double d) {
-        if (d < best.delta_m) best = {pos, d};
-    });
+    // position among equal deltas. The running best is the prune bound: an
+    // edge provably worse than it cannot win.
+    scan_edges(
+        p, [&] { return best.delta_m; },
+        [&](std::size_t pos, double d) {
+            if (d < best.delta_m) best = {pos, d};
+        });
     return best;
 }
 
@@ -70,15 +113,18 @@ TourBuilder::Insertion2 TourBuilder::cheapest_insertion2(
     Insertion best{0, kInf};
     Insertion second{0, kInf};
     // Ascending positions + strict < keep the earliest position among equal
-    // deltas — for the runner-up too.
-    scan_edges(p, [&](std::size_t pos, double d) {
-        if (d < best.delta_m) {
-            second = best;
-            best = {pos, d};
-        } else if (d < second.delta_m) {
-            second = {pos, d};
-        }
-    });
+    // deltas — for the runner-up too. The prune bound is the running
+    // *runner-up*: an edge beating only the second must still be seen.
+    scan_edges(
+        p, [&] { return second.delta_m; },
+        [&](std::size_t pos, double d) {
+            if (d < best.delta_m) {
+                second = best;
+                best = {pos, d};
+            } else if (d < second.delta_m) {
+                second = {pos, d};
+            }
+        });
     out.best = best;
     if (second.delta_m < kInf) {
         out.second = second;
@@ -102,6 +148,21 @@ std::vector<double> TourBuilder::edge_lengths() const {
     return len;
 }
 
+std::vector<double> TourBuilder::edge_lengths2() const {
+    const std::size_t n = stops_.size();
+    if (n == 0) return {};
+    std::vector<double> len2(n + 1);
+    // NOLINTBEGIN(uavdc-batched-distance): oracle recomputation — the
+    // reference the maintained edge_len2() span is checked against.
+    len2[0] = geom::distance2(depot_, stops_[0]);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        len2[i + 1] = geom::distance2(stops_[i], stops_[i + 1]);
+    }
+    len2[n] = geom::distance2(stops_[n - 1], depot_);
+    // NOLINTEND(uavdc-batched-distance)
+    return len2;
+}
+
 void TourBuilder::insert(const geom::Vec2& p, int key, const Insertion& ins) {
     UAVDC_REQUIRE(ins.position <= stops_.size())
         << "insert at " << ins.position << " of " << stops_.size();
@@ -114,14 +175,19 @@ void TourBuilder::insert(const geom::Vec2& p, int key, const Insertion& ins) {
     keys_.insert(keys_.begin() + qd, key);
     sx_.insert(sx_.begin() + qd, p.x);
     sy_.insert(sy_.begin() + qd, p.y);
-    // Maintain edge_len_ with the exact expressions edge_lengths() would
-    // recompute: the removed edge a -> b becomes a -> p and p -> b.
+    // Maintain both mirrors with the exact expressions edge_lengths() /
+    // edge_lengths2() would recompute: the removed edge a -> b becomes
+    // a -> p and p -> b.
     if (edge_len_.empty()) {
         edge_len_ = {geom::distance(depot_, p), geom::distance(p, depot_)};
+        edge_len2_ = {geom::distance2(depot_, p), geom::distance2(p, depot_)};
     } else {
         edge_len_[q] = geom::distance(a, p);
         edge_len_.insert(edge_len_.begin() + qd + 1, geom::distance(p, b));
+        edge_len2_[q] = geom::distance2(a, p);
+        edge_len2_.insert(edge_len2_.begin() + qd + 1, geom::distance2(p, b));
     }
+    UAVDC_DCHECK(edge_len2_.size() == edge_len_.size());
     length_ += ins.delta_m;
 }
 
@@ -130,8 +196,13 @@ double TourBuilder::removal_delta(std::size_t pos) const {
     const std::size_t n = stops_.size();
     const geom::Vec2& prev = pos == 0 ? depot_ : stops_[pos - 1];
     const geom::Vec2& next = pos + 1 == n ? depot_ : stops_[pos + 1];
-    return geom::distance(prev, next) - geom::distance(prev, stops_[pos]) -
-           geom::distance(stops_[pos], next);
+    // The two incident edge lengths come from the maintained mirror instead
+    // of fresh sqrts; same operand order as the fresh expressions (and
+    // geom::distance is FP-symmetric), so the delta bits are unchanged.
+    UAVDC_DCHECK(edge_len_[pos] == geom::distance(prev, stops_[pos]) &&
+                 edge_len_[pos + 1] == geom::distance(stops_[pos], next))
+        << "edge_len mirror drifted from the fresh recomputation";
+    return geom::distance(prev, next) - edge_len_[pos] - edge_len_[pos + 1];
 }
 
 void TourBuilder::remove(std::size_t pos) {
@@ -146,10 +217,13 @@ void TourBuilder::remove(std::size_t pos) {
     sy_.erase(sy_.begin() + posd);
     if (stops_.empty()) {
         edge_len_.clear();
+        edge_len2_.clear();
     } else {
         // Edges pos and pos+1 merge into prev -> next at pos.
         edge_len_[pos] = geom::distance(prev, next);
         edge_len_.erase(edge_len_.begin() + posd + 1);
+        edge_len2_[pos] = geom::distance2(prev, next);
+        edge_len2_.erase(edge_len2_.begin() + posd + 1);
     }
 }
 
@@ -200,6 +274,7 @@ double TourBuilder::reoptimize() {
             sy_[i] = stops_[i].y;
         }
         edge_len_ = edge_lengths();
+        edge_len2_ = edge_lengths2();
         length_ = new_len;
     } else {
         length_ = recompute_length();
@@ -331,27 +406,39 @@ void InsertionCache::on_insert(const TourBuilder::Insertion& ins,
     UAVDC_DCHECK(edge_len.size() == n + 1);
     const double len_ap = edge_len[q];
     const double len_pb = edge_len[q + 1];
-    // Batched delta pass over the dense active pool: n1_[k]/n2_[k] hold the
-    // insertion deltas of candidate ids_[k] on the two new edges, with the
-    // same operand order as the scalar expressions they replace
-    // (geom::distance is FP-symmetric, so d(x, p) substitutes d(p, x)
-    // bit-for-bit).
+    const auto edge_len2 = tour_->edge_len2();
+    const double len2_ap = edge_len2[q];
+    const double len2_pb = edge_len2[q + 1];
+    // Batched squared pass over the dense active pool: n1_[k]/n2_[k] hold
+    // the squared-distance sums of candidate ids_[k] against the two new
+    // edges (a -> p at position q, p -> b at position q+1), feeding the
+    // same reverse-triangle lower bound as TourBuilder::scan_edges. Only
+    // candidates a new edge might actually affect resolve exact deltas via
+    // insertion_edge_deltas (n = 1), whose lanes keep the operand order of
+    // the scalar expressions they replace (geom::distance is FP-symmetric,
+    // so d(x, p) substitutes d(p, x) bit-for-bit).
     const std::size_t m = ids_.size();
-    kernels::insertion_edge_deltas(xs_.data(), ys_.data(), m, a, p, b, len_ap,
-                                   len_pb, n1_.data(), n2_.data());
+    kernels::squared_insertion_lower_bounds(xs_.data(), ys_.data(), m, a, p, b,
+                                            n1_.data(), n2_.data());
+    const auto exact_deltas = [&](std::size_t k, double& e1d, double& e2d) {
+        kernels::insertion_edge_deltas(&xs_[k], &ys_[k], 1, a, p, b, len_ap,
+                                       len_pb, &e1d, &e2d);
+    };
     for (std::size_t k = 0; k < m; ++k) {
         const std::size_t i = ids_[k];
         TourBuilder::Insertion& c = cached_[i];
-        // Existing edges kept their deltas; only the two new edges
-        // (a -> p at position q, p -> b at position q+1) can improve an
-        // entry. Ties resolve to the smaller position, matching the
-        // strict-< scan order of TourBuilder::cheapest_insertion.
-        const TourBuilder::Insertion e1{q, n1_[k]};
-        const TourBuilder::Insertion e2{q + 1, n2_[k]};
-        const bool e1_wins = !lex_less(e2, e1);
-        const TourBuilder::Insertion& nbest = e1_wins ? e1 : e2;
-        const TourBuilder::Insertion& nother = e1_wins ? e2 : e1;
         if (c.position == q) {
+            // Straddlers always resolve exactly (their entry must change).
+            double e1d = 0.0;
+            double e2d = 0.0;
+            exact_deltas(k, e1d, e2d);
+            // Ties resolve to the smaller position, matching the strict-<
+            // scan order of TourBuilder::cheapest_insertion.
+            const TourBuilder::Insertion e1{q, e1d};
+            const TourBuilder::Insertion e2{q + 1, e2d};
+            const bool e1_wins = !lex_less(e2, e1);
+            const TourBuilder::Insertion& nbest = e1_wins ? e1 : e2;
+            const TourBuilder::Insertion& nother = e1_wins ? e2 : e1;
             // Straddler: the cached best edge is the one the insertion
             // removed. Every surviving old edge is lex->= the runner-up, so
             // the new best is the lex-min of the runner-up and the two new
@@ -387,6 +474,29 @@ void InsertionCache::on_insert(const TourBuilder::Insertion& ins,
                 second_[i].position += 1;
             }
         }
+        // Prune: existing edges kept their deltas, so a new edge can touch
+        // this entry only by beating (or tying) the tightest tracked delta —
+        // the runner-up when it is known, else the best. An edge whose
+        // squared lower bound proves its delta strictly above that threshold
+        // can neither displace the best nor become the runner-up; when both
+        // new edges are pruned the entry is untouched and pays no sqrt.
+        const double t = second_ok_[i] != 0 ? second_[i].delta_m : c.delta_m;
+        const double thr1 = t + len_ap;
+        const double thr2 = t + len_pb;
+        if ((thr1 > 0.0 &&
+             2.0 * n1_[k] - len2_ap >= thr1 * thr1 * kSqrtPruneSlack) &&
+            (thr2 > 0.0 &&
+             2.0 * n2_[k] - len2_pb >= thr2 * thr2 * kSqrtPruneSlack)) {
+            continue;
+        }
+        double e1d = 0.0;
+        double e2d = 0.0;
+        exact_deltas(k, e1d, e2d);
+        const TourBuilder::Insertion e1{q, e1d};
+        const TourBuilder::Insertion e2{q + 1, e2d};
+        const bool e1_wins = !lex_less(e2, e1);
+        const TourBuilder::Insertion& nbest = e1_wins ? e1 : e2;
+        const TourBuilder::Insertion& nother = e1_wins ? e2 : e1;
         if (lex_less(nbest, c)) {
             // A new edge displaces the best; the old best becomes the
             // runner-up bound for every surviving old edge, so the exact

@@ -18,11 +18,17 @@ namespace uavdc::core {
 ///
 /// Hot-path layout: stop coordinates are mirrored into SoA arrays
 /// (`stop_xs`/`stop_ys`) and the current edge lengths are maintained
-/// incrementally (`edge_len`), so the cheapest-insertion scans run as one
-/// batched distance kernel over the stops plus a scalar argmin pass —
-/// no per-edge sqrt at scan time. Both mirrors are bit-identical to what a
-/// fresh recomputation would produce (maintenance uses the same
-/// geom::distance expressions; see the invariants on edge_len()).
+/// incrementally in both metric (`edge_len`) and squared (`edge_len2`)
+/// form. The cheapest-insertion scans run as one batched *squared*-distance
+/// kernel over the stops plus a scalar bound-then-verify pass: each edge is
+/// first tested against the current best delta entirely in squared space
+/// (no sqrt), and only the few surviving edges resolve their exact delta
+/// with scalar sqrts of the already-computed squared distances. Survivor
+/// deltas use the identical expressions (and operand order) as the
+/// pre-deferral full-sqrt scan, and the prune bound is strict-worse-only,
+/// so scan verdicts — including position ties — are bit-identical. All
+/// mirrors are bit-identical to a fresh recomputation (maintenance uses the
+/// same geom::distance/distance2 expressions; see edge_len()/edge_len2()).
 class TourBuilder {
   public:
     explicit TourBuilder(geom::Vec2 depot) : depot_(depot) {}
@@ -51,6 +57,15 @@ class TourBuilder {
         return edge_len_;
     }
 
+    /// Squared companion of edge_len(), maintained in lockstep. Invariant:
+    /// edge_len()[i] == std::sqrt(edge_len2()[i]) exactly — both mirrors are
+    /// derived from ONE geom::distance2 evaluation per edge (the sqrt of
+    /// which is the geom::distance value, same expression, same TU), so the
+    /// squared form is usable as an exact prune bound against edge_len().
+    [[nodiscard]] std::span<const double> edge_len2() const {
+        return edge_len2_;
+    }
+
     /// Cheapest-insertion result: inserting at `position` (index into
     /// stops(), 0..size()) lengthens the tour by `delta_m` metres.
     struct Insertion {
@@ -75,6 +90,10 @@ class TourBuilder {
     /// prev(i) -> next(i)); the oracle for the maintained edge_len() span.
     [[nodiscard]] std::vector<double> edge_lengths() const;
 
+    /// Fresh O(n) recomputation of the squared edge lengths; the oracle for
+    /// the maintained edge_len2() span.
+    [[nodiscard]] std::vector<double> edge_lengths2() const;
+
     /// Insert stop `p` (with caller key `key`) at `ins.position`.
     void insert(const geom::Vec2& p, int key, const Insertion& ins);
 
@@ -94,10 +113,16 @@ class TourBuilder {
     [[nodiscard]] double recompute_length() const;
 
   private:
-    /// Batched scan core: distances from every stop to p into a
-    /// thread-local buffer, then the scalar argmin pass via `consider`.
-    template <typename Consider>
-    void scan_edges(const geom::Vec2& p, Consider&& consider) const;
+    /// Batched scan core: *squared* distances from every stop to p into a
+    /// thread-local buffer, then a scalar bound-then-verify pass. `bound()`
+    /// returns the caller's current prune threshold (a delta in metres; +inf
+    /// or non-positive disables pruning); edges whose squared lower bound
+    /// proves delta strictly above it are skipped, every other edge resolves
+    /// its exact delta (sqrt of the buffered squared values, original
+    /// operand order) and is fed to `consider` in ascending position order.
+    template <typename Threshold, typename Consider>
+    void scan_edges(const geom::Vec2& p, Threshold&& bound,
+                    Consider&& consider) const;
 
     geom::Vec2 depot_;
     std::vector<geom::Vec2> stops_;
@@ -105,8 +130,10 @@ class TourBuilder {
     /// SoA mirrors of stops_ for the batched insertion scans.
     util::AlignedVector<double> sx_;
     util::AlignedVector<double> sy_;
-    /// Maintained edge lengths (stops_.size() + 1 when non-empty).
+    /// Maintained edge lengths (stops_.size() + 1 when non-empty) plus the
+    /// squared companion (see edge_len2()).
     std::vector<double> edge_len_;
+    std::vector<double> edge_len2_;
     double length_{0.0};
 };
 
@@ -131,8 +158,10 @@ class TourBuilder {
 ///
 /// Layout: active candidates live in a dense SoA pool (`xs_`/`ys_` parallel
 /// to the dense-id list), compacted by swap-remove on deactivate, so the
-/// on_insert delta pass is one call to kernels::insertion_edge_deltas over
-/// a contiguous array. Per-candidate state (cached best, runner-up) stays
+/// on_insert pass is one call to kernels::squared_insertion_lower_bounds
+/// over a contiguous array; only candidates whose squared bound fails to
+/// prove the new edges strictly worse than their tracked entries resolve
+/// exact deltas (kernels::insertion_edge_deltas, n = 1 per survivor). Per-candidate state (cached best, runner-up) stays
 /// indexed by the ORIGINAL candidate id. All per-plan buffers draw from the
 /// std::pmr resource passed at construction (PlanningContext's ScratchArena
 /// on the planner hot path), so repeated plans on a warm arena allocate
@@ -200,7 +229,8 @@ class InsertionCache {
     /// Runner-up edge per candidate; exact only where second_ok_[i] != 0.
     std::pmr::vector<TourBuilder::Insertion> second_;
     std::pmr::vector<char> second_ok_;
-    /// Batched delta outputs, parallel to the dense pool.
+    /// Batched squared-bound outputs (on_insert prune pass), parallel to
+    /// the dense pool.
     std::pmr::vector<double> n1_;
     std::pmr::vector<double> n2_;
     bool dirty_{true};

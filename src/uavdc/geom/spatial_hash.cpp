@@ -86,7 +86,11 @@ int SpatialHash::nearest(const Vec2& q) const {
                 best = idx;
             }
         });
-        if (best >= 0 && std::sqrt(best_d2) <= r) return best;
+        // Squared-form termination test: sqrt(best_d2) <= r iff
+        // best_d2 <= r * r (both sides non-negative, sqrt monotone and
+        // correctly rounded), and scanning an extra ring never changes the
+        // final argmin — verdict-identical, no sqrt.
+        if (best >= 0 && best_d2 <= r * r) return best;
         // Guard against pathological far-away point sets.
         if (r > 4.0 * (cell_size_ * (nbx_ + nby_ + 2) +
                        distance(q, origin_))) {
@@ -126,8 +130,9 @@ std::vector<int> SpatialHash::k_nearest(const Vec2& q, std::size_t k) const {
                              found.begin() + static_cast<std::ptrdiff_t>(k - 1),
                              found.end());
             // The k-th hit must lie inside the scanned disk, else a closer
-            // point may still be hiding outside it.
-            if (std::sqrt(found[k - 1].first) <= r) return finish();
+            // point may still be hiding outside it. Squared-form test:
+            // sqrt(d2) <= r iff d2 <= r * r (see nearest()).
+            if (found[k - 1].first <= r * r) return finish();
         }
         // Guard against pathological far-away point sets (see nearest()).
         if (r > 4.0 * (cell_size_ * (nbx_ + nby_ + 2) +

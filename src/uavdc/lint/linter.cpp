@@ -666,6 +666,106 @@ void rule_unchecked_narrowing(RuleContext& ctx) {
     }
 }
 
+/// True when some call to `name` on this line has its result fed directly
+/// to a relational operator — `name(...) <op>` or `<op> name(...)` with
+/// op in {<, <=, >, >=}. Shifts (`<<`, `>>`), arrows (`->`), and template
+/// argument lists never match: after a closing paren a lone angle bracket
+/// can only compare, and the backward scan skips the `geom::` / `std::`
+/// qualifier before testing the operator.
+bool call_result_compared(const std::string& code, const std::string& name) {
+    for (std::size_t pos = code.find(name); pos != std::string::npos;
+         pos = code.find(name, pos + 1)) {
+        if (!token_at(code, pos, name)) continue;
+        std::size_t open = pos + name.size();
+        while (open < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[open])) != 0) {
+            ++open;
+        }
+        if (open >= code.size() || code[open] != '(') continue;
+        // Forward: `name(...)` followed by a relational operator.
+        int depth = 0;
+        std::size_t close = open;
+        for (; close < code.size(); ++close) {
+            if (code[close] == '(') ++depth;
+            if (code[close] == ')' && --depth == 0) break;
+        }
+        if (close < code.size()) {
+            std::size_t after = close + 1;
+            while (after < code.size() &&
+                   std::isspace(static_cast<unsigned char>(code[after])) !=
+                       0) {
+                ++after;
+            }
+            if (after < code.size() &&
+                (code[after] == '<' || code[after] == '>') &&
+                (after + 1 >= code.size() || code[after + 1] != code[after])) {
+                return true;
+            }
+        }
+        // Backward: a relational operator right before the qualified call.
+        std::size_t begin = pos;
+        while (begin > 0 &&
+               (is_ident_char(code[begin - 1]) || code[begin - 1] == ':')) {
+            --begin;
+        }
+        while (begin > 0 &&
+               std::isspace(static_cast<unsigned char>(code[begin - 1])) !=
+                   0) {
+            --begin;
+        }
+        if (begin == 0) continue;
+        const char prev = code[begin - 1];
+        if (prev == '<' || prev == '>') {
+            if (begin >= 2 && code[begin - 2] == prev) continue;    // shift
+            if (begin >= 2 && prev == '>' && code[begin - 2] == '-') {
+                continue;  // arrow
+            }
+            return true;
+        }
+        if (prev == '=' && begin >= 2 &&
+            (code[begin - 2] == '<' || code[begin - 2] == '>')) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/// UL014: a distance computed only to compare it. The result of
+/// geom::distance / std::sqrt / std::hypot feeding a relational operator
+/// directly pays a sqrt for a verdict the squared forms decide
+/// bit-identically: sqrt is monotone, and fl(sqrt(fl(r*r))) == r for every
+/// representable non-negative radius, so `distance(a, b) <= r` and
+/// `distance2(a, b) <= r * r` always agree. Comparison sites should use
+/// geom::distance2 / the squared batch kernels; genuinely metric uses
+/// (accumulation, return values, sort keys) never trigger because only an
+/// operator adjacent to the call matches. batch_kernels.* is exempt — it
+/// implements both forms.
+void rule_sqrt_compare(RuleContext& ctx) {
+    if (!in_library(ctx.path) || !has_component(ctx.path, "core")) return;
+    const std::string base = basename_of(ctx.path);
+    if (base == "batch_kernels.cpp" || base == "batch_kernels.hpp") return;
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        const std::string& code = ctx.lines[i].code;
+        std::string hit;
+        for (const char* fn : {"distance", "sqrt", "hypot"}) {
+            if (call_result_compared(code, fn)) {
+                hit = fn;
+                break;
+            }
+        }
+        if (hit.empty()) continue;
+        ctx.report(i, "UL014", "sqrt-compare",
+                   hit +
+                       "() result used only as a comparison operand pays a "
+                       "sqrt the verdict does not need; compare "
+                       "geom::distance2 against the squared "
+                       "threshold (bit-identical: sqrt is monotone and "
+                       "fl(sqrt(r*r)) == r) or annotate "
+                       "NOLINT(uavdc-sqrt-compare): <why the exact metric "
+                       "must be materialized here>");
+    }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -720,6 +820,12 @@ const std::vector<RuleInfo>& rules() {
          "without util::checked_cast, a UAVDC_CHECK guard in the "
          "surrounding lines, or a NOLINT with a reason — silent truncation "
          "is the CSR-offset bug class"},
+        {"UL014", "sqrt-compare",
+         "no distance/sqrt/hypot result used only as a comparison operand "
+         "in core/; ordering verdicts are decided bit-identically by the "
+         "squared forms (geom::distance2, squared kernels), so comparison "
+         "sites must defer the sqrt — sites that truly need the metric "
+         "carry a NOLINT(uavdc-sqrt-compare) with a reason"},
     };
     return kRules;
 }
@@ -865,6 +971,7 @@ std::vector<Finding> lint_source(const std::string& path,
     rule_layering(ctx);
     rule_fp_determinism(ctx);
     rule_unchecked_narrowing(ctx);
+    rule_sqrt_compare(ctx);
     std::sort(findings.begin(), findings.end(),
               [](const Finding& a, const Finding& b) {
                   if (a.line != b.line) return a.line < b.line;

@@ -31,7 +31,7 @@ constexpr const char* kToolPath = "tools/fixture.cpp";
 
 TEST(Lint, RuleTableIsStable) {
     const auto& table = rules();
-    ASSERT_EQ(table.size(), 13u);
+    ASSERT_EQ(table.size(), 14u);
     std::set<std::string> ids;
     for (const auto& r : table) ids.insert(r.id);
     EXPECT_EQ(ids.size(), table.size()) << "rule ids must be unique";
@@ -528,6 +528,53 @@ TEST(Lint, UncheckedNarrowingHonoursAnnotatedSuppression) {
         "h ^= static_cast<std::uint32_t>(v);  "
         "// NOLINT(uavdc-unchecked-narrowing)\n");
     ASSERT_TRUE(has_id(bare, "UL013"));
+    EXPECT_NE(bare[0].message.find("reason"), std::string::npos);
+}
+
+TEST(Lint, SqrtCompareFires) {
+    const char* body = R"(
+bool covered(geom::Vec2 a, geom::Vec2 b, double r) {
+    return geom::distance(a, b) <= r;
+}
+)";
+    const auto findings = lint_source(kLibPath, body);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].id, "UL014");
+    EXPECT_EQ(findings[0].rule, "sqrt-compare");
+    EXPECT_EQ(findings[0].line, 3);
+    // Scope: core/ library code only; other modules and tools are exempt,
+    // and batch_kernels implements both forms so it never fires.
+    EXPECT_TRUE(lint_source("src/uavdc/geom/fixture.cpp", body).empty());
+    EXPECT_TRUE(lint_source(kToolPath, body).empty());
+    EXPECT_TRUE(
+        lint_source("src/uavdc/core/batch_kernels.cpp", body).empty());
+}
+
+TEST(Lint, SqrtCompareOperatorShapes) {
+    // Both orientations of the comparison fire, for all three calls.
+    EXPECT_TRUE(has_id(lint_source(kLibPath, "ok = std::sqrt(d2) < best;\n"),
+                       "UL014"));
+    EXPECT_TRUE(has_id(
+        lint_source(kLibPath, "if (r >= std::hypot(dx, dy)) take();\n"),
+        "UL014"));
+    // Metric uses do not fire: accumulation, returns, stream shifts.
+    EXPECT_TRUE(
+        lint_source(kLibPath, "total += geom::distance(a, b);\n").empty());
+    EXPECT_TRUE(lint_source(kLibPath, "return std::sqrt(d2);\n").empty());
+    EXPECT_TRUE(
+        lint_source(kLibPath, "os << geom::distance(a, b);\n").empty());
+}
+
+TEST(Lint, SqrtCompareHonoursAnnotatedSuppression) {
+    EXPECT_TRUE(lint_source(kLibPath,
+                            "keep = geom::distance(a, b) < cutoff;  "
+                            "// NOLINT(uavdc-sqrt-compare): reporting "
+                            "threshold is specified on the exact metric\n")
+                    .empty());
+    const auto bare = lint_source(kLibPath,
+                                  "keep = geom::distance(a, b) < cutoff;  "
+                                  "// NOLINT(uavdc-sqrt-compare)\n");
+    ASSERT_TRUE(has_id(bare, "UL014"));
     EXPECT_NE(bare[0].message.find("reason"), std::string::npos);
 }
 
