@@ -10,7 +10,9 @@ Two schemas are understood, both with a top-level ``cases`` list:
 - ``uavdc-bench-kernels-v1`` (``micro_kernels --baseline_out=...``),
   compared on each case's ``batched_s``;
 - ``uavdc-bench-reduction-v1`` (``micro_reduction --baseline_out=...``),
-  compared on each case's ``plan_s``.
+  compared on each case's ``plan_s``;
+- ``uavdc-bench-transport-v1`` (``micro_transport --baseline_out=...``),
+  compared on each case's ``runtime_s``.
 
 When every case in *both* files also carries the matching ``*_med_s``
 median-of-reps field, the comparison runs on the median instead — it
@@ -42,6 +44,7 @@ SCHEMAS = {
     "uavdc-bench-service-v1": ("runtime_s", "rps"),
     "uavdc-bench-kernels-v1": ("batched_s", "speedup"),
     "uavdc-bench-reduction-v1": ("plan_s", "speedup"),
+    "uavdc-bench-transport-v1": ("runtime_s", "rps"),
 }
 
 # legacy (min/best-of) metric -> median-of-reps companion field
@@ -58,6 +61,7 @@ TOOLS = {
     "uavdc-bench-service-v1": "micro_service",
     "uavdc-bench-kernels-v1": "micro_kernels",
     "uavdc-bench-reduction-v1": "micro_reduction",
+    "uavdc-bench-transport-v1": "micro_transport",
 }
 
 

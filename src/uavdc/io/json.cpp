@@ -292,6 +292,14 @@ void dump_number(std::string& out, double d) {
 
 }  // namespace
 
+void Json::dump_string(std::string& out, const std::string& s) {
+    escape_string(out, s);
+}
+
+void Json::dump_double(std::string& out, double d) {
+    dump_number(out, d);
+}
+
 bool Json::as_bool() const {
     if (!is_bool()) type_error("a bool");
     return std::get<bool>(value_);

@@ -77,6 +77,13 @@ class Json {
     /// Serialize. `indent` > 0 pretty-prints with that many spaces.
     [[nodiscard]] std::string dump(int indent = 0) const;
 
+    /// Append `s` to `out` exactly as dump() would render a string value
+    /// (quoted, escaped). For hand-built serializers that must stay
+    /// byte-identical with dump() output.
+    static void dump_string(std::string& out, const std::string& s);
+    /// Append `d` to `out` exactly as dump() would render a number value.
+    static void dump_double(std::string& out, double d);
+
     /// Parse a complete JSON document; throws std::runtime_error with a
     /// byte offset on malformed input (trailing garbage included).
     [[nodiscard]] static Json parse(const std::string& text);

@@ -108,6 +108,8 @@ const std::vector<LayerRule>& layering() {
                          "model", "geom", "util"}},
         {"service", {"io", "conformance", "core", "sim", "workload",
                      "orienteering", "graph", "model", "geom", "util"}},
+        {"net", {"service", "io", "conformance", "core", "sim", "workload",
+                 "orienteering", "graph", "model", "geom", "util"}},
     };
     return kTable;
 }
@@ -134,6 +136,7 @@ std::string to_dot(const ModuleGraph& graph) {
         {"core"},
         {"io", "conformance"},
         {"service"},
+        {"net"},
     };
     std::ostringstream out;
     out << "digraph uavdc_modules {\n";

@@ -766,6 +766,124 @@ void rule_sqrt_compare(RuleContext& ctx) {
     }
 }
 
+/// The socket-syscall family UL015 polices. Deliberately lexical: member
+/// calls (`sock.read(...)`) and namespace-qualified calls (`std::bind`)
+/// never match, only a bare or global-scope (`::read`) invocation does.
+const char* const kSocketSyscalls[] = {
+    "socket", "accept",  "accept4",    "bind",        "listen",
+    "connect", "recv",   "recvfrom",   "send",        "sendto",
+    "read",    "write",  "pipe",       "pipe2",       "poll",
+    "select",  "setsockopt", "getsockopt", "getsockname", "getpeername",
+};
+
+/// The subset whose blocking forms return EINTR and therefore must sit in a
+/// retry loop (or carry a reasoned NOLINT). Setup calls (socket, bind,
+/// listen, setsockopt, ...) never block, and close(2) must NOT be retried,
+/// so neither appears here.
+const char* const kInterruptible[] = {
+    "accept", "accept4", "connect", "recv", "recvfrom",
+    "send",   "sendto",  "read",    "write", "poll",   "select",
+};
+
+/// True when some occurrence of `name` on this line is a *direct* call:
+/// followed by '(', not a member access (`.name(` / `->name(`), and not
+/// qualified by a named namespace (`std::name(`) — an explicit global-scope
+/// `::name(` still counts.
+bool has_direct_call(const std::string& code, const std::string& name) {
+    for (std::size_t pos = code.find(name); pos != std::string::npos;
+         pos = code.find(name, pos + 1)) {
+        if (!token_at(code, pos, name)) continue;
+        std::size_t after = pos + name.size();
+        while (after < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[after])) != 0) {
+            ++after;
+        }
+        if (after >= code.size() || code[after] != '(') continue;
+        std::size_t before = pos;
+        while (before > 0 &&
+               std::isspace(static_cast<unsigned char>(code[before - 1])) !=
+                   0) {
+            --before;
+        }
+        if (before > 0) {
+            const char prev = code[before - 1];
+            if (prev == '.') continue;  // member call
+            if (prev == '>' && before >= 2 && code[before - 2] == '-') {
+                continue;  // member call via pointer
+            }
+            if (prev == ':' && before >= 2 && code[before - 2] == ':') {
+                // Qualified. `::name(` at global scope is still the raw
+                // syscall; `ns::name(` is some namespace's function.
+                std::size_t q = before - 2;
+                while (q > 0 && std::isspace(static_cast<unsigned char>(
+                                    code[q - 1])) != 0) {
+                    --q;
+                }
+                if (q > 0 && is_ident_char(code[q - 1])) continue;
+            }
+        }
+        return true;
+    }
+    return false;
+}
+
+/// UL015: raw socket/byte-I/O syscalls live in net/ only, and the blocking
+/// ones must retry EINTR. Outside net/, any direct call to the socket
+/// syscall family bypasses the net::Socket wrappers that map errno into
+/// IoStatus, apply MSG_NOSIGNAL, and retry EINTR — transports built on raw
+/// calls re-grow exactly the interrupted-syscall bugs the wrapper exists to
+/// bury. Inside net/, a direct call to an interruptible syscall without an
+/// EINTR check in the surrounding lines is the same bug waiting locally
+/// (signal handlers are installed without SA_RESTART on purpose, so every
+/// blocking call in the process really does get interrupted).
+void rule_no_raw_socket(RuleContext& ctx) {
+    if (!in_library(ctx.path)) return;
+    const bool in_net = has_component(ctx.path, "net");
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        const std::string& code = ctx.lines[i].code;
+        std::string hit;
+        if (in_net) {
+            for (const char* fn : kInterruptible) {
+                if (has_direct_call(code, fn)) {
+                    hit = fn;
+                    break;
+                }
+            }
+            if (hit.empty()) continue;
+            bool guarded = false;
+            const std::size_t lo = i >= 4 ? i - 4 : 0;
+            const std::size_t hi = std::min(ctx.lines.size(), i + 5);
+            for (std::size_t j = lo; j < hi && !guarded; ++j) {
+                guarded = has_token(ctx.lines[j].code, "EINTR");
+            }
+            if (guarded) continue;
+            ctx.report(i, "UL015", "no-raw-socket",
+                       "raw " + hit +
+                           "() without an EINTR retry in the surrounding "
+                           "lines: handlers are installed without SA_RESTART, "
+                           "so blocking calls do get interrupted; loop while "
+                           "errno == EINTR (see net/socket.cpp) or annotate "
+                           "NOLINT(uavdc-no-raw-socket): <why one attempt is "
+                           "correct>");
+            continue;
+        }
+        for (const char* fn : kSocketSyscalls) {
+            if (has_direct_call(code, fn)) {
+                hit = fn;
+                break;
+            }
+        }
+        if (hit.empty()) continue;
+        ctx.report(i, "UL015", "no-raw-socket",
+                   "raw " + hit +
+                       "() outside net/ bypasses the net::Socket wrappers "
+                       "(EINTR retry, MSG_NOSIGNAL, errno -> IoStatus); use "
+                       "net::Socket / net::poll_wait, or annotate "
+                       "NOLINT(uavdc-no-raw-socket): <why this call cannot "
+                       "go through net/>");
+    }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -826,6 +944,13 @@ const std::vector<RuleInfo>& rules() {
          "squared forms (geom::distance2, squared kernels), so comparison "
          "sites must defer the sqrt — sites that truly need the metric "
          "carry a NOLINT(uavdc-sqrt-compare) with a reason"},
+        {"UL015", "no-raw-socket",
+         "no raw socket/byte-I/O syscalls (socket, accept, read, write, "
+         "send, recv, poll, ...) outside net/ — transports go through "
+         "net::Socket, which retries EINTR, applies MSG_NOSIGNAL, and maps "
+         "errno to IoStatus; inside net/, blocking syscalls must sit in an "
+         "EINTR retry loop or carry a NOLINT(uavdc-no-raw-socket) with a "
+         "reason"},
     };
     return kRules;
 }
@@ -972,6 +1097,7 @@ std::vector<Finding> lint_source(const std::string& path,
     rule_fp_determinism(ctx);
     rule_unchecked_narrowing(ctx);
     rule_sqrt_compare(ctx);
+    rule_no_raw_socket(ctx);
     std::sort(findings.begin(), findings.end(),
               [](const Finding& a, const Finding& b) {
                   if (a.line != b.line) return a.line < b.line;

@@ -1,0 +1,102 @@
+#include "uavdc/net/frame.hpp"
+
+#include <utility>
+
+namespace uavdc::net {
+
+namespace {
+
+/// Parse the decimal run in `[begin, end)`. Returns nullopt on a non-digit,
+/// an empty run, or overflow past `cap`.
+std::optional<std::size_t> parse_decimal(const char* begin, const char* end,
+                                         std::size_t cap) {
+    if (begin == end) return std::nullopt;
+    std::size_t v = 0;
+    for (const char* p = begin; p != end; ++p) {
+        if (*p < '0' || *p > '9') return std::nullopt;
+        const auto digit = static_cast<std::size_t>(*p - '0');
+        if (v > cap / 10 || v * 10 > cap - digit) return std::nullopt;
+        v = v * 10 + digit;
+    }
+    return v;
+}
+
+}  // namespace
+
+Frame FrameDecoder::reject(std::size_t resync_from, const std::string& why) {
+    ++malformed_;
+    buf_.erase(0, resync_from);
+    have_header_ = false;
+    Frame f;
+    f.malformed = true;
+    f.error = why;
+    return f;
+}
+
+std::optional<Frame> FrameDecoder::next_length_prefixed() {
+    if (!have_header_) {
+        const std::size_t nl = buf_.find('\n');
+        if (nl == std::string::npos) {
+            // Header still arriving — but a "header" longer than any valid
+            // `$<len>` line is damage, not patience.
+            if (buf_.size() > 32) {
+                return reject(buf_.size(), "unterminated length header");
+            }
+            return std::nullopt;
+        }
+        const auto len = parse_decimal(buf_.data() + 1, buf_.data() + nl,
+                                       max_frame_bytes_);
+        if (!len.has_value()) {
+            // Resync at the newline that ended the bad header.
+            return reject(nl + 1, "bad length header: " +
+                                      buf_.substr(0, nl));
+        }
+        have_header_ = true;
+        header_len_ = nl + 1;
+        body_len_ = *len;
+    }
+    if (buf_.size() < header_len_ + body_len_) return std::nullopt;
+    Frame f;
+    f.payload = buf_.substr(header_len_, body_len_);
+    f.length_prefixed = true;
+    buf_.erase(0, header_len_ + body_len_);
+    have_header_ = false;
+    ++frames_;
+    return f;
+}
+
+std::optional<Frame> FrameDecoder::next() {
+    if (buf_.empty()) return std::nullopt;
+    if (have_header_ || buf_[0] == '$') return next_length_prefixed();
+
+    const std::size_t nl = buf_.find('\n');
+    if (nl == std::string::npos) {
+        if (buf_.size() > max_frame_bytes_) {
+            return reject(buf_.size(), "newline frame exceeds limit");
+        }
+        return std::nullopt;
+    }
+    if (nl > max_frame_bytes_) {
+        return reject(nl + 1, "newline frame exceeds limit");
+    }
+    Frame f;
+    f.payload = buf_.substr(0, nl);
+    // Tolerate CRLF from interactive clients.
+    if (!f.payload.empty() && f.payload.back() == '\r') f.payload.pop_back();
+    buf_.erase(0, nl + 1);
+    ++frames_;
+    return f;
+}
+
+std::string encode_frame(const std::string& payload, bool length_prefixed) {
+    if (!length_prefixed) return payload + "\n";
+    std::string out;
+    out.reserve(payload.size() + 16);
+    out += '$';
+    out += std::to_string(payload.size());
+    out += '\n';
+    out += payload;
+    return out;
+}
+
+}  // namespace uavdc::net

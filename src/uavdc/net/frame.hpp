@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace uavdc::net {
+
+/// One decoded request/response payload plus how it was framed — responses
+/// are framed the same way as the request they answer, so newline clients
+/// (netcat, the JSONL harness) and length-prefixed clients can share a
+/// connection.
+struct Frame {
+    std::string payload;
+    bool length_prefixed{false};
+    /// Set when the frame was syntactically broken at the *framing* layer
+    /// (bad length header, oversized declaration). The payload then holds a
+    /// short diagnostic instead of data; the connection stays usable.
+    bool malformed{false};
+    std::string error;  ///< diagnostic when `malformed`
+};
+
+/// Incremental decoder for the uavdc wire protocol. Two interleavable
+/// framings, chosen per frame by the first byte:
+///
+///   `$<decimal-len>\n<len payload bytes>`   length-prefixed (binary-safe)
+///   `<payload>\n`                           newline-delimited (JSONL)
+///
+/// Feed raw bytes with `feed()`, then drain complete frames with `next()`.
+/// Framing-level damage (unparsable length header, a declared length above
+/// `max_frame_bytes`) yields a `malformed` frame and resynchronises at the
+/// next newline rather than poisoning the connection. An unterminated
+/// newline frame that grows past `max_frame_bytes` is also cut off as
+/// malformed so a stream that never sends '\n' cannot balloon memory.
+class FrameDecoder {
+  public:
+    explicit FrameDecoder(std::size_t max_frame_bytes = 16u << 20)
+        : max_frame_bytes_(max_frame_bytes) {}
+
+    /// Append raw bytes from the peer.
+    void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+    void feed(const std::string& data) { buf_.append(data); }
+
+    /// Pop the next complete frame, or nullopt if more bytes are needed.
+    std::optional<Frame> next();
+
+    /// True when bytes of a partially received frame are pending — i.e.
+    /// the peer stopped mid-frame (truncation) if EOF follows.
+    [[nodiscard]] bool mid_frame() const { return !buf_.empty(); }
+
+    /// Frames decoded OK / frames rejected as malformed, over the decoder's
+    /// lifetime (feeds the transport stats counters).
+    [[nodiscard]] std::uint64_t frames() const { return frames_; }
+    [[nodiscard]] std::uint64_t malformed() const { return malformed_; }
+
+  private:
+    std::optional<Frame> next_length_prefixed();
+    Frame reject(std::size_t resync_from, const std::string& why);
+
+    std::string buf_;
+    std::size_t max_frame_bytes_;
+    std::uint64_t frames_{0};
+    std::uint64_t malformed_{0};
+    // Parsed header of a length-prefixed frame whose payload is still
+    // arriving: {header bytes to skip, payload length}.
+    bool have_header_{false};
+    std::size_t header_len_{0};
+    std::size_t body_len_{0};
+};
+
+/// Frame `payload` for the wire in the given framing.
+std::string encode_frame(const std::string& payload, bool length_prefixed);
+
+}  // namespace uavdc::net

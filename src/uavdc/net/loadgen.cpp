@@ -1,0 +1,316 @@
+#include "uavdc/net/loadgen.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "uavdc/core/planning_context.hpp"
+#include "uavdc/io/serialize.hpp"
+#include "uavdc/net/frame.hpp"
+#include "uavdc/net/socket.hpp"
+#include "uavdc/service/request.hpp"
+#include "uavdc/util/check.hpp"
+#include "uavdc/util/rng.hpp"
+#include "uavdc/util/timer.hpp"
+#include "uavdc/workload/generator.hpp"
+
+namespace uavdc::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64u * 1024;
+
+struct BuiltWorkload {
+    std::vector<std::string> prime;  ///< inline registrations, ids "p<i>"
+    std::vector<std::string> load;   ///< ref requests, ids "r<k>"
+};
+
+/// Deterministic request texts: instance i registered by "p<i>", load
+/// request k = planner[k % P] against instance[k % I] by fingerprint ref.
+/// With requests >> P*I every (planner, instance) pair past its first use
+/// is a response-cache hit — the warm-cache regime the bench targets.
+BuiltWorkload build_workload(const LoadgenConfig& cfg) {
+    UAVDC_REQUIRE(cfg.instances > 0 && cfg.requests >= 0)
+        << "loadgen: instances must be > 0, requests >= 0";
+    UAVDC_REQUIRE(cfg.devices_lo > 0 && cfg.devices_hi >= cfg.devices_lo)
+        << "loadgen: invalid device count range";
+    const std::vector<std::string> planners =
+        cfg.planners.empty() ? std::vector<std::string>{"alg2"}
+                             : cfg.planners;
+
+    util::Rng rng(cfg.seed);
+    BuiltWorkload w;
+    std::vector<std::uint64_t> fps;
+    for (int i = 0; i < cfg.instances; ++i) {
+        workload::GeneratorConfig g;
+        g.num_devices = util::checked_cast<int>(
+            rng.uniform_int(cfg.devices_lo, cfg.devices_hi));
+        g.region_w = rng.uniform(180.0, 420.0);
+        g.region_h = rng.uniform(180.0, 420.0);
+        g.min_mb = 40.0;
+        g.max_mb = 400.0;
+        g.uav.energy_j = rng.uniform(2.5e4, 8.0e4);
+        const model::Instance inst = workload::generate(g, rng.next_u64());
+        fps.push_back(core::PlanningContext::instance_fingerprint(inst));
+
+        service::PlanRequest req;
+        req.id = "p";
+        req.id += std::to_string(i);
+        req.planner = planners[0];
+        req.instance = inst;
+        w.prime.push_back(service::to_json(req).dump());
+    }
+    for (int k = 0; k < cfg.requests; ++k) {
+        service::PlanRequest req;
+        req.id = "r";
+        req.id += std::to_string(k);
+        req.planner = planners[static_cast<std::size_t>(k) %
+                               planners.size()];
+        req.instance_ref =
+            fps[static_cast<std::size_t>(k) %
+                static_cast<std::size_t>(cfg.instances)];
+        w.load.push_back(service::to_json(req).dump());
+    }
+    return w;
+}
+
+/// Top-level `"status"` of a response payload. Object keys are serialized
+/// sorted and "status" sorts after every other response key, so the
+/// *rightmost* occurrence is the top-level one regardless of what the
+/// nested result contains.
+std::string status_of(const std::string& payload) {
+    const std::size_t pos = payload.rfind("\"status\":\"");
+    if (pos == std::string::npos) return "";
+    const std::size_t start = pos + 10;
+    const std::size_t end = payload.find('"', start);
+    if (end == std::string::npos) return "";
+    return payload.substr(start, end - start);
+}
+
+/// Top-level `"id"` — first occurrence is top-level (see router detagging
+/// rationale: every key sorting before "id" holds a non-string, and string
+/// escaping keeps the pattern out of error text).
+std::string id_of(const std::string& payload) {
+    const std::size_t pos = payload.find("\"id\":\"");
+    if (pos == std::string::npos) return "";
+    const std::size_t start = pos + 6;
+    const std::size_t end = payload.find('"', start);
+    if (end == std::string::npos) return "";
+    return payload.substr(start, end - start);
+}
+
+}  // namespace
+
+std::string loadgen_workload_jsonl(const LoadgenConfig& cfg) {
+    const BuiltWorkload w = build_workload(cfg);
+    std::string out;
+    for (const auto& line : w.prime) {
+        out += line;
+        out += '\n';
+    }
+    // Same barrier the TCP client places between its phases: without it,
+    // early load requests race the priming plans and re-plan as cache
+    // misses — deterministic bytes, but a different `cache_hit` flag than
+    // the TCP run, which would read as a transport divergence.
+    out += R"({"op":"drain","id":"drain-primed"})";
+    out += '\n';
+    for (const auto& line : w.load) {
+        out += line;
+        out += '\n';
+    }
+    out += R"({"op":"drain","id":"drain-final"})";
+    out += '\n';
+    return out;
+}
+
+LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
+    UAVDC_REQUIRE(cfg.port > 0) << "loadgen: --port is required";
+    UAVDC_REQUIRE(cfg.connections > 0 && cfg.pipeline > 0)
+        << "loadgen: connections and pipeline must be positive";
+    const BuiltWorkload w = build_workload(cfg);
+    LoadgenResult result;
+
+    struct Conn {
+        Socket sock;
+        FrameDecoder decoder;
+        std::string outbuf;
+        std::vector<std::uint32_t> assigned;  ///< load indices, in order
+        std::size_t cursor{0};
+        int in_flight{0};
+
+        Conn(Socket s, std::size_t max_frame)
+            : sock(std::move(s)), decoder(max_frame) {}
+    };
+
+    std::vector<std::unique_ptr<Conn>> conns;
+    const auto n_conns = static_cast<std::size_t>(cfg.connections);
+    for (std::size_t ci = 0; ci < n_conns; ++ci) {
+        conns.push_back(std::make_unique<Conn>(
+            Socket::connect_tcp(cfg.host, cfg.port), cfg.max_frame_bytes));
+        conns.back()->sock.set_nodelay(true);
+    }
+    for (std::size_t k = 0; k < w.load.size(); ++k) {
+        conns[k % n_conns]->assigned.push_back(
+            static_cast<std::uint32_t>(k));
+    }
+
+    // Phase 1: register every instance through one connection, barrier'd
+    // with `drain`, so phase-2 refs resolve on any connection (and on
+    // every shard behind a router, which hashes refs to the same place the
+    // inline registration went).
+    {
+        Conn& c = *conns[0];
+        std::string batch;
+        for (const auto& line : w.prime) {
+            batch += encode_frame(line, cfg.length_prefixed);
+        }
+        batch += encode_frame(R"({"op":"drain","id":"prime-drain"})",
+                              cfg.length_prefixed);
+        if (!c.sock.write_all(batch)) {
+            throw std::runtime_error("loadgen: priming write failed");
+        }
+        std::size_t got = 0;
+        char buf[kReadChunk];
+        while (got < w.prime.size() + 1) {
+            const IoResult r = c.sock.read_some(buf, sizeof(buf));
+            if (r.status != IoStatus::kOk) {
+                throw std::runtime_error(
+                    "loadgen: connection lost during priming");
+            }
+            c.decoder.feed(buf, r.n);
+            while (auto f = c.decoder.next()) {
+                ++got;
+                if (cfg.capture && f->payload.find("\"op\":") ==
+                                       std::string::npos) {
+                    result.responses.push_back(f->payload);
+                }
+            }
+        }
+    }
+
+    for (auto& c : conns) c->sock.set_nonblocking(true);
+
+    // Phase 2: pipelined round-robin load.
+    const std::uint64_t total = w.load.size();
+    std::vector<double> start_s(w.load.size(), 0.0);
+    util::Timer timer;
+
+    const auto pump_send = [&](Conn& c) {
+        while (c.in_flight < cfg.pipeline && c.cursor < c.assigned.size()) {
+            const std::uint32_t k = c.assigned[c.cursor++];
+            c.outbuf += encode_frame(w.load[k], cfg.length_prefixed);
+            start_s[k] = timer.seconds();
+            ++c.in_flight;
+            ++result.sent;
+        }
+    };
+
+    const auto on_response = [&](Conn& c, const Frame& f) {
+        const double now = timer.seconds();
+        const std::string id = id_of(f.payload);
+        if (id.empty() || id[0] != 'r') return;  // not a load response
+        const auto k = static_cast<std::size_t>(
+            std::stoull(id.substr(1)));
+        if (k >= start_s.size()) return;
+        result.latency.record(now - start_s[k]);
+        ++result.received;
+        --c.in_flight;
+        const std::string status = status_of(f.payload);
+        if (status == "ok") {
+            ++result.ok;
+            if (f.payload.find("\"cache_hit\":true") != std::string::npos) {
+                ++result.cache_hits;
+            }
+        } else {
+            ++result.errors;
+        }
+        if (cfg.capture) result.responses.push_back(f.payload);
+    };
+
+    util::Timer wall;
+    while (result.received < total) {
+        if (wall.millis() > cfg.timeout_ms) {
+            result.timed_out = true;
+            break;
+        }
+        std::vector<PollEntry> entries;
+        for (auto& c : conns) {
+            pump_send(*c);
+            PollEntry e;
+            e.fd = c->sock.fd();
+            e.want_read = c->in_flight > 0;
+            e.want_write = !c->outbuf.empty();
+            entries.push_back(e);
+        }
+        poll_wait(entries, 200);
+        bool lost = false;
+        for (std::size_t ci = 0; ci < conns.size(); ++ci) {
+            Conn& c = *conns[ci];
+            if (entries[ci].error) {
+                lost = true;
+                continue;
+            }
+            if (entries[ci].writable && !c.outbuf.empty()) {
+                const IoResult r =
+                    c.sock.write_some(c.outbuf.data(), c.outbuf.size());
+                if (r.status == IoStatus::kOk) {
+                    c.outbuf.erase(0, r.n);
+                } else if (r.status == IoStatus::kError) {
+                    lost = true;
+                }
+            }
+            if (entries[ci].readable) {
+                char buf[kReadChunk];
+                while (true) {
+                    const IoResult r = c.sock.read_some(buf, sizeof(buf));
+                    if (r.status == IoStatus::kOk) {
+                        c.decoder.feed(buf, r.n);
+                        while (auto f = c.decoder.next()) {
+                            if (!f->malformed) on_response(c, *f);
+                        }
+                        continue;
+                    }
+                    if (r.status == IoStatus::kEof ||
+                        r.status == IoStatus::kError) {
+                        lost = true;
+                    }
+                    break;
+                }
+            }
+        }
+        if (lost) {
+            result.timed_out = true;
+            break;
+        }
+    }
+    result.elapsed_s = timer.seconds();
+    result.rps = result.elapsed_s > 0.0
+                     ? static_cast<double>(result.received) /
+                           result.elapsed_s
+                     : 0.0;
+    return result;
+}
+
+io::Json to_json(const LoadgenResult& r) {
+    io::Json doc;
+    doc["sent"] = r.sent;
+    doc["received"] = r.received;
+    doc["ok"] = r.ok;
+    doc["cache_hits"] = r.cache_hits;
+    doc["errors"] = r.errors;
+    doc["timed_out"] = r.timed_out;
+    doc["elapsed_s"] = r.elapsed_s;
+    doc["rps"] = r.rps;
+    io::Json lat;
+    lat["count"] = r.latency.count();
+    lat["mean_ms"] = r.latency.mean_s() * 1e3;
+    lat["p50_ms"] = r.latency.quantile(0.50) * 1e3;
+    lat["p95_ms"] = r.latency.quantile(0.95) * 1e3;
+    lat["p99_ms"] = r.latency.quantile(0.99) * 1e3;
+    lat["max_ms"] = r.latency.max_s() * 1e3;
+    doc["latency_ms"] = std::move(lat);
+    return doc;
+}
+
+}  // namespace uavdc::net

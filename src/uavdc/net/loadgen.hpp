@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uavdc/core/metrics.hpp"
+#include "uavdc/io/json.hpp"
+
+namespace uavdc::net {
+
+/// Load-test client configuration (`uavdc loadgen --connect`). The request
+/// stream is deterministic in `seed`, so the same config replayed against
+/// the JSONL path (`loadgen_workload_jsonl`) must produce byte-identical
+/// response payloads — the transport conformance check.
+struct LoadgenConfig {
+    std::string host = "127.0.0.1";
+    int port = 0;                 ///< required: server or router port
+    int connections = 8;          ///< concurrent persistent connections
+    int pipeline = 32;            ///< max in-flight requests per connection
+    int requests = 10000;         ///< load-phase plan requests
+    int instances = 4;            ///< distinct instances (cycled per request)
+    int devices_lo = 12;          ///< per-instance device-count range
+    int devices_hi = 24;
+    std::uint64_t seed = 7;
+    std::vector<std::string> planners;  ///< cycled; empty = {"alg2"}
+    bool length_prefixed = true;  ///< wire framing for requests
+    bool capture = false;         ///< keep every response payload (diffing)
+    std::size_t max_frame_bytes = 16u << 20;
+    int timeout_ms = 120000;      ///< overall give-up bound
+};
+
+struct LoadgenResult {
+    std::uint64_t sent{0};
+    std::uint64_t received{0};
+    std::uint64_t ok{0};
+    std::uint64_t cache_hits{0};
+    std::uint64_t errors{0};   ///< responses with status != ok
+    bool timed_out{false};
+    double elapsed_s{0.0};     ///< load phase only (priming excluded)
+    double rps{0.0};
+    core::LatencyHistogram latency;  ///< enqueue -> response, seconds
+    /// Response payloads in receive order (only when `capture`).
+    std::vector<std::string> responses;
+};
+
+/// Drive the workload over TCP. Phase 1 registers every instance (inline,
+/// one connection, barrier'd with `drain`) so the load phase can reference
+/// by fingerprint from any connection without ordering hazards; phase 2
+/// fans the `requests` plan requests round-robin over `connections`
+/// pipelined connections and measures per-request latency.
+[[nodiscard]] LoadgenResult run_loadgen(const LoadgenConfig& cfg);
+
+/// The exact same logical workload as a JSONL stdin stream for
+/// `uavdc serve`: priming requests, load requests, final `drain`. Piping
+/// this through the JSONL path yields the reference responses that the TCP
+/// path's captured responses are diffed against.
+[[nodiscard]] std::string loadgen_workload_jsonl(const LoadgenConfig& cfg);
+
+/// Summary document (`uavdc loadgen` prints this): counts, rps, latency
+/// quantiles in milliseconds.
+[[nodiscard]] io::Json to_json(const LoadgenResult& r);
+
+}  // namespace uavdc::net

@@ -1,0 +1,104 @@
+#include "uavdc/net/process.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace uavdc::net {
+
+std::string self_exe_path() {
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0) throw std::runtime_error("readlink(/proc/self/exe) failed");
+    return std::string(buf, static_cast<std::size_t>(n));
+}
+
+ChildProcess spawn_child(const std::vector<std::string>& argv) {
+    if (argv.empty()) throw std::runtime_error("spawn_child: empty argv");
+    auto [rd, wr] = Socket::pipe_pair();
+
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("fork failed");
+    if (pid == 0) {
+        // Child: stdout -> pipe write end; restore default signal
+        // disposition so a parent's SIGTERM handler is not inherited.
+        ::signal(SIGTERM, SIG_DFL);
+        ::signal(SIGINT, SIG_DFL);
+        ::signal(SIGPIPE, SIG_DFL);
+        while (::dup2(wr.fd(), STDOUT_FILENO) < 0 && errno == EINTR) {
+        }
+        // Both pipe-end descriptors close via dup2/exec; the Socket
+        // destructors never run in the child after a successful exec.
+        ::execv(cargv[0], cargv.data());
+        ::_exit(127);  // exec failed
+    }
+    ChildProcess child;
+    child.pid = pid;
+    child.stdout_rd = std::move(rd);
+    return child;
+}
+
+bool child_alive(pid_t pid) {
+    if (pid <= 0) return false;
+    int status = 0;
+    pid_t rc = 0;
+    do {
+        rc = ::waitpid(pid, &status, WNOHANG);
+    } while (rc < 0 && errno == EINTR);
+    return rc == 0;  // 0 = still running; pid = reaped; -1 = already gone
+}
+
+void signal_child(pid_t pid, int signo) {
+    if (pid > 0) ::kill(pid, signo);
+}
+
+int wait_child(pid_t pid) {
+    int status = 0;
+    pid_t rc = 0;
+    do {
+        rc = ::waitpid(pid, &status, 0);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return -1;
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return -WTERMSIG(status);
+    return -1;
+}
+
+std::optional<std::string> read_line(Socket& pipe, int timeout_ms) {
+    std::string line;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    char ch = 0;
+    while (true) {
+        const IoResult r = pipe.read_some(&ch, 1);
+        if (r.status == IoStatus::kOk) {
+            if (ch == '\n') return line;
+            line.push_back(ch);
+            continue;
+        }
+        if (r.status == IoStatus::kEof || r.status == IoStatus::kError) {
+            return std::nullopt;
+        }
+        // kWouldBlock on a non-blocking pipe: wait for readability.
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return std::nullopt;
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              deadline - now)
+                              .count();
+        std::vector<PollEntry> entries{
+            {pipe.fd(), true, false, false, false, false}};
+        poll_wait(entries, static_cast<int>(left) + 1);
+    }
+}
+
+}  // namespace uavdc::net

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "uavdc/net/socket.hpp"
+
+namespace uavdc::net {
+
+/// A spawned worker process with its stdout captured through a pipe (the
+/// `--announce` handshake: a worker bound to port 0 prints
+/// `LISTENING <port>` as its first stdout line; everything after is noise
+/// the parent drains and discards).
+struct ChildProcess {
+    pid_t pid{-1};
+    Socket stdout_rd;
+
+    [[nodiscard]] bool valid() const { return pid > 0; }
+};
+
+/// Absolute path of the running executable (/proc/self/exe) — how the
+/// router respawns `uavdc serve --tcp` workers of the same build.
+[[nodiscard]] std::string self_exe_path();
+
+/// fork+exec `argv` (argv[0] is the program path) with stdout redirected
+/// into the returned pipe. Throws std::runtime_error when the fork or pipe
+/// fails; an exec failure surfaces as the child exiting 127.
+[[nodiscard]] ChildProcess spawn_child(const std::vector<std::string>& argv);
+
+/// True while the child has not yet been reaped (non-blocking waitpid; a
+/// child that exited is reaped by this call and reported dead).
+[[nodiscard]] bool child_alive(pid_t pid);
+
+/// Send a signal (SIGTERM for graceful drain, SIGKILL for the crash drill).
+void signal_child(pid_t pid, int signo);
+
+/// Blocking reap; returns the exit status (or -signo for a signal death).
+int wait_child(pid_t pid);
+
+/// Read one '\n'-terminated line from the pipe, waiting up to `timeout_ms`.
+/// nullopt on timeout or EOF-before-newline.
+[[nodiscard]] std::optional<std::string> read_line(Socket& pipe,
+                                                   int timeout_ms);
+
+}  // namespace uavdc::net

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "uavdc/net/transport_stats.hpp"
+
+namespace uavdc::net {
+
+struct RouterConfig {
+    std::string host = "127.0.0.1";
+    int port = 0;  ///< client-facing listen port (0 = ephemeral)
+
+    /// Managed mode: spawn this many `uavdc serve --tcp --announce` worker
+    /// processes (respawned on crash). Mutually exclusive with `endpoints`.
+    int shards = 0;
+    std::size_t shard_workers = 0;  ///< threads per worker (0 = default)
+    /// Directory for per-shard repositories (`shard-<i>.jsonl`); empty
+    /// disables durability (a respawned shard then starts cold).
+    std::string repo_dir;
+
+    /// Static mode (tests): route to already-running servers on these ports
+    /// instead of spawning; a lost upstream is reconnected, not respawned.
+    std::vector<int> endpoints;
+
+    const std::atomic<bool>* stop = nullptr;
+    int wake_fd = -1;
+    int poll_timeout_ms = 200;
+    int spawn_timeout_ms = 10000;  ///< announce-handshake wait per worker
+    std::size_t max_frame_bytes = 16u << 20;
+    std::size_t write_queue_limit = 8u << 20;
+    std::function<void(int)> on_listening;
+};
+
+/// Thin request router in front of N `PlanService` shards.
+///
+/// Each client plan request is hashed to a shard by *instance fingerprint*
+/// (`instance_ref` directly; inline instances by content hash), so every
+/// request for one instance lands on the shard whose registry,
+/// `PlanningContext` LRU, and response cache are warm for it. Requests are
+/// re-tagged (`"<seq>#<original-id>"`) before forwarding so concurrent
+/// clients with colliding ids stay distinguishable, and de-tagged on the
+/// way back.
+///
+/// At-least-once upstream, exactly-once to the client: every forwarded
+/// request stays in a pending table until its response has been handed to
+/// the client. When a shard connection dies (crash, kill -9), the shard is
+/// respawned (managed) or reconnected (static) and only the still-pending
+/// requests are resent (`retried_after_shard_death`) — planning is
+/// deterministic and cached, so a request whose response was lost in the
+/// dead connection re-produces the identical payload, and one whose
+/// response already reached the client is never resent.
+///
+/// `stats`/`drain` verbs are answered by the router itself; `drain` is the
+/// same per-connection barrier the TCP server implements.
+class Router {
+  public:
+    explicit Router(RouterConfig cfg) : cfg_(std::move(cfg)) {}
+
+    struct RunResult {
+        TransportStats transport;
+        bool clean_shutdown{false};  ///< all shards reaped with exit 0
+    };
+
+    RunResult run();
+
+  private:
+    RouterConfig cfg_;
+};
+
+}  // namespace uavdc::net

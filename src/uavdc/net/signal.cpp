@@ -1,0 +1,79 @@
+#include "uavdc/net/signal.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <mutex>
+#include <unistd.h>
+
+#include "uavdc/net/socket.hpp"
+
+namespace uavdc::net {
+
+namespace {
+
+// The singleton lives behind install() so the self-pipe is only created
+// when a transport actually asks for signal handling.
+ShutdownSignal* g_signal = nullptr;
+
+// Async-signal-safe delivery: set the flag, poke the pipe. Everything here
+// is on the sigaction(7) safe list (atomic store + write(2)).
+extern "C" void uavdc_net_on_signal(int) {
+    if (g_signal == nullptr) return;
+    detail_signal_deliver();
+}
+
+}  // namespace
+
+void detail_signal_deliver() {
+    g_signal->flag_.store(true, std::memory_order_release);
+    const char byte = 1;
+    // EINTR cannot nest meaningfully here and the pipe being full already
+    // means a wakeup is pending, so one attempt is enough.
+    // NOLINTNEXTLINE(uavdc-no-raw-socket): async-signal-safe handler body;
+    // one attempt is correct — EINTR cannot nest and a full pipe already
+    // means a wakeup is pending.
+    [[maybe_unused]] const ssize_t rc = ::write(g_signal->wake_write_fd_,
+                                                &byte, 1);
+}
+
+ShutdownSignal& ShutdownSignal::install() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        static ShutdownSignal instance;
+        auto [rd, wr] = Socket::pipe_pair();
+        rd.set_nonblocking(true);
+        wr.set_nonblocking(true);
+        instance.wake_read_fd_ = rd.release();
+        instance.wake_write_fd_ = wr.release();
+        g_signal = &instance;
+
+        struct sigaction sa {};
+        sa.sa_handler = uavdc_net_on_signal;
+        sigemptyset(&sa.sa_mask);
+        // No SA_RESTART: blocking reads (std::getline on stdin, poll) must
+        // return EINTR so single-threaded transports observe the request.
+        sa.sa_flags = 0;
+        sigaction(SIGTERM, &sa, nullptr);
+        sigaction(SIGINT, &sa, nullptr);
+        // A client that disconnects mid-write must not kill the process;
+        // write paths see EPIPE instead.
+        struct sigaction ign {};
+        ign.sa_handler = SIG_IGN;
+        sigemptyset(&ign.sa_mask);
+        sigaction(SIGPIPE, &ign, nullptr);
+    });
+    return *g_signal;
+}
+
+void ShutdownSignal::trigger() {
+    detail_signal_deliver();
+}
+
+void ShutdownSignal::reset() {
+    flag_.store(false, std::memory_order_release);
+    Socket pipe(wake_read_fd_);
+    drain_readable(pipe);
+    pipe.release();
+}
+
+}  // namespace uavdc::net

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <atomic>
+
+namespace uavdc::net {
+
+/// Async-signal-safe delivery body shared by the real signal handler and
+/// `ShutdownSignal::trigger()`. Not for general use.
+void detail_signal_deliver();
+
+/// Process-wide graceful-shutdown signal state, shared by every transport
+/// front-end (`uavdc serve` JSONL and TCP, `uavdc route`).
+///
+/// `install()` (idempotent) registers SIGTERM and SIGINT handlers that set
+/// an atomic flag and write one byte to a self-pipe, and sets SIGPIPE to
+/// ignored so a client that disconnects mid-write cannot kill the server.
+/// The handlers are installed *without* SA_RESTART on purpose: a blocking
+/// read (std::getline on stdin, accept, poll) returns with EINTR instead of
+/// resuming, so single-threaded transports notice the signal immediately —
+/// the JSONL path's graceful drain depends on exactly this.
+///
+/// Pollers add `wake_fd()` to their poll set; it becomes readable on the
+/// first signal. `requested()` is the flag to check from any thread.
+class ShutdownSignal {
+  public:
+    /// Install the handlers (first call) and return the singleton.
+    static ShutdownSignal& install();
+
+    /// True once SIGTERM or SIGINT has been delivered (or `trigger()` ran).
+    [[nodiscard]] bool requested() const {
+        return flag_.load(std::memory_order_acquire);
+    }
+
+    /// The flag itself, for code that takes `const std::atomic<bool>*`.
+    [[nodiscard]] const std::atomic<bool>& flag() const { return flag_; }
+
+    /// Read end of the self-pipe: readable once a signal arrived. Never
+    /// read from it directly mid-wait — poll it, then call
+    /// `ShutdownSignal` state, leaving the byte so later pollers wake too.
+    [[nodiscard]] int wake_fd() const { return wake_read_fd_; }
+
+    /// Programmatic shutdown request (tests; also lets a parent process
+    /// reuse the drain path without raising a real signal).
+    void trigger();
+
+    /// Clear the flag and drain the pipe so the next install()-free test
+    /// starts fresh. Test-only: racing a real signal delivery loses it.
+    void reset();
+
+  private:
+    ShutdownSignal() = default;
+
+    std::atomic<bool> flag_{false};
+    int wake_read_fd_{-1};
+    int wake_write_fd_{-1};
+
+    friend void detail_signal_deliver();
+};
+
+}  // namespace uavdc::net

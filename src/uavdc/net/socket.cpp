@@ -1,0 +1,213 @@
+// The single blessed home for raw socket syscalls (see UL015
+// `no-raw-socket`): every call site below retries EINTR and maps errno into
+// the IoStatus vocabulary, so the rest of net/ never has to reason about
+// interrupted syscalls or SIGPIPE.
+
+#include "uavdc/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+#include "uavdc/util/check.hpp"
+
+namespace uavdc::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, int port) {
+    UAVDC_REQUIRE(port >= 0 && port <= 65535)
+        << "tcp port out of range: " << port;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw std::runtime_error("not an IPv4 address: '" + host + "'");
+    }
+    return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+    if (this != &o) {
+        close();
+        fd_ = o.fd_;
+        o.fd_ = -1;
+    }
+    return *this;
+}
+
+void Socket::close() {
+    if (fd_ < 0) return;
+    // close(2) must not be retried on EINTR — POSIX leaves the descriptor
+    // state unspecified and Linux guarantees it is closed either way, so a
+    // retry could close an unrelated descriptor reused in between.
+    ::close(fd_);
+    fd_ = -1;
+}
+
+int Socket::release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+Socket Socket::listen_tcp(const std::string& host, int port, int backlog) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket");
+    Socket s(fd);
+    const int one = 1;
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+        fail("setsockopt(SO_REUSEADDR)");
+    }
+    const sockaddr_in addr = make_addr(host, port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        fail("bind " + host + ":" + std::to_string(port));
+    }
+    if (::listen(fd, backlog) != 0) fail("listen");
+    return s;
+}
+
+Socket Socket::connect_tcp(const std::string& host, int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket");
+    Socket s(fd);
+    const sockaddr_in addr = make_addr(host, port);
+    int rc = 0;
+    do {
+        rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) fail("connect " + host + ":" + std::to_string(port));
+    return s;
+}
+
+std::pair<Socket, Socket> Socket::pipe_pair() {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) fail("pipe");
+    return {Socket(fds[0]), Socket(fds[1])};
+}
+
+void Socket::set_nonblocking(bool on) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0) fail("fcntl(F_GETFL)");
+    const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    if (::fcntl(fd_, F_SETFL, want) != 0) fail("fcntl(F_SETFL)");
+}
+
+void Socket::set_nodelay(bool on) {
+    const int v = on ? 1 : 0;
+    // Best-effort: fails harmlessly on pipe descriptors.
+    (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v));
+}
+
+int Socket::local_port() const {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        fail("getsockname");
+    }
+    return static_cast<int>(ntohs(addr.sin_port));
+}
+
+std::optional<Socket> Socket::accept_one() {
+    int fd = -1;
+    do {
+        fd = ::accept(fd_, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    // A connection that was reset between arrival and accept is not a
+    // listener failure; report "nothing to accept" and poll again.
+    if (errno == ECONNABORTED) return std::nullopt;
+    fail("accept");
+}
+
+IoResult Socket::read_some(char* buf, std::size_t n) {
+    ssize_t rc = 0;
+    do {
+        rc = ::read(fd_, buf, n);
+    } while (rc < 0 && errno == EINTR);
+    if (rc > 0) return {IoStatus::kOk, static_cast<std::size_t>(rc)};
+    if (rc == 0) return {IoStatus::kEof, 0};
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+}
+
+IoResult Socket::write_some(const char* buf, std::size_t n) {
+    ssize_t rc = 0;
+    do {
+        // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of killing
+        // the process with SIGPIPE (pipes still need the process-level
+        // ignore in ShutdownSignal::install, send() only covers sockets).
+        rc = ::send(fd_, buf, n, MSG_NOSIGNAL);
+        if (rc < 0 && errno == ENOTSOCK) {
+            rc = ::write(fd_, buf, n);  // pipe descriptor
+        }
+    } while (rc < 0 && errno == EINTR);
+    if (rc >= 0) return {IoStatus::kOk, static_cast<std::size_t>(rc)};
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+}
+
+bool Socket::write_all(const char* buf, std::size_t n) {
+    std::size_t sent = 0;
+    while (sent < n) {
+        const IoResult r = write_some(buf + sent, n - sent);
+        if (r.status == IoStatus::kWouldBlock) continue;  // blocking socket
+        if (r.status != IoStatus::kOk) return false;
+        sent += r.n;
+    }
+    return true;
+}
+
+int poll_wait(std::vector<PollEntry>& entries, int timeout_ms) {
+    std::vector<pollfd> fds(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        fds[i].fd = entries[i].fd;
+        fds[i].events = 0;
+        if (entries[i].want_read) fds[i].events |= POLLIN;
+        if (entries[i].want_write) fds[i].events |= POLLOUT;
+    }
+    int rc = 0;
+    do {
+        rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) fail("poll");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        entries[i].readable = (fds[i].revents & (POLLIN | POLLHUP)) != 0;
+        entries[i].writable = (fds[i].revents & POLLOUT) != 0;
+        entries[i].error = (fds[i].revents & (POLLERR | POLLNVAL)) != 0;
+    }
+    return rc;
+}
+
+void drain_readable(Socket& s) {
+    char buf[256];
+    while (s.read_some(buf, sizeof(buf)).status == IoStatus::kOk) {
+    }
+}
+
+}  // namespace uavdc::net

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace uavdc::net {
+
+/// Result of a non-blocking read/write attempt on a `Socket`.
+enum class IoStatus {
+    kOk,          ///< some bytes transferred (`n` > 0)
+    kWouldBlock,  ///< no progress possible right now (EAGAIN)
+    kEof,         ///< orderly close by the peer (reads only)
+    kError,       ///< connection-level failure (ECONNRESET, EPIPE, ...)
+};
+
+struct IoResult {
+    IoStatus status{IoStatus::kOk};
+    std::size_t n{0};  ///< bytes transferred when status == kOk
+};
+
+/// Move-only owner of a POSIX file descriptor (TCP socket or pipe end).
+///
+/// Every syscall this class issues is wrapped in an EINTR retry loop and
+/// writes use MSG_NOSIGNAL, so a signal mid-transfer never surfaces as a
+/// spurious failure and a disconnected peer never raises SIGPIPE. This file
+/// (socket.cpp) is the single blessed home for raw socket syscalls — lint
+/// rule UL015 `no-raw-socket` keeps them out of everywhere else, where
+/// transport code goes through this wrapper instead.
+class Socket {
+  public:
+    Socket() = default;
+    /// Adopt an already-open descriptor (e.g. a pipe end from process.cpp).
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket();
+
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+    Socket(Socket&& o) noexcept;
+    Socket& operator=(Socket&& o) noexcept;
+
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+    [[nodiscard]] int fd() const { return fd_; }
+
+    /// Close now (idempotent; the destructor calls it).
+    void close();
+
+    /// Release ownership without closing.
+    int release();
+
+    // -- factories ---------------------------------------------------------
+
+    /// Bound + listening TCP socket (SO_REUSEADDR set). `port` 0 binds an
+    /// ephemeral port; read it back with `local_port()`. Throws
+    /// std::runtime_error on failure.
+    static Socket listen_tcp(const std::string& host, int port,
+                             int backlog = 128);
+
+    /// Blocking connect to host:port. Throws std::runtime_error on failure.
+    static Socket connect_tcp(const std::string& host, int port);
+
+    /// A connected unidirectional pipe: {read_end, write_end}. Used for
+    /// self-pipe wakeups and child stdout capture.
+    static std::pair<Socket, Socket> pipe_pair();
+
+    // -- configuration -----------------------------------------------------
+
+    void set_nonblocking(bool on);
+    /// TCP_NODELAY (no-op on non-TCP descriptors).
+    void set_nodelay(bool on);
+    /// Port this socket is bound to (after listen_tcp with port 0).
+    [[nodiscard]] int local_port() const;
+
+    // -- accept ------------------------------------------------------------
+
+    /// Accept one pending connection. Returns nullopt when none is pending
+    /// (EAGAIN on a non-blocking listener). Throws on listener-level errors.
+    std::optional<Socket> accept_one();
+
+    // -- transfer ----------------------------------------------------------
+
+    /// One read attempt of up to `n` bytes (EINTR-retried).
+    IoResult read_some(char* buf, std::size_t n);
+
+    /// One write attempt of up to `n` bytes (EINTR-retried, MSG_NOSIGNAL).
+    IoResult write_some(const char* buf, std::size_t n);
+
+    /// Write the whole buffer on a blocking socket; false on any error.
+    bool write_all(const char* buf, std::size_t n);
+    bool write_all(const std::string& s) {
+        return write_all(s.data(), s.size());
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/// One entry in a `poll_wait` set: which descriptor, whether to wait for
+/// readability / writability, and what fired.
+struct PollEntry {
+    int fd{-1};
+    bool want_read{false};
+    bool want_write{false};
+    bool readable{false};   ///< out: POLLIN | POLLHUP
+    bool writable{false};   ///< out: POLLOUT
+    bool error{false};      ///< out: POLLERR | POLLNVAL
+};
+
+/// EINTR-guarded poll(2) over the entry set. Returns the number of entries
+/// with events (0 on timeout). `timeout_ms` < 0 waits forever.
+int poll_wait(std::vector<PollEntry>& entries, int timeout_ms);
+
+/// Read and discard everything currently readable (drains a wake pipe).
+void drain_readable(Socket& s);
+
+}  // namespace uavdc::net

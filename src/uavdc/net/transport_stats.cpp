@@ -1,0 +1,24 @@
+#include "uavdc/net/transport_stats.hpp"
+
+namespace uavdc::net {
+
+io::Json to_json(const TransportStats& t) {
+    io::Json doc;
+    doc["connections_opened"] = t.connections_opened;
+    doc["connections_closed"] = t.connections_closed;
+    doc["open_connections"] = t.open_connections;
+    doc["bytes_in"] = t.bytes_in;
+    doc["bytes_out"] = t.bytes_out;
+    doc["frames_decoded"] = t.frames_decoded;
+    doc["frames_malformed"] = t.frames_malformed;
+    doc["requests"] = t.requests;
+    doc["responses"] = t.responses;
+    doc["control"] = t.control;
+    doc["shed_on_shutdown"] = t.shed_on_shutdown;
+    doc["retried_after_shard_death"] = t.retried_after_shard_death;
+    doc["shard_respawns"] = t.shard_respawns;
+    doc["write_queue_bytes"] = t.write_queue_bytes;
+    return doc;
+}
+
+}  // namespace uavdc::net

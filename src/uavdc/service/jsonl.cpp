@@ -18,7 +18,10 @@ bool blank(const std::string& line) {
 JsonlSummary serve_jsonl(std::istream& in, std::ostream& out,
                          const JsonlConfig& cfg, util::ThreadPool* pool) {
     JsonlSummary summary;
-    PlanService svc(cfg.service, pool);
+    PlanService::Config svc_cfg = cfg.service;
+    // Responses leave through response_line(); hits don't need the tree.
+    svc_cfg.wire_only_hits = true;
+    PlanService svc(svc_cfg, pool);
 
     std::mutex out_mu;
     const auto write_line = [&](const io::Json& doc) {
@@ -28,11 +31,25 @@ JsonlSummary serve_jsonl(std::istream& in, std::ostream& out,
         out.flush();
     };
     const auto write_response = [&](const PlanResponse& resp) {
-        write_line(to_json(resp));
+        const std::string text = response_line(resp);
+        std::lock_guard lock(out_mu);
+        out << text << '\n';
+        out.flush();
+    };
+
+    const auto stop_requested = [&] {
+        return cfg.stop != nullptr &&
+               cfg.stop->load(std::memory_order_acquire);
     };
 
     std::string line;
-    while (std::getline(in, line)) {
+    while (!stop_requested() && std::getline(in, line)) {
+        if (stop_requested()) {
+            // The signal landed mid-read; this line was never submitted, so
+            // drain semantics ("finish what was accepted") don't cover it.
+            summary.stopped = true;
+            break;
+        }
         if (blank(line)) continue;
         ++summary.lines;
 
@@ -92,6 +109,7 @@ JsonlSummary serve_jsonl(std::istream& in, std::ostream& out,
         svc.submit(std::move(req), write_response);
     }
 
+    if (stop_requested()) summary.stopped = true;
     svc.drain();
     summary.stats = svc.stats();
     if (cfg.final_stats) {

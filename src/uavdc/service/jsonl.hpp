@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 
@@ -11,6 +12,12 @@ namespace uavdc::service {
 struct JsonlConfig {
     PlanService::Config service;
     bool final_stats = false;  ///< append one stats line after EOF drain
+    /// Graceful-drain request (e.g. `net::ShutdownSignal::flag()`): once
+    /// true, the session stops consuming input, finishes every request
+    /// already submitted, and returns as if EOF had been reached. The CLI
+    /// installs SIGTERM/SIGINT handlers without SA_RESTART so a blocking
+    /// getline is interrupted and the flag is observed promptly.
+    const std::atomic<bool>* stop = nullptr;
 };
 
 /// Outcome of one JSONL session (also printed by `uavdc serve --summary`).
@@ -19,6 +26,7 @@ struct JsonlSummary {
     std::uint64_t requests{0};      ///< plan requests submitted
     std::uint64_t control{0};       ///< stats/drain verbs answered
     std::uint64_t parse_errors{0};  ///< malformed lines (answered, not fatal)
+    bool stopped{false};            ///< ended by the stop flag, not EOF
     ServiceStats stats;             ///< service counters after the final drain
 };
 

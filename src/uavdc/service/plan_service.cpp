@@ -171,7 +171,8 @@ std::uint64_t instance_check_hash(const model::Instance& inst) {
 ResponseCache::Hit ResponseCache::get(std::uint64_t key_hi,
                                       std::uint64_t key_lo,
                                       const std::string& options_canon,
-                                      std::uint64_t instance_check) {
+                                      std::uint64_t instance_check,
+                                      bool copy_tree) {
     std::lock_guard lock(mu_);
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         Entry& e = entries_[i];
@@ -189,20 +190,25 @@ ResponseCache::Hit ResponseCache::get(std::uint64_t key_hi,
             std::rotate(entries_.begin(), mid, mid + 1);
         }
         ++hits_;
-        return {true, entries_.front().result};
+        if (!copy_tree) return {true, io::Json(), entries_.front().wire};
+        return {true, entries_.front().result, entries_.front().wire};
     }
     ++misses_;
     return {};
 }
 
-void ResponseCache::put(std::uint64_t key_hi, std::uint64_t key_lo,
-                        std::string options_canon,
-                        std::uint64_t instance_check, io::Json result) {
+std::shared_ptr<const std::string> ResponseCache::put(
+    std::uint64_t key_hi, std::uint64_t key_lo, std::string options_canon,
+    std::uint64_t instance_check, io::Json result) {
+    // Serialize outside the lock: the dump of a large plan is the expensive
+    // part, and every future hit reuses this one string.
+    auto wire = std::make_shared<const std::string>(result.dump());
     std::lock_guard lock(mu_);
     entries_.insert(entries_.begin(),
                     Entry{key_hi, key_lo, std::move(options_canon),
-                          instance_check, std::move(result)});
+                          instance_check, std::move(result), wire});
     if (entries_.size() > capacity_) entries_.pop_back();
+    return wire;
 }
 
 std::uint64_t ResponseCache::hits() const {
@@ -476,30 +482,41 @@ std::shared_ptr<const model::Instance> PlanService::resolve_instance(
     if (req.instance) {
         const std::uint64_t fp =
             core::PlanningContext::instance_fingerprint(*req.instance);
-        std::lock_guard lock(inst_mu_);
-        auto it = instances_.find(fp);
-        if (it != instances_.end()) {
-            // The 64-bit fingerprint alone would silently resolve a
-            // colliding instance to whatever was stored first — a wrong
-            // answer with no detection path. We hold the submitted content
-            // right here, so verify it (cheap next to planning) and fail
-            // loudly instead of planning the wrong instance.
-            if (!same_planning_content(*it->second, *req.instance)) {
-                error = "instance fingerprint collision: inline instance "
-                        "hashes to " + fingerprint_to_hex(fp) +
-                        " but differs from the instance registered under "
-                        "that fingerprint";
-                status = ResponseStatus::kInternalError;
-                return nullptr;
+        std::shared_ptr<const model::Instance> inst;
+        bool inserted = false;
+        {
+            std::lock_guard lock(inst_mu_);
+            auto it = instances_.find(fp);
+            if (it != instances_.end()) {
+                // The 64-bit fingerprint alone would silently resolve a
+                // colliding instance to whatever was stored first — a wrong
+                // answer with no detection path. We hold the submitted
+                // content right here, so verify it (cheap next to planning)
+                // and fail loudly instead of planning the wrong instance.
+                if (!same_planning_content(*it->second, *req.instance)) {
+                    error = "instance fingerprint collision: inline instance "
+                            "hashes to " + fingerprint_to_hex(fp) +
+                            " but differs from the instance registered under "
+                            "that fingerprint";
+                    status = ResponseStatus::kInternalError;
+                    return nullptr;
+                }
+                inst = it->second;
+            } else {
+                inst = std::make_shared<const model::Instance>(*req.instance);
+                instances_.emplace(fp, inst);
+                instance_order_.push_back(fp);
+                while (instance_order_.size() > cfg_.instance_capacity) {
+                    instances_.erase(instance_order_.front());
+                    instance_order_.erase(instance_order_.begin());
+                }
+                inserted = true;
             }
-            return it->second;
         }
-        auto inst = std::make_shared<const model::Instance>(*req.instance);
-        instances_.emplace(fp, inst);
-        instance_order_.push_back(fp);
-        while (instance_order_.size() > cfg_.instance_capacity) {
-            instances_.erase(instance_order_.front());
-            instance_order_.erase(instance_order_.begin());
+        // Durability tap runs outside inst_mu_: the hook does file I/O and
+        // must not serialize every concurrent instance lookup behind it.
+        if (inserted && cfg_.store.on_instance) {
+            cfg_.store.on_instance(fp, *inst);
         }
         return inst;
     }
@@ -543,9 +560,12 @@ PlanResponse PlanService::execute(const PlanRequest& req) {
     const std::string canon = canonical_options(req.planner, opts);
     const std::uint64_t check = instance_check_hash(*inst);
 
-    if (auto hit = cache_.get(inst_fp, opts_fp, canon, check); hit.found) {
+    if (auto hit = cache_.get(inst_fp, opts_fp, canon, check,
+                              /*copy_tree=*/!cfg_.wire_only_hits);
+        hit.found) {
         resp.cache_hit = true;
         resp.result = std::move(hit.result);
+        resp.result_wire = std::move(hit.wire);
         return resp;
     }
 
@@ -560,7 +580,11 @@ PlanResponse PlanService::execute(const PlanRequest& req) {
         result["plan"] = io::to_json(res.plan);
         result["stats"] = stats_to_json(res.stats);
         resp.result = result;
-        cache_.put(inst_fp, opts_fp, canon, check, std::move(result));
+        if (cfg_.store.on_response) {
+            cfg_.store.on_response(inst_fp, opts_fp, canon, check, result);
+        }
+        resp.result_wire =
+            cache_.put(inst_fp, opts_fp, canon, check, std::move(result));
     } catch (const std::exception& ex) {
         resp.status = ResponseStatus::kInternalError;
         resp.error = std::string("planner '") + req.planner +
@@ -568,6 +592,27 @@ PlanResponse PlanService::execute(const PlanRequest& req) {
         resp.result = io::Json();
     }
     return resp;
+}
+
+void PlanService::preload_instance(const model::Instance& inst) {
+    const std::uint64_t fp =
+        core::PlanningContext::instance_fingerprint(inst);
+    std::lock_guard lock(inst_mu_);
+    if (instances_.count(fp) != 0) return;
+    instances_.emplace(fp, std::make_shared<const model::Instance>(inst));
+    instance_order_.push_back(fp);
+    while (instance_order_.size() > cfg_.instance_capacity) {
+        instances_.erase(instance_order_.front());
+        instance_order_.erase(instance_order_.begin());
+    }
+}
+
+void PlanService::preload_response(std::uint64_t key_hi, std::uint64_t key_lo,
+                                   std::string options_canon,
+                                   std::uint64_t instance_check,
+                                   io::Json result) {
+    cache_.put(key_hi, key_lo, std::move(options_canon), instance_check,
+               std::move(result));
 }
 
 void PlanService::drain() {

@@ -90,18 +90,29 @@ class ResponseCache {
     struct Hit {
         bool found{false};
         io::Json result;
+        /// `result` pre-serialized with dump(); shared with the cache entry
+        /// so hot transports splice it instead of re-dumping the tree.
+        std::shared_ptr<const std::string> wire;
     };
 
     /// Lookup; moves a verified hit to the MRU front and counts it. A key
-    /// match whose canon/check differs counts as a miss.
+    /// match whose canon/check differs counts as a miss. `copy_tree` false
+    /// leaves Hit::result null and returns only the shared wire string —
+    /// the deep copy of a plan tree is the dominant cost of a hit, and
+    /// wire-only transports never look at the tree.
     [[nodiscard]] Hit get(std::uint64_t key_hi, std::uint64_t key_lo,
                           const std::string& options_canon,
-                          std::uint64_t instance_check);
+                          std::uint64_t instance_check,
+                          bool copy_tree = true);
 
     /// Insert at the MRU front, evicting from the back past capacity.
-    void put(std::uint64_t key_hi, std::uint64_t key_lo,
-             std::string options_canon, std::uint64_t instance_check,
-             io::Json result);
+    /// Serializes `result` once and returns the shared wire form (the same
+    /// string subsequent hits carry).
+    std::shared_ptr<const std::string> put(std::uint64_t key_hi,
+                                           std::uint64_t key_lo,
+                                           std::string options_canon,
+                                           std::uint64_t instance_check,
+                                           io::Json result);
 
     [[nodiscard]] std::uint64_t hits() const;
     [[nodiscard]] std::uint64_t misses() const;
@@ -114,6 +125,7 @@ class ResponseCache {
         std::string options_canon;    ///< verified on every key match
         std::uint64_t instance_check; ///< verified on every key match
         io::Json result;
+        std::shared_ptr<const std::string> wire;  ///< result.dump(), shared
     };
 
     std::size_t capacity_;
@@ -154,6 +166,22 @@ class ResponseCache {
 /// for admission rejections) and must synchronize their own sinks.
 class PlanService {
   public:
+    /// Durability taps: invoked (outside the service's locks, possibly from
+    /// several worker threads at once — the sink must synchronize) whenever
+    /// a *new* instance is registered or a *fresh* planning result enters
+    /// the response cache. `net::Repository` appends these to its log so a
+    /// restarted process can `preload_*` them back; embedders that don't
+    /// need durability leave both empty.
+    struct StoreHooks {
+        std::function<void(std::uint64_t fp, const model::Instance& inst)>
+            on_instance;
+        std::function<void(std::uint64_t key_hi, std::uint64_t key_lo,
+                           const std::string& options_canon,
+                           std::uint64_t instance_check,
+                           const io::Json& result)>
+            on_response;
+    };
+
     struct Config {
         std::size_t workers = 4;        ///< owned-pool size (ignored when an
                                         ///< external pool is supplied)
@@ -161,6 +189,13 @@ class PlanService {
         std::size_t response_cache_capacity = 512;
         std::size_t instance_capacity = 256;  ///< fingerprint registry bound
         core::PlannerOptions defaults;  ///< base options requests override
+        StoreHooks store;               ///< durability taps (may be empty)
+        /// Cache hits carry only `result_wire` (the pre-serialized result)
+        /// and leave `PlanResponse::result` null, skipping the deep copy of
+        /// the plan tree per hit. Transports that serialize exclusively via
+        /// `response_line` (TCP server, router, JSONL) enable this; leave
+        /// false when callbacks inspect `result` directly.
+        bool wire_only_hits = false;
     };
 
     /// `pool` == nullptr: the service owns a `util::ThreadPool` of
@@ -187,6 +222,15 @@ class PlanService {
     /// Synchronous execution (no admission queue, no deadline): resolve,
     /// plan, cache. Workers call this; tests use it as the reference path.
     [[nodiscard]] PlanResponse execute(const PlanRequest& req);
+
+    /// Replay-from-repository entry points: identical bookkeeping to a live
+    /// registration / cache fill, but the `StoreHooks` are *not* invoked —
+    /// otherwise reloading a repository would immediately re-append every
+    /// record it just read.
+    void preload_instance(const model::Instance& inst);
+    void preload_response(std::uint64_t key_hi, std::uint64_t key_lo,
+                          std::string options_canon,
+                          std::uint64_t instance_check, io::Json result);
 
     /// Block until every admitted request has been answered.
     void drain();

@@ -211,6 +211,35 @@ io::Json to_json(const PlanResponse& resp) {
     return doc;
 }
 
+std::string response_line(const PlanResponse& resp) {
+    if (!resp.result_wire) return to_json(resp).dump();
+    // Envelope keys in the serializer's sorted order, numbers and strings
+    // rendered by the dump() primitives — byte-identical to the fallback
+    // above (ResponseLineMatchesJsonDump locks this in).
+    std::string out;
+    out.reserve(resp.result_wire->size() + resp.id.size() + 96);
+    out += '{';
+    if (resp.cache_hit) out += "\"cache_hit\":true,";
+    if (!resp.error.empty()) {
+        out += "\"error\":";
+        io::Json::dump_string(out, resp.error);
+        out += ',';
+    }
+    out += "\"exec_ms\":";
+    io::Json::dump_double(out, resp.exec_ms);
+    out += ",\"id\":";
+    io::Json::dump_string(out, resp.id);
+    if (resp.partial) out += ",\"partial\":true";
+    out += ",\"queue_ms\":";
+    io::Json::dump_double(out, resp.queue_ms);
+    out += ",\"result\":";
+    out += *resp.result_wire;
+    out += ",\"status\":";
+    io::Json::dump_string(out, to_string(resp.status));
+    out += '}';
+    return out;
+}
+
 PlanResponse response_from_json(const io::Json& doc) {
     PlanResponse resp;
     resp.id = doc.string_or("id", "");

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -72,6 +73,11 @@ struct PlanResponse {
     double exec_ms{0.0};     ///< execution start -> response
     io::Json result;         ///< {"instance_fingerprint","planner","plan",
                              ///<  "stats"}; null unless ok or partial
+    /// `result` pre-serialized with dump(), shared with the response cache.
+    /// Set on every ok/partial response; transports splice it into the wire
+    /// envelope via response_line() instead of re-dumping the tree per
+    /// request (the dominant cost of a warm-cache response).
+    std::shared_ptr<const std::string> result_wire;
 };
 
 /// Instance fingerprints travel as fixed-width lowercase hex (JSON numbers
@@ -95,5 +101,14 @@ struct PlanResponse {
 
 [[nodiscard]] io::Json to_json(const PlanResponse& resp);
 [[nodiscard]] PlanResponse response_from_json(const io::Json& doc);
+
+/// The single-line wire form of a response — byte-identical to
+/// `to_json(resp).dump()`, which is what it falls back to. When
+/// `resp.result_wire` is set the envelope is spliced around the
+/// pre-serialized result instead of deep-copying and re-dumping the tree,
+/// which is what lets a warm cache answer at transport speed. Every
+/// response serializer (JSONL, TCP server, router) goes through here so
+/// the two transports stay byte-identical by construction.
+[[nodiscard]] std::string response_line(const PlanResponse& resp);
 
 }  // namespace uavdc::service

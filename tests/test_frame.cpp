@@ -1,0 +1,178 @@
+#include "uavdc/net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace uavdc::net {
+namespace {
+
+/// Feed the whole buffer and drain every complete frame.
+std::vector<Frame> drain(FrameDecoder& d, const std::string& bytes) {
+    d.feed(bytes);
+    std::vector<Frame> out;
+    while (auto f = d.next()) out.push_back(*f);
+    return out;
+}
+
+TEST(Frame, NewlineFramesDecode) {
+    FrameDecoder d;
+    const auto frames = drain(d, "{\"id\":\"a\"}\n{\"id\":\"b\"}\n");
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0].payload, "{\"id\":\"a\"}");
+    EXPECT_FALSE(frames[0].length_prefixed);
+    EXPECT_FALSE(frames[0].malformed);
+    EXPECT_EQ(frames[1].payload, "{\"id\":\"b\"}");
+    EXPECT_EQ(d.frames(), 2u);
+    EXPECT_EQ(d.malformed(), 0u);
+    EXPECT_FALSE(d.mid_frame());
+}
+
+TEST(Frame, CrlfIsTolerated) {
+    FrameDecoder d;
+    const auto frames = drain(d, "{\"id\":\"a\"}\r\n");
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].payload, "{\"id\":\"a\"}");
+}
+
+TEST(Frame, LengthPrefixedFramesDecode) {
+    FrameDecoder d;
+    const std::string payload = "{\"id\":\"x\"}";
+    const auto frames = drain(d, encode_frame(payload, true));
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].payload, payload);
+    EXPECT_TRUE(frames[0].length_prefixed);
+}
+
+TEST(Frame, LengthPrefixedIsBinarySafe) {
+    // Embedded newlines and '$' bytes must survive — exactly what the
+    // newline framing cannot carry.
+    FrameDecoder d;
+    const std::string payload = "line1\nline2\n$17\nnot-a-header";
+    const auto frames = drain(d, encode_frame(payload, true));
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].payload, payload);
+}
+
+TEST(Frame, SplitAcrossArbitraryFeedBoundaries) {
+    // Byte-at-a-time delivery of a mixed stream must yield the same frames
+    // as one big feed: the decoder owns all reassembly state.
+    const std::string stream = encode_frame("{\"id\":\"lp\"}", true) +
+                               "{\"id\":\"nl\"}\n" +
+                               encode_frame("tail", true);
+    FrameDecoder d;
+    std::vector<Frame> frames;
+    for (const char c : stream) {
+        d.feed(&c, 1);
+        while (auto f = d.next()) frames.push_back(*f);
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].payload, "{\"id\":\"lp\"}");
+    EXPECT_TRUE(frames[0].length_prefixed);
+    EXPECT_EQ(frames[1].payload, "{\"id\":\"nl\"}");
+    EXPECT_FALSE(frames[1].length_prefixed);
+    EXPECT_EQ(frames[2].payload, "tail");
+    EXPECT_FALSE(d.mid_frame());
+}
+
+TEST(Frame, MergedFramesInOneFeed) {
+    FrameDecoder d;
+    std::string merged;
+    for (int i = 0; i < 5; ++i) {
+        merged += encode_frame("p" + std::to_string(i), i % 2 == 0);
+    }
+    const auto frames = drain(d, merged);
+    ASSERT_EQ(frames.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(frames[static_cast<std::size_t>(i)].payload,
+                  "p" + std::to_string(i));
+    }
+}
+
+TEST(Frame, TruncatedFrameIsPendingNotDelivered) {
+    FrameDecoder d;
+    d.feed("$10\nonly4");
+    EXPECT_FALSE(d.next().has_value());
+    EXPECT_TRUE(d.mid_frame());  // EOF now would mean peer truncation
+    d.feed("chars!");            // completes the 10 declared bytes
+    auto f = d.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->payload, "only4chars");
+    // The trailing '!' starts the next (newline) frame.
+    EXPECT_TRUE(d.mid_frame());
+}
+
+TEST(Frame, OversizedDeclaredLengthIsMalformed) {
+    FrameDecoder d(64);
+    auto frames = drain(d, "$65\nx");
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_TRUE(frames[0].malformed);
+    EXPECT_NE(frames[0].error.find("length header"), std::string::npos);
+    EXPECT_EQ(d.malformed(), 1u);
+    // The connection resyncs: a good frame after the damage decodes.
+    frames = drain(d, "ok\n");
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_FALSE(frames[0].malformed);
+    // 'x' was carried into the resynced newline frame's payload.
+    EXPECT_EQ(frames[0].payload, "xok");
+}
+
+TEST(Frame, OversizedNewlineFrameIsCutOff) {
+    FrameDecoder d(8);
+    // No newline ever arrives; memory must not balloon.
+    const auto frames = drain(d, std::string(64, 'a'));
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_TRUE(frames[0].malformed);
+    EXPECT_EQ(d.malformed(), 1u);
+    EXPECT_FALSE(d.mid_frame());
+}
+
+TEST(Frame, BadLengthHeaderResyncsAtNewline) {
+    FrameDecoder d;
+    const auto frames = drain(d, "$12x\n{\"id\":\"ok\"}\n");
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_TRUE(frames[0].malformed);
+    EXPECT_FALSE(frames[1].malformed);
+    EXPECT_EQ(frames[1].payload, "{\"id\":\"ok\"}");
+}
+
+TEST(Frame, UnterminatedHeaderIsRejected) {
+    FrameDecoder d;
+    const auto frames = drain(d, "$" + std::string(40, '1'));
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_TRUE(frames[0].malformed);
+    EXPECT_NE(frames[0].error.find("unterminated"), std::string::npos);
+}
+
+TEST(Frame, HeaderOverflowIsRejectedNotWrapped) {
+    FrameDecoder d;
+    // 2^64-ish declared length must reject, not wrap around to something
+    // small and "succeed".
+    const auto frames = drain(d, "$99999999999999999999\npayload\n");
+    ASSERT_GE(frames.size(), 1u);
+    EXPECT_TRUE(frames[0].malformed);
+}
+
+TEST(Frame, EmptyPayloadsRoundTrip) {
+    FrameDecoder d;
+    const auto frames = drain(d, encode_frame("", true) + "\n");
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0].payload, "");
+    EXPECT_TRUE(frames[0].length_prefixed);
+    EXPECT_EQ(frames[1].payload, "");
+    EXPECT_FALSE(frames[1].length_prefixed);
+}
+
+TEST(Frame, EncodeDecodeRoundTripMatchesFraming) {
+    for (const bool lp : {true, false}) {
+        FrameDecoder d;
+        const auto frames = drain(d, encode_frame("{\"k\":1}", lp));
+        ASSERT_EQ(frames.size(), 1u);
+        EXPECT_EQ(frames[0].payload, "{\"k\":1}");
+        EXPECT_EQ(frames[0].length_prefixed, lp);
+    }
+}
+
+}  // namespace
+}  // namespace uavdc::net

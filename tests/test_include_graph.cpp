@@ -81,6 +81,11 @@ TEST(IncludeGraph, LayeringTableIsADeclaredDag) {
     EXPECT_TRUE(edge_allowed("service", "io"));
     EXPECT_FALSE(edge_allowed("util", "geom"));
     EXPECT_FALSE(edge_allowed("nonexistent", "util"));
+    // net/ sits on top: it may reach service/ but nothing may reach it.
+    EXPECT_TRUE(edge_allowed("net", "service"));
+    EXPECT_TRUE(edge_allowed("net", "io"));
+    EXPECT_FALSE(edge_allowed("service", "net"));
+    EXPECT_FALSE(edge_allowed("core", "net"));
 }
 
 TEST(IncludeGraph, CollectIncludesFromScannedLines) {

@@ -31,7 +31,7 @@ constexpr const char* kToolPath = "tools/fixture.cpp";
 
 TEST(Lint, RuleTableIsStable) {
     const auto& table = rules();
-    ASSERT_EQ(table.size(), 14u);
+    ASSERT_EQ(table.size(), 15u);
     std::set<std::string> ids;
     for (const auto& r : table) ids.insert(r.id);
     EXPECT_EQ(ids.size(), table.size()) << "rule ids must be unique";
@@ -575,6 +575,95 @@ TEST(Lint, SqrtCompareHonoursAnnotatedSuppression) {
                                   "keep = geom::distance(a, b) < cutoff;  "
                                   "// NOLINT(uavdc-sqrt-compare)\n");
     ASSERT_TRUE(has_id(bare, "UL014"));
+    EXPECT_NE(bare[0].message.find("reason"), std::string::npos);
+}
+
+TEST(Lint, NoRawSocketFiresOutsideNet) {
+    const char* body = R"(
+void f(int fd) {
+    char buf[64];
+    read(fd, buf, sizeof(buf));
+}
+)";
+    const auto findings = lint_source(kLibPath, body);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].id, "UL015");
+    EXPECT_EQ(findings[0].rule, "no-raw-socket");
+    EXPECT_EQ(findings[0].line, 4);
+    // Library-wide except net/ itself; tools are exempt. A global-scope
+    // qualification is still the raw syscall.
+    EXPECT_TRUE(
+        has_id(lint_source("src/uavdc/service/fixture.cpp", body), "UL015"));
+    EXPECT_TRUE(lint_source(kToolPath, body).empty());
+    EXPECT_TRUE(has_id(
+        lint_source(kLibPath, "::connect(fd, addr, sizeof(addr));\n"),
+        "UL015"));
+    EXPECT_TRUE(
+        has_id(lint_source(kLibPath, "socket(AF_INET, SOCK_STREAM, 0);\n"),
+               "UL015"));
+}
+
+TEST(Lint, NoRawSocketSkipsMemberAndQualifiedCalls) {
+    // Member calls and named-namespace qualifications are not syscalls.
+    EXPECT_TRUE(
+        lint_source(kLibPath, "sock.read(buf, sizeof(buf));\n").empty());
+    EXPECT_TRUE(
+        lint_source(kLibPath, "stream->write(data, n);\n").empty());
+    EXPECT_TRUE(lint_source(kLibPath,
+                            "auto f = std::bind(&T::run, this);\n")
+                    .empty());
+    EXPECT_TRUE(
+        lint_source(kLibPath, "net::poll_wait(entries, 200);\n").empty());
+    // Token boundaries: readlink / fread are different identifiers.
+    EXPECT_TRUE(
+        lint_source(kLibPath, "readlink(path, buf, sizeof(buf));\n").empty());
+    EXPECT_TRUE(
+        lint_source(kLibPath, "fread(buf, 1, n, fp);\n").empty());
+}
+
+TEST(Lint, NoRawSocketRequiresEintrLoopInsideNet) {
+    constexpr const char* kNetPath = "src/uavdc/net/fixture.cpp";
+    // A bare blocking call inside net/ without EINTR handling fires.
+    const auto bare = lint_source(kNetPath, R"(
+void f(int fd) {
+    char buf[64];
+    ::read(fd, buf, sizeof(buf));
+}
+)");
+    ASSERT_TRUE(has_id(bare, "UL015"));
+    EXPECT_NE(bare[0].message.find("EINTR"), std::string::npos);
+    // The canonical retry loop is fine.
+    EXPECT_TRUE(lint_source(kNetPath, R"(
+void f(int fd) {
+    char buf[64];
+    ssize_t rc = 0;
+    do {
+        rc = ::read(fd, buf, sizeof(buf));
+    } while (rc < 0 && errno == EINTR);
+}
+)")
+                    .empty());
+    // Setup syscalls never block, so they are exempt inside net/.
+    EXPECT_TRUE(lint_source(kNetPath, R"(
+void f() {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ::bind(fd, addr, sizeof(addr));
+    ::listen(fd, 64);
+}
+)")
+                    .empty());
+}
+
+TEST(Lint, NoRawSocketHonoursAnnotatedSuppression) {
+    EXPECT_TRUE(lint_source(kLibPath,
+                            "write(fd, &b, 1);  "
+                            "// NOLINT(uavdc-no-raw-socket): async-signal-"
+                            "safe context, Socket is not re-entrant\n")
+                    .empty());
+    const auto bare = lint_source(kLibPath,
+                                  "write(fd, &b, 1);  "
+                                  "// NOLINT(uavdc-no-raw-socket)\n");
+    ASSERT_TRUE(has_id(bare, "UL015"));
     EXPECT_NE(bare[0].message.find("reason"), std::string::npos);
 }
 

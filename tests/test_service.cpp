@@ -789,5 +789,48 @@ TEST(ServiceJsonl, DrainVerbIsABarrier) {
     EXPECT_EQ(docs[1].at("stats").number_or("completed", -1.0), 1.0);
 }
 
+TEST(Service, ResponseLineMatchesJsonDump) {
+    // The spliced fast path must stay byte-identical with the tree dump —
+    // both transports and the repository reload depend on it.
+    const auto inst = uavdc::testing::small_instance(12, 200.0, 23);
+    PlanService::Config cfg;
+    cfg.workers = 2;
+    cfg.defaults = fast_options();
+    PlanService svc(cfg);
+
+    PlanRequest req;
+    req.id = "line-check \"quoted\"\n";  // exercises escaping in the id
+    req.planner = "alg2";
+    req.instance = inst;
+    for (int pass = 0; pass < 2; ++pass) {  // fresh result, then cache hit
+        std::promise<PlanResponse> done;
+        svc.submit(req, [&](PlanResponse resp) {
+            done.set_value(std::move(resp));
+        });
+        PlanResponse resp = done.get_future().get();
+        ASSERT_EQ(resp.status, ResponseStatus::kOk);
+        EXPECT_EQ(resp.cache_hit, pass == 1);
+        ASSERT_NE(resp.result_wire, nullptr);
+        EXPECT_EQ(response_line(resp), to_json(resp).dump());
+        // Timing fields land in the line with full precision.
+        resp.queue_ms = 0.1234567890123;
+        resp.exec_ms = 3.0;
+        EXPECT_EQ(response_line(resp), to_json(resp).dump());
+        // Error/partial envelopes splice identically too.
+        resp.partial = true;
+        resp.error = "late\tplan";
+        EXPECT_EQ(response_line(resp), to_json(resp).dump());
+    }
+    svc.drain();
+
+    // Responses without a pre-serialized result fall back to the dump.
+    PlanResponse bad;
+    bad.id = "nope";
+    bad.status = ResponseStatus::kBadRequest;
+    bad.error = "unknown planner";
+    EXPECT_EQ(bad.result_wire, nullptr);
+    EXPECT_EQ(response_line(bad), to_json(bad).dump());
+}
+
 }  // namespace
 }  // namespace uavdc::service

@@ -28,6 +28,10 @@
 #include "uavdc/core/validate_plan.hpp"
 #include "uavdc/io/serialize.hpp"
 #include "uavdc/io/svg.hpp"
+#include "uavdc/net/loadgen.hpp"
+#include "uavdc/net/router.hpp"
+#include "uavdc/net/signal.hpp"
+#include "uavdc/net/tcp_server.hpp"
 #include "uavdc/service/jsonl.hpp"
 #include "uavdc/service/workload_gen.hpp"
 #include "uavdc/sim/monte_carlo.hpp"
@@ -70,6 +74,16 @@ int usage() {
         "            [--max-candidates=4000] [--reduce]\n"
         "            [--reduce-coarsen=F] [--reduce-band=M]\n"
         "            [--reduce-consolidate=N] [--stats] [--summary]\n"
+        "            [--tcp --host=127.0.0.1 --port=0 [--announce]\n"
+        "             [--repo=FILE] [--max-frame=BYTES]\n"
+        "             [--write-limit=BYTES]]\n"
+        "  route     --shards=N | --endpoints=p1,p2,...\n"
+        "            [--host=127.0.0.1] [--port=0] [--announce]\n"
+        "            [--shard-workers=W] [--repo-dir=DIR]\n"
+        "  loadgen   --connect=HOST:PORT | --port=P [--connections=8]\n"
+        "            [--pipeline=32] [--requests=10000] [--instances=4]\n"
+        "            [--seed=7] [--algos=a,b,...] [--newline]\n"
+        "            [--capture-out=FILE] [--emit-jsonl=FILE]\n"
         "  serve-gen [--requests=200] [--instances=6] [--seed=1]\n"
         "            [--algos=a,b,...] [--no-control] [--out=FILE]\n";
     return 1;
@@ -389,6 +403,59 @@ int cmd_sensitivity(const util::Flags& flags) {
     return 0;
 }
 
+int cmd_serve_tcp(const util::Flags& flags,
+                  const service::PlanService::Config& svc_cfg) {
+    auto& sig = net::ShutdownSignal::install();
+    net::TcpServerConfig cfg;
+    cfg.host = flags.get_string("host", cfg.host);
+    cfg.port = flags.get_int("port", 0);
+    cfg.service = svc_cfg;
+    cfg.repo_path = flags.get_string("repo", "");
+    cfg.max_frame_bytes = static_cast<std::size_t>(flags.get_int64(
+        "max-frame", static_cast<std::int64_t>(cfg.max_frame_bytes)));
+    cfg.write_queue_limit = static_cast<std::size_t>(flags.get_int64(
+        "write-limit", static_cast<std::int64_t>(cfg.write_queue_limit)));
+    cfg.stop = &sig.flag();
+    cfg.wake_fd = sig.wake_fd();
+    if (flags.get_bool("announce", false)) {
+        // Machine handshake for parents that spawned us on --port=0: the
+        // first stdout line is `LISTENING <port>`, nothing else precedes it.
+        cfg.on_listening = [](int port) {
+            std::cout << "LISTENING " << port << "\n" << std::flush;
+        };
+    } else {
+        cfg.on_listening = [](int port) {
+            std::cerr << "serve: listening on tcp port " << port << "\n";
+        };
+    }
+
+    net::TcpServer server(std::move(cfg));
+    const auto res = server.run();
+    std::cerr << "serve: drained; " << res.transport.requests
+              << " requests over " << res.transport.connections_opened
+              << " connections, " << res.transport.frames_malformed
+              << " malformed frames, " << res.transport.shed_on_shutdown
+              << " shed at shutdown; ok=" << res.service.ok
+              << " cache hit rate "
+              << util::Table::fmt(
+                     100.0 *
+                         (res.service.cache_hits + res.service.cache_misses
+                              ? static_cast<double>(res.service.cache_hits) /
+                                    static_cast<double>(
+                                        res.service.cache_hits +
+                                        res.service.cache_misses)
+                              : 0.0),
+                     1)
+              << "%";
+    if (!flags.get_string("repo", "").empty()) {
+        std::cerr << "; repo preloaded " << res.preloaded.instances
+                  << " instances + " << res.preloaded.responses
+                  << " responses, appended " << res.repo_appends;
+    }
+    std::cerr << "\n";
+    return res.service.internal_errors == 0 ? 0 : 2;
+}
+
 int cmd_serve(const util::Flags& flags) {
     service::JsonlConfig cfg;
     cfg.service.workers = static_cast<std::size_t>(
@@ -405,6 +472,16 @@ int cmd_serve(const util::Flags& flags) {
         "max-candidates", cfg.service.defaults.max_candidates);
     apply_reduction_flags(flags, cfg.service.defaults);
     cfg.final_stats = flags.get_bool("stats", false);
+
+    if (flags.get_bool("tcp", false)) {
+        return cmd_serve_tcp(flags, cfg.service);
+    }
+
+    // SIGTERM/SIGINT drain the JSONL path too: the handler (no SA_RESTART)
+    // interrupts the blocking getline, the stop flag ends the session, and
+    // everything already submitted is answered before exit.
+    auto& sig = net::ShutdownSignal::install();
+    cfg.stop = &sig.flag();
 
     std::ifstream fin;
     const std::string in_path = flags.get_string("in", "");
@@ -442,6 +519,111 @@ int cmd_serve(const util::Flags& flags) {
                   << "%\n";
     }
     return summary.stats.internal_errors == 0 ? 0 : 2;
+}
+
+int cmd_route(const util::Flags& flags) {
+    auto& sig = net::ShutdownSignal::install();
+    net::RouterConfig cfg;
+    cfg.host = flags.get_string("host", cfg.host);
+    cfg.port = flags.get_int("port", 0);
+    cfg.shards = flags.get_int("shards", 0);
+    cfg.shard_workers = static_cast<std::size_t>(
+        flags.get_int("shard-workers", 0));
+    cfg.repo_dir = flags.get_string("repo-dir", "");
+    {
+        std::stringstream ss(flags.get_string("endpoints", ""));
+        std::string tok;
+        while (std::getline(ss, tok, ',')) {
+            if (!tok.empty()) cfg.endpoints.push_back(std::stoi(tok));
+        }
+    }
+    cfg.stop = &sig.flag();
+    cfg.wake_fd = sig.wake_fd();
+    if (flags.get_bool("announce", false)) {
+        cfg.on_listening = [](int port) {
+            std::cout << "LISTENING " << port << "\n" << std::flush;
+        };
+    } else {
+        cfg.on_listening = [](int port) {
+            std::cerr << "route: listening on tcp port " << port << "\n";
+        };
+    }
+
+    net::Router router(std::move(cfg));
+    const auto res = router.run();
+    std::cerr << "route: drained; " << res.transport.requests
+              << " requests forwarded, " << res.transport.responses
+              << " responses returned, "
+              << res.transport.retried_after_shard_death
+              << " retried after shard death, "
+              << res.transport.shard_respawns << " shard respawns\n";
+    return res.clean_shutdown ? 0 : 2;
+}
+
+int cmd_loadgen(const util::Flags& flags) {
+    net::LoadgenConfig cfg;
+    const std::string connect = flags.get_string("connect", "");
+    if (!connect.empty()) {
+        const std::size_t colon = connect.rfind(':');
+        if (colon == std::string::npos) {
+            std::cerr << "loadgen: --connect must be HOST:PORT\n";
+            return 1;
+        }
+        cfg.host = connect.substr(0, colon);
+        cfg.port = std::stoi(connect.substr(colon + 1));
+    } else {
+        cfg.port = flags.get_int("port", 0);
+    }
+    cfg.connections = flags.get_int("connections", cfg.connections);
+    cfg.pipeline = flags.get_int("pipeline", cfg.pipeline);
+    cfg.requests = flags.get_int("requests", cfg.requests);
+    cfg.instances = flags.get_int("instances", cfg.instances);
+    cfg.seed = static_cast<std::uint64_t>(
+        flags.get_int64("seed", static_cast<std::int64_t>(cfg.seed)));
+    cfg.length_prefixed = !flags.get_bool("newline", false);
+    {
+        std::stringstream ss(flags.get_string("algos", ""));
+        std::string tok;
+        while (std::getline(ss, tok, ',')) {
+            if (!tok.empty()) cfg.planners.push_back(tok);
+        }
+    }
+
+    const std::string emit = flags.get_string("emit-jsonl", "");
+    if (!emit.empty()) {
+        // Reference stream for the byte-identity check: the same logical
+        // workload, pipeable through the JSONL `uavdc serve` path.
+        std::ofstream f(emit);
+        if (!f) {
+            std::cerr << "loadgen: cannot open --emit-jsonl=" << emit << "\n";
+            return 1;
+        }
+        f << net::loadgen_workload_jsonl(cfg);
+        std::cerr << "loadgen: wrote reference workload to " << emit << "\n";
+        if (cfg.port <= 0) return 0;
+    }
+    if (cfg.port <= 0) {
+        std::cerr << "loadgen: --connect or --port is required\n";
+        return 1;
+    }
+
+    const std::string capture_out = flags.get_string("capture-out", "");
+    cfg.capture = !capture_out.empty();
+    const auto res = net::run_loadgen(cfg);
+    if (!capture_out.empty()) {
+        std::ofstream f(capture_out);
+        if (!f) {
+            std::cerr << "loadgen: cannot open --capture-out=" << capture_out
+                      << "\n";
+            return 1;
+        }
+        for (const auto& payload : res.responses) f << payload << '\n';
+    }
+    std::cout << net::to_json(res).dump(2) << "\n";
+    return (!res.timed_out && res.errors == 0 &&
+            res.received == static_cast<std::uint64_t>(cfg.requests))
+               ? 0
+               : 2;
 }
 
 int cmd_serve_gen(const util::Flags& flags) {
@@ -509,6 +691,8 @@ int main(int argc, char** argv) {
         if (cmd == "sensitivity") return cmd_sensitivity(flags);
         if (cmd == "render") return cmd_render(flags);
         if (cmd == "serve") return cmd_serve(flags);
+        if (cmd == "route") return cmd_route(flags);
+        if (cmd == "loadgen") return cmd_loadgen(flags);
         if (cmd == "serve-gen") return cmd_serve_gen(flags);
         std::cerr << "unknown command '" << cmd << "'\n";
         return usage();
